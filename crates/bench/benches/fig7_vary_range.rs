@@ -1,0 +1,37 @@
+//! Fig. 7 — update cost of BasicCTUP vs OptCTUP varying the protection
+//! range `R`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctup_bench::{build_setup, AlgKind, SetupParams};
+use ctup_core::config::CtupConfig;
+
+fn bench_vary_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_vary_range");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, radius) in [("005", 0.05f64), ("0075", 0.075), ("01", 0.1), ("015", 0.15), ("02", 0.2)]
+    {
+        for kind in [AlgKind::Basic, AlgKind::Opt] {
+            let params = SetupParams {
+                config: CtupConfig { protection_radius: radius, ..CtupConfig::paper_default() },
+                ..SetupParams::default()
+            };
+            let mut setup = build_setup(params);
+            let updates = setup.next_updates(20_000);
+            let mut alg = kind.build(&setup);
+            let mut i = 0usize;
+            group.bench_with_input(BenchmarkId::new(kind.label(), label), &radius, |b, _| {
+                b.iter(|| {
+                    let update = updates[i % updates.len()];
+                    i += 1;
+                    criterion::black_box(alg.handle_update(update))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_range);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [--quick] [experiment ...]
+//! ```
+//!
+//! With no experiment arguments, runs everything. Experiment names:
+//! `table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ablation_purge ablation_disk
+//! ext_decay`.
+
+use ctup_bench::experiments::{self, Effort, Table};
+
+type Runner = Box<dyn Fn(Effort) -> Table>;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let effort = if quick { Effort::quick() } else { Effort::full() };
+    let selected: Vec<&str> =
+        args.iter().filter(|a| *a != "--quick").map(String::as_str).collect();
+
+    let all: Vec<(&str, Runner)> = vec![
+        ("table3", Box::new(|_| experiments::table3())),
+        ("fig3", Box::new(experiments::fig3)),
+        ("fig4", Box::new(experiments::fig4)),
+        ("fig5", Box::new(experiments::fig5)),
+        ("fig6", Box::new(experiments::fig6)),
+        ("fig7", Box::new(experiments::fig7)),
+        ("fig8", Box::new(experiments::fig8)),
+        ("fig9", Box::new(experiments::fig9)),
+        ("ablation_purge", Box::new(experiments::ablation_dechash_purge)),
+        ("ablation_disk", Box::new(experiments::ablation_disk)),
+        ("ext_decay", Box::new(experiments::ext_decay)),
+    ];
+
+    let known: Vec<&str> = all.iter().map(|(name, _)| *name).collect();
+    for name in &selected {
+        if !known.contains(name) {
+            eprintln!("unknown experiment {name:?}; known: {}", known.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    println!(
+        "CTUP reproduction — {} mode ({} updates per series)\n",
+        if quick { "quick" } else { "full" },
+        effort.updates
+    );
+    for (name, run) in &all {
+        if !selected.is_empty() && !selected.contains(name) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let table = run(effort);
+        println!("{}", table.render());
+        println!("  [{name} took {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

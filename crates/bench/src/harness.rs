@@ -1,0 +1,230 @@
+//! Workload construction and measurement plumbing.
+
+use ctup_core::algorithm::CtupAlgorithm;
+use ctup_core::config::CtupConfig;
+use ctup_core::naive::{NaiveIncremental, NaiveRecompute};
+use ctup_core::types::{LocationUpdate, UnitId};
+use ctup_core::{BasicCtup, OptCtup};
+use ctup_mogen::{PlaceGenConfig, PositionUpdate, Workload, WorkloadParams};
+use ctup_spatial::{Grid, Point};
+use ctup_storage::{CellLocalStore, PlaceStore};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The experiment knobs (Table III parameters plus stream length).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetupParams {
+    /// Number of protecting units.
+    pub num_units: u32,
+    /// Number of places.
+    pub num_places: u32,
+    /// Partition granularity (grid is `granularity × granularity`).
+    pub granularity: u32,
+    /// CTUP configuration (k, R, Δ, DOO).
+    pub config: CtupConfig,
+    /// Simulation time step between reporting rounds; smaller steps mean
+    /// finer-grained location updates (default 1.0).
+    pub tick_dt: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for SetupParams {
+    /// Table III defaults.
+    fn default() -> Self {
+        SetupParams {
+            num_units: 150,
+            num_places: 15_000,
+            granularity: 10,
+            config: CtupConfig::paper_default(),
+            tick_dt: 1.0,
+            seed: 0xC7,
+        }
+    }
+}
+
+/// A prepared experiment: store, initial units and the update source.
+pub struct Setup {
+    /// Parameters that produced this setup.
+    pub params: SetupParams,
+    /// The (shared, memory-backed) lower level.
+    pub store: Arc<dyn PlaceStore>,
+    /// Initial unit positions.
+    pub units: Vec<Point>,
+    workload: Workload,
+}
+
+impl Setup {
+    /// Produces the next `n` location updates of the stream.
+    pub fn next_updates(&mut self, n: usize) -> Vec<LocationUpdate> {
+        stream(self.workload.next_updates(n))
+    }
+}
+
+/// Builds a workload + store for `params`.
+pub fn build_setup(params: SetupParams) -> Setup {
+    let wl_params = WorkloadParams {
+        num_units: params.num_units,
+        places: PlaceGenConfig { count: params.num_places, ..PlaceGenConfig::default() },
+        seed: params.seed,
+        tick_dt: params.tick_dt,
+        ..WorkloadParams::default()
+    };
+    let workload = Workload::generate(wl_params);
+    let grid = Grid::unit_square(params.granularity);
+    let store: Arc<dyn PlaceStore> =
+        Arc::new(CellLocalStore::build(grid, workload.places_vec()));
+    let units = workload.unit_positions();
+    Setup { params, store, units, workload }
+}
+
+/// Converts generator updates into server updates.
+pub fn stream(updates: Vec<PositionUpdate>) -> Vec<LocationUpdate> {
+    updates
+        .into_iter()
+        .map(|u| LocationUpdate { unit: UnitId(u.object), new: u.to })
+        .collect()
+}
+
+/// Which algorithm to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlgKind {
+    /// Recompute-everything baseline.
+    Naive,
+    /// Maintain-everything baseline.
+    NaiveIncremental,
+    /// BasicCTUP.
+    Basic,
+    /// OptCTUP.
+    Opt,
+}
+
+impl AlgKind {
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgKind::Naive => "Naive",
+            AlgKind::NaiveIncremental => "NaiveInc",
+            AlgKind::Basic => "BasicCTUP",
+            AlgKind::Opt => "OptCTUP",
+        }
+    }
+
+    /// Instantiates the algorithm over a prepared setup.
+    pub fn build(self, setup: &Setup) -> Box<dyn CtupAlgorithm> {
+        let config = setup.params.config.clone();
+        let store = setup.store.clone();
+        match self {
+            AlgKind::Naive => Box::new(NaiveRecompute::new(config, store, &setup.units)),
+            AlgKind::NaiveIncremental => {
+                Box::new(NaiveIncremental::new(config, store, &setup.units))
+            }
+            AlgKind::Basic => Box::new(BasicCtup::new(config, store, &setup.units)),
+            AlgKind::Opt => Box::new(OptCtup::new(config, store, &setup.units)),
+        }
+    }
+}
+
+/// Aggregated costs of a measured update run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Updates processed.
+    pub updates: u64,
+    /// Average wall time per update, in nanoseconds.
+    pub avg_update_nanos: f64,
+    /// Average time spent maintaining in-memory state, per update.
+    pub avg_maintain_nanos: f64,
+    /// Average time spent accessing cells, per update.
+    pub avg_access_nanos: f64,
+    /// Cells accessed per update.
+    pub cells_accessed_per_update: f64,
+    /// Places loaded per update.
+    pub places_loaded_per_update: f64,
+    /// Lower-bound decrements applied per update.
+    pub lb_decrements_per_update: f64,
+    /// Lower-bound decrements suppressed by DOO, per update.
+    pub lb_suppressed_per_update: f64,
+    /// Maintained places at the end of the run.
+    pub maintained_places: u64,
+}
+
+/// Feeds `updates` to `alg`, timing the whole run.
+pub fn measure_updates(alg: &mut dyn CtupAlgorithm, updates: &[LocationUpdate]) -> RunSummary {
+    let before = alg.metrics().clone();
+    let start = Instant::now();
+    for &update in updates {
+        alg.handle_update(update);
+    }
+    let wall = start.elapsed().as_nanos() as f64;
+    let metrics = alg.metrics().since(&before);
+    let n = updates.len().max(1) as f64;
+    RunSummary {
+        updates: updates.len() as u64,
+        avg_update_nanos: wall / n,
+        avg_maintain_nanos: metrics.maintain_nanos as f64 / n,
+        avg_access_nanos: metrics.access_nanos as f64 / n,
+        cells_accessed_per_update: metrics.cells_accessed as f64 / n,
+        places_loaded_per_update: metrics.places_loaded as f64 / n,
+        lb_decrements_per_update: metrics.lb_decrements as f64 / n,
+        lb_suppressed_per_update: metrics.lb_decrements_suppressed as f64 / n,
+        maintained_places: metrics.maintained_now,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_setup_builds_and_streams() {
+        let params = SetupParams {
+            num_units: 10,
+            num_places: 200,
+            granularity: 5,
+            config: CtupConfig::with_k(3),
+            tick_dt: 1.0,
+            seed: 1,
+        };
+        let mut setup = build_setup(params);
+        assert_eq!(setup.units.len(), 10);
+        assert_eq!(setup.store.num_places(), 200);
+        let updates = setup.next_updates(50);
+        assert_eq!(updates.len(), 50);
+        let mut alg = AlgKind::Opt.build(&setup);
+        let summary = measure_updates(alg.as_mut(), &updates);
+        assert_eq!(summary.updates, 50);
+        assert!(summary.avg_update_nanos > 0.0);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_small_workload() {
+        let params = SetupParams {
+            num_units: 8,
+            num_places: 150,
+            granularity: 6,
+            config: CtupConfig::with_k(5),
+            tick_dt: 1.0,
+            seed: 42,
+        };
+        let mut setup = build_setup(params);
+        let updates = setup.next_updates(100);
+        let mut algs: Vec<Box<dyn CtupAlgorithm>> = vec![
+            AlgKind::Naive.build(&setup),
+            AlgKind::NaiveIncremental.build(&setup),
+            AlgKind::Basic.build(&setup),
+            AlgKind::Opt.build(&setup),
+        ];
+        for &update in &updates {
+            for alg in algs.iter_mut() {
+                alg.handle_update(update);
+            }
+            let reference: Vec<i64> =
+                algs[0].result().iter().map(|e| e.safety).collect();
+            for alg in &algs[1..] {
+                let got: Vec<i64> = alg.result().iter().map(|e| e.safety).collect();
+                assert_eq!(got, reference, "{} diverged", alg.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each experiment (`fig3` … `fig9`, plus ablations) is a function that
+//! builds the workload, runs the algorithms, and returns rows the
+//! `reproduce` binary prints. The Criterion benches in `benches/` reuse
+//! the same setup code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{build_setup, measure_updates, stream, AlgKind, RunSummary, Setup, SetupParams};

@@ -1,0 +1,156 @@
+//! A small, dependency-free flag parser: `--key value` pairs plus boolean
+//! `--key` switches, with typed accessors and unknown-flag rejection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Errors produced while parsing or reading flags.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+    /// `--flag` requires a value but none followed.
+    MissingValue(String),
+    /// A flag the command does not know.
+    UnknownFlag(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// Parser message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::UnexpectedPositional(a) => write!(f, "unexpected argument {a:?}"),
+            ArgError::MissingValue(flag) => write!(f, "--{flag} requires a value"),
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::BadValue { flag, value, message } => {
+                write!(f, "bad value {value:?} for --{flag}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Flags {
+    /// Parses `args` (without the program/subcommand names). `switch_names`
+    /// lists the flags that take no value; everything else expects one.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        args: I,
+        switch_names: &[&str],
+    ) -> Result<Flags, ArgError> {
+        let mut flags = Flags::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            };
+            if switch_names.contains(&name) {
+                flags.switches.push(name.to_string());
+            } else {
+                let value =
+                    iter.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                flags.values.insert(name.to_string(), value);
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Typed flag value with a default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e: T::Err| ArgError::BadValue {
+                flag: name.to_string(),
+                value: raw.clone(),
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// String flag value, if present.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Rejects any flag not in `known` (switches included).
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), ArgError> {
+        for name in self.values.keys() {
+            if !known.contains(&name.as_str()) {
+                return Err(ArgError::UnknownFlag(name.clone()));
+            }
+        }
+        for name in &self.switches {
+            if !known.contains(&name.as_str()) {
+                return Err(ArgError::UnknownFlag(name.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str], switches: &[&str]) -> Result<Flags, ArgError> {
+        Flags::parse(args.iter().map(|s| s.to_string()), switches)
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let flags = parse(&["--places", "500", "--events", "--seed", "7"], &["events"]).unwrap();
+        assert_eq!(flags.get("places", 0u32).unwrap(), 500);
+        assert_eq!(flags.get("seed", 0u64).unwrap(), 7);
+        assert!(flags.switch("events"));
+        assert!(!flags.switch("quiet"));
+        assert_eq!(flags.get("missing", 42i64).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_positional_and_missing_values() {
+        assert_eq!(
+            parse(&["oops"], &[]).unwrap_err(),
+            ArgError::UnexpectedPositional("oops".into())
+        );
+        assert_eq!(
+            parse(&["--seed"], &[]).unwrap_err(),
+            ArgError::MissingValue("seed".into())
+        );
+    }
+
+    #[test]
+    fn rejects_bad_and_unknown() {
+        let flags = parse(&["--seed", "abc"], &[]).unwrap();
+        assert!(matches!(flags.get("seed", 0u64), Err(ArgError::BadValue { .. })));
+        let flags = parse(&["--bogus", "1"], &[]).unwrap();
+        assert_eq!(
+            flags.reject_unknown(&["seed"]).unwrap_err(),
+            ArgError::UnknownFlag("bogus".into())
+        );
+        let flags = parse(&["--seed", "1"], &[]).unwrap();
+        assert!(flags.reject_unknown(&["seed"]).is_ok());
+    }
+}

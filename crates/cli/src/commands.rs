@@ -1,0 +1,502 @@
+//! The CLI subcommands: `generate`, `run`, `resume`.
+
+use crate::args::{ArgError, Flags};
+use ctup_core::algorithm::CtupAlgorithm;
+use ctup_core::checkpoint::Checkpoint;
+use ctup_core::config::{CtupConfig, QueryMode};
+use ctup_core::naive::{NaiveIncremental, NaiveRecompute};
+use ctup_core::server::{MonitorEvent, Server};
+use ctup_core::types::{LocationUpdate, UnitId};
+use ctup_core::{BasicCtup, OptCtup};
+use ctup_mogen::{PlaceGenConfig, PlaceGenerator, Workload, WorkloadParams};
+use ctup_spatial::Grid;
+use ctup_storage::{snapshot, CellLocalStore, PlaceStore};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+fn io_err(context: &str, e: impl std::fmt::Display) -> CliError {
+    CliError(format!("{context}: {e}"))
+}
+
+/// Shared workload/config flags of `run` and `generate`.
+struct CommonParams {
+    units: u32,
+    places: u32,
+    granularity: u32,
+    seed: u64,
+    config: CtupConfig,
+}
+
+fn common_params(flags: &Flags) -> Result<CommonParams, CliError> {
+    let threshold: i64 = flags.get("threshold", i64::MIN)?;
+    let k: usize = flags.get("k", 15)?;
+    let mode = if threshold != i64::MIN {
+        QueryMode::Threshold(threshold)
+    } else {
+        QueryMode::TopK(k)
+    };
+    let config = CtupConfig {
+        mode,
+        protection_radius: flags.get("radius", 0.1)?,
+        delta: flags.get("delta", 6)?,
+        doo_enabled: !flags.switch("no-doo"),
+        purge_dechash_on_access: true,
+    };
+    Ok(CommonParams {
+        units: flags.get("units", 150)?,
+        places: flags.get("places", 15_000)?,
+        granularity: flags.get("granularity", 10)?,
+        seed: flags.get("seed", 0xC7)?,
+        config,
+    })
+}
+
+/// `ctup generate` — generate a place set and save it as a snapshot.
+pub fn generate(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    flags.reject_unknown(&["places", "seed", "rp-min", "rp-max", "rp-skew", "out"])?;
+    let count: u32 = flags.get("places", 15_000)?;
+    let seed: u64 = flags.get("seed", 0xC7)?;
+    let config = PlaceGenConfig {
+        count,
+        rp_min: flags.get("rp-min", 1)?,
+        rp_max: flags.get("rp-max", 8)?,
+        rp_skew: flags.get("rp-skew", 1.0)?,
+        ..PlaceGenConfig::default()
+    };
+    if config.rp_min > config.rp_max {
+        return Err(CliError("--rp-min must not exceed --rp-max".into()));
+    }
+    let places = PlaceGenerator::new(config).generate(seed);
+    let path = flags.get_str("out").unwrap_or("places.txt");
+    snapshot::save_places(Path::new(path), &places)
+        .map_err(|e| io_err(&format!("writing {path}"), e))?;
+    writeln!(out, "wrote {} places to {path} (seed {seed})", places.len())
+        .map_err(|e| io_err("stdout", e))?;
+    Ok(())
+}
+
+fn build_algorithm(
+    name: &str,
+    config: CtupConfig,
+    store: Arc<dyn PlaceStore>,
+    units: &[ctup_spatial::Point],
+) -> Result<Box<dyn CtupAlgorithm>, CliError> {
+    Ok(match name {
+        "opt" => Box::new(OptCtup::new(config, store, units)),
+        "basic" => Box::new(BasicCtup::new(config, store, units)),
+        "naive" => Box::new(NaiveRecompute::new(config, store, units)),
+        "naive-inc" => Box::new(NaiveIncremental::new(config, store, units)),
+        other => {
+            return Err(CliError(format!(
+                "unknown algorithm {other:?} (expected opt, basic, naive or naive-inc)"
+            )))
+        }
+    })
+}
+
+fn render_result(alg: &dyn CtupAlgorithm, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut text = String::new();
+    for entry in alg.result() {
+        let _ = writeln!(text, "  place {:>6}  safety {:>4}", entry.place.0, entry.safety);
+    }
+    write!(out, "{text}").map_err(|e| io_err("stdout", e))?;
+    Ok(())
+}
+
+fn report_costs(alg: &dyn CtupAlgorithm, out: &mut dyn Write) -> Result<(), CliError> {
+    let m = alg.metrics();
+    let n = m.updates_processed.max(1);
+    writeln!(
+        out,
+        "costs: {:.1} us/update | {:.3} cells accessed/update | {} places maintained | {} result changes",
+        (m.maintain_nanos + m.access_nanos) as f64 / n as f64 / 1e3,
+        m.cells_accessed as f64 / n as f64,
+        m.maintained_now,
+        m.result_changes,
+    )
+    .map_err(|e| io_err("stdout", e))?;
+    Ok(())
+}
+
+/// `ctup run` — generate a workload (or load places from a snapshot),
+/// monitor it, and report the final result and costs.
+pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["events", "no-doo"])?;
+    flags.reject_unknown(&[
+        "algorithm", "updates", "units", "places", "granularity", "seed", "k",
+        "delta", "radius", "threshold", "places-file", "events", "no-doo",
+    ])?;
+    let params = common_params(&flags)?;
+    let updates: usize = flags.get("updates", 1_000)?;
+    let algorithm_name = flags.get_str("algorithm").unwrap_or("opt").to_string();
+
+    // Workload: units always come from the road-network simulation; places
+    // come from a snapshot file when given, otherwise they are generated.
+    let mut workload = Workload::generate(WorkloadParams {
+        num_units: params.units,
+        places: PlaceGenConfig { count: params.places, ..PlaceGenConfig::default() },
+        seed: params.seed,
+        ..WorkloadParams::default()
+    });
+    let places = match flags.get_str("places-file") {
+        Some(path) => snapshot::load_places(Path::new(path))
+            .map_err(|e| io_err(&format!("loading {path}"), e))?,
+        None => workload.places_vec(),
+    };
+    let num_places = places.len();
+    let store: Arc<dyn PlaceStore> =
+        Arc::new(CellLocalStore::build(Grid::unit_square(params.granularity), places));
+    let unit_positions = workload.unit_positions();
+
+    let mut alg = build_algorithm(&algorithm_name, params.config, store, &unit_positions)?;
+    writeln!(
+        out,
+        "monitoring {num_places} places with {} units using {} (init {:.1} ms)",
+        params.units,
+        alg.name(),
+        alg.init_stats().wall.as_secs_f64() * 1e3
+    )
+    .map_err(|e| io_err("stdout", e))?;
+
+    if flags.switch("events") {
+        let mut server = Server::new(ServerAdapter(alg));
+        for update in workload.next_updates(updates) {
+            let (events, _) = server.ingest(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            });
+            for event in events {
+                let line = match event {
+                    MonitorEvent::Entered { place, safety } => {
+                        format!("ALERT place {} (safety {safety})", place.0)
+                    }
+                    MonitorEvent::Left { place } => format!("clear place {}", place.0),
+                    MonitorEvent::SafetyChanged { place, old, new } => {
+                        format!("place {} safety {old} -> {new}", place.0)
+                    }
+                };
+                writeln!(out, "  {line}").map_err(|e| io_err("stdout", e))?;
+            }
+        }
+        let alg = server.into_algorithm().0;
+        finish_run(alg.as_ref(), out)?;
+    } else {
+        for update in workload.next_updates(updates) {
+            alg.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+        }
+        finish_run(alg.as_ref(), out)?;
+    }
+    Ok(())
+}
+
+/// Newtype so a boxed algorithm can live inside `Server` (which is generic).
+struct ServerAdapter(Box<dyn CtupAlgorithm>);
+
+impl CtupAlgorithm for ServerAdapter {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn config(&self) -> &CtupConfig {
+        self.0.config()
+    }
+    fn handle_update(&mut self, update: LocationUpdate) -> ctup_core::UpdateStats {
+        self.0.handle_update(update)
+    }
+    fn result(&self) -> Vec<ctup_core::TopKEntry> {
+        self.0.result()
+    }
+    fn sk(&self) -> Option<ctup_core::Safety> {
+        self.0.sk()
+    }
+    fn metrics(&self) -> &ctup_core::Metrics {
+        self.0.metrics()
+    }
+    fn init_stats(&self) -> &ctup_core::InitStats {
+        self.0.init_stats()
+    }
+    fn unit_position(&self, unit: UnitId) -> ctup_spatial::Point {
+        self.0.unit_position(unit)
+    }
+    fn num_units(&self) -> usize {
+        self.0.num_units()
+    }
+}
+
+fn finish_run(alg: &dyn CtupAlgorithm, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
+    render_result(alg, out)?;
+    report_costs(alg, out)?;
+    Ok(())
+}
+
+/// `ctup run-opt` — like `run` with OptCTUP, plus checkpoint support.
+pub fn run_opt(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["no-doo"])?;
+    flags.reject_unknown(&[
+        "updates", "units", "places", "granularity", "seed", "k", "delta",
+        "radius", "threshold", "checkpoint-out", "no-doo",
+    ])?;
+    let params = common_params(&flags)?;
+    let updates: usize = flags.get("updates", 1_000)?;
+    let mut workload = Workload::generate(WorkloadParams {
+        num_units: params.units,
+        places: PlaceGenConfig { count: params.places, ..PlaceGenConfig::default() },
+        seed: params.seed,
+        ..WorkloadParams::default()
+    });
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(params.granularity),
+        workload.places_vec(),
+    ));
+    let unit_positions = workload.unit_positions();
+    let mut alg = OptCtup::new(params.config, store, &unit_positions);
+    for update in workload.next_updates(updates) {
+        alg.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+    }
+    writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
+    render_result(&alg, out)?;
+    report_costs(&alg, out)?;
+    if let Some(path) = flags.get_str("checkpoint-out") {
+        let file = File::create(path).map_err(|e| io_err(&format!("creating {path}"), e))?;
+        alg.checkpoint()
+            .write(BufWriter::new(file))
+            .map_err(|e| io_err(&format!("writing {path}"), e))?;
+        writeln!(out, "checkpoint written to {path}").map_err(|e| io_err("stdout", e))?;
+    }
+    Ok(())
+}
+
+/// `ctup resume` — restore an OptCTUP monitor from a checkpoint and keep
+/// monitoring the (regenerated) update stream.
+pub fn resume(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    flags.reject_unknown(&[
+        "checkpoint", "updates", "units", "places", "granularity", "seed", "skip",
+    ])?;
+    let path = flags
+        .get_str("checkpoint")
+        .ok_or_else(|| CliError("--checkpoint <file> is required".into()))?
+        .to_string();
+    let file = File::open(&path).map_err(|e| io_err(&format!("opening {path}"), e))?;
+    let checkpoint = Checkpoint::read(BufReader::new(file))
+        .map_err(|e| io_err(&format!("reading {path}"), e))?;
+
+    let units: u32 = flags.get("units", checkpoint.unit_positions.len() as u32)?;
+    if units as usize != checkpoint.unit_positions.len() {
+        return Err(CliError(format!(
+            "checkpoint has {} units but --units {units} was given",
+            checkpoint.unit_positions.len()
+        )));
+    }
+    let params = CommonParams {
+        units,
+        places: flags.get("places", 15_000)?,
+        granularity: flags.get("granularity", 10)?,
+        seed: flags.get("seed", 0xC7)?,
+        config: checkpoint.config.clone(),
+    };
+    let mut workload = Workload::generate(WorkloadParams {
+        num_units: params.units,
+        places: PlaceGenConfig { count: params.places, ..PlaceGenConfig::default() },
+        seed: params.seed,
+        ..WorkloadParams::default()
+    });
+    // Fast-forward the deterministic stream to where the primary stopped.
+    let skip: usize = flags.get("skip", 0)?;
+    if skip > 0 {
+        workload.next_updates(skip);
+    }
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(params.granularity),
+        workload.places_vec(),
+    ));
+    let mut alg = OptCtup::restore(checkpoint, store);
+    writeln!(out, "resumed from {path}; continuing monitoring").map_err(|e| io_err("stdout", e))?;
+    let updates: usize = flags.get("updates", 1_000)?;
+    for update in workload.next_updates(updates) {
+        alg.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+    }
+    writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
+    render_result(&alg, out)?;
+    report_costs(&alg, out)?;
+    Ok(())
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "ctup — Continuous Top-k Unsafe Places monitoring
+
+USAGE:
+  ctup generate [--places N] [--seed S] [--rp-min N] [--rp-max N] [--rp-skew F] [--out FILE]
+  ctup run      [--algorithm opt|basic|naive|naive-inc] [--updates N] [--units N]
+                [--places N | --places-file FILE] [--granularity G] [--seed S]
+                [--k K | --threshold T] [--delta D] [--radius R] [--no-doo] [--events]
+  ctup run-opt  [same workload flags] [--checkpoint-out FILE]
+  ctup resume   --checkpoint FILE [--skip N] [--updates N] [--places N] [--seed S]
+
+The workload is deterministic per --seed: `run-opt --updates N --checkpoint-out cp`
+followed by `resume --checkpoint cp --skip N` continues the same stream."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(
+        f: fn(Vec<String>, &mut dyn Write) -> Result<(), CliError>,
+        args: &[&str],
+    ) -> Result<String, CliError> {
+        let mut out = Vec::new();
+        f(args.iter().map(|s| s.to_string()).collect(), &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn generate_and_run_with_snapshot() {
+        let dir = std::env::temp_dir().join("ctup-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cli_places.txt");
+        let path_str = path.to_str().unwrap();
+
+        let out = run_cmd(generate, &["--places", "300", "--seed", "5", "--out", path_str])
+            .expect("generate");
+        assert!(out.contains("wrote 300 places"));
+
+        let out = run_cmd(
+            run,
+            &[
+                "--places-file", path_str, "--units", "10", "--updates", "50",
+                "--k", "3", "--seed", "5",
+            ],
+        )
+        .expect("run");
+        assert!(out.contains("final result:"));
+        assert!(out.contains("costs:"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_all_algorithms_small() {
+        for algorithm in ["opt", "basic", "naive", "naive-inc"] {
+            let out = run_cmd(
+                run,
+                &[
+                    "--algorithm", algorithm, "--places", "200", "--units", "8",
+                    "--updates", "20", "--k", "3",
+                ],
+            )
+            .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            assert!(out.contains("final result:"), "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn run_with_events_and_threshold() {
+        let out = run_cmd(
+            run,
+            &[
+                "--places", "200", "--units", "8", "--updates", "30",
+                "--threshold", "-3", "--events",
+            ],
+        )
+        .expect("run --events");
+        assert!(out.contains("costs:"));
+    }
+
+    #[test]
+    fn checkpoint_and_resume_roundtrip() {
+        let dir = std::env::temp_dir().join("ctup-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cp = dir.join("cli_checkpoint.txt");
+        let cp_str = cp.to_str().unwrap();
+
+        let out = run_cmd(
+            run_opt,
+            &[
+                "--places", "300", "--units", "10", "--updates", "100",
+                "--k", "4", "--seed", "9", "--checkpoint-out", cp_str,
+            ],
+        )
+        .expect("run-opt");
+        assert!(out.contains("checkpoint written"));
+
+        let out = run_cmd(
+            resume,
+            &[
+                "--checkpoint", cp_str, "--places", "300", "--seed", "9",
+                "--skip", "100", "--updates", "100",
+            ],
+        )
+        .expect("resume");
+        assert!(out.contains("resumed from"));
+        assert!(out.contains("final result:"));
+        std::fs::remove_file(&cp).ok();
+    }
+
+    #[test]
+    fn resume_and_continuous_run_agree() {
+        // A 200-update run must equal run(100) -> checkpoint -> resume(100).
+        let dir = std::env::temp_dir().join("ctup-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cp = dir.join("cli_agree.txt");
+        let cp_str = cp.to_str().unwrap();
+        let base = [
+            "--places", "300", "--units", "10", "--k", "4", "--seed", "33",
+        ];
+        let mut full_args: Vec<&str> = base.to_vec();
+        full_args.extend(["--updates", "200"]);
+        let full = run_cmd(run_opt, &full_args).expect("full run");
+
+        let mut first_args: Vec<&str> = base.to_vec();
+        first_args.extend(["--updates", "100", "--checkpoint-out", cp_str]);
+        run_cmd(run_opt, &first_args).expect("first half");
+        let resumed = run_cmd(
+            resume,
+            &[
+                "--checkpoint", cp_str, "--places", "300", "--seed", "33",
+                "--skip", "100", "--updates", "100",
+            ],
+        )
+        .expect("second half");
+
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("final result:"))
+                .take_while(|l| !l.starts_with("costs:"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(tail(&full), tail(&resumed), "full:\n{full}\nresumed:\n{resumed}");
+        std::fs::remove_file(&cp).ok();
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(run_cmd(run, &["--algorithm", "magic"]).is_err());
+        assert!(run_cmd(run, &["--bogus", "1"]).is_err());
+        assert!(run_cmd(resume, &[]).is_err());
+        assert!(run_cmd(generate, &["--rp-min", "9", "--rp-max", "2"]).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! `ctup` — command-line front-end for Continuous Top-k Unsafe Places
+//! monitoring. See `ctup help` / [`commands::usage`].
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(subcommand) = argv.next() else {
+        eprintln!("{}", commands::usage());
+        return ExitCode::from(2);
+    };
+    let rest: Vec<String> = argv.collect();
+    let mut stdout = std::io::stdout().lock();
+    let result = match subcommand.as_str() {
+        "generate" => commands::generate(rest, &mut stdout),
+        "run" => commands::run(rest, &mut stdout),
+        "run-opt" => commands::run_opt(rest, &mut stdout),
+        "resume" => commands::resume(rest, &mut stdout),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::usage());
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}\n\n{}", commands::usage());
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

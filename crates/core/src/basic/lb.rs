@@ -1,0 +1,75 @@
+//! Table I — lower-bound maintenance of BasicCTUP.
+
+use crate::types::Safety;
+use ctup_spatial::Relation;
+
+/// The paper's Table I: how a dark cell's lower bound changes when a unit's
+/// protecting region moves from relation `old` to relation `new` with the
+/// cell.
+///
+/// ```text
+/// old \ new |  N/P  |  F
+/// ----------+-------+-----
+///     N     |   0   |  +1
+///     P     |  −1   |   0
+///     F     |  −1   |   0
+/// ```
+///
+/// * `N → F`: every place gains this protector, so the bound rises.
+/// * `P → N/P`: a place may have lost this protector, so the bound must
+///   drop (this is the rule DOO later throttles).
+/// * `P → F`: a place may have been protected both before and after, so the
+///   bound cannot rise.
+/// * `F → N/P`: every place had this protector; some may lose it.
+#[inline]
+pub fn basic_lb_delta(old: Relation, new: Relation) -> Safety {
+    use Relation::{Full, None, Partial};
+    match (old, new) {
+        (None, None | Partial) => 0,
+        (None, Full) => 1,
+        (Partial, None | Partial) => -1,
+        (Partial, Full) => 0,
+        (Full, None | Partial) => -1,
+        (Full, Full) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Relation::{Full, None, Partial};
+
+    #[test]
+    fn matches_table_i() {
+        assert_eq!(basic_lb_delta(None, None), 0);
+        assert_eq!(basic_lb_delta(None, Partial), 0);
+        assert_eq!(basic_lb_delta(None, Full), 1);
+        assert_eq!(basic_lb_delta(Partial, None), -1);
+        assert_eq!(basic_lb_delta(Partial, Partial), -1);
+        assert_eq!(basic_lb_delta(Partial, Full), 0);
+        assert_eq!(basic_lb_delta(Full, None), -1);
+        assert_eq!(basic_lb_delta(Full, Partial), -1);
+        assert_eq!(basic_lb_delta(Full, Full), 0);
+    }
+
+    /// Soundness of every entry. A place's contribution from one unit is
+    /// 0 or 1, constrained by the relation: `N` forces 0, `F` forces 1,
+    /// `P` allows either. Any place's safety change is therefore at least
+    /// `min_after − max_before`, and a sound lower-bound delta must not
+    /// exceed that guaranteed minimum change.
+    #[test]
+    fn deltas_are_conservative() {
+        let min_contrib = |rel: Relation| if rel == Full { 1 } else { 0 };
+        let max_contrib = |rel: Relation| if rel == None { 0 } else { 1 };
+        for old in [None, Partial, Full] {
+            for new in [None, Partial, Full] {
+                let delta = basic_lb_delta(old, new);
+                let guaranteed = min_contrib(new) - max_contrib(old);
+                assert!(
+                    delta <= guaranteed,
+                    "({old:?},{new:?}): delta {delta} exceeds guaranteed change {guaranteed}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Checkpointing the OptCTUP monitor state.
+//!
+//! A dispatch center cannot afford to re-initialize from the full place set
+//! after a failover. A [`Checkpoint`] captures everything the higher level
+//! holds — unit positions, per-cell lower bounds, the maintained places
+//! with their exact safeties, and the DecHash — so a standby server can
+//! resume monitoring exactly where the primary stopped. A line-oriented
+//! text codec keeps the format inspectable and dependency-free.
+
+use crate::config::{CtupConfig, QueryMode};
+use crate::types::{Place, PlaceId, Safety, UnitId};
+use ctup_spatial::{CellId, Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Serialized state of a running OptCTUP monitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The configuration the monitor ran with.
+    pub config: CtupConfig,
+    /// Last reported position of every unit, in unit-id order.
+    pub unit_positions: Vec<Point>,
+    /// Per-cell lower bounds, in cell-id order ([`crate::types::LB_NONE`]
+    /// for cells without non-maintained places).
+    pub lower_bounds: Vec<Safety>,
+    /// Maintained places with their exact safety and home cell.
+    pub maintained: Vec<(Place, Safety, CellId)>,
+    /// The DecHash contents.
+    pub dechash: Vec<(UnitId, CellId)>,
+}
+
+/// Errors raised while reading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file contents.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Parse { line, message } => {
+                write!(f, "checkpoint parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+const HEADER: &str = "#ctup-checkpoint v1";
+
+fn err(line: usize, message: impl Into<String>) -> CheckpointError {
+    CheckpointError::Parse { line, message: message.into() }
+}
+
+/// A line reader that tracks line numbers.
+struct Lines<R: BufRead> {
+    inner: R,
+    line_no: usize,
+    buf: String,
+}
+
+impl<R: BufRead> Lines<R> {
+    fn next(&mut self) -> Result<&str, CheckpointError> {
+        self.buf.clear();
+        self.line_no += 1;
+        let n = self.inner.read_line(&mut self.buf)?;
+        if n == 0 {
+            return Err(err(self.line_no, "unexpected end of file"));
+        }
+        Ok(self.buf.trim_end())
+    }
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint to `w`.
+    pub fn write<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "{HEADER}")?;
+        match self.config.mode {
+            QueryMode::TopK(k) => writeln!(w, "mode topk {k}")?,
+            QueryMode::Threshold(tau) => writeln!(w, "mode threshold {tau}")?,
+        }
+        writeln!(
+            w,
+            "config {} {} {} {}",
+            self.config.protection_radius,
+            self.config.delta,
+            self.config.doo_enabled as u8,
+            self.config.purge_dechash_on_access as u8
+        )?;
+        writeln!(w, "units {}", self.unit_positions.len())?;
+        for p in &self.unit_positions {
+            writeln!(w, "{} {}", p.x, p.y)?;
+        }
+        writeln!(w, "lbs {}", self.lower_bounds.len())?;
+        for lb in &self.lower_bounds {
+            writeln!(w, "{lb}")?;
+        }
+        writeln!(w, "maintained {}", self.maintained.len())?;
+        for (place, safety, cell) in &self.maintained {
+            match &place.extent {
+                None => writeln!(
+                    w,
+                    "{} {} {} {} {} {}",
+                    place.id.0, place.pos.x, place.pos.y, place.rp, safety, cell.0
+                )?,
+                Some(r) => writeln!(
+                    w,
+                    "{} {} {} {} {} {} {} {} {} {}",
+                    place.id.0,
+                    place.pos.x,
+                    place.pos.y,
+                    place.rp,
+                    safety,
+                    cell.0,
+                    r.lo.x,
+                    r.lo.y,
+                    r.hi.x,
+                    r.hi.y
+                )?,
+            }
+        }
+        writeln!(w, "dechash {}", self.dechash.len())?;
+        for (unit, cell) in &self.dechash {
+            writeln!(w, "{} {}", unit.0, cell.0)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a checkpoint from `r`.
+    pub fn read<R: BufRead>(r: R) -> Result<Self, CheckpointError> {
+        let mut lines = Lines { inner: r, line_no: 0, buf: String::new() };
+
+        let header = lines.next()?.to_string();
+        if header != HEADER {
+            return Err(err(lines.line_no, format!("bad header {header:?}")));
+        }
+
+        // mode
+        let line_no = lines.line_no + 1;
+        let mode_line = lines.next()?.to_string();
+        let mode_fields: Vec<&str> = mode_line.split_ascii_whitespace().collect();
+        let mode = match mode_fields.as_slice() {
+            ["mode", "topk", k] => QueryMode::TopK(
+                k.parse().map_err(|e| err(line_no, format!("bad k: {e}")))?,
+            ),
+            ["mode", "threshold", tau] => QueryMode::Threshold(
+                tau.parse().map_err(|e| err(line_no, format!("bad threshold: {e}")))?,
+            ),
+            _ => return Err(err(line_no, "expected `mode topk <k>` or `mode threshold <t>`")),
+        };
+
+        // config
+        let line_no = lines.line_no + 1;
+        let config_line = lines.next()?.to_string();
+        let config_fields: Vec<&str> = config_line.split_ascii_whitespace().collect();
+        let config = match config_fields.as_slice() {
+            ["config", radius, delta, doo, purge] => CtupConfig {
+                mode,
+                protection_radius: radius
+                    .parse()
+                    .map_err(|e| err(line_no, format!("bad radius: {e}")))?,
+                delta: delta.parse().map_err(|e| err(line_no, format!("bad delta: {e}")))?,
+                doo_enabled: *doo == "1",
+                purge_dechash_on_access: *purge == "1",
+            },
+            _ => return Err(err(line_no, "expected `config <radius> <delta> <doo> <purge>`")),
+        };
+
+        let parse_count = |lines: &mut Lines<R>, tag: &str| -> Result<usize, CheckpointError> {
+            let line_no = lines.line_no + 1;
+            let line = lines.next()?.to_string();
+            let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+            match fields.as_slice() {
+                [t, n] if *t == tag => {
+                    n.parse().map_err(|e| err(line_no, format!("bad {tag} count: {e}")))
+                }
+                _ => Err(err(line_no, format!("expected `{tag} <count>`"))),
+            }
+        };
+
+        let n_units = parse_count(&mut lines, "units")?;
+        let mut unit_positions = Vec::with_capacity(n_units);
+        for _ in 0..n_units {
+            let line_no = lines.line_no + 1;
+            let line = lines.next()?.to_string();
+            let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+            if fields.len() != 2 {
+                return Err(err(line_no, "expected `<x> <y>`"));
+            }
+            let x = fields[0].parse().map_err(|e| err(line_no, format!("bad x: {e}")))?;
+            let y = fields[1].parse().map_err(|e| err(line_no, format!("bad y: {e}")))?;
+            unit_positions.push(Point::new(x, y));
+        }
+
+        let n_lbs = parse_count(&mut lines, "lbs")?;
+        let mut lower_bounds = Vec::with_capacity(n_lbs);
+        for _ in 0..n_lbs {
+            let line_no = lines.line_no + 1;
+            let lb = lines
+                .next()?
+                .parse()
+                .map_err(|e| err(line_no, format!("bad lower bound: {e}")))?;
+            lower_bounds.push(lb);
+        }
+
+        let n_maintained = parse_count(&mut lines, "maintained")?;
+        let mut maintained = Vec::with_capacity(n_maintained);
+        for _ in 0..n_maintained {
+            let line_no = lines.line_no + 1;
+            let line = lines.next()?.to_string();
+            let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+            if fields.len() != 6 && fields.len() != 10 {
+                return Err(err(line_no, "expected 6 or 10 fields for a maintained place"));
+            }
+            let parse_f = |s: &str| -> Result<f64, CheckpointError> {
+                s.parse().map_err(|e| err(line_no, format!("bad number {s:?}: {e}")))
+            };
+            let id: u32 =
+                fields[0].parse().map_err(|e| err(line_no, format!("bad id: {e}")))?;
+            let pos = Point::new(parse_f(fields[1])?, parse_f(fields[2])?);
+            let rp: u32 =
+                fields[3].parse().map_err(|e| err(line_no, format!("bad rp: {e}")))?;
+            let safety: Safety =
+                fields[4].parse().map_err(|e| err(line_no, format!("bad safety: {e}")))?;
+            let cell: u32 =
+                fields[5].parse().map_err(|e| err(line_no, format!("bad cell: {e}")))?;
+            let place = if fields.len() == 10 {
+                let lo = Point::new(parse_f(fields[6])?, parse_f(fields[7])?);
+                let hi = Point::new(parse_f(fields[8])?, parse_f(fields[9])?);
+                if lo.x > hi.x || lo.y > hi.y {
+                    return Err(err(line_no, "extent corners out of order"));
+                }
+                Place::extended(PlaceId(id), pos, rp, Rect::new(lo, hi))
+            } else {
+                Place::point(PlaceId(id), pos, rp)
+            };
+            maintained.push((place, safety, CellId(cell)));
+        }
+
+        let n_dechash = parse_count(&mut lines, "dechash")?;
+        let mut dechash = Vec::with_capacity(n_dechash);
+        for _ in 0..n_dechash {
+            let line_no = lines.line_no + 1;
+            let line = lines.next()?.to_string();
+            let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+            if fields.len() != 2 {
+                return Err(err(line_no, "expected `<unit> <cell>`"));
+            }
+            let unit: u32 =
+                fields[0].parse().map_err(|e| err(line_no, format!("bad unit: {e}")))?;
+            let cell: u32 =
+                fields[1].parse().map_err(|e| err(line_no, format!("bad cell: {e}")))?;
+            dechash.push((UnitId(unit), CellId(cell)));
+        }
+
+        Ok(Checkpoint { config, unit_positions, lower_bounds, maintained, dechash })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            config: CtupConfig::with_k(7),
+            unit_positions: vec![Point::new(0.25, 0.5), Point::new(0.75, 0.125)],
+            lower_bounds: vec![-3, crate::types::LB_NONE, 0, 5],
+            maintained: vec![
+                (Place::point(PlaceId(4), Point::new(0.1, 0.2), 3), -2, CellId(0)),
+                (
+                    Place::extended(
+                        PlaceId(9),
+                        Point::new(0.6, 0.6),
+                        1,
+                        Rect::from_coords(0.55, 0.55, 0.65, 0.65),
+                    ),
+                    1,
+                    CellId(3),
+                ),
+            ],
+            dechash: vec![(UnitId(0), CellId(2)), (UnitId(1), CellId(0))],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let cp = sample();
+        let mut buf = Vec::new();
+        cp.write(&mut buf).unwrap();
+        let restored = Checkpoint::read(buf.as_slice()).unwrap();
+        assert_eq!(restored, cp);
+    }
+
+    #[test]
+    fn threshold_mode_roundtrip() {
+        let cp = Checkpoint {
+            config: CtupConfig {
+                mode: QueryMode::Threshold(-4),
+                doo_enabled: false,
+                ..CtupConfig::paper_default()
+            },
+            ..sample()
+        };
+        let mut buf = Vec::new();
+        cp.write(&mut buf).unwrap();
+        assert_eq!(Checkpoint::read(buf.as_slice()).unwrap(), cp);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let cp = sample();
+        let mut buf = Vec::new();
+        cp.write(&mut buf).unwrap();
+        for cut in [0, 5, buf.len() / 2, buf.len() - 2] {
+            let res = Checkpoint::read(&buf[..cut]);
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_fields() {
+        let cp = sample();
+        let mut buf = Vec::new();
+        cp.write(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let corrupted = text.replacen("mode topk 7", "mode topk x", 1);
+        assert!(Checkpoint::read(corrupted.as_bytes()).is_err());
+        let corrupted = text.replacen(HEADER, "#wrong", 1);
+        assert!(Checkpoint::read(corrupted.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,540 @@
+//! Decaying protection (future work #2): "the protection of a unit to a
+//! place can be modeled as a decaying function, i.e. the farther away, the
+//! less protected."
+//!
+//! Protection becomes `AP(p) = Σ_u w(dist(u, p))` for a monotone
+//! non-increasing kernel `w` with bounded support, and safeties become
+//! reals. The grid machinery generalizes: when a unit moves from `old` to
+//! `new`, any place in cell `C` changes by at least
+//! `w(maxdist(new, C)) − w(mindist(old, C))`, which is the sound per-cell
+//! lower-bound delta. The Δ slack and access loop carry over; DOO does not
+//! (contributions are no longer 0/1), which is why this module exists as a
+//! separate monitor rather than a mode of `OptCtup`.
+
+use crate::types::{Place, PlaceId};
+use ctup_spatial::{CellId, Circle, Grid, Point, UnitGridIndex};
+use ctup_storage::PlaceStore;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// `f64` with the total order, usable as a BTree key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TotalF64(f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A monotone non-increasing protection kernel with bounded support.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecayKernel {
+    /// The paper's original 0/1 model: weight 1 within `radius`, else 0.
+    Step {
+        /// Protection range.
+        radius: f64,
+    },
+    /// Linear decay: `w(d) = max(0, 1 − d/radius)`.
+    Cone {
+        /// Distance at which protection reaches zero.
+        radius: f64,
+    },
+    /// Gaussian decay truncated at `cutoff`: `w(d) = exp(−d²/2σ²)` for
+    /// `d ≤ cutoff`, else 0.
+    Gaussian {
+        /// Standard deviation of the bell.
+        sigma: f64,
+        /// Hard support cutoff.
+        cutoff: f64,
+    },
+}
+
+impl DecayKernel {
+    /// The protection weight at distance `d`.
+    pub fn weight(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0);
+        match *self {
+            DecayKernel::Step { radius } => {
+                if d <= radius {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            DecayKernel::Cone { radius } => (1.0 - d / radius).max(0.0),
+            DecayKernel::Gaussian { sigma, cutoff } => {
+                if d <= cutoff {
+                    (-d * d / (2.0 * sigma * sigma)).exp()
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Distance beyond which the weight is zero.
+    pub fn support(&self) -> f64 {
+        match *self {
+            DecayKernel::Step { radius } | DecayKernel::Cone { radius } => radius,
+            DecayKernel::Gaussian { cutoff, .. } => cutoff,
+        }
+    }
+}
+
+/// What the decayed monitor reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecayMode {
+    /// The `k` places with the smallest decayed safeties.
+    TopK(usize),
+    /// All places with decayed safety below the bound.
+    Threshold(f64),
+}
+
+/// One entry of the decayed result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayEntry {
+    /// The place.
+    pub place: PlaceId,
+    /// Its decayed safety `Σ w(dist) − RP`.
+    pub safety: f64,
+}
+
+/// Configuration of [`DecayCtup`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayConfig {
+    /// The protection kernel.
+    pub kernel: DecayKernel,
+    /// Query mode.
+    pub mode: DecayMode,
+    /// Anti-flashing slack, the analogue of the paper's `Δ` in safety
+    /// units.
+    pub delta: f64,
+}
+
+/// Brute-force ground truth for the decayed model.
+#[derive(Debug, Clone)]
+pub struct DecayOracle {
+    places: Vec<Place>,
+    kernel: DecayKernel,
+}
+
+impl DecayOracle {
+    /// Creates the oracle.
+    pub fn new(places: Vec<Place>, kernel: DecayKernel) -> Self {
+        DecayOracle { places, kernel }
+    }
+
+    /// Exact decayed safety of one place.
+    pub fn safety_of(&self, place: &Place, units: &[Point]) -> f64 {
+        let ap: f64 = units.iter().map(|u| self.kernel.weight(u.dist(place.pos))).sum();
+        ap - place.rp as f64
+    }
+
+    /// The exact result under `mode`, sorted by `(safety, id)`.
+    pub fn result(&self, units: &[Point], mode: DecayMode) -> Vec<DecayEntry> {
+        let mut entries: Vec<DecayEntry> = self
+            .places
+            .iter()
+            .map(|p| DecayEntry { place: p.id, safety: self.safety_of(p, units) })
+            .collect();
+        entries.sort_by(|a, b| a.safety.total_cmp(&b.safety).then(a.place.cmp(&b.place)));
+        match mode {
+            DecayMode::TopK(k) => {
+                entries.truncate(k);
+                entries
+            }
+            DecayMode::Threshold(tau) => {
+                entries.retain(|e| e.safety < tau);
+                entries
+            }
+        }
+    }
+}
+
+struct MaintainedDecay {
+    place: Place,
+    safety: f64,
+}
+
+/// The grid-based continuous monitor for the decayed model.
+pub struct DecayCtup {
+    config: DecayConfig,
+    store: Arc<dyn PlaceStore>,
+    grid: Grid,
+    positions: Vec<Point>,
+    index: UnitGridIndex<u32>,
+    lbs: Vec<f64>,
+    lb_order: BTreeSet<(TotalF64, CellId)>,
+    maintained: HashMap<PlaceId, MaintainedDecay>,
+    by_cell: HashMap<CellId, Vec<PlaceId>>,
+    ordered: BTreeSet<(TotalF64, PlaceId)>,
+    /// Cells accessed since construction (diagnostics).
+    pub cells_accessed: u64,
+}
+
+impl DecayCtup {
+    /// Builds the monitor and initializes it (exact per-cell bounds, then
+    /// accesses in increasing bound order).
+    pub fn new(config: DecayConfig, store: Arc<dyn PlaceStore>, initial_units: &[Point]) -> Self {
+        assert!(config.kernel.support() > 0.0, "kernel must have positive support");
+        assert!(config.delta >= 0.0, "delta must be non-negative");
+        if let DecayMode::TopK(k) = config.mode {
+            assert!(k > 0, "k must be at least 1");
+        }
+        let grid = store.grid().clone();
+        let mut index = UnitGridIndex::new(grid.clone());
+        for (i, &p) in initial_units.iter().enumerate() {
+            index.insert(i as u32, p);
+        }
+        let num_cells = grid.num_cells();
+        let mut this = DecayCtup {
+            config,
+            store,
+            grid,
+            positions: initial_units.to_vec(),
+            index,
+            lbs: vec![f64::INFINITY; num_cells],
+            lb_order: (0..num_cells)
+                .map(|i| (TotalF64(f64::INFINITY), CellId(i as u32)))
+                .collect(),
+            maintained: HashMap::new(),
+            by_cell: HashMap::new(),
+            ordered: BTreeSet::new(),
+            cells_accessed: 0,
+        };
+        // Exact bounds per cell.
+        for cell in this.grid.cells() {
+            let records = this.store.read_cell(cell).into_owned();
+            let mut min = f64::INFINITY;
+            for record in &records {
+                min = min.min(this.safety_of(record));
+            }
+            this.set_lb(cell, min);
+        }
+        this.access_loop();
+        this
+    }
+
+    /// Exact decayed safety from the unit index.
+    fn safety_of(&self, place: &Place) -> f64 {
+        let mut ap = 0.0;
+        let probe = Circle::new(place.pos, self.config.kernel.support());
+        self.index.for_each_within(&probe, |_, unit_pos| {
+            ap += self.config.kernel.weight(unit_pos.dist(place.pos));
+        });
+        ap - place.rp as f64
+    }
+
+    fn set_lb(&mut self, cell: CellId, lb: f64) {
+        let old = self.lbs[cell.index()];
+        if old.total_cmp(&lb).is_eq() {
+            return;
+        }
+        let removed = self.lb_order.remove(&(TotalF64(old), cell));
+        debug_assert!(removed);
+        self.lb_order.insert((TotalF64(lb), cell));
+        self.lbs[cell.index()] = lb;
+    }
+
+    fn sk_eff(&self) -> f64 {
+        match self.config.mode {
+            DecayMode::TopK(k) => self
+                .ordered
+                .iter()
+                .nth(k - 1)
+                .map(|&(TotalF64(s), _)| s)
+                .unwrap_or(f64::INFINITY),
+            DecayMode::Threshold(tau) => tau,
+        }
+    }
+
+    fn remove_cell_places(&mut self, cell: CellId) {
+        if let Some(ids) = self.by_cell.remove(&cell) {
+            for id in ids {
+                let entry = self.maintained.remove(&id).expect("by_cell out of sync");
+                self.ordered.remove(&(TotalF64(entry.safety), id));
+            }
+        }
+    }
+
+    fn access_cell(&mut self, cell: CellId) {
+        self.cells_accessed += 1;
+        self.remove_cell_places(cell);
+        let records = self.store.read_cell(cell).into_owned();
+        for record in records {
+            let safety = self.safety_of(&record);
+            let id = record.id;
+            self.ordered.insert((TotalF64(safety), id));
+            self.by_cell.entry(cell).or_default().push(id);
+            self.maintained.insert(id, MaintainedDecay { place: record, safety });
+        }
+        // Never evict at or below SK itself (with Δ = 0 that would evict
+        // the k-th place and loop forever re-accessing the cell).
+        let sk = self.sk_eff();
+        let keep_below = sk + self.config.delta;
+        let mut lb = f64::INFINITY;
+        if let Some(ids) = self.by_cell.remove(&cell) {
+            let mut kept = Vec::new();
+            for id in ids {
+                let safety = self.maintained[&id].safety;
+                if safety >= keep_below && safety > sk {
+                    let entry = self.maintained.remove(&id).expect("present");
+                    self.ordered.remove(&(TotalF64(entry.safety), id));
+                    lb = lb.min(safety);
+                } else {
+                    kept.push(id);
+                }
+            }
+            if !kept.is_empty() {
+                self.by_cell.insert(cell, kept);
+            }
+        }
+        self.set_lb(cell, lb);
+    }
+
+    fn access_loop(&mut self) -> u64 {
+        let mut count = 0;
+        loop {
+            let sk = self.sk_eff();
+            match self.lb_order.first() {
+                Some(&(TotalF64(lb0), cell)) if lb0 < sk => {
+                    self.access_cell(cell);
+                    count += 1;
+                }
+                _ => break,
+            }
+        }
+        count
+    }
+
+    /// Processes one location update; returns the number of cells accessed.
+    pub fn handle_update(&mut self, unit: u32, new: Point) -> u64 {
+        let old = self.positions[unit as usize];
+        self.index.relocate(unit, old, new);
+        self.positions[unit as usize] = new;
+        let kernel = self.config.kernel;
+        let support = kernel.support();
+
+        // Step 1: exact maintained safeties.
+        let mut changes = Vec::new();
+        for (&id, entry) in self.maintained.iter_mut() {
+            let dw = kernel.weight(new.dist(entry.place.pos))
+                - kernel.weight(old.dist(entry.place.pos));
+            if dw != 0.0 {
+                changes.push((id, entry.safety, entry.safety + dw));
+                entry.safety += dw;
+            }
+        }
+        for (id, before, after) in changes {
+            let removed = self.ordered.remove(&(TotalF64(before), id));
+            debug_assert!(removed);
+            self.ordered.insert((TotalF64(after), id));
+        }
+
+        // Step 2: sound lower-bound deltas.
+        let old_region = Circle::new(old, support);
+        let new_region = Circle::new(new, support);
+        let cells = crate::cells::touched_cells(&self.grid, &old_region, &new_region);
+        for cell in cells {
+            let lb = self.lbs[cell.index()];
+            if lb == f64::INFINITY {
+                continue; // no non-maintained places in the cell
+            }
+            let rect = self.grid.cell_rect(cell);
+            let max_loss = kernel.weight(rect.min_dist2(old).sqrt());
+            let min_gain = kernel.weight(rect.max_dist2(new).sqrt());
+            let delta = min_gain - max_loss;
+            if delta != 0.0 {
+                self.set_lb(cell, lb + delta);
+            }
+        }
+
+        // Step 3: access cells whose bound fell below SK.
+        self.access_loop()
+    }
+
+    /// The current result, sorted by `(safety, id)`.
+    pub fn result(&self) -> Vec<DecayEntry> {
+        let take: Box<dyn Iterator<Item = &(TotalF64, PlaceId)>> = match self.config.mode {
+            DecayMode::TopK(k) => Box::new(self.ordered.iter().take(k)),
+            DecayMode::Threshold(tau) => {
+                Box::new(self.ordered.iter().take_while(move |&&(TotalF64(s), _)| s < tau))
+            }
+        };
+        take.map(|&(TotalF64(safety), place)| DecayEntry { place, safety }).collect()
+    }
+
+    /// Number of maintained places.
+    pub fn maintained_places(&self) -> usize {
+        self.maintained.len()
+    }
+
+    /// Asserts the soundness invariant `lb(C) ≤ fsafety(p) + tol` for every
+    /// non-maintained place; test/diagnostic use.
+    pub fn check_lb_invariant(&self, tol: f64) {
+        for cell in self.grid.cells() {
+            let lb = self.lbs[cell.index()];
+            if lb == f64::INFINITY {
+                continue;
+            }
+            for record in self.store.read_cell(cell).iter() {
+                if self.maintained.contains_key(&record.id) {
+                    continue;
+                }
+                let truth = self.safety_of(record);
+                assert!(
+                    lb <= truth + tol,
+                    "cell {cell:?}: lb {lb} exceeds decayed safety {truth} of {:?}",
+                    record.id
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctup_spatial::Grid;
+    use ctup_storage::CellLocalStore;
+
+    #[test]
+    fn kernels_are_monotone_and_bounded() {
+        let kernels = [
+            DecayKernel::Step { radius: 0.1 },
+            DecayKernel::Cone { radius: 0.2 },
+            DecayKernel::Gaussian { sigma: 0.05, cutoff: 0.2 },
+        ];
+        for kernel in kernels {
+            let mut prev = f64::INFINITY;
+            for i in 0..=100 {
+                let d = i as f64 * 0.004;
+                let w = kernel.weight(d);
+                assert!((0.0..=1.0).contains(&w), "{kernel:?} at {d}: {w}");
+                assert!(w <= prev + 1e-12, "{kernel:?} not monotone at {d}");
+                prev = w;
+            }
+            assert_eq!(kernel.weight(kernel.support() + 1e-9), 0.0);
+        }
+    }
+
+    fn place_set() -> Vec<Place> {
+        let mut places = Vec::new();
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                places.push(Place::point(
+                    PlaceId(i * 6 + j),
+                    Point::new(i as f64 / 6.0 + 0.08, j as f64 / 6.0 + 0.08),
+                    1 + (i * j) % 3,
+                ));
+            }
+        }
+        places
+    }
+
+    fn assert_results_match(got: &[DecayEntry], want: &[DecayEntry], tol: f64) {
+        assert_eq!(got.len(), want.len(), "got {got:?}\nwant {want:?}");
+        for (g, w) in got.iter().zip(want) {
+            assert!(
+                (g.safety - w.safety).abs() <= tol,
+                "safety mismatch: got {got:?}\nwant {want:?}"
+            );
+        }
+    }
+
+    fn run(kernel: DecayKernel, mode: DecayMode, steps: usize, seed: u64) {
+        let places = place_set();
+        let oracle = DecayOracle::new(places.clone(), kernel);
+        let store: Arc<dyn PlaceStore> =
+            Arc::new(CellLocalStore::build(Grid::unit_square(6), places));
+        let mut units: Vec<Point> =
+            (0..8).map(|i| Point::new(0.1 + 0.1 * i as f64, 0.45)).collect();
+        let config = DecayConfig { kernel, mode, delta: 0.5 };
+        let mut monitor = DecayCtup::new(config, store, &units);
+        assert_results_match(&monitor.result(), &oracle.result(&units, mode), 1e-9);
+
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for step in 0..steps {
+            let unit = (next() * 8.0) as usize % 8;
+            let new = Point::new(next(), next());
+            monitor.handle_update(unit as u32, new);
+            units[unit] = new;
+            assert_results_match(&monitor.result(), &oracle.result(&units, mode), 1e-6);
+            if step % 40 == 0 {
+                monitor.check_lb_invariant(1e-6);
+            }
+        }
+        monitor.check_lb_invariant(1e-6);
+    }
+
+    #[test]
+    fn cone_kernel_tracks_oracle_topk() {
+        run(DecayKernel::Cone { radius: 0.15 }, DecayMode::TopK(5), 150, 0x11);
+    }
+
+    #[test]
+    fn gaussian_kernel_tracks_oracle_topk() {
+        run(
+            DecayKernel::Gaussian { sigma: 0.06, cutoff: 0.2 },
+            DecayMode::TopK(4),
+            150,
+            0x22,
+        );
+    }
+
+    #[test]
+    fn step_kernel_reduces_to_integer_model() {
+        run(DecayKernel::Step { radius: 0.1 }, DecayMode::TopK(5), 100, 0x33);
+    }
+
+    #[test]
+    fn threshold_mode_tracks_oracle() {
+        run(DecayKernel::Cone { radius: 0.2 }, DecayMode::Threshold(-0.5), 100, 0x44);
+    }
+
+    #[test]
+    fn larger_delta_buys_fewer_accesses() {
+        // Under continuous jiggling the per-cell bound loses up to
+        // w(mindist) − w(maxdist) per update; a larger Δ slack lets the
+        // bound absorb more updates between accesses.
+        let run_with_delta = |delta: f64| {
+            let places = place_set();
+            let store: Arc<dyn PlaceStore> =
+                Arc::new(CellLocalStore::build(Grid::unit_square(6), places));
+            let units: Vec<Point> =
+                (0..8).map(|i| Point::new(0.1 + 0.1 * i as f64, 0.45)).collect();
+            let config = DecayConfig {
+                kernel: DecayKernel::Cone { radius: 0.15 },
+                mode: DecayMode::TopK(5),
+                delta,
+            };
+            let mut monitor = DecayCtup::new(config, store, &units);
+            let before = monitor.cells_accessed;
+            for i in 0..100 {
+                monitor.handle_update(0, Point::new(0.1 + 1e-7 * i as f64, 0.45));
+            }
+            monitor.cells_accessed - before
+        };
+        let tight = run_with_delta(0.05);
+        let slack = run_with_delta(3.0);
+        assert!(
+            slack < tight,
+            "delta=3.0 accessed {slack} cells, delta=0.05 accessed {tight}"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! The paper's future-work extensions (§VII), all implemented:
+//!
+//! 1. **Places with extent** — built directly into the protection
+//!    predicate ([`crate::types::protects`]) and the margin-aware cell
+//!    classification ([`crate::cells::classify_with_margin`]); every
+//!    algorithm in this crate handles extended places transparently.
+//! 2. **Decaying protection** — [`decay`]: protection as a monotone
+//!    decreasing kernel of distance instead of a 0/1 indicator.
+//! 3. **Threshold monitoring** — [`threshold`]: report *all* places with
+//!    safety below a threshold instead of the top-k.
+//! 4. **Prediction** — [`predict`]: dead-reckon unit trajectories and
+//!    answer snapshot CTUP queries about the near future.
+
+pub mod decay;
+pub mod predict;
+pub mod threshold;

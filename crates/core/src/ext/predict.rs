@@ -1,0 +1,192 @@
+//! Predictive CTUP (future work #4): "instead of monitoring, the user may
+//! want the system to continuously predict the unsafe places in the near
+//! future."
+//!
+//! Units stream positions; a [`VelocityTracker`] estimates each unit's
+//! velocity from its last two reports (dead reckoning), and
+//! [`PredictiveCtup`] answers snapshot top-k/threshold queries against the
+//! extrapolated positions.
+
+use crate::config::QueryMode;
+use crate::oracle::Oracle;
+use crate::types::{LocationUpdate, Place, TopKEntry, UnitId};
+use ctup_spatial::{Point, Rect};
+use ctup_storage::PlaceStore;
+
+/// Dead-reckoning velocity estimates from consecutive location reports.
+///
+/// Velocities are expressed per report interval: a horizon of `h` predicts
+/// `pos + h · (pos − previous_pos)`.
+#[derive(Debug, Clone)]
+pub struct VelocityTracker {
+    current: Vec<Point>,
+    previous: Vec<Option<Point>>,
+}
+
+impl VelocityTracker {
+    /// Starts tracking with every unit at its initial position and no
+    /// velocity information.
+    pub fn new(initial: &[Point]) -> Self {
+        VelocityTracker { current: initial.to_vec(), previous: vec![None; initial.len()] }
+    }
+
+    /// Number of tracked units.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Whether no units are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Ingests one location update.
+    pub fn observe(&mut self, update: LocationUpdate) {
+        let i = update.unit.index();
+        self.previous[i] = Some(self.current[i]);
+        self.current[i] = update.new;
+    }
+
+    /// Current position of a unit.
+    pub fn position(&self, unit: UnitId) -> Point {
+        self.current[unit.index()]
+    }
+
+    /// Estimated velocity (displacement per report) of a unit; zero before
+    /// the second report.
+    pub fn velocity(&self, unit: UnitId) -> (f64, f64) {
+        match self.previous[unit.index()] {
+            Some(prev) => {
+                let cur = self.current[unit.index()];
+                (cur.x - prev.x, cur.y - prev.y)
+            }
+            None => (0.0, 0.0),
+        }
+    }
+
+    /// Positions extrapolated `horizon` report-intervals ahead, clamped to
+    /// `space`.
+    pub fn predicted_positions(&self, horizon: f64, space: &Rect) -> Vec<Point> {
+        (0..self.current.len())
+            .map(|i| {
+                let unit = UnitId(i as u32);
+                let pos = self.current[i];
+                let (vx, vy) = self.velocity(unit);
+                Point::new(
+                    (pos.x + vx * horizon).clamp(space.lo.x, space.hi.x),
+                    (pos.y + vy * horizon).clamp(space.lo.y, space.hi.y),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Snapshot CTUP queries over predicted unit positions.
+pub struct PredictiveCtup {
+    oracle: Oracle,
+    tracker: VelocityTracker,
+    space: Rect,
+    radius: f64,
+}
+
+impl PredictiveCtup {
+    /// Builds the predictor over the full place set of `store`.
+    pub fn new(store: &dyn PlaceStore, initial_units: &[Point], radius: f64) -> Self {
+        assert!(radius > 0.0);
+        PredictiveCtup {
+            oracle: Oracle::from_store(store),
+            tracker: VelocityTracker::new(initial_units),
+            space: *store.grid().space(),
+            radius,
+        }
+    }
+
+    /// Ingests one location update (keeps velocity estimates fresh).
+    pub fn observe(&mut self, update: LocationUpdate) {
+        self.tracker.observe(update);
+    }
+
+    /// The velocity tracker.
+    pub fn tracker(&self) -> &VelocityTracker {
+        &self.tracker
+    }
+
+    /// The places predicted to be unsafe `horizon` report-intervals from
+    /// now: the exact result of the query evaluated on extrapolated unit
+    /// positions. `horizon = 0` queries the present.
+    pub fn predict(&self, horizon: f64, mode: QueryMode) -> Vec<TopKEntry> {
+        let predicted = self.tracker.predicted_positions(horizon, &self.space);
+        self.oracle.result(&predicted, self.radius, mode)
+    }
+
+    /// The place set used for prediction.
+    pub fn places(&self) -> &[Place] {
+        self.oracle.places()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PlaceId;
+    use ctup_spatial::Grid;
+    use ctup_storage::CellLocalStore;
+
+    fn store() -> CellLocalStore {
+        let places = vec![
+            Place::point(PlaceId(0), Point::new(0.2, 0.5), 1),
+            Place::point(PlaceId(1), Point::new(0.8, 0.5), 1),
+        ];
+        CellLocalStore::build(Grid::unit_square(10), places)
+    }
+
+    #[test]
+    fn velocity_is_zero_before_second_report() {
+        let tracker = VelocityTracker::new(&[Point::new(0.5, 0.5)]);
+        assert_eq!(tracker.velocity(UnitId(0)), (0.0, 0.0));
+        assert_eq!(tracker.len(), 1);
+    }
+
+    #[test]
+    fn velocity_follows_last_displacement() {
+        let mut tracker = VelocityTracker::new(&[Point::new(0.5, 0.5)]);
+        tracker.observe(LocationUpdate { unit: UnitId(0), new: Point::new(0.6, 0.5) });
+        let (vx, vy) = tracker.velocity(UnitId(0));
+        assert!((vx - 0.1).abs() < 1e-12);
+        assert_eq!(vy, 0.0);
+        let space = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let predicted = tracker.predicted_positions(2.0, &space);
+        assert!((predicted[0].x - 0.8).abs() < 1e-9);
+        // Clamping at the space boundary.
+        let far = tracker.predicted_positions(10.0, &space);
+        assert_eq!(far[0].x, 1.0);
+    }
+
+    #[test]
+    fn predicts_future_unsafe_place() {
+        let st = store();
+        // Unit starts at place 0 and moves towards place 1.
+        let mut pred = PredictiveCtup::new(&st, &[Point::new(0.2, 0.5)], 0.1);
+        pred.observe(LocationUpdate { unit: UnitId(0), new: Point::new(0.35, 0.5) });
+        // Now: neither place protected (unit at 0.35 is 0.15 from place 0).
+        let now = pred.predict(0.0, QueryMode::TopK(1));
+        assert_eq!(now[0].safety, -1);
+        // In three more reports the unit reaches 0.8: place 1 protected,
+        // place 0 is the predicted unsafe one.
+        let future = pred.predict(3.0, QueryMode::TopK(2));
+        assert_eq!(future[0].place, PlaceId(0));
+        assert_eq!(future[0].safety, -1);
+        assert_eq!(future[1].place, PlaceId(1));
+        assert_eq!(future[1].safety, 0);
+    }
+
+    #[test]
+    fn zero_horizon_matches_current_truth() {
+        let st = store();
+        let units = vec![Point::new(0.8, 0.5)];
+        let pred = PredictiveCtup::new(&st, &units, 0.1);
+        let got = pred.predict(0.0, QueryMode::TopK(2));
+        let oracle = Oracle::from_store(&st);
+        oracle.assert_result_matches(&got, &units, 0.1, QueryMode::TopK(2));
+    }
+}

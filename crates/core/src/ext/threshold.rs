@@ -1,0 +1,144 @@
+//! Threshold monitoring (future work #3): continuously report **all**
+//! places with `safety < τ`.
+//!
+//! The OptCTUP machinery carries over unchanged with `SK` replaced by the
+//! constant `τ`: cells whose lower bound falls below `τ` are accessed, and
+//! places with `safety < τ + Δ` stay maintained so near-threshold places do
+//! not cause flashing.
+
+use crate::algorithm::{CtupAlgorithm, UpdateStats};
+use crate::config::{CtupConfig, QueryMode};
+use crate::opt::OptCtup;
+use crate::types::{LocationUpdate, Safety, TopKEntry};
+use ctup_spatial::Point;
+use ctup_storage::PlaceStore;
+use std::sync::Arc;
+
+/// A continuous "all places below threshold" monitor.
+pub struct ThresholdMonitor {
+    inner: OptCtup,
+    threshold: Safety,
+}
+
+impl ThresholdMonitor {
+    /// Builds the monitor. `base` supplies radius and Δ; its query mode is
+    /// overridden with `Threshold(threshold)`.
+    pub fn new(
+        threshold: Safety,
+        base: CtupConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+    ) -> Self {
+        let config = CtupConfig { mode: QueryMode::Threshold(threshold), ..base };
+        ThresholdMonitor { inner: OptCtup::new(config, store, initial_units), threshold }
+    }
+
+    /// The monitored threshold `τ`.
+    pub fn threshold(&self) -> Safety {
+        self.threshold
+    }
+
+    /// Every place currently below the threshold, most unsafe first.
+    pub fn unsafe_places(&self) -> Vec<TopKEntry> {
+        self.inner.result()
+    }
+
+    /// Number of places currently below the threshold.
+    pub fn alarm_count(&self) -> usize {
+        self.inner.result().len()
+    }
+
+    /// Processes one location update.
+    pub fn handle_update(&mut self, update: LocationUpdate) -> UpdateStats {
+        self.inner.handle_update(update)
+    }
+
+    /// The underlying OptCTUP processor (metrics, diagnostics).
+    pub fn inner(&self) -> &OptCtup {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use crate::types::{Place, PlaceId, UnitId};
+    use ctup_spatial::Grid;
+    use ctup_storage::CellLocalStore;
+
+    fn setup(threshold: Safety) -> (ThresholdMonitor, Oracle, Vec<Point>) {
+        let mut places = Vec::new();
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                places.push(Place::point(
+                    PlaceId(i * 6 + j),
+                    Point::new(i as f64 / 6.0 + 0.08, j as f64 / 6.0 + 0.08),
+                    1 + (i + j) % 4,
+                ));
+            }
+        }
+        let oracle = Oracle::new(places.clone());
+        let store: Arc<dyn PlaceStore> =
+            Arc::new(CellLocalStore::build(Grid::unit_square(6), places));
+        let units: Vec<Point> =
+            (0..8).map(|i| Point::new(0.1 + 0.1 * i as f64, 0.5)).collect();
+        let monitor =
+            ThresholdMonitor::new(threshold, CtupConfig::paper_default(), store, &units);
+        (monitor, oracle, units)
+    }
+
+    #[test]
+    fn reports_exactly_the_places_below_threshold() {
+        let (monitor, oracle, units) = setup(-1);
+        oracle.assert_result_matches(
+            &monitor.unsafe_places(),
+            &units,
+            0.1,
+            QueryMode::Threshold(-1),
+        );
+        assert_eq!(monitor.alarm_count(), monitor.unsafe_places().len());
+        assert_eq!(monitor.threshold(), -1);
+    }
+
+    #[test]
+    fn tracks_oracle_through_updates() {
+        let (mut monitor, oracle, mut units) = setup(0);
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..150 {
+            let unit = (next() * 8.0) as usize % 8;
+            let new = Point::new(next(), next());
+            monitor.handle_update(LocationUpdate { unit: UnitId(unit as u32), new });
+            units[unit] = new;
+            oracle.assert_result_matches(
+                &monitor.unsafe_places(),
+                &units,
+                0.1,
+                QueryMode::Threshold(0),
+            );
+        }
+        monitor.inner().check_lb_invariant();
+    }
+
+    #[test]
+    fn extreme_thresholds() {
+        // Threshold below any reachable safety: nothing is reported.
+        let (monitor, _, _) = setup(-100);
+        assert_eq!(monitor.alarm_count(), 0);
+        // Threshold above everything: every place is reported.
+        let (monitor, oracle, units) = setup(100);
+        assert_eq!(monitor.alarm_count(), 36);
+        oracle.assert_result_matches(
+            &monitor.unsafe_places(),
+            &units,
+            0.1,
+            QueryMode::Threshold(100),
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! The lower-bound directory: per-cell lower bounds plus an ordering that
+//! yields dark cells in increasing lower-bound order.
+//!
+//! Both schemes repeatedly need "the dark cell with the smallest lower
+//! bound" (initialization illuminates in that order; updates access every
+//! cell with `lb < SK`, cheapest first so `SK` can tighten between
+//! accesses). Lower bounds change a handful of cells per update, so a
+//! `BTreeSet<(lb, cell)>` mirror of the flat array is the right trade.
+
+use crate::types::{Safety, LB_NONE};
+use ctup_spatial::CellId;
+use std::collections::BTreeSet;
+
+/// Per-cell lower bounds with ordered iteration.
+///
+/// Cells may be *detached* (BasicCTUP removes illuminated cells from the
+/// directory); detached cells keep no lower bound.
+#[derive(Debug, Clone)]
+pub struct LbDirectory {
+    lbs: Vec<Safety>,
+    attached: Vec<bool>,
+    ordered: BTreeSet<(Safety, CellId)>,
+}
+
+impl LbDirectory {
+    /// Creates a directory for `num_cells` cells, all attached with the
+    /// empty-cell bound [`LB_NONE`].
+    pub fn new(num_cells: usize) -> Self {
+        let mut ordered = BTreeSet::new();
+        for i in 0..num_cells {
+            ordered.insert((LB_NONE, CellId(i as u32)));
+        }
+        LbDirectory {
+            lbs: vec![LB_NONE; num_cells],
+            attached: vec![true; num_cells],
+            ordered,
+        }
+    }
+
+    /// Number of cells (attached or not).
+    pub fn num_cells(&self) -> usize {
+        self.lbs.len()
+    }
+
+    /// Whether `cell` is attached.
+    pub fn is_attached(&self, cell: CellId) -> bool {
+        self.attached[cell.index()]
+    }
+
+    /// The lower bound of an attached cell.
+    ///
+    /// # Panics
+    /// Panics in debug builds when the cell is detached.
+    pub fn get(&self, cell: CellId) -> Safety {
+        debug_assert!(self.attached[cell.index()], "{cell:?} is detached");
+        self.lbs[cell.index()]
+    }
+
+    /// Sets the lower bound of an attached cell.
+    pub fn set(&mut self, cell: CellId, lb: Safety) {
+        debug_assert!(self.attached[cell.index()], "{cell:?} is detached");
+        let old = self.lbs[cell.index()];
+        if old == lb {
+            return;
+        }
+        let removed = self.ordered.remove(&(old, cell));
+        debug_assert!(removed);
+        self.ordered.insert((lb, cell));
+        self.lbs[cell.index()] = lb;
+    }
+
+    /// Adds `delta` to the lower bound of an attached cell, saturating so
+    /// the [`LB_NONE`] sentinel is preserved, and returns the new value.
+    pub fn add(&mut self, cell: CellId, delta: Safety) -> Safety {
+        let old = self.get(cell);
+        let new = if old == LB_NONE { LB_NONE } else { old.saturating_add(delta) };
+        self.set(cell, new);
+        new
+    }
+
+    /// Detaches `cell` (BasicCTUP: the cell becomes illuminated).
+    pub fn detach(&mut self, cell: CellId) {
+        debug_assert!(self.attached[cell.index()], "{cell:?} already detached");
+        let removed = self.ordered.remove(&(self.lbs[cell.index()], cell));
+        debug_assert!(removed);
+        self.attached[cell.index()] = false;
+    }
+
+    /// Re-attaches `cell` with lower bound `lb` (BasicCTUP: darkening).
+    pub fn attach(&mut self, cell: CellId, lb: Safety) {
+        debug_assert!(!self.attached[cell.index()], "{cell:?} already attached");
+        self.attached[cell.index()] = true;
+        self.lbs[cell.index()] = lb;
+        self.ordered.insert((lb, cell));
+    }
+
+    /// The attached cell with the smallest lower bound.
+    pub fn first(&self) -> Option<(Safety, CellId)> {
+        self.ordered.first().copied()
+    }
+
+    /// Iterates attached cells in increasing lower-bound order.
+    pub fn iter_increasing(&self) -> impl Iterator<Item = (Safety, CellId)> + '_ {
+        self.ordered.iter().copied()
+    }
+
+    /// Checks internal consistency (mirror set matches the flat array);
+    /// used by tests.
+    pub fn check_invariants(&self) {
+        let mut count = 0;
+        for (i, (&lb, &attached)) in self.lbs.iter().zip(&self.attached).enumerate() {
+            if attached {
+                count += 1;
+                assert!(
+                    self.ordered.contains(&(lb, CellId(i as u32))),
+                    "cell {i} missing from ordered mirror"
+                );
+            }
+        }
+        assert_eq!(count, self.ordered.len(), "stale entries in ordered mirror");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_directory_is_all_lb_none() {
+        let d = LbDirectory::new(4);
+        for i in 0..4 {
+            assert_eq!(d.get(CellId(i)), LB_NONE);
+            assert!(d.is_attached(CellId(i)));
+        }
+        d.check_invariants();
+    }
+
+    #[test]
+    fn ordering_follows_lower_bounds() {
+        let mut d = LbDirectory::new(4);
+        d.set(CellId(0), -3);
+        d.set(CellId(1), 5);
+        d.set(CellId(2), -8);
+        let order: Vec<CellId> = d.iter_increasing().map(|(_, c)| c).collect();
+        assert_eq!(order, vec![CellId(2), CellId(0), CellId(1), CellId(3)]);
+        assert_eq!(d.first(), Some((-8, CellId(2))));
+        d.check_invariants();
+    }
+
+    #[test]
+    fn add_saturates_at_lb_none() {
+        let mut d = LbDirectory::new(2);
+        assert_eq!(d.add(CellId(0), -1), LB_NONE); // empty cell stays empty
+        d.set(CellId(0), 2);
+        assert_eq!(d.add(CellId(0), -3), -1);
+        assert_eq!(d.add(CellId(0), 1), 0);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn detach_and_attach_roundtrip() {
+        let mut d = LbDirectory::new(3);
+        d.set(CellId(1), -5);
+        d.detach(CellId(1));
+        assert!(!d.is_attached(CellId(1)));
+        assert_eq!(d.iter_increasing().count(), 2);
+        d.attach(CellId(1), -2);
+        assert_eq!(d.get(CellId(1)), -2);
+        assert_eq!(d.first(), Some((-2, CellId(1))));
+        d.check_invariants();
+    }
+
+    #[test]
+    fn set_same_value_is_noop() {
+        let mut d = LbDirectory::new(2);
+        d.set(CellId(0), 7);
+        d.set(CellId(0), 7);
+        assert_eq!(d.get(CellId(0)), 7);
+        d.check_invariants();
+    }
+}

@@ -1,0 +1,270 @@
+//! The higher-level set of maintained places shared by BasicCTUP (places of
+//! illuminated cells) and OptCTUP (selectively maintained unsafe places).
+//!
+//! Tracks, for each maintained place, its record, exact current safety and
+//! home cell; keeps a safety-ordered view for `SK`/top-k extraction and a
+//! per-cell index for illumination/darkening.
+
+use crate::config::QueryMode;
+use crate::topk::SafetyOrdered;
+use crate::types::{protects, Place, PlaceId, Safety, TopKEntry, LB_NONE};
+use ctup_spatial::{CellId, Point};
+use std::collections::HashMap;
+
+/// A place held in memory with its exact safety.
+#[derive(Debug, Clone)]
+pub struct MaintainedPlace {
+    /// The full place record.
+    pub place: Place,
+    /// Exact current safety.
+    pub safety: Safety,
+    /// The grid cell the place belongs to.
+    pub cell: CellId,
+}
+
+/// The set of places maintained at the higher level.
+#[derive(Debug, Default)]
+pub struct MaintainedSet {
+    map: HashMap<PlaceId, MaintainedPlace>,
+    by_cell: HashMap<CellId, Vec<PlaceId>>,
+    ordered: SafetyOrdered,
+}
+
+impl MaintainedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of maintained places.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `place` is maintained.
+    pub fn contains(&self, place: PlaceId) -> bool {
+        self.map.contains_key(&place)
+    }
+
+    /// The maintained entry for `place`, if any.
+    pub fn get(&self, place: PlaceId) -> Option<&MaintainedPlace> {
+        self.map.get(&place)
+    }
+
+    /// Starts maintaining `place` with the given exact safety.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the place is already maintained.
+    pub fn insert(&mut self, place: Place, safety: Safety, cell: CellId) {
+        let id = place.id;
+        self.ordered.insert(id, safety);
+        self.by_cell.entry(cell).or_default().push(id);
+        let prev = self.map.insert(id, MaintainedPlace { place, safety, cell });
+        debug_assert!(prev.is_none(), "{id:?} maintained twice");
+    }
+
+    /// Stops maintaining every place of `cell` and returns the entries.
+    pub fn remove_cell(&mut self, cell: CellId) -> Vec<MaintainedPlace> {
+        let Some(ids) = self.by_cell.remove(&cell) else {
+            return Vec::new();
+        };
+        ids.into_iter()
+            .map(|id| {
+                let entry = self.map.remove(&id).expect("by_cell out of sync");
+                self.ordered.remove(id, entry.safety);
+                entry
+            })
+            .collect()
+    }
+
+    /// The ids of the places maintained for `cell`.
+    pub fn cell_places(&self, cell: CellId) -> &[PlaceId] {
+        self.by_cell.get(&cell).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates the cells that currently have maintained places.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.by_cell.keys().copied()
+    }
+
+    /// Updates every maintained place's safety for a unit that moved from
+    /// `old` to `new` (update-algorithm step 1 of both schemes). Returns the
+    /// number of safeties that changed.
+    ///
+    /// `touched` must contain every cell intersecting the old or new
+    /// protecting region (see [`crate::cells::touched_cells`]): a place's
+    /// protection by the unit can only change if its position lies inside
+    /// one of the two regions, and its cell then intersects that region.
+    /// Restricting the scan to those cells keeps step 1 proportional to the
+    /// local maintained density rather than the global maintained count.
+    pub fn apply_unit_move(
+        &mut self,
+        old: Point,
+        new: Point,
+        radius: f64,
+        touched: &[CellId],
+    ) -> usize {
+        let mut changed = 0;
+        for cell in touched {
+            let Some(ids) = self.by_cell.get(cell) else {
+                continue;
+            };
+            for &id in ids {
+                let entry = self.map.get_mut(&id).expect("by_cell out of sync");
+                let was = protects(old, radius, &entry.place);
+                let is = protects(new, radius, &entry.place);
+                if was != is {
+                    let delta: Safety = if is { 1 } else { -1 };
+                    let fresh = entry.safety + delta;
+                    self.ordered.update(id, entry.safety, fresh);
+                    entry.safety = fresh;
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
+    /// The effective `SK` for a query mode: the k-th smallest maintained
+    /// safety in top-k mode (or [`LB_NONE`] while fewer than `k` places are
+    /// maintained, which forces cell accesses), and the fixed threshold in
+    /// threshold mode.
+    pub fn sk_eff(&self, mode: QueryMode) -> Safety {
+        match mode {
+            QueryMode::TopK(k) => self.ordered.kth_safety(k).unwrap_or(LB_NONE),
+            QueryMode::Threshold(tau) => tau,
+        }
+    }
+
+    /// The monitored result under `mode`, sorted by `(safety, id)`.
+    pub fn result(&self, mode: QueryMode) -> Vec<TopKEntry> {
+        match mode {
+            QueryMode::TopK(k) => self.ordered.top_k(k),
+            QueryMode::Threshold(tau) => self.ordered.below(tau),
+        }
+    }
+
+    /// The ordered view (for invariant checks and diagnostics).
+    pub fn ordered(&self) -> &SafetyOrdered {
+        &self.ordered
+    }
+
+    /// Iterates all maintained entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &MaintainedPlace> {
+        self.map.values()
+    }
+
+    /// Verifies the three internal views agree; used by tests.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.map.len(), self.ordered.len());
+        let mut by_cell_total = 0;
+        for (cell, ids) in &self.by_cell {
+            assert!(!ids.is_empty(), "empty by_cell bucket for {cell:?}");
+            by_cell_total += ids.len();
+            for id in ids {
+                let entry = self.map.get(id).expect("by_cell id not in map");
+                assert_eq!(entry.cell, *cell);
+            }
+        }
+        assert_eq!(by_cell_total, self.map.len());
+        for (safety, id) in self.ordered.iter() {
+            assert_eq!(self.map[&id].safety, safety, "ordered view stale for {id:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn place(id: u32, x: f64, y: f64, rp: u32) -> Place {
+        Place::point(PlaceId(id), Point::new(x, y), rp)
+    }
+
+    fn sample() -> MaintainedSet {
+        let mut m = MaintainedSet::new();
+        m.insert(place(0, 0.50, 0.50, 3), -3, CellId(55));
+        m.insert(place(1, 0.52, 0.50, 1), -1, CellId(55));
+        m.insert(place(2, 0.90, 0.90, 6), -6, CellId(99));
+        m.check_invariants();
+        m
+    }
+
+    #[test]
+    fn insert_and_views() {
+        let m = sample();
+        assert_eq!(m.len(), 3);
+        assert!(m.contains(PlaceId(1)));
+        assert_eq!(m.cell_places(CellId(55)).len(), 2);
+        assert_eq!(m.sk_eff(QueryMode::TopK(1)), -6);
+        assert_eq!(m.sk_eff(QueryMode::TopK(2)), -3);
+        assert_eq!(m.sk_eff(QueryMode::TopK(4)), LB_NONE);
+        assert_eq!(m.sk_eff(QueryMode::Threshold(-2)), -2);
+    }
+
+    #[test]
+    fn apply_unit_move_adjusts_affected_places() {
+        let mut m = sample();
+        // Unit leaves the vicinity of places 0 and 1 (they lose a protector)
+        // and arrives near place 2 (gains one).
+        let touched = [CellId(55), CellId(99)];
+        let changed =
+            m.apply_unit_move(Point::new(0.51, 0.50), Point::new(0.9, 0.88), 0.05, &touched);
+        assert_eq!(changed, 3);
+        assert_eq!(m.get(PlaceId(0)).unwrap().safety, -4);
+        assert_eq!(m.get(PlaceId(1)).unwrap().safety, -2);
+        assert_eq!(m.get(PlaceId(2)).unwrap().safety, -5);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn apply_unit_move_far_away_changes_nothing() {
+        let mut m = sample();
+        let touched = [CellId(0), CellId(1)];
+        let changed =
+            m.apply_unit_move(Point::new(0.1, 0.1), Point::new(0.12, 0.1), 0.05, &touched);
+        assert_eq!(changed, 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn apply_unit_move_skips_untouched_cells() {
+        let mut m = sample();
+        // The move would affect cell 55's places, but only cell 99 is
+        // declared touched — callers guarantee touched covers both regions,
+        // so the method must restrict itself to the given cells.
+        let changed =
+            m.apply_unit_move(Point::new(0.51, 0.50), Point::new(0.9, 0.88), 0.05, &[CellId(99)]);
+        assert_eq!(changed, 1);
+        assert_eq!(m.get(PlaceId(2)).unwrap().safety, -5);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn remove_cell_clears_all_views() {
+        let mut m = sample();
+        let removed = m.remove_cell(CellId(55));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(m.len(), 1);
+        assert!(!m.contains(PlaceId(0)));
+        assert_eq!(m.cell_places(CellId(55)).len(), 0);
+        assert_eq!(m.remove_cell(CellId(55)).len(), 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn result_modes() {
+        let m = sample();
+        let top2 = m.result(QueryMode::TopK(2));
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].place, PlaceId(2));
+        assert_eq!(top2[1].place, PlaceId(0));
+        let below = m.result(QueryMode::Threshold(-1));
+        assert_eq!(below.len(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Logical cost counters collected by every CTUP algorithm.
+//!
+//! Wall-clock numbers depend on hardware; these counters capture the
+//! algorithmic quantities the paper argues about — how often cells are
+//! accessed, how many lower bounds move, how much state is maintained.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters; cheap enough to update on every operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Location updates processed since construction.
+    pub updates_processed: u64,
+    /// Cells illuminated/accessed (lower-level reads triggered by the
+    /// algorithm, excluding initialization).
+    pub cells_accessed: u64,
+    /// Place records loaded by those accesses.
+    pub places_loaded: u64,
+    /// Lower-bound increments applied.
+    pub lb_increments: u64,
+    /// Lower-bound decrements applied.
+    pub lb_decrements: u64,
+    /// Decrements suppressed by the Decrease-Once Optimization.
+    pub lb_decrements_suppressed: u64,
+    /// Cells darkened / maintained places evicted back under a lower bound.
+    pub cells_darkened: u64,
+    /// Number of places currently maintained at the higher level.
+    pub maintained_now: u64,
+    /// Peak of `maintained_now`.
+    pub maintained_peak: u64,
+    /// Current number of `(unit, cell)` pairs in DecHash (OptCTUP only).
+    pub dechash_len: u64,
+    /// Nanoseconds spent updating maintained information (steps 1–2 of the
+    /// update algorithms: maintained safeties + lower bounds).
+    pub maintain_nanos: u64,
+    /// Nanoseconds spent accessing cells (step 3: loading places,
+    /// recomputing safeties, filtering).
+    pub access_nanos: u64,
+    /// Updates after which the reported result changed.
+    pub result_changes: u64,
+}
+
+impl Metrics {
+    /// Records the current maintained-place count, tracking the peak.
+    pub fn set_maintained(&mut self, now: u64) {
+        self.maintained_now = now;
+        if now > self.maintained_peak {
+            self.maintained_peak = now;
+        }
+    }
+
+    /// Component-wise difference since `earlier` for the cumulative fields;
+    /// gauge fields (`maintained_now`, `dechash_len`) keep their current
+    /// values.
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            updates_processed: self.updates_processed - earlier.updates_processed,
+            cells_accessed: self.cells_accessed - earlier.cells_accessed,
+            places_loaded: self.places_loaded - earlier.places_loaded,
+            lb_increments: self.lb_increments - earlier.lb_increments,
+            lb_decrements: self.lb_decrements - earlier.lb_decrements,
+            lb_decrements_suppressed: self.lb_decrements_suppressed
+                - earlier.lb_decrements_suppressed,
+            cells_darkened: self.cells_darkened - earlier.cells_darkened,
+            maintained_now: self.maintained_now,
+            maintained_peak: self.maintained_peak,
+            dechash_len: self.dechash_len,
+            maintain_nanos: self.maintain_nanos - earlier.maintain_nanos,
+            access_nanos: self.access_nanos - earlier.access_nanos,
+            result_changes: self.result_changes - earlier.result_changes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let mut m = Metrics::default();
+        m.set_maintained(10);
+        m.set_maintained(3);
+        m.set_maintained(7);
+        assert_eq!(m.maintained_now, 7);
+        assert_eq!(m.maintained_peak, 10);
+    }
+
+    #[test]
+    fn since_subtracts_counters_but_keeps_gauges() {
+        let a = Metrics {
+            updates_processed: 10,
+            cells_accessed: 4,
+            maintained_now: 5,
+            ..Metrics::default()
+        };
+        let mut b = a.clone();
+        b.updates_processed = 25;
+        b.cells_accessed = 6;
+        b.maintained_now = 9;
+        let d = b.since(&a);
+        assert_eq!(d.updates_processed, 15);
+        assert_eq!(d.cells_accessed, 2);
+        assert_eq!(d.maintained_now, 9);
+    }
+}

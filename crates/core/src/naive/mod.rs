@@ -1,0 +1,14 @@
+//! The naïve baselines the paper compares against.
+//!
+//! * [`NaiveRecompute`] — §VI's "Naïve": recompute the safety of **all**
+//!   places upon each update and reselect the result.
+//! * [`NaiveIncremental`] — the variant §IV alludes to ("the naïve
+//!   algorithm which maintains the safeties of all places"): keep a safety
+//!   for every place and adjust only the places inside the old/new
+//!   protecting regions.
+
+mod incremental;
+mod recompute;
+
+pub use incremental::NaiveIncremental;
+pub use recompute::NaiveRecompute;

@@ -1,0 +1,132 @@
+//! DecHash — the hash table behind the Decrease-Once Optimization.
+//!
+//! Holds `(unit, cell)` pairs recording that the movement of `unit` has
+//! already decreased the lower bound of `cell` once. Besides point lookups
+//! it supports purging every entry of a cell in one call, which the cell
+//! access path needs to re-establish the bound soundly (DESIGN.md §3.3).
+
+use crate::types::UnitId;
+use ctup_spatial::CellId;
+use std::collections::{HashMap, HashSet};
+
+/// The `(unit, cell)` pair set of the Decrease-Once Optimization.
+#[derive(Debug, Default)]
+pub struct DecHash {
+    by_cell: HashMap<CellId, HashSet<UnitId>>,
+    len: usize,
+}
+
+impl DecHash {
+    /// Creates an empty hash.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `(unit, cell)` pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `(unit, cell)` is recorded.
+    pub fn contains(&self, unit: UnitId, cell: CellId) -> bool {
+        self.by_cell.get(&cell).is_some_and(|units| units.contains(&unit))
+    }
+
+    /// Records `(unit, cell)`; returns whether it was new.
+    pub fn insert(&mut self, unit: UnitId, cell: CellId) -> bool {
+        let fresh = self.by_cell.entry(cell).or_default().insert(unit);
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Removes `(unit, cell)` if present; returns whether it was there.
+    pub fn remove(&mut self, unit: UnitId, cell: CellId) -> bool {
+        let Some(units) = self.by_cell.get_mut(&cell) else {
+            return false;
+        };
+        let removed = units.remove(&unit);
+        if removed {
+            self.len -= 1;
+            if units.is_empty() {
+                self.by_cell.remove(&cell);
+            }
+        }
+        removed
+    }
+
+    /// Removes every pair of `cell`, returning how many were purged.
+    /// Called when the cell is accessed and its lower bound re-established
+    /// exactly.
+    pub fn purge_cell(&mut self, cell: CellId) -> usize {
+        match self.by_cell.remove(&cell) {
+            Some(units) => {
+                self.len -= units.len();
+                units.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.by_cell.clear();
+        self.len = 0;
+    }
+
+    /// Iterates all `(unit, cell)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (UnitId, CellId)> + '_ {
+        self.by_cell
+            .iter()
+            .flat_map(|(&cell, units)| units.iter().map(move |&unit| (unit, cell)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut h = DecHash::new();
+        assert!(h.insert(UnitId(1), CellId(10)));
+        assert!(!h.insert(UnitId(1), CellId(10)), "duplicate insert");
+        assert!(h.insert(UnitId(2), CellId(10)));
+        assert!(h.insert(UnitId(1), CellId(11)));
+        assert_eq!(h.len(), 3);
+        assert!(h.contains(UnitId(1), CellId(10)));
+        assert!(!h.contains(UnitId(3), CellId(10)));
+        assert!(h.remove(UnitId(1), CellId(10)));
+        assert!(!h.remove(UnitId(1), CellId(10)));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn purge_cell_removes_only_that_cell() {
+        let mut h = DecHash::new();
+        h.insert(UnitId(1), CellId(5));
+        h.insert(UnitId(2), CellId(5));
+        h.insert(UnitId(1), CellId(6));
+        assert_eq!(h.purge_cell(CellId(5)), 2);
+        assert_eq!(h.len(), 1);
+        assert!(!h.contains(UnitId(1), CellId(5)));
+        assert!(h.contains(UnitId(1), CellId(6)));
+        assert_eq!(h.purge_cell(CellId(5)), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = DecHash::new();
+        h.insert(UnitId(0), CellId(0));
+        h.insert(UnitId(1), CellId(1));
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(UnitId(0), CellId(0)));
+    }
+}

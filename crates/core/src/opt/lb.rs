@@ -1,0 +1,137 @@
+//! Table II — lower-bound maintenance of OptCTUP under the Decrease-Once
+//! Optimization.
+
+use crate::types::Safety;
+use ctup_spatial::Relation;
+
+/// What to do to the DecHash alongside a lower-bound change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashOp {
+    /// Leave the hash unchanged.
+    Keep,
+    /// Insert `(unit, cell)` — the unit has now been used to decrease the
+    /// cell's bound.
+    Insert,
+    /// Remove `(unit, cell)` — the bound was re-increased, so the unit may
+    /// decrease it again in the future.
+    Remove,
+}
+
+/// The paper's Table II: lower-bound delta and hash operation for a unit
+/// whose region moved from relation `old` to `new` with a cell, given
+/// whether `(unit, cell)` is currently in the DecHash.
+///
+/// ```text
+/// old \ new |  N/P                     |  F
+/// ----------+--------------------------+---------------------------
+///     N     |  0                       |  +1, h−
+///     P     |  0 (in hash)             |  +1, h− (in hash)
+///           |  −1, h+ (otherwise)      |  0 (otherwise)
+///     F     |  −1, h+                  |  0
+/// ```
+#[inline]
+pub fn opt_transition(old: Relation, new: Relation, in_hash: bool) -> (Safety, HashOp) {
+    use Relation::{Full, None, Partial};
+    match (old, new) {
+        (None, None | Partial) => (0, HashOp::Keep),
+        (None, Full) => (1, HashOp::Remove),
+        (Partial, None | Partial) => {
+            if in_hash {
+                (0, HashOp::Keep)
+            } else {
+                (-1, HashOp::Insert)
+            }
+        }
+        (Partial, Full) => {
+            if in_hash {
+                (1, HashOp::Remove)
+            } else {
+                (0, HashOp::Keep)
+            }
+        }
+        // A unit fully containing a cell is never in the hash (every path
+        // into F removes the entry); callers debug-assert this.
+        (Full, None | Partial) => (-1, HashOp::Insert),
+        (Full, Full) => (0, HashOp::Keep),
+    }
+}
+
+/// Table I deltas, used by OptCTUP when the Decrease-Once Optimization is
+/// disabled (the "without DOO" series of Fig. 8). The rest of the OptCTUP
+/// machinery (all-dark cells, maintained places, Δ) stays in effect.
+#[inline]
+pub fn basic_fallback(old: Relation, new: Relation) -> Safety {
+    crate::basic::lb::basic_lb_delta(old, new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Relation::{Full, None, Partial};
+
+    #[test]
+    fn matches_table_ii() {
+        assert_eq!(opt_transition(None, None, false), (0, HashOp::Keep));
+        assert_eq!(opt_transition(None, Partial, false), (0, HashOp::Keep));
+        assert_eq!(opt_transition(None, Full, false), (1, HashOp::Remove));
+        assert_eq!(opt_transition(None, Full, true), (1, HashOp::Remove));
+        assert_eq!(opt_transition(Partial, None, true), (0, HashOp::Keep));
+        assert_eq!(opt_transition(Partial, Partial, true), (0, HashOp::Keep));
+        assert_eq!(opt_transition(Partial, None, false), (-1, HashOp::Insert));
+        assert_eq!(opt_transition(Partial, Partial, false), (-1, HashOp::Insert));
+        assert_eq!(opt_transition(Partial, Full, true), (1, HashOp::Remove));
+        assert_eq!(opt_transition(Partial, Full, false), (0, HashOp::Keep));
+        assert_eq!(opt_transition(Full, None, false), (-1, HashOp::Insert));
+        assert_eq!(opt_transition(Full, Partial, false), (-1, HashOp::Insert));
+        assert_eq!(opt_transition(Full, Full, false), (0, HashOp::Keep));
+    }
+
+    /// Soundness of the discounted invariant (DESIGN.md §3.3):
+    /// `lb <= safety(p) − contrib(u, p)` for hashed `u`. We verify every
+    /// transition for every feasible (contribution_before,
+    /// contribution_after) pair allowed by the relations.
+    #[test]
+    fn discounted_invariant_is_preserved() {
+        let contribs = |rel: Relation| -> &'static [i64] {
+            match rel {
+                None => &[0],
+                Partial => &[0, 1],
+                Full => &[1],
+            }
+        };
+        for old in [None, Partial, Full] {
+            for new in [None, Partial, Full] {
+                for &in_hash in &[false, true] {
+                    // A unit at relation F is never hashed.
+                    if old == Full && in_hash {
+                        continue;
+                    }
+                    let (delta, op) = opt_transition(old, new, in_hash);
+                    let hashed_after = match op {
+                        HashOp::Keep => in_hash,
+                        HashOp::Insert => true,
+                        HashOp::Remove => false,
+                    };
+                    // The F-never-hashed invariant must be preserved.
+                    if new == Full {
+                        assert!(!hashed_after, "({old:?},{new:?},{in_hash}) leaves a hashed F unit");
+                    }
+                    for &c_before in contribs(old) {
+                        for &c_after in contribs(new) {
+                            // Discounted safety before: s − c_before·[hash].
+                            // After: s + (c_after − c_before) − c_after·[hash'].
+                            // Need: delta <= discounted_after − discounted_before
+                            let disc_before = -(c_before * in_hash as i64);
+                            let disc_after = (c_after - c_before) - c_after * hashed_after as i64;
+                            assert!(
+                                delta <= disc_after - disc_before,
+                                "({old:?},{new:?},{in_hash}): delta {delta} breaks invariant \
+                                 for contribs {c_before}->{c_after}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

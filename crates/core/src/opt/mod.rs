@@ -1,0 +1,628 @@
+//! OptCTUP — the paper's optimized scheme (§IV).
+//!
+//! All cells stay dark; instead of whole illuminated cells, a global set of
+//! *maintained places* holds exactly the places that were unsafer than
+//! `SK + Δ` when their cell was last accessed. Per-cell lower bounds cover
+//! only the non-maintained places and are maintained with Table II, whose
+//! Decrease-Once Optimization (DecHash) caps the damage any single unit can
+//! do to a bound. Accessing a cell re-filters its places and re-establishes
+//! the bound at least `Δ` above `SK`, suppressing the flashing phenomenon.
+
+pub mod dechash;
+pub mod lb;
+
+use crate::algorithm::{CtupAlgorithm, InitStats, UpdateStats};
+use crate::cells::{classify_with_margin, touched_cells};
+use crate::config::CtupConfig;
+use crate::lbdir::LbDirectory;
+use crate::maintained::MaintainedSet;
+use crate::metrics::Metrics;
+use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId, LB_NONE};
+use crate::units::UnitTable;
+use ctup_spatial::{CellId, Circle, Grid, Point, Relation};
+use ctup_storage::PlaceStore;
+use dechash::DecHash;
+use lb::{opt_transition, HashOp};
+use std::sync::Arc;
+use std::time::Instant;
+
+use self::lb::basic_fallback;
+
+/// The OptCTUP query processor.
+pub struct OptCtup {
+    config: CtupConfig,
+    store: Arc<dyn PlaceStore>,
+    grid: Grid,
+    units: UnitTable,
+    /// Lower bounds over the non-maintained places of every cell.
+    lb: LbDirectory,
+    /// Selectively maintained (unsafe) places with exact safeties.
+    maintained: MaintainedSet,
+    dechash: DecHash,
+    last_result: Vec<TopKEntry>,
+    metrics: Metrics,
+    init_stats: InitStats,
+}
+
+impl OptCtup {
+    /// Builds the scheme over `store` and runs the paper's initialization
+    /// (§IV.D): exact per-cell bounds, accesses in increasing bound order,
+    /// then eviction of everything at or above `SK + Δ`.
+    pub fn new(config: CtupConfig, store: Arc<dyn PlaceStore>, initial_units: &[Point]) -> Self {
+        config.validate();
+        let start = Instant::now();
+        let io_before = store.stats().snapshot();
+        let grid = store.grid().clone();
+        let units = UnitTable::new(grid.clone(), initial_units, config.protection_radius);
+
+        let mut this = OptCtup {
+            lb: LbDirectory::new(grid.num_cells()),
+            maintained: MaintainedSet::new(),
+            dechash: DecHash::new(),
+            last_result: Vec::new(),
+            metrics: Metrics::default(),
+            init_stats: InitStats::default(),
+            config,
+            store,
+            grid,
+            units,
+        };
+
+        // Step 1: exact lower bound per cell.
+        let mut safeties_computed = 0u64;
+        for cell in this.grid.cells() {
+            let records = this.store.read_cell(cell);
+            let mut min = LB_NONE;
+            for record in records.iter() {
+                min = min.min(this.units.safety(record));
+                safeties_computed += 1;
+            }
+            this.lb.set(cell, min);
+        }
+
+        // Steps 2–3: access cells in increasing bound order; each access
+        // keeps the places below SK + Δ and re-establishes the bound.
+        this.access_loop();
+
+        // Step 4: DecHash starts empty (nothing was decremented yet).
+        this.dechash.clear();
+
+        this.metrics = Metrics::default();
+        this.metrics.set_maintained(this.maintained.len() as u64);
+        this.last_result = this.maintained.result(this.config.mode);
+        this.init_stats = InitStats {
+            wall: start.elapsed(),
+            storage: this.store.stats().snapshot().since(&io_before),
+            safeties_computed,
+        };
+        this
+    }
+
+    /// Loads a cell, refreshes the maintained subset of its places, purges
+    /// its DecHash entries and re-establishes its lower bound (§IV.E
+    /// step 3).
+    ///
+    /// The paper adjusts `SK` "as the safety of each place is calculated"
+    /// and then evicts at `SK + Δ`; inserting all places just to evict most
+    /// of them again would dominate the access cost, so the post-inclusion
+    /// `SK` is computed by merging the cell's sorted safeties with the
+    /// global ordered view, and only the keepers ever enter the structures.
+    fn access_cell(&mut self, cell: CellId) {
+        // Recompute from scratch: drop whatever was maintained for the cell.
+        self.maintained.remove_cell(cell);
+        let records = self.store.read_cell(cell);
+        self.metrics.cells_accessed += 1;
+        self.metrics.places_loaded += records.len() as u64;
+
+        let mut safeties: Vec<Safety> =
+            records.iter().map(|record| self.units.safety(record)).collect();
+
+        // SK as it would be with this cell's places included.
+        let sk = match self.config.mode {
+            crate::config::QueryMode::TopK(k) => {
+                let mut sorted = safeties.clone();
+                sorted.sort_unstable();
+                let mut cell_iter = sorted.into_iter().peekable();
+                let mut global_iter = self.maintained.ordered().iter().peekable();
+                let mut kth = LB_NONE;
+                for _ in 0..k {
+                    let take_cell = match (cell_iter.peek(), global_iter.peek()) {
+                        (Some(&c), Some(&(g, _))) => c <= g,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => {
+                            kth = LB_NONE;
+                            break;
+                        }
+                    };
+                    kth = if take_cell {
+                        cell_iter.next().expect("peeked")
+                    } else {
+                        global_iter.next().expect("peeked").0
+                    };
+                }
+                if cell_iter.peek().is_none() && global_iter.peek().is_none() {
+                    // Fewer than k places exist in total.
+                    let total = self.maintained.len() + safeties.len();
+                    if total < k {
+                        kth = LB_NONE;
+                    }
+                }
+                kth
+            }
+            crate::config::QueryMode::Threshold(tau) => tau,
+        };
+
+        // Keep everything below SK + Δ; never evict at or below SK itself
+        // (with Δ = 0 the paper's literal rule would evict the k-th place,
+        // dropping the maintained set below k and re-accessing forever).
+        let keep_below = sk.saturating_add(self.config.delta);
+        let must_evict = |safety: Safety| safety >= keep_below && safety > sk;
+        let mut lb = LB_NONE;
+        for (record, safety) in records.iter().zip(safeties.drain(..)) {
+            if must_evict(safety) {
+                lb = lb.min(safety);
+            } else {
+                self.maintained.insert(record.clone(), safety, cell);
+            }
+        }
+        self.lb.set(cell, lb);
+
+        // Soundness fix: the bound is exact again, so stale "already
+        // decremented" records for this cell must go (DESIGN.md §3.3).
+        if self.config.purge_dechash_on_access {
+            self.dechash.purge_cell(cell);
+        }
+    }
+
+    /// Accesses cells, cheapest bound first, until none is below `SK`.
+    fn access_loop(&mut self) -> u64 {
+        let mut count = 0;
+        loop {
+            let sk = self.maintained.sk_eff(self.config.mode);
+            match self.lb.first() {
+                Some((lb0, cell)) if lb0 < sk => {
+                    self.access_cell(cell);
+                    count += 1;
+                }
+                _ => break,
+            }
+        }
+        count
+    }
+
+    /// Table II (or Table I when DOO is disabled) over the affected cells.
+    fn maintain_lower_bounds(
+        &mut self,
+        unit: UnitId,
+        old_region: &Circle,
+        new_region: &Circle,
+        touched: &[CellId],
+    ) {
+        for &cell in touched {
+            let rect = self.grid.cell_rect(cell);
+            let margin = self.store.cell_extent_margin(cell);
+            let rel_old = classify_with_margin(old_region, &rect, margin);
+            let rel_new = classify_with_margin(new_region, &rect, margin);
+            let (delta, op) = if self.config.doo_enabled {
+                let in_hash = self.dechash.contains(unit, cell);
+                debug_assert!(
+                    !(rel_old == Relation::Full && in_hash),
+                    "unit {unit:?} hashed while fully containing {cell:?}"
+                );
+                let (delta, op) = opt_transition(rel_old, rel_new, in_hash);
+                if in_hash && delta == 0 && rel_old == Relation::Partial {
+                    self.metrics.lb_decrements_suppressed += 1;
+                }
+                (delta, op)
+            } else {
+                (basic_fallback(rel_old, rel_new), HashOp::Keep)
+            };
+            match op {
+                HashOp::Keep => {}
+                HashOp::Insert => {
+                    self.dechash.insert(unit, cell);
+                }
+                HashOp::Remove => {
+                    self.dechash.remove(unit, cell);
+                }
+            }
+            if delta != 0 {
+                self.lb.add(cell, delta);
+                if delta > 0 {
+                    self.metrics.lb_increments += 1;
+                } else {
+                    self.metrics.lb_decrements += 1;
+                }
+            }
+        }
+        self.metrics.dechash_len = self.dechash.len() as u64;
+    }
+
+    /// Captures the complete higher-level state for failover
+    /// (see [`crate::checkpoint::Checkpoint`]).
+    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint {
+            config: self.config.clone(),
+            unit_positions: self.units.iter().map(|u| u.pos).collect(),
+            lower_bounds: self.grid.cells().map(|c| self.lb.get(c)).collect(),
+            maintained: self
+                .maintained
+                .iter()
+                .map(|m| (m.place.clone(), m.safety, m.cell))
+                .collect(),
+            dechash: self.dechash.iter().collect(),
+        }
+    }
+
+    /// Resumes monitoring from a checkpoint over the same lower level. The
+    /// store's grid must match the checkpointed cell count; the restored
+    /// monitor continues exactly where [`OptCtup::checkpoint`] stopped
+    /// (metrics start fresh).
+    pub fn restore(
+        checkpoint: crate::checkpoint::Checkpoint,
+        store: Arc<dyn PlaceStore>,
+    ) -> Self {
+        checkpoint.config.validate();
+        let grid = store.grid().clone();
+        assert_eq!(
+            grid.num_cells(),
+            checkpoint.lower_bounds.len(),
+            "checkpoint was taken over a different grid"
+        );
+        let units = UnitTable::new(
+            grid.clone(),
+            &checkpoint.unit_positions,
+            checkpoint.config.protection_radius,
+        );
+        let mut lb = LbDirectory::new(grid.num_cells());
+        for (cell, &bound) in grid.cells().zip(&checkpoint.lower_bounds) {
+            lb.set(cell, bound);
+        }
+        let mut maintained = MaintainedSet::new();
+        for (place, safety, cell) in checkpoint.maintained {
+            maintained.insert(place, safety, cell);
+        }
+        let mut dechash = DecHash::new();
+        for (unit, cell) in checkpoint.dechash {
+            dechash.insert(unit, cell);
+        }
+        let mut metrics = Metrics::default();
+        metrics.set_maintained(maintained.len() as u64);
+        metrics.dechash_len = dechash.len() as u64;
+        let last_result = maintained.result(checkpoint.config.mode);
+        OptCtup {
+            config: checkpoint.config,
+            store,
+            grid,
+            units,
+            lb,
+            maintained,
+            dechash,
+            last_result,
+            metrics,
+            init_stats: InitStats::default(),
+        }
+    }
+
+    /// Read-only view of a cell's lower bound (testing/diagnostics).
+    pub fn cell_lower_bound(&self, cell: CellId) -> Safety {
+        self.lb.get(cell)
+    }
+
+    /// Number of places currently maintained.
+    pub fn maintained_places(&self) -> usize {
+        self.maintained.len()
+    }
+
+    /// Number of `(unit, cell)` pairs in the DecHash.
+    pub fn dechash_len(&self) -> usize {
+        self.dechash.len()
+    }
+
+    /// Asserts the scheme's soundness invariant: for every cell, the lower
+    /// bound is at most the DecHash-discounted safety of every
+    /// non-maintained place in it (DESIGN.md §3.3 and §4). Reads the lower
+    /// level without affecting results. Test/diagnostic use.
+    pub fn check_lb_invariant(&self) {
+        let radius = self.config.protection_radius;
+        for cell in self.grid.cells() {
+            let lb = self.lb.get(cell);
+            if lb == LB_NONE {
+                continue;
+            }
+            for record in self.store.read_cell(cell).iter() {
+                if self.maintained.contains(record.id) {
+                    continue;
+                }
+                let safety = self.units.safety(record);
+                // Discount every hashed unit's current contribution.
+                let mut discount: Safety = 0;
+                for u in self.units.iter() {
+                    if self.dechash.contains(u.id, cell)
+                        && crate::types::protects(u.pos, radius, record)
+                    {
+                        discount += 1;
+                    }
+                }
+                assert!(
+                    lb <= safety - discount,
+                    "cell {cell:?}: lb {lb} exceeds discounted safety {} of {:?} \
+                     (safety {safety}, discount {discount})",
+                    safety - discount,
+                    record.id
+                );
+            }
+        }
+    }
+}
+
+impl CtupAlgorithm for OptCtup {
+    fn name(&self) -> &'static str {
+        "opt"
+    }
+
+    fn config(&self) -> &CtupConfig {
+        &self.config
+    }
+
+    fn handle_update(&mut self, update: LocationUpdate) -> UpdateStats {
+        let radius = self.config.protection_radius;
+        let maintain_start = Instant::now();
+        let old = self.units.apply(update);
+        let old_region = Circle::new(old, radius);
+        let new_region = Circle::new(update.new, radius);
+
+        let touched = touched_cells(&self.grid, &old_region, &new_region);
+
+        // Step 1: exact safeties of maintained places.
+        self.maintained.apply_unit_move(old, update.new, radius, &touched);
+
+        // Step 2: Table II lower-bound maintenance.
+        self.maintain_lower_bounds(update.unit, &old_region, &new_region, &touched);
+        let maintain_nanos = maintain_start.elapsed().as_nanos() as u64;
+
+        // Step 3: access every cell whose bound fell below SK.
+        let access_start = Instant::now();
+        let cells_accessed = self.access_loop();
+        let access_nanos = access_start.elapsed().as_nanos() as u64;
+
+        let result = self.maintained.result(self.config.mode);
+        let changed = result != self.last_result;
+        self.last_result = result;
+
+        self.metrics.updates_processed += 1;
+        self.metrics.maintain_nanos += maintain_nanos;
+        self.metrics.access_nanos += access_nanos;
+        self.metrics.set_maintained(self.maintained.len() as u64);
+        if changed {
+            self.metrics.result_changes += 1;
+        }
+        UpdateStats { maintain_nanos, access_nanos, cells_accessed, result_changed: changed }
+    }
+
+    fn result(&self) -> Vec<TopKEntry> {
+        self.last_result.clone()
+    }
+
+    fn sk(&self) -> Option<Safety> {
+        match self.config.mode {
+            crate::config::QueryMode::TopK(k) => self.maintained.ordered().kth_safety(k),
+            crate::config::QueryMode::Threshold(_) => None,
+        }
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn init_stats(&self) -> &InitStats {
+        &self.init_stats
+    }
+
+    fn unit_position(&self, unit: UnitId) -> Point {
+        self.units.position(unit)
+    }
+
+    fn num_units(&self) -> usize {
+        self.units.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QueryMode;
+    use crate::oracle::Oracle;
+    use crate::types::{Place, PlaceId};
+    use ctup_storage::CellLocalStore;
+
+    fn grid_place_set() -> Vec<Place> {
+        let mut places = Vec::new();
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                let id = i * 8 + j;
+                places.push(Place::point(
+                    PlaceId(id),
+                    Point::new(i as f64 / 8.0 + 0.06, j as f64 / 8.0 + 0.06),
+                    1 + (id % 5),
+                ));
+            }
+        }
+        places
+    }
+
+    fn setup(config: CtupConfig) -> (OptCtup, Oracle, Vec<Point>) {
+        let places = grid_place_set();
+        let oracle = Oracle::new(places.clone());
+        let store: Arc<dyn PlaceStore> =
+            Arc::new(CellLocalStore::build(Grid::unit_square(8), places));
+        let units: Vec<Point> = (0..10)
+            .map(|i| Point::new(0.05 + 0.09 * i as f64, 0.95 - 0.085 * i as f64))
+            .collect();
+        let alg = OptCtup::new(config, store, &units);
+        (alg, oracle, units)
+    }
+
+    #[test]
+    fn initialization_matches_oracle() {
+        let (alg, oracle, units) = setup(CtupConfig::with_k(5));
+        oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::TopK(5));
+        alg.check_lb_invariant();
+        assert!(alg.dechash_len() == 0, "DecHash must start empty");
+    }
+
+    fn run_updates(config: CtupConfig, steps: usize, seed: u64) {
+        let (mut alg, oracle, mut units) = setup(config.clone());
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for step in 0..steps {
+            let unit = (next() * 10.0) as usize % 10;
+            let new = Point::new(next(), next());
+            alg.handle_update(LocationUpdate { unit: UnitId(unit as u32), new });
+            units[unit] = new;
+            oracle.assert_result_matches(&alg.result(), &units, 0.1, config.mode);
+            if step % 50 == 0 {
+                alg.check_lb_invariant();
+            }
+        }
+        alg.check_lb_invariant();
+    }
+
+    #[test]
+    fn tracks_oracle_with_doo() {
+        run_updates(CtupConfig::with_k(5), 300, 0xA);
+    }
+
+    #[test]
+    fn tracks_oracle_without_doo() {
+        run_updates(
+            CtupConfig { doo_enabled: false, ..CtupConfig::with_k(5) },
+            300,
+            0xB,
+        );
+    }
+
+    #[test]
+    fn tracks_oracle_with_zero_delta() {
+        run_updates(CtupConfig { delta: 0, ..CtupConfig::with_k(3) }, 200, 0xC);
+    }
+
+    #[test]
+    fn tracks_oracle_with_large_delta() {
+        run_updates(CtupConfig { delta: 50, ..CtupConfig::with_k(3) }, 200, 0xD);
+    }
+
+    #[test]
+    fn threshold_mode_tracks_oracle() {
+        run_updates(
+            CtupConfig { mode: QueryMode::Threshold(-2), ..CtupConfig::paper_default() },
+            200,
+            0xE,
+        );
+    }
+
+    #[test]
+    fn doo_suppresses_repeated_decrements() {
+        // A unit jiggling on a cell boundary: with DOO the second and later
+        // partial-partial transitions must not decrement again.
+        let (mut alg, _, _) = setup(CtupConfig::with_k(5));
+        let before = alg.metrics().lb_decrements;
+        for i in 0..20 {
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.45 + 0.001 * (i % 2) as f64, 0.45),
+            });
+        }
+        let decs = alg.metrics().lb_decrements - before;
+        let suppressed = alg.metrics().lb_decrements_suppressed;
+        // First arrival can decrement the touched cells once each; the 19
+        // follow-ups must be suppressed.
+        assert!(suppressed > 0, "no suppression recorded");
+        assert!(
+            decs <= 16,
+            "DOO failed to cap decrements: {decs} decrements, {suppressed} suppressed"
+        );
+    }
+
+    /// The soundness fix of DESIGN.md §3.3, demonstrated constructively:
+    /// with the paper's literal Table II (no DecHash purge on access), a
+    /// stale `(unit, cell)` entry suppresses a legitimate decrement after
+    /// the cell's bound was re-established exactly, and the monitor misses
+    /// a place that belongs in the result. With the purge the same
+    /// sequence is answered correctly.
+    #[test]
+    fn literal_table_ii_without_purge_is_unsound() {
+        let run = |purge: bool| -> bool {
+            let places = vec![
+                Place::point(PlaceId(0), Point::new(0.25, 0.25), 5), // p, cell C0
+                Place::point(PlaceId(1), Point::new(0.75, 0.75), 5), // q, always alarmed
+            ];
+            let store: Arc<dyn PlaceStore> =
+                Arc::new(CellLocalStore::build(Grid::unit_square(2), places));
+            let config = CtupConfig {
+                mode: QueryMode::Threshold(-4),
+                protection_radius: 0.1,
+                delta: 0,
+                doo_enabled: true,
+                purge_dechash_on_access: purge,
+            };
+            // Two units protect p: safety -3, strictly above the threshold.
+            let mut alg = OptCtup::new(
+                config,
+                store,
+                &[Point::new(0.25, 0.33), Point::new(0.33, 0.25)],
+            );
+            assert_eq!(alg.result().len(), 1, "only q alarmed initially");
+            // Two P->P moves that keep protecting p: each decrements C0's
+            // bound once (hash entries recorded); the second forces an
+            // access that re-establishes the bound exactly (-3).
+            alg.handle_update(LocationUpdate { unit: UnitId(0), new: Point::new(0.25, 0.335) });
+            alg.handle_update(LocationUpdate { unit: UnitId(1), new: Point::new(0.335, 0.25) });
+            // Both units leave p (still P->P with C0): safety(p) drops to
+            // -5 < -4, so p must be alarmed. Without the purge, both stale
+            // hash entries suppress the decrements: the bound stays at -3
+            // and the access never happens.
+            alg.handle_update(LocationUpdate { unit: UnitId(0), new: Point::new(0.25, 0.45) });
+            alg.handle_update(LocationUpdate { unit: UnitId(1), new: Point::new(0.45, 0.25) });
+            alg.result().iter().any(|e| e.place == PlaceId(0))
+        };
+        assert!(run(true), "purge-on-access must report p");
+        assert!(!run(false), "the literal Table II misses p — the fix is necessary");
+    }
+
+    #[test]
+    fn maintains_fewer_places_than_basic() {
+        use crate::basic::BasicCtup;
+        let places = grid_place_set();
+        let store: Arc<dyn PlaceStore> =
+            Arc::new(CellLocalStore::build(Grid::unit_square(8), places.clone()));
+        let store2: Arc<dyn PlaceStore> =
+            Arc::new(CellLocalStore::build(Grid::unit_square(8), places));
+        let units: Vec<Point> =
+            (0..10).map(|i| Point::new(0.05 + 0.09 * i as f64, 0.5)).collect();
+        let opt = OptCtup::new(CtupConfig::with_k(5), store, &units);
+        let basic = BasicCtup::new(CtupConfig::with_k(5), store2, &units);
+        assert!(
+            opt.maintained_places() <= basic.maintained_places(),
+            "opt {} > basic {}",
+            opt.maintained_places(),
+            basic.maintained_places()
+        );
+    }
+
+    #[test]
+    fn delta_keeps_near_misses_maintained() {
+        let (alg0, _, _) = setup(CtupConfig { delta: 0, ..CtupConfig::with_k(5) });
+        let (alg8, _, _) = setup(CtupConfig { delta: 8, ..CtupConfig::with_k(5) });
+        assert!(
+            alg8.maintained_places() >= alg0.maintained_places(),
+            "larger delta must maintain at least as many places"
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! A threaded ingestion pipeline around the monitoring server.
+//!
+//! In a deployment the wireless front-end receives location updates on one
+//! thread while dispatchers consume alerts on another. [`Pipeline`] spawns
+//! a worker that owns the query processor, ingests updates from a bounded
+//! channel (providing backpressure towards the receiver), and publishes a
+//! batch of [`MonitorEvent`]s for every update that changed the result.
+
+use crate::algorithm::CtupAlgorithm;
+use crate::metrics::Metrics;
+use crate::server::{MonitorEvent, Server};
+use crate::types::LocationUpdate;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::thread::JoinHandle;
+
+/// The result changes caused by one ingested update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventBatch {
+    /// 0-based sequence number of the update that caused the changes.
+    pub seq: u64,
+    /// The changes, in [`Server::ingest`] order.
+    pub events: Vec<MonitorEvent>,
+}
+
+/// Final accounting returned by [`Pipeline::shutdown`].
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Updates processed by the worker.
+    pub updates_processed: u64,
+    /// Total events published.
+    pub events_emitted: u64,
+    /// The algorithm's cumulative metrics at shutdown.
+    pub metrics: Metrics,
+}
+
+/// A monitoring server running on its own worker thread.
+pub struct Pipeline {
+    updates_tx: Option<Sender<LocationUpdate>>,
+    events_rx: Receiver<EventBatch>,
+    worker: Option<JoinHandle<PipelineReport>>,
+}
+
+/// Error returned by [`Pipeline::try_send`] when the update channel is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelFull;
+
+impl Pipeline {
+    /// Spawns the worker around an initialized algorithm. `capacity` bounds
+    /// both the inbound update queue and the outbound event queue.
+    pub fn spawn<A>(algorithm: A, capacity: usize) -> Self
+    where
+        A: CtupAlgorithm + Send + 'static,
+    {
+        assert!(capacity > 0, "capacity must be positive");
+        let (updates_tx, updates_rx) = bounded::<LocationUpdate>(capacity);
+        let (events_tx, events_rx) = bounded::<EventBatch>(capacity);
+        let worker = std::thread::Builder::new()
+            .name("ctup-monitor".into())
+            .spawn(move || {
+                let mut server = Server::new(algorithm);
+                let mut seq = 0u64;
+                for update in updates_rx.iter() {
+                    let (events, _) = server.ingest(update);
+                    if !events.is_empty() {
+                        // If every consumer hung up, keep monitoring anyway:
+                        // the final report still carries the totals.
+                        let _ = events_tx.send(EventBatch { seq, events });
+                    }
+                    seq += 1;
+                }
+                PipelineReport {
+                    updates_processed: seq,
+                    events_emitted: server.events_emitted(),
+                    metrics: server.algorithm().metrics().clone(),
+                }
+            })
+            .expect("spawn ctup-monitor thread");
+        Pipeline { updates_tx: Some(updates_tx), events_rx, worker: Some(worker) }
+    }
+
+    /// Sends one update, blocking while the queue is full.
+    ///
+    /// # Panics
+    /// Panics if the worker has terminated (it only terminates on
+    /// [`Pipeline::shutdown`]).
+    pub fn send(&self, update: LocationUpdate) {
+        self.updates_tx
+            .as_ref()
+            .expect("pipeline active")
+            .send(update)
+            .expect("worker alive");
+    }
+
+    /// Sends one update without blocking; returns [`ChannelFull`] when the
+    /// queue is saturated (caller may drop or retry — position updates are
+    /// refreshed by the next report anyway).
+    pub fn try_send(&self, update: LocationUpdate) -> Result<(), ChannelFull> {
+        match self.updates_tx.as_ref().expect("pipeline active").try_send(update) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(ChannelFull),
+            Err(TrySendError::Disconnected(_)) => panic!("worker terminated unexpectedly"),
+        }
+    }
+
+    /// The event stream. Batches arrive in update order.
+    pub fn events(&self) -> &Receiver<EventBatch> {
+        &self.events_rx
+    }
+
+    /// Closes the update channel, drains the worker and returns its report.
+    /// Pending events can still be read from [`Pipeline::events`] until the
+    /// receiver is empty.
+    pub fn shutdown(mut self) -> PipelineReport {
+        self.updates_tx.take(); // close the channel -> worker loop ends
+        self.worker
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("worker panicked")
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        self.updates_tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CtupConfig;
+    use crate::opt::OptCtup;
+    use crate::types::{Place, PlaceId, UnitId};
+    use ctup_spatial::{Grid, Point};
+    use ctup_storage::{CellLocalStore, PlaceStore};
+    use std::sync::Arc;
+
+    fn places() -> Vec<Place> {
+        (0..20)
+            .map(|i| {
+                Place::point(
+                    PlaceId(i),
+                    Point::new((i % 5) as f64 / 5.0 + 0.1, (i / 5) as f64 / 4.0 + 0.1),
+                    1 + i % 3,
+                )
+            })
+            .collect()
+    }
+
+    fn monitor(units: &[Point]) -> OptCtup {
+        let store: Arc<dyn PlaceStore> =
+            Arc::new(CellLocalStore::build(Grid::unit_square(5), places()));
+        OptCtup::new(CtupConfig::with_k(4), store, units)
+    }
+
+    fn updates(n: usize) -> Vec<LocationUpdate> {
+        let mut state = 0xFEEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| LocationUpdate {
+                unit: UnitId((next() * 3.0) as u32 % 3),
+                new: Point::new(next(), next()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_matches_direct_server_run() {
+        let units = [Point::new(0.1, 0.1), Point::new(0.5, 0.5), Point::new(0.9, 0.9)];
+        let stream = updates(200);
+
+        // Direct run.
+        let mut direct = Server::new(monitor(&units));
+        let mut direct_batches = Vec::new();
+        for (seq, &u) in stream.iter().enumerate() {
+            let (events, _) = direct.ingest(u);
+            if !events.is_empty() {
+                direct_batches.push(EventBatch { seq: seq as u64, events });
+            }
+        }
+
+        // Pipelined run: keep a clone of the event receiver so batches
+        // survive shutdown, and use a queue large enough that the sender
+        // never blocks on the event side.
+        let pipeline = Pipeline::spawn(monitor(&units), 256);
+        let events_rx = pipeline.events().clone();
+        for &u in &stream {
+            pipeline.send(u);
+        }
+        let report = pipeline.shutdown();
+        let piped_batches: Vec<EventBatch> = events_rx.try_iter().collect();
+        assert_eq!(report.updates_processed, 200);
+        assert_eq!(piped_batches, direct_batches);
+        assert_eq!(report.events_emitted, direct.events_emitted());
+    }
+
+    #[test]
+    fn try_send_reports_backpressure() {
+        let units = [Point::new(0.1, 0.1)];
+        let pipeline = Pipeline::spawn(monitor(&units), 1);
+        // Saturate: with capacity 1, eventually try_send must fail at least
+        // once while the worker is busy.
+        let mut saw_full = false;
+        for u in updates(5_000) {
+            match pipeline.try_send(u) {
+                Ok(()) => {}
+                Err(ChannelFull) => {
+                    saw_full = true;
+                    break;
+                }
+            }
+        }
+        let report = pipeline.shutdown();
+        assert!(report.updates_processed > 0);
+        // Either the worker kept up with everything (possible on a fast
+        // machine) or backpressure was observed; both are valid, but the
+        // pipeline must never lose accepted updates.
+        if !saw_full {
+            assert_eq!(report.updates_processed, 5_000);
+        }
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_cleanly() {
+        let units = [Point::new(0.1, 0.1)];
+        let pipeline = Pipeline::spawn(monitor(&units), 8);
+        pipeline.send(LocationUpdate { unit: UnitId(0), new: Point::new(0.2, 0.2) });
+        drop(pipeline); // must not hang or panic
+    }
+}

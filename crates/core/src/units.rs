@@ -1,0 +1,163 @@
+//! The server-side unit table: last reported positions plus a grid index
+//! for counting protectors.
+
+use crate::types::{protects, LocationUpdate, Place, Safety, Unit, UnitId};
+use ctup_spatial::{Circle, Grid, Point, UnitGridIndex};
+
+/// Positions of all units with a grid index for `AP(p)` computation.
+#[derive(Debug)]
+pub struct UnitTable {
+    positions: Vec<Point>,
+    index: UnitGridIndex<u32>,
+    radius: f64,
+}
+
+impl UnitTable {
+    /// Creates the table with every unit at its initial position.
+    pub fn new(grid: Grid, initial: &[Point], radius: f64) -> Self {
+        assert!(radius > 0.0, "protection radius must be positive");
+        let mut index = UnitGridIndex::new(grid);
+        for (i, &p) in initial.iter().enumerate() {
+            index.insert(i as u32, p);
+        }
+        UnitTable { positions: initial.to_vec(), index, radius }
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether there are no units.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The protection range shared by all units.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Last reported position of `unit`.
+    pub fn position(&self, unit: UnitId) -> Point {
+        self.positions[unit.index()]
+    }
+
+    /// The protecting region of `unit`.
+    pub fn region(&self, unit: UnitId) -> Circle {
+        Circle::new(self.position(unit), self.radius)
+    }
+
+    /// Applies a location update and returns the previous position.
+    pub fn apply(&mut self, update: LocationUpdate) -> Point {
+        let old = self.positions[update.unit.index()];
+        self.index.relocate(update.unit.0, old, update.new);
+        self.positions[update.unit.index()] = update.new;
+        old
+    }
+
+    /// Actual protection `AP(p)`: the number of units protecting `place`.
+    pub fn ap(&self, place: &Place) -> u32 {
+        match &place.extent {
+            None => self.index.count_within(&Circle::new(place.pos, self.radius)),
+            Some(_) => {
+                // A unit containing the whole extent is in particular within
+                // `radius` of `pos`, so the probe circle is a superset.
+                let mut n = 0;
+                self.index
+                    .for_each_within(&Circle::new(place.pos, self.radius), |_, unit_pos| {
+                        if protects(unit_pos, self.radius, place) {
+                            n += 1;
+                        }
+                    });
+                n
+            }
+        }
+    }
+
+    /// Current safety of `place`: `AP(p) − RP(p)`.
+    pub fn safety(&self, place: &Place) -> Safety {
+        self.ap(place) as Safety - place.rp as Safety
+    }
+
+    /// Iterates all units in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Unit> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(i, &pos)| Unit { id: UnitId(i as u32), pos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PlaceId;
+    use ctup_spatial::Rect;
+
+    fn table() -> UnitTable {
+        let grid = Grid::unit_square(10);
+        let initial = vec![
+            Point::new(0.50, 0.50),
+            Point::new(0.55, 0.50),
+            Point::new(0.90, 0.90),
+        ];
+        UnitTable::new(grid, &initial, 0.1)
+    }
+
+    #[test]
+    fn ap_counts_units_in_range() {
+        let t = table();
+        let p = Place::point(PlaceId(0), Point::new(0.52, 0.50), 1);
+        assert_eq!(t.ap(&p), 2);
+        assert_eq!(t.safety(&p), 1);
+        let far = Place::point(PlaceId(1), Point::new(0.1, 0.1), 3);
+        assert_eq!(t.ap(&far), 0);
+        assert_eq!(t.safety(&far), -3);
+    }
+
+    #[test]
+    fn apply_moves_unit_and_returns_old() {
+        let mut t = table();
+        let old = t.apply(LocationUpdate { unit: UnitId(2), new: Point::new(0.52, 0.52) });
+        assert_eq!(old, Point::new(0.90, 0.90));
+        assert_eq!(t.position(UnitId(2)), Point::new(0.52, 0.52));
+        let p = Place::point(PlaceId(0), Point::new(0.52, 0.50), 0);
+        assert_eq!(t.ap(&p), 3);
+    }
+
+    #[test]
+    fn extended_place_requires_containment() {
+        let t = table();
+        // Extent around (0.52, 0.50): unit 0 at dist 0.02, unit 1 at 0.03.
+        let extent = Rect::from_coords(0.47, 0.45, 0.57, 0.55);
+        let p = Place::extended(PlaceId(0), Point::new(0.52, 0.50), 1, extent);
+        // Far corner of the extent is ~0.073 from unit 0 and ~0.054 from
+        // unit 1; both contain it within 0.1? corner (0.57,0.55) from
+        // (0.5,0.5): 0.086; from (0.55,0.5): 0.054; corner (0.47,0.45) from
+        // (0.55,0.5): 0.094. All corners within 0.1 of both units.
+        assert_eq!(t.ap(&p), 2);
+        // Shrink the radius: containment fails though centers are close.
+        let t2 = UnitTable::new(
+            Grid::unit_square(10),
+            &[Point::new(0.50, 0.50), Point::new(0.55, 0.50)],
+            0.05,
+        );
+        assert_eq!(t2.ap(&p), 0);
+    }
+
+    #[test]
+    fn iter_yields_all_units() {
+        let t = table();
+        let units: Vec<Unit> = t.iter().collect();
+        assert_eq!(units.len(), 3);
+        assert_eq!(units[1].id, UnitId(1));
+        assert_eq!(units[1].pos, Point::new(0.55, 0.50));
+    }
+
+    #[test]
+    fn region_uses_shared_radius() {
+        let t = table();
+        assert_eq!(t.region(UnitId(0)), Circle::new(Point::new(0.5, 0.5), 0.1));
+    }
+}

@@ -1,0 +1,34 @@
+//! Workload substrate for the CTUP reproduction: a Brinkhoff-style
+//! network-based moving-object generator and place-set generators.
+//!
+//! The paper evaluates on units moving along the Oldenburg road network
+//! (via the Brinkhoff generator) with randomly generated places. This crate
+//! rebuilds that pipeline from scratch:
+//!
+//! * [`network`] — synthetic, connected road networks with arterials;
+//! * [`route`] — travel-time Dijkstra routing;
+//! * [`objects`] — objects that roam the network and report location
+//!   updates past a displacement threshold;
+//! * [`places`] — place sets with skewed required-protection distributions;
+//! * [`uniform`] — random-waypoint and teleport models for stress tests;
+//! * [`workload`] — bundles of all of the above, including the paper's
+//!   Table III defaults.
+//!
+//! Everything is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod objects;
+pub mod places;
+pub mod route;
+pub mod uniform;
+pub mod workload;
+
+pub use network::{CityParams, Edge, NodeId, RoadNetwork};
+pub use objects::{MovingObjectSim, PositionUpdate};
+pub use places::{PlaceGenConfig, PlaceGenerator, Spread};
+pub use route::Router;
+pub use uniform::{RandomWaypointSim, TeleportSim};
+pub use workload::{Workload, WorkloadParams};

@@ -1,0 +1,214 @@
+//! Shortest-path routing over a road network.
+//!
+//! Objects route by travel time (edge length / edge speed), so arterials
+//! attract traffic just as in the Brinkhoff generator.
+
+use crate::network::{NodeId, RoadNetwork};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A candidate in the Dijkstra frontier (min-heap on cost).
+#[derive(Debug, PartialEq)]
+struct Frontier {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for Frontier {}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Reusable Dijkstra state; keep one router per thread and call
+/// [`Router::shortest_path`] repeatedly without reallocating.
+#[derive(Debug)]
+pub struct Router {
+    dist: Vec<f64>,
+    prev_edge: Vec<u32>,
+    touched: Vec<NodeId>,
+}
+
+/// Sentinel for "no predecessor".
+const NO_EDGE: u32 = u32::MAX;
+
+impl Router {
+    /// Creates a router for networks with up to `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Router {
+            dist: vec![f64::INFINITY; num_nodes],
+            prev_edge: vec![NO_EDGE; num_nodes],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Computes the travel-time shortest path `from -> to` and returns it as
+    /// the sequence of nodes including both endpoints, or `None` when `to`
+    /// is unreachable. A path from a node to itself is `[from]`.
+    pub fn shortest_path(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<Vec<NodeId>> {
+        assert!(
+            from.index() < net.num_nodes() && to.index() < net.num_nodes(),
+            "endpoint out of range"
+        );
+        // Reset only what the previous run dirtied.
+        for &n in &self.touched {
+            self.dist[n.index()] = f64::INFINITY;
+            self.prev_edge[n.index()] = NO_EDGE;
+        }
+        self.touched.clear();
+
+        let mut heap = BinaryHeap::new();
+        self.dist[from.index()] = 0.0;
+        self.touched.push(from);
+        heap.push(Frontier { cost: 0.0, node: from });
+
+        while let Some(Frontier { cost, node }) = heap.pop() {
+            if node == to {
+                break;
+            }
+            if cost > self.dist[node.index()] {
+                continue; // stale entry
+            }
+            for &edge_idx in net.incident(node) {
+                let edge = net.edge(edge_idx);
+                let next = net.other_end(edge, node);
+                let next_cost = cost + edge.length / edge.speed;
+                if next_cost < self.dist[next.index()] {
+                    if self.dist[next.index()].is_infinite() {
+                        self.touched.push(next);
+                    }
+                    self.dist[next.index()] = next_cost;
+                    self.prev_edge[next.index()] = edge_idx;
+                    heap.push(Frontier { cost: next_cost, node: next });
+                }
+            }
+        }
+
+        if self.dist[to.index()].is_infinite() {
+            return None;
+        }
+        // Walk predecessors back to the source.
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            let edge = net.edge(self.prev_edge[cur.index()]);
+            cur = net.other_end(edge, cur);
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Travel time of the last computed path's destination; only valid right
+    /// after a successful [`Router::shortest_path`] call for that node.
+    pub fn cost_to(&self, node: NodeId) -> f64 {
+        self.dist[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{CityParams, Edge};
+    use ctup_spatial::Point;
+
+    fn line_network(n: u32) -> RoadNetwork {
+        let nodes = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        let edges = (0..n - 1)
+            .map(|i| Edge { a: NodeId(i), b: NodeId(i + 1), length: 1.0, speed: 1.0 })
+            .collect();
+        RoadNetwork::from_parts(nodes, edges)
+    }
+
+    #[test]
+    fn straight_line_path() {
+        let net = line_network(5);
+        let mut router = Router::new(net.num_nodes());
+        let path = router.shortest_path(&net, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(path, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(router.cost_to(NodeId(4)), 4.0);
+    }
+
+    #[test]
+    fn trivial_self_path() {
+        let net = line_network(3);
+        let mut router = Router::new(net.num_nodes());
+        assert_eq!(router.shortest_path(&net, NodeId(1), NodeId(1)).unwrap(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        // Two disconnected segments.
+        let nodes = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(6.0, 0.0),
+        ];
+        let edges = vec![
+            Edge { a: NodeId(0), b: NodeId(1), length: 1.0, speed: 1.0 },
+            Edge { a: NodeId(2), b: NodeId(3), length: 1.0, speed: 1.0 },
+        ];
+        let net = RoadNetwork::from_parts(nodes, edges);
+        let mut router = Router::new(net.num_nodes());
+        assert!(router.shortest_path(&net, NodeId(0), NodeId(3)).is_none());
+        // And the router remains usable afterwards.
+        assert!(router.shortest_path(&net, NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn prefers_fast_detour_over_slow_direct() {
+        // 0 -(slow direct)- 2, or 0 -1- 2 over fast edges.
+        let nodes = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 0.0)];
+        let slow = 0.1; // direct cost = 2 / 0.1 = 20
+        let fast = 1.0; // detour cost = 2 * sqrt(2) ≈ 2.83
+        let edges = vec![
+            Edge { a: NodeId(0), b: NodeId(2), length: 2.0, speed: slow },
+            Edge { a: NodeId(0), b: NodeId(1), length: 2.0_f64.sqrt(), speed: fast },
+            Edge { a: NodeId(1), b: NodeId(2), length: 2.0_f64.sqrt(), speed: fast },
+        ];
+        let net = RoadNetwork::from_parts(nodes, edges);
+        let mut router = Router::new(net.num_nodes());
+        let path = router.shortest_path(&net, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(path, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn reusable_across_many_queries_on_city() {
+        let net = RoadNetwork::synthetic_city(&CityParams::default(), 11);
+        let mut router = Router::new(net.num_nodes());
+        let n = net.num_nodes() as u32;
+        for i in 0..50u32 {
+            let from = NodeId((i * 37) % n);
+            let to = NodeId((i * 101 + 13) % n);
+            let path = router.shortest_path(&net, from, to).expect("city is connected");
+            assert_eq!(*path.first().unwrap(), from);
+            assert_eq!(*path.last().unwrap(), to);
+            // Consecutive nodes are adjacent in the network.
+            for w in path.windows(2) {
+                let adjacent = net
+                    .incident(w[0])
+                    .iter()
+                    .any(|&e| net.other_end(net.edge(e), w[0]) == w[1]);
+                assert!(adjacent, "{:?} -> {:?} not an edge", w[0], w[1]);
+            }
+        }
+    }
+}

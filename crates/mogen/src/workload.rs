@@ -1,0 +1,140 @@
+//! Ready-made experiment workloads bundling places, units and update
+//! streams, including the paper's Table III default configuration.
+
+use crate::network::{CityParams, RoadNetwork};
+use crate::objects::{MovingObjectSim, PositionUpdate};
+use crate::places::{PlaceGenConfig, PlaceGenerator};
+use ctup_spatial::Point;
+use ctup_storage::PlaceRecord;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a complete workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Number of protecting units `|U|` (Table III default: 150).
+    pub num_units: u32,
+    /// Place generation (Table III default count: 15 000).
+    pub places: PlaceGenConfig,
+    /// Road network for the units.
+    pub city: CityParams,
+    /// Report threshold for unit updates.
+    pub report_threshold: f64,
+    /// Simulation time step between reporting rounds.
+    pub tick_dt: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    /// The paper's default experimental setting (Table III): 150 units and
+    /// 15 000 places on a unit-square city.
+    fn default() -> Self {
+        WorkloadParams {
+            num_units: 150,
+            places: PlaceGenConfig::default(),
+            city: CityParams::default(),
+            report_threshold: 0.002,
+            tick_dt: 1.0,
+            seed: 0xC7_u64,
+        }
+    }
+}
+
+/// A generated workload: the static place set, the initial unit positions,
+/// and a deterministic stream of location updates.
+#[derive(Debug)]
+pub struct Workload {
+    params: WorkloadParams,
+    places: Vec<PlaceRecord>,
+    sim: MovingObjectSim,
+}
+
+impl Workload {
+    /// Generates the workload for `params`.
+    pub fn generate(params: WorkloadParams) -> Self {
+        let places = PlaceGenerator::new(params.places.clone()).generate(params.seed);
+        let net = RoadNetwork::synthetic_city(&params.city, params.seed.wrapping_add(1));
+        let sim = MovingObjectSim::new(
+            net,
+            params.num_units,
+            params.report_threshold,
+            params.seed.wrapping_add(2),
+        );
+        Workload { params, places, sim }
+    }
+
+    /// The paper's Table III defaults with the given seed.
+    pub fn paper_default(seed: u64) -> Self {
+        Workload::generate(WorkloadParams { seed, ..WorkloadParams::default() })
+    }
+
+    /// The parameters this workload was generated from.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// The place set.
+    pub fn places(&self) -> &[PlaceRecord] {
+        &self.places
+    }
+
+    /// Takes ownership of the place set (the store builders want a `Vec`).
+    pub fn places_vec(&self) -> Vec<PlaceRecord> {
+        self.places.clone()
+    }
+
+    /// Current reported unit positions in unit-id order (the server's
+    /// initial view).
+    pub fn unit_positions(&self) -> Vec<Point> {
+        self.sim.reported_positions()
+    }
+
+    /// Produces the next `n` location updates of the stream.
+    pub fn next_updates(&mut self, n: usize) -> Vec<PositionUpdate> {
+        let dt = self.params.tick_dt;
+        self.sim.collect_updates(n, dt)
+    }
+
+    /// Access to the underlying simulation (for examples that want to draw
+    /// or inspect the fleet).
+    pub fn sim(&self) -> &MovingObjectSim {
+        &self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_iii() {
+        let w = Workload::paper_default(1);
+        assert_eq!(w.params().num_units, 150);
+        assert_eq!(w.places().len(), 15_000);
+        assert_eq!(w.unit_positions().len(), 150);
+    }
+
+    #[test]
+    fn update_stream_is_deterministic() {
+        let mut a = Workload::paper_default(5);
+        let mut b = Workload::paper_default(5);
+        assert_eq!(a.places(), b.places());
+        assert_eq!(a.unit_positions(), b.unit_positions());
+        assert_eq!(a.next_updates(200), b.next_updates(200));
+    }
+
+    #[test]
+    fn smaller_workloads_generate_quickly() {
+        let params = WorkloadParams {
+            num_units: 10,
+            places: PlaceGenConfig { count: 100, ..Default::default() },
+            ..Default::default()
+        };
+        let mut w = Workload::generate(params);
+        let updates = w.next_updates(50);
+        assert_eq!(updates.len(), 50);
+        for u in &updates {
+            assert!(u.object < 10);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Paged, simulated-disk lower level.
+//!
+//! The paper's figure-9 discussion notes that with places actually on disk
+//! the cell-access cost would dominate. [`PagedDiskStore`] makes that
+//! regime measurable: each cell's records are serialized into fixed-size
+//! pages at build time, and every read decodes the pages and (optionally)
+//! burns a configurable per-page latency, counted in [`StorageStats`].
+
+use crate::place::{PlaceId, PlaceRecord};
+use crate::stats::StorageStats;
+use crate::store::{partition_by_cell, PlaceStore};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ctup_spatial::{CellId, Grid, Point, Rect};
+use std::borrow::Cow;
+use std::time::Instant;
+
+/// Fixed page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+const TAG_POINT: u8 = 0;
+const TAG_EXTENDED: u8 = 1;
+
+/// Encodes one record onto a buffer (25 or 57 bytes).
+fn encode_record(buf: &mut BytesMut, record: &PlaceRecord) {
+    buf.put_u32_le(record.id.0);
+    buf.put_f64_le(record.pos.x);
+    buf.put_f64_le(record.pos.y);
+    buf.put_u32_le(record.rp);
+    match &record.extent {
+        None => buf.put_u8(TAG_POINT),
+        Some(r) => {
+            buf.put_u8(TAG_EXTENDED);
+            buf.put_f64_le(r.lo.x);
+            buf.put_f64_le(r.lo.y);
+            buf.put_f64_le(r.hi.x);
+            buf.put_f64_le(r.hi.y);
+        }
+    }
+}
+
+/// Decodes one record from a buffer.
+fn decode_record(buf: &mut impl Buf) -> PlaceRecord {
+    let id = PlaceId(buf.get_u32_le());
+    let pos = Point::new(buf.get_f64_le(), buf.get_f64_le());
+    let rp = buf.get_u32_le();
+    let extent = match buf.get_u8() {
+        TAG_POINT => None,
+        TAG_EXTENDED => {
+            let lo = Point::new(buf.get_f64_le(), buf.get_f64_le());
+            let hi = Point::new(buf.get_f64_le(), buf.get_f64_le());
+            Some(Rect::new(lo, hi))
+        }
+        tag => panic!("corrupt page: unknown record tag {tag}"),
+    };
+    PlaceRecord { id, pos, rp, extent }
+}
+
+/// Where a cell's records live: a page range plus the record count.
+#[derive(Debug, Clone, Copy)]
+struct CellLocation {
+    first_page: u32,
+    num_pages: u32,
+    num_records: u32,
+}
+
+/// A place store whose lower level is a simulated page-oriented disk.
+#[derive(Debug)]
+pub struct PagedDiskStore {
+    grid: Grid,
+    pages: Vec<Bytes>,
+    directory: Vec<CellLocation>,
+    margins: Vec<f64>,
+    num_places: usize,
+    page_latency_nanos: u64,
+    stats: StorageStats,
+}
+
+impl PagedDiskStore {
+    /// Builds the store, packing each cell's records into whole pages.
+    /// `page_latency_nanos` is busy-waited per page on every read
+    /// (0 disables the simulated latency).
+    pub fn build(grid: Grid, places: Vec<PlaceRecord>, page_latency_nanos: u64) -> Self {
+        let num_places = places.len();
+        let (cells, margins) = partition_by_cell(&grid, places);
+        let mut pages = Vec::new();
+        let mut directory = Vec::with_capacity(cells.len());
+        for records in &cells {
+            let first_page = pages.len() as u32;
+            let mut buf = BytesMut::with_capacity(PAGE_SIZE);
+            for record in records {
+                // Records never span pages: start a new page when the next
+                // record (worst case 57 bytes) may not fit.
+                if buf.len() + 57 > PAGE_SIZE {
+                    pages.push(buf.split().freeze());
+                    buf.reserve(PAGE_SIZE);
+                }
+                encode_record(&mut buf, record);
+            }
+            if !buf.is_empty() {
+                pages.push(buf.freeze());
+            }
+            directory.push(CellLocation {
+                first_page,
+                num_pages: pages.len() as u32 - first_page,
+                num_records: records.len() as u32,
+            });
+        }
+        PagedDiskStore {
+            grid,
+            pages,
+            directory,
+            margins,
+            num_places,
+            page_latency_nanos,
+            stats: StorageStats::new(),
+        }
+    }
+
+    /// Total number of pages on the simulated disk.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn simulate_latency(&self, pages: u64) -> u64 {
+        if self.page_latency_nanos == 0 {
+            return 0;
+        }
+        let budget = self.page_latency_nanos * pages;
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < budget {
+            std::hint::spin_loop();
+        }
+        budget
+    }
+}
+
+impl PlaceStore for PagedDiskStore {
+    fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    fn num_places(&self) -> usize {
+        self.num_places
+    }
+
+    fn read_cell(&self, cell: CellId) -> Cow<'_, [PlaceRecord]> {
+        let loc = self.directory[cell.index()];
+        let io_nanos = self.simulate_latency(loc.num_pages as u64);
+        let mut records = Vec::with_capacity(loc.num_records as usize);
+        for page_idx in loc.first_page..loc.first_page + loc.num_pages {
+            let mut page = &self.pages[page_idx as usize][..];
+            while page.has_remaining() {
+                records.push(decode_record(&mut page));
+            }
+        }
+        debug_assert_eq!(records.len(), loc.num_records as usize);
+        self.stats
+            .record_cell_read(loc.num_records as u64, loc.num_pages as u64, io_nanos);
+        Cow::Owned(records)
+    }
+
+    fn cell_extent_margin(&self, cell: CellId) -> f64 {
+        self.margins[cell.index()]
+    }
+
+    fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+
+    fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord)) {
+        for page in &self.pages {
+            let mut buf = &page[..];
+            while buf.has_remaining() {
+                f(&decode_record(&mut buf));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_places(n: u32) -> Vec<PlaceRecord> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 37) as f64 / 37.0;
+                let y = (i % 23) as f64 / 23.0;
+                if i % 5 == 0 {
+                    PlaceRecord::extended(
+                        PlaceId(i),
+                        Point::new(x, y),
+                        i % 7,
+                        Rect::point(Point::new(x, y)).inflate(0.001),
+                    )
+                } else {
+                    PlaceRecord::point(PlaceId(i), Point::new(x, y), i % 7)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for record in sample_places(10) {
+            let mut buf = BytesMut::new();
+            encode_record(&mut buf, &record);
+            let mut read = &buf[..];
+            assert_eq!(decode_record(&mut read), record);
+            assert!(!read.has_remaining());
+        }
+    }
+
+    #[test]
+    fn read_cell_roundtrips_every_cell() {
+        let grid = Grid::unit_square(6);
+        let places = sample_places(500);
+        let mem = crate::memstore::CellLocalStore::build(grid.clone(), places.clone());
+        let disk = PagedDiskStore::build(grid.clone(), places, 0);
+        for cell in grid.cells() {
+            let a = mem.read_cell(cell).into_owned();
+            let b = disk.read_cell(cell).into_owned();
+            assert_eq!(a, b, "cell {cell:?}");
+            assert_eq!(
+                mem.cell_extent_margin(cell),
+                disk.cell_extent_margin(cell),
+                "margin of {cell:?}"
+            );
+        }
+        assert_eq!(disk.num_places(), 500);
+    }
+
+    #[test]
+    fn multi_page_cells() {
+        // All 500 places in one cell: > PAGE_SIZE of data, several pages.
+        let grid = Grid::unit_square(1);
+        let disk = PagedDiskStore::build(grid, sample_places(500), 0);
+        assert!(disk.num_pages() >= 3, "got {} pages", disk.num_pages());
+        let records = disk.read_cell(CellId(0)).into_owned();
+        assert_eq!(records.len(), 500);
+        let snap = disk.stats().snapshot();
+        assert_eq!(snap.cell_reads, 1);
+        assert_eq!(snap.pages_read as usize, disk.num_pages());
+    }
+
+    #[test]
+    fn simulated_latency_is_counted() {
+        let grid = Grid::unit_square(1);
+        let disk = PagedDiskStore::build(grid, sample_places(50), 1_000);
+        let start = Instant::now();
+        disk.read_cell(CellId(0));
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let snap = disk.stats().snapshot();
+        assert!(snap.io_nanos >= 1_000);
+        assert!(elapsed >= snap.io_nanos);
+    }
+
+    #[test]
+    fn for_each_place_sees_everything_without_accounting() {
+        let disk = PagedDiskStore::build(Grid::unit_square(3), sample_places(123), 0);
+        let mut n = 0;
+        disk.for_each_place(&mut |_| n += 1);
+        assert_eq!(n, 123);
+        assert_eq!(disk.stats().snapshot().cell_reads, 0);
+    }
+}

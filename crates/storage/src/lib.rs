@@ -1,0 +1,29 @@
+//! Two-level storage substrate for the CTUP reproduction.
+//!
+//! The paper separates the infrequently-updated *lower level* (all places,
+//! partitioned by grid cell; conceptually on disk) from the continuously
+//! changing *higher level* (units, cell metadata, a small fraction of
+//! places; in memory). This crate provides the lower level behind the
+//! [`PlaceStore`] trait with full access accounting:
+//!
+//! * [`CellLocalStore`] — memory-resident, for the "places fit in memory"
+//!   regime (the paper's experimental setting);
+//! * [`PagedDiskStore`] — page-oriented with a binary codec and optional
+//!   simulated per-page latency, for the on-disk regime;
+//! * [`snapshot`] — a tiny text format to persist generated data sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diskstore;
+pub mod memstore;
+pub mod place;
+pub mod snapshot;
+pub mod stats;
+pub mod store;
+
+pub use diskstore::{PagedDiskStore, PAGE_SIZE};
+pub use memstore::CellLocalStore;
+pub use place::{PlaceId, PlaceRecord};
+pub use stats::{StorageStats, StorageStatsSnapshot};
+pub use store::PlaceStore;

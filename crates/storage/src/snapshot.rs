@@ -1,0 +1,218 @@
+//! Plain-text snapshots of place data sets.
+//!
+//! A deliberately tiny line-oriented format (one record per line) so that
+//! examples can persist and reload generated workloads without pulling in a
+//! serialization framework:
+//!
+//! ```text
+//! #ctup-places v1
+//! <id> <x> <y> <rp> [<lo.x> <lo.y> <hi.x> <hi.y>]
+//! ```
+
+use crate::place::{PlaceId, PlaceRecord};
+use ctup_spatial::{Point, Rect};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Header line identifying the format version.
+const HEADER: &str = "#ctup-places v1";
+
+/// Errors raised while reading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file contents.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Parse { line, message } => {
+                write!(f, "snapshot parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Writes `places` to `w` in the snapshot format.
+pub fn write_places<W: Write>(mut w: W, places: &[PlaceRecord]) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for p in places {
+        match &p.extent {
+            None => writeln!(w, "{} {} {} {}", p.id.0, p.pos.x, p.pos.y, p.rp)?,
+            Some(r) => writeln!(
+                w,
+                "{} {} {} {} {} {} {} {}",
+                p.id.0, p.pos.x, p.pos.y, p.rp, r.lo.x, r.lo.y, r.hi.x, r.hi.y
+            )?,
+        }
+    }
+    Ok(())
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> SnapshotError {
+    SnapshotError::Parse { line, message: message.into() }
+}
+
+/// Reads places from `r`, validating the header and every record.
+pub fn read_places<R: BufRead>(r: R) -> Result<Vec<PlaceRecord>, SnapshotError> {
+    let mut places = Vec::new();
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))??;
+    if header.trim() != HEADER {
+        return Err(parse_err(1, format!("bad header {header:?}, expected {HEADER:?}")));
+    }
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_ascii_whitespace().collect();
+        if fields.len() != 4 && fields.len() != 8 {
+            return Err(parse_err(line_no, format!("expected 4 or 8 fields, got {}", fields.len())));
+        }
+        let id: u32 = fields[0]
+            .parse()
+            .map_err(|e| parse_err(line_no, format!("bad id: {e}")))?;
+        let mut nums = [0.0f64; 7];
+        for (i, field) in fields[1..].iter().enumerate() {
+            nums[i] = field
+                .parse()
+                .map_err(|e| parse_err(line_no, format!("bad number {field:?}: {e}")))?;
+        }
+        let rp = nums[2];
+        if rp < 0.0 || rp.fract() != 0.0 {
+            return Err(parse_err(line_no, format!("rp must be a non-negative integer, got {rp}")));
+        }
+        let pos = Point::new(nums[0], nums[1]);
+        let extent = if fields.len() == 8 {
+            let lo = Point::new(nums[3], nums[4]);
+            let hi = Point::new(nums[5], nums[6]);
+            if lo.x > hi.x || lo.y > hi.y {
+                return Err(parse_err(line_no, "extent corners out of order"));
+            }
+            let rect = Rect::new(lo, hi);
+            if !rect.contains_point(pos) {
+                return Err(parse_err(line_no, "extent does not contain position"));
+            }
+            Some(rect)
+        } else {
+            None
+        };
+        places.push(PlaceRecord { id: PlaceId(id), pos, rp: rp as u32, extent });
+    }
+    Ok(places)
+}
+
+/// Saves `places` to a file.
+pub fn save_places(path: &Path, places: &[PlaceRecord]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_places(&mut w, places)?;
+    w.flush()
+}
+
+/// Loads places from a file.
+pub fn load_places(path: &Path) -> Result<Vec<PlaceRecord>, SnapshotError> {
+    read_places(BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<PlaceRecord> {
+        vec![
+            PlaceRecord::point(PlaceId(0), Point::new(0.25, 0.75), 3),
+            PlaceRecord::extended(
+                PlaceId(1),
+                Point::new(0.5, 0.5),
+                6,
+                Rect::from_coords(0.45, 0.45, 0.55, 0.55),
+            ),
+            PlaceRecord::point(PlaceId(2), Point::new(0.0, 1.0), 0),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let places = sample();
+        let mut buf = Vec::new();
+        write_places(&mut buf, &places).unwrap();
+        let read = read_places(buf.as_slice()).unwrap();
+        assert_eq!(read, places);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_skipped() {
+        let text = format!("{HEADER}\n\n# a comment\n5 0.1 0.2 4\n");
+        let read = read_places(text.as_bytes()).unwrap();
+        assert_eq!(read, vec![PlaceRecord::point(PlaceId(5), Point::new(0.1, 0.2), 4)]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_places("#wrong\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        let cases = [
+            "1 0.5",                        // wrong field count
+            "x 0.5 0.5 1",                  // bad id
+            "1 0.5 zz 1",                   // bad number
+            "1 0.5 0.5 -2",                 // negative rp
+            "1 0.5 0.5 1.5",                // fractional rp
+            "1 0.5 0.5 1 0.9 0.9 0.1 0.1",  // inverted extent
+            "1 0.5 0.5 1 0.6 0.6 0.9 0.9",  // extent misses pos
+        ];
+        for case in cases {
+            let text = format!("{HEADER}\n{case}\n");
+            let err = read_places(text.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Parse { line: 2, .. }),
+                "case {case:?} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ctup-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("places.txt");
+        let places = sample();
+        save_places(&path, &places).unwrap();
+        assert_eq!(load_places(&path).unwrap(), places);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,109 @@
+//! I/O accounting for the lower storage level.
+//!
+//! The CTUP schemes are judged by how rarely they touch the lower level, so
+//! every store counts its accesses. Counters use atomics because reads go
+//! through `&self`.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters owned by a store. Reads are `&self`, hence atomics.
+#[derive(Debug, Default)]
+pub struct StorageStats {
+    cell_reads: AtomicU64,
+    records_read: AtomicU64,
+    pages_read: AtomicU64,
+    io_nanos: AtomicU64,
+}
+
+impl StorageStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one lower-level cell access delivering `records` records
+    /// from `pages` pages with `io_nanos` of (simulated) I/O time.
+    pub fn record_cell_read(&self, records: u64, pages: u64, io_nanos: u64) {
+        self.cell_reads.fetch_add(1, Ordering::Relaxed);
+        self.records_read.fetch_add(records, Ordering::Relaxed);
+        self.pages_read.fetch_add(pages, Ordering::Relaxed);
+        self.io_nanos.fetch_add(io_nanos, Ordering::Relaxed);
+    }
+
+    /// Current values as a plain snapshot.
+    pub fn snapshot(&self) -> StorageStatsSnapshot {
+        StorageStatsSnapshot {
+            cell_reads: self.cell_reads.load(Ordering::Relaxed),
+            records_read: self.records_read.load(Ordering::Relaxed),
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            io_nanos: self.io_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.cell_reads.store(0, Ordering::Relaxed);
+        self.records_read.store(0, Ordering::Relaxed);
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.io_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`StorageStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageStatsSnapshot {
+    /// Number of lower-level cell accesses.
+    pub cell_reads: u64,
+    /// Total place records delivered by those accesses.
+    pub records_read: u64,
+    /// Total pages fetched (equals `cell_reads` for unpaged stores).
+    pub pages_read: u64,
+    /// Total simulated I/O time in nanoseconds.
+    pub io_nanos: u64,
+}
+
+impl StorageStatsSnapshot {
+    /// Component-wise difference since `earlier`; saturates at zero.
+    pub fn since(&self, earlier: &StorageStatsSnapshot) -> StorageStatsSnapshot {
+        StorageStatsSnapshot {
+            cell_reads: self.cell_reads.saturating_sub(earlier.cell_reads),
+            records_read: self.records_read.saturating_sub(earlier.records_read),
+            pages_read: self.pages_read.saturating_sub(earlier.pages_read),
+            io_nanos: self.io_nanos.saturating_sub(earlier.io_nanos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = StorageStats::new();
+        s.record_cell_read(10, 2, 100);
+        s.record_cell_read(5, 1, 50);
+        let snap = s.snapshot();
+        assert_eq!(snap.cell_reads, 2);
+        assert_eq!(snap.records_read, 15);
+        assert_eq!(snap.pages_read, 3);
+        assert_eq!(snap.io_nanos, 150);
+        s.reset();
+        assert_eq!(s.snapshot(), StorageStatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let s = StorageStats::new();
+        s.record_cell_read(10, 2, 100);
+        let a = s.snapshot();
+        s.record_cell_read(1, 1, 1);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.cell_reads, 1);
+        assert_eq!(d.records_read, 1);
+        // Saturation instead of wrap on inverted order.
+        assert_eq!(a.since(&b).cell_reads, 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! The `PlaceStore` abstraction — the lower level of the paper's two-level
+//! storage model.
+//!
+//! The lower level stores *all* places, partitioned by grid cell, and is
+//! only touched when a CTUP scheme has to "illuminate" or "access" a cell.
+//! Whether it is backed by memory or a (simulated) disk, every access is
+//! accounted through [`StorageStats`].
+
+use crate::place::PlaceRecord;
+use crate::stats::StorageStats;
+use ctup_spatial::{CellId, Grid};
+use std::borrow::Cow;
+
+/// Read-only, cell-partitioned access to the full place set.
+///
+/// Stores are `Send + Sync` (access counters use atomics) so query
+/// processors built over an `Arc<dyn PlaceStore>` can move across threads,
+/// e.g. into the ingestion pipeline's worker.
+pub trait PlaceStore: Send + Sync {
+    /// The grid partitioning the space (shared with the higher level).
+    fn grid(&self) -> &Grid;
+
+    /// Total number of places.
+    fn num_places(&self) -> usize;
+
+    /// Loads every place of `cell` from the lower level, counting the
+    /// access. Returns borrowed data for memory-resident stores and owned
+    /// data for stores that must decode pages.
+    fn read_cell(&self, cell: CellId) -> Cow<'_, [PlaceRecord]>;
+
+    /// Largest extent margin among the places of `cell`
+    /// (see [`PlaceRecord::extent_margin`]); zero for point data sets.
+    fn cell_extent_margin(&self, cell: CellId) -> f64;
+
+    /// The access counters.
+    fn stats(&self) -> &StorageStats;
+
+    /// Iterates over all places without touching the counters — intended
+    /// for initialization oracles and tests, not for query processing.
+    fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord));
+}
+
+/// Helper shared by store builders: partitions places into per-cell vectors
+/// by the cell of their position.
+pub(crate) fn partition_by_cell(
+    grid: &Grid,
+    places: Vec<PlaceRecord>,
+) -> (Vec<Vec<PlaceRecord>>, Vec<f64>) {
+    let mut cells: Vec<Vec<PlaceRecord>> = vec![Vec::new(); grid.num_cells()];
+    let mut margins = vec![0.0f64; grid.num_cells()];
+    for place in places {
+        let cell = grid.cell_of(place.pos);
+        let m = place.extent_margin();
+        if m > margins[cell.index()] {
+            margins[cell.index()] = m;
+        }
+        cells[cell.index()].push(place);
+    }
+    (cells, margins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::PlaceId;
+    use ctup_spatial::{Point, Rect};
+
+    #[test]
+    fn partition_assigns_by_position() {
+        let grid = Grid::unit_square(2);
+        let places = vec![
+            PlaceRecord::point(PlaceId(0), Point::new(0.1, 0.1), 1),
+            PlaceRecord::point(PlaceId(1), Point::new(0.9, 0.1), 1),
+            PlaceRecord::point(PlaceId(2), Point::new(0.9, 0.9), 1),
+            PlaceRecord::extended(
+                PlaceId(3),
+                Point::new(0.25, 0.75),
+                2,
+                Rect::from_coords(0.2, 0.7, 0.3, 0.8),
+            ),
+        ];
+        let (cells, margins) = partition_by_cell(&grid, places);
+        assert_eq!(cells[0].len(), 1);
+        assert_eq!(cells[1].len(), 1);
+        assert_eq!(cells[2].len(), 1); // cell (0,1) holds the extended place
+        assert_eq!(cells[3].len(), 1);
+        assert_eq!(margins[0], 0.0);
+        let half_diag = (0.05f64 * 0.05 * 2.0).sqrt();
+        assert!((margins[2] - half_diag).abs() < 1e-12);
+    }
+}

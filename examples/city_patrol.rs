@@ -1,0 +1,113 @@
+//! City patrol: the paper's full experimental setting, live.
+//!
+//! Generates the Table III workload (150 units on a synthetic road
+//! network, 15 000 places), monitors the top-15 unsafe places with
+//! OptCTUP wrapped in a [`Server`], streams location updates, and prints
+//! every change to the result, then a cost comparison of all algorithms.
+//!
+//! ```text
+//! cargo run --release --example city_patrol [-- <updates>]
+//! ```
+
+use ctup::core::algorithm::CtupAlgorithm;
+use ctup::core::config::CtupConfig;
+use ctup::core::naive::{NaiveIncremental, NaiveRecompute};
+use ctup::core::server::{MonitorEvent, Server};
+use ctup::core::types::{LocationUpdate, UnitId};
+use ctup::core::{BasicCtup, OptCtup};
+use ctup::mogen::Workload;
+use ctup::spatial::Grid;
+use ctup::storage::{CellLocalStore, PlaceStore};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let updates: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000);
+
+    println!("generating the Table III workload …");
+    let mut workload = Workload::paper_default(7);
+    let store: Arc<dyn PlaceStore> =
+        Arc::new(CellLocalStore::build(Grid::unit_square(10), workload.places_vec()));
+    let units = workload.unit_positions();
+
+    println!("initializing OptCTUP over {} places …", store.num_places());
+    let monitor = OptCtup::new(CtupConfig::paper_default(), store.clone(), &units);
+    println!(
+        "init done in {:.1} ms; SK = {:?}\n",
+        monitor.init_stats().wall.as_secs_f64() * 1e3,
+        monitor.sk()
+    );
+    let mut server = Server::new(monitor);
+
+    println!("streaming {updates} location updates …");
+    let stream = workload.next_updates(updates);
+    let mut shown = 0;
+    for update in &stream {
+        let (events, _) = server.ingest(LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        });
+        for event in events {
+            if shown < 25 {
+                match event {
+                    MonitorEvent::Entered { place, safety } => {
+                        println!("  ALERT  place {:>5} became top-k unsafe (safety {safety})", place.0)
+                    }
+                    MonitorEvent::Left { place } => {
+                        println!("  clear  place {:>5} no longer top-k unsafe", place.0)
+                    }
+                    MonitorEvent::SafetyChanged { place, old, new } => {
+                        println!("  shift  place {:>5} safety {old} -> {new}", place.0)
+                    }
+                }
+                shown += 1;
+                if shown == 25 {
+                    println!("  … (further events suppressed)");
+                }
+            }
+        }
+    }
+    let metrics = server.algorithm().metrics();
+    println!(
+        "\nOptCTUP: {} events, {:.2} cells accessed/update, {} places maintained",
+        server.events_emitted(),
+        metrics.cells_accessed as f64 / metrics.updates_processed.max(1) as f64,
+        metrics.maintained_now
+    );
+
+    println!("\ncost comparison on the same stream:");
+    let compare: &[(&str, usize)] =
+        &[("NaiveRecompute", updates.min(100)), ("NaiveIncremental", updates), ("BasicCTUP", updates)];
+    for &(name, n) in compare {
+        let mut workload = Workload::paper_default(7);
+        let store: Arc<dyn PlaceStore> =
+            Arc::new(CellLocalStore::build(Grid::unit_square(10), workload.places_vec()));
+        let units = workload.unit_positions();
+        let config = CtupConfig::paper_default();
+        let mut alg: Box<dyn CtupAlgorithm> = match name {
+            "NaiveRecompute" => Box::new(NaiveRecompute::new(config, store, &units)),
+            "NaiveIncremental" => Box::new(NaiveIncremental::new(config, store, &units)),
+            _ => Box::new(BasicCtup::new(config, store, &units)),
+        };
+        let stream = workload.next_updates(n);
+        let start = Instant::now();
+        for update in &stream {
+            alg.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+        }
+        println!(
+            "  {name:<17} {:>9.1} us/update  ({} updates)",
+            start.elapsed().as_micros() as f64 / n as f64,
+            n
+        );
+    }
+    let total = metrics.maintain_nanos + metrics.access_nanos;
+    println!(
+        "  {:<17} {:>9.1} us/update  ({} updates)",
+        "OptCTUP",
+        total as f64 / 1e3 / metrics.updates_processed.max(1) as f64,
+        metrics.updates_processed
+    );
+}

@@ -1,0 +1,86 @@
+//! Threaded dispatch center: location updates stream in on the main
+//! thread while the monitor runs on its own worker ([`ctup::core::Pipeline`]),
+//! the way a wireless front-end and a dispatcher console would share the
+//! server.
+//!
+//! ```text
+//! cargo run --release --example pipeline_dispatch
+//! ```
+
+use ctup::core::config::CtupConfig;
+use ctup::core::pipeline::Pipeline;
+use ctup::core::server::MonitorEvent;
+use ctup::core::types::{LocationUpdate, UnitId};
+use ctup::core::OptCtup;
+use ctup::mogen::{PlaceGenConfig, Workload, WorkloadParams};
+use ctup::spatial::Grid;
+use ctup::storage::{CellLocalStore, PlaceStore};
+use std::sync::Arc;
+
+fn main() {
+    let mut workload = Workload::generate(WorkloadParams {
+        num_units: 80,
+        places: PlaceGenConfig { count: 8_000, ..PlaceGenConfig::default() },
+        seed: 404,
+        ..WorkloadParams::default()
+    });
+    let store: Arc<dyn PlaceStore> =
+        Arc::new(CellLocalStore::build(Grid::unit_square(10), workload.places_vec()));
+    let units = workload.unit_positions();
+
+    println!("spawning the monitor worker …");
+    let monitor = OptCtup::new(CtupConfig::with_k(8), store, &units);
+    let pipeline = Pipeline::spawn(monitor, 1024);
+    let events = pipeline.events().clone();
+
+    // Consumer thread: the dispatcher console.
+    let console = std::thread::spawn(move || {
+        let mut shown = 0usize;
+        let mut total = 0usize;
+        for batch in events.iter() {
+            total += batch.events.len();
+            for event in &batch.events {
+                if shown < 15 {
+                    match *event {
+                        MonitorEvent::Entered { place, safety } => {
+                            println!("  [upd {:>5}] ALERT place {:>5} (safety {safety})", batch.seq, place.0)
+                        }
+                        MonitorEvent::Left { place } => {
+                            println!("  [upd {:>5}] clear place {:>5}", batch.seq, place.0)
+                        }
+                        MonitorEvent::SafetyChanged { place, old, new } => {
+                            println!("  [upd {:>5}] place {:>5} {old} -> {new}", batch.seq, place.0)
+                        }
+                    }
+                    shown += 1;
+                }
+            }
+        }
+        total
+    });
+
+    // Producer: the wireless front-end streaming 5 000 reports.
+    let mut dropped = 0usize;
+    for update in workload.next_updates(5_000) {
+        let update = LocationUpdate { unit: UnitId(update.object), new: update.to };
+        if pipeline.try_send(update).is_err() {
+            // Backpressure: a real front-end would coalesce; we block.
+            pipeline.send(update);
+            dropped += 1;
+        }
+    }
+    let report = pipeline.shutdown();
+    let total_events = console.join().expect("console thread");
+
+    println!("\nworker processed {} updates", report.updates_processed);
+    println!("events consumed on the console thread: {total_events}");
+    println!("events emitted by the monitor:         {}", report.events_emitted);
+    println!("updates that hit backpressure: {dropped}");
+    println!(
+        "monitor cost: {:.1} us/update, {} places maintained",
+        (report.metrics.maintain_nanos + report.metrics.access_nanos) as f64
+            / report.metrics.updates_processed.max(1) as f64
+            / 1e3,
+        report.metrics.maintained_now
+    );
+}

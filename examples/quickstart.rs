@@ -1,0 +1,62 @@
+//! Quickstart: monitor the top-3 unsafe places in a toy city.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ctup::core::algorithm::CtupAlgorithm;
+use ctup::core::config::CtupConfig;
+use ctup::core::opt::OptCtup;
+use ctup::core::types::{LocationUpdate, Place, PlaceId, UnitId};
+use ctup::spatial::{Grid, Point};
+use ctup::storage::{CellLocalStore, PlaceStore};
+use std::sync::Arc;
+
+fn print_result(label: &str, alg: &OptCtup) {
+    println!("{label}");
+    for entry in alg.result() {
+        println!("   place {:>2}  safety {:>3}", entry.place.0, entry.safety);
+    }
+    println!();
+}
+
+fn main() {
+    // A 1x1 km downtown with a few protected places. RP is how many police
+    // cars each place needs nearby (within 100 m).
+    let places = vec![
+        Place::point(PlaceId(0), Point::new(0.20, 0.30), 2), // bank
+        Place::point(PlaceId(1), Point::new(0.25, 0.35), 1), // shop
+        Place::point(PlaceId(2), Point::new(0.70, 0.70), 3), // embassy
+        Place::point(PlaceId(3), Point::new(0.75, 0.65), 1), // school
+        Place::point(PlaceId(4), Point::new(0.50, 0.10), 1), // station
+    ];
+    let store: Arc<dyn PlaceStore> =
+        Arc::new(CellLocalStore::build(Grid::unit_square(10), places));
+
+    // Three patrol cars.
+    let patrols = vec![
+        Point::new(0.22, 0.32), // downtown
+        Point::new(0.72, 0.68), // embassy district
+        Point::new(0.72, 0.66), // embassy district
+    ];
+
+    let config = CtupConfig { protection_radius: 0.1, ..CtupConfig::with_k(3) };
+    let mut monitor = OptCtup::new(config, store, &patrols);
+    print_result("Initial top-3 unsafe places:", &monitor);
+
+    // Car 0 is called away from downtown towards the station.
+    println!("-> patrol 0 drives to the station district");
+    monitor.handle_update(LocationUpdate { unit: UnitId(0), new: Point::new(0.50, 0.12) });
+    print_result("After the move:", &monitor);
+
+    // Car 1 redeploys downtown to cover the gap.
+    println!("-> patrol 1 redeploys downtown");
+    monitor.handle_update(LocationUpdate { unit: UnitId(1), new: Point::new(0.21, 0.31) });
+    print_result("After the redeployment:", &monitor);
+
+    let m = monitor.metrics();
+    println!(
+        "processed {} updates, accessed {} cells, {} places maintained in memory",
+        m.updates_processed, m.cells_accessed, m.maintained_now
+    );
+}

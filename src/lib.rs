@@ -1,0 +1,39 @@
+//! # ctup — Continuous Top-k Unsafe Places
+//!
+//! Facade crate re-exporting the whole CTUP reproduction:
+//!
+//! * [`spatial`] — geometry, grid partitioning, R-tree, unit index;
+//! * [`storage`] — the paper's two-level (memory/disk) place store;
+//! * [`mogen`] — Brinkhoff-style network-based moving-object workloads;
+//! * [`core`] — the CTUP algorithms (Naive, BasicCTUP, OptCTUP) and the
+//!   monitoring server, plus the paper's future-work extensions.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+
+pub use ctup_core as core;
+pub use ctup_mogen as mogen;
+pub use ctup_spatial as spatial;
+pub use ctup_storage as storage;
+
+/// Commonly used items, importable with `use ctup::prelude::*`.
+pub mod prelude {
+    pub use ctup_core::{
+        algorithm::{CtupAlgorithm, InitStats, UpdateStats},
+        basic::BasicCtup,
+        config::CtupConfig,
+        metrics::Metrics,
+        naive::{NaiveIncremental, NaiveRecompute},
+        opt::OptCtup,
+        oracle::Oracle,
+        server::{MonitorEvent, Server},
+        types::{LocationUpdate, Place, PlaceId, Safety, TopKEntry, Unit, UnitId},
+    };
+    pub use ctup_mogen::{
+        network::RoadNetwork, objects::MovingObjectSim, places::PlaceGenerator,
+        workload::Workload,
+    };
+    pub use ctup_spatial::{CellId, Circle, Grid, Point, Rect, Relation};
+    pub use ctup_storage::{CellLocalStore, PlaceStore, StorageStats};
+}

@@ -1,0 +1,115 @@
+//! Failover: a standby server restored from a checkpoint must behave
+//! exactly like the primary from that point on — identical results and
+//! identical logical costs, with no re-initialization scan.
+
+use ctup::core::algorithm::CtupAlgorithm;
+use ctup::core::checkpoint::Checkpoint;
+use ctup::core::config::CtupConfig;
+use ctup::core::types::{LocationUpdate, UnitId};
+use ctup::core::OptCtup;
+use ctup::mogen::{PlaceGenConfig, Workload, WorkloadParams};
+use ctup::spatial::Grid;
+use ctup::storage::{CellLocalStore, PlaceStore};
+use std::sync::Arc;
+
+fn setup(seed: u64) -> (Workload, Arc<dyn PlaceStore>) {
+    let params = WorkloadParams {
+        num_units: 30,
+        places: PlaceGenConfig { count: 2_000, ..PlaceGenConfig::default() },
+        seed,
+        ..WorkloadParams::default()
+    };
+    let workload = Workload::generate(params);
+    let store: Arc<dyn PlaceStore> =
+        Arc::new(CellLocalStore::build(Grid::unit_square(8), workload.places_vec()));
+    (workload, store)
+}
+
+#[test]
+fn restored_monitor_is_indistinguishable_from_the_primary() {
+    let (mut workload, store) = setup(71);
+    let units = workload.unit_positions();
+    let mut primary = OptCtup::new(CtupConfig::paper_default(), store.clone(), &units);
+
+    // Warm phase on the primary.
+    for update in workload.next_updates(500) {
+        primary.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+    }
+
+    // Checkpoint, serialize through the text codec, restore on a "standby".
+    let mut buf = Vec::new();
+    primary.checkpoint().write(&mut buf).expect("write checkpoint");
+    let restored_cp = Checkpoint::read(buf.as_slice()).expect("read checkpoint");
+    let mut standby = OptCtup::restore(restored_cp, store.clone());
+
+    assert_eq!(standby.result(), primary.result(), "results differ right after restore");
+    assert_eq!(standby.sk(), primary.sk());
+    assert_eq!(standby.maintained_places(), primary.maintained_places());
+    assert_eq!(standby.dechash_len(), primary.dechash_len());
+    // Restore never touches the lower level.
+    let io_before = store.stats().snapshot();
+
+    // Both servers process the same tail of the stream and must stay in
+    // lockstep, including their logical costs.
+    let p_before = primary.metrics().clone();
+    let s_before = standby.metrics().clone();
+    for update in workload.next_updates(500) {
+        let location_update =
+            LocationUpdate { unit: UnitId(update.object), new: update.to };
+        primary.handle_update(location_update);
+        standby.handle_update(location_update);
+        assert_eq!(standby.result(), primary.result());
+    }
+    let p_delta = primary.metrics().since(&p_before);
+    let s_delta = standby.metrics().since(&s_before);
+    assert_eq!(p_delta.cells_accessed, s_delta.cells_accessed);
+    assert_eq!(p_delta.lb_decrements, s_delta.lb_decrements);
+    assert_eq!(p_delta.lb_decrements_suppressed, s_delta.lb_decrements_suppressed);
+    standby.check_lb_invariant();
+
+    let io = store.stats().snapshot().since(&io_before);
+    // Only the continued monitoring reads cells, and both monitors read the
+    // same amount; crucially there is no |P|-sized re-initialization scan.
+    assert!(
+        io.records_read < 2 * 500 * 40,
+        "restore caused excessive lower-level traffic: {io:?}"
+    );
+}
+
+#[test]
+fn checkpoint_roundtrips_with_extents_and_threshold_mode() {
+    let params = WorkloadParams {
+        num_units: 10,
+        places: PlaceGenConfig {
+            count: 500,
+            extent_prob: 0.3,
+            extent_max_side: 0.03,
+            ..PlaceGenConfig::default()
+        },
+        seed: 72,
+        ..WorkloadParams::default()
+    };
+    let mut workload = Workload::generate(params);
+    let store: Arc<dyn PlaceStore> =
+        Arc::new(CellLocalStore::build(Grid::unit_square(6), workload.places_vec()));
+    let units = workload.unit_positions();
+    let config = CtupConfig {
+        mode: ctup::core::QueryMode::Threshold(-2),
+        ..CtupConfig::paper_default()
+    };
+    let mut primary = OptCtup::new(config, store.clone(), &units);
+    for update in workload.next_updates(200) {
+        primary.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+    }
+    let mut buf = Vec::new();
+    primary.checkpoint().write(&mut buf).unwrap();
+    let mut standby = OptCtup::restore(Checkpoint::read(buf.as_slice()).unwrap(), store);
+    assert_eq!(standby.result(), primary.result());
+    for update in workload.next_updates(200) {
+        let location_update =
+            LocationUpdate { unit: UnitId(update.object), new: update.to };
+        primary.handle_update(location_update);
+        standby.handle_update(location_update);
+        assert_eq!(standby.result(), primary.result());
+    }
+}

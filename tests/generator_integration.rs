@@ -1,0 +1,104 @@
+//! Generator-level integration: the moving-object workload must produce
+//! consistent, deterministic update streams that drive the monitoring
+//! server correctly, and the server must emit coherent event sequences.
+
+use ctup::core::algorithm::CtupAlgorithm;
+use ctup::core::config::CtupConfig;
+use ctup::core::server::{MonitorEvent, Server};
+use ctup::core::types::{LocationUpdate, PlaceId, UnitId};
+use ctup::core::OptCtup;
+use ctup::mogen::{CityParams, PlaceGenConfig, RoadNetwork, Workload, WorkloadParams};
+use ctup::spatial::Grid;
+use ctup::storage::{CellLocalStore, PlaceStore};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn small_params(seed: u64) -> WorkloadParams {
+    WorkloadParams {
+        num_units: 12,
+        places: PlaceGenConfig { count: 400, ..PlaceGenConfig::default() },
+        seed,
+        ..WorkloadParams::default()
+    }
+}
+
+#[test]
+fn server_event_stream_replays_to_the_current_result() {
+    let mut workload = Workload::generate(small_params(31));
+    let store: Arc<dyn PlaceStore> =
+        Arc::new(CellLocalStore::build(Grid::unit_square(6), workload.places_vec()));
+    let units = workload.unit_positions();
+    let alg = OptCtup::new(CtupConfig::with_k(6), store, &units);
+    let mut server = Server::new(alg);
+
+    // Maintain a replica purely from the event stream.
+    let mut replica: HashMap<PlaceId, i64> =
+        server.result().iter().map(|e| (e.place, e.safety)).collect();
+    for update in workload.next_updates(500) {
+        let (events, _) = server.ingest(LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        });
+        for event in events {
+            match event {
+                MonitorEvent::Entered { place, safety } => {
+                    assert!(replica.insert(place, safety).is_none(), "{place:?} entered twice");
+                }
+                MonitorEvent::Left { place } => {
+                    assert!(replica.remove(&place).is_some(), "{place:?} left but absent");
+                }
+                MonitorEvent::SafetyChanged { place, old, new } => {
+                    let slot = replica.get_mut(&place).expect("changed but absent");
+                    assert_eq!(*slot, old, "stale old safety for {place:?}");
+                    *slot = new;
+                }
+            }
+        }
+        let truth: HashMap<PlaceId, i64> =
+            server.result().iter().map(|e| (e.place, e.safety)).collect();
+        assert_eq!(replica, truth, "replica diverged from result");
+    }
+}
+
+#[test]
+fn update_streams_are_deterministic_and_chained() {
+    let mut a = Workload::generate(small_params(32));
+    let mut b = Workload::generate(small_params(32));
+    assert_eq!(a.next_updates(300), b.next_updates(300));
+    // `from` of every update chains from the previous report of that unit.
+    let mut fresh = Workload::generate(small_params(32));
+    let mut last = fresh.unit_positions();
+    for update in fresh.next_updates(300) {
+        assert_eq!(update.from, last[update.object as usize]);
+        last[update.object as usize] = update.to;
+    }
+}
+
+#[test]
+fn network_constrained_units_respect_city_geometry() {
+    let net = RoadNetwork::synthetic_city(&CityParams::default(), 33);
+    assert!(net.is_connected());
+    let mut workload = Workload::generate(small_params(33));
+    for update in workload.next_updates(400) {
+        assert!((0.0..=1.0).contains(&update.to.x));
+        assert!((0.0..=1.0).contains(&update.to.y));
+        // Report threshold: no update without meaningful displacement.
+        assert!(update.from.dist(update.to) >= 0.002);
+    }
+}
+
+#[test]
+fn monitoring_costs_scale_with_update_count() {
+    let mut workload = Workload::generate(small_params(34));
+    let store: Arc<dyn PlaceStore> =
+        Arc::new(CellLocalStore::build(Grid::unit_square(6), workload.places_vec()));
+    let units = workload.unit_positions();
+    let mut alg = OptCtup::new(CtupConfig::with_k(6), store, &units);
+    for update in workload.next_updates(250) {
+        alg.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+    }
+    let m = alg.metrics();
+    assert_eq!(m.updates_processed, 250);
+    assert!(m.maintain_nanos > 0);
+    assert!(m.maintained_peak >= m.maintained_now);
+}

@@ -1,0 +1,118 @@
+//! Storage-level integration: the algorithms must behave identically over
+//! the memory-resident and the paged-disk lower level, I/O must be
+//! accounted, and generated data sets must survive the snapshot format.
+
+use ctup::core::algorithm::CtupAlgorithm;
+use ctup::core::config::CtupConfig;
+use ctup::core::types::{LocationUpdate, UnitId};
+use ctup::core::OptCtup;
+use ctup::mogen::{PlaceGenConfig, PlaceGenerator, Spread, Workload, WorkloadParams};
+use ctup::spatial::Grid;
+use ctup::storage::{snapshot, CellLocalStore, PagedDiskStore, PlaceStore};
+use std::sync::Arc;
+
+#[test]
+fn opt_ctup_is_identical_over_memory_and_disk_stores() {
+    let params = WorkloadParams {
+        num_units: 20,
+        places: PlaceGenConfig { count: 2_000, ..PlaceGenConfig::default() },
+        seed: 21,
+        ..WorkloadParams::default()
+    };
+    let mut workload = Workload::generate(params);
+    let grid = Grid::unit_square(8);
+    let mem: Arc<dyn PlaceStore> =
+        Arc::new(CellLocalStore::build(grid.clone(), workload.places_vec()));
+    let disk: Arc<dyn PlaceStore> =
+        Arc::new(PagedDiskStore::build(grid, workload.places_vec(), 0));
+    let units = workload.unit_positions();
+    let mut over_mem = OptCtup::new(CtupConfig::paper_default(), mem.clone(), &units);
+    let mut over_disk = OptCtup::new(CtupConfig::paper_default(), disk.clone(), &units);
+    assert_eq!(over_mem.result(), over_disk.result());
+    for update in workload.next_updates(300) {
+        let location_update =
+            LocationUpdate { unit: UnitId(update.object), new: update.to };
+        over_mem.handle_update(location_update);
+        over_disk.handle_update(location_update);
+        assert_eq!(over_mem.result(), over_disk.result());
+    }
+    // Identical logical behaviour implies identical cell access counts.
+    let mem_io = mem.stats().snapshot();
+    let disk_io = disk.stats().snapshot();
+    assert_eq!(mem_io.cell_reads, disk_io.cell_reads);
+    assert_eq!(mem_io.records_read, disk_io.records_read);
+    // The paged store reads real pages.
+    assert!(disk_io.pages_read >= disk_io.cell_reads);
+}
+
+#[test]
+fn simulated_page_latency_is_observed_and_accounted() {
+    let places = PlaceGenerator::new(PlaceGenConfig { count: 3_000, ..Default::default() })
+        .generate(5);
+    let disk = PagedDiskStore::build(Grid::unit_square(4), places, 50_000);
+    let start = std::time::Instant::now();
+    for cell in Grid::unit_square(4).cells() {
+        disk.read_cell(cell);
+    }
+    let elapsed = start.elapsed().as_nanos() as u64;
+    let io = disk.stats().snapshot();
+    assert!(io.io_nanos >= io.pages_read * 50_000);
+    assert!(elapsed >= io.io_nanos, "wall {elapsed} < simulated {}", io.io_nanos);
+}
+
+#[test]
+fn generated_datasets_roundtrip_through_snapshots() {
+    for (seed, config) in [
+        (1u64, PlaceGenConfig { count: 500, ..Default::default() }),
+        (
+            2,
+            PlaceGenConfig {
+                count: 400,
+                extent_prob: 0.5,
+                extent_max_side: 0.02,
+                ..Default::default()
+            },
+        ),
+        (
+            3,
+            PlaceGenConfig {
+                count: 300,
+                spread: Spread::Clustered {
+                    clusters: 4,
+                    std_dev: 0.05,
+                    fraction_clustered: 0.8,
+                },
+                ..Default::default()
+            },
+        ),
+    ] {
+        let places = PlaceGenerator::new(config).generate(seed);
+        let mut buf = Vec::new();
+        snapshot::write_places(&mut buf, &places).expect("write");
+        let restored = snapshot::read_places(buf.as_slice()).expect("read");
+        assert_eq!(restored, places, "seed {seed}");
+    }
+}
+
+#[test]
+fn stores_agree_cell_by_cell_on_generated_data() {
+    let places = PlaceGenerator::new(PlaceGenConfig {
+        count: 1_000,
+        extent_prob: 0.3,
+        extent_max_side: 0.05,
+        ..Default::default()
+    })
+    .generate(17);
+    let grid = Grid::unit_square(7);
+    let mem = CellLocalStore::build(grid.clone(), places.clone());
+    let disk = PagedDiskStore::build(grid.clone(), places, 0);
+    assert_eq!(mem.num_places(), disk.num_places());
+    for cell in grid.cells() {
+        assert_eq!(
+            mem.read_cell(cell).into_owned(),
+            disk.read_cell(cell).into_owned(),
+            "cell {cell:?}"
+        );
+        assert_eq!(mem.cell_extent_margin(cell), disk.cell_extent_margin(cell));
+    }
+}
