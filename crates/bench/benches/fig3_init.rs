@@ -11,7 +11,12 @@ fn bench_init(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for kind in [AlgKind::Naive, AlgKind::NaiveIncremental, AlgKind::Basic, AlgKind::Opt] {
+    for kind in [
+        AlgKind::Naive,
+        AlgKind::NaiveIncremental,
+        AlgKind::Basic,
+        AlgKind::Opt,
+    ] {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
                 let alg = kind.build(&setup);

@@ -10,7 +10,12 @@ fn bench_update(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for kind in [AlgKind::Naive, AlgKind::NaiveIncremental, AlgKind::Basic, AlgKind::Opt] {
+    for kind in [
+        AlgKind::Naive,
+        AlgKind::NaiveIncremental,
+        AlgKind::Basic,
+        AlgKind::Opt,
+    ] {
         let mut setup = build_setup(SetupParams::default());
         let updates = setup.next_updates(20_000);
         let mut alg = kind.build(&setup);

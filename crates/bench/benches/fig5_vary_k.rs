@@ -11,8 +11,10 @@ fn bench_vary_k(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for k in [1usize, 5, 10, 15, 20, 25] {
         for kind in [AlgKind::Basic, AlgKind::Opt] {
-            let params =
-                SetupParams { config: CtupConfig::with_k(k), ..SetupParams::default() };
+            let params = SetupParams {
+                config: CtupConfig::with_k(k),
+                ..SetupParams::default()
+            };
             let mut setup = build_setup(params);
             let updates = setup.next_updates(20_000);
             let mut alg = kind.build(&setup);

@@ -11,7 +11,10 @@ fn bench_vary_granularity(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for granularity in [4u32, 8, 10, 16, 24, 32] {
         for kind in [AlgKind::Basic, AlgKind::Opt] {
-            let params = SetupParams { granularity, ..SetupParams::default() };
+            let params = SetupParams {
+                granularity,
+                ..SetupParams::default()
+            };
             let mut setup = build_setup(params);
             let updates = setup.next_updates(20_000);
             let mut alg = kind.build(&setup);

@@ -10,11 +10,19 @@ fn bench_vary_range(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for (label, radius) in [("005", 0.05f64), ("0075", 0.075), ("01", 0.1), ("015", 0.15), ("02", 0.2)]
-    {
+    for (label, radius) in [
+        ("005", 0.05f64),
+        ("0075", 0.075),
+        ("01", 0.1),
+        ("015", 0.15),
+        ("02", 0.2),
+    ] {
         for kind in [AlgKind::Basic, AlgKind::Opt] {
             let params = SetupParams {
-                config: CtupConfig { protection_radius: radius, ..CtupConfig::paper_default() },
+                config: CtupConfig {
+                    protection_radius: radius,
+                    ..CtupConfig::paper_default()
+                },
                 ..SetupParams::default()
             };
             let mut setup = build_setup(params);

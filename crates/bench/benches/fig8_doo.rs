@@ -14,7 +14,10 @@ fn bench_doo(c: &mut Criterion) {
         for (label, doo) in [("OptCTUP-DOO", true), ("OptCTUP-noDOO", false)] {
             let params = SetupParams {
                 num_places,
-                config: CtupConfig { doo_enabled: doo, ..CtupConfig::paper_default() },
+                config: CtupConfig {
+                    doo_enabled: doo,
+                    ..CtupConfig::paper_default()
+                },
                 ..SetupParams::default()
             };
             let mut setup = build_setup(params);

@@ -13,7 +13,10 @@ fn bench_delta(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for delta in [0i64, 2, 4, 6, 8, 10, 12] {
         let params = SetupParams {
-            config: CtupConfig { delta, ..CtupConfig::paper_default() },
+            config: CtupConfig {
+                delta,
+                ..CtupConfig::paper_default()
+            },
             ..SetupParams::default()
         };
         let mut setup = build_setup(params);

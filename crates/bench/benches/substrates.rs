@@ -8,10 +8,15 @@ use ctup_spatial::{Circle, Grid, Point, RTree, Rect, Relation, UnitGridIndex};
 use ctup_storage::{CellLocalStore, PagedDiskStore, PlaceStore};
 
 fn bench_rtree(c: &mut Criterion) {
-    let places = PlaceGenerator::new(PlaceGenConfig { count: 15_000, ..Default::default() })
-        .generate(7);
-    let items: Vec<(Rect, u32)> =
-        places.iter().map(|p| (Rect::point(p.pos), p.id.0)).collect();
+    let places = PlaceGenerator::new(PlaceGenConfig {
+        count: 15_000,
+        ..Default::default()
+    })
+    .generate(7);
+    let items: Vec<(Rect, u32)> = places
+        .iter()
+        .map(|p| (Rect::point(p.pos), p.id.0))
+        .collect();
     let tree = RTree::bulk_load(items.clone());
 
     let mut group = c.benchmark_group("substrate_rtree");
@@ -42,7 +47,10 @@ fn bench_rtree(c: &mut Criterion) {
 fn bench_unit_index(c: &mut Criterion) {
     let mut index = UnitGridIndex::new(Grid::unit_square(10));
     for i in 0..150u32 {
-        index.insert(i, Point::new((i % 13) as f64 / 13.0, (i % 11) as f64 / 11.0));
+        index.insert(
+            i,
+            Point::new((i % 13) as f64 / 13.0, (i % 11) as f64 / 11.0),
+        );
     }
     let mut group = c.benchmark_group("substrate_unit_index");
     group.warm_up_time(std::time::Duration::from_millis(500));
@@ -91,8 +99,11 @@ fn bench_classification(c: &mut Criterion) {
 }
 
 fn bench_storage(c: &mut Criterion) {
-    let places = PlaceGenerator::new(PlaceGenConfig { count: 15_000, ..Default::default() })
-        .generate(9);
+    let places = PlaceGenerator::new(PlaceGenConfig {
+        count: 15_000,
+        ..Default::default()
+    })
+    .generate(9);
     let mem = CellLocalStore::build(Grid::unit_square(10), places.clone());
     let disk = PagedDiskStore::build(Grid::unit_square(10), places, 0);
     let mut group = c.benchmark_group("substrate_storage");
@@ -114,5 +125,11 @@ fn bench_storage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rtree, bench_unit_index, bench_classification, bench_storage);
+criterion_group!(
+    benches,
+    bench_rtree,
+    bench_unit_index,
+    bench_classification,
+    bench_storage
+);
 criterion_main!(benches);

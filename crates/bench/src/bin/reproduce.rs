@@ -15,9 +15,16 @@ type Runner = Box<dyn Fn(Effort) -> Table>;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let effort = if quick { Effort::quick() } else { Effort::full() };
-    let selected: Vec<&str> =
-        args.iter().filter(|a| *a != "--quick").map(String::as_str).collect();
+    let effort = if quick {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--quick")
+        .map(String::as_str)
+        .collect();
 
     let all: Vec<(&str, Runner)> = vec![
         ("table3", Box::new(|_| experiments::table3())),
@@ -28,7 +35,10 @@ fn main() {
         ("fig7", Box::new(experiments::fig7)),
         ("fig8", Box::new(experiments::fig8)),
         ("fig9", Box::new(experiments::fig9)),
-        ("ablation_purge", Box::new(experiments::ablation_dechash_purge)),
+        (
+            "ablation_purge",
+            Box::new(experiments::ablation_dechash_purge),
+        ),
         ("ablation_disk", Box::new(experiments::ablation_disk)),
         ("ext_decay", Box::new(experiments::ext_decay)),
     ];

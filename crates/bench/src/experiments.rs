@@ -25,12 +25,18 @@ pub struct Effort {
 impl Effort {
     /// The full runs used for EXPERIMENTS.md.
     pub fn full() -> Self {
-        Effort { updates: 10_000, naive_updates: 300 }
+        Effort {
+            updates: 10_000,
+            naive_updates: 300,
+        }
     }
 
     /// A fast smoke-test configuration.
     pub fn quick() -> Self {
-        Effort { updates: 1_000, naive_updates: 30 }
+        Effort {
+            updates: 1_000,
+            naive_updates: 30,
+        }
     }
 }
 
@@ -99,8 +105,14 @@ pub fn table3() -> Table {
             vec!["Number of units (|U|)".into(), p.num_units.to_string()],
             vec!["Number of places (|P|)".into(), p.num_places.to_string()],
             vec!["Number of TUPs (k)".into(), "15".into()],
-            vec!["Adjustable parameter (Delta)".into(), p.config.delta.to_string()],
-            vec!["Unit protection range".into(), p.config.protection_radius.to_string()],
+            vec![
+                "Adjustable parameter (Delta)".into(),
+                p.config.delta.to_string(),
+            ],
+            vec![
+                "Unit protection range".into(),
+                p.config.protection_radius.to_string(),
+            ],
             vec!["Partition granularity".into(), p.granularity.to_string()],
         ],
         notes: vec!["matches Table III of the paper".into()],
@@ -114,13 +126,21 @@ pub fn fig3(_effort: Effort) -> Table {
     // is not penalized by cold caches.
     drop(AlgKind::Naive.build(&setup));
     let mut rows = Vec::new();
-    for kind in [AlgKind::Naive, AlgKind::NaiveIncremental, AlgKind::Basic, AlgKind::Opt] {
+    for kind in [
+        AlgKind::Naive,
+        AlgKind::NaiveIncremental,
+        AlgKind::Basic,
+        AlgKind::Opt,
+    ] {
         // Best of five: construction is milliseconds, so scheduler noise on
         // a shared machine easily dominates a single sample.
         let mut best: Option<Box<dyn ctup_core::CtupAlgorithm>> = None;
         for _ in 0..5 {
             let alg = kind.build(&setup);
-            if best.as_ref().is_none_or(|b| alg.init_stats().wall < b.init_stats().wall) {
+            if best
+                .as_ref()
+                .is_none_or(|b| alg.init_stats().wall < b.init_stats().wall)
+            {
                 best = Some(alg);
             }
         }
@@ -155,9 +175,18 @@ pub fn fig3(_effort: Effort) -> Table {
 /// Fig. 4 — average update cost of the three algorithms at defaults.
 pub fn fig4(effort: Effort) -> Table {
     let mut rows = Vec::new();
-    for kind in [AlgKind::Naive, AlgKind::NaiveIncremental, AlgKind::Basic, AlgKind::Opt] {
+    for kind in [
+        AlgKind::Naive,
+        AlgKind::NaiveIncremental,
+        AlgKind::Basic,
+        AlgKind::Opt,
+    ] {
         let mut setup = build_setup(SetupParams::default());
-        let n = if kind == AlgKind::Naive { effort.naive_updates } else { effort.updates };
+        let n = if kind == AlgKind::Naive {
+            effort.naive_updates
+        } else {
+            effort.updates
+        };
         let updates = setup.next_updates(n);
         let mut alg = kind.build(&setup);
         let summary = measure_updates(alg.as_mut(), &updates);
@@ -180,9 +209,7 @@ pub fn fig4(effort: Effort) -> Table {
             "updates".into(),
         ],
         rows,
-        notes: vec![
-            "paper: OptCTUP wins by a large margin; BasicCTUP beats Naive".into(),
-        ],
+        notes: vec!["paper: OptCTUP wins by a large margin; BasicCTUP beats Naive".into()],
     }
 }
 
@@ -228,7 +255,10 @@ pub fn fig5(effort: Effort) -> Table {
         .map(|&k| {
             (
                 format!("k={k}"),
-                SetupParams { config: CtupConfig::with_k(k), ..SetupParams::default() },
+                SetupParams {
+                    config: CtupConfig::with_k(k),
+                    ..SetupParams::default()
+                },
             )
         })
         .collect();
@@ -245,7 +275,15 @@ pub fn fig5(effort: Effort) -> Table {
 pub fn fig6(effort: Effort) -> Table {
     let xs: Vec<(String, SetupParams)> = [4u32, 8, 10, 16, 24, 32]
         .iter()
-        .map(|&g| (format!("G={g}"), SetupParams { granularity: g, ..SetupParams::default() }))
+        .map(|&g| {
+            (
+                format!("G={g}"),
+                SetupParams {
+                    granularity: g,
+                    ..SetupParams::default()
+                },
+            )
+        })
         .collect();
     sweep_basic_vs_opt(
         "fig6",
@@ -293,7 +331,10 @@ pub fn fig8(effort: Effort) -> Table {
             // are exactly what it suppresses.
             let params = SetupParams {
                 num_places,
-                config: CtupConfig { doo_enabled: doo, ..CtupConfig::paper_default() },
+                config: CtupConfig {
+                    doo_enabled: doo,
+                    ..CtupConfig::paper_default()
+                },
                 tick_dt: 0.1,
                 ..SetupParams::default()
             };
@@ -332,7 +373,10 @@ pub fn fig9(effort: Effort) -> Table {
     let mut rows = Vec::new();
     for &delta in &[0i64, 2, 4, 6, 8, 10, 12] {
         let params = SetupParams {
-            config: CtupConfig { delta, ..CtupConfig::paper_default() },
+            config: CtupConfig {
+                delta,
+                ..CtupConfig::paper_default()
+            },
             ..SetupParams::default()
         };
         let mut setup = build_setup(params);
@@ -360,9 +404,7 @@ pub fn fig9(effort: Effort) -> Table {
             "maintained".into(),
         ],
         rows,
-        notes: vec![
-            "paper: maintenance cost grows with Delta, access cost shrinks".into(),
-        ],
+        notes: vec!["paper: maintenance cost grows with Delta, access cost shrinks".into()],
     }
 }
 
@@ -396,10 +438,7 @@ pub fn ablation_dechash_purge(effort: Effort) -> Table {
                 let offset = if phase { 0.05 } else { -0.05 };
                 ctup_core::LocationUpdate {
                     unit: ctup_core::UnitId(unit as u32),
-                    new: ctup_spatial::Point::new(
-                        (base.x + offset).clamp(0.0, 1.0),
-                        base.y,
-                    ),
+                    new: ctup_spatial::Point::new((base.x + offset).clamp(0.0, 1.0), base.y),
                 }
             })
             .collect();
@@ -423,8 +462,12 @@ pub fn ablation_dechash_purge(effort: Effort) -> Table {
         }
         let avg = start.elapsed().as_nanos() as f64 / updates.len().max(1) as f64;
         rows.push(vec![
-            if purge { "purge-on-access (sound)" } else { "no purge (literal Table II)" }
-                .into(),
+            if purge {
+                "purge-on-access (sound)"
+            } else {
+                "no purge (literal Table II)"
+            }
+            .into(),
             us(avg),
             divergences.to_string(),
             updates.len().to_string(),
@@ -433,12 +476,16 @@ pub fn ablation_dechash_purge(effort: Effort) -> Table {
     Table {
         id: "ablation_purge",
         title: "DecHash purge-on-access: soundness fix vs literal Table II".into(),
-        columns: vec!["variant".into(), "avg_us".into(), "wrong_results".into(), "updates".into()],
+        columns: vec![
+            "variant".into(),
+            "avg_us".into(),
+            "wrong_results".into(),
+            "updates".into(),
+        ],
         rows,
         notes: vec![
             "avg_us includes the oracle check in both variants (overhead identical)".into(),
-            "nonzero wrong_results for the literal variant demonstrates why the fix exists"
-                .into(),
+            "nonzero wrong_results for the literal variant demonstrates why the fix exists".into(),
         ],
     }
 }
@@ -447,13 +494,18 @@ pub fn ablation_dechash_purge(effort: Effort) -> Table {
 /// simulated paged disk (Fig. 9's closing discussion).
 pub fn ablation_disk(effort: Effort) -> Table {
     let mut rows = Vec::new();
-    for &(label, latency) in
-        &[("memory", 0u64), ("disk 20us/page", 20_000), ("disk 100us/page", 100_000)]
-    {
+    for &(label, latency) in &[
+        ("memory", 0u64),
+        ("disk 20us/page", 20_000),
+        ("disk 100us/page", 100_000),
+    ] {
         for &delta in &[0i64, 6, 12] {
             let wl_params = WorkloadParams {
                 num_units: 150,
-                places: PlaceGenConfig { count: 15_000, ..PlaceGenConfig::default() },
+                places: PlaceGenConfig {
+                    count: 15_000,
+                    ..PlaceGenConfig::default()
+                },
                 seed: 0xC7,
                 ..WorkloadParams::default()
             };
@@ -464,7 +516,10 @@ pub fn ablation_disk(effort: Effort) -> Table {
             } else {
                 Arc::new(PagedDiskStore::build(grid, workload.places_vec(), latency))
             };
-            let config = CtupConfig { delta, ..CtupConfig::paper_default() };
+            let config = CtupConfig {
+                delta,
+                ..CtupConfig::paper_default()
+            };
             let units = workload.unit_positions();
             let mut alg = ctup_core::OptCtup::new(config, store, &units);
             let updates = crate::harness::stream(workload.next_updates(effort.updates.min(3_000)));
@@ -480,7 +535,12 @@ pub fn ablation_disk(effort: Effort) -> Table {
     Table {
         id: "ablation_disk",
         title: "OptCTUP under a paged-disk lower level (Fig. 9 discussion)".into(),
-        columns: vec!["variant".into(), "total_us".into(), "access_us".into(), "cells/upd".into()],
+        columns: vec![
+            "variant".into(),
+            "total_us".into(),
+            "access_us".into(),
+            "cells/upd".into(),
+        ],
         rows,
         notes: vec![
             "paper: on disk, cell-access time grows sharply but trends stay the same".into(),
@@ -495,21 +555,35 @@ pub fn ext_decay(effort: Effort) -> Table {
     let kernels = [
         ("step", DecayKernel::Step { radius: 0.1 }),
         ("cone", DecayKernel::Cone { radius: 0.15 }),
-        ("gauss", DecayKernel::Gaussian { sigma: 0.05, cutoff: 0.15 }),
+        (
+            "gauss",
+            DecayKernel::Gaussian {
+                sigma: 0.05,
+                cutoff: 0.15,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (label, kernel) in kernels {
         let wl_params = WorkloadParams {
             num_units: 150,
-            places: PlaceGenConfig { count: 15_000, ..PlaceGenConfig::default() },
+            places: PlaceGenConfig {
+                count: 15_000,
+                ..PlaceGenConfig::default()
+            },
             seed: 0xC7,
             ..WorkloadParams::default()
         };
         let mut workload = Workload::generate(wl_params);
-        let store: Arc<dyn PlaceStore> =
-            Arc::new(CellLocalStore::build(Grid::unit_square(10), workload.places_vec()));
-        let config =
-            DecayConfig { kernel, mode: DecayMode::TopK(15), delta: 1.0 };
+        let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+            Grid::unit_square(10),
+            workload.places_vec(),
+        ));
+        let config = DecayConfig {
+            kernel,
+            mode: DecayMode::TopK(15),
+            delta: 1.0,
+        };
         let units = workload.unit_positions();
         let mut monitor = DecayCtup::new(config, store, &units);
         let updates = workload.next_updates(effort.updates.min(3_000));
@@ -521,14 +595,22 @@ pub fn ext_decay(effort: Effort) -> Table {
         rows.push(vec![
             label.into(),
             us(avg),
-            format!("{:.3}", monitor.cells_accessed as f64 / updates.len().max(1) as f64),
+            format!(
+                "{:.3}",
+                monitor.cells_accessed as f64 / updates.len().max(1) as f64
+            ),
             monitor.maintained_places().to_string(),
         ]);
     }
     Table {
         id: "ext_decay",
         title: "Extension: decayed protection kernels (future work #2)".into(),
-        columns: vec!["kernel".into(), "avg_us".into(), "cells/upd".into(), "maintained".into()],
+        columns: vec![
+            "kernel".into(),
+            "avg_us".into(),
+            "cells/upd".into(),
+            "maintained".into(),
+        ],
         rows,
         notes: vec!["step kernel reduces to the paper's 0/1 model".into()],
     }

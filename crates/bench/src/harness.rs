@@ -66,24 +66,34 @@ impl Setup {
 pub fn build_setup(params: SetupParams) -> Setup {
     let wl_params = WorkloadParams {
         num_units: params.num_units,
-        places: PlaceGenConfig { count: params.num_places, ..PlaceGenConfig::default() },
+        places: PlaceGenConfig {
+            count: params.num_places,
+            ..PlaceGenConfig::default()
+        },
         seed: params.seed,
         tick_dt: params.tick_dt,
         ..WorkloadParams::default()
     };
     let workload = Workload::generate(wl_params);
     let grid = Grid::unit_square(params.granularity);
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(grid, workload.places_vec()));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(grid, workload.places_vec()));
     let units = workload.unit_positions();
-    Setup { params, store, units, workload }
+    Setup {
+        params,
+        store,
+        units,
+        workload,
+    }
 }
 
 /// Converts generator updates into server updates.
 pub fn stream(updates: Vec<PositionUpdate>) -> Vec<LocationUpdate> {
     updates
         .into_iter()
-        .map(|u| LocationUpdate { unit: UnitId(u.object), new: u.to })
+        .map(|u| LocationUpdate {
+            unit: UnitId(u.object),
+            new: u.to,
+        })
         .collect()
 }
 
@@ -219,8 +229,7 @@ mod tests {
             for alg in algs.iter_mut() {
                 alg.handle_update(update);
             }
-            let reference: Vec<i64> =
-                algs[0].result().iter().map(|e| e.safety).collect();
+            let reference: Vec<i64> = algs[0].result().iter().map(|e| e.safety).collect();
             for alg in &algs[1..] {
                 let got: Vec<i64> = alg.result().iter().map(|e| e.safety).collect();
                 assert_eq!(got, reference, "{} diverged", alg.name());

@@ -37,7 +37,11 @@ impl fmt::Display for ArgError {
             ArgError::UnexpectedPositional(a) => write!(f, "unexpected argument {a:?}"),
             ArgError::MissingValue(flag) => write!(f, "--{flag} requires a value"),
             ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
-            ArgError::BadValue { flag, value, message } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                message,
+            } => {
                 write!(f, "bad value {value:?} for --{flag}: {message}")
             }
         }
@@ -62,8 +66,9 @@ impl Flags {
             if switch_names.contains(&name) {
                 flags.switches.push(name.to_string());
             } else {
-                let value =
-                    iter.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
                 flags.values.insert(name.to_string(), value);
             }
         }
@@ -144,7 +149,10 @@ mod tests {
     #[test]
     fn rejects_bad_and_unknown() {
         let flags = parse(&["--seed", "abc"], &[]).unwrap();
-        assert!(matches!(flags.get("seed", 0u64), Err(ArgError::BadValue { .. })));
+        assert!(matches!(
+            flags.get("seed", 0u64),
+            Err(ArgError::BadValue { .. })
+        ));
         let flags = parse(&["--bogus", "1"], &[]).unwrap();
         assert_eq!(
             flags.reject_unknown(&["seed"]).unwrap_err(),

@@ -1,15 +1,17 @@
-//! The CLI subcommands: `generate`, `run`, `resume`.
+//! The CLI subcommands: `generate`, `run`, `resume`, `chaos`.
 
 use crate::args::{ArgError, Flags};
 use ctup_core::algorithm::CtupAlgorithm;
 use ctup_core::checkpoint::Checkpoint;
 use ctup_core::config::{CtupConfig, QueryMode};
+use ctup_core::ingest::stamp_stream;
 use ctup_core::naive::{NaiveIncremental, NaiveRecompute};
 use ctup_core::server::{MonitorEvent, Server};
+use ctup_core::supervisor::{ResilienceConfig, SupervisedPipeline};
 use ctup_core::types::{LocationUpdate, UnitId};
 use ctup_core::{BasicCtup, OptCtup};
-use ctup_mogen::{PlaceGenConfig, PlaceGenerator, Workload, WorkloadParams};
-use ctup_spatial::Grid;
+use ctup_mogen::{FaultPlan, PlaceGenConfig, PlaceGenerator, Workload, WorkloadParams};
+use ctup_spatial::{Grid, Point};
 use ctup_storage::{snapshot, CellLocalStore, PlaceStore};
 use std::fmt::Write as _;
 use std::fs::File;
@@ -119,7 +121,11 @@ fn build_algorithm(
 fn render_result(alg: &dyn CtupAlgorithm, out: &mut dyn Write) -> Result<(), CliError> {
     let mut text = String::new();
     for entry in alg.result() {
-        let _ = writeln!(text, "  place {:>6}  safety {:>4}", entry.place.0, entry.safety);
+        let _ = writeln!(
+            text,
+            "  place {:>6}  safety {:>4}",
+            entry.place.0, entry.safety
+        );
     }
     write!(out, "{text}").map_err(|e| io_err("stdout", e))?;
     Ok(())
@@ -145,8 +151,19 @@ fn report_costs(alg: &dyn CtupAlgorithm, out: &mut dyn Write) -> Result<(), CliE
 pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["events", "no-doo"])?;
     flags.reject_unknown(&[
-        "algorithm", "updates", "units", "places", "granularity", "seed", "k",
-        "delta", "radius", "threshold", "places-file", "events", "no-doo",
+        "algorithm",
+        "updates",
+        "units",
+        "places",
+        "granularity",
+        "seed",
+        "k",
+        "delta",
+        "radius",
+        "threshold",
+        "places-file",
+        "events",
+        "no-doo",
     ])?;
     let params = common_params(&flags)?;
     let updates: usize = flags.get("updates", 1_000)?;
@@ -156,7 +173,10 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     // come from a snapshot file when given, otherwise they are generated.
     let mut workload = Workload::generate(WorkloadParams {
         num_units: params.units,
-        places: PlaceGenConfig { count: params.places, ..PlaceGenConfig::default() },
+        places: PlaceGenConfig {
+            count: params.places,
+            ..PlaceGenConfig::default()
+        },
         seed: params.seed,
         ..WorkloadParams::default()
     });
@@ -166,8 +186,10 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         None => workload.places_vec(),
     };
     let num_places = places.len();
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(params.granularity), places));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(params.granularity),
+        places,
+    ));
     let unit_positions = workload.unit_positions();
 
     let mut alg = build_algorithm(&algorithm_name, params.config, store, &unit_positions)?;
@@ -204,7 +226,10 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         finish_run(alg.as_ref(), out)?;
     } else {
         for update in workload.next_updates(updates) {
-            alg.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            });
         }
         finish_run(alg.as_ref(), out)?;
     }
@@ -255,14 +280,26 @@ fn finish_run(alg: &dyn CtupAlgorithm, out: &mut dyn Write) -> Result<(), CliErr
 pub fn run_opt(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["no-doo"])?;
     flags.reject_unknown(&[
-        "updates", "units", "places", "granularity", "seed", "k", "delta",
-        "radius", "threshold", "checkpoint-out", "no-doo",
+        "updates",
+        "units",
+        "places",
+        "granularity",
+        "seed",
+        "k",
+        "delta",
+        "radius",
+        "threshold",
+        "checkpoint-out",
+        "no-doo",
     ])?;
     let params = common_params(&flags)?;
     let updates: usize = flags.get("updates", 1_000)?;
     let mut workload = Workload::generate(WorkloadParams {
         num_units: params.units,
-        places: PlaceGenConfig { count: params.places, ..PlaceGenConfig::default() },
+        places: PlaceGenConfig {
+            count: params.places,
+            ..PlaceGenConfig::default()
+        },
         seed: params.seed,
         ..WorkloadParams::default()
     });
@@ -273,7 +310,10 @@ pub fn run_opt(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     let unit_positions = workload.unit_positions();
     let mut alg = OptCtup::new(params.config, store, &unit_positions);
     for update in workload.next_updates(updates) {
-        alg.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+        alg.handle_update(LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        });
     }
     writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
     render_result(&alg, out)?;
@@ -293,7 +333,13 @@ pub fn run_opt(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
 pub fn resume(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
     flags.reject_unknown(&[
-        "checkpoint", "updates", "units", "places", "granularity", "seed", "skip",
+        "checkpoint",
+        "updates",
+        "units",
+        "places",
+        "granularity",
+        "seed",
+        "skip",
     ])?;
     let path = flags
         .get_str("checkpoint")
@@ -319,7 +365,10 @@ pub fn resume(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     };
     let mut workload = Workload::generate(WorkloadParams {
         num_units: params.units,
-        places: PlaceGenConfig { count: params.places, ..PlaceGenConfig::default() },
+        places: PlaceGenConfig {
+            count: params.places,
+            ..PlaceGenConfig::default()
+        },
         seed: params.seed,
         ..WorkloadParams::default()
     });
@@ -332,15 +381,175 @@ pub fn resume(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         Grid::unit_square(params.granularity),
         workload.places_vec(),
     ));
-    let mut alg = OptCtup::restore(checkpoint, store);
+    let mut alg = OptCtup::restore(checkpoint, store)
+        .map_err(|e| CliError(format!("restoring {path}: {e}")))?;
     writeln!(out, "resumed from {path}; continuing monitoring").map_err(|e| io_err("stdout", e))?;
     let updates: usize = flags.get("updates", 1_000)?;
     for update in workload.next_updates(updates) {
-        alg.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+        alg.handle_update(LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        });
     }
     writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
     render_result(&alg, out)?;
     report_costs(&alg, out)?;
+    Ok(())
+}
+
+/// `ctup chaos` — run the supervised pipeline over a deliberately degraded
+/// feed (seeded drops, duplicates, reordering, corruption, injected worker
+/// panics) and report the resilience counters next to the surviving result.
+pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["no-doo"])?;
+    flags.reject_unknown(&[
+        "updates",
+        "units",
+        "places",
+        "granularity",
+        "seed",
+        "k",
+        "delta",
+        "radius",
+        "threshold",
+        "no-doo",
+        "drop",
+        "dup",
+        "reorder",
+        "reorder-window",
+        "corrupt",
+        "delay",
+        "max-delay",
+        "fault-seed",
+        "panic-at",
+        "lease-ttl",
+        "checkpoint-every",
+        "max-restarts",
+    ])?;
+    let params = common_params(&flags)?;
+    let updates: usize = flags.get("updates", 1_000)?;
+    let panic_at: Vec<u64> = match flags.get_str("panic-at") {
+        None => Vec::new(),
+        Some(text) => text
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse()
+                    .map_err(|e| CliError(format!("bad --panic-at entry {s:?}: {e}")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let plan = FaultPlan {
+        seed: flags.get("fault-seed", params.seed ^ 0xFA17)?,
+        drop_prob: flags.get("drop", 0.05)?,
+        dup_prob: flags.get("dup", 0.02)?,
+        reorder_prob: flags.get("reorder", 0.2)?,
+        reorder_window: flags.get("reorder-window", 4)?,
+        corrupt_prob: flags.get("corrupt", 0.02)?,
+        delay_prob: flags.get("delay", 0.02)?,
+        max_delay: flags.get("max-delay", 16)?,
+        panic_at,
+    };
+
+    let mut workload = Workload::generate(WorkloadParams {
+        num_units: params.units,
+        places: PlaceGenConfig {
+            count: params.places,
+            ..PlaceGenConfig::default()
+        },
+        seed: params.seed,
+        ..WorkloadParams::default()
+    });
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(params.granularity),
+        workload.places_vec(),
+    ));
+    let unit_positions = workload.unit_positions();
+    let clean: Vec<LocationUpdate> = workload
+        .next_updates(updates)
+        .into_iter()
+        .map(|u| LocationUpdate {
+            unit: UnitId(u.object),
+            new: u.to,
+        })
+        .collect();
+
+    // Corruption kinds cycle deterministically: NaN coordinate, position far
+    // outside the space, unknown unit. All three must die at the ingest gate.
+    let mut kind: u8 = 0;
+    let (degraded, log) = plan.apply(stamp_stream(clean), move |report, _| {
+        kind = kind.wrapping_add(1);
+        match kind % 3 {
+            0 => report.update.new = Point::new(f64::NAN, report.update.new.y),
+            1 => report.update.new = Point::new(1e3, 1e3),
+            _ => report.update.unit = UnitId(u32::MAX),
+        }
+    });
+    writeln!(
+        out,
+        "degraded feed: {} of {updates} messages delivered ({} dropped, {} duplicated, {} reordered, {} delayed, {} corrupted)",
+        log.emitted, log.dropped, log.duplicated, log.reordered, log.delayed, log.corrupted,
+    )
+    .map_err(|e| io_err("stdout", e))?;
+
+    let lease_ttl: u64 = flags.get("lease-ttl", 0)?;
+    let resilience = ResilienceConfig {
+        lease_ttl: (lease_ttl > 0).then_some(lease_ttl),
+        checkpoint_every: flags.get("checkpoint-every", 256)?,
+        max_restarts: flags.get("max-restarts", 8)?,
+        panic_at: plan.panic_at.clone(),
+    };
+    let monitor = OptCtup::new(params.config, store, &unit_positions);
+    let pipeline = SupervisedPipeline::spawn(monitor, resilience, degraded.len().max(1));
+    for &report in &degraded {
+        if pipeline.send(report).is_err() {
+            break; // supervisor gave up; its final report still drains below
+        }
+    }
+    let report = pipeline.shutdown();
+
+    let r = &report.metrics.resilience;
+    writeln!(
+        out,
+        "supervised run: {} reports in, {} effective updates, {} events out{}",
+        report.reports_received,
+        report.updates_processed,
+        report.events_emitted,
+        if report.gave_up {
+            " — GAVE UP (restart budget exhausted)"
+        } else {
+            ""
+        },
+    )
+    .map_err(|e| io_err("stdout", e))?;
+    writeln!(out, "resilience counters:").map_err(|e| io_err("stdout", e))?;
+    for (name, value) in [
+        ("rejected non-finite", r.rejected_non_finite),
+        ("rejected out-of-space", r.rejected_out_of_space),
+        ("rejected unknown-unit", r.rejected_unknown_unit),
+        ("stale dropped", r.stale_dropped),
+        ("duplicates dropped", r.duplicates_dropped),
+        ("lease expiries", r.lease_expiries),
+        ("lease reinstates", r.lease_reinstates),
+        ("worker panics", r.worker_panics),
+        ("worker restarts", r.worker_restarts),
+        ("updates replayed", r.updates_replayed),
+        ("checkpoints taken", r.checkpoints_taken),
+        ("events suppressed", r.events_suppressed),
+    ] {
+        writeln!(out, "  {name:<22} {value}").map_err(|e| io_err("stdout", e))?;
+    }
+    writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
+    let mut text = String::new();
+    for entry in &report.final_result {
+        let _ = writeln!(
+            text,
+            "  place {:>6}  safety {:>4}",
+            entry.place.0, entry.safety
+        );
+    }
+    write!(out, "{text}").map_err(|e| io_err("stdout", e))?;
     Ok(())
 }
 
@@ -355,9 +564,15 @@ USAGE:
                 [--k K | --threshold T] [--delta D] [--radius R] [--no-doo] [--events]
   ctup run-opt  [same workload flags] [--checkpoint-out FILE]
   ctup resume   --checkpoint FILE [--skip N] [--updates N] [--places N] [--seed S]
+  ctup chaos    [same workload flags] [--drop P] [--dup P] [--reorder P] [--reorder-window W]
+                [--corrupt P] [--delay P] [--max-delay W] [--fault-seed S]
+                [--panic-at N,N,...] [--lease-ttl T] [--checkpoint-every N] [--max-restarts N]
 
 The workload is deterministic per --seed: `run-opt --updates N --checkpoint-out cp`
-followed by `resume --checkpoint cp --skip N` continues the same stream."
+followed by `resume --checkpoint cp --skip N` continues the same stream.
+`chaos` degrades the feed with a seeded fault plan, runs the supervised
+pipeline over it (ingest validation, liveness leases, checkpoint-restart on
+injected panics), and prints the resilience counters."
 }
 
 #[cfg(test)]
@@ -380,15 +595,26 @@ mod tests {
         let path = dir.join("cli_places.txt");
         let path_str = path.to_str().unwrap();
 
-        let out = run_cmd(generate, &["--places", "300", "--seed", "5", "--out", path_str])
-            .expect("generate");
+        let out = run_cmd(
+            generate,
+            &["--places", "300", "--seed", "5", "--out", path_str],
+        )
+        .expect("generate");
         assert!(out.contains("wrote 300 places"));
 
         let out = run_cmd(
             run,
             &[
-                "--places-file", path_str, "--units", "10", "--updates", "50",
-                "--k", "3", "--seed", "5",
+                "--places-file",
+                path_str,
+                "--units",
+                "10",
+                "--updates",
+                "50",
+                "--k",
+                "3",
+                "--seed",
+                "5",
             ],
         )
         .expect("run");
@@ -403,8 +629,16 @@ mod tests {
             let out = run_cmd(
                 run,
                 &[
-                    "--algorithm", algorithm, "--places", "200", "--units", "8",
-                    "--updates", "20", "--k", "3",
+                    "--algorithm",
+                    algorithm,
+                    "--places",
+                    "200",
+                    "--units",
+                    "8",
+                    "--updates",
+                    "20",
+                    "--k",
+                    "3",
                 ],
             )
             .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
@@ -417,8 +651,15 @@ mod tests {
         let out = run_cmd(
             run,
             &[
-                "--places", "200", "--units", "8", "--updates", "30",
-                "--threshold", "-3", "--events",
+                "--places",
+                "200",
+                "--units",
+                "8",
+                "--updates",
+                "30",
+                "--threshold",
+                "-3",
+                "--events",
             ],
         )
         .expect("run --events");
@@ -435,8 +676,18 @@ mod tests {
         let out = run_cmd(
             run_opt,
             &[
-                "--places", "300", "--units", "10", "--updates", "100",
-                "--k", "4", "--seed", "9", "--checkpoint-out", cp_str,
+                "--places",
+                "300",
+                "--units",
+                "10",
+                "--updates",
+                "100",
+                "--k",
+                "4",
+                "--seed",
+                "9",
+                "--checkpoint-out",
+                cp_str,
             ],
         )
         .expect("run-opt");
@@ -445,8 +696,16 @@ mod tests {
         let out = run_cmd(
             resume,
             &[
-                "--checkpoint", cp_str, "--places", "300", "--seed", "9",
-                "--skip", "100", "--updates", "100",
+                "--checkpoint",
+                cp_str,
+                "--places",
+                "300",
+                "--seed",
+                "9",
+                "--skip",
+                "100",
+                "--updates",
+                "100",
             ],
         )
         .expect("resume");
@@ -475,8 +734,16 @@ mod tests {
         let resumed = run_cmd(
             resume,
             &[
-                "--checkpoint", cp_str, "--places", "300", "--seed", "33",
-                "--skip", "100", "--updates", "100",
+                "--checkpoint",
+                cp_str,
+                "--places",
+                "300",
+                "--seed",
+                "33",
+                "--skip",
+                "100",
+                "--updates",
+                "100",
             ],
         )
         .expect("second half");
@@ -488,8 +755,59 @@ mod tests {
                 .map(String::from)
                 .collect::<Vec<_>>()
         };
-        assert_eq!(tail(&full), tail(&resumed), "full:\n{full}\nresumed:\n{resumed}");
+        assert_eq!(
+            tail(&full),
+            tail(&resumed),
+            "full:\n{full}\nresumed:\n{resumed}"
+        );
         std::fs::remove_file(&cp).ok();
+    }
+
+    #[test]
+    fn chaos_survives_and_reports_counters() {
+        let out = run_cmd(
+            chaos,
+            &[
+                "--places",
+                "300",
+                "--units",
+                "10",
+                "--updates",
+                "200",
+                "--k",
+                "4",
+                "--seed",
+                "7",
+                "--drop",
+                "0.1",
+                "--dup",
+                "0.05",
+                "--corrupt",
+                "0.05",
+                "--panic-at",
+                "40",
+                "--checkpoint-every",
+                "32",
+            ],
+        )
+        .expect("chaos");
+        assert!(out.contains("degraded feed:"));
+        assert!(out.contains("resilience counters:"));
+        assert!(out.contains("final result:"));
+        assert!(!out.contains("GAVE UP"));
+        // The injected mid-run panic must have been survived by one restart.
+        let restarts: u64 = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("worker restarts"))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .expect("worker restarts line");
+        assert_eq!(restarts, 1, "{out}");
+    }
+
+    #[test]
+    fn chaos_rejects_bad_panic_at() {
+        assert!(run_cmd(chaos, &["--panic-at", "40,x"]).is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn main() -> ExitCode {
         "run" => commands::run(rest, &mut stdout),
         "run-opt" => commands::run_opt(rest, &mut stdout),
         "resume" => commands::resume(rest, &mut stdout),
+        "chaos" => commands::chaos(rest, &mut stdout),
         "help" | "--help" | "-h" => {
             println!("{}", commands::usage());
             return ExitCode::SUCCESS;

@@ -83,7 +83,11 @@ mod tests {
 
     #[test]
     fn update_stats_total() {
-        let s = UpdateStats { maintain_nanos: 10, access_nanos: 32, ..Default::default() };
+        let s = UpdateStats {
+            maintain_nanos: 10,
+            access_nanos: 32,
+            ..Default::default()
+        };
         assert_eq!(s.total_nanos(), 42);
     }
 }

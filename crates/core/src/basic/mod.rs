@@ -185,7 +185,8 @@ impl CtupAlgorithm for BasicCtup {
         let touched = touched_cells(&self.grid, &old_region, &new_region);
 
         // Step 1: exact safeties of maintained (illuminated) places.
-        self.maintained.apply_unit_move(old, update.new, radius, &touched);
+        self.maintained
+            .apply_unit_move(old, update.new, radius, &touched);
 
         // Step 2: Table I lower-bound maintenance on affected dark cells.
         for cell in touched {
@@ -216,7 +217,12 @@ impl CtupAlgorithm for BasicCtup {
         let result = self.maintained.result(self.config.mode);
         let keep: HashSet<CellId> = result
             .iter()
-            .map(|e| self.maintained.get(e.place).expect("result is maintained").cell)
+            .map(|e| {
+                self.maintained
+                    .get(e.place)
+                    .expect("result is maintained")
+                    .cell
+            })
             .collect();
         let all_cells: Vec<CellId> = self.maintained.cells().collect();
         for cell in all_cells {
@@ -236,7 +242,12 @@ impl CtupAlgorithm for BasicCtup {
         if changed {
             self.metrics.result_changes += 1;
         }
-        UpdateStats { maintain_nanos, access_nanos, cells_accessed, result_changed: changed }
+        UpdateStats {
+            maintain_nanos,
+            access_nanos,
+            cells_accessed,
+            result_changed: changed,
+        }
     }
 
     fn result(&self) -> Vec<TopKEntry> {
@@ -326,7 +337,10 @@ mod tests {
         for step in 0..300 {
             let unit = (next() * 10.0) as usize % 10;
             let new = Point::new(next(), next());
-            alg.handle_update(LocationUpdate { unit: UnitId(unit as u32), new });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(unit as u32),
+                new,
+            });
             units[unit] = new;
             oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::TopK(5));
             if step % 50 == 0 {
@@ -355,7 +369,10 @@ mod tests {
             total_accesses += stats.cells_accessed;
             decrements = alg.metrics().lb_decrements;
         }
-        assert!(decrements >= 20, "P->P must decrement every update, got {decrements}");
+        assert!(
+            decrements >= 20,
+            "P->P must decrement every update, got {decrements}"
+        );
         assert!(
             total_accesses > 0,
             "unnecessary decrements must eventually cause illuminations"
@@ -394,7 +411,10 @@ mod tests {
         );
         // After the first decrement per (unit, cell) pair is recorded, DOO
         // blocks the rest: a handful of accesses at most.
-        assert!(opt_accesses <= 12, "opt accessed {opt_accesses} cells under pure jiggling");
+        assert!(
+            opt_accesses <= 12,
+            "opt accessed {opt_accesses} cells under pure jiggling"
+        );
     }
 
     #[test]
@@ -410,7 +430,10 @@ mod tests {
         };
         let mut alg = BasicCtup::new(config, store, &units);
         oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::Threshold(-2));
-        alg.handle_update(LocationUpdate { unit: UnitId(0), new: Point::new(0.21, 0.79) });
+        alg.handle_update(LocationUpdate {
+            unit: UnitId(0),
+            new: Point::new(0.21, 0.79),
+        });
         let moved = vec![Point::new(0.21, 0.79), Point::new(0.2, 0.8)];
         oracle.assert_result_matches(&alg.result(), &moved, 0.1, QueryMode::Threshold(-2));
     }
@@ -420,7 +443,9 @@ mod tests {
         let (mut alg, _, _) = setup(3);
         let mut state = 7u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..200 {

@@ -69,7 +69,10 @@ mod tests {
         // Region barely containing the cell.
         let region = Circle::new(Point::new(0.45, 0.45), 0.075);
         assert_eq!(classify_with_margin(&region, &rect, 0.0), Relation::Full);
-        assert_eq!(classify_with_margin(&region, &rect, 0.05), Relation::Partial);
+        assert_eq!(
+            classify_with_margin(&region, &rect, 0.05),
+            Relation::Partial
+        );
         // A comfortably larger region re-earns Full despite the margin.
         let big = Circle::new(Point::new(0.45, 0.45), 0.2);
         assert_eq!(classify_with_margin(&big, &rect, 0.05), Relation::Full);

@@ -8,11 +8,14 @@
 //! text codec keeps the format inspectable and dependency-free.
 
 use crate::config::{CtupConfig, QueryMode};
+use crate::ingest::{GateState, GateUnitState};
 use crate::types::{Place, PlaceId, Safety, UnitId};
 use ctup_spatial::{CellId, Point, Rect};
+use ctup_storage::PlaceStore;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 /// Serialized state of a running OptCTUP monitor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,9 +31,13 @@ pub struct Checkpoint {
     pub maintained: Vec<(Place, Safety, CellId)>,
     /// The DecHash contents.
     pub dechash: Vec<(UnitId, CellId)>,
+    /// Ingest-gate state (dedup sequence numbers and liveness leases) when
+    /// the monitor ran behind a [`crate::ingest::IngestGate`]; `None` for a
+    /// bare monitor.
+    pub gate: Option<GateState>,
 }
 
-/// Errors raised while reading a checkpoint.
+/// Errors raised while reading or restoring a checkpoint.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// Underlying I/O failure.
@@ -42,6 +49,9 @@ pub enum CheckpointError {
         /// Description.
         message: String,
     },
+    /// The checkpoint parsed but its contents are unusable (wrong grid,
+    /// inconsistent unit counts, invalid configuration …).
+    Invalid(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -50,6 +60,9 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             CheckpointError::Parse { line, message } => {
                 write!(f, "checkpoint parse error at line {line}: {message}")
+            }
+            CheckpointError::Invalid(message) => {
+                write!(f, "invalid checkpoint: {message}")
             }
         }
     }
@@ -63,10 +76,36 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-const HEADER: &str = "#ctup-checkpoint v1";
+/// A monitor whose complete higher-level state can be captured and
+/// restored — what the supervised pipeline needs to checkpoint-restart a
+/// crashed worker and what a standby server needs to take over.
+pub trait Checkpointable: crate::algorithm::CtupAlgorithm + Sized {
+    /// Captures the monitor's state (gate-less; the caller attaches a
+    /// [`GateState`] if the monitor runs behind an ingest gate).
+    fn checkpoint(&self) -> Checkpoint;
+
+    /// Rebuilds a monitor from a checkpoint over the same lower level.
+    fn restore(checkpoint: Checkpoint, store: Arc<dyn PlaceStore>)
+        -> Result<Self, CheckpointError>;
+
+    /// The lower-level store the monitor runs over (handed back to
+    /// [`Checkpointable::restore`] on restart).
+    fn store(&self) -> Arc<dyn PlaceStore>;
+}
+
+const HEADER: &str = "#ctup-checkpoint v2";
+const VERSION_PREFIX: &str = "#ctup-checkpoint ";
+
+/// Upper bound on pre-allocation from counts read out of the file: a
+/// corrupted count must produce a parse error, not a giant allocation.
+/// Collections still grow past this if the file really has that many lines.
+const CAP_HINT: usize = 1 << 16;
 
 fn err(line: usize, message: impl Into<String>) -> CheckpointError {
-    CheckpointError::Parse { line, message: message.into() }
+    CheckpointError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// A line reader that tracks line numbers.
@@ -89,6 +128,58 @@ impl<R: BufRead> Lines<R> {
 }
 
 impl Checkpoint {
+    /// Structural validation against the grid the checkpoint will be
+    /// restored over: counts and id ranges must be consistent before
+    /// restore builds any structure. A corrupted-but-parseable file fails
+    /// here with a [`CheckpointError::Invalid`] instead of panicking later.
+    pub fn validate(&self, num_cells: usize) -> Result<(), CheckpointError> {
+        let invalid = |m: String| Err(CheckpointError::Invalid(m));
+        if let Err(message) = self.config.check() {
+            return invalid(format!("bad config: {message}"));
+        }
+        if self.lower_bounds.len() != num_cells {
+            return invalid(format!(
+                "checkpoint was taken over a different grid ({} cells, store has {num_cells})",
+                self.lower_bounds.len()
+            ));
+        }
+        for p in &self.unit_positions {
+            if !(p.x.is_finite() && p.y.is_finite()) {
+                return invalid("non-finite unit position".into());
+            }
+        }
+        for (place, _, cell) in &self.maintained {
+            if cell.index() >= num_cells {
+                return invalid(format!(
+                    "maintained place {} references cell {} of {num_cells}",
+                    place.id.0, cell.0
+                ));
+            }
+        }
+        for (unit, cell) in &self.dechash {
+            if unit.index() >= self.unit_positions.len() {
+                return invalid(format!(
+                    "dechash references unit {} of {}",
+                    unit.0,
+                    self.unit_positions.len()
+                ));
+            }
+            if cell.index() >= num_cells {
+                return invalid(format!("dechash references cell {} of {num_cells}", cell.0));
+            }
+        }
+        if let Some(gate) = &self.gate {
+            if gate.units.len() != self.unit_positions.len() {
+                return invalid(format!(
+                    "gate state covers {} units but the checkpoint has {}",
+                    gate.units.len(),
+                    self.unit_positions.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Writes the checkpoint to `w`.
     pub fn write<W: Write>(&self, mut w: W) -> io::Result<()> {
         writeln!(w, "{HEADER}")?;
@@ -140,16 +231,38 @@ impl Checkpoint {
         for (unit, cell) in &self.dechash {
             writeln!(w, "{} {}", unit.0, cell.0)?;
         }
+        match &self.gate {
+            None => writeln!(w, "gate none")?,
+            Some(gate) => {
+                writeln!(w, "gate {} {}", gate.now, gate.units.len())?;
+                for u in &gate.units {
+                    match u.last_seq {
+                        None => writeln!(w, "- {} {}", u.last_seen, u.alive as u8)?,
+                        Some(seq) => writeln!(w, "{seq} {} {}", u.last_seen, u.alive as u8)?,
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
     /// Reads a checkpoint from `r`.
     pub fn read<R: BufRead>(r: R) -> Result<Self, CheckpointError> {
-        let mut lines = Lines { inner: r, line_no: 0, buf: String::new() };
+        let mut lines = Lines {
+            inner: r,
+            line_no: 0,
+            buf: String::new(),
+        };
 
         let header = lines.next()?.to_string();
         if header != HEADER {
-            return Err(err(lines.line_no, format!("bad header {header:?}")));
+            return Err(match header.strip_prefix(VERSION_PREFIX) {
+                Some(version) => err(
+                    lines.line_no,
+                    format!("unsupported checkpoint version {version:?} (expected \"v2\")"),
+                ),
+                None => err(lines.line_no, format!("bad header {header:?}")),
+            });
         }
 
         // mode
@@ -157,13 +270,19 @@ impl Checkpoint {
         let mode_line = lines.next()?.to_string();
         let mode_fields: Vec<&str> = mode_line.split_ascii_whitespace().collect();
         let mode = match mode_fields.as_slice() {
-            ["mode", "topk", k] => QueryMode::TopK(
-                k.parse().map_err(|e| err(line_no, format!("bad k: {e}")))?,
-            ),
+            ["mode", "topk", k] => {
+                QueryMode::TopK(k.parse().map_err(|e| err(line_no, format!("bad k: {e}")))?)
+            }
             ["mode", "threshold", tau] => QueryMode::Threshold(
-                tau.parse().map_err(|e| err(line_no, format!("bad threshold: {e}")))?,
+                tau.parse()
+                    .map_err(|e| err(line_no, format!("bad threshold: {e}")))?,
             ),
-            _ => return Err(err(line_no, "expected `mode topk <k>` or `mode threshold <t>`")),
+            _ => {
+                return Err(err(
+                    line_no,
+                    "expected `mode topk <k>` or `mode threshold <t>`",
+                ))
+            }
         };
 
         // config
@@ -176,11 +295,18 @@ impl Checkpoint {
                 protection_radius: radius
                     .parse()
                     .map_err(|e| err(line_no, format!("bad radius: {e}")))?,
-                delta: delta.parse().map_err(|e| err(line_no, format!("bad delta: {e}")))?,
+                delta: delta
+                    .parse()
+                    .map_err(|e| err(line_no, format!("bad delta: {e}")))?,
                 doo_enabled: *doo == "1",
                 purge_dechash_on_access: *purge == "1",
             },
-            _ => return Err(err(line_no, "expected `config <radius> <delta> <doo> <purge>`")),
+            _ => {
+                return Err(err(
+                    line_no,
+                    "expected `config <radius> <delta> <doo> <purge>`",
+                ))
+            }
         };
 
         let parse_count = |lines: &mut Lines<R>, tag: &str| -> Result<usize, CheckpointError> {
@@ -188,15 +314,15 @@ impl Checkpoint {
             let line = lines.next()?.to_string();
             let fields: Vec<&str> = line.split_ascii_whitespace().collect();
             match fields.as_slice() {
-                [t, n] if *t == tag => {
-                    n.parse().map_err(|e| err(line_no, format!("bad {tag} count: {e}")))
-                }
+                [t, n] if *t == tag => n
+                    .parse()
+                    .map_err(|e| err(line_no, format!("bad {tag} count: {e}"))),
                 _ => Err(err(line_no, format!("expected `{tag} <count>`"))),
             }
         };
 
         let n_units = parse_count(&mut lines, "units")?;
-        let mut unit_positions = Vec::with_capacity(n_units);
+        let mut unit_positions = Vec::with_capacity(n_units.min(CAP_HINT));
         for _ in 0..n_units {
             let line_no = lines.line_no + 1;
             let line = lines.next()?.to_string();
@@ -204,13 +330,17 @@ impl Checkpoint {
             if fields.len() != 2 {
                 return Err(err(line_no, "expected `<x> <y>`"));
             }
-            let x = fields[0].parse().map_err(|e| err(line_no, format!("bad x: {e}")))?;
-            let y = fields[1].parse().map_err(|e| err(line_no, format!("bad y: {e}")))?;
+            let x = fields[0]
+                .parse()
+                .map_err(|e| err(line_no, format!("bad x: {e}")))?;
+            let y = fields[1]
+                .parse()
+                .map_err(|e| err(line_no, format!("bad y: {e}")))?;
             unit_positions.push(Point::new(x, y));
         }
 
         let n_lbs = parse_count(&mut lines, "lbs")?;
-        let mut lower_bounds = Vec::with_capacity(n_lbs);
+        let mut lower_bounds = Vec::with_capacity(n_lbs.min(CAP_HINT));
         for _ in 0..n_lbs {
             let line_no = lines.line_no + 1;
             let lb = lines
@@ -221,26 +351,34 @@ impl Checkpoint {
         }
 
         let n_maintained = parse_count(&mut lines, "maintained")?;
-        let mut maintained = Vec::with_capacity(n_maintained);
+        let mut maintained = Vec::with_capacity(n_maintained.min(CAP_HINT));
         for _ in 0..n_maintained {
             let line_no = lines.line_no + 1;
             let line = lines.next()?.to_string();
             let fields: Vec<&str> = line.split_ascii_whitespace().collect();
             if fields.len() != 6 && fields.len() != 10 {
-                return Err(err(line_no, "expected 6 or 10 fields for a maintained place"));
+                return Err(err(
+                    line_no,
+                    "expected 6 or 10 fields for a maintained place",
+                ));
             }
             let parse_f = |s: &str| -> Result<f64, CheckpointError> {
-                s.parse().map_err(|e| err(line_no, format!("bad number {s:?}: {e}")))
+                s.parse()
+                    .map_err(|e| err(line_no, format!("bad number {s:?}: {e}")))
             };
-            let id: u32 =
-                fields[0].parse().map_err(|e| err(line_no, format!("bad id: {e}")))?;
+            let id: u32 = fields[0]
+                .parse()
+                .map_err(|e| err(line_no, format!("bad id: {e}")))?;
             let pos = Point::new(parse_f(fields[1])?, parse_f(fields[2])?);
-            let rp: u32 =
-                fields[3].parse().map_err(|e| err(line_no, format!("bad rp: {e}")))?;
-            let safety: Safety =
-                fields[4].parse().map_err(|e| err(line_no, format!("bad safety: {e}")))?;
-            let cell: u32 =
-                fields[5].parse().map_err(|e| err(line_no, format!("bad cell: {e}")))?;
+            let rp: u32 = fields[3]
+                .parse()
+                .map_err(|e| err(line_no, format!("bad rp: {e}")))?;
+            let safety: Safety = fields[4]
+                .parse()
+                .map_err(|e| err(line_no, format!("bad safety: {e}")))?;
+            let cell: u32 = fields[5]
+                .parse()
+                .map_err(|e| err(line_no, format!("bad cell: {e}")))?;
             let place = if fields.len() == 10 {
                 let lo = Point::new(parse_f(fields[6])?, parse_f(fields[7])?);
                 let hi = Point::new(parse_f(fields[8])?, parse_f(fields[9])?);
@@ -255,7 +393,7 @@ impl Checkpoint {
         }
 
         let n_dechash = parse_count(&mut lines, "dechash")?;
-        let mut dechash = Vec::with_capacity(n_dechash);
+        let mut dechash = Vec::with_capacity(n_dechash.min(CAP_HINT));
         for _ in 0..n_dechash {
             let line_no = lines.line_no + 1;
             let line = lines.next()?.to_string();
@@ -263,14 +401,73 @@ impl Checkpoint {
             if fields.len() != 2 {
                 return Err(err(line_no, "expected `<unit> <cell>`"));
             }
-            let unit: u32 =
-                fields[0].parse().map_err(|e| err(line_no, format!("bad unit: {e}")))?;
-            let cell: u32 =
-                fields[1].parse().map_err(|e| err(line_no, format!("bad cell: {e}")))?;
+            let unit: u32 = fields[0]
+                .parse()
+                .map_err(|e| err(line_no, format!("bad unit: {e}")))?;
+            let cell: u32 = fields[1]
+                .parse()
+                .map_err(|e| err(line_no, format!("bad cell: {e}")))?;
             dechash.push((UnitId(unit), CellId(cell)));
         }
 
-        Ok(Checkpoint { config, unit_positions, lower_bounds, maintained, dechash })
+        // gate section: `gate none` or `gate <now> <count>` + per-unit lines.
+        let line_no = lines.line_no + 1;
+        let gate_line = lines.next()?.to_string();
+        let gate_fields: Vec<&str> = gate_line.split_ascii_whitespace().collect();
+        let gate = match gate_fields.as_slice() {
+            ["gate", "none"] => None,
+            ["gate", now, n] => {
+                let now: u64 = now
+                    .parse()
+                    .map_err(|e| err(line_no, format!("bad gate clock: {e}")))?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|e| err(line_no, format!("bad gate unit count: {e}")))?;
+                let mut units = Vec::with_capacity(n.min(CAP_HINT));
+                for _ in 0..n {
+                    let line_no = lines.line_no + 1;
+                    let line = lines.next()?.to_string();
+                    let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+                    let [seq, seen, alive] = fields.as_slice() else {
+                        return Err(err(line_no, "expected `<seq|-> <last_seen> <alive>`"));
+                    };
+                    let last_seq = if *seq == "-" {
+                        None
+                    } else {
+                        Some(
+                            seq.parse()
+                                .map_err(|e| err(line_no, format!("bad gate seq: {e}")))?,
+                        )
+                    };
+                    let last_seen = seen
+                        .parse()
+                        .map_err(|e| err(line_no, format!("bad gate last_seen: {e}")))?;
+                    let alive = match *alive {
+                        "0" => false,
+                        "1" => true,
+                        other => {
+                            return Err(err(line_no, format!("bad gate alive flag {other:?}")))
+                        }
+                    };
+                    units.push(GateUnitState {
+                        last_seq,
+                        last_seen,
+                        alive,
+                    });
+                }
+                Some(GateState { now, units })
+            }
+            _ => return Err(err(line_no, "expected `gate none` or `gate <now> <count>`")),
+        };
+
+        Ok(Checkpoint {
+            config,
+            unit_positions,
+            lower_bounds,
+            maintained,
+            dechash,
+            gate,
+        })
     }
 }
 
@@ -284,7 +481,11 @@ mod tests {
             unit_positions: vec![Point::new(0.25, 0.5), Point::new(0.75, 0.125)],
             lower_bounds: vec![-3, crate::types::LB_NONE, 0, 5],
             maintained: vec![
-                (Place::point(PlaceId(4), Point::new(0.1, 0.2), 3), -2, CellId(0)),
+                (
+                    Place::point(PlaceId(4), Point::new(0.1, 0.2), 3),
+                    -2,
+                    CellId(0),
+                ),
                 (
                     Place::extended(
                         PlaceId(9),
@@ -297,6 +498,21 @@ mod tests {
                 ),
             ],
             dechash: vec![(UnitId(0), CellId(2)), (UnitId(1), CellId(0))],
+            gate: Some(GateState {
+                now: 42,
+                units: vec![
+                    GateUnitState {
+                        last_seq: Some(17),
+                        last_seen: 41,
+                        alive: true,
+                    },
+                    GateUnitState {
+                        last_seq: None,
+                        last_seen: 3,
+                        alive: false,
+                    },
+                ],
+            }),
         }
     }
 
@@ -345,5 +561,58 @@ mod tests {
         assert!(Checkpoint::read(corrupted.as_bytes()).is_err());
         let corrupted = text.replacen(HEADER, "#wrong", 1);
         assert!(Checkpoint::read(corrupted.as_bytes()).is_err());
+        let corrupted = text.replacen("gate 42 2", "gate 42 x", 1);
+        assert!(Checkpoint::read(corrupted.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_version() {
+        let cp = sample();
+        let mut buf = Vec::new();
+        cp.write(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let old = text.replacen("v2", "v1", 1);
+        let error = Checkpoint::read(old.as_bytes()).unwrap_err();
+        assert!(
+            error.to_string().contains("unsupported checkpoint version"),
+            "unexpected error: {error}"
+        );
+    }
+
+    #[test]
+    fn gateless_checkpoint_roundtrips() {
+        let cp = Checkpoint {
+            gate: None,
+            ..sample()
+        };
+        let mut buf = Vec::new();
+        cp.write(&mut buf).unwrap();
+        assert_eq!(Checkpoint::read(buf.as_slice()).unwrap(), cp);
+    }
+
+    #[test]
+    fn validate_catches_inconsistencies() {
+        let cp = sample();
+        assert!(cp.validate(4).is_ok());
+        // Wrong grid size.
+        assert!(matches!(cp.validate(3), Err(CheckpointError::Invalid(_))));
+        // DecHash pointing at a unit that does not exist.
+        let bad = Checkpoint {
+            dechash: vec![(UnitId(9), CellId(0))],
+            ..sample()
+        };
+        assert!(matches!(bad.validate(4), Err(CheckpointError::Invalid(_))));
+        // Maintained place in an out-of-range cell.
+        let mut bad = sample();
+        bad.maintained[0].2 = CellId(99);
+        assert!(matches!(bad.validate(4), Err(CheckpointError::Invalid(_))));
+        // Gate unit count disagreeing with the position table.
+        let mut bad = sample();
+        bad.gate.as_mut().unwrap().units.pop();
+        assert!(matches!(bad.validate(4), Err(CheckpointError::Invalid(_))));
+        // Non-finite unit position.
+        let mut bad = sample();
+        bad.unit_positions[0] = Point::new(f64::NAN, 0.0);
+        assert!(matches!(bad.validate(4), Err(CheckpointError::Invalid(_))));
     }
 }

@@ -55,7 +55,10 @@ impl CtupConfig {
 
     /// Same defaults with a different `k`.
     pub fn with_k(k: usize) -> Self {
-        CtupConfig { mode: QueryMode::TopK(k), ..Self::paper_default() }
+        CtupConfig {
+            mode: QueryMode::TopK(k),
+            ..Self::paper_default()
+        }
     }
 
     /// The `k` of a top-k query; `None` in threshold mode.
@@ -66,15 +69,29 @@ impl CtupConfig {
         }
     }
 
+    /// Checks parameter ranges, returning a description of the first
+    /// violation. Used by restore paths that must not panic on corrupted
+    /// input.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if !(self.protection_radius > 0.0 && self.protection_radius.is_finite()) {
+            return Err("protection radius must be positive and finite");
+        }
+        if self.delta < 0 {
+            return Err("delta must be non-negative");
+        }
+        if self.mode == QueryMode::TopK(0) {
+            return Err("k must be at least 1");
+        }
+        Ok(())
+    }
+
     /// Validates parameter ranges.
     ///
     /// # Panics
     /// Panics on non-positive radius, `TopK(0)`, or negative `Δ`.
     pub fn validate(&self) {
-        assert!(self.protection_radius > 0.0, "protection radius must be positive");
-        assert!(self.delta >= 0, "delta must be non-negative");
-        if let QueryMode::TopK(k) = self.mode {
-            assert!(k > 0, "k must be at least 1");
+        if let Err(message) = self.check() {
+            panic!("{message}");
         }
     }
 }
@@ -108,7 +125,10 @@ mod tests {
 
     #[test]
     fn threshold_mode_has_no_k() {
-        let c = CtupConfig { mode: QueryMode::Threshold(-2), ..CtupConfig::paper_default() };
+        let c = CtupConfig {
+            mode: QueryMode::Threshold(-2),
+            ..CtupConfig::paper_default()
+        };
         assert_eq!(c.k(), None);
         c.validate();
     }
@@ -122,6 +142,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "radius must be positive")]
     fn zero_radius_rejected() {
-        CtupConfig { protection_radius: 0.0, ..CtupConfig::paper_default() }.validate();
+        CtupConfig {
+            protection_radius: 0.0,
+            ..CtupConfig::paper_default()
+        }
+        .validate();
     }
 }

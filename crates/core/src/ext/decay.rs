@@ -135,7 +135,10 @@ impl DecayOracle {
 
     /// Exact decayed safety of one place.
     pub fn safety_of(&self, place: &Place, units: &[Point]) -> f64 {
-        let ap: f64 = units.iter().map(|u| self.kernel.weight(u.dist(place.pos))).sum();
+        let ap: f64 = units
+            .iter()
+            .map(|u| self.kernel.weight(u.dist(place.pos)))
+            .sum();
         ap - place.rp as f64
     }
 
@@ -144,7 +147,10 @@ impl DecayOracle {
         let mut entries: Vec<DecayEntry> = self
             .places
             .iter()
-            .map(|p| DecayEntry { place: p.id, safety: self.safety_of(p, units) })
+            .map(|p| DecayEntry {
+                place: p.id,
+                safety: self.safety_of(p, units),
+            })
             .collect();
         entries.sort_by(|a, b| a.safety.total_cmp(&b.safety).then(a.place.cmp(&b.place)));
         match mode {
@@ -185,7 +191,10 @@ impl DecayCtup {
     /// Builds the monitor and initializes it (exact per-cell bounds, then
     /// accesses in increasing bound order).
     pub fn new(config: DecayConfig, store: Arc<dyn PlaceStore>, initial_units: &[Point]) -> Self {
-        assert!(config.kernel.support() > 0.0, "kernel must have positive support");
+        assert!(
+            config.kernel.support() > 0.0,
+            "kernel must have positive support"
+        );
         assert!(config.delta >= 0.0, "delta must be non-negative");
         if let DecayMode::TopK(k) = config.mode {
             assert!(k > 0, "k must be at least 1");
@@ -275,7 +284,13 @@ impl DecayCtup {
             let id = record.id;
             self.ordered.insert((TotalF64(safety), id));
             self.by_cell.entry(cell).or_default().push(id);
-            self.maintained.insert(id, MaintainedDecay { place: record, safety });
+            self.maintained.insert(
+                id,
+                MaintainedDecay {
+                    place: record,
+                    safety,
+                },
+            );
         }
         // Never evict at or below SK itself (with Δ = 0 that would evict
         // the k-th place and loop forever re-accessing the cell).
@@ -327,8 +342,8 @@ impl DecayCtup {
         // Step 1: exact maintained safeties.
         let mut changes = Vec::new();
         for (&id, entry) in self.maintained.iter_mut() {
-            let dw = kernel.weight(new.dist(entry.place.pos))
-                - kernel.weight(old.dist(entry.place.pos));
+            let dw =
+                kernel.weight(new.dist(entry.place.pos)) - kernel.weight(old.dist(entry.place.pos));
             if dw != 0.0 {
                 changes.push((id, entry.safety, entry.safety + dw));
                 entry.safety += dw;
@@ -366,11 +381,14 @@ impl DecayCtup {
     pub fn result(&self) -> Vec<DecayEntry> {
         let take: Box<dyn Iterator<Item = &(TotalF64, PlaceId)>> = match self.config.mode {
             DecayMode::TopK(k) => Box::new(self.ordered.iter().take(k)),
-            DecayMode::Threshold(tau) => {
-                Box::new(self.ordered.iter().take_while(move |&&(TotalF64(s), _)| s < tau))
-            }
+            DecayMode::Threshold(tau) => Box::new(
+                self.ordered
+                    .iter()
+                    .take_while(move |&&(TotalF64(s), _)| s < tau),
+            ),
         };
-        take.map(|&(TotalF64(safety), place)| DecayEntry { place, safety }).collect()
+        take.map(|&(TotalF64(safety), place)| DecayEntry { place, safety })
+            .collect()
     }
 
     /// Number of maintained places.
@@ -412,7 +430,10 @@ mod tests {
         let kernels = [
             DecayKernel::Step { radius: 0.1 },
             DecayKernel::Cone { radius: 0.2 },
-            DecayKernel::Gaussian { sigma: 0.05, cutoff: 0.2 },
+            DecayKernel::Gaussian {
+                sigma: 0.05,
+                cutoff: 0.2,
+            },
         ];
         for kernel in kernels {
             let mut prev = f64::INFINITY;
@@ -456,9 +477,14 @@ mod tests {
         let oracle = DecayOracle::new(places.clone(), kernel);
         let store: Arc<dyn PlaceStore> =
             Arc::new(CellLocalStore::build(Grid::unit_square(6), places));
-        let mut units: Vec<Point> =
-            (0..8).map(|i| Point::new(0.1 + 0.1 * i as f64, 0.45)).collect();
-        let config = DecayConfig { kernel, mode, delta: 0.5 };
+        let mut units: Vec<Point> = (0..8)
+            .map(|i| Point::new(0.1 + 0.1 * i as f64, 0.45))
+            .collect();
+        let config = DecayConfig {
+            kernel,
+            mode,
+            delta: 0.5,
+        };
         let mut monitor = DecayCtup::new(config, store, &units);
         assert_results_match(&monitor.result(), &oracle.result(&units, mode), 1e-9);
 
@@ -484,13 +510,21 @@ mod tests {
 
     #[test]
     fn cone_kernel_tracks_oracle_topk() {
-        run(DecayKernel::Cone { radius: 0.15 }, DecayMode::TopK(5), 150, 0x11);
+        run(
+            DecayKernel::Cone { radius: 0.15 },
+            DecayMode::TopK(5),
+            150,
+            0x11,
+        );
     }
 
     #[test]
     fn gaussian_kernel_tracks_oracle_topk() {
         run(
-            DecayKernel::Gaussian { sigma: 0.06, cutoff: 0.2 },
+            DecayKernel::Gaussian {
+                sigma: 0.06,
+                cutoff: 0.2,
+            },
             DecayMode::TopK(4),
             150,
             0x22,
@@ -499,12 +533,22 @@ mod tests {
 
     #[test]
     fn step_kernel_reduces_to_integer_model() {
-        run(DecayKernel::Step { radius: 0.1 }, DecayMode::TopK(5), 100, 0x33);
+        run(
+            DecayKernel::Step { radius: 0.1 },
+            DecayMode::TopK(5),
+            100,
+            0x33,
+        );
     }
 
     #[test]
     fn threshold_mode_tracks_oracle() {
-        run(DecayKernel::Cone { radius: 0.2 }, DecayMode::Threshold(-0.5), 100, 0x44);
+        run(
+            DecayKernel::Cone { radius: 0.2 },
+            DecayMode::Threshold(-0.5),
+            100,
+            0x44,
+        );
     }
 
     #[test]
@@ -516,8 +560,9 @@ mod tests {
             let places = place_set();
             let store: Arc<dyn PlaceStore> =
                 Arc::new(CellLocalStore::build(Grid::unit_square(6), places));
-            let units: Vec<Point> =
-                (0..8).map(|i| Point::new(0.1 + 0.1 * i as f64, 0.45)).collect();
+            let units: Vec<Point> = (0..8)
+                .map(|i| Point::new(0.1 + 0.1 * i as f64, 0.45))
+                .collect();
             let config = DecayConfig {
                 kernel: DecayKernel::Cone { radius: 0.15 },
                 mode: DecayMode::TopK(5),

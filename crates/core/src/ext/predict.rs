@@ -27,7 +27,10 @@ impl VelocityTracker {
     /// Starts tracking with every unit at its initial position and no
     /// velocity information.
     pub fn new(initial: &[Point]) -> Self {
-        VelocityTracker { current: initial.to_vec(), previous: vec![None; initial.len()] }
+        VelocityTracker {
+            current: initial.to_vec(),
+            previous: vec![None; initial.len()],
+        }
     }
 
     /// Number of tracked units.
@@ -150,7 +153,10 @@ mod tests {
     #[test]
     fn velocity_follows_last_displacement() {
         let mut tracker = VelocityTracker::new(&[Point::new(0.5, 0.5)]);
-        tracker.observe(LocationUpdate { unit: UnitId(0), new: Point::new(0.6, 0.5) });
+        tracker.observe(LocationUpdate {
+            unit: UnitId(0),
+            new: Point::new(0.6, 0.5),
+        });
         let (vx, vy) = tracker.velocity(UnitId(0));
         assert!((vx - 0.1).abs() < 1e-12);
         assert_eq!(vy, 0.0);
@@ -167,7 +173,10 @@ mod tests {
         let st = store();
         // Unit starts at place 0 and moves towards place 1.
         let mut pred = PredictiveCtup::new(&st, &[Point::new(0.2, 0.5)], 0.1);
-        pred.observe(LocationUpdate { unit: UnitId(0), new: Point::new(0.35, 0.5) });
+        pred.observe(LocationUpdate {
+            unit: UnitId(0),
+            new: Point::new(0.35, 0.5),
+        });
         // Now: neither place protected (unit at 0.35 is 0.15 from place 0).
         let now = pred.predict(0.0, QueryMode::TopK(1));
         assert_eq!(now[0].safety, -1);

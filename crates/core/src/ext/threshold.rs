@@ -29,8 +29,14 @@ impl ThresholdMonitor {
         store: Arc<dyn PlaceStore>,
         initial_units: &[Point],
     ) -> Self {
-        let config = CtupConfig { mode: QueryMode::Threshold(threshold), ..base };
-        ThresholdMonitor { inner: OptCtup::new(config, store, initial_units), threshold }
+        let config = CtupConfig {
+            mode: QueryMode::Threshold(threshold),
+            ..base
+        };
+        ThresholdMonitor {
+            inner: OptCtup::new(config, store, initial_units),
+            threshold,
+        }
     }
 
     /// The monitored threshold `τ`.
@@ -81,10 +87,10 @@ mod tests {
         let oracle = Oracle::new(places.clone());
         let store: Arc<dyn PlaceStore> =
             Arc::new(CellLocalStore::build(Grid::unit_square(6), places));
-        let units: Vec<Point> =
-            (0..8).map(|i| Point::new(0.1 + 0.1 * i as f64, 0.5)).collect();
-        let monitor =
-            ThresholdMonitor::new(threshold, CtupConfig::paper_default(), store, &units);
+        let units: Vec<Point> = (0..8)
+            .map(|i| Point::new(0.1 + 0.1 * i as f64, 0.5))
+            .collect();
+        let monitor = ThresholdMonitor::new(threshold, CtupConfig::paper_default(), store, &units);
         (monitor, oracle, units)
     }
 
@@ -114,7 +120,10 @@ mod tests {
         for _ in 0..150 {
             let unit = (next() * 8.0) as usize % 8;
             let new = Point::new(next(), next());
-            monitor.handle_update(LocationUpdate { unit: UnitId(unit as u32), new });
+            monitor.handle_update(LocationUpdate {
+                unit: UnitId(unit as u32),
+                new,
+            });
             units[unit] = new;
             oracle.assert_result_matches(
                 &monitor.unsafe_places(),

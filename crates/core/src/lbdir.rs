@@ -73,7 +73,11 @@ impl LbDirectory {
     /// the [`LB_NONE`] sentinel is preserved, and returns the new value.
     pub fn add(&mut self, cell: CellId, delta: Safety) -> Safety {
         let old = self.get(cell);
-        let new = if old == LB_NONE { LB_NONE } else { old.saturating_add(delta) };
+        let new = if old == LB_NONE {
+            LB_NONE
+        } else {
+            old.saturating_add(delta)
+        };
         self.set(cell, new);
         new
     }

@@ -56,6 +56,7 @@ pub mod cells;
 pub mod checkpoint;
 pub mod config;
 pub mod ext;
+pub mod ingest;
 pub mod lbdir;
 pub mod maintained;
 pub mod metrics;
@@ -64,18 +65,21 @@ pub mod opt;
 pub mod oracle;
 pub mod pipeline;
 pub mod server;
+pub mod supervisor;
 pub mod topk;
 pub mod types;
 pub mod units;
 
 pub use algorithm::{CtupAlgorithm, InitStats, UpdateStats};
 pub use basic::BasicCtup;
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointError, Checkpointable};
 pub use config::{CtupConfig, QueryMode};
-pub use metrics::Metrics;
+pub use ingest::{IngestConfig, IngestGate, RejectReason, StampedUpdate};
+pub use metrics::{Metrics, ResilienceStats};
 pub use naive::{NaiveIncremental, NaiveRecompute};
 pub use opt::OptCtup;
 pub use oracle::Oracle;
-pub use pipeline::{EventBatch, Pipeline, PipelineReport};
+pub use pipeline::{EventBatch, Pipeline, PipelineReport, SendError};
 pub use server::{MonitorEvent, Server};
+pub use supervisor::{ResilienceConfig, SupervisedPipeline, SupervisedReport};
 pub use types::{LocationUpdate, Place, PlaceId, Safety, TopKEntry, Unit, UnitId};

@@ -64,7 +64,14 @@ impl MaintainedSet {
         let id = place.id;
         self.ordered.insert(id, safety);
         self.by_cell.entry(cell).or_default().push(id);
-        let prev = self.map.insert(id, MaintainedPlace { place, safety, cell });
+        let prev = self.map.insert(
+            id,
+            MaintainedPlace {
+                place,
+                safety,
+                cell,
+            },
+        );
         debug_assert!(prev.is_none(), "{id:?} maintained twice");
     }
 
@@ -173,7 +180,10 @@ impl MaintainedSet {
         }
         assert_eq!(by_cell_total, self.map.len());
         for (safety, id) in self.ordered.iter() {
-            assert_eq!(self.map[&id].safety, safety, "ordered view stale for {id:?}");
+            assert_eq!(
+                self.map[&id].safety, safety,
+                "ordered view stale for {id:?}"
+            );
         }
     }
 }
@@ -213,8 +223,12 @@ mod tests {
         // Unit leaves the vicinity of places 0 and 1 (they lose a protector)
         // and arrives near place 2 (gains one).
         let touched = [CellId(55), CellId(99)];
-        let changed =
-            m.apply_unit_move(Point::new(0.51, 0.50), Point::new(0.9, 0.88), 0.05, &touched);
+        let changed = m.apply_unit_move(
+            Point::new(0.51, 0.50),
+            Point::new(0.9, 0.88),
+            0.05,
+            &touched,
+        );
         assert_eq!(changed, 3);
         assert_eq!(m.get(PlaceId(0)).unwrap().safety, -4);
         assert_eq!(m.get(PlaceId(1)).unwrap().safety, -2);
@@ -238,8 +252,12 @@ mod tests {
         // The move would affect cell 55's places, but only cell 99 is
         // declared touched — callers guarantee touched covers both regions,
         // so the method must restrict itself to the given cells.
-        let changed =
-            m.apply_unit_move(Point::new(0.51, 0.50), Point::new(0.9, 0.88), 0.05, &[CellId(99)]);
+        let changed = m.apply_unit_move(
+            Point::new(0.51, 0.50),
+            Point::new(0.9, 0.88),
+            0.05,
+            &[CellId(99)],
+        );
         assert_eq!(changed, 1);
         assert_eq!(m.get(PlaceId(2)).unwrap().safety, -5);
         m.check_invariants();

@@ -6,6 +6,69 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Counters of the resilience layer: how much of the inbound feed was
+/// rejected or dropped at the ingest front-door, how the liveness leases
+/// moved, and what the supervised pipeline had to do to survive worker
+/// panics. All cumulative.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Reports rejected because a coordinate was NaN or infinite.
+    pub rejected_non_finite: u64,
+    /// Reports rejected because the position lies outside the monitored
+    /// space.
+    pub rejected_out_of_space: u64,
+    /// Reports rejected because the unit id is not in `0..|U|`.
+    pub rejected_unknown_unit: u64,
+    /// Reports dropped because a newer report of the same unit was already
+    /// accepted (reordered or delayed delivery).
+    pub stale_dropped: u64,
+    /// Reports dropped because the exact same sequence number of that unit
+    /// was already accepted (duplicated delivery).
+    pub duplicates_dropped: u64,
+    /// Liveness leases that expired (unit silent past the TTL; its
+    /// protection was retracted).
+    pub lease_expiries: u64,
+    /// Expired units reinstated by a later valid report.
+    pub lease_reinstates: u64,
+    /// Worker panics caught by the supervisor.
+    pub worker_panics: u64,
+    /// Successful worker restarts from the latest checkpoint.
+    pub worker_restarts: u64,
+    /// Updates replayed from the in-flight tail after a restart.
+    pub updates_replayed: u64,
+    /// Periodic checkpoints taken by the supervisor.
+    pub checkpoints_taken: u64,
+    /// Monitor events recomputed during replay but suppressed because they
+    /// had already been delivered before the crash.
+    pub events_suppressed: u64,
+}
+
+impl ResilienceStats {
+    /// Total reports rejected by validation (excluding stale/duplicate
+    /// drops, which are counted separately).
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_non_finite + self.rejected_out_of_space + self.rejected_unknown_unit
+    }
+
+    /// Component-wise difference since `earlier`.
+    pub fn since(&self, earlier: &ResilienceStats) -> ResilienceStats {
+        ResilienceStats {
+            rejected_non_finite: self.rejected_non_finite - earlier.rejected_non_finite,
+            rejected_out_of_space: self.rejected_out_of_space - earlier.rejected_out_of_space,
+            rejected_unknown_unit: self.rejected_unknown_unit - earlier.rejected_unknown_unit,
+            stale_dropped: self.stale_dropped - earlier.stale_dropped,
+            duplicates_dropped: self.duplicates_dropped - earlier.duplicates_dropped,
+            lease_expiries: self.lease_expiries - earlier.lease_expiries,
+            lease_reinstates: self.lease_reinstates - earlier.lease_reinstates,
+            worker_panics: self.worker_panics - earlier.worker_panics,
+            worker_restarts: self.worker_restarts - earlier.worker_restarts,
+            updates_replayed: self.updates_replayed - earlier.updates_replayed,
+            checkpoints_taken: self.checkpoints_taken - earlier.checkpoints_taken,
+            events_suppressed: self.events_suppressed - earlier.events_suppressed,
+        }
+    }
+}
+
 /// Cumulative counters; cheap enough to update on every operation.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Metrics {
@@ -38,6 +101,9 @@ pub struct Metrics {
     pub access_nanos: u64,
     /// Updates after which the reported result changed.
     pub result_changes: u64,
+    /// Resilience-layer counters (zero unless the algorithm runs behind an
+    /// ingest gate / supervised pipeline).
+    pub resilience: ResilienceStats,
 }
 
 impl Metrics {
@@ -68,6 +134,7 @@ impl Metrics {
             maintain_nanos: self.maintain_nanos - earlier.maintain_nanos,
             access_nanos: self.access_nanos - earlier.access_nanos,
             result_changes: self.result_changes - earlier.result_changes,
+            resilience: self.resilience.since(&earlier.resilience),
         }
     }
 }
@@ -102,5 +169,34 @@ mod tests {
         assert_eq!(d.updates_processed, 15);
         assert_eq!(d.cells_accessed, 2);
         assert_eq!(d.maintained_now, 9);
+    }
+
+    #[test]
+    fn resilience_since_and_totals() {
+        let a = ResilienceStats {
+            rejected_non_finite: 1,
+            rejected_out_of_space: 2,
+            rejected_unknown_unit: 3,
+            stale_dropped: 4,
+            ..ResilienceStats::default()
+        };
+        assert_eq!(a.rejected_total(), 6);
+        let mut b = a.clone();
+        b.rejected_unknown_unit = 10;
+        b.worker_restarts = 2;
+        let d = b.since(&a);
+        assert_eq!(d.rejected_unknown_unit, 7);
+        assert_eq!(d.worker_restarts, 2);
+        assert_eq!(d.stale_dropped, 0);
+
+        let m = Metrics {
+            resilience: b.clone(),
+            ..Metrics::default()
+        };
+        let d = m.since(&Metrics {
+            resilience: a,
+            ..Metrics::default()
+        });
+        assert_eq!(d.resilience.rejected_unknown_unit, 7);
     }
 }

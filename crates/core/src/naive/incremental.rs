@@ -108,7 +108,8 @@ impl NaiveIncremental {
                 if was != is {
                     let delta: Safety = if is { 1 } else { -1 };
                     let fresh = self.safeties[idx as usize] + delta;
-                    self.ordered.update(place.id, self.safeties[idx as usize], fresh);
+                    self.ordered
+                        .update(place.id, self.safeties[idx as usize], fresh);
                     self.safeties[idx as usize] = fresh;
                 }
             }
@@ -210,7 +211,10 @@ mod tests {
             (0u32, Point::new(0.51, 0.51)),
         ];
         for (unit, new) in moves {
-            alg.handle_update(LocationUpdate { unit: UnitId(unit), new });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(unit),
+                new,
+            });
             units[unit as usize] = new;
             oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::TopK(3));
         }
@@ -223,7 +227,10 @@ mod tests {
         for i in 0..20u32 {
             let update = LocationUpdate {
                 unit: UnitId(i % 2),
-                new: Point::new(0.05 + (i as f64 * 0.137) % 0.9, 0.05 + (i as f64 * 0.071) % 0.9),
+                new: Point::new(
+                    0.05 + (i as f64 * 0.137) % 0.9,
+                    0.05 + (i as f64 * 0.071) % 0.9,
+                ),
             };
             inc.handle_update(update);
             rec.handle_update(update);

@@ -87,7 +87,10 @@ impl NaiveRecompute {
                     .iter()
                     .filter_map(|place| {
                         let safety = self.units.safety(place);
-                        (safety < tau).then_some(TopKEntry { place: place.id, safety })
+                        (safety < tau).then_some(TopKEntry {
+                            place: place.id,
+                            safety,
+                        })
                     })
                     .collect();
                 entries.sort_by_key(|e| (e.safety, e.place));
@@ -133,9 +136,7 @@ impl CtupAlgorithm for NaiveRecompute {
 
     fn sk(&self) -> Option<Safety> {
         match self.config.mode {
-            QueryMode::TopK(k) if self.result.len() == k => {
-                self.result.last().map(|e| e.safety)
-            }
+            QueryMode::TopK(k) if self.result.len() == k => self.result.last().map(|e| e.safety),
             _ => None,
         }
     }
@@ -198,8 +199,10 @@ mod tests {
             (0u32, Point::new(0.1, 0.1)),
         ];
         for (unit, new) in moves {
-            let stats =
-                alg.handle_update(LocationUpdate { unit: UnitId(unit), new });
+            let stats = alg.handle_update(LocationUpdate {
+                unit: UnitId(unit),
+                new,
+            });
             units[unit as usize] = new;
             oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::TopK(2));
             assert_eq!(stats.cells_accessed, 0);

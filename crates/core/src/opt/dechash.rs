@@ -34,7 +34,9 @@ impl DecHash {
 
     /// Whether `(unit, cell)` is recorded.
     pub fn contains(&self, unit: UnitId, cell: CellId) -> bool {
-        self.by_cell.get(&cell).is_some_and(|units| units.contains(&unit))
+        self.by_cell
+            .get(&cell)
+            .is_some_and(|units| units.contains(&unit))
     }
 
     /// Records `(unit, cell)`; returns whether it was new.

@@ -78,7 +78,10 @@ mod tests {
         assert_eq!(opt_transition(Partial, None, true), (0, HashOp::Keep));
         assert_eq!(opt_transition(Partial, Partial, true), (0, HashOp::Keep));
         assert_eq!(opt_transition(Partial, None, false), (-1, HashOp::Insert));
-        assert_eq!(opt_transition(Partial, Partial, false), (-1, HashOp::Insert));
+        assert_eq!(
+            opt_transition(Partial, Partial, false),
+            (-1, HashOp::Insert)
+        );
         assert_eq!(opt_transition(Partial, Full, true), (1, HashOp::Remove));
         assert_eq!(opt_transition(Partial, Full, false), (0, HashOp::Keep));
         assert_eq!(opt_transition(Full, None, false), (-1, HashOp::Insert));
@@ -114,7 +117,10 @@ mod tests {
                     };
                     // The F-never-hashed invariant must be preserved.
                     if new == Full {
-                        assert!(!hashed_after, "({old:?},{new:?},{in_hash}) leaves a hashed F unit");
+                        assert!(
+                            !hashed_after,
+                            "({old:?},{new:?},{in_hash}) leaves a hashed F unit"
+                        );
                     }
                     for &c_before in contribs(old) {
                         for &c_after in contribs(new) {

@@ -114,8 +114,10 @@ impl OptCtup {
         self.metrics.cells_accessed += 1;
         self.metrics.places_loaded += records.len() as u64;
 
-        let mut safeties: Vec<Safety> =
-            records.iter().map(|record| self.units.safety(record)).collect();
+        let mut safeties: Vec<Safety> = records
+            .iter()
+            .map(|record| self.units.safety(record))
+            .collect();
 
         // SK as it would be with this cell's places included.
         let sk = match self.config.mode {
@@ -252,24 +254,23 @@ impl OptCtup {
                 .map(|m| (m.place.clone(), m.safety, m.cell))
                 .collect(),
             dechash: self.dechash.iter().collect(),
+            gate: None,
         }
     }
 
     /// Resumes monitoring from a checkpoint over the same lower level. The
     /// store's grid must match the checkpointed cell count; the restored
     /// monitor continues exactly where [`OptCtup::checkpoint`] stopped
-    /// (metrics start fresh).
+    /// (metrics start fresh). A checkpoint that is inconsistent with the
+    /// store — or internally — yields a [`CheckpointError::Invalid`]
+    /// instead of panicking, so a standby can refuse a bad file and keep
+    /// serving.
     pub fn restore(
         checkpoint: crate::checkpoint::Checkpoint,
         store: Arc<dyn PlaceStore>,
-    ) -> Self {
-        checkpoint.config.validate();
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
         let grid = store.grid().clone();
-        assert_eq!(
-            grid.num_cells(),
-            checkpoint.lower_bounds.len(),
-            "checkpoint was taken over a different grid"
-        );
+        checkpoint.validate(grid.num_cells())?;
         let units = UnitTable::new(
             grid.clone(),
             &checkpoint.unit_positions,
@@ -291,7 +292,7 @@ impl OptCtup {
         metrics.set_maintained(maintained.len() as u64);
         metrics.dechash_len = dechash.len() as u64;
         let last_result = maintained.result(checkpoint.config.mode);
-        OptCtup {
+        Ok(OptCtup {
             config: checkpoint.config,
             store,
             grid,
@@ -302,7 +303,12 @@ impl OptCtup {
             last_result,
             metrics,
             init_stats: InitStats::default(),
-        }
+        })
+    }
+
+    /// The lower-level store the monitor runs over.
+    pub fn store(&self) -> Arc<dyn PlaceStore> {
+        self.store.clone()
     }
 
     /// Read-only view of a cell's lower bound (testing/diagnostics).
@@ -357,6 +363,23 @@ impl OptCtup {
     }
 }
 
+impl crate::checkpoint::Checkpointable for OptCtup {
+    fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        OptCtup::checkpoint(self)
+    }
+
+    fn restore(
+        checkpoint: crate::checkpoint::Checkpoint,
+        store: Arc<dyn PlaceStore>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        OptCtup::restore(checkpoint, store)
+    }
+
+    fn store(&self) -> Arc<dyn PlaceStore> {
+        OptCtup::store(self)
+    }
+}
+
 impl CtupAlgorithm for OptCtup {
     fn name(&self) -> &'static str {
         "opt"
@@ -376,7 +399,8 @@ impl CtupAlgorithm for OptCtup {
         let touched = touched_cells(&self.grid, &old_region, &new_region);
 
         // Step 1: exact safeties of maintained places.
-        self.maintained.apply_unit_move(old, update.new, radius, &touched);
+        self.maintained
+            .apply_unit_move(old, update.new, radius, &touched);
 
         // Step 2: Table II lower-bound maintenance.
         self.maintain_lower_bounds(update.unit, &old_region, &new_region, &touched);
@@ -398,7 +422,12 @@ impl CtupAlgorithm for OptCtup {
         if changed {
             self.metrics.result_changes += 1;
         }
-        UpdateStats { maintain_nanos, access_nanos, cells_accessed, result_changed: changed }
+        UpdateStats {
+            maintain_nanos,
+            access_nanos,
+            cells_accessed,
+            result_changed: changed,
+        }
     }
 
     fn result(&self) -> Vec<TopKEntry> {
@@ -484,7 +513,10 @@ mod tests {
         for step in 0..steps {
             let unit = (next() * 10.0) as usize % 10;
             let new = Point::new(next(), next());
-            alg.handle_update(LocationUpdate { unit: UnitId(unit as u32), new });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(unit as u32),
+                new,
+            });
             units[unit] = new;
             oracle.assert_result_matches(&alg.result(), &units, 0.1, config.mode);
             if step % 50 == 0 {
@@ -502,7 +534,10 @@ mod tests {
     #[test]
     fn tracks_oracle_without_doo() {
         run_updates(
-            CtupConfig { doo_enabled: false, ..CtupConfig::with_k(5) },
+            CtupConfig {
+                doo_enabled: false,
+                ..CtupConfig::with_k(5)
+            },
             300,
             0xB,
         );
@@ -510,18 +545,35 @@ mod tests {
 
     #[test]
     fn tracks_oracle_with_zero_delta() {
-        run_updates(CtupConfig { delta: 0, ..CtupConfig::with_k(3) }, 200, 0xC);
+        run_updates(
+            CtupConfig {
+                delta: 0,
+                ..CtupConfig::with_k(3)
+            },
+            200,
+            0xC,
+        );
     }
 
     #[test]
     fn tracks_oracle_with_large_delta() {
-        run_updates(CtupConfig { delta: 50, ..CtupConfig::with_k(3) }, 200, 0xD);
+        run_updates(
+            CtupConfig {
+                delta: 50,
+                ..CtupConfig::with_k(3)
+            },
+            200,
+            0xD,
+        );
     }
 
     #[test]
     fn threshold_mode_tracks_oracle() {
         run_updates(
-            CtupConfig { mode: QueryMode::Threshold(-2), ..CtupConfig::paper_default() },
+            CtupConfig {
+                mode: QueryMode::Threshold(-2),
+                ..CtupConfig::paper_default()
+            },
             200,
             0xE,
         );
@@ -582,18 +634,33 @@ mod tests {
             // Two P->P moves that keep protecting p: each decrements C0's
             // bound once (hash entries recorded); the second forces an
             // access that re-establishes the bound exactly (-3).
-            alg.handle_update(LocationUpdate { unit: UnitId(0), new: Point::new(0.25, 0.335) });
-            alg.handle_update(LocationUpdate { unit: UnitId(1), new: Point::new(0.335, 0.25) });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.25, 0.335),
+            });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(1),
+                new: Point::new(0.335, 0.25),
+            });
             // Both units leave p (still P->P with C0): safety(p) drops to
             // -5 < -4, so p must be alarmed. Without the purge, both stale
             // hash entries suppress the decrements: the bound stays at -3
             // and the access never happens.
-            alg.handle_update(LocationUpdate { unit: UnitId(0), new: Point::new(0.25, 0.45) });
-            alg.handle_update(LocationUpdate { unit: UnitId(1), new: Point::new(0.45, 0.25) });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.25, 0.45),
+            });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(1),
+                new: Point::new(0.45, 0.25),
+            });
             alg.result().iter().any(|e| e.place == PlaceId(0))
         };
         assert!(run(true), "purge-on-access must report p");
-        assert!(!run(false), "the literal Table II misses p — the fix is necessary");
+        assert!(
+            !run(false),
+            "the literal Table II misses p — the fix is necessary"
+        );
     }
 
     #[test]
@@ -604,8 +671,9 @@ mod tests {
             Arc::new(CellLocalStore::build(Grid::unit_square(8), places.clone()));
         let store2: Arc<dyn PlaceStore> =
             Arc::new(CellLocalStore::build(Grid::unit_square(8), places));
-        let units: Vec<Point> =
-            (0..10).map(|i| Point::new(0.05 + 0.09 * i as f64, 0.5)).collect();
+        let units: Vec<Point> = (0..10)
+            .map(|i| Point::new(0.05 + 0.09 * i as f64, 0.5))
+            .collect();
         let opt = OptCtup::new(CtupConfig::with_k(5), store, &units);
         let basic = BasicCtup::new(CtupConfig::with_k(5), store2, &units);
         assert!(
@@ -618,8 +686,14 @@ mod tests {
 
     #[test]
     fn delta_keeps_near_misses_maintained() {
-        let (alg0, _, _) = setup(CtupConfig { delta: 0, ..CtupConfig::with_k(5) });
-        let (alg8, _, _) = setup(CtupConfig { delta: 8, ..CtupConfig::with_k(5) });
+        let (alg0, _, _) = setup(CtupConfig {
+            delta: 0,
+            ..CtupConfig::with_k(5)
+        });
+        let (alg8, _, _) = setup(CtupConfig {
+            delta: 8,
+            ..CtupConfig::with_k(5)
+        });
         assert!(
             alg8.maintained_places() >= alg0.maintained_places(),
             "larger delta must maintain at least as many places"

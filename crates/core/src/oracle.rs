@@ -37,13 +37,19 @@ impl Oracle {
 
     /// Exact safety of one place given all unit positions.
     pub fn safety_of(&self, place: &Place, units: &[Point], radius: f64) -> Safety {
-        let ap = units.iter().filter(|&&u| protects(u, radius, place)).count();
+        let ap = units
+            .iter()
+            .filter(|&&u| protects(u, radius, place))
+            .count();
         ap as Safety - place.rp as Safety
     }
 
     /// Exact safeties of all places, in place order.
     pub fn safeties(&self, units: &[Point], radius: f64) -> Vec<Safety> {
-        self.places.iter().map(|p| self.safety_of(p, units, radius)).collect()
+        self.places
+            .iter()
+            .map(|p| self.safety_of(p, units, radius))
+            .collect()
     }
 
     /// The exact monitored result under `mode`, sorted by `(safety, id)`.
@@ -51,7 +57,10 @@ impl Oracle {
         let mut entries: Vec<TopKEntry> = self
             .places
             .iter()
-            .map(|p| TopKEntry { place: p.id, safety: self.safety_of(p, units, radius) })
+            .map(|p| TopKEntry {
+                place: p.id,
+                safety: self.safety_of(p, units, radius),
+            })
             .collect();
         entries.sort_by_key(|e| (e.safety, e.place));
         match mode {
@@ -144,8 +153,20 @@ mod tests {
         let oracle = Oracle::new(places());
         let units = vec![Point::new(0.51, 0.5)];
         let top2 = oracle.result(&units, 0.1, QueryMode::TopK(2));
-        assert_eq!(top2[0], TopKEntry { place: PlaceId(2), safety: -4 });
-        assert_eq!(top2[1], TopKEntry { place: PlaceId(0), safety: -1 });
+        assert_eq!(
+            top2[0],
+            TopKEntry {
+                place: PlaceId(2),
+                safety: -4
+            }
+        );
+        assert_eq!(
+            top2[1],
+            TopKEntry {
+                place: PlaceId(0),
+                safety: -1
+            }
+        );
         let below = oracle.result(&units, 0.1, QueryMode::Threshold(0));
         assert_eq!(below.len(), 2);
     }
@@ -159,8 +180,14 @@ mod tests {
         // True order by id: 2 then 3 (both -4). Swapped ids with the same
         // safeties must be accepted.
         let got = vec![
-            TopKEntry { place: PlaceId(3), safety: -4 },
-            TopKEntry { place: PlaceId(2), safety: -4 },
+            TopKEntry {
+                place: PlaceId(3),
+                safety: -4,
+            },
+            TopKEntry {
+                place: PlaceId(2),
+                safety: -4,
+            },
         ];
         oracle.assert_result_matches(&got, &units, 0.1, QueryMode::TopK(2));
     }
@@ -169,7 +196,10 @@ mod tests {
     #[should_panic(expected = "safety multiset mismatch")]
     fn assert_result_rejects_wrong_safeties() {
         let oracle = Oracle::new(places());
-        let got = vec![TopKEntry { place: PlaceId(2), safety: -3 }];
+        let got = vec![TopKEntry {
+            place: PlaceId(2),
+            safety: -3,
+        }];
         oracle.assert_result_matches(&got, &[], 0.1, QueryMode::TopK(1));
     }
 
@@ -180,8 +210,14 @@ mod tests {
         let units = vec![];
         // Multiset {-4, -2} is right but place 0 truly has -2, not -4.
         let got = vec![
-            TopKEntry { place: PlaceId(0), safety: -4 },
-            TopKEntry { place: PlaceId(2), safety: -2 },
+            TopKEntry {
+                place: PlaceId(0),
+                safety: -4,
+            },
+            TopKEntry {
+                place: PlaceId(2),
+                safety: -2,
+            },
         ];
         oracle.assert_result_matches(&got, &units, 0.1, QueryMode::TopK(2));
     }

@@ -31,6 +31,11 @@ pub struct PipelineReport {
     pub events_emitted: u64,
     /// The algorithm's cumulative metrics at shutdown.
     pub metrics: Metrics,
+    /// Whether the worker died of a panic instead of a clean shutdown (the
+    /// counters above are lost — zero — when it did; a caller that needs
+    /// to survive worker crashes should run the supervised pipeline,
+    /// [`crate::supervisor::SupervisedPipeline`], instead).
+    pub worker_panicked: bool,
 }
 
 /// A monitoring server running on its own worker thread.
@@ -40,9 +45,30 @@ pub struct Pipeline {
     worker: Option<JoinHandle<PipelineReport>>,
 }
 
-/// Error returned by [`Pipeline::try_send`] when the update channel is full.
+/// Errors returned by the pipeline send paths. Both are recoverable: a
+/// `Full` caller may retry or drop the report (the next report refreshes
+/// the position anyway); a `WorkerDied` caller should drain
+/// [`Pipeline::events`] and call [`Pipeline::shutdown`] for the final
+/// accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ChannelFull;
+pub enum SendError {
+    /// The bounded update queue is full (backpressure; `try_send` only).
+    Full,
+    /// The worker terminated — it panicked, because a clean shutdown only
+    /// happens through [`Pipeline::shutdown`] which consumes the pipeline.
+    WorkerDied,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Full => f.write_str("update queue is full"),
+            SendError::WorkerDied => f.write_str("monitor worker terminated"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
 
 impl Pipeline {
     /// Spawns the worker around an initialized algorithm. `capacity` bounds
@@ -72,33 +98,43 @@ impl Pipeline {
                     updates_processed: seq,
                     events_emitted: server.events_emitted(),
                     metrics: server.algorithm().metrics().clone(),
+                    worker_panicked: false,
                 }
             })
             .expect("spawn ctup-monitor thread");
-        Pipeline { updates_tx: Some(updates_tx), events_rx, worker: Some(worker) }
+        Pipeline {
+            updates_tx: Some(updates_tx),
+            events_rx,
+            worker: Some(worker),
+        }
     }
 
-    /// Sends one update, blocking while the queue is full.
-    ///
-    /// # Panics
-    /// Panics if the worker has terminated (it only terminates on
-    /// [`Pipeline::shutdown`]).
-    pub fn send(&self, update: LocationUpdate) {
+    /// Sends one update, blocking while the queue is full. Returns
+    /// [`SendError::WorkerDied`] if the worker has panicked — the caller
+    /// can keep draining events and recover the final report via
+    /// [`Pipeline::shutdown`].
+    pub fn send(&self, update: LocationUpdate) -> Result<(), SendError> {
         self.updates_tx
             .as_ref()
             .expect("pipeline active")
             .send(update)
-            .expect("worker alive");
+            .map_err(|_| SendError::WorkerDied)
     }
 
-    /// Sends one update without blocking; returns [`ChannelFull`] when the
-    /// queue is saturated (caller may drop or retry — position updates are
-    /// refreshed by the next report anyway).
-    pub fn try_send(&self, update: LocationUpdate) -> Result<(), ChannelFull> {
-        match self.updates_tx.as_ref().expect("pipeline active").try_send(update) {
+    /// Sends one update without blocking; returns [`SendError::Full`] when
+    /// the queue is saturated (caller may drop or retry — position updates
+    /// are refreshed by the next report anyway) and
+    /// [`SendError::WorkerDied`] when the worker has panicked.
+    pub fn try_send(&self, update: LocationUpdate) -> Result<(), SendError> {
+        match self
+            .updates_tx
+            .as_ref()
+            .expect("pipeline active")
+            .try_send(update)
+        {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(ChannelFull),
-            Err(TrySendError::Disconnected(_)) => panic!("worker terminated unexpectedly"),
+            Err(TrySendError::Full(_)) => Err(SendError::Full),
+            Err(TrySendError::Disconnected(_)) => Err(SendError::WorkerDied),
         }
     }
 
@@ -109,14 +145,20 @@ impl Pipeline {
 
     /// Closes the update channel, drains the worker and returns its report.
     /// Pending events can still be read from [`Pipeline::events`] until the
-    /// receiver is empty.
+    /// receiver is empty. If the worker died of a panic, the report carries
+    /// `worker_panicked: true` (with zeroed counters) instead of
+    /// propagating the panic to the caller.
     pub fn shutdown(mut self) -> PipelineReport {
         self.updates_tx.take(); // close the channel -> worker loop ends
-        self.worker
-            .take()
-            .expect("shutdown called once")
-            .join()
-            .expect("worker panicked")
+        match self.worker.take().expect("shutdown called once").join() {
+            Ok(report) => report,
+            Err(_) => PipelineReport {
+                updates_processed: 0,
+                events_emitted: 0,
+                metrics: Metrics::default(),
+                worker_panicked: true,
+            },
+        }
     }
 }
 
@@ -175,7 +217,11 @@ mod tests {
 
     #[test]
     fn pipeline_matches_direct_server_run() {
-        let units = [Point::new(0.1, 0.1), Point::new(0.5, 0.5), Point::new(0.9, 0.9)];
+        let units = [
+            Point::new(0.1, 0.1),
+            Point::new(0.5, 0.5),
+            Point::new(0.9, 0.9),
+        ];
         let stream = updates(200);
 
         // Direct run.
@@ -184,7 +230,10 @@ mod tests {
         for (seq, &u) in stream.iter().enumerate() {
             let (events, _) = direct.ingest(u);
             if !events.is_empty() {
-                direct_batches.push(EventBatch { seq: seq as u64, events });
+                direct_batches.push(EventBatch {
+                    seq: seq as u64,
+                    events,
+                });
             }
         }
 
@@ -194,7 +243,7 @@ mod tests {
         let pipeline = Pipeline::spawn(monitor(&units), 256);
         let events_rx = pipeline.events().clone();
         for &u in &stream {
-            pipeline.send(u);
+            pipeline.send(u).expect("worker alive");
         }
         let report = pipeline.shutdown();
         let piped_batches: Vec<EventBatch> = events_rx.try_iter().collect();
@@ -213,10 +262,11 @@ mod tests {
         for u in updates(5_000) {
             match pipeline.try_send(u) {
                 Ok(()) => {}
-                Err(ChannelFull) => {
+                Err(SendError::Full) => {
                     saw_full = true;
                     break;
                 }
+                Err(SendError::WorkerDied) => panic!("worker died unexpectedly"),
             }
         }
         let report = pipeline.shutdown();
@@ -233,7 +283,71 @@ mod tests {
     fn drop_without_shutdown_joins_cleanly() {
         let units = [Point::new(0.1, 0.1)];
         let pipeline = Pipeline::spawn(monitor(&units), 8);
-        pipeline.send(LocationUpdate { unit: UnitId(0), new: Point::new(0.2, 0.2) });
+        pipeline
+            .send(LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.2, 0.2),
+            })
+            .expect("worker alive");
         drop(pipeline); // must not hang or panic
+    }
+
+    /// A panicking algorithm must surface as typed errors on the send path
+    /// and a `worker_panicked` report — never as a panic in the caller.
+    #[test]
+    fn dead_worker_yields_typed_errors() {
+        struct Bomb(OptCtup);
+        impl CtupAlgorithm for Bomb {
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+            fn config(&self) -> &CtupConfig {
+                self.0.config()
+            }
+            fn handle_update(&mut self, _update: LocationUpdate) -> crate::UpdateStats {
+                panic!("boom");
+            }
+            fn result(&self) -> Vec<crate::TopKEntry> {
+                self.0.result()
+            }
+            fn sk(&self) -> Option<crate::Safety> {
+                self.0.sk()
+            }
+            fn metrics(&self) -> &Metrics {
+                self.0.metrics()
+            }
+            fn init_stats(&self) -> &crate::InitStats {
+                self.0.init_stats()
+            }
+            fn unit_position(&self, unit: UnitId) -> Point {
+                self.0.unit_position(unit)
+            }
+            fn num_units(&self) -> usize {
+                self.0.num_units()
+            }
+        }
+
+        let units = [Point::new(0.1, 0.1)];
+        let pipeline = Pipeline::spawn(Bomb(monitor(&units)), 8);
+        let update = LocationUpdate {
+            unit: UnitId(0),
+            new: Point::new(0.2, 0.2),
+        };
+        // The first send reaches the worker, which dies processing it.
+        // Eventually the channel disconnects and sends report WorkerDied.
+        let mut died = false;
+        for _ in 0..1_000 {
+            match pipeline.send(update) {
+                Ok(()) => std::thread::yield_now(),
+                Err(SendError::WorkerDied) => {
+                    died = true;
+                    break;
+                }
+                Err(SendError::Full) => unreachable!("blocking send never reports Full"),
+            }
+        }
+        assert!(died, "send never observed the dead worker");
+        let report = pipeline.shutdown();
+        assert!(report.worker_panicked);
     }
 }

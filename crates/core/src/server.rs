@@ -44,8 +44,16 @@ pub struct Server<A: CtupAlgorithm> {
 impl<A: CtupAlgorithm> Server<A> {
     /// Wraps an initialized algorithm.
     pub fn new(algorithm: A) -> Self {
-        let current = algorithm.result().iter().map(|e| (e.place, e.safety)).collect();
-        Server { algorithm, current, events_emitted: 0 }
+        let current = algorithm
+            .result()
+            .iter()
+            .map(|e| (e.place, e.safety))
+            .collect();
+        Server {
+            algorithm,
+            current,
+            events_emitted: 0,
+        }
     }
 
     /// The wrapped algorithm.
@@ -75,15 +83,21 @@ impl<A: CtupAlgorithm> Server<A> {
         let stats = self.algorithm.handle_update(update);
         let mut events = Vec::new();
         if stats.result_changed {
-            let fresh: HashMap<PlaceId, Safety> =
-                self.algorithm.result().iter().map(|e| (e.place, e.safety)).collect();
+            let fresh: HashMap<PlaceId, Safety> = self
+                .algorithm
+                .result()
+                .iter()
+                .map(|e| (e.place, e.safety))
+                .collect();
             let mut entered_or_changed: Vec<MonitorEvent> = fresh
                 .iter()
                 .filter_map(|(&place, &safety)| match self.current.get(&place) {
                     None => Some(MonitorEvent::Entered { place, safety }),
-                    Some(&old) if old != safety => {
-                        Some(MonitorEvent::SafetyChanged { place, old, new: safety })
-                    }
+                    Some(&old) if old != safety => Some(MonitorEvent::SafetyChanged {
+                        place,
+                        old,
+                        new: safety,
+                    }),
                     Some(_) => None,
                 })
                 .collect();
@@ -129,8 +143,7 @@ mod tests {
         let store: Arc<dyn PlaceStore> =
             Arc::new(CellLocalStore::build(Grid::unit_square(4), places));
         // One unit protecting place 0: result (k=1) is place 1 at -2.
-        let alg =
-            NaiveRecompute::new(CtupConfig::with_k(1), store, &[Point::new(0.2, 0.2)]);
+        let alg = NaiveRecompute::new(CtupConfig::with_k(1), store, &[Point::new(0.2, 0.2)]);
         Server::new(alg)
     }
 
@@ -147,7 +160,10 @@ mod tests {
         assert_eq!(
             events,
             vec![
-                MonitorEvent::Entered { place: PlaceId(0), safety: -2 },
+                MonitorEvent::Entered {
+                    place: PlaceId(0),
+                    safety: -2
+                },
                 MonitorEvent::Left { place: PlaceId(1) },
             ]
         );
@@ -167,7 +183,10 @@ mod tests {
         assert_eq!(
             events,
             vec![
-                MonitorEvent::Entered { place: PlaceId(0), safety: -2 },
+                MonitorEvent::Entered {
+                    place: PlaceId(0),
+                    safety: -2
+                },
                 MonitorEvent::Left { place: PlaceId(1) },
             ]
         );

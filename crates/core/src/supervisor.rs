@@ -1,0 +1,696 @@
+//! Supervised ingestion: the degraded-feed hardening layer.
+//!
+//! [`SupervisedPipeline`] is the crash-tolerant sibling of
+//! [`crate::pipeline::Pipeline`]. The worker thread runs the full
+//! resilience stack:
+//!
+//! 1. every inbound [`StampedUpdate`] passes the [`IngestGate`]
+//!    (validation, dedup, liveness leases — see [`crate::ingest`]);
+//! 2. each *effective* update is applied inside
+//!    [`std::panic::catch_unwind`], so a panicking query processor does not
+//!    kill the worker;
+//! 3. every `checkpoint_every` effective updates the worker snapshots a
+//!    [`Checkpoint`] (monitor state plus [`GateState`]) in memory;
+//! 4. after a caught panic the worker restores the monitor from the latest
+//!    checkpoint, replays the in-flight tail of effective updates while
+//!    *suppressing* the [`MonitorEvent`](crate::server::MonitorEvent)
+//!    batches the replay re-derives (they were already published), then
+//!    retries the update that crashed. After `max_restarts` failed
+//!    recoveries it gives up and reports so.
+//!
+//! Deterministic fault injection for tests and the `chaos` CLI command is
+//! built in: [`ResilienceConfig::panic_at`] crashes the processor at chosen
+//! effective sequence numbers, exactly once each.
+//!
+//! All decisions are counted in [`ResilienceStats`], folded into the final
+//! [`Metrics`] of the [`SupervisedReport`].
+
+use crate::checkpoint::{Checkpoint, Checkpointable};
+use crate::ingest::{IngestConfig, IngestGate, StampedUpdate};
+use crate::metrics::{Metrics, ResilienceStats};
+use crate::pipeline::{EventBatch, SendError};
+use crate::server::Server;
+use crate::types::{LocationUpdate, TopKEntry};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ctup_storage::PlaceStore;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Tuning of the resilience layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Liveness lease TTL in feed ticks; `None` disables leases (units
+    /// never expire). See [`IngestConfig::lease_ttl`].
+    pub lease_ttl: Option<u64>,
+    /// Take an in-memory checkpoint every this many effective updates.
+    /// `0` disables periodic checkpoints (the spawn-time snapshot remains
+    /// the restart point).
+    pub checkpoint_every: u64,
+    /// How many restarts the supervisor attempts before giving up.
+    pub max_restarts: u32,
+    /// Deterministic fault injection: the processor panics when it is
+    /// handed the effective update with each of these sequence numbers,
+    /// once per entry.
+    pub panic_at: Vec<u64>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            lease_ttl: None,
+            checkpoint_every: 256,
+            max_restarts: 8,
+            panic_at: Vec::new(),
+        }
+    }
+}
+
+/// Final accounting returned by [`SupervisedPipeline::shutdown`].
+#[derive(Debug, Clone)]
+pub struct SupervisedReport {
+    /// Raw reports received from the feed (before the gate).
+    pub reports_received: u64,
+    /// Effective updates applied to the monitor (excluding replays).
+    pub updates_processed: u64,
+    /// Total events published (suppressed replay events not included).
+    pub events_emitted: u64,
+    /// Whether the worker exhausted `max_restarts` (or failed to restore)
+    /// and stopped monitoring early. The counters above still describe
+    /// everything processed up to that point.
+    pub gave_up: bool,
+    /// The monitored result at shutdown (empty if the worker gave up).
+    pub final_result: Vec<TopKEntry>,
+    /// The monitor's cumulative metrics with
+    /// [`Metrics::resilience`] filled in by the supervisor.
+    pub metrics: Metrics,
+}
+
+/// A monitoring server on a supervised worker thread: validated ingest,
+/// liveness leases, panic containment and checkpoint-restart.
+pub struct SupervisedPipeline {
+    reports_tx: Option<Sender<StampedUpdate>>,
+    events_rx: Receiver<EventBatch>,
+    worker: Option<JoinHandle<SupervisedReport>>,
+}
+
+impl SupervisedPipeline {
+    /// Spawns the supervised worker around an initialized monitor. The
+    /// ingest gate is derived from the monitor: the monitored space is the
+    /// grid's space, the unit count the monitor's. `capacity` bounds both
+    /// the inbound report queue and the outbound event queue.
+    pub fn spawn<A>(algorithm: A, config: ResilienceConfig, capacity: usize) -> Self
+    where
+        A: Checkpointable + Send + 'static,
+    {
+        let gate = IngestGate::new(IngestConfig {
+            space: *algorithm.store().grid().space(),
+            num_units: algorithm.num_units(),
+            lease_ttl: config.lease_ttl,
+        });
+        Self::spawn_with_gate(algorithm, gate, config, capacity)
+    }
+
+    /// Resumes monitoring from a checkpoint (cross-process failover): the
+    /// monitor is restored from the checkpoint and the gate from its
+    /// [`GateState`](crate::ingest::GateState) (fresh if the checkpoint
+    /// predates the resilience layer), so dedup and lease decisions carry
+    /// over to the standby.
+    pub fn resume<A>(
+        checkpoint: Checkpoint,
+        store: Arc<dyn PlaceStore>,
+        config: ResilienceConfig,
+        capacity: usize,
+    ) -> Result<Self, crate::checkpoint::CheckpointError>
+    where
+        A: Checkpointable + Send + 'static,
+    {
+        let ingest_config = IngestConfig {
+            space: *store.grid().space(),
+            num_units: checkpoint.unit_positions.len(),
+            lease_ttl: config.lease_ttl,
+        };
+        let gate_state = checkpoint.gate.clone();
+        // Restore (and validate) first: a checkpoint whose gate disagrees
+        // with its unit table must surface as a typed error, not a panic in
+        // the gate constructor below.
+        let algorithm = A::restore(checkpoint, store)?;
+        let gate = match gate_state {
+            Some(state) => IngestGate::from_state(ingest_config, state),
+            None => IngestGate::new(ingest_config),
+        };
+        Ok(Self::spawn_with_gate(algorithm, gate, config, capacity))
+    }
+
+    fn spawn_with_gate<A>(
+        algorithm: A,
+        gate: IngestGate,
+        config: ResilienceConfig,
+        capacity: usize,
+    ) -> Self
+    where
+        A: Checkpointable + Send + 'static,
+    {
+        assert!(capacity > 0, "capacity must be positive");
+        let (reports_tx, reports_rx) = bounded::<StampedUpdate>(capacity);
+        let (events_tx, events_rx) = bounded::<EventBatch>(capacity);
+        let worker = std::thread::Builder::new()
+            .name("ctup-supervisor".into())
+            .spawn(move || supervise(algorithm, gate, config, reports_rx, events_tx))
+            .expect("spawn ctup-supervisor thread");
+        SupervisedPipeline {
+            reports_tx: Some(reports_tx),
+            events_rx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Sends one stamped report, blocking while the queue is full. Returns
+    /// [`SendError::WorkerDied`] once the worker has stopped (gave up, or a
+    /// defect outside the contained region killed it).
+    pub fn send(&self, report: StampedUpdate) -> Result<(), SendError> {
+        self.reports_tx
+            .as_ref()
+            .expect("pipeline active")
+            .send(report)
+            .map_err(|_| SendError::WorkerDied)
+    }
+
+    /// Sends one stamped report without blocking; [`SendError::Full`] under
+    /// backpressure, [`SendError::WorkerDied`] once the worker stopped.
+    pub fn try_send(&self, report: StampedUpdate) -> Result<(), SendError> {
+        match self
+            .reports_tx
+            .as_ref()
+            .expect("pipeline active")
+            .try_send(report)
+        {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(SendError::Full),
+            Err(TrySendError::Disconnected(_)) => Err(SendError::WorkerDied),
+        }
+    }
+
+    /// The event stream. Batch `seq` numbers are *effective* update
+    /// sequence numbers; across a restart no batch is duplicated.
+    pub fn events(&self) -> &Receiver<EventBatch> {
+        &self.events_rx
+    }
+
+    /// Closes the report channel, drains the worker and returns its report.
+    pub fn shutdown(mut self) -> SupervisedReport {
+        self.reports_tx.take();
+        match self.worker.take().expect("shutdown called once").join() {
+            Ok(report) => report,
+            // The supervisor contains processor panics; reaching this arm
+            // means the supervision loop itself is defective. Degrade to a
+            // gave-up report rather than propagating.
+            Err(_) => SupervisedReport {
+                reports_received: 0,
+                updates_processed: 0,
+                events_emitted: 0,
+                gave_up: true,
+                final_result: Vec::new(),
+                metrics: Metrics::default(),
+            },
+        }
+    }
+}
+
+impl Drop for SupervisedPipeline {
+    fn drop(&mut self) {
+        self.reports_tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker loop. Runs on the supervisor thread until the report channel
+/// closes or recovery is exhausted.
+fn supervise<A>(
+    algorithm: A,
+    mut gate: IngestGate,
+    config: ResilienceConfig,
+    reports_rx: Receiver<StampedUpdate>,
+    events_tx: Sender<EventBatch>,
+) -> SupervisedReport
+where
+    A: Checkpointable,
+{
+    let store = algorithm.store();
+    let mut base = {
+        let mut c = algorithm.checkpoint();
+        c.gate = Some(gate.state());
+        c
+    };
+    let mut server = Server::new(algorithm);
+    let mut stats = ResilienceStats::default();
+    let mut tail: Vec<LocationUpdate> = Vec::new();
+    let mut panic_at: HashSet<u64> = config.panic_at.iter().copied().collect();
+    let mut eff_seq = 0u64;
+    let mut reports_received = 0u64;
+    let mut events_emitted = 0u64;
+    let mut restarts_left = config.max_restarts;
+    let mut gave_up = false;
+
+    'recv: for report in reports_rx.iter() {
+        reports_received += 1;
+        let Ok(effective) = gate.admit(report, &mut stats) else {
+            continue; // counted under its RejectReason by the gate
+        };
+        for update in effective {
+            loop {
+                // One-shot injected fault: consumed even if recovery later
+                // fails, so a retry of the same seq proceeds normally.
+                let inject = panic_at.remove(&eff_seq);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if inject {
+                        panic!("injected fault at effective update {eff_seq}");
+                    }
+                    server.ingest(update)
+                }));
+                match outcome {
+                    Ok((events, _)) => {
+                        if !events.is_empty() {
+                            events_emitted += events.len() as u64;
+                            // Consumers hanging up must not stop monitoring.
+                            let _ = events_tx.send(EventBatch {
+                                seq: eff_seq,
+                                events,
+                            });
+                        }
+                        eff_seq += 1;
+                        tail.push(update);
+                        if config.checkpoint_every > 0
+                            && tail.len() as u64 >= config.checkpoint_every
+                        {
+                            let mut c = server.algorithm().checkpoint();
+                            c.gate = Some(gate.state());
+                            base = c;
+                            tail.clear();
+                            stats.checkpoints_taken += 1;
+                        }
+                        break; // next effective update
+                    }
+                    Err(_) => {
+                        stats.worker_panics += 1;
+                        if restarts_left == 0 {
+                            gave_up = true;
+                            break 'recv;
+                        }
+                        restarts_left -= 1;
+                        stats.worker_restarts += 1;
+                        // Restore from the latest checkpoint and replay the
+                        // tail, discarding (suppressing) the event batches
+                        // the replay re-derives — they were already
+                        // published before the crash. The live gate is kept:
+                        // its state is ahead of the checkpointed one and the
+                        // gate is outside the contained region.
+                        match recover::<A>(base.clone(), store.clone(), &tail) {
+                            Ok((recovered, suppressed)) => {
+                                server = recovered;
+                                stats.updates_replayed += tail.len() as u64;
+                                stats.events_suppressed += suppressed;
+                                // ...then retry the crashing update.
+                            }
+                            Err(_) => {
+                                gave_up = true;
+                                break 'recv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let (final_result, metrics) = if gave_up {
+        // The monitor state is suspect after an unrecovered crash: report
+        // the resilience counters but no result.
+        (
+            Vec::new(),
+            Metrics {
+                resilience: stats,
+                ..Metrics::default()
+            },
+        )
+    } else {
+        let mut metrics = server.algorithm().metrics().clone();
+        metrics.resilience = stats;
+        (server.result(), metrics)
+    };
+    SupervisedReport {
+        reports_received,
+        updates_processed: eff_seq,
+        events_emitted,
+        gave_up,
+        final_result,
+        metrics,
+    }
+}
+
+/// Restores a monitor from `base` and replays `tail` on it, all inside
+/// `catch_unwind` (a deterministic defect would otherwise crash recovery
+/// itself). Returns the recovered server and the number of suppressed
+/// replay events.
+fn recover<A>(
+    base: Checkpoint,
+    store: Arc<dyn PlaceStore>,
+    tail: &[LocationUpdate],
+) -> Result<(Server<A>, u64), ()>
+where
+    A: Checkpointable,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        let algorithm = A::restore(base, store).map_err(|_| ())?;
+        let mut server = Server::new(algorithm);
+        let mut suppressed = 0u64;
+        for &update in tail {
+            let (events, _) = server.ingest(update);
+            suppressed += events.len() as u64;
+        }
+        Ok((server, suppressed))
+    }))
+    .unwrap_or(Err(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CtupConfig;
+    use crate::ingest::stamp_stream;
+    use crate::opt::OptCtup;
+    use crate::pipeline::EventBatch;
+    use crate::types::{LocationUpdate, Place, PlaceId, UnitId};
+    use ctup_spatial::{Grid, Point};
+    use ctup_storage::{CellLocalStore, PlaceStore};
+    use std::sync::Arc;
+
+    fn places() -> Vec<Place> {
+        (0..30)
+            .map(|i| {
+                Place::point(
+                    PlaceId(i),
+                    Point::new((i % 6) as f64 / 6.0 + 0.05, (i / 6) as f64 / 5.0 + 0.05),
+                    1 + i % 3,
+                )
+            })
+            .collect()
+    }
+
+    fn monitor(units: &[Point]) -> OptCtup {
+        let store: Arc<dyn PlaceStore> =
+            Arc::new(CellLocalStore::build(Grid::unit_square(6), places()));
+        OptCtup::new(CtupConfig::with_k(5), store, units)
+    }
+
+    fn unit_points(n: u32) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new((i as f64 + 0.5) / n as f64, 0.5))
+            .collect()
+    }
+
+    fn updates(n: usize, num_units: u32) -> Vec<LocationUpdate> {
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| LocationUpdate {
+                unit: UnitId((next() * num_units as f64) as u32 % num_units),
+                new: Point::new(next() * 0.999, next() * 0.999),
+            })
+            .collect()
+    }
+
+    /// Baseline: with a clean feed and no faults the supervised pipeline
+    /// publishes exactly what a direct server run derives.
+    #[test]
+    fn clean_feed_matches_direct_run() {
+        let units = unit_points(4);
+        let stream = updates(150, 4);
+
+        let mut direct = Server::new(monitor(&units));
+        let mut direct_batches = Vec::new();
+        for (seq, &u) in stream.iter().enumerate() {
+            let (events, _) = direct.ingest(u);
+            if !events.is_empty() {
+                direct_batches.push(EventBatch {
+                    seq: seq as u64,
+                    events,
+                });
+            }
+        }
+
+        let pipeline =
+            SupervisedPipeline::spawn(monitor(&units), ResilienceConfig::default(), 1024);
+        let events_rx = pipeline.events().clone();
+        for report in stamp_stream(stream) {
+            pipeline.send(report).expect("worker alive");
+        }
+        let report = pipeline.shutdown();
+        let piped: Vec<EventBatch> = events_rx.try_iter().collect();
+
+        assert!(!report.gave_up);
+        assert_eq!(report.reports_received, 150);
+        assert_eq!(report.updates_processed, 150);
+        assert_eq!(piped, direct_batches);
+        assert_eq!(report.final_result, direct.result());
+        assert_eq!(report.metrics.resilience.worker_panics, 0);
+    }
+
+    /// The dedicated restart test: one injected panic mid-run forces
+    /// exactly one restart, and the published event stream is *identical*
+    /// to the crash-free run — zero duplicated, zero missing batches.
+    #[test]
+    fn one_restart_zero_duplicate_events() {
+        let units = unit_points(4);
+        let stream = updates(200, 4);
+
+        let mut direct = Server::new(monitor(&units));
+        let mut direct_batches = Vec::new();
+        for (seq, &u) in stream.iter().enumerate() {
+            let (events, _) = direct.ingest(u);
+            if !events.is_empty() {
+                direct_batches.push(EventBatch {
+                    seq: seq as u64,
+                    events,
+                });
+            }
+        }
+
+        let config = ResilienceConfig {
+            checkpoint_every: 64,
+            panic_at: vec![100],
+            ..ResilienceConfig::default()
+        };
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), config, 1024);
+        let events_rx = pipeline.events().clone();
+        for report in stamp_stream(stream) {
+            pipeline.send(report).expect("worker alive");
+        }
+        let report = pipeline.shutdown();
+        let piped: Vec<EventBatch> = events_rx.try_iter().collect();
+
+        assert!(!report.gave_up);
+        assert_eq!(report.metrics.resilience.worker_panics, 1);
+        assert_eq!(report.metrics.resilience.worker_restarts, 1);
+        // Checkpoints at eff 64 and 128; the panic at eff 100 replays the
+        // 36-update tail 64..100.
+        assert_eq!(report.metrics.resilience.updates_replayed, 36);
+        assert!(report.metrics.resilience.checkpoints_taken >= 2);
+        assert_eq!(report.updates_processed, 200);
+        assert_eq!(piped, direct_batches, "no duplicated or missing batches");
+        assert_eq!(report.final_result, direct.result());
+    }
+
+    /// Every recovery consumes a restart budget slot; once exhausted the
+    /// worker reports `gave_up` instead of looping forever.
+    #[test]
+    fn gives_up_after_max_restarts() {
+        let units = unit_points(2);
+        let config = ResilienceConfig {
+            max_restarts: 2,
+            panic_at: vec![0, 1, 2, 3],
+            ..ResilienceConfig::default()
+        };
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), config, 64);
+        for report in stamp_stream(updates(40, 2)) {
+            if pipeline.send(report).is_err() {
+                break; // worker already gave up and hung up the channel
+            }
+        }
+        let report = pipeline.shutdown();
+        assert!(report.gave_up);
+        assert_eq!(report.metrics.resilience.worker_panics, 3);
+        assert_eq!(report.metrics.resilience.worker_restarts, 2);
+        assert!(report.final_result.is_empty());
+    }
+
+    /// Malformed and replayed wire reports are filtered by the gate and
+    /// never reach the monitor; counters record each reason.
+    #[test]
+    fn gate_rejections_are_counted_not_fatal() {
+        let units = unit_points(2);
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), ResilienceConfig::default(), 64);
+        let good = StampedUpdate {
+            seq: 1,
+            ts: 1,
+            update: LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.3, 0.3),
+            },
+        };
+        pipeline.send(good).expect("worker alive");
+        pipeline.send(good).expect("worker alive"); // duplicate
+        pipeline
+            .send(StampedUpdate {
+                seq: 2,
+                ts: 2,
+                update: LocationUpdate {
+                    unit: UnitId(0),
+                    new: Point::new(f64::NAN, 0.3),
+                },
+            })
+            .expect("worker alive");
+        pipeline
+            .send(StampedUpdate {
+                seq: 1,
+                ts: 2,
+                update: LocationUpdate {
+                    unit: UnitId(9),
+                    new: Point::new(0.5, 0.5),
+                },
+            })
+            .expect("worker alive");
+        let report = pipeline.shutdown();
+        assert!(!report.gave_up);
+        assert_eq!(report.reports_received, 4);
+        assert_eq!(report.updates_processed, 1);
+        let r = &report.metrics.resilience;
+        assert_eq!(r.duplicates_dropped, 1);
+        assert_eq!(r.rejected_non_finite, 1);
+        assert_eq!(r.rejected_unknown_unit, 1);
+    }
+
+    /// Leases flow through the pipeline: a silent unit is parked (its
+    /// protection retracted) and reinstated when it reports again, with the
+    /// park/reinstate visible in the monitor's final unit positions.
+    #[test]
+    fn leases_retract_and_reinstate_protection() {
+        use crate::algorithm::CtupAlgorithm;
+        use crate::ingest::parked_position;
+
+        let units = unit_points(2);
+        let config = ResilienceConfig {
+            lease_ttl: Some(5),
+            ..ResilienceConfig::default()
+        };
+
+        // Unit 1 never reports; unit 0 keeps reporting until the clock
+        // passes tick 5 and unit 1's lease expires.
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), config.clone(), 64);
+        for ts in 1..=8u64 {
+            pipeline
+                .send(StampedUpdate {
+                    seq: ts,
+                    ts,
+                    update: LocationUpdate {
+                        unit: UnitId(0),
+                        new: Point::new(0.4, 0.4),
+                    },
+                })
+                .expect("worker alive");
+        }
+        let report = pipeline.shutdown();
+        assert!(!report.gave_up);
+        assert_eq!(report.metrics.resilience.lease_expiries, 1);
+        assert_eq!(report.metrics.resilience.lease_reinstates, 0);
+        // 8 accepted reports + 1 park.
+        assert_eq!(report.updates_processed, 9);
+
+        // Same feed, but unit 1 reports at the end: reinstated.
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), config, 64);
+        for ts in 1..=8u64 {
+            pipeline
+                .send(StampedUpdate {
+                    seq: ts,
+                    ts,
+                    update: LocationUpdate {
+                        unit: UnitId(0),
+                        new: Point::new(0.4, 0.4),
+                    },
+                })
+                .expect("worker alive");
+        }
+        pipeline
+            .send(StampedUpdate {
+                seq: 1,
+                ts: 9,
+                update: LocationUpdate {
+                    unit: UnitId(1),
+                    new: Point::new(0.6, 0.6),
+                },
+            })
+            .expect("worker alive");
+        let report = pipeline.shutdown();
+        assert_eq!(report.metrics.resilience.lease_expiries, 1);
+        assert_eq!(report.metrics.resilience.lease_reinstates, 1);
+
+        // Sanity: a directly-driven monitor agrees a parked unit protects
+        // nothing and a reinstated one protects again.
+        let mut direct = monitor(&units);
+        direct.handle_update(LocationUpdate {
+            unit: UnitId(1),
+            new: parked_position(),
+        });
+        assert_eq!(direct.unit_position(UnitId(1)), parked_position());
+    }
+
+    /// Cross-process failover: resume from a checkpoint whose gate state
+    /// carries dedup decisions — the standby rejects replayed reports.
+    #[test]
+    fn resume_carries_gate_decisions() {
+        let units = unit_points(2);
+        let first = SupervisedPipeline::spawn(monitor(&units), ResilienceConfig::default(), 64);
+        let report = StampedUpdate {
+            seq: 7,
+            ts: 3,
+            update: LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.3, 0.3),
+            },
+        };
+        first.send(report).expect("worker alive");
+        first.shutdown();
+
+        // Simulate the primary's periodic checkpoint.
+        let alg = monitor(&units);
+        let mut checkpoint = Checkpointable::checkpoint(&alg);
+        let mut gate = IngestGate::new(IngestConfig {
+            space: *alg.store().grid().space(),
+            num_units: 2,
+            lease_ttl: None,
+        });
+        let mut stats = ResilienceStats::default();
+        gate.admit(report, &mut stats).expect("accepted");
+        checkpoint.gate = Some(gate.state());
+
+        let standby = SupervisedPipeline::resume::<OptCtup>(
+            checkpoint,
+            alg.store(),
+            ResilienceConfig::default(),
+            64,
+        )
+        .expect("resume");
+        standby.send(report).expect("worker alive"); // replayed delivery
+        let out = standby.shutdown();
+        assert_eq!(out.metrics.resilience.duplicates_dropped, 1);
+        assert_eq!(out.updates_processed, 0);
+    }
+}

@@ -113,9 +113,18 @@ mod tests {
         assert_eq!(
             top,
             vec![
-                TopKEntry { place: PlaceId(4), safety: -8 },
-                TopKEntry { place: PlaceId(0), safety: -3 },
-                TopKEntry { place: PlaceId(2), safety: -3 },
+                TopKEntry {
+                    place: PlaceId(4),
+                    safety: -8
+                },
+                TopKEntry {
+                    place: PlaceId(0),
+                    safety: -3
+                },
+                TopKEntry {
+                    place: PlaceId(2),
+                    safety: -3
+                },
             ]
         );
         // Asking for more than tracked returns everything.

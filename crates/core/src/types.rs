@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn unit_region() {
-        let u = Unit { id: UnitId(3), pos: Point::new(0.2, 0.3) };
+        let u = Unit {
+            id: UnitId(3),
+            pos: Point::new(0.2, 0.3),
+        };
         let r = u.region(0.1);
         assert_eq!(r.center, u.pos);
         assert_eq!(r.radius, 0.1);

@@ -20,7 +20,11 @@ impl UnitTable {
         for (i, &p) in initial.iter().enumerate() {
             index.insert(i as u32, p);
         }
-        UnitTable { positions: initial.to_vec(), index, radius }
+        UnitTable {
+            positions: initial.to_vec(),
+            index,
+            radius,
+        }
     }
 
     /// Number of units.
@@ -59,7 +63,9 @@ impl UnitTable {
     /// Actual protection `AP(p)`: the number of units protecting `place`.
     pub fn ap(&self, place: &Place) -> u32 {
         match &place.extent {
-            None => self.index.count_within(&Circle::new(place.pos, self.radius)),
+            None => self
+                .index
+                .count_within(&Circle::new(place.pos, self.radius)),
             Some(_) => {
                 // A unit containing the whole extent is in particular within
                 // `radius` of `pos`, so the probe circle is a superset.
@@ -82,10 +88,10 @@ impl UnitTable {
 
     /// Iterates all units in id order.
     pub fn iter(&self) -> impl Iterator<Item = Unit> + '_ {
-        self.positions
-            .iter()
-            .enumerate()
-            .map(|(i, &pos)| Unit { id: UnitId(i as u32), pos })
+        self.positions.iter().enumerate().map(|(i, &pos)| Unit {
+            id: UnitId(i as u32),
+            pos,
+        })
     }
 }
 
@@ -119,7 +125,10 @@ mod tests {
     #[test]
     fn apply_moves_unit_and_returns_old() {
         let mut t = table();
-        let old = t.apply(LocationUpdate { unit: UnitId(2), new: Point::new(0.52, 0.52) });
+        let old = t.apply(LocationUpdate {
+            unit: UnitId(2),
+            new: Point::new(0.52, 0.52),
+        });
         assert_eq!(old, Point::new(0.90, 0.90));
         assert_eq!(t.position(UnitId(2)), Point::new(0.52, 0.52));
         let p = Place::point(PlaceId(0), Point::new(0.52, 0.50), 0);

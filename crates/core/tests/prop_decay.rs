@@ -3,9 +3,7 @@
 //! monitor must agree with the brute-force decay oracle for every kernel,
 //! up to floating-point accumulation tolerance.
 
-use ctup_core::ext::decay::{
-    DecayConfig, DecayCtup, DecayKernel, DecayMode, DecayOracle,
-};
+use ctup_core::ext::decay::{DecayConfig, DecayCtup, DecayKernel, DecayMode, DecayOracle};
 use ctup_core::types::{Place, PlaceId};
 use ctup_spatial::{Grid, Point};
 use ctup_storage::{CellLocalStore, PlaceStore};

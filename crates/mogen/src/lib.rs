@@ -5,6 +5,8 @@
 //! (via the Brinkhoff generator) with randomly generated places. This crate
 //! rebuilds that pipeline from scratch:
 //!
+//! * [`faults`] — seeded degraded-feed simulation (drops, duplicates,
+//!   reordering, corruption) for resilience testing;
 //! * [`network`] — synthetic, connected road networks with arterials;
 //! * [`route`] — travel-time Dijkstra routing;
 //! * [`objects`] — objects that roam the network and report location
@@ -19,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod network;
 pub mod objects;
 pub mod places;
@@ -26,6 +29,7 @@ pub mod route;
 pub mod uniform;
 pub mod workload;
 
+pub use faults::{FaultLog, FaultPlan};
 pub use network::{CityParams, Edge, NodeId, RoadNetwork};
 pub use objects::{MovingObjectSim, PositionUpdate};
 pub use places::{PlaceGenConfig, PlaceGenerator, Spread};

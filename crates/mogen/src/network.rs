@@ -84,7 +84,9 @@ struct DisjointSet {
 
 impl DisjointSet {
     fn new(n: usize) -> Self {
-        DisjointSet { parent: (0..n as u32).collect() }
+        DisjointSet {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     fn find(&mut self, x: u32) -> u32 {
@@ -121,19 +123,29 @@ impl RoadNetwork {
     pub fn from_parts(nodes: Vec<Point>, edges: Vec<Edge>) -> Self {
         let mut adjacency = vec![Vec::new(); nodes.len()];
         for (i, e) in edges.iter().enumerate() {
-            assert!(e.a.index() < nodes.len() && e.b.index() < nodes.len(), "edge endpoint out of range");
+            assert!(
+                e.a.index() < nodes.len() && e.b.index() < nodes.len(),
+                "edge endpoint out of range"
+            );
             assert!(e.speed > 0.0, "edge speed must be positive");
             adjacency[e.a.index()].push(i as u32);
             adjacency[e.b.index()].push(i as u32);
         }
-        RoadNetwork { nodes, edges, adjacency }
+        RoadNetwork {
+            nodes,
+            edges,
+            adjacency,
+        }
     }
 
     /// Generates a synthetic city inside the unit square (see module docs).
     /// The result is always connected.
     pub fn synthetic_city(params: &CityParams, seed: u64) -> Self {
         assert!(params.blocks_per_side >= 2, "need at least a 2x2 lattice");
-        assert!((0.0..=0.9).contains(&params.removal_rate), "removal_rate out of range");
+        assert!(
+            (0.0..=0.9).contains(&params.removal_rate),
+            "removal_rate out of range"
+        );
         let n = params.blocks_per_side;
         let mut rng = StdRng::seed_from_u64(seed);
         let spacing = 1.0 / (n - 1) as f64;
@@ -150,7 +162,8 @@ impl RoadNetwork {
         }
         let node_at = |col: u32, row: u32| NodeId(row * n + col);
 
-        let is_arterial = |i: u32| params.arterial_every != 0 && i.is_multiple_of(params.arterial_every);
+        let is_arterial =
+            |i: u32| params.arterial_every != 0 && i.is_multiple_of(params.arterial_every);
         let mut kept: Vec<(NodeId, NodeId, f64)> = Vec::new();
         let mut removed: Vec<(NodeId, NodeId, f64)> = Vec::new();
         for row in 0..n {
@@ -158,7 +171,11 @@ impl RoadNetwork {
                 let from = node_at(col, row);
                 // Horizontal street.
                 if col + 1 < n {
-                    let speed = if is_arterial(row) { params.arterial_speed } else { params.street_speed };
+                    let speed = if is_arterial(row) {
+                        params.arterial_speed
+                    } else {
+                        params.street_speed
+                    };
                     let to = node_at(col + 1, row);
                     if !is_arterial(row) && rng.gen_bool(params.removal_rate) {
                         removed.push((from, to, speed));
@@ -168,7 +185,11 @@ impl RoadNetwork {
                 }
                 // Vertical street.
                 if row + 1 < n {
-                    let speed = if is_arterial(col) { params.arterial_speed } else { params.street_speed };
+                    let speed = if is_arterial(col) {
+                        params.arterial_speed
+                    } else {
+                        params.street_speed
+                    };
                     let to = node_at(col, row + 1);
                     if !is_arterial(col) && rng.gen_bool(params.removal_rate) {
                         removed.push((from, to, speed));
@@ -301,11 +322,17 @@ mod tests {
     #[test]
     fn removal_rate_thins_the_grid() {
         let dense = RoadNetwork::synthetic_city(
-            &CityParams { removal_rate: 0.0, ..CityParams::default() },
+            &CityParams {
+                removal_rate: 0.0,
+                ..CityParams::default()
+            },
             1,
         );
         let sparse = RoadNetwork::synthetic_city(
-            &CityParams { removal_rate: 0.5, ..CityParams::default() },
+            &CityParams {
+                removal_rate: 0.5,
+                ..CityParams::default()
+            },
             1,
         );
         assert!(sparse.num_edges() < dense.num_edges());
@@ -315,7 +342,9 @@ mod tests {
     #[test]
     fn arterials_are_faster() {
         let net = RoadNetwork::synthetic_city(&CityParams::default(), 7);
-        let speeds: Vec<f64> = (0..net.num_edges() as u32).map(|i| net.edge(i).speed).collect();
+        let speeds: Vec<f64> = (0..net.num_edges() as u32)
+            .map(|i| net.edge(i).speed)
+            .collect();
         assert!(speeds.contains(&0.02));
         assert!(speeds.contains(&0.06));
     }
@@ -332,10 +361,24 @@ mod tests {
 
     #[test]
     fn from_parts_builds_adjacency() {
-        let nodes = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(1.0, 1.0)];
+        let nodes = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+        ];
         let edges = vec![
-            Edge { a: NodeId(0), b: NodeId(1), length: 1.0, speed: 1.0 },
-            Edge { a: NodeId(1), b: NodeId(2), length: 1.0, speed: 1.0 },
+            Edge {
+                a: NodeId(0),
+                b: NodeId(1),
+                length: 1.0,
+                speed: 1.0,
+            },
+            Edge {
+                a: NodeId(1),
+                b: NodeId(2),
+                length: 1.0,
+                speed: 1.0,
+            },
         ];
         let net = RoadNetwork::from_parts(nodes, edges);
         assert_eq!(net.incident(NodeId(1)), &[0, 1]);
@@ -349,7 +392,12 @@ mod tests {
     fn from_parts_rejects_dangling_edges() {
         RoadNetwork::from_parts(
             vec![Point::new(0.0, 0.0)],
-            vec![Edge { a: NodeId(0), b: NodeId(5), length: 1.0, speed: 1.0 }],
+            vec![Edge {
+                a: NodeId(0),
+                b: NodeId(5),
+                length: 1.0,
+                speed: 1.0,
+            }],
         );
     }
 }

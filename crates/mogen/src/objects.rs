@@ -60,11 +60,22 @@ impl MovingObjectSim {
             .map(|_| {
                 let at = NodeId(rng.gen_range(0..net.num_nodes() as u32));
                 let pos = net.node_pos(at);
-                ObjectState { at, pos, reported: pos, path: Vec::new() }
+                ObjectState {
+                    at,
+                    pos,
+                    reported: pos,
+                    path: Vec::new(),
+                }
             })
             .collect();
         let router = Router::new(net.num_nodes());
-        MovingObjectSim { net, router, rng, objects, report_threshold }
+        MovingObjectSim {
+            net,
+            router,
+            rng,
+            objects,
+            report_threshold,
+        }
     }
 
     /// Number of simulated objects.
@@ -161,7 +172,11 @@ impl MovingObjectSim {
                 }
             }
             if obj.pos.dist(obj.reported) >= self.report_threshold {
-                updates.push(PositionUpdate { object: id as u32, from: obj.reported, to: obj.pos });
+                updates.push(PositionUpdate {
+                    object: id as u32,
+                    from: obj.reported,
+                    to: obj.pos,
+                });
                 obj.reported = obj.pos;
             }
         }
@@ -221,7 +236,10 @@ mod tests {
         }
         for id in 0..s.num_objects() as u32 {
             let p = s.position(id);
-            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y), "{p:?}");
+            assert!(
+                (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y),
+                "{p:?}"
+            );
         }
     }
 

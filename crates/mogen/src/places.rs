@@ -77,11 +77,22 @@ impl PlaceGenerator {
     /// outside `[0, 1]`).
     pub fn new(config: PlaceGenConfig) -> Self {
         assert!(config.rp_min <= config.rp_max, "empty RP range");
-        assert!((0.0..=1.0).contains(&config.extent_prob), "extent_prob out of range");
+        assert!(
+            (0.0..=1.0).contains(&config.extent_prob),
+            "extent_prob out of range"
+        );
         assert!(config.rp_skew >= 0.0, "negative skew");
-        if let Spread::Clustered { clusters, fraction_clustered, std_dev } = &config.spread {
+        if let Spread::Clustered {
+            clusters,
+            fraction_clustered,
+            std_dev,
+        } = &config.spread
+        {
             assert!(*clusters > 0, "need at least one cluster");
-            assert!((0.0..=1.0).contains(fraction_clustered), "fraction out of range");
+            assert!(
+                (0.0..=1.0).contains(fraction_clustered),
+                "fraction out of range"
+            );
             assert!(*std_dev > 0.0, "cluster std_dev must be positive");
         }
         PlaceGenerator { config }
@@ -125,7 +136,11 @@ impl PlaceGenerator {
     fn sample_pos(&self, centers: &[Point], rng: &mut StdRng) -> Point {
         match &self.config.spread {
             Spread::Uniform => Point::new(rng.gen(), rng.gen()),
-            Spread::Clustered { std_dev, fraction_clustered, .. } => {
+            Spread::Clustered {
+                std_dev,
+                fraction_clustered,
+                ..
+            } => {
                 if rng.gen::<f64>() < *fraction_clustered {
                     let c = centers[rng.gen_range(0..centers.len())];
                     Point::new(
@@ -145,9 +160,9 @@ impl PlaceGenerator {
         let cdf = self.rp_cdf();
         let centers: Vec<Point> = match &self.config.spread {
             Spread::Uniform => Vec::new(),
-            Spread::Clustered { clusters, .. } => {
-                (0..*clusters).map(|_| Point::new(rng.gen(), rng.gen())).collect()
-            }
+            Spread::Clustered { clusters, .. } => (0..*clusters)
+                .map(|_| Point::new(rng.gen(), rng.gen()))
+                .collect(),
         };
         (0..self.config.count)
             .map(|i| {
@@ -175,7 +190,10 @@ mod tests {
 
     #[test]
     fn generates_requested_count_with_dense_ids() {
-        let g = PlaceGenerator::new(PlaceGenConfig { count: 1000, ..Default::default() });
+        let g = PlaceGenerator::new(PlaceGenConfig {
+            count: 1000,
+            ..Default::default()
+        });
         let places = g.generate(1);
         assert_eq!(places.len(), 1000);
         for (i, p) in places.iter().enumerate() {
@@ -188,7 +206,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let g = PlaceGenerator::new(PlaceGenConfig { count: 100, ..Default::default() });
+        let g = PlaceGenerator::new(PlaceGenConfig {
+            count: 100,
+            ..Default::default()
+        });
         assert_eq!(g.generate(7), g.generate(7));
         assert_ne!(g.generate(7), g.generate(8));
     }
@@ -225,7 +246,11 @@ mod tests {
     fn clustered_spread_concentrates_places() {
         let g = PlaceGenerator::new(PlaceGenConfig {
             count: 5000,
-            spread: Spread::Clustered { clusters: 3, std_dev: 0.02, fraction_clustered: 1.0 },
+            spread: Spread::Clustered {
+                clusters: 3,
+                std_dev: 0.02,
+                fraction_clustered: 1.0,
+            },
             ..Default::default()
         });
         let places = g.generate(4);
@@ -264,6 +289,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty RP range")]
     fn rejects_inverted_rp_range() {
-        PlaceGenerator::new(PlaceGenConfig { rp_min: 5, rp_max: 2, ..Default::default() });
+        PlaceGenerator::new(PlaceGenConfig {
+            rp_min: 5,
+            rp_max: 2,
+            ..Default::default()
+        });
     }
 }

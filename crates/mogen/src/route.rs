@@ -77,7 +77,10 @@ impl Router {
         let mut heap = BinaryHeap::new();
         self.dist[from.index()] = 0.0;
         self.touched.push(from);
-        heap.push(Frontier { cost: 0.0, node: from });
+        heap.push(Frontier {
+            cost: 0.0,
+            node: from,
+        });
 
         while let Some(Frontier { cost, node }) = heap.pop() {
             if node == to {
@@ -96,7 +99,10 @@ impl Router {
                     }
                     self.dist[next.index()] = next_cost;
                     self.prev_edge[next.index()] = edge_idx;
-                    heap.push(Frontier { cost: next_cost, node: next });
+                    heap.push(Frontier {
+                        cost: next_cost,
+                        node: next,
+                    });
                 }
             }
         }
@@ -132,7 +138,12 @@ mod tests {
     fn line_network(n: u32) -> RoadNetwork {
         let nodes = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
         let edges = (0..n - 1)
-            .map(|i| Edge { a: NodeId(i), b: NodeId(i + 1), length: 1.0, speed: 1.0 })
+            .map(|i| Edge {
+                a: NodeId(i),
+                b: NodeId(i + 1),
+                length: 1.0,
+                speed: 1.0,
+            })
             .collect();
         RoadNetwork::from_parts(nodes, edges)
     }
@@ -142,7 +153,10 @@ mod tests {
         let net = line_network(5);
         let mut router = Router::new(net.num_nodes());
         let path = router.shortest_path(&net, NodeId(0), NodeId(4)).unwrap();
-        assert_eq!(path, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            path,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
         assert_eq!(router.cost_to(NodeId(4)), 4.0);
     }
 
@@ -150,7 +164,10 @@ mod tests {
     fn trivial_self_path() {
         let net = line_network(3);
         let mut router = Router::new(net.num_nodes());
-        assert_eq!(router.shortest_path(&net, NodeId(1), NodeId(1)).unwrap(), vec![NodeId(1)]);
+        assert_eq!(
+            router.shortest_path(&net, NodeId(1), NodeId(1)).unwrap(),
+            vec![NodeId(1)]
+        );
     }
 
     #[test]
@@ -163,8 +180,18 @@ mod tests {
             Point::new(6.0, 0.0),
         ];
         let edges = vec![
-            Edge { a: NodeId(0), b: NodeId(1), length: 1.0, speed: 1.0 },
-            Edge { a: NodeId(2), b: NodeId(3), length: 1.0, speed: 1.0 },
+            Edge {
+                a: NodeId(0),
+                b: NodeId(1),
+                length: 1.0,
+                speed: 1.0,
+            },
+            Edge {
+                a: NodeId(2),
+                b: NodeId(3),
+                length: 1.0,
+                speed: 1.0,
+            },
         ];
         let net = RoadNetwork::from_parts(nodes, edges);
         let mut router = Router::new(net.num_nodes());
@@ -176,13 +203,32 @@ mod tests {
     #[test]
     fn prefers_fast_detour_over_slow_direct() {
         // 0 -(slow direct)- 2, or 0 -1- 2 over fast edges.
-        let nodes = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 0.0)];
+        let nodes = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 0.0),
+        ];
         let slow = 0.1; // direct cost = 2 / 0.1 = 20
         let fast = 1.0; // detour cost = 2 * sqrt(2) ≈ 2.83
         let edges = vec![
-            Edge { a: NodeId(0), b: NodeId(2), length: 2.0, speed: slow },
-            Edge { a: NodeId(0), b: NodeId(1), length: 2.0_f64.sqrt(), speed: fast },
-            Edge { a: NodeId(1), b: NodeId(2), length: 2.0_f64.sqrt(), speed: fast },
+            Edge {
+                a: NodeId(0),
+                b: NodeId(2),
+                length: 2.0,
+                speed: slow,
+            },
+            Edge {
+                a: NodeId(0),
+                b: NodeId(1),
+                length: 2.0_f64.sqrt(),
+                speed: fast,
+            },
+            Edge {
+                a: NodeId(1),
+                b: NodeId(2),
+                length: 2.0_f64.sqrt(),
+                speed: fast,
+            },
         ];
         let net = RoadNetwork::from_parts(nodes, edges);
         let mut router = Router::new(net.num_nodes());
@@ -198,7 +244,9 @@ mod tests {
         for i in 0..50u32 {
             let from = NodeId((i * 37) % n);
             let to = NodeId((i * 101 + 13) % n);
-            let path = router.shortest_path(&net, from, to).expect("city is connected");
+            let path = router
+                .shortest_path(&net, from, to)
+                .expect("city is connected");
             assert_eq!(*path.first().unwrap(), from);
             assert_eq!(*path.last().unwrap(), to);
             // Consecutive nodes are adjacent in the network.

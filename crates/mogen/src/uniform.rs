@@ -29,11 +29,20 @@ impl RandomWaypointSim {
     pub fn new(num_objects: u32, speed: f64, report_threshold: f64, seed: u64) -> Self {
         assert!(speed > 0.0);
         let mut rng = StdRng::seed_from_u64(seed);
-        let pos: Vec<Point> =
-            (0..num_objects).map(|_| Point::new(rng.gen(), rng.gen())).collect();
-        let target: Vec<Point> =
-            (0..num_objects).map(|_| Point::new(rng.gen(), rng.gen())).collect();
-        RandomWaypointSim { rng, reported: pos.clone(), pos, target, speed, report_threshold }
+        let pos: Vec<Point> = (0..num_objects)
+            .map(|_| Point::new(rng.gen(), rng.gen()))
+            .collect();
+        let target: Vec<Point> = (0..num_objects)
+            .map(|_| Point::new(rng.gen(), rng.gen()))
+            .collect();
+        RandomWaypointSim {
+            rng,
+            reported: pos.clone(),
+            pos,
+            target,
+            speed,
+            report_threshold,
+        }
     }
 
     /// Current reported positions, in object order.
@@ -94,7 +103,9 @@ impl TeleportSim {
     /// Spawns `num_objects` objects uniformly at random.
     pub fn new(num_objects: u32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let pos = (0..num_objects).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        let pos = (0..num_objects)
+            .map(|_| Point::new(rng.gen(), rng.gen()))
+            .collect();
         TeleportSim { rng, pos, next: 0 }
     }
 
@@ -110,7 +121,11 @@ impl TeleportSim {
         let from = self.pos[i];
         let to = Point::new(self.rng.gen(), self.rng.gen());
         self.pos[i] = to;
-        PositionUpdate { object: i as u32, from, to }
+        PositionUpdate {
+            object: i as u32,
+            from,
+            to,
+        }
     }
 
     /// Collects exactly `n` updates.

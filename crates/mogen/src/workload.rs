@@ -60,12 +60,19 @@ impl Workload {
             params.report_threshold,
             params.seed.wrapping_add(2),
         );
-        Workload { params, places, sim }
+        Workload {
+            params,
+            places,
+            sim,
+        }
     }
 
     /// The paper's Table III defaults with the given seed.
     pub fn paper_default(seed: u64) -> Self {
-        Workload::generate(WorkloadParams { seed, ..WorkloadParams::default() })
+        Workload::generate(WorkloadParams {
+            seed,
+            ..WorkloadParams::default()
+        })
     }
 
     /// The parameters this workload was generated from.
@@ -127,7 +134,10 @@ mod tests {
     fn smaller_workloads_generate_quickly() {
         let params = WorkloadParams {
             num_units: 10,
-            places: PlaceGenConfig { count: 100, ..Default::default() },
+            places: PlaceGenConfig {
+                count: 100,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut w = Workload::generate(params);

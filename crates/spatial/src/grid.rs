@@ -250,6 +250,9 @@ mod tests {
         let g = Grid::new(Rect::from_coords(0.0, 0.0, 2.0, 1.0), 4, 2);
         assert_eq!(g.cell_width(), 0.5);
         assert_eq!(g.cell_height(), 0.5);
-        assert_eq!(g.cell_rect(CellId(5)), Rect::from_coords(0.5, 0.5, 1.0, 1.0));
+        assert_eq!(
+            g.cell_rect(CellId(5)),
+            Rect::from_coords(0.5, 0.5, 1.0, 1.0)
+        );
     }
 }

@@ -19,7 +19,10 @@ impl Rect {
     /// Panics in debug builds if the corners are not ordered.
     #[inline]
     pub fn new(lo: Point, hi: Point) -> Self {
-        debug_assert!(lo.x <= hi.x && lo.y <= hi.y, "malformed rect {lo:?}..{hi:?}");
+        debug_assert!(
+            lo.x <= hi.x && lo.y <= hi.y,
+            "malformed rect {lo:?}..{hi:?}"
+        );
         Rect { lo, hi }
     }
 

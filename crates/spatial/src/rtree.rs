@@ -57,7 +57,9 @@ impl<T> HasBBox for Node<T> {
 }
 
 fn bbox_of<E: HasBBox>(items: &[E]) -> Rect {
-    items.iter().fold(Rect::empty(), |acc, e| acc.union(&e.bbox()))
+    items
+        .iter()
+        .fold(Rect::empty(), |acc, e| acc.union(&e.bbox()))
 }
 
 /// Size of the next chunk when packing `remaining` items into nodes, chosen
@@ -135,11 +137,17 @@ fn quadratic_split<E: HasBBox>(mut items: Vec<E>) -> (Vec<E>, Vec<E>) {
 
 impl<T> Node<T> {
     fn leaf(entries: Vec<(Rect, T)>) -> Self {
-        Node { bbox: bbox_of(&entries), kind: Kind::Leaf(entries) }
+        Node {
+            bbox: bbox_of(&entries),
+            kind: Kind::Leaf(entries),
+        }
     }
 
     fn inner(children: Vec<Node<T>>) -> Self {
-        Node { bbox: bbox_of(&children), kind: Kind::Inner(children) }
+        Node {
+            bbox: bbox_of(&children),
+            kind: Kind::Inner(children),
+        }
     }
 
     fn recompute_bbox(&mut self) {
@@ -169,7 +177,11 @@ impl<T> Node<T> {
 
     /// Inserts and returns a split-off sibling if this node overflowed.
     fn insert(&mut self, rect: Rect, item: T) -> Option<Node<T>> {
-        self.bbox = if self.len_entries() == 0 { rect } else { self.bbox.union(&rect) };
+        self.bbox = if self.len_entries() == 0 {
+            rect
+        } else {
+            self.bbox.union(&rect)
+        };
         match &mut self.kind {
             Kind::Leaf(entries) => {
                 entries.push((rect, item));
@@ -267,7 +279,10 @@ impl<T> RTree<T> {
         let slabs = (leaf_count as f64).sqrt().ceil() as usize;
         let per_slab = len.div_ceil(slabs);
         entries.sort_by(|a, b| {
-            a.0.center().x.partial_cmp(&b.0.center().x).unwrap_or(Ordering::Equal)
+            a.0.center()
+                .x
+                .partial_cmp(&b.0.center().x)
+                .unwrap_or(Ordering::Equal)
         });
         let mut leaves: Vec<Node<T>> = Vec::with_capacity(leaf_count);
         let mut rest = entries;
@@ -280,7 +295,10 @@ impl<T> RTree<T> {
             }
             let mut slab: Vec<(Rect, T)> = rest.drain(..take).collect();
             slab.sort_by(|a, b| {
-                a.0.center().y.partial_cmp(&b.0.center().y).unwrap_or(Ordering::Equal)
+                a.0.center()
+                    .y
+                    .partial_cmp(&b.0.center().y)
+                    .unwrap_or(Ordering::Equal)
             });
             while !slab.is_empty() {
                 let take = packing_chunk(slab.len());
@@ -305,7 +323,10 @@ impl<T> RTree<T> {
             }
             level = next;
         }
-        RTree { root: level.pop(), len }
+        RTree {
+            root: level.pop(),
+            len,
+        }
     }
 
     /// Calls `f` for every item whose rectangle intersects `rect`.
@@ -435,7 +456,9 @@ impl<T> RTree<T> {
         loop {
             let shrink = match &mut self.root {
                 Some(r) => match &mut r.kind {
-                    Kind::Inner(children) if children.len() == 1 => Some(children.pop().expect("len 1")),
+                    Kind::Inner(children) if children.len() == 1 => {
+                        Some(children.pop().expect("len 1"))
+                    }
                     Kind::Inner(children) if children.is_empty() => {
                         self.root = None;
                         None
@@ -561,11 +584,17 @@ impl<T> RTree<T> {
                     }
                 }
                 Kind::Inner(children) => {
-                    assert!(is_root || children.len() >= MIN_ENTRIES, "underfull inner node");
+                    assert!(
+                        is_root || children.len() >= MIN_ENTRIES,
+                        "underfull inner node"
+                    );
                     assert!(children.len() <= MAX_ENTRIES, "overfull inner node");
                     assert!(!children.is_empty(), "empty inner node");
                     for c in children {
-                        assert!(node.bbox.contains_rect(&c.bbox), "inner bbox does not cover child");
+                        assert!(
+                            node.bbox.contains_rect(&c.bbox),
+                            "inner bbox does not cover child"
+                        );
                         walk(c, false, depth + 1, leaf_depth);
                     }
                 }
@@ -649,7 +678,10 @@ mod tests {
         let pts = grid_points(30);
         let t = RTree::bulk_load(pts.clone());
         let c = Circle::new(Point::new(0.41, 0.57), 0.23);
-        let expect = pts.iter().filter(|(r, _)| c.contains_point(r.center())).count();
+        let expect = pts
+            .iter()
+            .filter(|(r, _)| c.contains_point(r.center()))
+            .count();
         assert_eq!(t.count_in_circle(&c), expect);
         assert!(expect > 0);
     }
@@ -669,7 +701,11 @@ mod tests {
         let mut brute: Vec<f64> = pts.iter().map(|(r, _)| r.center().dist(q)).collect();
         brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (i, (d, _)) in got.iter().enumerate() {
-            assert!((d - brute[i]).abs() < 1e-12, "rank {i}: {d} vs {}", brute[i]);
+            assert!(
+                (d - brute[i]).abs() < 1e-12,
+                "rank {i}: {d} vs {}",
+                brute[i]
+            );
         }
     }
 

@@ -23,7 +23,11 @@ impl<U: Copy + PartialEq> UnitGridIndex<U> {
     /// Creates an empty index over `grid`.
     pub fn new(grid: Grid) -> Self {
         let buckets = vec![Vec::new(); grid.num_cells()];
-        UnitGridIndex { grid, buckets, len: 0 }
+        UnitGridIndex {
+            grid,
+            buckets,
+            len: 0,
+        }
     }
 
     /// The underlying grid.
@@ -154,11 +158,20 @@ mod tests {
         let mut idx = index_with(&[(7, Point::new(0.05, 0.05))]);
         // Same-cell move.
         idx.relocate(7, Point::new(0.05, 0.05), Point::new(0.06, 0.07));
-        assert_eq!(idx.count_within(&Circle::new(Point::new(0.06, 0.07), 0.001)), 1);
+        assert_eq!(
+            idx.count_within(&Circle::new(Point::new(0.06, 0.07), 0.001)),
+            1
+        );
         // Cross-cell move.
         idx.relocate(7, Point::new(0.06, 0.07), Point::new(0.95, 0.95));
-        assert_eq!(idx.count_within(&Circle::new(Point::new(0.06, 0.07), 0.02)), 0);
-        assert_eq!(idx.count_within(&Circle::new(Point::new(0.95, 0.95), 0.02)), 1);
+        assert_eq!(
+            idx.count_within(&Circle::new(Point::new(0.06, 0.07), 0.02)),
+            0
+        );
+        assert_eq!(
+            idx.count_within(&Circle::new(Point::new(0.95, 0.95), 0.02)),
+            1
+        );
         assert_eq!(idx.len(), 1);
     }
 
@@ -172,8 +185,7 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let units: Vec<(u32, Point)> =
-            (0..500).map(|i| (i, Point::new(next(), next()))).collect();
+        let units: Vec<(u32, Point)> = (0..500).map(|i| (i, Point::new(next(), next()))).collect();
         let idx = index_with(&units);
         for _ in 0..50 {
             let c = Circle::new(Point::new(next(), next()), 0.05 + next() * 0.2);
@@ -192,8 +204,9 @@ mod tests {
 
     #[test]
     fn for_each_visits_all() {
-        let units: Vec<(u32, Point)> =
-            (0..20).map(|i| (i, Point::new(i as f64 / 20.0, 0.5))).collect();
+        let units: Vec<(u32, Point)> = (0..20)
+            .map(|i| (i, Point::new(i as f64 / 20.0, 0.5)))
+            .collect();
         let idx = index_with(&units);
         let mut seen = [false; 20];
         idx.for_each(|id, _| seen[id as usize] = true);

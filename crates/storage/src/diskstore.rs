@@ -52,7 +52,12 @@ fn decode_record(buf: &mut impl Buf) -> PlaceRecord {
         }
         tag => panic!("corrupt page: unknown record tag {tag}"),
     };
-    PlaceRecord { id, pos, rp, extent }
+    PlaceRecord {
+        id,
+        pos,
+        rp,
+        extent,
+    }
 }
 
 /// Where a cell's records live: a page range plus the record count.

@@ -25,7 +25,13 @@ impl CellLocalStore {
     pub fn build(grid: Grid, places: Vec<PlaceRecord>) -> Self {
         let num_places = places.len();
         let (cells, margins) = partition_by_cell(&grid, places);
-        CellLocalStore { grid, cells, margins, num_places, stats: StorageStats::new() }
+        CellLocalStore {
+            grid,
+            cells,
+            margins,
+            num_places,
+            stats: StorageStats::new(),
+        }
     }
 
     /// Number of places in `cell` without counting an access.

@@ -4,9 +4,7 @@ use ctup_spatial::{Point, Rect};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a place, dense in `0..|P|`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PlaceId(pub u32);
 
 impl PlaceId {
@@ -40,7 +38,12 @@ pub struct PlaceRecord {
 impl PlaceRecord {
     /// A point place.
     pub fn point(id: PlaceId, pos: Point, rp: u32) -> Self {
-        PlaceRecord { id, pos, rp, extent: None }
+        PlaceRecord {
+            id,
+            pos,
+            rp,
+            extent: None,
+        }
     }
 
     /// An extended place covering `extent`.
@@ -49,7 +52,12 @@ impl PlaceRecord {
     /// Panics in debug builds if the extent does not contain `pos`.
     pub fn extended(id: PlaceId, pos: Point, rp: u32, extent: Rect) -> Self {
         debug_assert!(extent.contains_point(pos), "extent must contain pos");
-        PlaceRecord { id, pos, rp, extent: Some(extent) }
+        PlaceRecord {
+            id,
+            pos,
+            rp,
+            extent: Some(extent),
+        }
     }
 
     /// Distance from `pos` to the farthest corner of the extent, zero for

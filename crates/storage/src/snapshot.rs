@@ -76,18 +76,22 @@ pub fn write_places<W: Write>(mut w: W, places: &[PlaceRecord]) -> io::Result<()
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> SnapshotError {
-    SnapshotError::Parse { line, message: message.into() }
+    SnapshotError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Reads places from `r`, validating the header and every record.
 pub fn read_places<R: BufRead>(r: R) -> Result<Vec<PlaceRecord>, SnapshotError> {
     let mut places = Vec::new();
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err(1, "empty file"))??;
     if header.trim() != HEADER {
-        return Err(parse_err(1, format!("bad header {header:?}, expected {HEADER:?}")));
+        return Err(parse_err(
+            1,
+            format!("bad header {header:?}, expected {HEADER:?}"),
+        ));
     }
     for (idx, line) in lines.enumerate() {
         let line_no = idx + 2;
@@ -98,7 +102,10 @@ pub fn read_places<R: BufRead>(r: R) -> Result<Vec<PlaceRecord>, SnapshotError> 
         }
         let fields: Vec<&str> = trimmed.split_ascii_whitespace().collect();
         if fields.len() != 4 && fields.len() != 8 {
-            return Err(parse_err(line_no, format!("expected 4 or 8 fields, got {}", fields.len())));
+            return Err(parse_err(
+                line_no,
+                format!("expected 4 or 8 fields, got {}", fields.len()),
+            ));
         }
         let id: u32 = fields[0]
             .parse()
@@ -111,7 +118,10 @@ pub fn read_places<R: BufRead>(r: R) -> Result<Vec<PlaceRecord>, SnapshotError> 
         }
         let rp = nums[2];
         if rp < 0.0 || rp.fract() != 0.0 {
-            return Err(parse_err(line_no, format!("rp must be a non-negative integer, got {rp}")));
+            return Err(parse_err(
+                line_no,
+                format!("rp must be a non-negative integer, got {rp}"),
+            ));
         }
         let pos = Point::new(nums[0], nums[1]);
         let extent = if fields.len() == 8 {
@@ -128,7 +138,12 @@ pub fn read_places<R: BufRead>(r: R) -> Result<Vec<PlaceRecord>, SnapshotError> 
         } else {
             None
         };
-        places.push(PlaceRecord { id: PlaceId(id), pos, rp: rp as u32, extent });
+        places.push(PlaceRecord {
+            id: PlaceId(id),
+            pos,
+            rp: rp as u32,
+            extent,
+        });
     }
     Ok(places)
 }
@@ -175,7 +190,10 @@ mod tests {
     fn blank_lines_and_comments_are_skipped() {
         let text = format!("{HEADER}\n\n# a comment\n5 0.1 0.2 4\n");
         let read = read_places(text.as_bytes()).unwrap();
-        assert_eq!(read, vec![PlaceRecord::point(PlaceId(5), Point::new(0.1, 0.2), 4)]);
+        assert_eq!(
+            read,
+            vec![PlaceRecord::point(PlaceId(5), Point::new(0.1, 0.2), 4)]
+        );
     }
 
     #[test]
@@ -187,13 +205,13 @@ mod tests {
     #[test]
     fn rejects_malformed_records() {
         let cases = [
-            "1 0.5",                        // wrong field count
-            "x 0.5 0.5 1",                  // bad id
-            "1 0.5 zz 1",                   // bad number
-            "1 0.5 0.5 -2",                 // negative rp
-            "1 0.5 0.5 1.5",                // fractional rp
-            "1 0.5 0.5 1 0.9 0.9 0.1 0.1",  // inverted extent
-            "1 0.5 0.5 1 0.6 0.6 0.9 0.9",  // extent misses pos
+            "1 0.5",                       // wrong field count
+            "x 0.5 0.5 1",                 // bad id
+            "1 0.5 zz 1",                  // bad number
+            "1 0.5 0.5 -2",                // negative rp
+            "1 0.5 0.5 1.5",               // fractional rp
+            "1 0.5 0.5 1 0.9 0.9 0.1 0.1", // inverted extent
+            "1 0.5 0.5 1 0.6 0.6 0.9 0.9", // extent misses pos
         ];
         for case in cases {
             let text = format!("{HEADER}\n{case}\n");

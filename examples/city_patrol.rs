@@ -29,8 +29,10 @@ fn main() {
 
     println!("generating the Table III workload …");
     let mut workload = Workload::paper_default(7);
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(10), workload.places_vec()));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(10),
+        workload.places_vec(),
+    ));
     let units = workload.unit_positions();
 
     println!("initializing OptCTUP over {} places …", store.num_places());
@@ -54,7 +56,10 @@ fn main() {
             if shown < 25 {
                 match event {
                     MonitorEvent::Entered { place, safety } => {
-                        println!("  ALERT  place {:>5} became top-k unsafe (safety {safety})", place.0)
+                        println!(
+                            "  ALERT  place {:>5} became top-k unsafe (safety {safety})",
+                            place.0
+                        )
                     }
                     MonitorEvent::Left { place } => {
                         println!("  clear  place {:>5} no longer top-k unsafe", place.0)
@@ -79,12 +84,17 @@ fn main() {
     );
 
     println!("\ncost comparison on the same stream:");
-    let compare: &[(&str, usize)] =
-        &[("NaiveRecompute", updates.min(100)), ("NaiveIncremental", updates), ("BasicCTUP", updates)];
+    let compare: &[(&str, usize)] = &[
+        ("NaiveRecompute", updates.min(100)),
+        ("NaiveIncremental", updates),
+        ("BasicCTUP", updates),
+    ];
     for &(name, n) in compare {
         let mut workload = Workload::paper_default(7);
-        let store: Arc<dyn PlaceStore> =
-            Arc::new(CellLocalStore::build(Grid::unit_square(10), workload.places_vec()));
+        let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+            Grid::unit_square(10),
+            workload.places_vec(),
+        ));
         let units = workload.unit_positions();
         let config = CtupConfig::paper_default();
         let mut alg: Box<dyn CtupAlgorithm> = match name {
@@ -95,7 +105,10 @@ fn main() {
         let stream = workload.next_updates(n);
         let start = Instant::now();
         for update in &stream {
-            alg.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            });
         }
         println!(
             "  {name:<17} {:>9.1} us/update  ({} updates)",

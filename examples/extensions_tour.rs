@@ -26,10 +26,15 @@ fn extent_demo() {
         Rect::from_coords(0.44, 0.46, 0.56, 0.54),
     );
     let kiosk = Place::point(PlaceId(1), Point::new(0.52, 0.50), 1);
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(10), vec![mall, kiosk]));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(10),
+        vec![mall, kiosk],
+    ));
     let mut monitor = OptCtup::new(
-        CtupConfig { protection_radius: 0.08, ..CtupConfig::with_k(2) },
+        CtupConfig {
+            protection_radius: 0.08,
+            ..CtupConfig::with_k(2)
+        },
         store,
         &[Point::new(0.52, 0.50)],
     );
@@ -40,7 +45,10 @@ fn extent_demo() {
         );
     }
     // Moving closer to the mall's center covers the full footprint.
-    monitor.handle_update(LocationUpdate { unit: UnitId(0), new: Point::new(0.50, 0.50) });
+    monitor.handle_update(LocationUpdate {
+        unit: UnitId(0),
+        new: Point::new(0.50, 0.50),
+    });
     println!("   after centering the patrol on the mall:");
     for entry in monitor.result() {
         println!("   place {} safety {:>2}", entry.place.0, entry.safety);
@@ -63,13 +71,20 @@ fn decay_demo() {
     for kernel in [
         DecayKernel::Step { radius: 0.15 },
         DecayKernel::Cone { radius: 0.25 },
-        DecayKernel::Gaussian { sigma: 0.08, cutoff: 0.25 },
+        DecayKernel::Gaussian {
+            sigma: 0.08,
+            cutoff: 0.25,
+        },
     ] {
         let oracle = DecayOracle::new(places.clone(), kernel);
         let store: Arc<dyn PlaceStore> =
             Arc::new(CellLocalStore::build(Grid::unit_square(8), places.clone()));
         let monitor = DecayCtup::new(
-            DecayConfig { kernel, mode: DecayMode::TopK(3), delta: 0.5 },
+            DecayConfig {
+                kernel,
+                mode: DecayMode::TopK(3),
+                delta: 0.5,
+            },
             store,
             &units,
         );
@@ -95,7 +110,10 @@ fn predict_demo() {
     // The single patrol starts near place 0 and reports a move towards
     // place 1; dead reckoning sees where coverage will be lost.
     let mut predictor = PredictiveCtup::new(&store, &[Point::new(0.2, 0.5)], 0.12);
-    predictor.observe(LocationUpdate { unit: UnitId(0), new: Point::new(0.32, 0.5) });
+    predictor.observe(LocationUpdate {
+        unit: UnitId(0),
+        new: Point::new(0.32, 0.5),
+    });
     for horizon in [0.0, 2.0, 4.0] {
         let result = predictor.predict(horizon, QueryMode::TopK(1));
         println!(

@@ -8,7 +8,7 @@
 //! ```
 
 use ctup::core::config::CtupConfig;
-use ctup::core::pipeline::Pipeline;
+use ctup::core::pipeline::{Pipeline, SendError};
 use ctup::core::server::MonitorEvent;
 use ctup::core::types::{LocationUpdate, UnitId};
 use ctup::core::OptCtup;
@@ -20,12 +20,17 @@ use std::sync::Arc;
 fn main() {
     let mut workload = Workload::generate(WorkloadParams {
         num_units: 80,
-        places: PlaceGenConfig { count: 8_000, ..PlaceGenConfig::default() },
+        places: PlaceGenConfig {
+            count: 8_000,
+            ..PlaceGenConfig::default()
+        },
         seed: 404,
         ..WorkloadParams::default()
     });
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(10), workload.places_vec()));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(10),
+        workload.places_vec(),
+    ));
     let units = workload.unit_positions();
 
     println!("spawning the monitor worker …");
@@ -43,13 +48,19 @@ fn main() {
                 if shown < 15 {
                     match *event {
                         MonitorEvent::Entered { place, safety } => {
-                            println!("  [upd {:>5}] ALERT place {:>5} (safety {safety})", batch.seq, place.0)
+                            println!(
+                                "  [upd {:>5}] ALERT place {:>5} (safety {safety})",
+                                batch.seq, place.0
+                            )
                         }
                         MonitorEvent::Left { place } => {
                             println!("  [upd {:>5}] clear place {:>5}", batch.seq, place.0)
                         }
                         MonitorEvent::SafetyChanged { place, old, new } => {
-                            println!("  [upd {:>5}] place {:>5} {old} -> {new}", batch.seq, place.0)
+                            println!(
+                                "  [upd {:>5}] place {:>5} {old} -> {new}",
+                                batch.seq, place.0
+                            )
                         }
                     }
                     shown += 1;
@@ -62,11 +73,18 @@ fn main() {
     // Producer: the wireless front-end streaming 5 000 reports.
     let mut dropped = 0usize;
     for update in workload.next_updates(5_000) {
-        let update = LocationUpdate { unit: UnitId(update.object), new: update.to };
-        if pipeline.try_send(update).is_err() {
-            // Backpressure: a real front-end would coalesce; we block.
-            pipeline.send(update);
-            dropped += 1;
+        let update = LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        };
+        match pipeline.try_send(update) {
+            Ok(()) => {}
+            Err(SendError::Full) => {
+                // Backpressure: a real front-end would coalesce; we block.
+                pipeline.send(update).expect("monitor worker alive");
+                dropped += 1;
+            }
+            Err(SendError::WorkerDied) => break,
         }
     }
     let report = pipeline.shutdown();
@@ -74,7 +92,10 @@ fn main() {
 
     println!("\nworker processed {} updates", report.updates_processed);
     println!("events consumed on the console thread: {total_events}");
-    println!("events emitted by the monitor:         {}", report.events_emitted);
+    println!(
+        "events emitted by the monitor:         {}",
+        report.events_emitted
+    );
     println!("updates that hit backpressure: {dropped}");
     println!(
         "monitor cost: {:.1} us/update, {} places maintained",

@@ -30,8 +30,7 @@ fn main() {
         Place::point(PlaceId(3), Point::new(0.75, 0.65), 1), // school
         Place::point(PlaceId(4), Point::new(0.50, 0.10), 1), // station
     ];
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(10), places));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(Grid::unit_square(10), places));
 
     // Three patrol cars.
     let patrols = vec![
@@ -40,18 +39,27 @@ fn main() {
         Point::new(0.72, 0.66), // embassy district
     ];
 
-    let config = CtupConfig { protection_radius: 0.1, ..CtupConfig::with_k(3) };
+    let config = CtupConfig {
+        protection_radius: 0.1,
+        ..CtupConfig::with_k(3)
+    };
     let mut monitor = OptCtup::new(config, store, &patrols);
     print_result("Initial top-3 unsafe places:", &monitor);
 
     // Car 0 is called away from downtown towards the station.
     println!("-> patrol 0 drives to the station district");
-    monitor.handle_update(LocationUpdate { unit: UnitId(0), new: Point::new(0.50, 0.12) });
+    monitor.handle_update(LocationUpdate {
+        unit: UnitId(0),
+        new: Point::new(0.50, 0.12),
+    });
     print_result("After the move:", &monitor);
 
     // Car 1 redeploys downtown to cover the gap.
     println!("-> patrol 1 redeploys downtown");
-    monitor.handle_update(LocationUpdate { unit: UnitId(1), new: Point::new(0.21, 0.31) });
+    monitor.handle_update(LocationUpdate {
+        unit: UnitId(1),
+        new: Point::new(0.21, 0.31),
+    });
     print_result("After the redeployment:", &monitor);
 
     let m = monitor.metrics();

@@ -19,7 +19,11 @@ fn main() {
     // A clustered city: most protection demand sits in three hot districts.
     let place_config = PlaceGenConfig {
         count: 5_000,
-        spread: Spread::Clustered { clusters: 3, std_dev: 0.06, fraction_clustered: 0.7 },
+        spread: Spread::Clustered {
+            clusters: 3,
+            std_dev: 0.06,
+            fraction_clustered: 0.7,
+        },
         ..PlaceGenConfig::default()
     };
     let places = PlaceGenerator::new(place_config.clone()).generate(99);
@@ -30,7 +34,10 @@ fn main() {
     snapshot::save_places(&path, &places).expect("save snapshot");
     let restored = snapshot::load_places(&path).expect("load snapshot");
     assert_eq!(restored, places);
-    println!("place registry snapshot round-tripped via {}", path.display());
+    println!(
+        "place registry snapshot round-tripped via {}",
+        path.display()
+    );
 
     let mut workload = Workload::generate(WorkloadParams {
         num_units: 100,
@@ -44,8 +51,7 @@ fn main() {
 
     // Alarm whenever a place is short by 3 or more protectors.
     let tau = -5;
-    let mut monitor =
-        ThresholdMonitor::new(tau, CtupConfig::paper_default(), store, &units);
+    let mut monitor = ThresholdMonitor::new(tau, CtupConfig::paper_default(), store, &units);
     println!(
         "monitoring safety < {tau}: initially {} places in alarm\n",
         monitor.alarm_count()
@@ -55,7 +61,10 @@ fn main() {
     let mut total_alarm_updates = 0u64;
     for update in workload.next_updates(2_000) {
         let before = monitor.alarm_count();
-        monitor.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+        monitor.handle_update(LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        });
         let after = monitor.alarm_count();
         if after != before {
             total_alarm_updates += 1;
@@ -65,9 +74,7 @@ fn main() {
             let worst = monitor.unsafe_places();
             println!(
                 "new peak: {} places below {tau} (worst: place {} at {})",
-                after,
-                worst[0].place.0,
-                worst[0].safety
+                after, worst[0].place.0, worst[0].safety
             );
         }
     }

@@ -31,8 +31,7 @@ pub mod prelude {
         types::{LocationUpdate, Place, PlaceId, Safety, TopKEntry, Unit, UnitId},
     };
     pub use ctup_mogen::{
-        network::RoadNetwork, objects::MovingObjectSim, places::PlaceGenerator,
-        workload::Workload,
+        network::RoadNetwork, objects::MovingObjectSim, places::PlaceGenerator, workload::Workload,
     };
     pub use ctup_spatial::{CellId, Circle, Grid, Point, Rect, Relation};
     pub use ctup_storage::{CellLocalStore, PlaceStore, StorageStats};

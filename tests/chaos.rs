@@ -1,0 +1,262 @@
+//! Chaos suite: the supervised pipeline under a degraded feed.
+//!
+//! A seeded [`FaultPlan`] drops, duplicates, reorders and corrupts the wire
+//! stream, and the supervisor is crashed mid-run. The surviving monitor
+//! must be *exactly* right: its final top-k is checked against the
+//! brute-force oracle evaluated on the effective update sequence — the
+//! updates that survive the ingest gate (validation, dedup, liveness
+//! leases) — reproduced independently by a mirror gate in the test.
+
+use ctup::core::config::{CtupConfig, QueryMode};
+use ctup::core::ingest::{stamp_stream, IngestConfig, IngestGate, StampedUpdate};
+use ctup::core::metrics::ResilienceStats;
+use ctup::core::supervisor::{ResilienceConfig, SupervisedPipeline};
+use ctup::core::types::{LocationUpdate, UnitId};
+use ctup::core::{OptCtup, Oracle};
+use ctup::mogen::{FaultPlan, PlaceGenConfig, Workload, WorkloadParams};
+use ctup::spatial::{Grid, Point};
+use ctup::storage::{CellLocalStore, PlaceStore};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+const NUM_UNITS: u32 = 25;
+const RADIUS: f64 = 0.1;
+
+fn setup(seed: u64) -> (Workload, Arc<dyn PlaceStore>) {
+    let workload = Workload::generate(WorkloadParams {
+        num_units: NUM_UNITS,
+        places: PlaceGenConfig {
+            count: 1_500,
+            ..PlaceGenConfig::default()
+        },
+        seed,
+        ..WorkloadParams::default()
+    });
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(8),
+        workload.places_vec(),
+    ));
+    (workload, store)
+}
+
+/// Randomly poisons a wire report: NaN coordinate, position far outside
+/// the monitored space, or an unknown unit id. All three must be caught by
+/// the ingest gate's validation.
+fn corrupt_report(report: &mut StampedUpdate, rng: &mut StdRng) {
+    match rng.gen_range(0..3u8) {
+        0 => report.update.new = Point::new(f64::NAN, report.update.new.y),
+        1 => report.update.new = Point::new(5.0, 5.0),
+        _ => report.update.unit = UnitId(10_000),
+    }
+}
+
+/// The chaos scenario for one seed: generate, stamp, degrade, survive.
+fn run_chaos(seed: u64) {
+    let (mut workload, store) = setup(seed);
+    let units = workload.unit_positions();
+
+    // Clean stamped stream, then the degraded delivery of it.
+    let clean: Vec<LocationUpdate> = workload
+        .next_updates(600)
+        .into_iter()
+        .map(|u| LocationUpdate {
+            unit: UnitId(u.object),
+            new: u.to,
+        })
+        .collect();
+    let plan = FaultPlan {
+        seed: seed ^ 0xFA17,
+        drop_prob: 0.06,
+        dup_prob: 0.03,
+        reorder_prob: 0.25,
+        reorder_window: 5,
+        corrupt_prob: 0.02,
+        delay_prob: 0.02,
+        max_delay: 12,
+        panic_at: vec![50],
+    };
+    let (degraded, log) = plan.apply(stamp_stream(clean), corrupt_report);
+    assert!(log.dropped > 0 && log.duplicated > 0 && log.reordered > 0 && log.corrupted > 0);
+
+    // The supervised pipeline rides the degraded feed and is crashed once.
+    let resilience = ResilienceConfig {
+        lease_ttl: Some(150),
+        checkpoint_every: 64,
+        max_restarts: 8,
+        panic_at: plan.panic_at.clone(),
+    };
+    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), &units);
+    let pipeline = SupervisedPipeline::spawn(monitor, resilience, 4096);
+    for &report in &degraded {
+        pipeline.send(report).expect("worker alive");
+    }
+    let report = pipeline.shutdown();
+    assert!(!report.gave_up, "seed {seed}: supervisor gave up");
+    assert_eq!(report.reports_received, degraded.len() as u64);
+    assert_eq!(report.metrics.resilience.worker_panics, 1);
+    assert_eq!(report.metrics.resilience.worker_restarts, 1);
+    assert!(report.metrics.resilience.checkpoints_taken > 0);
+
+    // Mirror gate: reproduce the effective update sequence independently
+    // and track where every unit ends up (parked units included).
+    let mut mirror = IngestGate::new(IngestConfig {
+        space: *store.grid().space(),
+        num_units: NUM_UNITS as usize,
+        lease_ttl: Some(150),
+    });
+    let mut mirror_stats = ResilienceStats::default();
+    let mut positions = units.clone();
+    let mut effective_count = 0u64;
+    for &wire in &degraded {
+        if let Ok(effective) = mirror.admit(wire, &mut mirror_stats) {
+            for update in effective {
+                positions[update.unit.index()] = update.new;
+                effective_count += 1;
+            }
+        }
+    }
+    assert_eq!(
+        report.updates_processed, effective_count,
+        "seed {seed}: pipeline and mirror disagree on the effective sequence"
+    );
+    // The gate-level counters must match the mirror exactly.
+    let r = &report.metrics.resilience;
+    for (name, got, want) in [
+        (
+            "rejected_non_finite",
+            r.rejected_non_finite,
+            mirror_stats.rejected_non_finite,
+        ),
+        (
+            "rejected_out_of_space",
+            r.rejected_out_of_space,
+            mirror_stats.rejected_out_of_space,
+        ),
+        (
+            "rejected_unknown_unit",
+            r.rejected_unknown_unit,
+            mirror_stats.rejected_unknown_unit,
+        ),
+        ("stale_dropped", r.stale_dropped, mirror_stats.stale_dropped),
+        (
+            "duplicates_dropped",
+            r.duplicates_dropped,
+            mirror_stats.duplicates_dropped,
+        ),
+        (
+            "lease_expiries",
+            r.lease_expiries,
+            mirror_stats.lease_expiries,
+        ),
+        (
+            "lease_reinstates",
+            r.lease_reinstates,
+            mirror_stats.lease_reinstates,
+        ),
+    ] {
+        assert_eq!(got, want, "seed {seed}: {name} mismatch");
+    }
+    // Dedup must have caught at least the duplicates the plan injected that
+    // were not preceded by a drop of their original.
+    assert!(
+        r.duplicates_dropped + r.stale_dropped > 0,
+        "seed {seed}: no dedup exercised"
+    );
+
+    // Ground truth: the oracle on the final effective unit positions.
+    let oracle = Oracle::from_store(store.as_ref());
+    oracle.assert_result_matches(
+        &report.final_result,
+        &positions,
+        RADIUS,
+        QueryMode::TopK(10),
+    );
+}
+
+#[test]
+fn survives_degraded_feed_seed_1() {
+    run_chaos(1);
+}
+
+#[test]
+fn survives_degraded_feed_seed_2() {
+    run_chaos(2);
+}
+
+#[test]
+fn survives_degraded_feed_seed_3() {
+    run_chaos(3);
+}
+
+/// Leases under silence: cutting one unit's reports out of the feed
+/// entirely must retract its protection — the monitor ends up agreeing
+/// with an oracle that has the unit parked, not where it last reported.
+#[test]
+fn silent_unit_is_parked_and_result_stays_truthful() {
+    let (mut workload, store) = setup(42);
+    let units = workload.unit_positions();
+    let clean: Vec<LocationUpdate> = workload
+        .next_updates(400)
+        .into_iter()
+        .map(|u| LocationUpdate {
+            unit: UnitId(u.object),
+            new: u.to,
+        })
+        .collect();
+    // Unit 0 goes silent after its first 2 reports.
+    let mut seen = 0;
+    let muted: Vec<StampedUpdate> = stamp_stream(clean)
+        .into_iter()
+        .filter(|r| {
+            if r.update.unit != UnitId(0) {
+                return true;
+            }
+            seen += 1;
+            seen <= 2
+        })
+        .collect();
+
+    let resilience = ResilienceConfig {
+        lease_ttl: Some(100),
+        ..ResilienceConfig::default()
+    };
+    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), &units);
+    let pipeline = SupervisedPipeline::spawn(monitor, resilience, 4096);
+    for &report in &muted {
+        pipeline.send(report).expect("worker alive");
+    }
+    let report = pipeline.shutdown();
+    assert!(!report.gave_up);
+    assert!(
+        report.metrics.resilience.lease_expiries > 0,
+        "the muted unit's lease never expired (TTL too long for this stream?)"
+    );
+
+    // Mirror to get final positions, then check the oracle agrees.
+    let mut mirror = IngestGate::new(IngestConfig {
+        space: *store.grid().space(),
+        num_units: NUM_UNITS as usize,
+        lease_ttl: Some(100),
+    });
+    let mut stats = ResilienceStats::default();
+    let mut positions = units.clone();
+    for &wire in &muted {
+        if let Ok(effective) = mirror.admit(wire, &mut stats) {
+            for update in effective {
+                positions[update.unit.index()] = update.new;
+            }
+        }
+    }
+    assert!(
+        !mirror.is_alive(UnitId(0)),
+        "unit 0 should have lost its lease"
+    );
+    let oracle = Oracle::from_store(store.as_ref());
+    oracle.assert_result_matches(
+        &report.final_result,
+        &positions,
+        RADIUS,
+        QueryMode::TopK(10),
+    );
+}

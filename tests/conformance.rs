@@ -43,8 +43,10 @@ fn scenario() -> impl Strategy<Value = Scenario> {
             .map(|(i, (pos, rp, extent))| match extent {
                 None => Place::point(PlaceId(i as u32), pos, rp),
                 Some((hw, hh)) => {
-                    let lo = ctup::spatial::Point::new((pos.x - hw).max(0.0), (pos.y - hh).max(0.0));
-                    let hi = ctup::spatial::Point::new((pos.x + hw).min(1.0), (pos.y + hh).min(1.0));
+                    let lo =
+                        ctup::spatial::Point::new((pos.x - hw).max(0.0), (pos.y - hh).max(0.0));
+                    let hi =
+                        ctup::spatial::Point::new((pos.x + hw).min(1.0), (pos.y + hh).min(1.0));
                     Place::extended(PlaceId(i as u32), pos, rp, ctup::spatial::Rect::new(lo, hi))
                 }
             })
@@ -54,17 +56,26 @@ fn scenario() -> impl Strategy<Value = Scenario> {
     (places, units, 1usize..8, 0i64..8, 2u32..9, 0.02f64..0.35).prop_flat_map(
         |(places, units, k, delta, granularity, radius)| {
             let num_units = units.len();
-            let updates =
-                prop::collection::vec((0..num_units, point_strategy()), 1..40);
-            (Just(places), Just(units), updates, Just(k), Just(delta), Just(granularity), Just(radius))
-                .prop_map(|(places, units, updates, k, delta, granularity, radius)| Scenario {
-                    places,
-                    units,
-                    updates,
-                    k,
-                    delta,
-                    granularity,
-                    radius,
+            let updates = prop::collection::vec((0..num_units, point_strategy()), 1..40);
+            (
+                Just(places),
+                Just(units),
+                updates,
+                Just(k),
+                Just(delta),
+                Just(granularity),
+                Just(radius),
+            )
+                .prop_map(|(places, units, updates, k, delta, granularity, radius)| {
+                    Scenario {
+                        places,
+                        units,
+                        updates,
+                        k,
+                        delta,
+                        granularity,
+                        radius,
+                    }
                 })
         },
     )
@@ -92,7 +103,10 @@ fn run_scenario(s: &Scenario, doo: bool) {
     oracle.assert_result_matches(&opt.result(), &units, s.radius, mode);
     oracle.assert_result_matches(&inc.result(), &units, s.radius, mode);
     for &(unit, new) in &s.updates {
-        let update = LocationUpdate { unit: UnitId(unit as u32), new };
+        let update = LocationUpdate {
+            unit: UnitId(unit as u32),
+            new,
+        };
         units[unit] = new;
         basic.handle_update(update);
         opt.handle_update(update);

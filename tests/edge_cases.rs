@@ -40,7 +40,10 @@ fn drive_and_check(
     for &(unit, new) in moves {
         units[unit as usize] = new;
         for alg in algs.iter_mut() {
-            alg.handle_update(LocationUpdate { unit: UnitId(unit), new });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(unit),
+                new,
+            });
             oracle.assert_result_matches(&alg.result(), &units, radius, config.mode);
         }
     }
@@ -59,8 +62,7 @@ fn jagged_moves() -> Vec<(u32, Point)> {
 
 #[test]
 fn empty_place_set() {
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(4), vec![]));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(Grid::unit_square(4), vec![]));
     drive_and_check(
         CtupConfig::with_k(5),
         store,
@@ -75,8 +77,7 @@ fn k_larger_than_place_count() {
         Place::point(PlaceId(0), Point::new(0.2, 0.2), 3),
         Place::point(PlaceId(1), Point::new(0.8, 0.8), 1),
     ];
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(4), places));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(Grid::unit_square(4), places));
     drive_and_check(
         CtupConfig::with_k(10),
         store,
@@ -90,8 +91,7 @@ fn single_cell_grid() {
     let places: Vec<Place> = (0..30)
         .map(|i| Place::point(PlaceId(i), Point::new(i as f64 / 30.0, 0.5), 1 + i % 4))
         .collect();
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(1), places));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(Grid::unit_square(1), places));
     drive_and_check(
         CtupConfig::with_k(5),
         store,
@@ -106,9 +106,11 @@ fn protection_range_covering_the_whole_space() {
     let places: Vec<Place> = (0..20)
         .map(|i| Place::point(PlaceId(i), Point::new(i as f64 / 20.0, 0.3), 1 + i % 3))
         .collect();
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(5), places));
-    let config = CtupConfig { protection_radius: 2.0, ..CtupConfig::with_k(4) };
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(Grid::unit_square(5), places));
+    let config = CtupConfig {
+        protection_radius: 2.0,
+        ..CtupConfig::with_k(4)
+    };
     drive_and_check(config, store, vec![Point::new(0.5, 0.5)], &jagged_moves());
 }
 
@@ -117,19 +119,21 @@ fn tiny_protection_range() {
     let places: Vec<Place> = (0..20)
         .map(|i| Place::point(PlaceId(i), Point::new(i as f64 / 20.0, 0.5), 1))
         .collect();
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(5), places));
-    let config = CtupConfig { protection_radius: 1e-6, ..CtupConfig::with_k(3) };
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(Grid::unit_square(5), places));
+    let config = CtupConfig {
+        protection_radius: 1e-6,
+        ..CtupConfig::with_k(3)
+    };
     drive_and_check(config, store, vec![Point::new(0.5, 0.5)], &jagged_moves());
 }
 
 #[test]
 fn stacked_places_and_units() {
     // Many places at the same position, unit exactly on top of them.
-    let places: Vec<Place> =
-        (0..10).map(|i| Place::point(PlaceId(i), Point::new(0.5, 0.5), i)).collect();
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(3), places));
+    let places: Vec<Place> = (0..10)
+        .map(|i| Place::point(PlaceId(i), Point::new(0.5, 0.5), i))
+        .collect();
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(Grid::unit_square(3), places));
     let units = vec![Point::new(0.5, 0.5), Point::new(0.5, 0.5)];
     let oracle = Oracle::from_store(store.as_ref());
     let config = CtupConfig::with_k(4);
@@ -144,7 +148,10 @@ fn stacked_places_and_units() {
     ] {
         positions[unit as usize] = new;
         for alg in algs.iter_mut() {
-            alg.handle_update(LocationUpdate { unit: UnitId(unit), new });
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(unit),
+                new,
+            });
             oracle.assert_result_matches(&alg.result(), &positions, 0.1, QueryMode::TopK(4));
         }
     }
@@ -152,10 +159,10 @@ fn stacked_places_and_units() {
 
 #[test]
 fn threshold_never_matched() {
-    let places: Vec<Place> =
-        (0..15).map(|i| Place::point(PlaceId(i), Point::new(i as f64 / 15.0, 0.5), 0)).collect();
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(4), places));
+    let places: Vec<Place> = (0..15)
+        .map(|i| Place::point(PlaceId(i), Point::new(i as f64 / 15.0, 0.5), 0))
+        .collect();
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(Grid::unit_square(4), places));
     let config = CtupConfig {
         mode: QueryMode::Threshold(-100),
         ..CtupConfig::paper_default()
@@ -163,7 +170,10 @@ fn threshold_never_matched() {
     let mut opt = OptCtup::new(config, store.clone(), &[Point::new(0.5, 0.5)]);
     assert!(opt.result().is_empty());
     for (unit, new) in jagged_moves() {
-        opt.handle_update(LocationUpdate { unit: UnitId(unit), new });
+        opt.handle_update(LocationUpdate {
+            unit: UnitId(unit),
+            new,
+        });
         assert!(opt.result().is_empty());
     }
     // Nothing can ever cross the threshold, so no cell is ever accessed.
@@ -174,10 +184,15 @@ fn threshold_never_matched() {
 fn zero_required_protection_everywhere() {
     // All safeties are >= 0; the top-k is still well-defined.
     let places: Vec<Place> = (0..25)
-        .map(|i| Place::point(PlaceId(i), Point::new((i % 5) as f64 / 5.0, (i / 5) as f64 / 5.0), 0))
+        .map(|i| {
+            Place::point(
+                PlaceId(i),
+                Point::new((i % 5) as f64 / 5.0, (i / 5) as f64 / 5.0),
+                0,
+            )
+        })
         .collect();
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(5), places));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(Grid::unit_square(5), places));
     drive_and_check(
         CtupConfig::with_k(6),
         store,

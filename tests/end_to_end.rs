@@ -16,13 +16,18 @@ use std::sync::Arc;
 fn workload(seed: u64) -> (Workload, Arc<dyn PlaceStore>, Vec<Point>) {
     let params = WorkloadParams {
         num_units: 25,
-        places: PlaceGenConfig { count: 1_500, ..PlaceGenConfig::default() },
+        places: PlaceGenConfig {
+            count: 1_500,
+            ..PlaceGenConfig::default()
+        },
         seed,
         ..WorkloadParams::default()
     };
     let workload = Workload::generate(params);
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(8), workload.places_vec()));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(8),
+        workload.places_vec(),
+    ));
     let units = workload.unit_positions();
     (workload, store, units)
 }
@@ -44,8 +49,10 @@ fn all_algorithms_track_the_oracle_on_a_road_workload() {
     }
 
     for (step, update) in workload.next_updates(400).into_iter().enumerate() {
-        let location_update =
-            LocationUpdate { unit: UnitId(update.object), new: update.to };
+        let location_update = LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        };
         units[update.object as usize] = update.to;
         for alg in algs.iter_mut() {
             alg.handle_update(location_update);
@@ -76,8 +83,10 @@ fn grid_schemes_do_less_work_than_the_baselines() {
     let mut opt = OptCtup::new(config.clone(), store.clone(), &units);
     let io_before = store.stats().snapshot();
     for update in workload.next_updates(500) {
-        let location_update =
-            LocationUpdate { unit: UnitId(update.object), new: update.to };
+        let location_update = LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        };
         basic.handle_update(location_update);
         opt.handle_update(location_update);
     }
@@ -86,7 +95,11 @@ fn grid_schemes_do_less_work_than_the_baselines() {
     // update-and-place: 500 updates over 64 cells must not read more than
     // a few thousand cells in total (the naive baseline would read
     // 64 cells * 500 updates = 32000).
-    assert!(io.cell_reads < 6_000, "grid schemes read {} cells", io.cell_reads);
+    assert!(
+        io.cell_reads < 6_000,
+        "grid schemes read {} cells",
+        io.cell_reads
+    );
     // Opt maintains fewer or equally many places than Basic *per cell it
     // covers*; globally it must stay well below the full place count.
     assert!(opt.maintained_places() < store.num_places() / 2);
@@ -100,13 +113,18 @@ fn adversarial_teleport_stream_stays_correct() {
     // maintenance. Correctness must not depend on locality.
     let params = WorkloadParams {
         num_units: 20,
-        places: PlaceGenConfig { count: 1_000, ..PlaceGenConfig::default() },
+        places: PlaceGenConfig {
+            count: 1_000,
+            ..PlaceGenConfig::default()
+        },
         seed: 14,
         ..WorkloadParams::default()
     };
     let workload = Workload::generate(params);
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(8), workload.places_vec()));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(8),
+        workload.places_vec(),
+    ));
     let mut units = workload.unit_positions();
     let oracle = Oracle::from_store(store.as_ref());
     let config = CtupConfig::with_k(10);
@@ -117,8 +135,10 @@ fn adversarial_teleport_stream_stays_correct() {
     // only the stream's absolute target positions matter here.
     let mut teleports = ctup::mogen::TeleportSim::new(20, 14);
     for (step, update) in teleports.collect_updates(300).into_iter().enumerate() {
-        let location_update =
-            LocationUpdate { unit: UnitId(update.object), new: update.to };
+        let location_update = LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        };
         units[update.object as usize] = update.to;
         basic.handle_update(location_update);
         opt.handle_update(location_update);
@@ -147,8 +167,10 @@ fn extent_workload_is_monitored_correctly() {
         ..WorkloadParams::default()
     };
     let mut workload = Workload::generate(params);
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(8), workload.places_vec()));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(8),
+        workload.places_vec(),
+    ));
     let mut units = workload.unit_positions();
     let oracle = Oracle::from_store(store.as_ref());
     let config = CtupConfig::with_k(8);
@@ -156,8 +178,10 @@ fn extent_workload_is_monitored_correctly() {
     let mut opt = OptCtup::new(config, store, &units);
     oracle.assert_result_matches(&opt.result(), &units, 0.1, QueryMode::TopK(8));
     for (step, update) in workload.next_updates(250).into_iter().enumerate() {
-        let location_update =
-            LocationUpdate { unit: UnitId(update.object), new: update.to };
+        let location_update = LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        };
         units[update.object as usize] = update.to;
         basic.handle_update(location_update);
         opt.handle_update(location_update);

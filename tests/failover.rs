@@ -15,13 +15,18 @@ use std::sync::Arc;
 fn setup(seed: u64) -> (Workload, Arc<dyn PlaceStore>) {
     let params = WorkloadParams {
         num_units: 30,
-        places: PlaceGenConfig { count: 2_000, ..PlaceGenConfig::default() },
+        places: PlaceGenConfig {
+            count: 2_000,
+            ..PlaceGenConfig::default()
+        },
         seed,
         ..WorkloadParams::default()
     };
     let workload = Workload::generate(params);
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(8), workload.places_vec()));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(8),
+        workload.places_vec(),
+    ));
     (workload, store)
 }
 
@@ -33,16 +38,26 @@ fn restored_monitor_is_indistinguishable_from_the_primary() {
 
     // Warm phase on the primary.
     for update in workload.next_updates(500) {
-        primary.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+        primary.handle_update(LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        });
     }
 
     // Checkpoint, serialize through the text codec, restore on a "standby".
     let mut buf = Vec::new();
-    primary.checkpoint().write(&mut buf).expect("write checkpoint");
+    primary
+        .checkpoint()
+        .write(&mut buf)
+        .expect("write checkpoint");
     let restored_cp = Checkpoint::read(buf.as_slice()).expect("read checkpoint");
-    let mut standby = OptCtup::restore(restored_cp, store.clone());
+    let mut standby = OptCtup::restore(restored_cp, store.clone()).expect("restore checkpoint");
 
-    assert_eq!(standby.result(), primary.result(), "results differ right after restore");
+    assert_eq!(
+        standby.result(),
+        primary.result(),
+        "results differ right after restore"
+    );
     assert_eq!(standby.sk(), primary.sk());
     assert_eq!(standby.maintained_places(), primary.maintained_places());
     assert_eq!(standby.dechash_len(), primary.dechash_len());
@@ -54,8 +69,10 @@ fn restored_monitor_is_indistinguishable_from_the_primary() {
     let p_before = primary.metrics().clone();
     let s_before = standby.metrics().clone();
     for update in workload.next_updates(500) {
-        let location_update =
-            LocationUpdate { unit: UnitId(update.object), new: update.to };
+        let location_update = LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        };
         primary.handle_update(location_update);
         standby.handle_update(location_update);
         assert_eq!(standby.result(), primary.result());
@@ -64,7 +81,10 @@ fn restored_monitor_is_indistinguishable_from_the_primary() {
     let s_delta = standby.metrics().since(&s_before);
     assert_eq!(p_delta.cells_accessed, s_delta.cells_accessed);
     assert_eq!(p_delta.lb_decrements, s_delta.lb_decrements);
-    assert_eq!(p_delta.lb_decrements_suppressed, s_delta.lb_decrements_suppressed);
+    assert_eq!(
+        p_delta.lb_decrements_suppressed,
+        s_delta.lb_decrements_suppressed
+    );
     standby.check_lb_invariant();
 
     let io = store.stats().snapshot().since(&io_before);
@@ -90,8 +110,10 @@ fn checkpoint_roundtrips_with_extents_and_threshold_mode() {
         ..WorkloadParams::default()
     };
     let mut workload = Workload::generate(params);
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(6), workload.places_vec()));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(6),
+        workload.places_vec(),
+    ));
     let units = workload.unit_positions();
     let config = CtupConfig {
         mode: ctup::core::QueryMode::Threshold(-2),
@@ -99,15 +121,21 @@ fn checkpoint_roundtrips_with_extents_and_threshold_mode() {
     };
     let mut primary = OptCtup::new(config, store.clone(), &units);
     for update in workload.next_updates(200) {
-        primary.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+        primary.handle_update(LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        });
     }
     let mut buf = Vec::new();
     primary.checkpoint().write(&mut buf).unwrap();
-    let mut standby = OptCtup::restore(Checkpoint::read(buf.as_slice()).unwrap(), store);
+    let mut standby = OptCtup::restore(Checkpoint::read(buf.as_slice()).unwrap(), store)
+        .expect("restore checkpoint");
     assert_eq!(standby.result(), primary.result());
     for update in workload.next_updates(200) {
-        let location_update =
-            LocationUpdate { unit: UnitId(update.object), new: update.to };
+        let location_update = LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        };
         primary.handle_update(location_update);
         standby.handle_update(location_update);
         assert_eq!(standby.result(), primary.result());

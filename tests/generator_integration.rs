@@ -16,7 +16,10 @@ use std::sync::Arc;
 fn small_params(seed: u64) -> WorkloadParams {
     WorkloadParams {
         num_units: 12,
-        places: PlaceGenConfig { count: 400, ..PlaceGenConfig::default() },
+        places: PlaceGenConfig {
+            count: 400,
+            ..PlaceGenConfig::default()
+        },
         seed,
         ..WorkloadParams::default()
     }
@@ -25,15 +28,20 @@ fn small_params(seed: u64) -> WorkloadParams {
 #[test]
 fn server_event_stream_replays_to_the_current_result() {
     let mut workload = Workload::generate(small_params(31));
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(6), workload.places_vec()));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(6),
+        workload.places_vec(),
+    ));
     let units = workload.unit_positions();
     let alg = OptCtup::new(CtupConfig::with_k(6), store, &units);
     let mut server = Server::new(alg);
 
     // Maintain a replica purely from the event stream.
-    let mut replica: HashMap<PlaceId, i64> =
-        server.result().iter().map(|e| (e.place, e.safety)).collect();
+    let mut replica: HashMap<PlaceId, i64> = server
+        .result()
+        .iter()
+        .map(|e| (e.place, e.safety))
+        .collect();
     for update in workload.next_updates(500) {
         let (events, _) = server.ingest(LocationUpdate {
             unit: UnitId(update.object),
@@ -42,10 +50,16 @@ fn server_event_stream_replays_to_the_current_result() {
         for event in events {
             match event {
                 MonitorEvent::Entered { place, safety } => {
-                    assert!(replica.insert(place, safety).is_none(), "{place:?} entered twice");
+                    assert!(
+                        replica.insert(place, safety).is_none(),
+                        "{place:?} entered twice"
+                    );
                 }
                 MonitorEvent::Left { place } => {
-                    assert!(replica.remove(&place).is_some(), "{place:?} left but absent");
+                    assert!(
+                        replica.remove(&place).is_some(),
+                        "{place:?} left but absent"
+                    );
                 }
                 MonitorEvent::SafetyChanged { place, old, new } => {
                     let slot = replica.get_mut(&place).expect("changed but absent");
@@ -54,8 +68,11 @@ fn server_event_stream_replays_to_the_current_result() {
                 }
             }
         }
-        let truth: HashMap<PlaceId, i64> =
-            server.result().iter().map(|e| (e.place, e.safety)).collect();
+        let truth: HashMap<PlaceId, i64> = server
+            .result()
+            .iter()
+            .map(|e| (e.place, e.safety))
+            .collect();
         assert_eq!(replica, truth, "replica diverged from result");
     }
 }
@@ -90,12 +107,17 @@ fn network_constrained_units_respect_city_geometry() {
 #[test]
 fn monitoring_costs_scale_with_update_count() {
     let mut workload = Workload::generate(small_params(34));
-    let store: Arc<dyn PlaceStore> =
-        Arc::new(CellLocalStore::build(Grid::unit_square(6), workload.places_vec()));
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(6),
+        workload.places_vec(),
+    ));
     let units = workload.unit_positions();
     let mut alg = OptCtup::new(CtupConfig::with_k(6), store, &units);
     for update in workload.next_updates(250) {
-        alg.handle_update(LocationUpdate { unit: UnitId(update.object), new: update.to });
+        alg.handle_update(LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        });
     }
     let m = alg.metrics();
     assert_eq!(m.updates_processed, 250);

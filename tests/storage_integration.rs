@@ -15,7 +15,10 @@ use std::sync::Arc;
 fn opt_ctup_is_identical_over_memory_and_disk_stores() {
     let params = WorkloadParams {
         num_units: 20,
-        places: PlaceGenConfig { count: 2_000, ..PlaceGenConfig::default() },
+        places: PlaceGenConfig {
+            count: 2_000,
+            ..PlaceGenConfig::default()
+        },
         seed: 21,
         ..WorkloadParams::default()
     };
@@ -23,15 +26,16 @@ fn opt_ctup_is_identical_over_memory_and_disk_stores() {
     let grid = Grid::unit_square(8);
     let mem: Arc<dyn PlaceStore> =
         Arc::new(CellLocalStore::build(grid.clone(), workload.places_vec()));
-    let disk: Arc<dyn PlaceStore> =
-        Arc::new(PagedDiskStore::build(grid, workload.places_vec(), 0));
+    let disk: Arc<dyn PlaceStore> = Arc::new(PagedDiskStore::build(grid, workload.places_vec(), 0));
     let units = workload.unit_positions();
     let mut over_mem = OptCtup::new(CtupConfig::paper_default(), mem.clone(), &units);
     let mut over_disk = OptCtup::new(CtupConfig::paper_default(), disk.clone(), &units);
     assert_eq!(over_mem.result(), over_disk.result());
     for update in workload.next_updates(300) {
-        let location_update =
-            LocationUpdate { unit: UnitId(update.object), new: update.to };
+        let location_update = LocationUpdate {
+            unit: UnitId(update.object),
+            new: update.to,
+        };
         over_mem.handle_update(location_update);
         over_disk.handle_update(location_update);
         assert_eq!(over_mem.result(), over_disk.result());
@@ -47,8 +51,11 @@ fn opt_ctup_is_identical_over_memory_and_disk_stores() {
 
 #[test]
 fn simulated_page_latency_is_observed_and_accounted() {
-    let places = PlaceGenerator::new(PlaceGenConfig { count: 3_000, ..Default::default() })
-        .generate(5);
+    let places = PlaceGenerator::new(PlaceGenConfig {
+        count: 3_000,
+        ..Default::default()
+    })
+    .generate(5);
     let disk = PagedDiskStore::build(Grid::unit_square(4), places, 50_000);
     let start = std::time::Instant::now();
     for cell in Grid::unit_square(4).cells() {
@@ -57,13 +64,23 @@ fn simulated_page_latency_is_observed_and_accounted() {
     let elapsed = start.elapsed().as_nanos() as u64;
     let io = disk.stats().snapshot();
     assert!(io.io_nanos >= io.pages_read * 50_000);
-    assert!(elapsed >= io.io_nanos, "wall {elapsed} < simulated {}", io.io_nanos);
+    assert!(
+        elapsed >= io.io_nanos,
+        "wall {elapsed} < simulated {}",
+        io.io_nanos
+    );
 }
 
 #[test]
 fn generated_datasets_roundtrip_through_snapshots() {
     for (seed, config) in [
-        (1u64, PlaceGenConfig { count: 500, ..Default::default() }),
+        (
+            1u64,
+            PlaceGenConfig {
+                count: 500,
+                ..Default::default()
+            },
+        ),
         (
             2,
             PlaceGenConfig {
