@@ -134,17 +134,13 @@ pub fn fig3(_effort: Effort) -> Table {
     ] {
         // Best of five: construction is milliseconds, so scheduler noise on
         // a shared machine easily dominates a single sample.
-        let mut best: Option<Box<dyn ctup_core::CtupAlgorithm>> = None;
-        for _ in 0..5 {
-            let alg = kind.build(&setup);
-            if best
-                .as_ref()
-                .is_none_or(|b| alg.init_stats().wall < b.init_stats().wall)
-            {
-                best = Some(alg);
+        let mut alg = kind.build(&setup);
+        for _ in 0..4 {
+            let candidate = kind.build(&setup);
+            if candidate.init_stats().wall < alg.init_stats().wall {
+                alg = candidate;
             }
         }
-        let alg = best.expect("five builds");
         let init = alg.init_stats();
         rows.push(vec![
             kind.label().into(),

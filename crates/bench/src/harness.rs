@@ -55,6 +55,14 @@ pub struct Setup {
     workload: Workload,
 }
 
+impl std::fmt::Debug for Setup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Setup")
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Setup {
     /// Produces the next `n` location updates of the stream.
     pub fn next_updates(&mut self, n: usize) -> Vec<LocationUpdate> {

@@ -143,6 +143,18 @@ fn report_costs(alg: &dyn CtupAlgorithm, out: &mut dyn Write) -> Result<(), CliE
         m.result_changes,
     )
     .map_err(|e| io_err("stdout", e))?;
+    writeln!(
+        out,
+        "work: {} places loaded | lb +{}/-{} ({} suppressed by DOO) | {} cells darkened | {} maintained at peak | dechash {}",
+        m.places_loaded,
+        m.lb_increments,
+        m.lb_decrements,
+        m.lb_decrements_suppressed,
+        m.cells_darkened,
+        m.maintained_peak,
+        m.dechash_len,
+    )
+    .map_err(|e| io_err("stdout", e))?;
     Ok(())
 }
 

@@ -16,7 +16,7 @@ use crate::maintained::MaintainedSet;
 use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId, LB_NONE};
 use crate::units::UnitTable;
-use ctup_spatial::{CellId, Circle, Grid, Point};
+use ctup_spatial::{convert, CellId, Circle, Grid, Point};
 use ctup_storage::PlaceStore;
 use lb::basic_lb_delta;
 use std::collections::HashSet;
@@ -36,6 +36,14 @@ pub struct BasicCtup {
     last_result: Vec<TopKEntry>,
     metrics: Metrics,
     init_stats: InitStats,
+}
+
+impl std::fmt::Debug for BasicCtup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BasicCtup")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl BasicCtup {
@@ -80,7 +88,8 @@ impl BasicCtup {
 
         // Init costs are reported separately from steady-state metrics.
         this.metrics = Metrics::default();
-        this.metrics.set_maintained(this.maintained.len() as u64);
+        this.metrics
+            .set_maintained(convert::count64(this.maintained.len()));
         this.last_result = this.maintained.result(this.config.mode);
         this.init_stats = InitStats {
             wall: start.elapsed(),
@@ -94,7 +103,7 @@ impl BasicCtup {
     fn illuminate(&mut self, cell: CellId) {
         let records = self.store.read_cell(cell).into_owned();
         self.metrics.cells_accessed += 1;
-        self.metrics.places_loaded += records.len() as u64;
+        self.metrics.places_loaded += convert::count64(records.len());
         for record in records {
             let safety = self.units.safety(&record);
             self.maintained.insert(record, safety, cell);
@@ -207,7 +216,7 @@ impl CtupAlgorithm for BasicCtup {
                 }
             }
         }
-        let maintain_nanos = maintain_start.elapsed().as_nanos() as u64;
+        let maintain_nanos = convert::nanos64(maintain_start.elapsed().as_nanos());
 
         // Step 3: illuminate every dark cell whose bound fell below SK.
         let access_start = Instant::now();
@@ -215,14 +224,12 @@ impl CtupAlgorithm for BasicCtup {
 
         // Step 4: darken illuminated cells that hold no result place.
         let result = self.maintained.result(self.config.mode);
+        // Every result place is maintained by construction; filter_map keeps
+        // the keep-set sound (a dropped cell only darkens conservatively)
+        // instead of panicking mid-update if that invariant ever broke.
         let keep: HashSet<CellId> = result
             .iter()
-            .map(|e| {
-                self.maintained
-                    .get(e.place)
-                    .expect("result is maintained")
-                    .cell
-            })
+            .filter_map(|e| self.maintained.get(e.place).map(|m| m.cell))
             .collect();
         let all_cells: Vec<CellId> = self.maintained.cells().collect();
         for cell in all_cells {
@@ -230,7 +237,7 @@ impl CtupAlgorithm for BasicCtup {
                 self.darken(cell);
             }
         }
-        let access_nanos = access_start.elapsed().as_nanos() as u64;
+        let access_nanos = convert::nanos64(access_start.elapsed().as_nanos());
 
         let changed = result != self.last_result;
         self.last_result = result;
@@ -238,7 +245,8 @@ impl CtupAlgorithm for BasicCtup {
         self.metrics.updates_processed += 1;
         self.metrics.maintain_nanos += maintain_nanos;
         self.metrics.access_nanos += access_nanos;
-        self.metrics.set_maintained(self.maintained.len() as u64);
+        self.metrics
+            .set_maintained(convert::count64(self.maintained.len()));
         if changed {
             self.metrics.result_changes += 1;
         }

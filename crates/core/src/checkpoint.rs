@@ -93,6 +93,14 @@ pub trait Checkpointable: crate::algorithm::CtupAlgorithm + Sized {
     fn store(&self) -> Arc<dyn PlaceStore>;
 }
 
+/// Version of the on-disk checkpoint format.
+///
+/// Any change to the serialized shape of [`Checkpoint`] or the types it
+/// embeds must bump this constant — `cargo xtask lint` (rule L005)
+/// fingerprints those type definitions and fails when they drift without a
+/// version bump, so a standby never misreads a primary's checkpoint.
+pub const FORMAT_VERSION: u32 = 2;
+
 const HEADER: &str = "#ctup-checkpoint v2";
 const VERSION_PREFIX: &str = "#ctup-checkpoint ";
 
@@ -192,8 +200,8 @@ impl Checkpoint {
             "config {} {} {} {}",
             self.config.protection_radius,
             self.config.delta,
-            self.config.doo_enabled as u8,
-            self.config.purge_dechash_on_access as u8
+            u8::from(self.config.doo_enabled),
+            u8::from(self.config.purge_dechash_on_access)
         )?;
         writeln!(w, "units {}", self.unit_positions.len())?;
         for p in &self.unit_positions {
@@ -237,8 +245,8 @@ impl Checkpoint {
                 writeln!(w, "gate {} {}", gate.now, gate.units.len())?;
                 for u in &gate.units {
                     match u.last_seq {
-                        None => writeln!(w, "- {} {}", u.last_seen, u.alive as u8)?,
-                        Some(seq) => writeln!(w, "{seq} {} {}", u.last_seen, u.alive as u8)?,
+                        None => writeln!(w, "- {} {}", u.last_seen, u8::from(u.alive))?,
+                        Some(seq) => writeln!(w, "{seq} {} {}", u.last_seen, u8::from(u.alive))?,
                     }
                 }
             }
@@ -474,6 +482,11 @@ impl Checkpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn header_carries_format_version() {
+        assert_eq!(HEADER, format!("#ctup-checkpoint v{FORMAT_VERSION}"));
+    }
 
     fn sample() -> Checkpoint {
         Checkpoint {

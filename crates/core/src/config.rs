@@ -91,6 +91,7 @@ impl CtupConfig {
     /// Panics on non-positive radius, `TopK(0)`, or negative `Δ`.
     pub fn validate(&self) {
         if let Err(message) = self.check() {
+            // ctup-lint: allow(L001, documented `# Panics` wrapper over the fallible check() — construction-time misconfiguration is a programming error)
             panic!("{message}");
         }
     }

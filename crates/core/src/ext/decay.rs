@@ -12,7 +12,7 @@
 //! separate monitor rather than a mode of `OptCtup`.
 
 use crate::types::{Place, PlaceId};
-use ctup_spatial::{CellId, Circle, Grid, Point, UnitGridIndex};
+use ctup_spatial::{convert, CellId, Circle, Grid, Point, UnitGridIndex};
 use ctup_storage::PlaceStore;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -187,6 +187,15 @@ pub struct DecayCtup {
     pub cells_accessed: u64,
 }
 
+impl std::fmt::Debug for DecayCtup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecayCtup")
+            .field("config", &self.config)
+            .field("cells_accessed", &self.cells_accessed)
+            .finish_non_exhaustive()
+    }
+}
+
 impl DecayCtup {
     /// Builds the monitor and initializes it (exact per-cell bounds, then
     /// accesses in increasing bound order).
@@ -202,7 +211,7 @@ impl DecayCtup {
         let grid = store.grid().clone();
         let mut index = UnitGridIndex::new(grid.clone());
         for (i, &p) in initial_units.iter().enumerate() {
-            index.insert(i as u32, p);
+            index.insert(convert::id32(i), p);
         }
         let num_cells = grid.num_cells();
         let mut this = DecayCtup {
@@ -213,7 +222,7 @@ impl DecayCtup {
             index,
             lbs: vec![f64::INFINITY; num_cells],
             lb_order: (0..num_cells)
-                .map(|i| (TotalF64(f64::INFINITY), CellId(i as u32)))
+                .map(|i| (TotalF64(f64::INFINITY), CellId(convert::id32(i))))
                 .collect(),
             maintained: HashMap::new(),
             by_cell: HashMap::new(),
@@ -269,7 +278,10 @@ impl DecayCtup {
     fn remove_cell_places(&mut self, cell: CellId) {
         if let Some(ids) = self.by_cell.remove(&cell) {
             for id in ids {
-                let entry = self.maintained.remove(&id).expect("by_cell out of sync");
+                let Some(entry) = self.maintained.remove(&id) else {
+                    debug_assert!(false, "{id:?} in by_cell but not maintained");
+                    continue;
+                };
                 self.ordered.remove(&(TotalF64(entry.safety), id));
             }
         }
@@ -302,7 +314,10 @@ impl DecayCtup {
             for id in ids {
                 let safety = self.maintained[&id].safety;
                 if safety >= keep_below && safety > sk {
-                    let entry = self.maintained.remove(&id).expect("present");
+                    let Some(entry) = self.maintained.remove(&id) else {
+                        debug_assert!(false, "{id:?} indexed but not maintained");
+                        continue;
+                    };
                     self.ordered.remove(&(TotalF64(entry.safety), id));
                     lb = lb.min(safety);
                 } else {
@@ -333,9 +348,9 @@ impl DecayCtup {
 
     /// Processes one location update; returns the number of cells accessed.
     pub fn handle_update(&mut self, unit: u32, new: Point) -> u64 {
-        let old = self.positions[unit as usize];
+        let old = self.positions[convert::index(unit)];
         self.index.relocate(unit, old, new);
-        self.positions[unit as usize] = new;
+        self.positions[convert::index(unit)] = new;
         let kernel = self.config.kernel;
         let support = kernel.support();
 
@@ -344,7 +359,9 @@ impl DecayCtup {
         for (&id, entry) in self.maintained.iter_mut() {
             let dw =
                 kernel.weight(new.dist(entry.place.pos)) - kernel.weight(old.dist(entry.place.pos));
-            if dw != 0.0 {
+            // Skip-if-unchanged is an optimization, not a tolerance test:
+            // `abs() > 0.0` is exact for finite weights and also skips NaN.
+            if dw.abs() > 0.0 {
                 changes.push((id, entry.safety, entry.safety + dw));
                 entry.safety += dw;
             }
@@ -361,14 +378,14 @@ impl DecayCtup {
         let cells = crate::cells::touched_cells(&self.grid, &old_region, &new_region);
         for cell in cells {
             let lb = self.lbs[cell.index()];
-            if lb == f64::INFINITY {
+            if lb.is_infinite() {
                 continue; // no non-maintained places in the cell
             }
             let rect = self.grid.cell_rect(cell);
             let max_loss = kernel.weight(rect.min_dist2(old).sqrt());
             let min_gain = kernel.weight(rect.max_dist2(new).sqrt());
             let delta = min_gain - max_loss;
-            if delta != 0.0 {
+            if delta.abs() > 0.0 {
                 self.set_lb(cell, lb + delta);
             }
         }
@@ -401,7 +418,7 @@ impl DecayCtup {
     pub fn check_lb_invariant(&self, tol: f64) {
         for cell in self.grid.cells() {
             let lb = self.lbs[cell.index()];
-            if lb == f64::INFINITY {
+            if lb.is_infinite() {
                 continue;
             }
             for record in self.store.read_cell(cell).iter() {

@@ -72,7 +72,7 @@ impl VelocityTracker {
     pub fn predicted_positions(&self, horizon: f64, space: &Rect) -> Vec<Point> {
         (0..self.current.len())
             .map(|i| {
-                let unit = UnitId(i as u32);
+                let unit = UnitId(ctup_spatial::convert::id32(i));
                 let pos = self.current[i];
                 let (vx, vy) = self.velocity(unit);
                 Point::new(
@@ -90,6 +90,15 @@ pub struct PredictiveCtup {
     tracker: VelocityTracker,
     space: Rect,
     radius: f64,
+}
+
+impl std::fmt::Debug for PredictiveCtup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictiveCtup")
+            .field("space", &self.space)
+            .field("radius", &self.radius)
+            .finish_non_exhaustive()
+    }
 }
 
 impl PredictiveCtup {

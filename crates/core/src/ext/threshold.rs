@@ -20,6 +20,14 @@ pub struct ThresholdMonitor {
     threshold: Safety,
 }
 
+impl std::fmt::Debug for ThresholdMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThresholdMonitor")
+            .field("threshold", &self.threshold)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ThresholdMonitor {
     /// Builds the monitor. `base` supplies radius and Δ; its query mode is
     /// overridden with `Threshold(threshold)`.

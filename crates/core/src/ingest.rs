@@ -253,7 +253,7 @@ impl IngestGate {
                 unit.alive = false;
                 stats.lease_expiries += 1;
                 parks.push(LocationUpdate {
-                    unit: UnitId(i as u32),
+                    unit: UnitId(ctup_spatial::convert::id32(i)),
                     new: parked_position(),
                 });
             }
@@ -276,7 +276,7 @@ pub fn stamp_stream<I: IntoIterator<Item = LocationUpdate>>(updates: I) -> Vec<S
             *seq += 1;
             StampedUpdate {
                 seq: *seq,
-                ts: i as u64 + 1,
+                ts: ctup_spatial::convert::count64(i) + 1,
                 update,
             }
         })

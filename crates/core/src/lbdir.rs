@@ -8,7 +8,7 @@
 //! `BTreeSet<(lb, cell)>` mirror of the flat array is the right trade.
 
 use crate::types::{Safety, LB_NONE};
-use ctup_spatial::CellId;
+use ctup_spatial::{convert, CellId};
 use std::collections::BTreeSet;
 
 /// Per-cell lower bounds with ordered iteration.
@@ -28,7 +28,7 @@ impl LbDirectory {
     pub fn new(num_cells: usize) -> Self {
         let mut ordered = BTreeSet::new();
         for i in 0..num_cells {
-            ordered.insert((LB_NONE, CellId(i as u32)));
+            ordered.insert((LB_NONE, CellId(convert::id32(i))));
         }
         LbDirectory {
             lbs: vec![LB_NONE; num_cells],
@@ -116,7 +116,7 @@ impl LbDirectory {
             if attached {
                 count += 1;
                 assert!(
-                    self.ordered.contains(&(lb, CellId(i as u32))),
+                    self.ordered.contains(&(lb, CellId(convert::id32(i)))),
                     "cell {i} missing from ordered mirror"
                 );
             }

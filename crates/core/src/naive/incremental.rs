@@ -6,7 +6,7 @@ use crate::metrics::Metrics;
 use crate::topk::SafetyOrdered;
 use crate::types::{protects, LocationUpdate, Place, Safety, TopKEntry, UnitId};
 use crate::units::UnitTable;
-use ctup_spatial::{Circle, Grid, Point};
+use ctup_spatial::{convert, Circle, Grid, Point};
 use ctup_storage::PlaceStore;
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,6 +33,14 @@ pub struct NaiveIncremental {
     init_stats: InitStats,
 }
 
+impl std::fmt::Debug for NaiveIncremental {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NaiveIncremental")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 impl NaiveIncremental {
     /// Builds the baseline over `store` with units at `initial_units`.
     pub fn new(config: CtupConfig, store: Arc<dyn PlaceStore>, initial_units: &[Point]) -> Self {
@@ -46,7 +54,7 @@ impl NaiveIncremental {
         let mut by_cell = vec![Vec::new(); grid.num_cells()];
         for cell in grid.cells() {
             for place in store.read_cell(cell).iter() {
-                by_cell[cell.index()].push(places.len() as u32);
+                by_cell[cell.index()].push(convert::id32(places.len()));
                 places.push(place.clone());
             }
         }
@@ -71,11 +79,12 @@ impl NaiveIncremental {
             init_stats: InitStats::default(),
         };
         this.last_result = this.current_result();
-        this.metrics.set_maintained(this.places.len() as u64);
+        this.metrics
+            .set_maintained(convert::count64(this.places.len()));
         this.init_stats = InitStats {
             wall: start.elapsed(),
             storage: store.stats().snapshot().since(&io_before),
-            safeties_computed: this.places.len() as u64,
+            safeties_computed: convert::count64(this.places.len()),
         };
         this
     }
@@ -102,15 +111,15 @@ impl NaiveIncremental {
         cells.dedup();
         for cell in cells {
             for &idx in &self.by_cell[cell.index()] {
-                let place = &self.places[idx as usize];
+                let idx = convert::index(idx);
+                let place = &self.places[idx];
                 let was = protects(old, radius, place);
                 let is = protects(new, radius, place);
                 if was != is {
                     let delta: Safety = if is { 1 } else { -1 };
-                    let fresh = self.safeties[idx as usize] + delta;
-                    self.ordered
-                        .update(place.id, self.safeties[idx as usize], fresh);
-                    self.safeties[idx as usize] = fresh;
+                    let fresh = self.safeties[idx] + delta;
+                    self.ordered.update(place.id, self.safeties[idx], fresh);
+                    self.safeties[idx] = fresh;
                 }
             }
         }
@@ -134,7 +143,7 @@ impl CtupAlgorithm for NaiveIncremental {
         let changed = result != self.last_result;
         self.last_result = result;
 
-        let nanos = start.elapsed().as_nanos() as u64;
+        let nanos = convert::nanos64(start.elapsed().as_nanos());
         self.metrics.updates_processed += 1;
         self.metrics.maintain_nanos += nanos;
         if changed {

@@ -5,7 +5,7 @@ use crate::config::{CtupConfig, QueryMode};
 use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Place, Safety, TopKEntry, UnitId};
 use crate::units::UnitTable;
-use ctup_spatial::Point;
+use ctup_spatial::{convert, Point};
 use ctup_storage::PlaceStore;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -25,6 +25,14 @@ pub struct NaiveRecompute {
     result: Vec<TopKEntry>,
     metrics: Metrics,
     init_stats: InitStats,
+}
+
+impl std::fmt::Debug for NaiveRecompute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NaiveRecompute")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl NaiveRecompute {
@@ -51,7 +59,7 @@ impl NaiveRecompute {
         this.init_stats = InitStats {
             wall: start.elapsed(),
             storage: store.stats().snapshot().since(&io_before),
-            safeties_computed: this.places.len() as u64,
+            safeties_computed: convert::count64(this.places.len()),
         };
         this
     }
@@ -116,7 +124,7 @@ impl CtupAlgorithm for NaiveRecompute {
         self.recompute();
         let changed = before != self.result;
 
-        let nanos = start.elapsed().as_nanos() as u64;
+        let nanos = convert::nanos64(start.elapsed().as_nanos());
         self.metrics.updates_processed += 1;
         self.metrics.maintain_nanos += nanos;
         if changed {

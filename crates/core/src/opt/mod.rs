@@ -19,7 +19,7 @@ use crate::maintained::MaintainedSet;
 use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId, LB_NONE};
 use crate::units::UnitTable;
-use ctup_spatial::{CellId, Circle, Grid, Point, Relation};
+use ctup_spatial::{convert, CellId, Circle, Grid, Point, Relation};
 use ctup_storage::PlaceStore;
 use dechash::DecHash;
 use lb::{opt_transition, HashOp};
@@ -42,6 +42,14 @@ pub struct OptCtup {
     last_result: Vec<TopKEntry>,
     metrics: Metrics,
     init_stats: InitStats,
+}
+
+impl std::fmt::Debug for OptCtup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OptCtup")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl OptCtup {
@@ -88,7 +96,8 @@ impl OptCtup {
         this.dechash.clear();
 
         this.metrics = Metrics::default();
-        this.metrics.set_maintained(this.maintained.len() as u64);
+        this.metrics
+            .set_maintained(convert::count64(this.maintained.len()));
         this.last_result = this.maintained.result(this.config.mode);
         this.init_stats = InitStats {
             wall: start.elapsed(),
@@ -112,7 +121,7 @@ impl OptCtup {
         self.maintained.remove_cell(cell);
         let records = self.store.read_cell(cell);
         self.metrics.cells_accessed += 1;
-        self.metrics.places_loaded += records.len() as u64;
+        self.metrics.places_loaded += convert::count64(records.len());
 
         let mut safeties: Vec<Safety> = records
             .iter()
@@ -137,10 +146,12 @@ impl OptCtup {
                             break;
                         }
                     };
+                    // Both arms just peeked `Some`, so the fallbacks are
+                    // unreachable; LB_NONE degrades to "no k-th place".
                     kth = if take_cell {
-                        cell_iter.next().expect("peeked")
+                        cell_iter.next().unwrap_or(LB_NONE)
                     } else {
-                        global_iter.next().expect("peeked").0
+                        global_iter.next().map(|e| e.0).unwrap_or(LB_NONE)
                     };
                 }
                 if cell_iter.peek().is_none() && global_iter.peek().is_none() {
@@ -238,7 +249,7 @@ impl OptCtup {
                 }
             }
         }
-        self.metrics.dechash_len = self.dechash.len() as u64;
+        self.metrics.dechash_len = convert::count64(self.dechash.len());
     }
 
     /// Captures the complete higher-level state for failover
@@ -289,8 +300,8 @@ impl OptCtup {
             dechash.insert(unit, cell);
         }
         let mut metrics = Metrics::default();
-        metrics.set_maintained(maintained.len() as u64);
-        metrics.dechash_len = dechash.len() as u64;
+        metrics.set_maintained(convert::count64(maintained.len()));
+        metrics.dechash_len = convert::count64(dechash.len());
         let last_result = maintained.result(checkpoint.config.mode);
         Ok(OptCtup {
             config: checkpoint.config,
@@ -404,12 +415,12 @@ impl CtupAlgorithm for OptCtup {
 
         // Step 2: Table II lower-bound maintenance.
         self.maintain_lower_bounds(update.unit, &old_region, &new_region, &touched);
-        let maintain_nanos = maintain_start.elapsed().as_nanos() as u64;
+        let maintain_nanos = convert::nanos64(maintain_start.elapsed().as_nanos());
 
         // Step 3: access every cell whose bound fell below SK.
         let access_start = Instant::now();
         let cells_accessed = self.access_loop();
-        let access_nanos = access_start.elapsed().as_nanos() as u64;
+        let access_nanos = convert::nanos64(access_start.elapsed().as_nanos());
 
         let result = self.maintained.result(self.config.mode);
         let changed = result != self.last_result;
@@ -418,7 +429,8 @@ impl CtupAlgorithm for OptCtup {
         self.metrics.updates_processed += 1;
         self.metrics.maintain_nanos += maintain_nanos;
         self.metrics.access_nanos += access_nanos;
-        self.metrics.set_maintained(self.maintained.len() as u64);
+        self.metrics
+            .set_maintained(convert::count64(self.maintained.len()));
         if changed {
             self.metrics.result_changes += 1;
         }

@@ -45,6 +45,14 @@ pub struct Pipeline {
     worker: Option<JoinHandle<PipelineReport>>,
 }
 
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("worker_alive", &self.worker.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Errors returned by the pipeline send paths. Both are recoverable: a
 /// `Full` caller may retry or drop the report (the next report refreshes
 /// the position anyway); a `WorkerDied` caller should drain
@@ -80,6 +88,7 @@ impl Pipeline {
         assert!(capacity > 0, "capacity must be positive");
         let (updates_tx, updates_rx) = bounded::<LocationUpdate>(capacity);
         let (events_tx, events_rx) = bounded::<EventBatch>(capacity);
+        #[allow(clippy::expect_used)]
         let worker = std::thread::Builder::new()
             .name("ctup-monitor".into())
             .spawn(move || {
@@ -101,6 +110,7 @@ impl Pipeline {
                     worker_panicked: false,
                 }
             })
+            // ctup-lint: allow(L001, thread spawn fails only on OS resource exhaustion at construction — there is no monitor to degrade to yet)
             .expect("spawn ctup-monitor thread");
         Pipeline {
             updates_tx: Some(updates_tx),
@@ -114,11 +124,10 @@ impl Pipeline {
     /// can keep draining events and recover the final report via
     /// [`Pipeline::shutdown`].
     pub fn send(&self, update: LocationUpdate) -> Result<(), SendError> {
-        self.updates_tx
-            .as_ref()
-            .expect("pipeline active")
-            .send(update)
-            .map_err(|_| SendError::WorkerDied)
+        let Some(tx) = self.updates_tx.as_ref() else {
+            return Err(SendError::WorkerDied); // only after shutdown() took the sender
+        };
+        tx.send(update).map_err(|_| SendError::WorkerDied)
     }
 
     /// Sends one update without blocking; returns [`SendError::Full`] when
@@ -126,12 +135,10 @@ impl Pipeline {
     /// are refreshed by the next report anyway) and
     /// [`SendError::WorkerDied`] when the worker has panicked.
     pub fn try_send(&self, update: LocationUpdate) -> Result<(), SendError> {
-        match self
-            .updates_tx
-            .as_ref()
-            .expect("pipeline active")
-            .try_send(update)
-        {
+        let Some(tx) = self.updates_tx.as_ref() else {
+            return Err(SendError::WorkerDied); // only after shutdown() took the sender
+        };
+        match tx.try_send(update) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(SendError::Full),
             Err(TrySendError::Disconnected(_)) => Err(SendError::WorkerDied),
@@ -150,9 +157,13 @@ impl Pipeline {
     /// propagating the panic to the caller.
     pub fn shutdown(mut self) -> PipelineReport {
         self.updates_tx.take(); // close the channel -> worker loop ends
-        match self.worker.take().expect("shutdown called once").join() {
-            Ok(report) => report,
-            Err(_) => PipelineReport {
+                                // `worker` is `Some` until this method consumes `self`, so the else
+                                // arm is unreachable; degrade like a dead worker instead of
+                                // panicking at the one place callers collect their final report.
+        let report = self.worker.take().map(|w| w.join());
+        match report {
+            Some(Ok(report)) => report,
+            _ => PipelineReport {
                 updates_processed: 0,
                 events_emitted: 0,
                 metrics: Metrics::default(),

@@ -41,6 +41,15 @@ pub struct Server<A: CtupAlgorithm> {
     events_emitted: u64,
 }
 
+impl<A: CtupAlgorithm> std::fmt::Debug for Server<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("algorithm", &self.algorithm.name())
+            .field("events_emitted", &self.events_emitted)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<A: CtupAlgorithm> Server<A> {
     /// Wraps an initialized algorithm.
     pub fn new(algorithm: A) -> Self {
@@ -106,21 +115,18 @@ impl<A: CtupAlgorithm> Server<A> {
                 MonitorEvent::SafetyChanged { place, .. } => place,
                 MonitorEvent::Left { place } => place,
             });
-            let mut left: Vec<MonitorEvent> = self
+            let mut left: Vec<PlaceId> = self
                 .current
                 .keys()
                 .filter(|place| !fresh.contains_key(place))
-                .map(|&place| MonitorEvent::Left { place })
+                .copied()
                 .collect();
-            left.sort_by_key(|e| match *e {
-                MonitorEvent::Left { place } => place,
-                _ => unreachable!(),
-            });
+            left.sort_unstable();
             events.extend(entered_or_changed);
-            events.extend(left);
+            events.extend(left.into_iter().map(|place| MonitorEvent::Left { place }));
             self.current = fresh;
         }
-        self.events_emitted += events.len() as u64;
+        self.events_emitted += ctup_spatial::convert::count64(events.len());
         (events, stats)
     }
 }

@@ -32,6 +32,7 @@ use crate::pipeline::{EventBatch, SendError};
 use crate::server::Server;
 use crate::types::{LocationUpdate, TopKEntry};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ctup_spatial::convert;
 use ctup_storage::PlaceStore;
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -95,6 +96,14 @@ pub struct SupervisedPipeline {
     worker: Option<JoinHandle<SupervisedReport>>,
 }
 
+impl std::fmt::Debug for SupervisedPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedPipeline")
+            .field("worker_alive", &self.worker.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl SupervisedPipeline {
     /// Spawns the supervised worker around an initialized monitor. The
     /// ingest gate is derived from the monitor: the monitored space is the
@@ -155,9 +164,11 @@ impl SupervisedPipeline {
         assert!(capacity > 0, "capacity must be positive");
         let (reports_tx, reports_rx) = bounded::<StampedUpdate>(capacity);
         let (events_tx, events_rx) = bounded::<EventBatch>(capacity);
+        #[allow(clippy::expect_used)]
         let worker = std::thread::Builder::new()
             .name("ctup-supervisor".into())
             .spawn(move || supervise(algorithm, gate, config, reports_rx, events_tx))
+            // ctup-lint: allow(L001, thread spawn fails only on OS resource exhaustion at construction — there is no monitor to degrade to yet)
             .expect("spawn ctup-supervisor thread");
         SupervisedPipeline {
             reports_tx: Some(reports_tx),
@@ -170,22 +181,19 @@ impl SupervisedPipeline {
     /// [`SendError::WorkerDied`] once the worker has stopped (gave up, or a
     /// defect outside the contained region killed it).
     pub fn send(&self, report: StampedUpdate) -> Result<(), SendError> {
-        self.reports_tx
-            .as_ref()
-            .expect("pipeline active")
-            .send(report)
-            .map_err(|_| SendError::WorkerDied)
+        let Some(tx) = self.reports_tx.as_ref() else {
+            return Err(SendError::WorkerDied); // only after shutdown() took the sender
+        };
+        tx.send(report).map_err(|_| SendError::WorkerDied)
     }
 
     /// Sends one stamped report without blocking; [`SendError::Full`] under
     /// backpressure, [`SendError::WorkerDied`] once the worker stopped.
     pub fn try_send(&self, report: StampedUpdate) -> Result<(), SendError> {
-        match self
-            .reports_tx
-            .as_ref()
-            .expect("pipeline active")
-            .try_send(report)
-        {
+        let Some(tx) = self.reports_tx.as_ref() else {
+            return Err(SendError::WorkerDied); // only after shutdown() took the sender
+        };
+        match tx.try_send(report) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(SendError::Full),
             Err(TrySendError::Disconnected(_)) => Err(SendError::WorkerDied),
@@ -201,12 +209,15 @@ impl SupervisedPipeline {
     /// Closes the report channel, drains the worker and returns its report.
     pub fn shutdown(mut self) -> SupervisedReport {
         self.reports_tx.take();
-        match self.worker.take().expect("shutdown called once").join() {
-            Ok(report) => report,
+        // `worker` is `Some` until this method consumes `self`, so the
+        // `None` arm is unreachable; it degrades like a defective worker.
+        let outcome = self.worker.take().map(|w| w.join());
+        match outcome {
+            Some(Ok(report)) => report,
             // The supervisor contains processor panics; reaching this arm
             // means the supervision loop itself is defective. Degrade to a
             // gave-up report rather than propagating.
-            Err(_) => SupervisedReport {
+            _ => SupervisedReport {
                 reports_received: 0,
                 updates_processed: 0,
                 events_emitted: 0,
@@ -267,6 +278,7 @@ where
                 let inject = panic_at.remove(&eff_seq);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     if inject {
+                        // ctup-lint: allow(L001, deliberate fault injection — this panic exists to exercise the catch_unwind/recovery path around it)
                         panic!("injected fault at effective update {eff_seq}");
                     }
                     server.ingest(update)
@@ -274,7 +286,7 @@ where
                 match outcome {
                     Ok((events, _)) => {
                         if !events.is_empty() {
-                            events_emitted += events.len() as u64;
+                            events_emitted += convert::count64(events.len());
                             // Consumers hanging up must not stop monitoring.
                             let _ = events_tx.send(EventBatch {
                                 seq: eff_seq,
@@ -284,7 +296,7 @@ where
                         eff_seq += 1;
                         tail.push(update);
                         if config.checkpoint_every > 0
-                            && tail.len() as u64 >= config.checkpoint_every
+                            && convert::count64(tail.len()) >= config.checkpoint_every
                         {
                             let mut c = server.algorithm().checkpoint();
                             c.gate = Some(gate.state());
@@ -311,7 +323,7 @@ where
                         match recover::<A>(base.clone(), store.clone(), &tail) {
                             Ok((recovered, suppressed)) => {
                                 server = recovered;
-                                stats.updates_replayed += tail.len() as u64;
+                                stats.updates_replayed += convert::count64(tail.len());
                                 stats.events_suppressed += suppressed;
                                 // ...then retry the crashing update.
                             }
@@ -369,7 +381,7 @@ where
         let mut suppressed = 0u64;
         for &update in tail {
             let (events, _) = server.ingest(update);
-            suppressed += events.len() as u64;
+            suppressed += convert::count64(events.len());
         }
         Ok((server, suppressed))
     }))

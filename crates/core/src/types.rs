@@ -21,7 +21,7 @@ impl UnitId {
     /// The id as a `usize` index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        ctup_spatial::convert::index(self.0)
     }
 }
 

@@ -2,7 +2,7 @@
 //! for counting protectors.
 
 use crate::types::{protects, LocationUpdate, Place, Safety, Unit, UnitId};
-use ctup_spatial::{Circle, Grid, Point, UnitGridIndex};
+use ctup_spatial::{convert, Circle, Grid, Point, UnitGridIndex};
 
 /// Positions of all units with a grid index for `AP(p)` computation.
 #[derive(Debug)]
@@ -18,7 +18,7 @@ impl UnitTable {
         assert!(radius > 0.0, "protection radius must be positive");
         let mut index = UnitGridIndex::new(grid);
         for (i, &p) in initial.iter().enumerate() {
-            index.insert(i as u32, p);
+            index.insert(convert::id32(i), p);
         }
         UnitTable {
             positions: initial.to_vec(),
@@ -89,7 +89,7 @@ impl UnitTable {
     /// Iterates all units in id order.
     pub fn iter(&self) -> impl Iterator<Item = Unit> + '_ {
         self.positions.iter().enumerate().map(|(i, &pos)| Unit {
-            id: UnitId(i as u32),
+            id: UnitId(convert::id32(i)),
             pos,
         })
     }

@@ -156,7 +156,9 @@ impl MovingObjectSim {
                         break; // isolated node
                     }
                 }
-                let target = *obj.path.last().expect("non-empty path");
+                let Some(&target) = obj.path.last() else {
+                    break;
+                };
                 let target_pos = self.net.node_pos(target);
                 let speed = Self::speed_between(&self.net, obj.at, target);
                 let dist = obj.pos.dist(target_pos);

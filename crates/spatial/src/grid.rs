@@ -6,6 +6,7 @@
 //! vectors.
 
 use crate::circle::Circle;
+use crate::convert;
 use crate::point::Point;
 use crate::rect::Rect;
 use serde::{Deserialize, Serialize};
@@ -18,7 +19,7 @@ impl CellId {
     /// The cell id as a `usize` index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        convert::index(self.0)
     }
 }
 
@@ -79,7 +80,7 @@ impl Grid {
     /// Total number of cells.
     #[inline]
     pub fn num_cells(&self) -> usize {
-        self.gx as usize * self.gy as usize
+        convert::index(self.gx) * convert::index(self.gy)
     }
 
     /// Cell width.
@@ -97,13 +98,13 @@ impl Grid {
     #[inline]
     fn col_of(&self, x: f64) -> u32 {
         let c = ((x - self.space.lo.x) / self.cell_w).floor();
-        (c.max(0.0) as u32).min(self.gx - 1)
+        convert::grid_coord(c, self.gx - 1)
     }
 
     #[inline]
     fn row_of(&self, y: f64) -> u32 {
         let r = ((y - self.space.lo.y) / self.cell_h).floor();
-        (r.max(0.0) as u32).min(self.gy - 1)
+        convert::grid_coord(r, self.gy - 1)
     }
 
     /// Cell containing `p`. Points outside the space are clamped to the
@@ -137,7 +138,7 @@ impl Grid {
 
     /// Iterator over all cell ids in row-major order.
     pub fn cells(&self) -> impl Iterator<Item = CellId> {
-        (0..self.num_cells() as u32).map(CellId)
+        (0..convert::id32(self.num_cells())).map(CellId)
     }
 
     /// Iterator over the ids of cells whose rectangle intersects `rect`.

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod circle;
+pub mod convert;
 pub mod grid;
 pub mod point;
 pub mod rect;

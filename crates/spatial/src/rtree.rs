@@ -249,13 +249,13 @@ impl<T> RTree<T> {
     /// Inserts an item keyed by `rect`.
     pub fn insert(&mut self, rect: Rect, item: T) {
         self.len += 1;
-        match &mut self.root {
+        match self.root.take() {
             None => self.root = Some(Node::leaf(vec![(rect, item)])),
-            Some(root) => {
-                if let Some(sibling) = root.insert(rect, item) {
-                    let old = self.root.take().expect("root present");
-                    self.root = Some(Node::inner(vec![old, sibling]));
-                }
+            Some(mut root) => {
+                self.root = Some(match root.insert(rect, item) {
+                    Some(sibling) => Node::inner(vec![root, sibling]),
+                    None => root,
+                });
             }
         }
     }
@@ -276,7 +276,12 @@ impl<T> RTree<T> {
         let mut entries = items;
         // Tile into vertical slabs of ~sqrt(n / MAX) columns.
         let leaf_count = len.div_ceil(MAX_ENTRIES);
-        let slabs = (leaf_count as f64).sqrt().ceil() as usize;
+        // Ceiling integer square root: the float round-trip would be a
+        // truncating cast (lint L003) and is inexact above 2^53 anyway.
+        let mut slabs = leaf_count.isqrt();
+        if slabs * slabs < leaf_count {
+            slabs += 1;
+        }
         let per_slab = len.div_ceil(slabs);
         entries.sort_by(|a, b| {
             a.0.center()
@@ -456,9 +461,7 @@ impl<T> RTree<T> {
         loop {
             let shrink = match &mut self.root {
                 Some(r) => match &mut r.kind {
-                    Kind::Inner(children) if children.len() == 1 => {
-                        Some(children.pop().expect("len 1"))
-                    }
+                    Kind::Inner(children) if children.len() == 1 => children.pop(),
                     Kind::Inner(children) if children.is_empty() => {
                         self.root = None;
                         None

@@ -17,7 +17,12 @@ fn rect() -> impl Strategy<Value = Rect> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+    // Miri runs the same properties with a token case count: enough to
+    // exercise every code path under the interpreter without taking hours.
+    #![proptest_config(ProptestConfig {
+        cases: if cfg!(miri) { 4 } else { 128 },
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn rtree_range_query_matches_brute_force(

@@ -38,7 +38,12 @@ fn records() -> impl Strategy<Value = Vec<PlaceRecord>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+    // Miri runs the same properties with a token case count: enough to
+    // exercise every code path under the interpreter without taking hours.
+    #![proptest_config(ProptestConfig {
+        cases: if cfg!(miri) { 4 } else { 128 },
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn paged_store_roundtrips_arbitrary_records(places in records(), g in 1u32..10) {

@@ -1,0 +1,88 @@
+//! A tiny JSON emitter — the linter is dependency-free by design, and its
+//! machine-readable output is a flat, fixed shape that does not justify a
+//! serializer dependency.
+
+use crate::rules::{Violation, RULES};
+use crate::LintReport;
+use std::fmt::Write;
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn violation(v: &Violation) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+        escape(v.rule),
+        escape(&v.file),
+        v.line,
+        escape(&v.message)
+    )
+}
+
+/// Renders a lint report as a single JSON object:
+/// `{"clean":bool,"files_checked":N,"rules":[…],"violations":[…]}`.
+pub fn render(report: &LintReport) -> String {
+    let rules: Vec<String> = RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":\"{}\",\"summary\":\"{}\"}}",
+                escape(r.id),
+                escape(r.summary)
+            )
+        })
+        .collect();
+    let violations: Vec<String> = report.violations.iter().map(violation).collect();
+    format!(
+        "{{\"clean\":{},\"files_checked\":{},\"rules\":[{}],\"violations\":[{}]}}\n",
+        report.clean(),
+        report.files_checked,
+        rules.join(","),
+        violations.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn render_shape() {
+        let report = LintReport {
+            violations: vec![Violation {
+                rule: "L001",
+                file: "crates/core/src/x.rs".into(),
+                line: 3,
+                message: "a \"quoted\" message".into(),
+            }],
+            files_checked: 7,
+        };
+        let json = render(&report);
+        assert!(json.starts_with("{\"clean\":false,\"files_checked\":7,"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"line\":3"));
+        assert!(json.contains("\"id\":\"L005\""));
+    }
+}

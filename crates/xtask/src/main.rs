@@ -1,0 +1,98 @@
+//! `cargo xtask` entry point.
+//!
+//! ```text
+//! cargo xtask lint                         # human-readable report, exit 1 on violations
+//! cargo xtask lint --json                  # machine-readable report on stdout
+//! cargo xtask lint --update-fingerprints   # re-record lint/fingerprints.toml
+//! cargo xtask lint --root <dir>            # lint a different tree (tests, CI)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "xtask — workspace automation
+
+USAGE:
+    cargo xtask lint [--json] [--update-fingerprints] [--root <dir>]
+
+The lint subcommand runs the CTUP domain-invariant checker (rules
+L000–L005; see DESIGN.md §10). Exit codes: 0 clean, 1 violations,
+2 usage or I/O error."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let Some(cmd) = iter.next() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    if cmd != "lint" {
+        eprintln!("unknown subcommand {cmd:?}\n\n{}", usage());
+        return ExitCode::from(2);
+    }
+
+    let mut json = false;
+    let mut update = false;
+    // Default root: the workspace containing this crate; the alias in
+    // .cargo/config.toml may invoke us from any subdirectory.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop();
+    root.pop();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--update-fingerprints" => update = true,
+            "--root" => match iter.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other:?}\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let config = xtask::LintConfig::default();
+    let report = match xtask::run_lint(&root, &config, update) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", xtask::json::render(&report));
+    } else {
+        for v in &report.violations {
+            println!("{} {}:{} {}", v.rule, v.file, v.line, v.message);
+        }
+        if update {
+            println!("fingerprints re-recorded in lint/fingerprints.toml");
+        }
+        if report.clean() {
+            println!(
+                "xtask lint: clean ({} files, {} rules)",
+                report.files_checked,
+                xtask::rules::RULES.len()
+            );
+        } else {
+            println!(
+                "xtask lint: {} violation(s) in {} files",
+                report.violations.len(),
+                report.files_checked
+            );
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,344 @@
+//! Per-file analysis context: tokens, test regions and suppressions.
+//!
+//! Rules see a [`SourceFile`] and ask two questions per token: "is this
+//! inside test code?" and, for a candidate violation, "is it suppressed?".
+//! Test code is anything under a `#[test]` / `#[cfg(test)]`-style attribute
+//! (plus whole files in `tests/`, `benches/` or `examples/` directories).
+//! Suppressions are line comments of the form
+//! `// ctup-lint: allow(L001, reason for the exception)`.
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+use std::ops::Range;
+use std::path::Path;
+
+/// A parsed suppression directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule id being allowed, e.g. `L001`.
+    pub rule: String,
+    /// The mandatory justification text.
+    pub reason: String,
+    /// Line of the comment itself.
+    pub line: usize,
+    /// Lines the suppression covers: the comment's own line plus the next
+    /// line carrying any token (so a directive can sit above its target).
+    pub covered: Vec<usize>,
+}
+
+/// A malformed `ctup-lint` directive — reported instead of silently ignored,
+/// so a typo cannot accidentally disable a real suppression.
+#[derive(Debug, Clone)]
+pub struct BadDirective {
+    /// What is wrong with it.
+    pub message: String,
+    /// Line of the comment.
+    pub line: usize,
+}
+
+/// One workspace source file, lexed and annotated.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the lint root, with `/` separators.
+    pub rel_path: String,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Line comments.
+    pub comments: Vec<Comment>,
+    /// True when the entire file is test/bench/example code.
+    pub all_test: bool,
+    /// Token-index ranges (into `tokens`) that belong to test items.
+    pub test_regions: Vec<Range<usize>>,
+    /// Parsed suppression directives.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed directives.
+    pub bad_directives: Vec<BadDirective>,
+}
+
+impl SourceFile {
+    /// Lexes and annotates `src` for the file at `rel_path`.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let Lexed { tokens, comments } = lex(src);
+        let all_test = path_is_test(rel_path);
+        // A single region spanning the whole file: every token is test code.
+        #[allow(clippy::single_range_in_vec_init)]
+        let test_regions = if all_test {
+            vec![0..tokens.len()]
+        } else {
+            find_test_regions(&tokens)
+        };
+        let (suppressions, bad_directives) = parse_directives(&comments, &tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens,
+            comments,
+            all_test,
+            test_regions,
+            suppressions,
+            bad_directives,
+        }
+    }
+
+    /// Whether the token at `idx` lies inside test code.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&idx))
+    }
+
+    /// Whether a violation of `rule` on `line` is covered by a suppression.
+    /// Returns the suppression's reason when it is.
+    pub fn suppressed(&self, rule: &str, line: usize) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| s.rule == rule && s.covered.contains(&line))
+    }
+}
+
+/// Whole-file test classification by path: integration tests, benches and
+/// examples may panic freely.
+fn path_is_test(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures")
+}
+
+/// Finds token ranges covered by test items: any item annotated with an
+/// attribute mentioning `test` or `bench` (`#[test]`, `#[cfg(test)]`,
+/// `#[tokio::test]`, `#[cfg_attr(miri, ignore)]` does NOT match — it has no
+/// `test` token — while `#[cfg(all(test, feature = "x"))]` does).
+fn find_test_regions(tokens: &[Token]) -> Vec<Range<usize>> {
+    let mut regions: Vec<Range<usize>> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // An attribute starts with `#` `[` (or `#` `!` `[` for inner).
+        if tokens[i].text != "#" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < tokens.len() && tokens[j].text == "!" {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].text != "[" {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut depth = 0usize;
+        let attr_start = j;
+        let mut attr_end = j;
+        while attr_end < tokens.len() {
+            match tokens[attr_end].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            attr_end += 1;
+        }
+        let is_test_attr = tokens[attr_start..attr_end]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && (t.text == "test" || t.text == "bench"));
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Find the item body: the first `{` at zero paren/bracket depth after
+        // the attribute (skipping over further attributes, generics, the
+        // parameter list…). A `;` at zero depth means a body-less item.
+        let mut k = attr_end + 1;
+        let mut depth = 0isize;
+        let mut body_start = None;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    body_start = Some(k);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = body_start else {
+            i = attr_end + 1;
+            continue;
+        };
+        // Match the closing brace.
+        let mut brace = 0usize;
+        let mut close = open;
+        while close < tokens.len() {
+            match tokens[close].text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            close += 1;
+        }
+        regions.push(i..close + 1);
+        // Continue scanning *after* this region: nested test regions would be
+        // redundant.
+        i = close + 1;
+    }
+    regions
+}
+
+/// Parses `// ctup-lint: …` directives out of the comment stream.
+fn parse_directives(
+    comments: &[Comment],
+    tokens: &[Token],
+) -> (Vec<Suppression>, Vec<BadDirective>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let text = c.text.trim_start_matches('/').trim();
+        let Some(rest) = text.strip_prefix("ctup-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+        else {
+            bad.push(BadDirective {
+                message: format!(
+                    "malformed directive {:?}: expected `ctup-lint: allow(RULE, reason)`",
+                    rest
+                ),
+                line: c.line,
+            });
+            continue;
+        };
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        if !crate::rules::known_rule(rule) {
+            bad.push(BadDirective {
+                message: format!("unknown rule {rule:?} in suppression"),
+                line: c.line,
+            });
+            continue;
+        }
+        if reason.is_empty() {
+            bad.push(BadDirective {
+                message: format!(
+                    "suppression for {rule} has no reason: write `ctup-lint: allow({rule}, why)`"
+                ),
+                line: c.line,
+            });
+            continue;
+        }
+        // A trailing directive covers its own line only; a directive on a
+        // line of its own covers the next line carrying a token (comment-only
+        // lines in between are skipped, so directives stack).
+        let mut covered = vec![c.line];
+        let trailing = tokens.iter().any(|t| t.line == c.line);
+        if !trailing {
+            if let Some(next) = tokens.iter().map(|t| t.line).filter(|&l| l > c.line).min() {
+                covered.push(next);
+            }
+        }
+        sups.push(Suppression {
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+            line: c.line,
+            covered,
+        });
+    }
+    (sups, bad)
+}
+
+/// Reads and parses a file from disk; `rel_path` is used for reporting.
+pub fn load(root: &Path, rel_path: &str) -> std::io::Result<SourceFile> {
+    let src = std::fs::read_to_string(root.join(rel_path))?;
+    Ok(SourceFile::parse(rel_path, &src))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }\n",
+        );
+        let unwraps: Vec<usize> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!f.in_test(unwraps[0]));
+        assert!(f.in_test(unwraps[1]));
+    }
+
+    #[test]
+    fn test_fn_attribute_region() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "#[test]\nfn t() { x.unwrap(); }\nfn live() { y.unwrap(); }\n",
+        );
+        let unwraps: Vec<usize> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| i)
+            .collect();
+        assert!(f.in_test(unwraps[0]));
+        assert!(!f.in_test(unwraps[1]));
+    }
+
+    #[test]
+    fn integration_test_file_is_all_test() {
+        let f = SourceFile::parse("tests/chaos.rs", "fn f() { x.unwrap(); }");
+        assert!(f.all_test);
+        assert!(f.in_test(0));
+    }
+
+    #[test]
+    fn cfg_attr_miri_is_not_a_test_region() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "#[cfg_attr(miri, ignore)]\nfn live() { x.unwrap(); }\n",
+        );
+        assert!(!f.in_test(5));
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "// ctup-lint: allow(L001, lock poisoning is fatal by design)\nx.unwrap();\n",
+        );
+        assert_eq!(f.suppressions.len(), 1);
+        assert!(f.suppressed("L001", 1).is_some());
+        assert!(f.suppressed("L001", 2).is_some());
+        assert!(f.suppressed("L001", 3).is_none());
+        assert!(f.suppressed("L002", 2).is_none());
+    }
+
+    #[test]
+    fn reasonless_or_unknown_directives_are_flagged() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "// ctup-lint: allow(L001)\n// ctup-lint: allow(L999, whatever)\n// ctup-lint: deny(L001)\nfn f() {}\n",
+        );
+        assert_eq!(f.suppressions.len(), 0);
+        assert_eq!(f.bad_directives.len(), 3);
+    }
+}

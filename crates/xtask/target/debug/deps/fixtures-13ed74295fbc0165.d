@@ -1,0 +1,5 @@
+/root/repo/crates/xtask/target/debug/deps/fixtures-13ed74295fbc0165.d: tests/fixtures.rs
+
+/root/repo/crates/xtask/target/debug/deps/fixtures-13ed74295fbc0165: tests/fixtures.rs
+
+tests/fixtures.rs:

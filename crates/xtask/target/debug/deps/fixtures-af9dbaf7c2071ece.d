@@ -1,0 +1,10 @@
+/root/repo/crates/xtask/target/debug/deps/fixtures-af9dbaf7c2071ece.d: /root/repo/clippy.toml tests/fixtures.rs Cargo.toml
+
+/root/repo/crates/xtask/target/debug/deps/libfixtures-af9dbaf7c2071ece.rmeta: /root/repo/clippy.toml tests/fixtures.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/fixtures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/crates/xtask/target/debug/deps/xtask-0c453b7926010e06.d: src/main.rs
+
+/root/repo/crates/xtask/target/debug/deps/xtask-0c453b7926010e06: src/main.rs
+
+src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,10 @@
+/root/repo/crates/xtask/target/debug/deps/xtask-0e125e4f847f2375.d: src/lib.rs src/fingerprint.rs src/json.rs src/lexer.rs src/rules.rs src/source.rs
+
+/root/repo/crates/xtask/target/debug/deps/xtask-0e125e4f847f2375: src/lib.rs src/fingerprint.rs src/json.rs src/lexer.rs src/rules.rs src/source.rs
+
+src/lib.rs:
+src/fingerprint.rs:
+src/json.rs:
+src/lexer.rs:
+src/rules.rs:
+src/source.rs:

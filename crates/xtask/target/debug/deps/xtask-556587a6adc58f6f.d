@@ -1,0 +1,11 @@
+/root/repo/crates/xtask/target/debug/deps/xtask-556587a6adc58f6f.d: /root/repo/clippy.toml src/main.rs Cargo.toml
+
+/root/repo/crates/xtask/target/debug/deps/libxtask-556587a6adc58f6f.rmeta: /root/repo/clippy.toml src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/crates/xtask/target/debug/deps/xtask-d949c82db0bf804b.d: /root/repo/clippy.toml src/lib.rs src/fingerprint.rs src/json.rs src/lexer.rs src/rules.rs src/source.rs Cargo.toml
+
+/root/repo/crates/xtask/target/debug/deps/libxtask-d949c82db0bf804b.rmeta: /root/repo/clippy.toml src/lib.rs src/fingerprint.rs src/json.rs src/lexer.rs src/rules.rs src/source.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/lib.rs:
+src/fingerprint.rs:
+src/json.rs:
+src/lexer.rs:
+src/rules.rs:
+src/source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

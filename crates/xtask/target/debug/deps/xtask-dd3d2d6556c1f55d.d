@@ -1,0 +1,7 @@
+/root/repo/crates/xtask/target/debug/deps/xtask-dd3d2d6556c1f55d.d: src/main.rs
+
+/root/repo/crates/xtask/target/debug/deps/xtask-dd3d2d6556c1f55d: src/main.rs
+
+src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

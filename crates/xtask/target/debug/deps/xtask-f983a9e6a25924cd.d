@@ -1,0 +1,12 @@
+/root/repo/crates/xtask/target/debug/deps/xtask-f983a9e6a25924cd.d: src/lib.rs src/fingerprint.rs src/json.rs src/lexer.rs src/rules.rs src/source.rs
+
+/root/repo/crates/xtask/target/debug/deps/libxtask-f983a9e6a25924cd.rlib: src/lib.rs src/fingerprint.rs src/json.rs src/lexer.rs src/rules.rs src/source.rs
+
+/root/repo/crates/xtask/target/debug/deps/libxtask-f983a9e6a25924cd.rmeta: src/lib.rs src/fingerprint.rs src/json.rs src/lexer.rs src/rules.rs src/source.rs
+
+src/lib.rs:
+src/fingerprint.rs:
+src/json.rs:
+src/lexer.rs:
+src/rules.rs:
+src/source.rs:

@@ -1,0 +1,11 @@
+/root/repo/crates/xtask/target/debug/deps/xtask-fa634a3fdb2c4e2f.d: /root/repo/clippy.toml src/main.rs Cargo.toml
+
+/root/repo/crates/xtask/target/debug/deps/libxtask-fa634a3fdb2c4e2f.rmeta: /root/repo/clippy.toml src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR
