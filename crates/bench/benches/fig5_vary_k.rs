@@ -24,6 +24,7 @@ fn bench_vary_k(c: &mut Criterion) {
                     let update = updates[i % updates.len()];
                     i += 1;
                     criterion::black_box(alg.handle_update(update))
+                        .unwrap_or_else(|e| panic!("benchmark store must be clean: {e}"))
                 })
             });
         }

@@ -28,6 +28,7 @@ fn bench_delta(c: &mut Criterion) {
                 let update = updates[i % updates.len()];
                 i += 1;
                 criterion::black_box(alg.handle_update(update))
+                    .unwrap_or_else(|e| panic!("benchmark store must be clean: {e}"))
             })
         });
     }

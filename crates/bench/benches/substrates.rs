@@ -113,13 +113,21 @@ fn bench_storage(c: &mut Criterion) {
     group.bench_function("memstore_read_cell", |b| {
         b.iter(|| {
             i = i.wrapping_add(1);
-            criterion::black_box(mem.read_cell(ctup_spatial::CellId(i % 100)).len())
+            criterion::black_box(
+                mem.read_cell(ctup_spatial::CellId(i % 100))
+                    .unwrap_or_else(|e| panic!("benchmark store must be clean: {e}"))
+                    .len(),
+            )
         })
     });
     group.bench_function("diskstore_read_cell_decode", |b| {
         b.iter(|| {
             i = i.wrapping_add(1);
-            criterion::black_box(disk.read_cell(ctup_spatial::CellId(i % 100)).len())
+            criterion::black_box(
+                disk.read_cell(ctup_spatial::CellId(i % 100))
+                    .unwrap_or_else(|e| panic!("benchmark store must be clean: {e}"))
+                    .len(),
+            )
         })
     });
     group.finish();

@@ -438,13 +438,16 @@ pub fn ablation_dechash_purge(effort: Effort) -> Table {
                 }
             })
             .collect();
-        let oracle = Oracle::from_store(setup.store.as_ref());
+        let oracle = Oracle::from_store(setup.store.as_ref())
+            .unwrap_or_else(|e| panic!("benchmark store must be clean: {e}"));
         let mut alg = AlgKind::Opt.build(&setup);
         let mut positions = setup.units.clone();
         let mut divergences = 0u64;
         let start = std::time::Instant::now();
         for &update in &updates {
-            alg.handle_update(update);
+            if let Err(e) = alg.handle_update(update) {
+                panic!("benchmark store must be clean: {e}");
+            }
             positions[update.unit.index()] = update.new;
             let got: Vec<i64> = alg.result().iter().map(|e| e.safety).collect();
             let want: Vec<i64> = oracle
@@ -517,7 +520,8 @@ pub fn ablation_disk(effort: Effort) -> Table {
                 ..CtupConfig::paper_default()
             };
             let units = workload.unit_positions();
-            let mut alg = ctup_core::OptCtup::new(config, store, &units);
+            let mut alg = ctup_core::OptCtup::new(config, store, &units)
+                .unwrap_or_else(|e| panic!("benchmark store must be clean: {e}"));
             let updates = crate::harness::stream(workload.next_updates(effort.updates.min(3_000)));
             let summary = measure_updates(&mut alg, &updates);
             rows.push(vec![
@@ -581,11 +585,14 @@ pub fn ext_decay(effort: Effort) -> Table {
             delta: 1.0,
         };
         let units = workload.unit_positions();
-        let mut monitor = DecayCtup::new(config, store, &units);
+        let mut monitor = DecayCtup::new(config, store, &units)
+            .unwrap_or_else(|e| panic!("benchmark store must be clean: {e}"));
         let updates = workload.next_updates(effort.updates.min(3_000));
         let start = std::time::Instant::now();
         for u in &updates {
-            monitor.handle_update(u.object, u.to);
+            if let Err(e) = monitor.handle_update(u.object, u.to) {
+                panic!("benchmark store must be clean: {e}");
+            }
         }
         let avg = start.elapsed().as_nanos() as f64 / updates.len().max(1) as f64;
         rows.push(vec![

@@ -130,17 +130,26 @@ impl AlgKind {
     }
 
     /// Instantiates the algorithm over a prepared setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store reports a fault during initialization; benchmark
+    /// setups run over clean in-memory stores, so a fault here is a bug in
+    /// the harness, not a measurable condition.
     pub fn build(self, setup: &Setup) -> Box<dyn CtupAlgorithm> {
         let config = setup.params.config.clone();
         let store = setup.store.clone();
-        match self {
-            AlgKind::Naive => Box::new(NaiveRecompute::new(config, store, &setup.units)),
-            AlgKind::NaiveIncremental => {
-                Box::new(NaiveIncremental::new(config, store, &setup.units))
+        let built: Result<Box<dyn CtupAlgorithm>, _> = match self {
+            AlgKind::Naive => {
+                NaiveRecompute::new(config, store, &setup.units).map(|a| Box::new(a) as _)
             }
-            AlgKind::Basic => Box::new(BasicCtup::new(config, store, &setup.units)),
-            AlgKind::Opt => Box::new(OptCtup::new(config, store, &setup.units)),
-        }
+            AlgKind::NaiveIncremental => {
+                NaiveIncremental::new(config, store, &setup.units).map(|a| Box::new(a) as _)
+            }
+            AlgKind::Basic => BasicCtup::new(config, store, &setup.units).map(|a| Box::new(a) as _),
+            AlgKind::Opt => OptCtup::new(config, store, &setup.units).map(|a| Box::new(a) as _),
+        };
+        built.unwrap_or_else(|e| panic!("benchmark store must be clean: {e}"))
     }
 }
 
@@ -168,11 +177,18 @@ pub struct RunSummary {
 }
 
 /// Feeds `updates` to `alg`, timing the whole run.
+///
+/// # Panics
+///
+/// Panics on a storage fault: measurements only make sense over a store
+/// that served every read, so a fault invalidates the run.
 pub fn measure_updates(alg: &mut dyn CtupAlgorithm, updates: &[LocationUpdate]) -> RunSummary {
     let before = alg.metrics().clone();
     let start = Instant::now();
     for &update in updates {
-        alg.handle_update(update);
+        if let Err(e) = alg.handle_update(update) {
+            panic!("benchmark store must be clean: {e}");
+        }
     }
     let wall = start.elapsed().as_nanos() as f64;
     let metrics = alg.metrics().since(&before);
@@ -235,7 +251,7 @@ mod tests {
         ];
         for &update in &updates {
             for alg in algs.iter_mut() {
-                alg.handle_update(update);
+                alg.handle_update(update).expect("clean store");
             }
             let reference: Vec<i64> = algs[0].result().iter().map(|e| e.safety).collect();
             for alg in &algs[1..] {

@@ -12,11 +12,13 @@ use ctup_core::types::{LocationUpdate, UnitId};
 use ctup_core::{BasicCtup, OptCtup};
 use ctup_mogen::{FaultPlan, PlaceGenConfig, PlaceGenerator, Workload, WorkloadParams};
 use ctup_spatial::{Grid, Point};
-use ctup_storage::{snapshot, CellLocalStore, PlaceStore};
+use ctup_storage::{
+    snapshot, CellLocalStore, DiskFaultPlan, FaultDisk, PlaceStore, RetryPolicy, StorageError,
+};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A CLI failure with a user-facing message.
@@ -39,6 +41,14 @@ impl From<ArgError> for CliError {
 
 fn io_err(context: &str, e: impl std::fmt::Display) -> CliError {
     CliError(format!("{context}: {e}"))
+}
+
+fn init_err(e: StorageError) -> CliError {
+    CliError(format!("initializing the monitor: {e}"))
+}
+
+fn update_err(e: StorageError) -> CliError {
+    CliError(format!("storage fault while applying an update: {e}"))
 }
 
 /// Shared workload/config flags of `run` and `generate`.
@@ -106,10 +116,10 @@ fn build_algorithm(
     units: &[ctup_spatial::Point],
 ) -> Result<Box<dyn CtupAlgorithm>, CliError> {
     Ok(match name {
-        "opt" => Box::new(OptCtup::new(config, store, units)),
-        "basic" => Box::new(BasicCtup::new(config, store, units)),
-        "naive" => Box::new(NaiveRecompute::new(config, store, units)),
-        "naive-inc" => Box::new(NaiveIncremental::new(config, store, units)),
+        "opt" => Box::new(OptCtup::new(config, store, units).map_err(init_err)?),
+        "basic" => Box::new(BasicCtup::new(config, store, units).map_err(init_err)?),
+        "naive" => Box::new(NaiveRecompute::new(config, store, units).map_err(init_err)?),
+        "naive-inc" => Box::new(NaiveIncremental::new(config, store, units).map_err(init_err)?),
         other => {
             return Err(CliError(format!(
                 "unknown algorithm {other:?} (expected opt, basic, naive or naive-inc)"
@@ -217,10 +227,12 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     if flags.switch("events") {
         let mut server = Server::new(ServerAdapter(alg));
         for update in workload.next_updates(updates) {
-            let (events, _) = server.ingest(LocationUpdate {
-                unit: UnitId(update.object),
-                new: update.to,
-            });
+            let (events, _) = server
+                .ingest(LocationUpdate {
+                    unit: UnitId(update.object),
+                    new: update.to,
+                })
+                .map_err(update_err)?;
             for event in events {
                 let line = match event {
                     MonitorEvent::Entered { place, safety } => {
@@ -241,7 +253,8 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
             alg.handle_update(LocationUpdate {
                 unit: UnitId(update.object),
                 new: update.to,
-            });
+            })
+            .map_err(update_err)?;
         }
         finish_run(alg.as_ref(), out)?;
     }
@@ -258,7 +271,10 @@ impl CtupAlgorithm for ServerAdapter {
     fn config(&self) -> &CtupConfig {
         self.0.config()
     }
-    fn handle_update(&mut self, update: LocationUpdate) -> ctup_core::UpdateStats {
+    fn handle_update(
+        &mut self,
+        update: LocationUpdate,
+    ) -> Result<ctup_core::UpdateStats, StorageError> {
         self.0.handle_update(update)
     }
     fn result(&self) -> Vec<ctup_core::TopKEntry> {
@@ -320,12 +336,13 @@ pub fn run_opt(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         workload.places_vec(),
     ));
     let unit_positions = workload.unit_positions();
-    let mut alg = OptCtup::new(params.config, store, &unit_positions);
+    let mut alg = OptCtup::new(params.config, store, &unit_positions).map_err(init_err)?;
     for update in workload.next_updates(updates) {
         alg.handle_update(LocationUpdate {
             unit: UnitId(update.object),
             new: update.to,
-        });
+        })
+        .map_err(update_err)?;
     }
     writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
     render_result(&alg, out)?;
@@ -401,7 +418,8 @@ pub fn resume(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         alg.handle_update(LocationUpdate {
             unit: UnitId(update.object),
             new: update.to,
-        });
+        })
+        .map_err(update_err)?;
     }
     writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
     render_result(&alg, out)?;
@@ -411,9 +429,13 @@ pub fn resume(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `ctup chaos` — run the supervised pipeline over a deliberately degraded
 /// feed (seeded drops, duplicates, reordering, corruption, injected worker
-/// panics) and report the resilience counters next to the surviving result.
+/// panics) and a deliberately faulty disk (transient read errors, torn page
+/// writes, bit flips), and report the resilience and storage counters next
+/// to the surviving result. With `--state-dir` the checkpoints are durable;
+/// `--kill-at` simulates a process death and `--recover` resumes from the
+/// surviving slot and journal.
 pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["no-doo"])?;
+    let flags = Flags::parse(args, &["no-doo", "recover", "tear-slot"])?;
     flags.reject_unknown(&[
         "updates",
         "units",
@@ -437,6 +459,14 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         "lease-ttl",
         "checkpoint-every",
         "max-restarts",
+        "disk-faults",
+        "disk-seed",
+        "torn-writes",
+        "bit-flips",
+        "state-dir",
+        "kill-at",
+        "recover",
+        "tear-slot",
     ])?;
     let params = common_params(&flags)?;
     let updates: usize = flags.get("updates", 1_000)?;
@@ -462,6 +492,13 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         delay_prob: flags.get("delay", 0.02)?,
         max_delay: flags.get("max-delay", 16)?,
         panic_at,
+        disk: DiskFaultPlan {
+            seed: flags.get("disk-seed", params.seed ^ 0xD15C)?,
+            read_error_prob: flags.get("disk-faults", 0.0)?,
+            torn_writes: flags.get("torn-writes", 0)?,
+            bit_flips: flags.get("bit-flips", 0)?,
+            ..DiskFaultPlan::default()
+        },
     };
 
     let mut workload = Workload::generate(WorkloadParams {
@@ -473,10 +510,29 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         seed: params.seed,
         ..WorkloadParams::default()
     });
-    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
-        Grid::unit_square(params.granularity),
-        workload.places_vec(),
-    ));
+    let grid = Grid::unit_square(params.granularity);
+    // A faulty disk only when asked for: the plain chaos path keeps the
+    // in-memory store so the link faults are isolated from the disk faults.
+    let store: Arc<dyn PlaceStore> = if plan.disk.is_active() {
+        let disk = FaultDisk::build(
+            grid,
+            workload.places_vec(),
+            0,
+            plan.disk.clone(),
+            RetryPolicy::default(),
+        );
+        writeln!(
+            out,
+            "faulty disk: {} pages corrupted at build ({} cells unreadable), transient read error prob {}",
+            disk.corrupted_pages().len(),
+            disk.corrupted_cells().len(),
+            plan.disk.read_error_prob,
+        )
+        .map_err(|e| io_err("stdout", e))?;
+        Arc::new(disk)
+    } else {
+        Arc::new(CellLocalStore::build(grid, workload.places_vec()))
+    };
     let unit_positions = workload.unit_positions();
     let clean: Vec<LocationUpdate> = workload
         .next_updates(updates)
@@ -506,14 +562,33 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     .map_err(|e| io_err("stdout", e))?;
 
     let lease_ttl: u64 = flags.get("lease-ttl", 0)?;
+    let kill_at: u64 = flags.get("kill-at", 0)?;
+    let state_dir = flags.get_str("state-dir").map(PathBuf::from);
     let resilience = ResilienceConfig {
         lease_ttl: (lease_ttl > 0).then_some(lease_ttl),
         checkpoint_every: flags.get("checkpoint-every", 256)?,
         max_restarts: flags.get("max-restarts", 8)?,
         panic_at: plan.panic_at.clone(),
+        state_dir: state_dir.clone(),
+        kill_at: (kill_at > 0).then_some(kill_at),
+        tear_slot_on_kill: flags.switch("tear-slot"),
     };
-    let monitor = OptCtup::new(params.config, store, &unit_positions);
-    let pipeline = SupervisedPipeline::spawn(monitor, resilience, degraded.len().max(1));
+    let pipeline = if flags.switch("recover") {
+        let dir =
+            state_dir.ok_or_else(|| CliError("--recover requires --state-dir <dir>".into()))?;
+        writeln!(out, "recovering from {}", dir.display()).map_err(|e| io_err("stdout", e))?;
+        SupervisedPipeline::recover_from_dir::<OptCtup>(
+            &dir,
+            Arc::clone(&store),
+            resilience,
+            degraded.len().max(1),
+        )
+        .map_err(|e| CliError(format!("recovering from {}: {e}", dir.display())))?
+    } else {
+        let monitor =
+            OptCtup::new(params.config, Arc::clone(&store), &unit_positions).map_err(init_err)?;
+        SupervisedPipeline::spawn(monitor, resilience, degraded.len().max(1))
+    };
     for &report in &degraded {
         if pipeline.send(report).is_err() {
             break; // supervisor gave up; its final report still drains below
@@ -530,6 +605,8 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         report.events_emitted,
         if report.gave_up {
             " — GAVE UP (restart budget exhausted)"
+        } else if report.killed {
+            " — KILLED (simulated process death; rerun with --recover)"
         } else {
             ""
         },
@@ -545,10 +622,24 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         ("lease expiries", r.lease_expiries),
         ("lease reinstates", r.lease_reinstates),
         ("worker panics", r.worker_panics),
+        ("storage errors", r.storage_errors),
         ("worker restarts", r.worker_restarts),
         ("updates replayed", r.updates_replayed),
         ("checkpoints taken", r.checkpoints_taken),
         ("events suppressed", r.events_suppressed),
+    ] {
+        writeln!(out, "  {name:<22} {value}").map_err(|e| io_err("stdout", e))?;
+    }
+    let s = store.stats().snapshot();
+    writeln!(out, "storage counters:").map_err(|e| io_err("stdout", e))?;
+    for (name, value) in [
+        ("cell reads", s.cell_reads),
+        ("records read", s.records_read),
+        ("pages read", s.pages_read),
+        ("io nanos", s.io_nanos),
+        ("read retries", s.read_retries),
+        ("read giveups", s.read_giveups),
+        ("corrupt pages", s.corrupt_pages),
     ] {
         writeln!(out, "  {name:<22} {value}").map_err(|e| io_err("stdout", e))?;
     }
@@ -579,12 +670,22 @@ USAGE:
   ctup chaos    [same workload flags] [--drop P] [--dup P] [--reorder P] [--reorder-window W]
                 [--corrupt P] [--delay P] [--max-delay W] [--fault-seed S]
                 [--panic-at N,N,...] [--lease-ttl T] [--checkpoint-every N] [--max-restarts N]
+                [--disk-faults P] [--torn-writes N] [--bit-flips N] [--disk-seed S]
+                [--state-dir DIR] [--kill-at N] [--tear-slot] [--recover]
 
 The workload is deterministic per --seed: `run-opt --updates N --checkpoint-out cp`
 followed by `resume --checkpoint cp --skip N` continues the same stream.
 `chaos` degrades the feed with a seeded fault plan, runs the supervised
 pipeline over it (ingest validation, liveness leases, checkpoint-restart on
-injected panics), and prints the resilience counters."
+injected panics), and prints the resilience counters. `--disk-faults P` adds
+a faulty simulated disk (transient read errors with probability P, plus
+`--torn-writes`/`--bit-flips` pages damaged at build); corruption is always
+detected by the page checksums, never served silently. `--state-dir DIR`
+makes checkpoints durable (A/B slots plus a report journal); `--kill-at N`
+dies abruptly before effective update N (`--tear-slot` also tears the newest
+slot, as a death mid-checkpoint-write), and rerunning the same command with
+`--recover` resumes from the surviving slot, replays the journal tail, and
+converges to the uninterrupted run's result."
 }
 
 #[cfg(test)]
@@ -820,6 +921,101 @@ mod tests {
     #[test]
     fn chaos_rejects_bad_panic_at() {
         assert!(run_cmd(chaos, &["--panic-at", "40,x"]).is_err());
+    }
+
+    fn counter(out: &str, name: &str) -> u64 {
+        out.lines()
+            .find(|l| l.trim_start().starts_with(name))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing counter {name:?} in:\n{out}"))
+    }
+
+    #[test]
+    fn chaos_with_disk_faults_reports_storage_counters() {
+        let out = run_cmd(
+            chaos,
+            &[
+                "--places",
+                "300",
+                "--units",
+                "10",
+                "--updates",
+                "300",
+                "--k",
+                "4",
+                "--seed",
+                "11",
+                "--disk-faults",
+                "0.05",
+            ],
+        )
+        .expect("chaos --disk-faults");
+        assert!(out.contains("faulty disk:"));
+        assert!(out.contains("storage counters:"));
+        assert!(!out.contains("GAVE UP"), "{out}");
+        // At a 5% per-page transient fault rate some reads must have
+        // retried; with the default 3-retry budget none silently succeed.
+        assert!(counter(&out, "read retries") > 0, "{out}");
+        assert!(counter(&out, "cell reads") > 0, "{out}");
+    }
+
+    #[test]
+    fn chaos_kill_then_recover_matches_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("ctup-cli-test-state");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let base = [
+            "--places",
+            "300",
+            "--units",
+            "10",
+            "--updates",
+            "200",
+            "--k",
+            "4",
+            "--seed",
+            "21",
+            "--checkpoint-every",
+            "16",
+        ];
+
+        let uninterrupted = run_cmd(chaos, &base).expect("uninterrupted chaos");
+        assert!(!uninterrupted.contains("KILLED"));
+
+        let mut kill_args: Vec<&str> = base.to_vec();
+        kill_args.extend(["--state-dir", &dir_str, "--kill-at", "60", "--tear-slot"]);
+        let killed = run_cmd(chaos, &kill_args).expect("killed chaos run");
+        assert!(killed.contains("KILLED"), "{killed}");
+        assert!(!killed.contains("final result:\n  place"), "{killed}");
+
+        let mut recover_args: Vec<&str> = base.to_vec();
+        recover_args.extend(["--state-dir", &dir_str, "--recover"]);
+        let recovered = run_cmd(chaos, &recover_args).expect("recovered chaos run");
+        assert!(recovered.contains("recovering from"), "{recovered}");
+        assert!(!recovered.contains("KILLED"), "{recovered}");
+        assert!(counter(&recovered, "updates replayed") > 0, "{recovered}");
+
+        // The recovered run converges to the same final top-k as the run
+        // that was never interrupted.
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("final result:"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            tail(&uninterrupted),
+            tail(&recovered),
+            "uninterrupted:\n{uninterrupted}\nrecovered:\n{recovered}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_recover_requires_state_dir() {
+        let err = run_cmd(chaos, &["--updates", "10", "--recover"]).expect_err("must fail");
+        assert!(err.0.contains("--recover requires --state-dir"), "{err}");
     }
 
     #[test]

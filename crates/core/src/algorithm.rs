@@ -4,7 +4,7 @@ use crate::config::CtupConfig;
 use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId};
 use ctup_spatial::Point;
-use ctup_storage::StorageStatsSnapshot;
+use ctup_storage::{StorageError, StorageStatsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -52,8 +52,13 @@ pub trait CtupAlgorithm {
     /// The configuration the processor runs with.
     fn config(&self) -> &CtupConfig;
 
-    /// Processes one location update.
-    fn handle_update(&mut self, update: LocationUpdate) -> UpdateStats;
+    /// Processes one location update. Fails only when the lower storage
+    /// level does: a cell read that exhausted its retry budget or hit
+    /// detected corruption surfaces here. After an error the processor may
+    /// be left mid-update (in-memory structures mutated, cell accesses
+    /// incomplete); callers must discard it or restore from a checkpoint —
+    /// the supervised pipeline does the latter.
+    fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError>;
 
     /// The current monitored result, sorted by `(safety, place id)`: the
     /// top-k unsafe places in top-k mode, every place below the threshold

@@ -17,7 +17,7 @@ use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId, LB_NONE};
 use crate::units::UnitTable;
 use ctup_spatial::{convert, CellId, Circle, Grid, Point};
-use ctup_storage::PlaceStore;
+use ctup_storage::{PlaceStore, StorageError};
 use lb::basic_lb_delta;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -50,8 +50,12 @@ impl BasicCtup {
     /// Builds the scheme over `store` and runs the paper's initialization:
     /// compute every cell's exact lower bound, then illuminate cells in
     /// increasing lower-bound order until `SK` is at most every dark lower
-    /// bound.
-    pub fn new(config: CtupConfig, store: Arc<dyn PlaceStore>, initial_units: &[Point]) -> Self {
+    /// bound. Fails if a cell read hits a storage fault.
+    pub fn new(
+        config: CtupConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+    ) -> Result<Self, StorageError> {
         config.validate();
         let start = Instant::now();
         let io_before = store.stats().snapshot();
@@ -73,7 +77,7 @@ impl BasicCtup {
         // Step 1: exact lower bound per cell; places are discarded again.
         let mut safeties_computed = 0u64;
         for cell in this.grid.cells() {
-            let records = this.store.read_cell(cell);
+            let records = this.store.read_cell(cell)?;
             let mut min = LB_NONE;
             for record in records.iter() {
                 min = min.min(this.units.safety(record));
@@ -84,7 +88,7 @@ impl BasicCtup {
 
         // Step 2+3: illuminate in increasing lower-bound order until
         // SK <= every dark lower bound.
-        this.illumination_loop();
+        this.illumination_loop()?;
 
         // Init costs are reported separately from steady-state metrics.
         this.metrics = Metrics::default();
@@ -96,12 +100,12 @@ impl BasicCtup {
             storage: this.store.stats().snapshot().since(&io_before),
             safeties_computed,
         };
-        this
+        Ok(this)
     }
 
     /// Loads every place of a dark cell into memory with exact safeties.
-    fn illuminate(&mut self, cell: CellId) {
-        let records = self.store.read_cell(cell).into_owned();
+    fn illuminate(&mut self, cell: CellId) -> Result<(), StorageError> {
+        let records = self.store.read_cell(cell)?.into_owned();
         self.metrics.cells_accessed += 1;
         self.metrics.places_loaded += convert::count64(records.len());
         for record in records {
@@ -109,23 +113,24 @@ impl BasicCtup {
             self.maintained.insert(record, safety, cell);
         }
         self.lb.detach(cell);
+        Ok(())
     }
 
     /// Illuminates dark cells, cheapest lower bound first, until none is
     /// below the current `SK`. Returns the number of cells illuminated.
-    fn illumination_loop(&mut self) -> u64 {
+    fn illumination_loop(&mut self) -> Result<u64, StorageError> {
         let mut count = 0;
         loop {
             let sk = self.maintained.sk_eff(self.config.mode);
             match self.lb.first() {
                 Some((lb0, cell)) if lb0 < sk => {
-                    self.illuminate(cell);
+                    self.illuminate(cell)?;
                     count += 1;
                 }
                 _ => break,
             }
         }
-        count
+        Ok(count)
     }
 
     /// Discards an illuminated cell's places from memory, re-attaching it
@@ -163,7 +168,12 @@ impl BasicCtup {
                 continue;
             }
             let lb = self.lb.get(cell);
-            for record in self.store.read_cell(cell).iter() {
+            let records = self
+                .store
+                .read_cell(cell)
+                // ctup-lint: allow(L001, the invariant checker is an assertion harness — an unreadable cell must fail the calling test)
+                .unwrap_or_else(|e| panic!("invariant check could not read {cell:?}: {e}"));
+            for record in records.iter() {
                 let truth = self.units.safety(record);
                 assert!(
                     lb <= truth,
@@ -184,7 +194,7 @@ impl CtupAlgorithm for BasicCtup {
         &self.config
     }
 
-    fn handle_update(&mut self, update: LocationUpdate) -> UpdateStats {
+    fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError> {
         let radius = self.config.protection_radius;
         let maintain_start = Instant::now();
         let old = self.units.apply(update);
@@ -220,7 +230,7 @@ impl CtupAlgorithm for BasicCtup {
 
         // Step 3: illuminate every dark cell whose bound fell below SK.
         let access_start = Instant::now();
-        let cells_accessed = self.illumination_loop();
+        let cells_accessed = self.illumination_loop()?;
 
         // Step 4: darken illuminated cells that hold no result place.
         let result = self.maintained.result(self.config.mode);
@@ -250,12 +260,12 @@ impl CtupAlgorithm for BasicCtup {
         if changed {
             self.metrics.result_changes += 1;
         }
-        UpdateStats {
+        Ok(UpdateStats {
             maintain_nanos,
             access_nanos,
             cells_accessed,
             result_changed: changed,
-        }
+        })
     }
 
     fn result(&self) -> Vec<TopKEntry> {
@@ -318,7 +328,7 @@ mod tests {
         let units: Vec<Point> = (0..10)
             .map(|i| Point::new(0.05 + 0.09 * i as f64, 0.95 - 0.085 * i as f64))
             .collect();
-        let alg = BasicCtup::new(CtupConfig::with_k(k), store, &units);
+        let alg = BasicCtup::new(CtupConfig::with_k(k), store, &units).expect("init");
         (alg, oracle, units)
     }
 
@@ -348,7 +358,8 @@ mod tests {
             alg.handle_update(LocationUpdate {
                 unit: UnitId(unit as u32),
                 new,
-            });
+            })
+            .expect("update");
             units[unit] = new;
             oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::TopK(5));
             if step % 50 == 0 {
@@ -370,10 +381,12 @@ mod tests {
         let mut total_accesses = 0;
         let mut decrements = 0;
         for i in 0..20 {
-            let stats = alg.handle_update(LocationUpdate {
-                unit: UnitId(0),
-                new: Point::new(base.x + 1e-6 * i as f64, base.y),
-            });
+            let stats = alg
+                .handle_update(LocationUpdate {
+                    unit: UnitId(0),
+                    new: Point::new(base.x + 1e-6 * i as f64, base.y),
+                })
+                .expect("update");
             total_accesses += stats.cells_accessed;
             decrements = alg.metrics().lb_decrements;
         }
@@ -401,8 +414,8 @@ mod tests {
             Arc::new(CellLocalStore::build(Grid::unit_square(8), places.clone()));
         let store_o: Arc<dyn PlaceStore> =
             Arc::new(CellLocalStore::build(Grid::unit_square(8), places));
-        let mut basic = BasicCtup::new(CtupConfig::with_k(5), store_b, &units);
-        let mut opt = OptCtup::new(CtupConfig::with_k(5), store_o, &units);
+        let mut basic = BasicCtup::new(CtupConfig::with_k(5), store_b, &units).expect("init");
+        let mut opt = OptCtup::new(CtupConfig::with_k(5), store_o, &units).expect("init");
         let base = units[0];
         let (mut basic_accesses, mut opt_accesses) = (0, 0);
         for i in 0..40 {
@@ -410,8 +423,8 @@ mod tests {
                 unit: UnitId(0),
                 new: Point::new(base.x + 1e-6 * i as f64, base.y),
             };
-            basic_accesses += basic.handle_update(update).cells_accessed;
-            opt_accesses += opt.handle_update(update).cells_accessed;
+            basic_accesses += basic.handle_update(update).expect("update").cells_accessed;
+            opt_accesses += opt.handle_update(update).expect("update").cells_accessed;
         }
         assert!(
             opt_accesses < basic_accesses,
@@ -436,12 +449,13 @@ mod tests {
             mode: QueryMode::Threshold(-2),
             ..CtupConfig::paper_default()
         };
-        let mut alg = BasicCtup::new(config, store, &units);
+        let mut alg = BasicCtup::new(config, store, &units).expect("init");
         oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::Threshold(-2));
         alg.handle_update(LocationUpdate {
             unit: UnitId(0),
             new: Point::new(0.21, 0.79),
-        });
+        })
+        .expect("update");
         let moved = vec![Point::new(0.21, 0.79), Point::new(0.2, 0.8)];
         oracle.assert_result_matches(&alg.result(), &moved, 0.1, QueryMode::Threshold(-2));
     }
@@ -461,7 +475,8 @@ mod tests {
             alg.handle_update(LocationUpdate {
                 unit: UnitId(unit as u32),
                 new: Point::new(next(), next()),
-            });
+            })
+            .expect("update");
             // At most k cells stay illuminated after darkening, and each
             // cell holds one place in this data set.
             assert!(alg.maintained_places() <= 64);

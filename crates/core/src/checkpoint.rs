@@ -98,10 +98,12 @@ pub trait Checkpointable: crate::algorithm::CtupAlgorithm + Sized {
 /// Any change to the serialized shape of [`Checkpoint`] or the types it
 /// embeds must bump this constant — `cargo xtask lint` (rule L005)
 /// fingerprints those type definitions and fails when they drift without a
-/// version bump, so a standby never misreads a primary's checkpoint.
-pub const FORMAT_VERSION: u32 = 2;
+/// version bump, so a standby never misreads a primary's checkpoint. The
+/// durable A/B slot header of [`crate::durable`] embeds the same version:
+/// v3 introduced the slot/journal protocol around the v2 body format.
+pub const FORMAT_VERSION: u32 = 3;
 
-const HEADER: &str = "#ctup-checkpoint v2";
+const HEADER: &str = "#ctup-checkpoint v3";
 const VERSION_PREFIX: &str = "#ctup-checkpoint ";
 
 /// Upper bound on pre-allocation from counts read out of the file: a
@@ -267,7 +269,7 @@ impl Checkpoint {
             return Err(match header.strip_prefix(VERSION_PREFIX) {
                 Some(version) => err(
                     lines.line_no,
-                    format!("unsupported checkpoint version {version:?} (expected \"v2\")"),
+                    format!("unsupported checkpoint version {version:?} (expected \"v3\")"),
                 ),
                 None => err(lines.line_no, format!("bad header {header:?}")),
             });
@@ -584,7 +586,7 @@ mod tests {
         let mut buf = Vec::new();
         cp.write(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let old = text.replacen("v2", "v1", 1);
+        let old = text.replacen("v3", "v2", 1);
         let error = Checkpoint::read(old.as_bytes()).unwrap_err();
         assert!(
             error.to_string().contains("unsupported checkpoint version"),

@@ -1,0 +1,437 @@
+//! Crash-consistent on-disk persistence for the supervised pipeline.
+//!
+//! The in-memory checkpoint of [`crate::supervisor::SupervisedPipeline`]
+//! survives a worker panic but not a process death. This module makes the
+//! restart point durable:
+//!
+//! * **A/B checkpoint slots** — every periodic checkpoint is written to a
+//!   temp file, fsynced, renamed over the *older* of two slot files
+//!   (`slot-a.ckpt` / `slot-b.ckpt`), and the directory is fsynced. Each
+//!   slot carries an outer header with the format version, a monotonic slot
+//!   sequence number, and a CRC32 over the checkpoint body. A crash at any
+//!   byte of a slot write therefore leaves the *other* slot untouched and
+//!   valid; a torn or bit-flipped slot fails its CRC and is ignored.
+//! * **A journaled update tail** — every wire report the ingest gate
+//!   accepts is appended (with a per-line CRC32) to the current journal
+//!   segment *before* it is applied, so the updates between the newest
+//!   durable checkpoint and a crash can be replayed. Segments rotate with
+//!   checkpoints (`journal-<slot seq>.wal` starts when slot `<slot seq>` is
+//!   written) and segments older than the oldest valid slot are pruned.
+//! * **Recovery** — [`DurableState::load`] picks the valid slot with the
+//!   highest sequence number and returns every journaled report from the
+//!   surviving segments, tolerating a torn final line. Replaying those
+//!   reports through the gate restored from the slot is idempotent: the
+//!   gate's per-unit sequence numbers reject everything the slot already
+//!   covers, so over-replay (e.g. after falling back to the older slot)
+//!   converges to the exact pre-crash state.
+
+use crate::checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION};
+use crate::ingest::StampedUpdate;
+use crate::types::{LocationUpdate, UnitId};
+use ctup_spatial::Point;
+use ctup_storage::crc32;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+const SLOT_FILES: [&str; 2] = ["slot-a.ckpt", "slot-b.ckpt"];
+const SLOT_TMP: &str = "slot.tmp";
+const SLOT_MAGIC: &str = "#ctup-slot";
+const JOURNAL_PREFIX: &str = "journal-";
+const JOURNAL_SUFFIX: &str = ".wal";
+
+/// Handle to a state directory: writes checkpoints into alternating A/B
+/// slots and appends accepted wire reports to the current journal segment.
+#[derive(Debug)]
+pub struct DurableState {
+    dir: PathBuf,
+    /// Sequence number the *next* checkpoint will be written under.
+    next_slot_seq: u64,
+    /// Open journal segment; `None` until the first checkpoint creates one.
+    journal: Option<File>,
+}
+
+impl DurableState {
+    /// Opens (creating if necessary) a state directory. The next checkpoint
+    /// continues the slot sequence found on disk.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let newest = SLOT_FILES
+            .iter()
+            .filter_map(|name| read_slot(&dir.join(name)).map(|(seq, _)| seq))
+            .max()
+            .unwrap_or(0);
+        Ok(DurableState {
+            dir,
+            next_slot_seq: newest + 1,
+            journal: None,
+        })
+    }
+
+    /// The directory this state lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Durably writes `checkpoint` into the older slot (write temp, fsync,
+    /// rename, fsync directory), starts a fresh journal segment for the
+    /// updates that will follow it, and prunes segments no surviving slot
+    /// needs.
+    pub fn checkpoint(&mut self, checkpoint: &Checkpoint) -> io::Result<()> {
+        let seq = self.next_slot_seq;
+        let mut body = Vec::new();
+        checkpoint.write(&mut body)?;
+
+        let tmp = self.dir.join(SLOT_TMP);
+        {
+            let mut f = File::create(&tmp)?;
+            writeln!(
+                f,
+                "{SLOT_MAGIC} v{FORMAT_VERSION} {seq} {} {}",
+                crc32(&body),
+                body.len()
+            )?;
+            f.write_all(&body)?;
+            f.sync_all()?;
+        }
+        // Alternate slots by sequence parity so consecutive checkpoints
+        // never overwrite each other.
+        let slot = if seq % 2 == 1 {
+            SLOT_FILES[0]
+        } else {
+            SLOT_FILES[1]
+        };
+        fs::rename(&tmp, self.dir.join(slot))?;
+        sync_dir(&self.dir)?;
+
+        // Rotate the journal: updates after this checkpoint land in the new
+        // segment, tagged with the slot they extend.
+        let segment = self
+            .dir
+            .join(format!("{JOURNAL_PREFIX}{seq}{JOURNAL_SUFFIX}"));
+        let f = OpenOptions::new().create(true).append(true).open(segment)?;
+        f.sync_all()?;
+        sync_dir(&self.dir)?;
+        self.journal = Some(f);
+        self.next_slot_seq = seq + 1;
+        self.prune_segments();
+        Ok(())
+    }
+
+    /// Appends one accepted wire report to the current journal segment and
+    /// syncs it — called *before* the report is applied, so a crash between
+    /// append and apply replays it on recovery.
+    pub fn append(&mut self, report: StampedUpdate) -> io::Result<()> {
+        let Some(journal) = self.journal.as_mut() else {
+            // No checkpoint has been written yet; the caller writes a base
+            // checkpoint at startup, so this is a protocol violation.
+            return Err(io::Error::other(
+                "journal append before the first checkpoint",
+            ));
+        };
+        let payload = format!(
+            "{} {} {} {} {}",
+            report.seq, report.ts, report.update.unit.0, report.update.new.x, report.update.new.y
+        );
+        writeln!(journal, "{payload} {}", crc32(payload.as_bytes()))?;
+        journal.sync_data()
+    }
+
+    /// Deletes journal segments older than the oldest valid slot: no
+    /// recovery path can need them. Best-effort; a leftover segment is
+    /// harmless (replay through the gate is idempotent).
+    fn prune_segments(&self) {
+        let valid: Vec<u64> = SLOT_FILES
+            .iter()
+            .filter_map(|name| read_slot(&self.dir.join(name)).map(|(seq, _)| seq))
+            .collect();
+        let Some(&keep_from) = valid.iter().min() else {
+            return;
+        };
+        for (seq, path) in journal_segments(&self.dir) {
+            if seq < keep_from {
+                let _ = fs::remove_file(path);
+            }
+        }
+    }
+
+    /// Simulates a torn slot write (for crash testing): truncates the file
+    /// of the newest valid slot to half its length, leaving the older slot
+    /// as the only recovery point.
+    pub fn tear_newest_slot(&self) -> io::Result<()> {
+        let newest = SLOT_FILES
+            .iter()
+            .filter_map(|name| {
+                let path = self.dir.join(name);
+                read_slot(&path).map(|(seq, _)| (seq, path))
+            })
+            .max_by_key(|(seq, _)| *seq);
+        let Some((_, path)) = newest else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no valid slot to tear",
+            ));
+        };
+        let f = OpenOptions::new().write(true).open(&path)?;
+        let len = f.metadata()?.len();
+        f.set_len(len / 2)?;
+        f.sync_all()
+    }
+
+    /// Loads the newest valid checkpoint slot and the journaled wire
+    /// reports from every surviving segment, in append order. Fails only if
+    /// *no* slot is valid; torn journal tails are tolerated (the journal is
+    /// truncated at the first undecodable line of each segment).
+    pub fn load(
+        dir: impl AsRef<Path>,
+    ) -> Result<(Checkpoint, Vec<StampedUpdate>), CheckpointError> {
+        let dir = dir.as_ref();
+        let newest = SLOT_FILES
+            .iter()
+            .filter_map(|name| read_slot(&dir.join(name)))
+            .max_by_key(|(seq, _)| *seq);
+        let Some((_, checkpoint)) = newest else {
+            return Err(CheckpointError::Invalid(format!(
+                "no valid checkpoint slot in {}",
+                dir.display()
+            )));
+        };
+        let mut reports = Vec::new();
+        for (_, path) in journal_segments(dir) {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            for line in text.lines() {
+                match parse_journal_line(line) {
+                    Some(report) => reports.push(report),
+                    // A bad line means the tail of this segment was torn
+                    // mid-append: everything after it was never applied.
+                    None => break,
+                }
+            }
+        }
+        Ok((checkpoint, reports))
+    }
+}
+
+/// Fsyncs a directory so a completed rename survives power loss. Directory
+/// handles cannot be opened for syncing on every platform; failures there
+/// degrade to rename-without-dir-sync, which every tier-1 platform already
+/// orders correctly.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(d) => d.sync_all().or(Ok(())),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Reads and validates one slot file: header, version, CRC, body. Any
+/// failure (missing file, torn write, corruption, parse error) makes the
+/// slot invalid — `None` — and recovery falls back to the other slot.
+fn read_slot(path: &Path) -> Option<(u64, Checkpoint)> {
+    let mut bytes = Vec::new();
+    File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+    let newline = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+    let fields: Vec<&str> = header.split_ascii_whitespace().collect();
+    let [magic, version, seq, crc, len] = fields.as_slice() else {
+        return None;
+    };
+    if *magic != SLOT_MAGIC || *version != format!("v{FORMAT_VERSION}") {
+        return None;
+    }
+    let seq: u64 = seq.parse().ok()?;
+    let crc: u32 = crc.parse().ok()?;
+    let len: usize = len.parse().ok()?;
+    let body = &bytes[newline + 1..];
+    if body.len() != len || crc32(body) != crc {
+        return None;
+    }
+    let checkpoint = Checkpoint::read(body).ok()?;
+    Some((seq, checkpoint))
+}
+
+/// The journal segments of `dir`, sorted by slot sequence (append order).
+fn journal_segments(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut segments: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            let seq: u64 = name
+                .strip_prefix(JOURNAL_PREFIX)?
+                .strip_suffix(JOURNAL_SUFFIX)?
+                .parse()
+                .ok()?;
+            Some((seq, entry.path()))
+        })
+        .collect();
+    segments.sort_unstable_by_key(|(seq, _)| *seq);
+    segments
+}
+
+/// Decodes one journal line, `None` on any structural or CRC mismatch.
+fn parse_journal_line(line: &str) -> Option<StampedUpdate> {
+    let (payload, crc) = line.rsplit_once(' ')?;
+    let crc: u32 = crc.parse().ok()?;
+    if crc32(payload.as_bytes()) != crc {
+        return None;
+    }
+    let fields: Vec<&str> = payload.split_ascii_whitespace().collect();
+    let [seq, ts, unit, x, y] = fields.as_slice() else {
+        return None;
+    };
+    Some(StampedUpdate {
+        seq: seq.parse().ok()?,
+        ts: ts.parse().ok()?,
+        update: LocationUpdate {
+            unit: UnitId(unit.parse().ok()?),
+            new: Point::new(x.parse().ok()?, y.parse().ok()?),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CtupConfig;
+    use crate::ingest::{GateState, GateUnitState};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_state_dir() -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ctup-durable-{}-{n}", std::process::id()))
+    }
+
+    fn sample_checkpoint(tag: u64) -> Checkpoint {
+        Checkpoint {
+            config: CtupConfig::with_k(3),
+            unit_positions: vec![Point::new(0.25, 0.5)],
+            lower_bounds: vec![0, crate::types::LB_NONE],
+            maintained: Vec::new(),
+            dechash: Vec::new(),
+            gate: Some(GateState {
+                now: tag,
+                units: vec![GateUnitState {
+                    last_seq: Some(tag),
+                    last_seen: tag,
+                    alive: true,
+                }],
+            }),
+        }
+    }
+
+    fn report(seq: u64, x: f64) -> StampedUpdate {
+        StampedUpdate {
+            seq,
+            ts: seq,
+            update: LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(x, 0.5),
+            },
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // touches the real filesystem
+    fn slot_and_journal_roundtrip() {
+        let dir = temp_state_dir();
+        let mut state = DurableState::open(&dir).expect("open");
+        state.checkpoint(&sample_checkpoint(1)).expect("checkpoint");
+        state.append(report(1, 0.125)).expect("append");
+        state.append(report(2, 0.375)).expect("append");
+
+        let (cp, tail) = DurableState::load(&dir).expect("load");
+        assert_eq!(cp, sample_checkpoint(1));
+        assert_eq!(tail, vec![report(1, 0.125), report(2, 0.375)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // touches the real filesystem
+    fn torn_newest_slot_falls_back_to_older() {
+        let dir = temp_state_dir();
+        let mut state = DurableState::open(&dir).expect("open");
+        state.checkpoint(&sample_checkpoint(1)).expect("checkpoint");
+        state.append(report(2, 0.25)).expect("append");
+        state.checkpoint(&sample_checkpoint(2)).expect("checkpoint");
+        state.append(report(3, 0.75)).expect("append");
+        state.tear_newest_slot().expect("tear");
+
+        let (cp, tail) = DurableState::load(&dir).expect("load");
+        assert_eq!(cp, sample_checkpoint(1), "older slot survives the tear");
+        // Both segments survive: the tail re-covers the updates the torn
+        // slot had absorbed, and gate replay dedups them.
+        assert_eq!(tail, vec![report(2, 0.25), report(3, 0.75)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // touches the real filesystem
+    fn torn_journal_tail_is_truncated_not_fatal() {
+        let dir = temp_state_dir();
+        let mut state = DurableState::open(&dir).expect("open");
+        state.checkpoint(&sample_checkpoint(1)).expect("checkpoint");
+        state.append(report(1, 0.125)).expect("append");
+        state.append(report(2, 0.375)).expect("append");
+        // Tear the last line mid-append.
+        let segment = dir.join(format!("{JOURNAL_PREFIX}1{JOURNAL_SUFFIX}"));
+        let text = fs::read_to_string(&segment).expect("read journal");
+        fs::write(&segment, &text[..text.len() - 7]).expect("tear journal");
+
+        let (_, tail) = DurableState::load(&dir).expect("load");
+        assert_eq!(tail, vec![report(1, 0.125)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // touches the real filesystem
+    fn bit_flip_in_slot_is_detected() {
+        let dir = temp_state_dir();
+        let mut state = DurableState::open(&dir).expect("open");
+        state.checkpoint(&sample_checkpoint(1)).expect("checkpoint");
+        let slot = dir.join(SLOT_FILES[0]);
+        let mut bytes = fs::read(&slot).expect("read slot");
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x40;
+        fs::write(&slot, bytes).expect("corrupt slot");
+
+        assert!(
+            DurableState::load(&dir).is_err(),
+            "a flipped body byte must invalidate the only slot"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // touches the real filesystem
+    fn reopen_continues_slot_sequence_and_prunes() {
+        let dir = temp_state_dir();
+        let mut state = DurableState::open(&dir).expect("open");
+        for tag in 1..=3u64 {
+            state
+                .checkpoint(&sample_checkpoint(tag))
+                .expect("checkpoint");
+        }
+        // Slots now hold seq 2 and 3; segment 1 is pruned.
+        assert!(!dir
+            .join(format!("{JOURNAL_PREFIX}1{JOURNAL_SUFFIX}"))
+            .exists());
+        let (cp, _) = DurableState::load(&dir).expect("load");
+        assert_eq!(cp, sample_checkpoint(3));
+
+        // A restarted process continues the sequence instead of recycling
+        // numbers the old slots still carry.
+        let mut reopened = DurableState::open(&dir).expect("reopen");
+        reopened
+            .checkpoint(&sample_checkpoint(4))
+            .expect("checkpoint");
+        let (cp, _) = DurableState::load(&dir).expect("load");
+        assert_eq!(cp, sample_checkpoint(4));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

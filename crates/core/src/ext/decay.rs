@@ -13,7 +13,7 @@
 
 use crate::types::{Place, PlaceId};
 use ctup_spatial::{convert, CellId, Circle, Grid, Point, UnitGridIndex};
-use ctup_storage::PlaceStore;
+use ctup_storage::{PlaceStore, StorageError};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -198,8 +198,13 @@ impl std::fmt::Debug for DecayCtup {
 
 impl DecayCtup {
     /// Builds the monitor and initializes it (exact per-cell bounds, then
-    /// accesses in increasing bound order).
-    pub fn new(config: DecayConfig, store: Arc<dyn PlaceStore>, initial_units: &[Point]) -> Self {
+    /// accesses in increasing bound order). Fails if a cell read hits a
+    /// storage fault.
+    pub fn new(
+        config: DecayConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+    ) -> Result<Self, StorageError> {
         assert!(
             config.kernel.support() > 0.0,
             "kernel must have positive support"
@@ -231,15 +236,15 @@ impl DecayCtup {
         };
         // Exact bounds per cell.
         for cell in this.grid.cells() {
-            let records = this.store.read_cell(cell).into_owned();
+            let records = this.store.read_cell(cell)?.into_owned();
             let mut min = f64::INFINITY;
             for record in &records {
                 min = min.min(this.safety_of(record));
             }
             this.set_lb(cell, min);
         }
-        this.access_loop();
-        this
+        this.access_loop()?;
+        Ok(this)
     }
 
     /// Exact decayed safety from the unit index.
@@ -287,10 +292,10 @@ impl DecayCtup {
         }
     }
 
-    fn access_cell(&mut self, cell: CellId) {
+    fn access_cell(&mut self, cell: CellId) -> Result<(), StorageError> {
+        let records = self.store.read_cell(cell)?.into_owned();
         self.cells_accessed += 1;
         self.remove_cell_places(cell);
-        let records = self.store.read_cell(cell).into_owned();
         for record in records {
             let safety = self.safety_of(&record);
             let id = record.id;
@@ -329,25 +334,27 @@ impl DecayCtup {
             }
         }
         self.set_lb(cell, lb);
+        Ok(())
     }
 
-    fn access_loop(&mut self) -> u64 {
+    fn access_loop(&mut self) -> Result<u64, StorageError> {
         let mut count = 0;
         loop {
             let sk = self.sk_eff();
             match self.lb_order.first() {
                 Some(&(TotalF64(lb0), cell)) if lb0 < sk => {
-                    self.access_cell(cell);
+                    self.access_cell(cell)?;
                     count += 1;
                 }
                 _ => break,
             }
         }
-        count
+        Ok(count)
     }
 
     /// Processes one location update; returns the number of cells accessed.
-    pub fn handle_update(&mut self, unit: u32, new: Point) -> u64 {
+    /// Fails only on a storage fault.
+    pub fn handle_update(&mut self, unit: u32, new: Point) -> Result<u64, StorageError> {
         let old = self.positions[convert::index(unit)];
         self.index.relocate(unit, old, new);
         self.positions[convert::index(unit)] = new;
@@ -421,7 +428,12 @@ impl DecayCtup {
             if lb.is_infinite() {
                 continue;
             }
-            for record in self.store.read_cell(cell).iter() {
+            let records = self
+                .store
+                .read_cell(cell)
+                // ctup-lint: allow(L001, the invariant checker is an assertion harness — an unreadable cell must fail the calling test)
+                .unwrap_or_else(|e| panic!("invariant check could not read {cell:?}: {e}"));
+            for record in records.iter() {
                 if self.maintained.contains_key(&record.id) {
                     continue;
                 }
@@ -502,7 +514,7 @@ mod tests {
             mode,
             delta: 0.5,
         };
-        let mut monitor = DecayCtup::new(config, store, &units);
+        let mut monitor = DecayCtup::new(config, store, &units).expect("init");
         assert_results_match(&monitor.result(), &oracle.result(&units, mode), 1e-9);
 
         let mut state = seed | 1;
@@ -515,7 +527,7 @@ mod tests {
         for step in 0..steps {
             let unit = (next() * 8.0) as usize % 8;
             let new = Point::new(next(), next());
-            monitor.handle_update(unit as u32, new);
+            monitor.handle_update(unit as u32, new).expect("update");
             units[unit] = new;
             assert_results_match(&monitor.result(), &oracle.result(&units, mode), 1e-6);
             if step % 40 == 0 {
@@ -585,10 +597,12 @@ mod tests {
                 mode: DecayMode::TopK(5),
                 delta,
             };
-            let mut monitor = DecayCtup::new(config, store, &units);
+            let mut monitor = DecayCtup::new(config, store, &units).expect("init");
             let before = monitor.cells_accessed;
             for i in 0..100 {
-                monitor.handle_update(0, Point::new(0.1 + 1e-7 * i as f64, 0.45));
+                monitor
+                    .handle_update(0, Point::new(0.1 + 1e-7 * i as f64, 0.45))
+                    .expect("update");
             }
             monitor.cells_accessed - before
         };

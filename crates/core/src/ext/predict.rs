@@ -11,7 +11,7 @@ use crate::config::QueryMode;
 use crate::oracle::Oracle;
 use crate::types::{LocationUpdate, Place, TopKEntry, UnitId};
 use ctup_spatial::{Point, Rect};
-use ctup_storage::PlaceStore;
+use ctup_storage::{PlaceStore, StorageError};
 
 /// Dead-reckoning velocity estimates from consecutive location reports.
 ///
@@ -102,15 +102,20 @@ impl std::fmt::Debug for PredictiveCtup {
 }
 
 impl PredictiveCtup {
-    /// Builds the predictor over the full place set of `store`.
-    pub fn new(store: &dyn PlaceStore, initial_units: &[Point], radius: f64) -> Self {
+    /// Builds the predictor over the full place set of `store`. Fails if
+    /// the store's bulk scan hits a storage fault.
+    pub fn new(
+        store: &dyn PlaceStore,
+        initial_units: &[Point],
+        radius: f64,
+    ) -> Result<Self, StorageError> {
         assert!(radius > 0.0);
-        PredictiveCtup {
-            oracle: Oracle::from_store(store),
+        Ok(PredictiveCtup {
+            oracle: Oracle::from_store(store)?,
             tracker: VelocityTracker::new(initial_units),
             space: *store.grid().space(),
             radius,
-        }
+        })
     }
 
     /// Ingests one location update (keeps velocity estimates fresh).
@@ -181,7 +186,7 @@ mod tests {
     fn predicts_future_unsafe_place() {
         let st = store();
         // Unit starts at place 0 and moves towards place 1.
-        let mut pred = PredictiveCtup::new(&st, &[Point::new(0.2, 0.5)], 0.1);
+        let mut pred = PredictiveCtup::new(&st, &[Point::new(0.2, 0.5)], 0.1).expect("init");
         pred.observe(LocationUpdate {
             unit: UnitId(0),
             new: Point::new(0.35, 0.5),
@@ -202,9 +207,9 @@ mod tests {
     fn zero_horizon_matches_current_truth() {
         let st = store();
         let units = vec![Point::new(0.8, 0.5)];
-        let pred = PredictiveCtup::new(&st, &units, 0.1);
+        let pred = PredictiveCtup::new(&st, &units, 0.1).expect("init");
         let got = pred.predict(0.0, QueryMode::TopK(2));
-        let oracle = Oracle::from_store(&st);
+        let oracle = Oracle::from_store(&st).expect("oracle");
         oracle.assert_result_matches(&got, &units, 0.1, QueryMode::TopK(2));
     }
 }

@@ -11,7 +11,7 @@ use crate::config::{CtupConfig, QueryMode};
 use crate::opt::OptCtup;
 use crate::types::{LocationUpdate, Safety, TopKEntry};
 use ctup_spatial::Point;
-use ctup_storage::PlaceStore;
+use ctup_storage::{PlaceStore, StorageError};
 use std::sync::Arc;
 
 /// A continuous "all places below threshold" monitor.
@@ -30,21 +30,22 @@ impl std::fmt::Debug for ThresholdMonitor {
 
 impl ThresholdMonitor {
     /// Builds the monitor. `base` supplies radius and Δ; its query mode is
-    /// overridden with `Threshold(threshold)`.
+    /// overridden with `Threshold(threshold)`. Fails if the underlying
+    /// initialization hits a storage fault.
     pub fn new(
         threshold: Safety,
         base: CtupConfig,
         store: Arc<dyn PlaceStore>,
         initial_units: &[Point],
-    ) -> Self {
+    ) -> Result<Self, StorageError> {
         let config = CtupConfig {
             mode: QueryMode::Threshold(threshold),
             ..base
         };
-        ThresholdMonitor {
-            inner: OptCtup::new(config, store, initial_units),
+        Ok(ThresholdMonitor {
+            inner: OptCtup::new(config, store, initial_units)?,
             threshold,
-        }
+        })
     }
 
     /// The monitored threshold `τ`.
@@ -62,8 +63,8 @@ impl ThresholdMonitor {
         self.inner.result().len()
     }
 
-    /// Processes one location update.
-    pub fn handle_update(&mut self, update: LocationUpdate) -> UpdateStats {
+    /// Processes one location update. Fails only on a storage fault.
+    pub fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError> {
         self.inner.handle_update(update)
     }
 
@@ -98,7 +99,8 @@ mod tests {
         let units: Vec<Point> = (0..8)
             .map(|i| Point::new(0.1 + 0.1 * i as f64, 0.5))
             .collect();
-        let monitor = ThresholdMonitor::new(threshold, CtupConfig::paper_default(), store, &units);
+        let monitor = ThresholdMonitor::new(threshold, CtupConfig::paper_default(), store, &units)
+            .expect("init");
         (monitor, oracle, units)
     }
 
@@ -128,10 +130,12 @@ mod tests {
         for _ in 0..150 {
             let unit = (next() * 8.0) as usize % 8;
             let new = Point::new(next(), next());
-            monitor.handle_update(LocationUpdate {
-                unit: UnitId(unit as u32),
-                new,
-            });
+            monitor
+                .handle_update(LocationUpdate {
+                    unit: UnitId(unit as u32),
+                    new,
+                })
+                .expect("update");
             units[unit] = new;
             oracle.assert_result_matches(
                 &monitor.unsafe_places(),

@@ -41,9 +41,12 @@
 //!     CtupConfig::with_k(1),
 //!     store,
 //!     &[Point::new(0.2, 0.2)], // one unit, protecting place 0
-//! );
+//! )
+//! .expect("clean store");
 //! assert_eq!(monitor.result()[0].place, PlaceId(1)); // place 1 unprotected
-//! monitor.handle_update(LocationUpdate { unit: UnitId(0), new: Point::new(0.8, 0.8) });
+//! monitor
+//!     .handle_update(LocationUpdate { unit: UnitId(0), new: Point::new(0.8, 0.8) })
+//!     .expect("clean store");
 //! assert_eq!(monitor.result()[0].place, PlaceId(0)); // now place 0 is least safe
 //! ```
 
@@ -55,6 +58,7 @@ pub mod basic;
 pub mod cells;
 pub mod checkpoint;
 pub mod config;
+pub mod durable;
 pub mod ext;
 pub mod ingest;
 pub mod lbdir;
@@ -74,6 +78,7 @@ pub use algorithm::{CtupAlgorithm, InitStats, UpdateStats};
 pub use basic::BasicCtup;
 pub use checkpoint::{Checkpoint, CheckpointError, Checkpointable};
 pub use config::{CtupConfig, QueryMode};
+pub use durable::DurableState;
 pub use ingest::{IngestConfig, IngestGate, RejectReason, StampedUpdate};
 pub use metrics::{Metrics, ResilienceStats};
 pub use naive::{NaiveIncremental, NaiveRecompute};

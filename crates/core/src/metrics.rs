@@ -41,6 +41,9 @@ pub struct ResilienceStats {
     /// Monitor events recomputed during replay but suppressed because they
     /// had already been delivered before the crash.
     pub events_suppressed: u64,
+    /// Storage errors (exhausted retries, detected corruption) surfaced by
+    /// the worker and contained by the supervisor like a panic.
+    pub storage_errors: u64,
 }
 
 impl ResilienceStats {
@@ -65,6 +68,7 @@ impl ResilienceStats {
             updates_replayed: self.updates_replayed - earlier.updates_replayed,
             checkpoints_taken: self.checkpoints_taken - earlier.checkpoints_taken,
             events_suppressed: self.events_suppressed - earlier.events_suppressed,
+            storage_errors: self.storage_errors - earlier.storage_errors,
         }
     }
 }
@@ -184,10 +188,12 @@ mod tests {
         let mut b = a.clone();
         b.rejected_unknown_unit = 10;
         b.worker_restarts = 2;
+        b.storage_errors = 3;
         let d = b.since(&a);
         assert_eq!(d.rejected_unknown_unit, 7);
         assert_eq!(d.worker_restarts, 2);
         assert_eq!(d.stale_dropped, 0);
+        assert_eq!(d.storage_errors, 3);
 
         let m = Metrics {
             resilience: b.clone(),

@@ -7,7 +7,7 @@ use crate::topk::SafetyOrdered;
 use crate::types::{protects, LocationUpdate, Place, Safety, TopKEntry, UnitId};
 use crate::units::UnitTable;
 use ctup_spatial::{convert, Circle, Grid, Point};
-use ctup_storage::PlaceStore;
+use ctup_storage::{PlaceStore, StorageError};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -43,7 +43,12 @@ impl std::fmt::Debug for NaiveIncremental {
 
 impl NaiveIncremental {
     /// Builds the baseline over `store` with units at `initial_units`.
-    pub fn new(config: CtupConfig, store: Arc<dyn PlaceStore>, initial_units: &[Point]) -> Self {
+    /// Fails if the one-time bulk load hits a storage fault.
+    pub fn new(
+        config: CtupConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+    ) -> Result<Self, StorageError> {
         config.validate();
         let start = Instant::now();
         let io_before = store.stats().snapshot();
@@ -53,7 +58,7 @@ impl NaiveIncremental {
         let mut places = Vec::with_capacity(store.num_places());
         let mut by_cell = vec![Vec::new(); grid.num_cells()];
         for cell in grid.cells() {
-            for place in store.read_cell(cell).iter() {
+            for place in store.read_cell(cell)?.iter() {
                 by_cell[cell.index()].push(convert::id32(places.len()));
                 places.push(place.clone());
             }
@@ -86,7 +91,7 @@ impl NaiveIncremental {
             storage: store.stats().snapshot().since(&io_before),
             safeties_computed: convert::count64(this.places.len()),
         };
-        this
+        Ok(this)
     }
 
     fn current_result(&self) -> Vec<TopKEntry> {
@@ -135,7 +140,7 @@ impl CtupAlgorithm for NaiveIncremental {
         &self.config
     }
 
-    fn handle_update(&mut self, update: LocationUpdate) -> UpdateStats {
+    fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError> {
         let start = Instant::now();
         let old = self.units.apply(update);
         self.adjust_affected(old, update.new);
@@ -149,12 +154,12 @@ impl CtupAlgorithm for NaiveIncremental {
         if changed {
             self.metrics.result_changes += 1;
         }
-        UpdateStats {
+        Ok(UpdateStats {
             maintain_nanos: nanos,
             access_nanos: 0,
             cells_accessed: 0,
             result_changed: changed,
-        }
+        })
     }
 
     fn result(&self) -> Vec<TopKEntry> {
@@ -203,14 +208,15 @@ mod tests {
         let store: Arc<dyn PlaceStore> =
             Arc::new(CellLocalStore::build(Grid::unit_square(4), places));
         let units = vec![Point::new(0.5, 0.5), Point::new(0.2, 0.2)];
-        let alg = NaiveIncremental::new(CtupConfig::with_k(k), store.clone(), &units);
+        let alg =
+            NaiveIncremental::new(CtupConfig::with_k(k), store.clone(), &units).expect("init");
         (alg, store, units)
     }
 
     #[test]
     fn matches_oracle_through_update_sequence() {
         let (mut alg, store, mut units) = setup(3);
-        let oracle = Oracle::from_store(store.as_ref());
+        let oracle = Oracle::from_store(store.as_ref()).expect("oracle");
         oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::TopK(3));
         let moves = [
             (0u32, Point::new(0.84, 0.86)),
@@ -223,7 +229,8 @@ mod tests {
             alg.handle_update(LocationUpdate {
                 unit: UnitId(unit),
                 new,
-            });
+            })
+            .expect("update");
             units[unit as usize] = new;
             oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::TopK(3));
         }
@@ -232,7 +239,7 @@ mod tests {
     #[test]
     fn agrees_with_recompute_baseline() {
         let (mut inc, store, units) = setup(2);
-        let mut rec = NaiveRecompute::new(CtupConfig::with_k(2), store, &units);
+        let mut rec = NaiveRecompute::new(CtupConfig::with_k(2), store, &units).expect("init");
         for i in 0..20u32 {
             let update = LocationUpdate {
                 unit: UnitId(i % 2),
@@ -241,8 +248,8 @@ mod tests {
                     0.05 + (i as f64 * 0.071) % 0.9,
                 ),
             };
-            inc.handle_update(update);
-            rec.handle_update(update);
+            inc.handle_update(update).expect("update");
+            rec.handle_update(update).expect("update");
             let inc_safeties: Vec<Safety> = inc.result().iter().map(|e| e.safety).collect();
             let rec_safeties: Vec<Safety> = rec.result().iter().map(|e| e.safety).collect();
             assert_eq!(inc_safeties, rec_safeties, "diverged at update {i}");

@@ -6,7 +6,7 @@ use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Place, Safety, TopKEntry, UnitId};
 use crate::units::UnitTable;
 use ctup_spatial::{convert, Point};
-use ctup_storage::PlaceStore;
+use ctup_storage::{PlaceStore, StorageError};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,14 +37,19 @@ impl std::fmt::Debug for NaiveRecompute {
 
 impl NaiveRecompute {
     /// Builds the baseline over `store` with units at `initial_units`.
-    pub fn new(config: CtupConfig, store: Arc<dyn PlaceStore>, initial_units: &[Point]) -> Self {
+    /// Fails if the one-time bulk load hits a storage fault.
+    pub fn new(
+        config: CtupConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+    ) -> Result<Self, StorageError> {
         config.validate();
         let start = Instant::now();
         let io_before = store.stats().snapshot();
         let grid = store.grid().clone();
         let mut places = Vec::with_capacity(store.num_places());
         for cell in grid.cells() {
-            places.extend(store.read_cell(cell).iter().cloned());
+            places.extend(store.read_cell(cell)?.iter().cloned());
         }
         let units = UnitTable::new(grid, initial_units, config.protection_radius);
         let mut this = NaiveRecompute {
@@ -61,7 +66,7 @@ impl NaiveRecompute {
             storage: store.stats().snapshot().since(&io_before),
             safeties_computed: convert::count64(this.places.len()),
         };
-        this
+        Ok(this)
     }
 
     /// Recomputes every place's safety and the result set.
@@ -117,7 +122,7 @@ impl CtupAlgorithm for NaiveRecompute {
         &self.config
     }
 
-    fn handle_update(&mut self, update: LocationUpdate) -> UpdateStats {
+    fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError> {
         let start = Instant::now();
         let before = std::mem::take(&mut self.result);
         self.units.apply(update);
@@ -130,12 +135,12 @@ impl CtupAlgorithm for NaiveRecompute {
         if changed {
             self.metrics.result_changes += 1;
         }
-        UpdateStats {
+        Ok(UpdateStats {
             maintain_nanos: nanos,
             access_nanos: 0,
             cells_accessed: 0,
             result_changed: changed,
-        }
+        })
     }
 
     fn result(&self) -> Vec<TopKEntry> {
@@ -189,8 +194,8 @@ mod tests {
     #[test]
     fn initial_result_matches_oracle() {
         let (store, units) = small_setup();
-        let alg = NaiveRecompute::new(CtupConfig::with_k(2), store.clone(), &units);
-        let oracle = Oracle::from_store(store.as_ref());
+        let alg = NaiveRecompute::new(CtupConfig::with_k(2), store.clone(), &units).expect("init");
+        let oracle = Oracle::from_store(store.as_ref()).expect("oracle");
         oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::TopK(2));
         assert_eq!(alg.init_stats().storage.cell_reads, 16);
         assert_eq!(alg.init_stats().safeties_computed, 4);
@@ -199,18 +204,21 @@ mod tests {
     #[test]
     fn updates_track_oracle() {
         let (store, mut units) = small_setup();
-        let mut alg = NaiveRecompute::new(CtupConfig::with_k(2), store.clone(), &units);
-        let oracle = Oracle::from_store(store.as_ref());
+        let mut alg =
+            NaiveRecompute::new(CtupConfig::with_k(2), store.clone(), &units).expect("init");
+        let oracle = Oracle::from_store(store.as_ref()).expect("oracle");
         let moves = [
             (0u32, Point::new(0.85, 0.85)),
             (1u32, Point::new(0.5, 0.55)),
             (0u32, Point::new(0.1, 0.1)),
         ];
         for (unit, new) in moves {
-            let stats = alg.handle_update(LocationUpdate {
-                unit: UnitId(unit),
-                new,
-            });
+            let stats = alg
+                .handle_update(LocationUpdate {
+                    unit: UnitId(unit),
+                    new,
+                })
+                .expect("update");
             units[unit as usize] = new;
             oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::TopK(2));
             assert_eq!(stats.cells_accessed, 0);
@@ -225,8 +233,8 @@ mod tests {
             mode: QueryMode::Threshold(0),
             ..CtupConfig::paper_default()
         };
-        let alg = NaiveRecompute::new(config, store.clone(), &units);
-        let oracle = Oracle::from_store(store.as_ref());
+        let alg = NaiveRecompute::new(config, store.clone(), &units).expect("init");
+        let oracle = Oracle::from_store(store.as_ref()).expect("oracle");
         oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::Threshold(0));
         assert!(alg.sk().is_none());
     }
@@ -234,7 +242,7 @@ mod tests {
     #[test]
     fn sk_is_kth_entry() {
         let (store, units) = small_setup();
-        let alg = NaiveRecompute::new(CtupConfig::with_k(2), store, &units);
+        let alg = NaiveRecompute::new(CtupConfig::with_k(2), store, &units).expect("init");
         let result = alg.result();
         assert_eq!(alg.sk(), Some(result[1].safety));
     }

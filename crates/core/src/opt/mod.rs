@@ -20,7 +20,7 @@ use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId, LB_NONE};
 use crate::units::UnitTable;
 use ctup_spatial::{convert, CellId, Circle, Grid, Point, Relation};
-use ctup_storage::PlaceStore;
+use ctup_storage::{PlaceStore, StorageError};
 use dechash::DecHash;
 use lb::{opt_transition, HashOp};
 use std::sync::Arc;
@@ -55,8 +55,13 @@ impl std::fmt::Debug for OptCtup {
 impl OptCtup {
     /// Builds the scheme over `store` and runs the paper's initialization
     /// (§IV.D): exact per-cell bounds, accesses in increasing bound order,
-    /// then eviction of everything at or above `SK + Δ`.
-    pub fn new(config: CtupConfig, store: Arc<dyn PlaceStore>, initial_units: &[Point]) -> Self {
+    /// then eviction of everything at or above `SK + Δ`. Fails if a cell
+    /// read hits a storage fault.
+    pub fn new(
+        config: CtupConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+    ) -> Result<Self, StorageError> {
         config.validate();
         let start = Instant::now();
         let io_before = store.stats().snapshot();
@@ -79,7 +84,7 @@ impl OptCtup {
         // Step 1: exact lower bound per cell.
         let mut safeties_computed = 0u64;
         for cell in this.grid.cells() {
-            let records = this.store.read_cell(cell);
+            let records = this.store.read_cell(cell)?;
             let mut min = LB_NONE;
             for record in records.iter() {
                 min = min.min(this.units.safety(record));
@@ -90,7 +95,7 @@ impl OptCtup {
 
         // Steps 2–3: access cells in increasing bound order; each access
         // keeps the places below SK + Δ and re-establishes the bound.
-        this.access_loop();
+        this.access_loop()?;
 
         // Step 4: DecHash starts empty (nothing was decremented yet).
         this.dechash.clear();
@@ -104,7 +109,7 @@ impl OptCtup {
             storage: this.store.stats().snapshot().since(&io_before),
             safeties_computed,
         };
-        this
+        Ok(this)
     }
 
     /// Loads a cell, refreshes the maintained subset of its places, purges
@@ -116,10 +121,10 @@ impl OptCtup {
     /// of them again would dominate the access cost, so the post-inclusion
     /// `SK` is computed by merging the cell's sorted safeties with the
     /// global ordered view, and only the keepers ever enter the structures.
-    fn access_cell(&mut self, cell: CellId) {
-        // Recompute from scratch: drop whatever was maintained for the cell.
+    fn access_cell(&mut self, cell: CellId) -> Result<(), StorageError> {
+        // Read first: a failed access leaves the maintained set intact.
+        let records = self.store.read_cell(cell)?;
         self.maintained.remove_cell(cell);
-        let records = self.store.read_cell(cell);
         self.metrics.cells_accessed += 1;
         self.metrics.places_loaded += convert::count64(records.len());
 
@@ -186,22 +191,23 @@ impl OptCtup {
         if self.config.purge_dechash_on_access {
             self.dechash.purge_cell(cell);
         }
+        Ok(())
     }
 
     /// Accesses cells, cheapest bound first, until none is below `SK`.
-    fn access_loop(&mut self) -> u64 {
+    fn access_loop(&mut self) -> Result<u64, StorageError> {
         let mut count = 0;
         loop {
             let sk = self.maintained.sk_eff(self.config.mode);
             match self.lb.first() {
                 Some((lb0, cell)) if lb0 < sk => {
-                    self.access_cell(cell);
+                    self.access_cell(cell)?;
                     count += 1;
                 }
                 _ => break,
             }
         }
-        count
+        Ok(count)
     }
 
     /// Table II (or Table I when DOO is disabled) over the affected cells.
@@ -348,7 +354,12 @@ impl OptCtup {
             if lb == LB_NONE {
                 continue;
             }
-            for record in self.store.read_cell(cell).iter() {
+            let records = self
+                .store
+                .read_cell(cell)
+                // ctup-lint: allow(L001, the invariant checker is an assertion harness — an unreadable cell must fail the calling test)
+                .unwrap_or_else(|e| panic!("invariant check could not read {cell:?}: {e}"));
+            for record in records.iter() {
                 if self.maintained.contains(record.id) {
                     continue;
                 }
@@ -400,7 +411,7 @@ impl CtupAlgorithm for OptCtup {
         &self.config
     }
 
-    fn handle_update(&mut self, update: LocationUpdate) -> UpdateStats {
+    fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError> {
         let radius = self.config.protection_radius;
         let maintain_start = Instant::now();
         let old = self.units.apply(update);
@@ -419,7 +430,7 @@ impl CtupAlgorithm for OptCtup {
 
         // Step 3: access every cell whose bound fell below SK.
         let access_start = Instant::now();
-        let cells_accessed = self.access_loop();
+        let cells_accessed = self.access_loop()?;
         let access_nanos = convert::nanos64(access_start.elapsed().as_nanos());
 
         let result = self.maintained.result(self.config.mode);
@@ -434,12 +445,12 @@ impl CtupAlgorithm for OptCtup {
         if changed {
             self.metrics.result_changes += 1;
         }
-        UpdateStats {
+        Ok(UpdateStats {
             maintain_nanos,
             access_nanos,
             cells_accessed,
             result_changed: changed,
-        }
+        })
     }
 
     fn result(&self) -> Vec<TopKEntry> {
@@ -501,7 +512,7 @@ mod tests {
         let units: Vec<Point> = (0..10)
             .map(|i| Point::new(0.05 + 0.09 * i as f64, 0.95 - 0.085 * i as f64))
             .collect();
-        let alg = OptCtup::new(config, store, &units);
+        let alg = OptCtup::new(config, store, &units).expect("init");
         (alg, oracle, units)
     }
 
@@ -528,7 +539,8 @@ mod tests {
             alg.handle_update(LocationUpdate {
                 unit: UnitId(unit as u32),
                 new,
-            });
+            })
+            .expect("update");
             units[unit] = new;
             oracle.assert_result_matches(&alg.result(), &units, 0.1, config.mode);
             if step % 50 == 0 {
@@ -601,7 +613,8 @@ mod tests {
             alg.handle_update(LocationUpdate {
                 unit: UnitId(0),
                 new: Point::new(0.45 + 0.001 * (i % 2) as f64, 0.45),
-            });
+            })
+            .expect("update");
         }
         let decs = alg.metrics().lb_decrements - before;
         let suppressed = alg.metrics().lb_decrements_suppressed;
@@ -641,7 +654,8 @@ mod tests {
                 config,
                 store,
                 &[Point::new(0.25, 0.33), Point::new(0.33, 0.25)],
-            );
+            )
+            .expect("init");
             assert_eq!(alg.result().len(), 1, "only q alarmed initially");
             // Two P->P moves that keep protecting p: each decrements C0's
             // bound once (hash entries recorded); the second forces an
@@ -649,11 +663,13 @@ mod tests {
             alg.handle_update(LocationUpdate {
                 unit: UnitId(0),
                 new: Point::new(0.25, 0.335),
-            });
+            })
+            .expect("update");
             alg.handle_update(LocationUpdate {
                 unit: UnitId(1),
                 new: Point::new(0.335, 0.25),
-            });
+            })
+            .expect("update");
             // Both units leave p (still P->P with C0): safety(p) drops to
             // -5 < -4, so p must be alarmed. Without the purge, both stale
             // hash entries suppress the decrements: the bound stays at -3
@@ -661,11 +677,13 @@ mod tests {
             alg.handle_update(LocationUpdate {
                 unit: UnitId(0),
                 new: Point::new(0.25, 0.45),
-            });
+            })
+            .expect("update");
             alg.handle_update(LocationUpdate {
                 unit: UnitId(1),
                 new: Point::new(0.45, 0.25),
-            });
+            })
+            .expect("update");
             alg.result().iter().any(|e| e.place == PlaceId(0))
         };
         assert!(run(true), "purge-on-access must report p");
@@ -686,8 +704,8 @@ mod tests {
         let units: Vec<Point> = (0..10)
             .map(|i| Point::new(0.05 + 0.09 * i as f64, 0.5))
             .collect();
-        let opt = OptCtup::new(CtupConfig::with_k(5), store, &units);
-        let basic = BasicCtup::new(CtupConfig::with_k(5), store2, &units);
+        let opt = OptCtup::new(CtupConfig::with_k(5), store, &units).expect("init");
+        let basic = BasicCtup::new(CtupConfig::with_k(5), store2, &units).expect("init");
         assert!(
             opt.maintained_places() <= basic.maintained_places(),
             "opt {} > basic {}",

@@ -8,7 +8,7 @@
 use crate::config::QueryMode;
 use crate::types::{protects, Place, Safety, TopKEntry};
 use ctup_spatial::Point;
-use ctup_storage::PlaceStore;
+use ctup_storage::{PlaceStore, StorageError};
 
 /// A reference implementation computing exact results by exhaustive scan.
 #[derive(Debug, Clone)]
@@ -23,11 +23,11 @@ impl Oracle {
     }
 
     /// Creates an oracle over every place of a store (bypasses I/O
-    /// accounting).
-    pub fn from_store(store: &dyn PlaceStore) -> Self {
+    /// accounting). Fails if the store's bulk scan hits corruption.
+    pub fn from_store(store: &dyn PlaceStore) -> Result<Self, StorageError> {
         let mut places = Vec::with_capacity(store.num_places());
-        store.for_each_place(&mut |p| places.push(p.clone()));
-        Oracle { places }
+        store.for_each_place(&mut |p| places.push(p.clone()))?;
+        Ok(Oracle { places })
     }
 
     /// The place set.

@@ -11,6 +11,7 @@ use crate::metrics::Metrics;
 use crate::server::{MonitorEvent, Server};
 use crate::types::LocationUpdate;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ctup_storage::StorageError;
 use std::thread::JoinHandle;
 
 /// The result changes caused by one ingested update.
@@ -36,6 +37,11 @@ pub struct PipelineReport {
     /// to survive worker crashes should run the supervised pipeline,
     /// [`crate::supervisor::SupervisedPipeline`], instead).
     pub worker_panicked: bool,
+    /// The storage error that stopped the worker, if one did. The plain
+    /// pipeline has no checkpoint to fall back to, so the first exhausted
+    /// retry or detected corruption ends the run (counters up to that
+    /// point are preserved); the supervised pipeline restarts instead.
+    pub storage_error: Option<StorageError>,
 }
 
 /// A monitoring server running on its own worker thread.
@@ -94,20 +100,30 @@ impl Pipeline {
             .spawn(move || {
                 let mut server = Server::new(algorithm);
                 let mut seq = 0u64;
+                let mut storage_error = None;
                 for update in updates_rx.iter() {
-                    let (events, _) = server.ingest(update);
-                    if !events.is_empty() {
-                        // If every consumer hung up, keep monitoring anyway:
-                        // the final report still carries the totals.
-                        let _ = events_tx.send(EventBatch { seq, events });
+                    match server.ingest(update) {
+                        Ok((events, _)) => {
+                            if !events.is_empty() {
+                                // If every consumer hung up, keep monitoring
+                                // anyway: the final report still carries the
+                                // totals.
+                                let _ = events_tx.send(EventBatch { seq, events });
+                            }
+                            seq += 1;
+                        }
+                        Err(e) => {
+                            storage_error = Some(e);
+                            break;
+                        }
                     }
-                    seq += 1;
                 }
                 PipelineReport {
                     updates_processed: seq,
                     events_emitted: server.events_emitted(),
                     metrics: server.algorithm().metrics().clone(),
                     worker_panicked: false,
+                    storage_error,
                 }
             })
             // ctup-lint: allow(L001, thread spawn fails only on OS resource exhaustion at construction — there is no monitor to degrade to yet)
@@ -168,6 +184,7 @@ impl Pipeline {
                 events_emitted: 0,
                 metrics: Metrics::default(),
                 worker_panicked: true,
+                storage_error: None,
             },
         }
     }
@@ -207,7 +224,7 @@ mod tests {
     fn monitor(units: &[Point]) -> OptCtup {
         let store: Arc<dyn PlaceStore> =
             Arc::new(CellLocalStore::build(Grid::unit_square(5), places()));
-        OptCtup::new(CtupConfig::with_k(4), store, units)
+        OptCtup::new(CtupConfig::with_k(4), store, units).expect("init")
     }
 
     fn updates(n: usize) -> Vec<LocationUpdate> {
@@ -239,7 +256,7 @@ mod tests {
         let mut direct = Server::new(monitor(&units));
         let mut direct_batches = Vec::new();
         for (seq, &u) in stream.iter().enumerate() {
-            let (events, _) = direct.ingest(u);
+            let (events, _) = direct.ingest(u).expect("ingest");
             if !events.is_empty() {
                 direct_batches.push(EventBatch {
                     seq: seq as u64,
@@ -315,7 +332,10 @@ mod tests {
             fn config(&self) -> &CtupConfig {
                 self.0.config()
             }
-            fn handle_update(&mut self, _update: LocationUpdate) -> crate::UpdateStats {
+            fn handle_update(
+                &mut self,
+                _update: LocationUpdate,
+            ) -> Result<crate::UpdateStats, StorageError> {
                 panic!("boom");
             }
             fn result(&self) -> Vec<crate::TopKEntry> {

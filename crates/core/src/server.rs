@@ -4,6 +4,7 @@
 
 use crate::algorithm::{CtupAlgorithm, UpdateStats};
 use crate::types::{LocationUpdate, PlaceId, Safety, TopKEntry};
+use ctup_storage::StorageError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -87,9 +88,13 @@ impl<A: CtupAlgorithm> Server<A> {
 
     /// Processes one location update and returns the result changes it
     /// caused, `Entered`/`SafetyChanged` first (sorted by place id), then
-    /// `Left` (sorted by place id).
-    pub fn ingest(&mut self, update: LocationUpdate) -> (Vec<MonitorEvent>, UpdateStats) {
-        let stats = self.algorithm.handle_update(update);
+    /// `Left` (sorted by place id). A storage failure aborts the update
+    /// before any event is emitted.
+    pub fn ingest(
+        &mut self,
+        update: LocationUpdate,
+    ) -> Result<(Vec<MonitorEvent>, UpdateStats), StorageError> {
+        let stats = self.algorithm.handle_update(update)?;
         let mut events = Vec::new();
         if stats.result_changed {
             let fresh: HashMap<PlaceId, Safety> = self
@@ -127,7 +132,7 @@ impl<A: CtupAlgorithm> Server<A> {
             self.current = fresh;
         }
         self.events_emitted += ctup_spatial::convert::count64(events.len());
-        (events, stats)
+        Ok((events, stats))
     }
 }
 
@@ -149,7 +154,8 @@ mod tests {
         let store: Arc<dyn PlaceStore> =
             Arc::new(CellLocalStore::build(Grid::unit_square(4), places));
         // One unit protecting place 0: result (k=1) is place 1 at -2.
-        let alg = NaiveRecompute::new(CtupConfig::with_k(1), store, &[Point::new(0.2, 0.2)]);
+        let alg = NaiveRecompute::new(CtupConfig::with_k(1), store, &[Point::new(0.2, 0.2)])
+            .expect("init");
         Server::new(alg)
     }
 
@@ -158,10 +164,12 @@ mod tests {
         let mut srv = server();
         assert_eq!(srv.result()[0].place, PlaceId(1));
         // Unit moves to protect place 1 instead: place 0 becomes the result.
-        let (events, stats) = srv.ingest(LocationUpdate {
-            unit: UnitId(0),
-            new: Point::new(0.8, 0.8),
-        });
+        let (events, stats) = srv
+            .ingest(LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.8, 0.8),
+            })
+            .expect("ingest");
         assert!(stats.result_changed);
         assert_eq!(
             events,
@@ -182,10 +190,12 @@ mod tests {
         // Unit moves away from both places: place 1 stays the top-1 but the
         // set {place 1: -2} is unchanged, while place 0 drops to -2 as well;
         // with k=1 and id tiebreak place 0 now wins.
-        let (events, _) = srv.ingest(LocationUpdate {
-            unit: UnitId(0),
-            new: Point::new(0.5, 0.5),
-        });
+        let (events, _) = srv
+            .ingest(LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.5, 0.5),
+            })
+            .expect("ingest");
         assert_eq!(
             events,
             vec![
@@ -197,10 +207,12 @@ mod tests {
             ]
         );
         // Unit returns next to place 0 but not within range: no change.
-        let (events, stats) = srv.ingest(LocationUpdate {
-            unit: UnitId(0),
-            new: Point::new(0.45, 0.5),
-        });
+        let (events, stats) = srv
+            .ingest(LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.45, 0.5),
+            })
+            .expect("ingest");
         assert!(events.is_empty());
         assert!(!stats.result_changed);
     }
@@ -208,10 +220,12 @@ mod tests {
     #[test]
     fn no_events_for_irrelevant_updates() {
         let mut srv = server();
-        let (events, stats) = srv.ingest(LocationUpdate {
-            unit: UnitId(0),
-            new: Point::new(0.21, 0.2),
-        });
+        let (events, stats) = srv
+            .ingest(LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.21, 0.2),
+            })
+            .expect("ingest");
         assert!(events.is_empty());
         assert!(!stats.result_changed);
         assert_eq!(srv.events_emitted(), 0);

@@ -8,24 +8,39 @@
 //!    (validation, dedup, liveness leases — see [`crate::ingest`]);
 //! 2. each *effective* update is applied inside
 //!    [`std::panic::catch_unwind`], so a panicking query processor does not
-//!    kill the worker;
+//!    kill the worker; a [`StorageError`] surfaced by the processor (a read
+//!    that exhausted its retries, a page whose checksum failed) is contained
+//!    the same way;
 //! 3. every `checkpoint_every` effective updates the worker snapshots a
-//!    [`Checkpoint`] (monitor state plus [`GateState`]) in memory;
-//! 4. after a caught panic the worker restores the monitor from the latest
-//!    checkpoint, replays the in-flight tail of effective updates while
-//!    *suppressing* the [`MonitorEvent`](crate::server::MonitorEvent)
-//!    batches the replay re-derives (they were already published), then
-//!    retries the update that crashed. After `max_restarts` failed
-//!    recoveries it gives up and reports so.
+//!    [`Checkpoint`] (monitor state plus [`GateState`]) in memory — and,
+//!    when [`ResilienceConfig::state_dir`] is set, durably on disk via the
+//!    A/B slot protocol of [`crate::durable`], with every accepted wire
+//!    report journaled before it is applied;
+//! 4. after a caught panic or contained storage error the worker restores
+//!    the monitor from the latest checkpoint, replays the in-flight tail of
+//!    effective updates while *suppressing* the
+//!    [`MonitorEvent`](crate::server::MonitorEvent) batches the replay
+//!    re-derives (they were already published), then retries the update
+//!    that crashed. After `max_restarts` failed recoveries it gives up and
+//!    reports so.
+//!
+//! After a *process* death (not just a worker panic),
+//! [`SupervisedPipeline::recover_from_dir`] rebuilds the monitor from the
+//! newest valid durable slot and replays the journaled tail through the
+//! restored gate, whose dedup state makes the replay idempotent.
 //!
 //! Deterministic fault injection for tests and the `chaos` CLI command is
 //! built in: [`ResilienceConfig::panic_at`] crashes the processor at chosen
-//! effective sequence numbers, exactly once each.
+//! effective sequence numbers, exactly once each, and
+//! [`ResilienceConfig::kill_at`] halts the worker abruptly mid-stream the
+//! way `kill -9` would, optionally tearing the newest durable slot to
+//! exercise the A/B fallback.
 //!
 //! All decisions are counted in [`ResilienceStats`], folded into the final
 //! [`Metrics`] of the [`SupervisedReport`].
 
 use crate::checkpoint::{Checkpoint, Checkpointable};
+use crate::durable::DurableState;
 use crate::ingest::{IngestConfig, IngestGate, StampedUpdate};
 use crate::metrics::{Metrics, ResilienceStats};
 use crate::pipeline::{EventBatch, SendError};
@@ -36,6 +51,7 @@ use ctup_spatial::convert;
 use ctup_storage::PlaceStore;
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -55,6 +71,19 @@ pub struct ResilienceConfig {
     /// handed the effective update with each of these sequence numbers,
     /// once per entry.
     pub panic_at: Vec<u64>,
+    /// Directory for the durable A/B checkpoint slots and the wire-report
+    /// journal (see [`crate::durable`]); `None` keeps checkpoints in memory
+    /// only, where they survive worker panics but not a process death.
+    pub state_dir: Option<PathBuf>,
+    /// Simulated process death: the worker halts abruptly — no final
+    /// checkpoint, no cleanup — right before applying the effective update
+    /// with this sequence number. Recovery is then exercised with
+    /// [`SupervisedPipeline::recover_from_dir`].
+    pub kill_at: Option<u64>,
+    /// When the kill fires, additionally truncate the newest durable slot,
+    /// simulating a death *mid-checkpoint-write*: recovery must fall back
+    /// to the older slot and a longer journal tail.
+    pub tear_slot_on_kill: bool,
 }
 
 impl Default for ResilienceConfig {
@@ -64,6 +93,9 @@ impl Default for ResilienceConfig {
             checkpoint_every: 256,
             max_restarts: 8,
             panic_at: Vec::new(),
+            state_dir: None,
+            kill_at: None,
+            tear_slot_on_kill: false,
         }
     }
 }
@@ -81,6 +113,10 @@ pub struct SupervisedReport {
     /// and stopped monitoring early. The counters above still describe
     /// everything processed up to that point.
     pub gave_up: bool,
+    /// Whether the worker was halted by [`ResilienceConfig::kill_at`]
+    /// (simulated process death). The monitor state died with it; recovery
+    /// goes through [`SupervisedPipeline::recover_from_dir`].
+    pub killed: bool,
     /// The monitored result at shutdown (empty if the worker gave up).
     pub final_result: Vec<TopKEntry>,
     /// The monitor's cumulative metrics with
@@ -152,11 +188,83 @@ impl SupervisedPipeline {
         Ok(Self::spawn_with_gate(algorithm, gate, config, capacity))
     }
 
+    /// Recovers after a process death: loads the newest valid durable slot
+    /// from `dir` (see [`crate::durable`]), restores the monitor and the
+    /// ingest gate from it, replays the journaled wire reports through the
+    /// restored gate — its dedup state silently drops everything the slot
+    /// already covers, so the replay is idempotent even when recovery fell
+    /// back to the older slot — and resumes supervised monitoring with
+    /// durable checkpointing re-enabled in the same directory.
+    pub fn recover_from_dir<A>(
+        dir: impl AsRef<Path>,
+        store: Arc<dyn PlaceStore>,
+        config: ResilienceConfig,
+        capacity: usize,
+    ) -> Result<Self, crate::checkpoint::CheckpointError>
+    where
+        A: Checkpointable + Send + 'static,
+    {
+        let (checkpoint, journal) = DurableState::load(&dir)?;
+        let ingest_config = IngestConfig {
+            space: *store.grid().space(),
+            num_units: checkpoint.unit_positions.len(),
+            lease_ttl: config.lease_ttl,
+        };
+        let gate_state = checkpoint.gate.clone();
+        let mut algorithm = A::restore(checkpoint, store)?;
+        let mut gate = match gate_state {
+            Some(state) => IngestGate::from_state(ingest_config, state),
+            None => IngestGate::new(ingest_config),
+        };
+        // Replay rejections are recovery bookkeeping (the slot already
+        // covered those reports), not feed defects: they go to a scratch
+        // counter and only the replayed-update count is carried forward.
+        let mut scratch = ResilienceStats::default();
+        let mut seed = ResilienceStats::default();
+        for report in journal {
+            let Ok(effective) = gate.admit(report, &mut scratch) else {
+                continue;
+            };
+            for update in effective {
+                algorithm.handle_update(update).map_err(|e| {
+                    crate::checkpoint::CheckpointError::Invalid(format!(
+                        "storage fault while replaying the journal: {e}"
+                    ))
+                })?;
+                seed.updates_replayed += 1;
+            }
+        }
+        let config = ResilienceConfig {
+            state_dir: Some(dir.as_ref().to_path_buf()),
+            ..config
+        };
+        Ok(Self::spawn_seeded(algorithm, gate, config, capacity, seed))
+    }
+
     fn spawn_with_gate<A>(
         algorithm: A,
         gate: IngestGate,
         config: ResilienceConfig,
         capacity: usize,
+    ) -> Self
+    where
+        A: Checkpointable + Send + 'static,
+    {
+        Self::spawn_seeded(
+            algorithm,
+            gate,
+            config,
+            capacity,
+            ResilienceStats::default(),
+        )
+    }
+
+    fn spawn_seeded<A>(
+        algorithm: A,
+        gate: IngestGate,
+        config: ResilienceConfig,
+        capacity: usize,
+        initial_stats: ResilienceStats,
     ) -> Self
     where
         A: Checkpointable + Send + 'static,
@@ -167,7 +275,16 @@ impl SupervisedPipeline {
         #[allow(clippy::expect_used)]
         let worker = std::thread::Builder::new()
             .name("ctup-supervisor".into())
-            .spawn(move || supervise(algorithm, gate, config, reports_rx, events_tx))
+            .spawn(move || {
+                supervise(
+                    algorithm,
+                    gate,
+                    config,
+                    initial_stats,
+                    reports_rx,
+                    events_tx,
+                )
+            })
             // ctup-lint: allow(L001, thread spawn fails only on OS resource exhaustion at construction — there is no monitor to degrade to yet)
             .expect("spawn ctup-supervisor thread");
         SupervisedPipeline {
@@ -222,6 +339,7 @@ impl SupervisedPipeline {
                 updates_processed: 0,
                 events_emitted: 0,
                 gave_up: true,
+                killed: false,
                 final_result: Vec::new(),
                 metrics: Metrics::default(),
             },
@@ -244,6 +362,7 @@ fn supervise<A>(
     algorithm: A,
     mut gate: IngestGate,
     config: ResilienceConfig,
+    initial_stats: ResilienceStats,
     reports_rx: Receiver<StampedUpdate>,
     events_tx: Sender<EventBatch>,
 ) -> SupervisedReport
@@ -257,7 +376,7 @@ where
         c
     };
     let mut server = Server::new(algorithm);
-    let mut stats = ResilienceStats::default();
+    let mut stats = initial_stats;
     let mut tail: Vec<LocationUpdate> = Vec::new();
     let mut panic_at: HashSet<u64> = config.panic_at.iter().copied().collect();
     let mut eff_seq = 0u64;
@@ -265,13 +384,68 @@ where
     let mut events_emitted = 0u64;
     let mut restarts_left = config.max_restarts;
     let mut gave_up = false;
+    let mut killed = false;
+
+    // Durable persistence: open (or create) the state directory and write
+    // the spawn-time base as the first slot, so there is always a valid
+    // recovery point on disk. A failure to persist is a broken durability
+    // contract — the worker stops instead of running with silent
+    // non-durability.
+    let mut durable = match config.state_dir.as_deref().map(DurableState::open) {
+        None => None,
+        Some(Ok(mut d)) => match d.checkpoint(&base) {
+            Ok(()) => Some(d),
+            Err(_) => {
+                gave_up = true;
+                None
+            }
+        },
+        Some(Err(_)) => {
+            gave_up = true;
+            None
+        }
+    };
+    if gave_up {
+        return SupervisedReport {
+            reports_received: 0,
+            updates_processed: 0,
+            events_emitted: 0,
+            gave_up: true,
+            killed: false,
+            final_result: Vec::new(),
+            metrics: Metrics {
+                resilience: stats,
+                ..Metrics::default()
+            },
+        };
+    }
 
     'recv: for report in reports_rx.iter() {
         reports_received += 1;
         let Ok(effective) = gate.admit(report, &mut stats) else {
             continue; // counted under its RejectReason by the gate
         };
+        if let Some(d) = durable.as_mut() {
+            // Write-ahead: the accepted wire report hits the journal before
+            // it touches the monitor, so a crash between the two replays it.
+            if d.append(report).is_err() {
+                gave_up = true;
+                break 'recv;
+            }
+        }
         for update in effective {
+            // Simulated process death: stop mid-stream with no final
+            // checkpoint, optionally tearing the newest slot the way a
+            // death mid-checkpoint-write would.
+            if config.kill_at == Some(eff_seq) {
+                killed = true;
+                if config.tear_slot_on_kill {
+                    if let Some(d) = durable.as_ref() {
+                        let _ = d.tear_newest_slot();
+                    }
+                }
+                break 'recv;
+            }
             loop {
                 // One-shot injected fault: consumed even if recovery later
                 // fails, so a retry of the same seq proceeds normally.
@@ -284,7 +458,7 @@ where
                     server.ingest(update)
                 }));
                 match outcome {
-                    Ok((events, _)) => {
+                    Ok(Ok((events, _))) => {
                         if !events.is_empty() {
                             events_emitted += convert::count64(events.len());
                             // Consumers hanging up must not stop monitoring.
@@ -300,14 +474,28 @@ where
                         {
                             let mut c = server.algorithm().checkpoint();
                             c.gate = Some(gate.state());
+                            if let Some(d) = durable.as_mut() {
+                                if d.checkpoint(&c).is_err() {
+                                    gave_up = true;
+                                    break 'recv;
+                                }
+                            }
                             base = c;
                             tail.clear();
                             stats.checkpoints_taken += 1;
                         }
                         break; // next effective update
                     }
-                    Err(_) => {
-                        stats.worker_panics += 1;
+                    crashed => {
+                        // A panic (`Err`) and a surfaced storage error
+                        // (`Ok(Err)`) are contained identically: either way
+                        // the processor may be mid-update, so restore from
+                        // the latest checkpoint and replay.
+                        if crashed.is_err() {
+                            stats.worker_panics += 1;
+                        } else {
+                            stats.storage_errors += 1;
+                        }
                         if restarts_left == 0 {
                             gave_up = true;
                             break 'recv;
@@ -338,9 +526,10 @@ where
         }
     }
 
-    let (final_result, metrics) = if gave_up {
-        // The monitor state is suspect after an unrecovered crash: report
-        // the resilience counters but no result.
+    let (final_result, metrics) = if gave_up || killed {
+        // The monitor state is suspect after an unrecovered crash — and
+        // gone entirely after a simulated process death: report the
+        // resilience counters but no result.
         (
             Vec::new(),
             Metrics {
@@ -358,6 +547,7 @@ where
         updates_processed: eff_seq,
         events_emitted,
         gave_up,
+        killed,
         final_result,
         metrics,
     }
@@ -380,7 +570,10 @@ where
         let mut server = Server::new(algorithm);
         let mut suppressed = 0u64;
         for &update in tail {
-            let (events, _) = server.ingest(update);
+            // A storage fault during replay fails the whole recovery: the
+            // supervisor then gives up rather than resume from a state that
+            // silently skipped part of the tail.
+            let (events, _) = server.ingest(update).map_err(|_| ())?;
             suppressed += convert::count64(events.len());
         }
         Ok((server, suppressed))
@@ -415,7 +608,7 @@ mod tests {
     fn monitor(units: &[Point]) -> OptCtup {
         let store: Arc<dyn PlaceStore> =
             Arc::new(CellLocalStore::build(Grid::unit_square(6), places()));
-        OptCtup::new(CtupConfig::with_k(5), store, units)
+        OptCtup::new(CtupConfig::with_k(5), store, units).expect("init")
     }
 
     fn unit_points(n: u32) -> Vec<Point> {
@@ -450,7 +643,7 @@ mod tests {
         let mut direct = Server::new(monitor(&units));
         let mut direct_batches = Vec::new();
         for (seq, &u) in stream.iter().enumerate() {
-            let (events, _) = direct.ingest(u);
+            let (events, _) = direct.ingest(u).expect("ingest");
             if !events.is_empty() {
                 direct_batches.push(EventBatch {
                     seq: seq as u64,
@@ -487,7 +680,7 @@ mod tests {
         let mut direct = Server::new(monitor(&units));
         let mut direct_batches = Vec::new();
         for (seq, &u) in stream.iter().enumerate() {
-            let (events, _) = direct.ingest(u);
+            let (events, _) = direct.ingest(u).expect("ingest");
             if !events.is_empty() {
                 direct_batches.push(EventBatch {
                     seq: seq as u64,
@@ -657,10 +850,12 @@ mod tests {
         // Sanity: a directly-driven monitor agrees a parked unit protects
         // nothing and a reinstated one protects again.
         let mut direct = monitor(&units);
-        direct.handle_update(LocationUpdate {
-            unit: UnitId(1),
-            new: parked_position(),
-        });
+        direct
+            .handle_update(LocationUpdate {
+                unit: UnitId(1),
+                new: parked_position(),
+            })
+            .expect("update");
         assert_eq!(direct.unit_position(UnitId(1)), parked_position());
     }
 
@@ -704,5 +899,161 @@ mod tests {
         let out = standby.shutdown();
         assert_eq!(out.metrics.resilience.duplicates_dropped, 1);
         assert_eq!(out.updates_processed, 0);
+    }
+
+    /// A store whose `read_cell` fails exactly once, on a chosen call
+    /// number — the deterministic stand-in for a disk read that exhausted
+    /// its retry budget.
+    struct FailingStore {
+        inner: CellLocalStore,
+        fail_on: std::sync::atomic::AtomicU64,
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl PlaceStore for FailingStore {
+        fn grid(&self) -> &Grid {
+            self.inner.grid()
+        }
+        fn num_places(&self) -> usize {
+            self.inner.num_places()
+        }
+        fn read_cell(
+            &self,
+            cell: ctup_spatial::CellId,
+        ) -> Result<std::borrow::Cow<'_, [Place]>, ctup_storage::StorageError> {
+            use std::sync::atomic::Ordering;
+            let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+            if n == self.fail_on.load(Ordering::Relaxed) {
+                return Err(ctup_storage::StorageError::Io {
+                    page: 0,
+                    attempts: 4,
+                });
+            }
+            self.inner.read_cell(cell)
+        }
+        fn cell_extent_margin(&self, cell: ctup_spatial::CellId) -> f64 {
+            self.inner.cell_extent_margin(cell)
+        }
+        fn stats(&self) -> &ctup_storage::StorageStats {
+            self.inner.stats()
+        }
+        fn for_each_place(
+            &self,
+            f: &mut dyn FnMut(&Place),
+        ) -> Result<(), ctup_storage::StorageError> {
+            self.inner.for_each_place(f)
+        }
+    }
+
+    /// A storage error surfaced mid-update is contained exactly like a
+    /// panic: counted under `storage_errors`, recovered via
+    /// checkpoint-restart, and the final result is unaffected because the
+    /// retry of the same update succeeds.
+    #[test]
+    fn storage_error_is_contained_like_a_panic() {
+        let units = unit_points(4);
+        let stream = updates(150, 4);
+
+        let mut direct = Server::new(monitor(&units));
+        for &u in &stream {
+            direct.ingest(u).expect("ingest");
+        }
+
+        let store = Arc::new(FailingStore {
+            inner: CellLocalStore::build(Grid::unit_square(6), places()),
+            fail_on: std::sync::atomic::AtomicU64::new(0),
+            calls: std::sync::atomic::AtomicU64::new(0),
+        });
+        let alg = OptCtup::new(CtupConfig::with_k(5), store.clone(), &units).expect("init");
+        // Arm the one-shot failure for the first post-init cell read.
+        let armed = store.calls.load(std::sync::atomic::Ordering::Relaxed) + 1;
+        store
+            .fail_on
+            .store(armed, std::sync::atomic::Ordering::Relaxed);
+
+        let pipeline = SupervisedPipeline::spawn(alg, ResilienceConfig::default(), 1024);
+        for report in stamp_stream(stream) {
+            pipeline.send(report).expect("worker alive");
+        }
+        let report = pipeline.shutdown();
+        assert!(!report.gave_up);
+        assert_eq!(report.metrics.resilience.storage_errors, 1);
+        assert_eq!(report.metrics.resilience.worker_panics, 0);
+        assert_eq!(report.metrics.resilience.worker_restarts, 1);
+        assert_eq!(report.final_result, direct.result());
+    }
+
+    fn temp_state_dir() -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ctup-supervisor-{}-{n}", std::process::id()))
+    }
+
+    /// The full kill-and-restart drill: the worker dies abruptly mid-stream
+    /// *while tearing the newest slot* (death mid-checkpoint-write);
+    /// recovery falls back to the older slot, replays the journaled tail,
+    /// and — after the full feed is re-delivered with the gate dropping
+    /// what was already applied — lands on exactly the direct run's result.
+    #[test]
+    #[cfg_attr(miri, ignore)] // durable state lives on the real filesystem
+    fn kill_and_recover_resumes_oracle_exact() {
+        let dir = temp_state_dir();
+        let units = unit_points(4);
+        let stream = updates(200, 4);
+
+        let mut direct = Server::new(monitor(&units));
+        for &u in &stream {
+            direct.ingest(u).expect("ingest");
+        }
+
+        let config = ResilienceConfig {
+            checkpoint_every: 32,
+            state_dir: Some(dir.clone()),
+            kill_at: Some(120),
+            tear_slot_on_kill: true,
+            ..ResilienceConfig::default()
+        };
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), config, 1024);
+        let stamped = stamp_stream(stream);
+        for &report in &stamped {
+            if pipeline.send(report).is_err() {
+                break; // the worker died at the kill point
+            }
+        }
+        let report = pipeline.shutdown();
+        assert!(report.killed);
+        assert!(!report.gave_up);
+        assert_eq!(report.updates_processed, 120);
+        assert!(report.final_result.is_empty());
+
+        let store: Arc<dyn PlaceStore> =
+            Arc::new(CellLocalStore::build(Grid::unit_square(6), places()));
+        let recovered = SupervisedPipeline::recover_from_dir::<OptCtup>(
+            &dir,
+            store,
+            ResilienceConfig {
+                checkpoint_every: 32,
+                ..ResilienceConfig::default()
+            },
+            1024,
+        )
+        .expect("recover");
+        // Re-deliver the whole feed: the restored gate rejects everything
+        // already applied before the kill, then the remainder flows.
+        for &report in &stamped {
+            recovered.send(report).expect("worker alive");
+        }
+        let out = recovered.shutdown();
+        assert!(!out.gave_up);
+        assert!(!out.killed);
+        // The torn newest slot forced fallback to the older one (state as
+        // of effective update 64), so the journal replay had real work to
+        // do: reports 65..=121 — report 121 was journaled (write-ahead)
+        // but never applied before the kill at effective update 120.
+        assert_eq!(out.metrics.resilience.updates_replayed, 57);
+        assert_eq!(out.updates_processed, 79);
+        assert_eq!(out.final_result, direct.result());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

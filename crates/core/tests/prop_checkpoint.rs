@@ -2,6 +2,11 @@
 //! lease/gate state included — must round-trip exactly, and truncated or
 //! byte-corrupted files must come back as typed errors, never panics or
 //! absurd allocations.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup_core::checkpoint::Checkpoint;
 use ctup_core::config::{CtupConfig, QueryMode};

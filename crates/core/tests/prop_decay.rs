@@ -2,6 +2,11 @@
 //! work #2): on arbitrary configurations and update streams, the grid
 //! monitor must agree with the brute-force decay oracle for every kernel,
 //! up to floating-point accumulation tolerance.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup_core::ext::decay::{DecayConfig, DecayCtup, DecayKernel, DecayMode, DecayOracle};
 use ctup_core::types::{Place, PlaceId};
@@ -47,7 +52,8 @@ proptest! {
         let mode = DecayMode::TopK(k);
         let mut positions = units.clone();
         let mut monitor =
-            DecayCtup::new(DecayConfig { kernel, mode, delta }, store, &units);
+            DecayCtup::new(DecayConfig { kernel, mode, delta }, store, &units)
+                .expect("clean store");
 
         let check = |monitor: &DecayCtup, positions: &[Point]| {
             let got = monitor.result();
@@ -64,7 +70,7 @@ proptest! {
         check(&monitor, &positions)?;
         for (idx, new) in updates_raw {
             let unit = idx.index(positions.len());
-            monitor.handle_update(unit as u32, new);
+            monitor.handle_update(unit as u32, new).expect("clean store");
             positions[unit] = new;
             check(&monitor, &positions)?;
         }

@@ -1,6 +1,11 @@
 //! Property-based model tests of the core data structures: the
 //! safety-ordered multiset and the lower-bound directory must behave like
 //! their obvious reference models under arbitrary operation sequences.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup_core::lbdir::LbDirectory;
 use ctup_core::topk::SafetyOrdered;

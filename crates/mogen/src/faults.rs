@@ -16,6 +16,7 @@
 //! therefore never move a message *earlier* than it was sent — exactly the
 //! asymmetry of a store-and-forward radio link.
 
+use ctup_storage::DiskFaultPlan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,6 +51,12 @@ pub struct FaultPlan {
     /// pipeline's fault injection. Carried here so one plan value describes
     /// the whole chaos scenario.
     pub panic_at: Vec<u64>,
+    /// Faults of the *storage medium* (transient read errors, torn page
+    /// writes, bit flips, latency spikes), forwarded by the harness to the
+    /// lower level's [`FaultDisk`](ctup_storage::FaultDisk). The link
+    /// faults above and the disk faults here together describe one chaos
+    /// scenario end to end.
+    pub disk: DiskFaultPlan,
 }
 
 impl Default for FaultPlan {
@@ -64,6 +71,7 @@ impl Default for FaultPlan {
             delay_prob: 0.0,
             max_delay: 16,
             panic_at: Vec::new(),
+            disk: DiskFaultPlan::default(),
         }
     }
 }

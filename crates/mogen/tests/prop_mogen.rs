@@ -2,6 +2,11 @@
 //! always connected, routes are valid walks, moving objects respect the
 //! network's speed limits and report thresholds, and generators are
 //! deterministic functions of their seed.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup_mogen::{
     CityParams, MovingObjectSim, NodeId, PlaceGenConfig, PlaceGenerator, RoadNetwork, Router,

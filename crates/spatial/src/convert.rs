@@ -56,7 +56,7 @@ pub fn nanos64(nanos: u128) -> u64 {
 #[inline]
 #[must_use]
 pub fn grid_coord(coord: f64, max_index: u32) -> u32 {
-    if !(coord > 0.0) {
+    if !matches!(coord.partial_cmp(&0.0), Some(std::cmp::Ordering::Greater)) {
         return 0; // NaN or non-positive
     }
     if coord >= f64::from(max_index) {

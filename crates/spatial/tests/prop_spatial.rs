@@ -2,6 +2,11 @@
 //! with brute force under arbitrary data and queries, the grid covering
 //! iterators must be exact, and the N/P/F classification must be
 //! consistent with point membership.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup_spatial::{Circle, Grid, Point, RTree, Rect, Relation};
 use proptest::prelude::*;

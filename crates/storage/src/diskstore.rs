@@ -3,9 +3,22 @@
 //! The paper's figure-9 discussion notes that with places actually on disk
 //! the cell-access cost would dominate. [`PagedDiskStore`] makes that
 //! regime measurable: each cell's records are serialized into fixed-size
-//! pages at build time, and every read decodes the pages and (optionally)
-//! burns a configurable per-page latency, counted in [`StorageStats`].
+//! checksummed page frames at build time, and every read validates and
+//! decodes the frames and (optionally) burns a configurable per-page
+//! latency, counted in [`StorageStats`].
+//!
+//! Every page is a self-validating frame:
+//!
+//! ```text
+//! [payload_len: u16 LE][crc32(payload): u32 LE][payload bytes]
+//! ```
+//!
+//! A torn (partial) write shows up as a length mismatch, a flipped bit as
+//! a checksum mismatch; both surface as typed [`StorageError`]s instead of
+//! silently wrong records.
 
+use crate::checksum::crc32;
+use crate::error::{CorruptKind, RecordError, StorageError};
 use crate::place::{PlaceId, PlaceRecord};
 use crate::stats::StorageStats;
 use crate::store::{partition_by_cell, PlaceStore};
@@ -14,11 +27,17 @@ use ctup_spatial::{CellId, Grid, Point, Rect};
 use std::borrow::Cow;
 use std::time::Instant;
 
-/// Fixed page size in bytes.
+/// Fixed page size in bytes, frame header included.
 pub const PAGE_SIZE: usize = 4096;
+
+/// Bytes of the page frame header: payload length (u16) + CRC32 (u32).
+pub const FRAME_HEADER: usize = 6;
 
 const TAG_POINT: u8 = 0;
 const TAG_EXTENDED: u8 = 1;
+
+/// Worst-case encoded record size (extended record).
+const MAX_RECORD: usize = 57;
 
 /// Encodes one record onto a buffer (25 or 57 bytes).
 fn encode_record(buf: &mut BytesMut, record: &PlaceRecord) {
@@ -38,35 +57,106 @@ fn encode_record(buf: &mut BytesMut, record: &PlaceRecord) {
     }
 }
 
-/// Decodes one record from a buffer.
-fn decode_record(buf: &mut impl Buf) -> PlaceRecord {
+/// Decodes one record from a buffer. Never panics: truncated payloads and
+/// unknown tags come back as typed errors.
+fn decode_record(buf: &mut impl Buf) -> Result<PlaceRecord, RecordError> {
+    // Fixed prefix: id + pos + rp + tag = 25 bytes.
+    if buf.remaining() < 25 {
+        return Err(RecordError::Truncated);
+    }
     let id = PlaceId(buf.get_u32_le());
     let pos = Point::new(buf.get_f64_le(), buf.get_f64_le());
     let rp = buf.get_u32_le();
     let extent = match buf.get_u8() {
         TAG_POINT => None,
         TAG_EXTENDED => {
+            if buf.remaining() < 32 {
+                return Err(RecordError::Truncated);
+            }
             let lo = Point::new(buf.get_f64_le(), buf.get_f64_le());
             let hi = Point::new(buf.get_f64_le(), buf.get_f64_le());
             Some(Rect::new(lo, hi))
         }
-        // ctup-lint: allow(L001, a corrupt page is unrecoverable store damage — failing fast beats silently serving wrong records to the monitor)
-        tag => panic!("corrupt page: unknown record tag {tag}"),
+        tag => return Err(RecordError::UnknownTag(tag)),
     };
-    PlaceRecord {
+    Ok(PlaceRecord {
         id,
         pos,
         rp,
         extent,
+    })
+}
+
+/// Wraps a record payload into a checksummed page frame.
+fn encode_frame(payload: &[u8]) -> Bytes {
+    debug_assert!(payload.len() <= PAGE_SIZE - FRAME_HEADER);
+    let mut frame = BytesMut::with_capacity(FRAME_HEADER + payload.len());
+    frame.put_u16_le(payload.len() as u16);
+    frame.put_u32_le(crc32(payload));
+    frame.put_slice(payload);
+    frame.freeze()
+}
+
+/// Packs `records` into checksummed page frames exactly as
+/// [`PagedDiskStore::build`] does for one cell. Public so tests and tools
+/// can exercise the page codec without building a whole store.
+pub fn encode_pages(records: &[PlaceRecord]) -> Vec<Bytes> {
+    let mut pages = Vec::new();
+    let mut buf = BytesMut::with_capacity(PAGE_SIZE);
+    for record in records {
+        if FRAME_HEADER + buf.len() + MAX_RECORD > PAGE_SIZE {
+            pages.push(encode_frame(&buf.split()));
+            buf.reserve(PAGE_SIZE);
+        }
+        encode_record(&mut buf, record);
     }
+    if !buf.is_empty() {
+        pages.push(encode_frame(&buf));
+    }
+    pages
+}
+
+/// Validates one page frame and decodes its records — the exact read-path
+/// validation [`PagedDiskStore`] applies, exposed for tests and tools.
+pub fn decode_page(frame: &[u8], page: u32) -> Result<Vec<PlaceRecord>, StorageError> {
+    let mut records = Vec::new();
+    decode_frame(frame, page, &mut records)?;
+    Ok(records)
+}
+
+/// Validates one page frame and appends its records to `out`.
+pub(crate) fn decode_frame(
+    frame: &[u8],
+    page: u32,
+    out: &mut Vec<PlaceRecord>,
+) -> Result<(), StorageError> {
+    let corrupt = |kind| StorageError::CorruptPage { page, kind };
+    if frame.len() < FRAME_HEADER {
+        return Err(corrupt(CorruptKind::TruncatedFrame));
+    }
+    let mut header = &frame[..FRAME_HEADER];
+    let len = header.get_u16_le() as usize;
+    let crc = header.get_u32_le();
+    let payload = &frame[FRAME_HEADER..];
+    if payload.len() != len {
+        return Err(corrupt(CorruptKind::LengthMismatch));
+    }
+    if crc32(payload) != crc {
+        return Err(corrupt(CorruptKind::ChecksumMismatch));
+    }
+    let mut buf = payload;
+    while buf.has_remaining() {
+        out.push(decode_record(&mut buf).map_err(|e| corrupt(CorruptKind::BadRecord(e)))?);
+    }
+    Ok(())
 }
 
 /// Where a cell's records live: a page range plus the record count.
 #[derive(Debug, Clone, Copy)]
-struct CellLocation {
-    first_page: u32,
-    num_pages: u32,
-    num_records: u32,
+pub(crate) struct CellLocation {
+    pub(crate) first_page: u32,
+    pub(crate) num_pages: u32,
+    pub(crate) num_records: u32,
 }
 
 /// A place store whose lower level is a simulated page-oriented disk.
@@ -82,9 +172,9 @@ pub struct PagedDiskStore {
 }
 
 impl PagedDiskStore {
-    /// Builds the store, packing each cell's records into whole pages.
-    /// `page_latency_nanos` is busy-waited per page on every read
-    /// (0 disables the simulated latency).
+    /// Builds the store, packing each cell's records into whole checksummed
+    /// page frames. `page_latency_nanos` is busy-waited per page on every
+    /// read (0 disables the simulated latency).
     pub fn build(grid: Grid, places: Vec<PlaceRecord>, page_latency_nanos: u64) -> Self {
         let num_places = places.len();
         let (cells, margins) = partition_by_cell(&grid, places);
@@ -92,19 +182,9 @@ impl PagedDiskStore {
         let mut directory = Vec::with_capacity(cells.len());
         for records in &cells {
             let first_page = pages.len() as u32;
-            let mut buf = BytesMut::with_capacity(PAGE_SIZE);
-            for record in records {
-                // Records never span pages: start a new page when the next
-                // record (worst case 57 bytes) may not fit.
-                if buf.len() + 57 > PAGE_SIZE {
-                    pages.push(buf.split().freeze());
-                    buf.reserve(PAGE_SIZE);
-                }
-                encode_record(&mut buf, record);
-            }
-            if !buf.is_empty() {
-                pages.push(buf.freeze());
-            }
+            // Records never span pages: a new page starts when the next
+            // record (worst case 57 bytes) may not fit in the frame.
+            pages.extend(encode_pages(records));
             directory.push(CellLocation {
                 first_page,
                 num_pages: pages.len() as u32 - first_page,
@@ -127,7 +207,31 @@ impl PagedDiskStore {
         self.pages.len()
     }
 
-    fn simulate_latency(&self, pages: u64) -> u64 {
+    pub(crate) fn location(&self, cell: CellId) -> CellLocation {
+        self.directory[cell.index()]
+    }
+
+    pub(crate) fn page(&self, idx: u32) -> &[u8] {
+        &self.pages[idx as usize]
+    }
+
+    /// The cell whose frame range contains `page`, if any.
+    pub(crate) fn cell_of_page(&self, page: u32) -> Option<CellId> {
+        self.directory
+            .iter()
+            .position(|loc| (loc.first_page..loc.first_page + loc.num_pages).contains(&page))
+            .map(|idx| CellId(idx as u32))
+    }
+
+    /// Rewrites one page in place, bypassing the frame codec — the hook the
+    /// fault-injecting wrapper uses to model torn writes and bit rot.
+    pub(crate) fn mutate_page(&mut self, idx: usize, f: impl FnOnce(&mut Vec<u8>)) {
+        let mut bytes = self.pages[idx].to_vec();
+        f(&mut bytes);
+        self.pages[idx] = Bytes::from(bytes);
+    }
+
+    pub(crate) fn simulate_latency(&self, pages: u64) -> u64 {
         if self.page_latency_nanos == 0 {
             return 0;
         }
@@ -149,20 +253,20 @@ impl PlaceStore for PagedDiskStore {
         self.num_places
     }
 
-    fn read_cell(&self, cell: CellId) -> Cow<'_, [PlaceRecord]> {
+    fn read_cell(&self, cell: CellId) -> Result<Cow<'_, [PlaceRecord]>, StorageError> {
         let loc = self.directory[cell.index()];
         let io_nanos = self.simulate_latency(loc.num_pages as u64);
         let mut records = Vec::with_capacity(loc.num_records as usize);
         for page_idx in loc.first_page..loc.first_page + loc.num_pages {
-            let mut page = &self.pages[page_idx as usize][..];
-            while page.has_remaining() {
-                records.push(decode_record(&mut page));
+            if let Err(e) = decode_frame(&self.pages[page_idx as usize], page_idx, &mut records) {
+                self.stats.record_corrupt_page();
+                return Err(e);
             }
         }
         debug_assert_eq!(records.len(), loc.num_records as usize);
         self.stats
             .record_cell_read(loc.num_records as u64, loc.num_pages as u64, io_nanos);
-        Cow::Owned(records)
+        Ok(Cow::Owned(records))
     }
 
     fn cell_extent_margin(&self, cell: CellId) -> f64 {
@@ -173,13 +277,16 @@ impl PlaceStore for PagedDiskStore {
         &self.stats
     }
 
-    fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord)) {
-        for page in &self.pages {
-            let mut buf = &page[..];
-            while buf.has_remaining() {
-                f(&decode_record(&mut buf));
+    fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord)) -> Result<(), StorageError> {
+        let mut records = Vec::new();
+        for (idx, page) in self.pages.iter().enumerate() {
+            records.clear();
+            decode_frame(page, idx as u32, &mut records)?;
+            for record in &records {
+                f(record);
             }
         }
+        Ok(())
     }
 }
 
@@ -187,7 +294,7 @@ impl PlaceStore for PagedDiskStore {
 mod tests {
     use super::*;
 
-    fn sample_places(n: u32) -> Vec<PlaceRecord> {
+    pub(crate) fn sample_places(n: u32) -> Vec<PlaceRecord> {
         (0..n)
             .map(|i| {
                 let x = (i % 37) as f64 / 37.0;
@@ -212,8 +319,57 @@ mod tests {
             let mut buf = BytesMut::new();
             encode_record(&mut buf, &record);
             let mut read = &buf[..];
-            assert_eq!(decode_record(&mut read), record);
+            assert_eq!(decode_record(&mut read).expect("decode"), record);
             assert!(!read.has_remaining());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_tags() {
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, &sample_places(1)[0]);
+        for keep in 0..buf.len() {
+            let mut read = &buf[..keep];
+            assert_eq!(
+                decode_record(&mut read),
+                Err(RecordError::Truncated),
+                "prefix of {keep} bytes"
+            );
+        }
+        let mut bad = buf.to_vec();
+        bad[24] = 7; // the tag byte of a point record
+        let mut read = &bad[..];
+        assert_eq!(decode_record(&mut read), Err(RecordError::UnknownTag(7)));
+    }
+
+    #[test]
+    fn frame_roundtrip_and_detection() {
+        let mut payload = BytesMut::new();
+        for record in sample_places(20) {
+            encode_record(&mut payload, &record);
+        }
+        let frame = encode_frame(&payload);
+        let mut out = Vec::new();
+        decode_frame(&frame, 0, &mut out).expect("clean frame");
+        assert_eq!(out.len(), 20);
+
+        // Torn write: any strict prefix is a typed corruption, never a panic.
+        for keep in 0..frame.len() {
+            let mut out = Vec::new();
+            let err = decode_frame(&frame[..keep], 3, &mut out).expect_err("torn frame");
+            assert!(matches!(err, StorageError::CorruptPage { page: 3, .. }));
+        }
+
+        // Bit flip anywhere: detected.
+        let mut bytes = frame.to_vec();
+        for byte in 0..bytes.len() {
+            bytes[byte] ^= 0x10;
+            let mut out = Vec::new();
+            assert!(
+                decode_frame(&bytes, 0, &mut out).is_err(),
+                "flip at byte {byte} undetected"
+            );
+            bytes[byte] ^= 0x10;
         }
     }
 
@@ -224,8 +380,8 @@ mod tests {
         let mem = crate::memstore::CellLocalStore::build(grid.clone(), places.clone());
         let disk = PagedDiskStore::build(grid.clone(), places, 0);
         for cell in grid.cells() {
-            let a = mem.read_cell(cell).into_owned();
-            let b = disk.read_cell(cell).into_owned();
+            let a = mem.read_cell(cell).expect("mem read").into_owned();
+            let b = disk.read_cell(cell).expect("disk read").into_owned();
             assert_eq!(a, b, "cell {cell:?}");
             assert_eq!(
                 mem.cell_extent_margin(cell),
@@ -242,11 +398,30 @@ mod tests {
         let grid = Grid::unit_square(1);
         let disk = PagedDiskStore::build(grid, sample_places(500), 0);
         assert!(disk.num_pages() >= 3, "got {} pages", disk.num_pages());
-        let records = disk.read_cell(CellId(0)).into_owned();
+        let records = disk.read_cell(CellId(0)).expect("read").into_owned();
         assert_eq!(records.len(), 500);
         let snap = disk.stats().snapshot();
         assert_eq!(snap.cell_reads, 1);
         assert_eq!(snap.pages_read as usize, disk.num_pages());
+        assert_eq!(snap.corrupt_pages, 0);
+    }
+
+    #[test]
+    fn mutated_page_is_detected_not_served() {
+        let grid = Grid::unit_square(1);
+        let mut disk = PagedDiskStore::build(grid, sample_places(300), 0);
+        disk.mutate_page(0, |bytes| bytes[FRAME_HEADER + 2] ^= 0x01);
+        let err = disk.read_cell(CellId(0)).expect_err("corruption detected");
+        assert!(matches!(
+            err,
+            StorageError::CorruptPage {
+                page: 0,
+                kind: CorruptKind::ChecksumMismatch,
+            }
+        ));
+        assert_eq!(disk.stats().snapshot().corrupt_pages, 1);
+        assert_eq!(disk.stats().snapshot().cell_reads, 0);
+        assert_eq!(disk.cell_of_page(0), Some(CellId(0)));
     }
 
     #[test]
@@ -258,7 +433,7 @@ mod tests {
         let grid = Grid::unit_square(1);
         let disk = PagedDiskStore::build(grid, sample_places(50), 1_000);
         let start = Instant::now();
-        disk.read_cell(CellId(0));
+        disk.read_cell(CellId(0)).expect("read");
         let elapsed = start.elapsed().as_nanos() as u64;
         let snap = disk.stats().snapshot();
         assert!(snap.io_nanos >= 1_000);
@@ -269,7 +444,7 @@ mod tests {
     fn for_each_place_sees_everything_without_accounting() {
         let disk = PagedDiskStore::build(Grid::unit_square(3), sample_places(123), 0);
         let mut n = 0;
-        disk.for_each_place(&mut |_| n += 1);
+        disk.for_each_place(&mut |_| n += 1).expect("scan");
         assert_eq!(n, 123);
         assert_eq!(disk.stats().snapshot().cell_reads, 0);
     }

@@ -8,21 +8,34 @@
 //!
 //! * [`CellLocalStore`] — memory-resident, for the "places fit in memory"
 //!   regime (the paper's experimental setting);
-//! * [`PagedDiskStore`] — page-oriented with a binary codec and optional
-//!   simulated per-page latency, for the on-disk regime;
+//! * [`PagedDiskStore`] — page-oriented with a checksummed binary codec
+//!   and optional simulated per-page latency, for the on-disk regime;
+//! * [`FaultDisk`] — a seeded fault injector over the paged store
+//!   (transient read errors, torn writes, bit flips, latency spikes) with
+//!   a retry-with-backoff [`RetryPolicy`];
 //! * [`snapshot`] — a tiny text format to persist generated data sets.
+//!
+//! Reads are fallible: page frames carry a CRC32, so torn writes and bit
+//! rot surface as typed [`StorageError`]s instead of silently wrong
+//! records.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checksum;
 pub mod diskstore;
+pub mod error;
+pub mod fault;
 pub mod memstore;
 pub mod place;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
 
-pub use diskstore::{PagedDiskStore, PAGE_SIZE};
+pub use checksum::crc32;
+pub use diskstore::{decode_page, encode_pages, PagedDiskStore, FRAME_HEADER, PAGE_SIZE};
+pub use error::{CorruptKind, RecordError, StorageError};
+pub use fault::{DiskFaultPlan, FaultDisk, RetryPolicy};
 pub use memstore::CellLocalStore;
 pub use place::{PlaceId, PlaceRecord};
 pub use stats::{StorageStats, StorageStatsSnapshot};

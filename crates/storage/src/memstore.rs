@@ -4,6 +4,7 @@
 //! split: one piece of memory "simulates disk" and is only consulted when a
 //! cell must be accessed. [`CellLocalStore`] is that piece.
 
+use crate::error::StorageError;
 use crate::place::PlaceRecord;
 use crate::stats::StorageStats;
 use crate::store::{partition_by_cell, PlaceStore};
@@ -49,10 +50,10 @@ impl PlaceStore for CellLocalStore {
         self.num_places
     }
 
-    fn read_cell(&self, cell: CellId) -> Cow<'_, [PlaceRecord]> {
+    fn read_cell(&self, cell: CellId) -> Result<Cow<'_, [PlaceRecord]>, StorageError> {
         let records = &self.cells[cell.index()];
         self.stats.record_cell_read(records.len() as u64, 1, 0);
-        Cow::Borrowed(records.as_slice())
+        Ok(Cow::Borrowed(records.as_slice()))
     }
 
     fn cell_extent_margin(&self, cell: CellId) -> f64 {
@@ -63,12 +64,13 @@ impl PlaceStore for CellLocalStore {
         &self.stats
     }
 
-    fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord)) {
+    fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord)) -> Result<(), StorageError> {
         for cell in &self.cells {
             for place in cell {
                 f(place);
             }
         }
+        Ok(())
     }
 }
 
@@ -102,7 +104,7 @@ mod tests {
     fn read_cell_counts_accesses() {
         let s = store();
         let c = s.grid().cell_of(Point::new(0.55, 0.55));
-        let records = s.read_cell(c).into_owned();
+        let records = s.read_cell(c).expect("read").into_owned();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].pos, Point::new(0.55, 0.55));
         let snap = s.stats().snapshot();
@@ -115,7 +117,7 @@ mod tests {
     fn for_each_place_does_not_count() {
         let s = store();
         let mut n = 0;
-        s.for_each_place(&mut |_| n += 1);
+        s.for_each_place(&mut |_| n += 1).expect("scan");
         assert_eq!(n, 100);
         assert_eq!(s.stats().snapshot().cell_reads, 0);
     }
@@ -124,7 +126,7 @@ mod tests {
     fn empty_cells_read_as_empty() {
         let s = CellLocalStore::build(Grid::unit_square(4), vec![]);
         for cell in s.grid().cells().collect::<Vec<_>>() {
-            assert!(s.read_cell(cell).is_empty());
+            assert!(s.read_cell(cell).expect("read").is_empty());
         }
         assert_eq!(s.stats().snapshot().cell_reads, 16);
     }

@@ -1,8 +1,9 @@
 //! I/O accounting for the lower storage level.
 //!
 //! The CTUP schemes are judged by how rarely they touch the lower level, so
-//! every store counts its accesses. Counters use atomics because reads go
-//! through `&self`.
+//! every store counts its accesses — and, since the disk may now fail, how
+//! often reads had to be retried, abandoned, or rejected as corrupt.
+//! Counters use atomics because reads go through `&self`.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,6 +15,9 @@ pub struct StorageStats {
     records_read: AtomicU64,
     pages_read: AtomicU64,
     io_nanos: AtomicU64,
+    read_retries: AtomicU64,
+    read_giveups: AtomicU64,
+    corrupt_pages: AtomicU64,
 }
 
 impl StorageStats {
@@ -31,6 +35,22 @@ impl StorageStats {
         self.io_nanos.fetch_add(io_nanos, Ordering::Relaxed);
     }
 
+    /// Records one retried read attempt (the previous attempt failed and
+    /// the retry policy allowed another).
+    pub fn record_retry(&self) {
+        self.read_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one read abandoned after exhausting the retry budget.
+    pub fn record_giveup(&self) {
+        self.read_giveups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one page rejected by frame validation (torn write, bit rot).
+    pub fn record_corrupt_page(&self) {
+        self.corrupt_pages.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current values as a plain snapshot.
     pub fn snapshot(&self) -> StorageStatsSnapshot {
         StorageStatsSnapshot {
@@ -38,6 +58,9 @@ impl StorageStats {
             records_read: self.records_read.load(Ordering::Relaxed),
             pages_read: self.pages_read.load(Ordering::Relaxed),
             io_nanos: self.io_nanos.load(Ordering::Relaxed),
+            read_retries: self.read_retries.load(Ordering::Relaxed),
+            read_giveups: self.read_giveups.load(Ordering::Relaxed),
+            corrupt_pages: self.corrupt_pages.load(Ordering::Relaxed),
         }
     }
 
@@ -47,6 +70,9 @@ impl StorageStats {
         self.records_read.store(0, Ordering::Relaxed);
         self.pages_read.store(0, Ordering::Relaxed);
         self.io_nanos.store(0, Ordering::Relaxed);
+        self.read_retries.store(0, Ordering::Relaxed);
+        self.read_giveups.store(0, Ordering::Relaxed);
+        self.corrupt_pages.store(0, Ordering::Relaxed);
     }
 }
 
@@ -61,6 +87,12 @@ pub struct StorageStatsSnapshot {
     pub pages_read: u64,
     /// Total simulated I/O time in nanoseconds.
     pub io_nanos: u64,
+    /// Read attempts repeated after a transient failure.
+    pub read_retries: u64,
+    /// Reads abandoned after the whole retry budget failed.
+    pub read_giveups: u64,
+    /// Pages rejected by checksum/frame validation.
+    pub corrupt_pages: u64,
 }
 
 impl StorageStatsSnapshot {
@@ -71,6 +103,9 @@ impl StorageStatsSnapshot {
             records_read: self.records_read.saturating_sub(earlier.records_read),
             pages_read: self.pages_read.saturating_sub(earlier.pages_read),
             io_nanos: self.io_nanos.saturating_sub(earlier.io_nanos),
+            read_retries: self.read_retries.saturating_sub(earlier.read_retries),
+            read_giveups: self.read_giveups.saturating_sub(earlier.read_giveups),
+            corrupt_pages: self.corrupt_pages.saturating_sub(earlier.corrupt_pages),
         }
     }
 }
@@ -84,11 +119,18 @@ mod tests {
         let s = StorageStats::new();
         s.record_cell_read(10, 2, 100);
         s.record_cell_read(5, 1, 50);
+        s.record_retry();
+        s.record_retry();
+        s.record_giveup();
+        s.record_corrupt_page();
         let snap = s.snapshot();
         assert_eq!(snap.cell_reads, 2);
         assert_eq!(snap.records_read, 15);
         assert_eq!(snap.pages_read, 3);
         assert_eq!(snap.io_nanos, 150);
+        assert_eq!(snap.read_retries, 2);
+        assert_eq!(snap.read_giveups, 1);
+        assert_eq!(snap.corrupt_pages, 1);
         s.reset();
         assert_eq!(s.snapshot(), StorageStatsSnapshot::default());
     }
@@ -97,12 +139,16 @@ mod tests {
     fn since_computes_deltas() {
         let s = StorageStats::new();
         s.record_cell_read(10, 2, 100);
+        s.record_retry();
         let a = s.snapshot();
         s.record_cell_read(1, 1, 1);
+        s.record_giveup();
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.cell_reads, 1);
         assert_eq!(d.records_read, 1);
+        assert_eq!(d.read_retries, 0);
+        assert_eq!(d.read_giveups, 1);
         // Saturation instead of wrap on inverted order.
         assert_eq!(a.since(&b).cell_reads, 0);
     }

@@ -6,6 +6,7 @@
 //! Whether it is backed by memory or a (simulated) disk, every access is
 //! accounted through [`StorageStats`].
 
+use crate::error::StorageError;
 use crate::place::PlaceRecord;
 use crate::stats::StorageStats;
 use ctup_spatial::{CellId, Grid};
@@ -25,8 +26,10 @@ pub trait PlaceStore: Send + Sync {
 
     /// Loads every place of `cell` from the lower level, counting the
     /// access. Returns borrowed data for memory-resident stores and owned
-    /// data for stores that must decode pages.
-    fn read_cell(&self, cell: CellId) -> Cow<'_, [PlaceRecord]>;
+    /// data for stores that must decode pages. Paged stores surface
+    /// transient I/O failures and detected corruption as [`StorageError`];
+    /// memory-resident stores never fail.
+    fn read_cell(&self, cell: CellId) -> Result<Cow<'_, [PlaceRecord]>, StorageError>;
 
     /// Largest extent margin among the places of `cell`
     /// (see [`PlaceRecord::extent_margin`]); zero for point data sets.
@@ -37,7 +40,8 @@ pub trait PlaceStore: Send + Sync {
 
     /// Iterates over all places without touching the counters — intended
     /// for initialization oracles and tests, not for query processing.
-    fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord));
+    /// Stops at the first undecodable page.
+    fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord)) -> Result<(), StorageError>;
 }
 
 /// Helper shared by store builders: partitions places into per-cell vectors

@@ -187,7 +187,11 @@ mod tests {
     #[test]
     fn default_config_points_at_real_files() {
         let cfg = LintConfig::default();
-        assert_eq!(cfg.metrics.len(), 1);
+        assert_eq!(cfg.metrics.len(), 2);
+        assert!(cfg
+            .metrics
+            .iter()
+            .any(|m| m.struct_file == "crates/storage/src/stats.rs"));
         let fp = cfg.fingerprints.unwrap();
         assert_eq!(fp.version_const, "FORMAT_VERSION");
         assert!(fp.tracked.len() >= 10);

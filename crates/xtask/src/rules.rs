@@ -383,11 +383,18 @@ pub struct MetricsCoverage {
 impl MetricsCoverage {
     /// The real repo's configuration.
     pub fn default_config() -> Vec<MetricsCoverage> {
-        vec![MetricsCoverage {
-            struct_file: "crates/core/src/metrics.rs".into(),
-            structs: vec!["Metrics".into(), "ResilienceStats".into()],
-            report_files: vec!["crates/cli/src/commands.rs".into()],
-        }]
+        vec![
+            MetricsCoverage {
+                struct_file: "crates/core/src/metrics.rs".into(),
+                structs: vec!["Metrics".into(), "ResilienceStats".into()],
+                report_files: vec!["crates/cli/src/commands.rs".into()],
+            },
+            MetricsCoverage {
+                struct_file: "crates/storage/src/stats.rs".into(),
+                structs: vec!["StorageStatsSnapshot".into()],
+                report_files: vec!["crates/cli/src/commands.rs".into()],
+            },
+        ]
     }
 }
 

@@ -8,6 +8,11 @@
 //! ```text
 //! cargo run --release --example city_patrol [-- <updates>]
 //! ```
+//!
+//! Examples are demos, not library code: aborting on a violated "clean
+//! store / live worker" invariant is the right behaviour here, so the
+//! workspace-wide expect/unwrap denies are relaxed.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::config::CtupConfig;
@@ -36,7 +41,8 @@ fn main() {
     let units = workload.unit_positions();
 
     println!("initializing OptCTUP over {} places …", store.num_places());
-    let monitor = OptCtup::new(CtupConfig::paper_default(), store.clone(), &units);
+    let monitor =
+        OptCtup::new(CtupConfig::paper_default(), store.clone(), &units).expect("clean store");
     println!(
         "init done in {:.1} ms; SK = {:?}\n",
         monitor.init_stats().wall.as_secs_f64() * 1e3,
@@ -48,10 +54,12 @@ fn main() {
     let stream = workload.next_updates(updates);
     let mut shown = 0;
     for update in &stream {
-        let (events, _) = server.ingest(LocationUpdate {
-            unit: UnitId(update.object),
-            new: update.to,
-        });
+        let (events, _) = server
+            .ingest(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            })
+            .expect("clean store");
         for event in events {
             if shown < 25 {
                 match event {
@@ -98,9 +106,13 @@ fn main() {
         let units = workload.unit_positions();
         let config = CtupConfig::paper_default();
         let mut alg: Box<dyn CtupAlgorithm> = match name {
-            "NaiveRecompute" => Box::new(NaiveRecompute::new(config, store, &units)),
-            "NaiveIncremental" => Box::new(NaiveIncremental::new(config, store, &units)),
-            _ => Box::new(BasicCtup::new(config, store, &units)),
+            "NaiveRecompute" => {
+                Box::new(NaiveRecompute::new(config, store, &units).expect("clean store"))
+            }
+            "NaiveIncremental" => {
+                Box::new(NaiveIncremental::new(config, store, &units).expect("clean store"))
+            }
+            _ => Box::new(BasicCtup::new(config, store, &units).expect("clean store")),
         };
         let stream = workload.next_updates(n);
         let start = Instant::now();
@@ -108,7 +120,8 @@ fn main() {
             alg.handle_update(LocationUpdate {
                 unit: UnitId(update.object),
                 new: update.to,
-            });
+            })
+            .expect("clean store");
         }
         println!(
             "  {name:<17} {:>9.1} us/update  ({} updates)",

@@ -4,6 +4,11 @@
 //! ```text
 //! cargo run --release --example extensions_tour
 //! ```
+//!
+//! Examples are demos, not library code: aborting on a violated "clean
+//! store / live worker" invariant is the right behaviour here, so the
+//! workspace-wide expect/unwrap denies are relaxed.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::config::{CtupConfig, QueryMode};
@@ -37,7 +42,8 @@ fn extent_demo() {
         },
         store,
         &[Point::new(0.52, 0.50)],
-    );
+    )
+    .expect("clean store");
     for entry in monitor.result() {
         println!(
             "   place {} safety {:>2}   (the mall needs the whole footprint covered)",
@@ -45,10 +51,12 @@ fn extent_demo() {
         );
     }
     // Moving closer to the mall's center covers the full footprint.
-    monitor.handle_update(LocationUpdate {
-        unit: UnitId(0),
-        new: Point::new(0.50, 0.50),
-    });
+    monitor
+        .handle_update(LocationUpdate {
+            unit: UnitId(0),
+            new: Point::new(0.50, 0.50),
+        })
+        .expect("clean store");
     println!("   after centering the patrol on the mall:");
     for entry in monitor.result() {
         println!("   place {} safety {:>2}", entry.place.0, entry.safety);
@@ -87,7 +95,8 @@ fn decay_demo() {
             },
             store,
             &units,
-        );
+        )
+        .expect("clean store");
         let top = monitor.result();
         let check = oracle.result(&units, DecayMode::TopK(3));
         assert_eq!(top.len(), check.len());
@@ -109,7 +118,8 @@ fn predict_demo() {
     let store = CellLocalStore::build(Grid::unit_square(10), places);
     // The single patrol starts near place 0 and reports a move towards
     // place 1; dead reckoning sees where coverage will be lost.
-    let mut predictor = PredictiveCtup::new(&store, &[Point::new(0.2, 0.5)], 0.12);
+    let mut predictor =
+        PredictiveCtup::new(&store, &[Point::new(0.2, 0.5)], 0.12).expect("clean store");
     predictor.observe(LocationUpdate {
         unit: UnitId(0),
         new: Point::new(0.32, 0.5),

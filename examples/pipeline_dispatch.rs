@@ -6,6 +6,11 @@
 //! ```text
 //! cargo run --release --example pipeline_dispatch
 //! ```
+//!
+//! Examples are demos, not library code: aborting on a violated "clean
+//! store / live worker" invariant is the right behaviour here, so the
+//! workspace-wide expect/unwrap denies are relaxed.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::config::CtupConfig;
 use ctup::core::pipeline::{Pipeline, SendError};
@@ -34,7 +39,7 @@ fn main() {
     let units = workload.unit_positions();
 
     println!("spawning the monitor worker …");
-    let monitor = OptCtup::new(CtupConfig::with_k(8), store, &units);
+    let monitor = OptCtup::new(CtupConfig::with_k(8), store, &units).expect("clean store");
     let pipeline = Pipeline::spawn(monitor, 1024);
     let events = pipeline.events().clone();
 

@@ -3,6 +3,11 @@
 //! ```text
 //! cargo run --example quickstart
 //! ```
+//!
+//! Examples are demos, not library code: aborting on a violated "clean
+//! store / live worker" invariant is the right behaviour here, so the
+//! workspace-wide expect/unwrap denies are relaxed.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::config::CtupConfig;
@@ -43,23 +48,27 @@ fn main() {
         protection_radius: 0.1,
         ..CtupConfig::with_k(3)
     };
-    let mut monitor = OptCtup::new(config, store, &patrols);
+    let mut monitor = OptCtup::new(config, store, &patrols).expect("clean store");
     print_result("Initial top-3 unsafe places:", &monitor);
 
     // Car 0 is called away from downtown towards the station.
     println!("-> patrol 0 drives to the station district");
-    monitor.handle_update(LocationUpdate {
-        unit: UnitId(0),
-        new: Point::new(0.50, 0.12),
-    });
+    monitor
+        .handle_update(LocationUpdate {
+            unit: UnitId(0),
+            new: Point::new(0.50, 0.12),
+        })
+        .expect("clean store");
     print_result("After the move:", &monitor);
 
     // Car 1 redeploys downtown to cover the gap.
     println!("-> patrol 1 redeploys downtown");
-    monitor.handle_update(LocationUpdate {
-        unit: UnitId(1),
-        new: Point::new(0.21, 0.31),
-    });
+    monitor
+        .handle_update(LocationUpdate {
+            unit: UnitId(1),
+            new: Point::new(0.21, 0.31),
+        })
+        .expect("clean store");
     print_result("After the redeployment:", &monitor);
 
     let m = monitor.metrics();

@@ -5,6 +5,11 @@
 //! ```text
 //! cargo run --release --example threshold_alerts
 //! ```
+//!
+//! Examples are demos, not library code: aborting on a violated "clean
+//! store / live worker" invariant is the right behaviour here, so the
+//! workspace-wide expect/unwrap denies are relaxed.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::config::CtupConfig;
@@ -51,7 +56,8 @@ fn main() {
 
     // Alarm whenever a place is short by 3 or more protectors.
     let tau = -5;
-    let mut monitor = ThresholdMonitor::new(tau, CtupConfig::paper_default(), store, &units);
+    let mut monitor = ThresholdMonitor::new(tau, CtupConfig::paper_default(), store, &units)
+        .expect("clean store");
     println!(
         "monitoring safety < {tau}: initially {} places in alarm\n",
         monitor.alarm_count()
@@ -61,10 +67,12 @@ fn main() {
     let mut total_alarm_updates = 0u64;
     for update in workload.next_updates(2_000) {
         let before = monitor.alarm_count();
-        monitor.handle_update(LocationUpdate {
-            unit: UnitId(update.object),
-            new: update.to,
-        });
+        monitor
+            .handle_update(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            })
+            .expect("clean store");
         let after = monitor.alarm_count();
         if after != before {
             total_alarm_updates += 1;

@@ -6,6 +6,11 @@
 //! brute-force oracle evaluated on the effective update sequence — the
 //! updates that survive the ingest gate (validation, dedup, liveness
 //! leases) — reproduced independently by a mirror gate in the test.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::config::{CtupConfig, QueryMode};
 use ctup::core::ingest::{stamp_stream, IngestConfig, IngestGate, StampedUpdate};
@@ -15,7 +20,9 @@ use ctup::core::types::{LocationUpdate, UnitId};
 use ctup::core::{OptCtup, Oracle};
 use ctup::mogen::{FaultPlan, PlaceGenConfig, Workload, WorkloadParams};
 use ctup::spatial::{Grid, Point};
-use ctup::storage::{CellLocalStore, PlaceStore};
+use ctup::storage::{
+    CellLocalStore, DiskFaultPlan, FaultDisk, PlaceStore, RetryPolicy, StorageError,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::sync::Arc;
@@ -75,6 +82,7 @@ fn run_chaos(seed: u64) {
         delay_prob: 0.02,
         max_delay: 12,
         panic_at: vec![50],
+        ..FaultPlan::default()
     };
     let (degraded, log) = plan.apply(stamp_stream(clean), corrupt_report);
     assert!(log.dropped > 0 && log.duplicated > 0 && log.reordered > 0 && log.corrupted > 0);
@@ -85,8 +93,9 @@ fn run_chaos(seed: u64) {
         checkpoint_every: 64,
         max_restarts: 8,
         panic_at: plan.panic_at.clone(),
+        ..ResilienceConfig::default()
     };
-    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), &units);
+    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), &units).expect("clean store");
     let pipeline = SupervisedPipeline::spawn(monitor, resilience, 4096);
     for &report in &degraded {
         pipeline.send(report).expect("worker alive");
@@ -165,7 +174,7 @@ fn run_chaos(seed: u64) {
     );
 
     // Ground truth: the oracle on the final effective unit positions.
-    let oracle = Oracle::from_store(store.as_ref());
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
     oracle.assert_result_matches(
         &report.final_result,
         &positions,
@@ -221,7 +230,7 @@ fn silent_unit_is_parked_and_result_stays_truthful() {
         lease_ttl: Some(100),
         ..ResilienceConfig::default()
     };
-    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), &units);
+    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), &units).expect("clean store");
     let pipeline = SupervisedPipeline::spawn(monitor, resilience, 4096);
     for &report in &muted {
         pipeline.send(report).expect("worker alive");
@@ -252,11 +261,233 @@ fn silent_unit_is_parked_and_result_stays_truthful() {
         !mirror.is_alive(UnitId(0)),
         "unit 0 should have lost its lease"
     );
-    let oracle = Oracle::from_store(store.as_ref());
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
     oracle.assert_result_matches(
         &report.final_result,
         &positions,
         RADIUS,
         QueryMode::TopK(10),
     );
+}
+
+/// Storage-fault matrix, transient case: the disk fails 5% of page reads
+/// per attempt behind the default 3-retry backoff policy. Retries absorb
+/// (nearly) everything; any give-up is contained by the supervisor exactly
+/// like a worker panic — so the final top-k is still oracle-exact.
+#[test]
+fn transient_read_errors_are_retried_and_contained() {
+    let mut workload = Workload::generate(WorkloadParams {
+        num_units: NUM_UNITS,
+        places: PlaceGenConfig {
+            count: 1_500,
+            ..PlaceGenConfig::default()
+        },
+        seed: 11,
+        ..WorkloadParams::default()
+    });
+    let disk = Arc::new(FaultDisk::build(
+        Grid::unit_square(8),
+        workload.places_vec(),
+        0,
+        DiskFaultPlan {
+            seed: 0xD15C,
+            read_error_prob: 0.05,
+            ..DiskFaultPlan::default()
+        },
+        RetryPolicy::default(),
+    ));
+    assert!(disk.corrupted_pages().is_empty(), "no build-time damage");
+    let store: Arc<dyn PlaceStore> = disk.clone();
+    let units = workload.unit_positions();
+    let clean: Vec<LocationUpdate> = workload
+        .next_updates(600)
+        .into_iter()
+        .map(|u| LocationUpdate {
+            unit: UnitId(u.object),
+            new: u.to,
+        })
+        .collect();
+
+    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), &units)
+        .expect("transient faults are absorbed by retries at init");
+    let pipeline = SupervisedPipeline::spawn(monitor, ResilienceConfig::default(), 4096);
+    for &report in &stamp_stream(clean.clone()) {
+        pipeline.send(report).expect("worker alive");
+    }
+    let report = pipeline.shutdown();
+    assert!(!report.gave_up, "retry budget must carry the run");
+    assert_eq!(report.updates_processed, 600);
+
+    let snap = disk.stats().snapshot();
+    assert!(snap.read_retries > 0, "a 5% fault rate must force retries");
+    assert_eq!(snap.corrupt_pages, 0, "transient faults are not corruption");
+    // Any reads that exhausted the retry budget were contained as storage
+    // errors (checkpoint-restore-replay), never silently mis-served.
+    let r = &report.metrics.resilience;
+    assert_eq!(r.worker_panics, 0);
+    assert!(r.storage_errors <= r.worker_restarts);
+
+    // Clean stream + no leases: every update is effective; ground truth is
+    // simply the last reported position of each unit.
+    let mut positions = units.clone();
+    for update in &clean {
+        positions[update.unit.index()] = update.new;
+    }
+    let oracle = Oracle::from_store(store.as_ref()).expect("bulk scan skips transient faults");
+    oracle.assert_result_matches(
+        &report.final_result,
+        &positions,
+        RADIUS,
+        QueryMode::TopK(10),
+    );
+}
+
+/// Storage-fault matrix, persistent case: torn page writes and bit flips
+/// damage the disk at build time. Every read of a damaged cell must fail
+/// with a typed corruption error — zero silently wrong reads — while the
+/// undamaged cells still serve records identical to the in-memory store.
+#[test]
+fn build_time_corruption_is_always_detected_never_served() {
+    let workload = Workload::generate(WorkloadParams {
+        num_units: NUM_UNITS,
+        places: PlaceGenConfig {
+            count: 1_500,
+            ..PlaceGenConfig::default()
+        },
+        seed: 13,
+        ..WorkloadParams::default()
+    });
+    let places = workload.places_vec();
+    let disk = FaultDisk::build(
+        Grid::unit_square(8),
+        places.clone(),
+        0,
+        DiskFaultPlan {
+            seed: 99,
+            torn_writes: 3,
+            bit_flips: 3,
+            ..DiskFaultPlan::default()
+        },
+        RetryPolicy::default(),
+    );
+    let damaged = disk.corrupted_cells();
+    assert!(
+        !damaged.is_empty(),
+        "the plan must damage at least one cell"
+    );
+
+    let mirror = CellLocalStore::build(Grid::unit_square(8), places);
+    for cell in disk.grid().cells().collect::<Vec<_>>() {
+        match disk.read_cell(cell) {
+            Ok(got) => {
+                assert!(
+                    !damaged.contains(&cell),
+                    "damaged cell {cell:?} served records"
+                );
+                let want = mirror.read_cell(cell).expect("mem store");
+                assert_eq!(got.as_ref(), want.as_ref(), "cell {cell:?}");
+            }
+            Err(e) => {
+                assert!(matches!(e, StorageError::CorruptPage { .. }), "{e}");
+                assert!(damaged.contains(&cell), "clean cell {cell:?} failed: {e}");
+            }
+        }
+    }
+    let snap = disk.stats().snapshot();
+    assert!(snap.corrupt_pages > 0);
+    assert!(
+        snap.read_giveups > 0,
+        "corruption is permanent, not retried"
+    );
+
+    // A monitor cannot even be initialized over the damaged store: the
+    // full-cell init scan hits the corruption and surfaces it as a value.
+    let units = workload.unit_positions();
+    match OptCtup::new(CtupConfig::with_k(10), Arc::new(disk), &units) {
+        Ok(_) => panic!("init over a corrupt store must fail"),
+        Err(e) => assert!(matches!(e, StorageError::CorruptPage { .. }), "{e}"),
+    }
+}
+
+/// Durable kill-and-restart: the worker dies abruptly mid-stream — while
+/// tearing the newest checkpoint slot, as a death mid-checkpoint-write —
+/// and a fresh pipeline recovers from the surviving A/B slot plus the
+/// journal tail. Re-delivering the full feed (the gate dedups the already
+/// covered prefix) must converge to the oracle of the uninterrupted run.
+#[test]
+#[cfg_attr(miri, ignore = "touches real files and spawns threads")]
+fn kill_mid_checkpoint_write_recovers_from_surviving_slot() {
+    let (mut workload, store) = setup(7);
+    let units = workload.unit_positions();
+    let clean: Vec<LocationUpdate> = workload
+        .next_updates(600)
+        .into_iter()
+        .map(|u| LocationUpdate {
+            unit: UnitId(u.object),
+            new: u.to,
+        })
+        .collect();
+    let stamped = stamp_stream(clean.clone());
+    let dir = std::env::temp_dir().join(format!("ctup-chaos-durable-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let resilience = ResilienceConfig {
+        checkpoint_every: 48,
+        state_dir: Some(dir.clone()),
+        kill_at: Some(300),
+        tear_slot_on_kill: true,
+        ..ResilienceConfig::default()
+    };
+    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), &units).expect("clean store");
+    let pipeline = SupervisedPipeline::spawn(monitor, resilience, 4096);
+    for &report in &stamped {
+        if pipeline.send(report).is_err() {
+            break; // the kill fired; the worker is gone
+        }
+    }
+    let report = pipeline.shutdown();
+    assert!(report.killed, "kill_at must halt the worker");
+    assert!(!report.gave_up);
+    assert!(
+        report.final_result.is_empty(),
+        "a killed worker reports no result"
+    );
+
+    // Recovery in a "new process": load the surviving slot, replay the
+    // journal tail, then re-deliver the whole feed.
+    let pipeline = SupervisedPipeline::recover_from_dir::<OptCtup>(
+        &dir,
+        store.clone(),
+        ResilienceConfig {
+            checkpoint_every: 48,
+            state_dir: Some(dir.clone()),
+            ..ResilienceConfig::default()
+        },
+        4096,
+    )
+    .expect("recover from the surviving slot");
+    for &report in &stamped {
+        pipeline.send(report).expect("recovered worker alive");
+    }
+    let report = pipeline.shutdown();
+    assert!(!report.gave_up && !report.killed);
+    let r = &report.metrics.resilience;
+    assert!(r.updates_replayed > 0, "the journal tail must be replayed");
+    assert!(
+        r.duplicates_dropped + r.stale_dropped > 0,
+        "re-delivered prefix must be deduplicated by the gate"
+    );
+
+    let mut positions = units.clone();
+    for update in &clean {
+        positions[update.unit.index()] = update.new;
+    }
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
+    oracle.assert_result_matches(
+        &report.final_result,
+        &positions,
+        RADIUS,
+        QueryMode::TopK(10),
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -2,6 +2,11 @@
 //! update streams, every scheme must report exactly the oracle's safety
 //! multiset after every update, and the grid schemes' internal invariants
 //! must hold.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::config::{CtupConfig, QueryMode};
@@ -95,9 +100,9 @@ fn run_scenario(s: &Scenario, doo: bool) {
         purge_dechash_on_access: true,
     };
     let mut units = s.units.clone();
-    let mut basic = BasicCtup::new(config.clone(), store.clone(), &units);
-    let mut opt = OptCtup::new(config.clone(), store.clone(), &units);
-    let mut inc = NaiveIncremental::new(config.clone(), store, &units);
+    let mut basic = BasicCtup::new(config.clone(), store.clone(), &units).expect("clean store");
+    let mut opt = OptCtup::new(config.clone(), store.clone(), &units).expect("clean store");
+    let mut inc = NaiveIncremental::new(config.clone(), store, &units).expect("clean store");
     let mode = QueryMode::TopK(s.k);
     oracle.assert_result_matches(&basic.result(), &units, s.radius, mode);
     oracle.assert_result_matches(&opt.result(), &units, s.radius, mode);
@@ -108,9 +113,9 @@ fn run_scenario(s: &Scenario, doo: bool) {
             new,
         };
         units[unit] = new;
-        basic.handle_update(update);
-        opt.handle_update(update);
-        inc.handle_update(update);
+        basic.handle_update(update).expect("clean store");
+        opt.handle_update(update).expect("clean store");
+        inc.handle_update(update).expect("clean store");
         oracle.assert_result_matches(&basic.result(), &units, s.radius, mode);
         oracle.assert_result_matches(&opt.result(), &units, s.radius, mode);
         oracle.assert_result_matches(&inc.result(), &units, s.radius, mode);
@@ -148,12 +153,13 @@ proptest! {
             purge_dechash_on_access: true,
         };
         let mut units = s.units.clone();
-        let mut opt = OptCtup::new(config, store, &units);
+        let mut opt = OptCtup::new(config, store, &units).expect("clean store");
         let mode = QueryMode::Threshold(tau);
         oracle.assert_result_matches(&opt.result(), &units, s.radius, mode);
         for &(unit, new) in &s.updates {
             units[unit] = new;
-            opt.handle_update(LocationUpdate { unit: UnitId(unit as u32), new });
+            opt.handle_update(LocationUpdate { unit: UnitId(unit as u32), new })
+                .expect("clean store");
             oracle.assert_result_matches(&opt.result(), &units, s.radius, mode);
         }
         opt.check_lb_invariant();

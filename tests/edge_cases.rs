@@ -1,6 +1,11 @@
 //! Degenerate-configuration edge cases: empty place sets, k larger than
 //! |P|, a single cell, protection ranges covering the whole space, one
 //! unit. All schemes must agree with the oracle and never panic.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::config::{CtupConfig, QueryMode};
@@ -18,10 +23,10 @@ fn all_algorithms(
     units: &[Point],
 ) -> Vec<Box<dyn CtupAlgorithm>> {
     vec![
-        Box::new(NaiveRecompute::new(config.clone(), store.clone(), units)),
-        Box::new(NaiveIncremental::new(config.clone(), store.clone(), units)),
-        Box::new(BasicCtup::new(config.clone(), store.clone(), units)),
-        Box::new(OptCtup::new(config.clone(), store.clone(), units)),
+        Box::new(NaiveRecompute::new(config.clone(), store.clone(), units).expect("clean store")),
+        Box::new(NaiveIncremental::new(config.clone(), store.clone(), units).expect("clean store")),
+        Box::new(BasicCtup::new(config.clone(), store.clone(), units).expect("clean store")),
+        Box::new(OptCtup::new(config.clone(), store.clone(), units).expect("clean store")),
     ]
 }
 
@@ -31,7 +36,7 @@ fn drive_and_check(
     mut units: Vec<Point>,
     moves: &[(u32, Point)],
 ) {
-    let oracle = Oracle::from_store(store.as_ref());
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
     let mut algs = all_algorithms(&config, &store, &units);
     let radius = config.protection_radius;
     for alg in &algs {
@@ -43,7 +48,8 @@ fn drive_and_check(
             alg.handle_update(LocationUpdate {
                 unit: UnitId(unit),
                 new,
-            });
+            })
+            .expect("clean store");
             oracle.assert_result_matches(&alg.result(), &units, radius, config.mode);
         }
     }
@@ -135,7 +141,7 @@ fn stacked_places_and_units() {
         .collect();
     let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(Grid::unit_square(3), places));
     let units = vec![Point::new(0.5, 0.5), Point::new(0.5, 0.5)];
-    let oracle = Oracle::from_store(store.as_ref());
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
     let config = CtupConfig::with_k(4);
     let mut algs = all_algorithms(&config, &store, &units);
     let mut positions = units;
@@ -151,7 +157,8 @@ fn stacked_places_and_units() {
             alg.handle_update(LocationUpdate {
                 unit: UnitId(unit),
                 new,
-            });
+            })
+            .expect("clean store");
             oracle.assert_result_matches(&alg.result(), &positions, 0.1, QueryMode::TopK(4));
         }
     }
@@ -167,13 +174,15 @@ fn threshold_never_matched() {
         mode: QueryMode::Threshold(-100),
         ..CtupConfig::paper_default()
     };
-    let mut opt = OptCtup::new(config, store.clone(), &[Point::new(0.5, 0.5)]);
+    let mut opt =
+        OptCtup::new(config, store.clone(), &[Point::new(0.5, 0.5)]).expect("clean store");
     assert!(opt.result().is_empty());
     for (unit, new) in jagged_moves() {
         opt.handle_update(LocationUpdate {
             unit: UnitId(unit),
             new,
-        });
+        })
+        .expect("clean store");
         assert!(opt.result().is_empty());
     }
     // Nothing can ever cross the threshold, so no cell is ever accessed.

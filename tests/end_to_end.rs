@@ -1,6 +1,11 @@
 //! End-to-end pipeline test: generator → storage → every algorithm,
 //! checked against the brute-force oracle and against each other on a real
 //! (small) road-network workload.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::config::{CtupConfig, QueryMode};
@@ -36,13 +41,15 @@ fn workload(seed: u64) -> (Workload, Arc<dyn PlaceStore>, Vec<Point>) {
 fn all_algorithms_track_the_oracle_on_a_road_workload() {
     let (mut workload, store, mut units) = workload(11);
     let config = CtupConfig::with_k(10);
-    let oracle = Oracle::from_store(store.as_ref());
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
 
     let mut algs: Vec<Box<dyn CtupAlgorithm>> = vec![
-        Box::new(NaiveRecompute::new(config.clone(), store.clone(), &units)),
-        Box::new(NaiveIncremental::new(config.clone(), store.clone(), &units)),
-        Box::new(BasicCtup::new(config.clone(), store.clone(), &units)),
-        Box::new(OptCtup::new(config.clone(), store.clone(), &units)),
+        Box::new(NaiveRecompute::new(config.clone(), store.clone(), &units).expect("clean store")),
+        Box::new(
+            NaiveIncremental::new(config.clone(), store.clone(), &units).expect("clean store"),
+        ),
+        Box::new(BasicCtup::new(config.clone(), store.clone(), &units).expect("clean store")),
+        Box::new(OptCtup::new(config.clone(), store.clone(), &units).expect("clean store")),
     ];
     for alg in &algs {
         oracle.assert_result_matches(&alg.result(), &units, 0.1, QueryMode::TopK(10));
@@ -55,7 +62,7 @@ fn all_algorithms_track_the_oracle_on_a_road_workload() {
         };
         units[update.object as usize] = update.to;
         for alg in algs.iter_mut() {
-            alg.handle_update(location_update);
+            alg.handle_update(location_update).expect("clean store");
         }
         // Cheap cross-check every step; full oracle check periodically.
         let reference: Vec<Safety> = algs[0].result().iter().map(|e| e.safety).collect();
@@ -79,16 +86,16 @@ fn all_algorithms_track_the_oracle_on_a_road_workload() {
 fn grid_schemes_do_less_work_than_the_baselines() {
     let (mut workload, store, units) = workload(12);
     let config = CtupConfig::paper_default();
-    let mut basic = BasicCtup::new(config.clone(), store.clone(), &units);
-    let mut opt = OptCtup::new(config.clone(), store.clone(), &units);
+    let mut basic = BasicCtup::new(config.clone(), store.clone(), &units).expect("clean store");
+    let mut opt = OptCtup::new(config.clone(), store.clone(), &units).expect("clean store");
     let io_before = store.stats().snapshot();
     for update in workload.next_updates(500) {
         let location_update = LocationUpdate {
             unit: UnitId(update.object),
             new: update.to,
         };
-        basic.handle_update(location_update);
-        opt.handle_update(location_update);
+        basic.handle_update(location_update).expect("clean store");
+        opt.handle_update(location_update).expect("clean store");
     }
     let io = store.stats().snapshot().since(&io_before);
     // Grid schemes touch the lower level far less often than once per
@@ -126,10 +133,10 @@ fn adversarial_teleport_stream_stays_correct() {
         workload.places_vec(),
     ));
     let mut units = workload.unit_positions();
-    let oracle = Oracle::from_store(store.as_ref());
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
     let config = CtupConfig::with_k(10);
-    let mut basic = BasicCtup::new(config.clone(), store.clone(), &units);
-    let mut opt = OptCtup::new(config, store, &units);
+    let mut basic = BasicCtup::new(config.clone(), store.clone(), &units).expect("clean store");
+    let mut opt = OptCtup::new(config, store, &units).expect("clean store");
 
     // The monitors resolve old positions from their own unit tables, so
     // only the stream's absolute target positions matter here.
@@ -140,8 +147,8 @@ fn adversarial_teleport_stream_stays_correct() {
             new: update.to,
         };
         units[update.object as usize] = update.to;
-        basic.handle_update(location_update);
-        opt.handle_update(location_update);
+        basic.handle_update(location_update).expect("clean store");
+        opt.handle_update(location_update).expect("clean store");
         oracle.assert_result_matches(&basic.result(), &units, 0.1, QueryMode::TopK(10));
         oracle.assert_result_matches(&opt.result(), &units, 0.1, QueryMode::TopK(10));
         if step % 100 == 0 {
@@ -172,10 +179,10 @@ fn extent_workload_is_monitored_correctly() {
         workload.places_vec(),
     ));
     let mut units = workload.unit_positions();
-    let oracle = Oracle::from_store(store.as_ref());
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
     let config = CtupConfig::with_k(8);
-    let mut basic = BasicCtup::new(config.clone(), store.clone(), &units);
-    let mut opt = OptCtup::new(config, store, &units);
+    let mut basic = BasicCtup::new(config.clone(), store.clone(), &units).expect("clean store");
+    let mut opt = OptCtup::new(config, store, &units).expect("clean store");
     oracle.assert_result_matches(&opt.result(), &units, 0.1, QueryMode::TopK(8));
     for (step, update) in workload.next_updates(250).into_iter().enumerate() {
         let location_update = LocationUpdate {
@@ -183,8 +190,8 @@ fn extent_workload_is_monitored_correctly() {
             new: update.to,
         };
         units[update.object as usize] = update.to;
-        basic.handle_update(location_update);
-        opt.handle_update(location_update);
+        basic.handle_update(location_update).expect("clean store");
+        opt.handle_update(location_update).expect("clean store");
         oracle.assert_result_matches(&basic.result(), &units, 0.1, QueryMode::TopK(8));
         oracle.assert_result_matches(&opt.result(), &units, 0.1, QueryMode::TopK(8));
         if step % 100 == 0 {

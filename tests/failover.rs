@@ -1,6 +1,11 @@
 //! Failover: a standby server restored from a checkpoint must behave
 //! exactly like the primary from that point on — identical results and
 //! identical logical costs, with no re-initialization scan.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::checkpoint::Checkpoint;
@@ -34,14 +39,17 @@ fn setup(seed: u64) -> (Workload, Arc<dyn PlaceStore>) {
 fn restored_monitor_is_indistinguishable_from_the_primary() {
     let (mut workload, store) = setup(71);
     let units = workload.unit_positions();
-    let mut primary = OptCtup::new(CtupConfig::paper_default(), store.clone(), &units);
+    let mut primary =
+        OptCtup::new(CtupConfig::paper_default(), store.clone(), &units).expect("clean store");
 
     // Warm phase on the primary.
     for update in workload.next_updates(500) {
-        primary.handle_update(LocationUpdate {
-            unit: UnitId(update.object),
-            new: update.to,
-        });
+        primary
+            .handle_update(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            })
+            .expect("clean store");
     }
 
     // Checkpoint, serialize through the text codec, restore on a "standby".
@@ -73,8 +81,8 @@ fn restored_monitor_is_indistinguishable_from_the_primary() {
             unit: UnitId(update.object),
             new: update.to,
         };
-        primary.handle_update(location_update);
-        standby.handle_update(location_update);
+        primary.handle_update(location_update).expect("clean store");
+        standby.handle_update(location_update).expect("clean store");
         assert_eq!(standby.result(), primary.result());
     }
     let p_delta = primary.metrics().since(&p_before);
@@ -119,12 +127,14 @@ fn checkpoint_roundtrips_with_extents_and_threshold_mode() {
         mode: ctup::core::QueryMode::Threshold(-2),
         ..CtupConfig::paper_default()
     };
-    let mut primary = OptCtup::new(config, store.clone(), &units);
+    let mut primary = OptCtup::new(config, store.clone(), &units).expect("clean store");
     for update in workload.next_updates(200) {
-        primary.handle_update(LocationUpdate {
-            unit: UnitId(update.object),
-            new: update.to,
-        });
+        primary
+            .handle_update(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            })
+            .expect("clean store");
     }
     let mut buf = Vec::new();
     primary.checkpoint().write(&mut buf).unwrap();
@@ -136,8 +146,8 @@ fn checkpoint_roundtrips_with_extents_and_threshold_mode() {
             unit: UnitId(update.object),
             new: update.to,
         };
-        primary.handle_update(location_update);
-        standby.handle_update(location_update);
+        primary.handle_update(location_update).expect("clean store");
+        standby.handle_update(location_update).expect("clean store");
         assert_eq!(standby.result(), primary.result());
     }
 }

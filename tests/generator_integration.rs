@@ -1,6 +1,11 @@
 //! Generator-level integration: the moving-object workload must produce
 //! consistent, deterministic update streams that drive the monitoring
 //! server correctly, and the server must emit coherent event sequences.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::config::CtupConfig;
@@ -33,7 +38,7 @@ fn server_event_stream_replays_to_the_current_result() {
         workload.places_vec(),
     ));
     let units = workload.unit_positions();
-    let alg = OptCtup::new(CtupConfig::with_k(6), store, &units);
+    let alg = OptCtup::new(CtupConfig::with_k(6), store, &units).expect("clean store");
     let mut server = Server::new(alg);
 
     // Maintain a replica purely from the event stream.
@@ -43,10 +48,12 @@ fn server_event_stream_replays_to_the_current_result() {
         .map(|e| (e.place, e.safety))
         .collect();
     for update in workload.next_updates(500) {
-        let (events, _) = server.ingest(LocationUpdate {
-            unit: UnitId(update.object),
-            new: update.to,
-        });
+        let (events, _) = server
+            .ingest(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            })
+            .expect("clean store");
         for event in events {
             match event {
                 MonitorEvent::Entered { place, safety } => {
@@ -112,12 +119,13 @@ fn monitoring_costs_scale_with_update_count() {
         workload.places_vec(),
     ));
     let units = workload.unit_positions();
-    let mut alg = OptCtup::new(CtupConfig::with_k(6), store, &units);
+    let mut alg = OptCtup::new(CtupConfig::with_k(6), store, &units).expect("clean store");
     for update in workload.next_updates(250) {
         alg.handle_update(LocationUpdate {
             unit: UnitId(update.object),
             new: update.to,
-        });
+        })
+        .expect("clean store");
     }
     let m = alg.metrics();
     assert_eq!(m.updates_processed, 250);

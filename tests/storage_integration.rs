@@ -1,6 +1,11 @@
 //! Storage-level integration: the algorithms must behave identically over
 //! the memory-resident and the paged-disk lower level, I/O must be
 //! accounted, and generated data sets must survive the snapshot format.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::config::CtupConfig;
@@ -28,16 +33,22 @@ fn opt_ctup_is_identical_over_memory_and_disk_stores() {
         Arc::new(CellLocalStore::build(grid.clone(), workload.places_vec()));
     let disk: Arc<dyn PlaceStore> = Arc::new(PagedDiskStore::build(grid, workload.places_vec(), 0));
     let units = workload.unit_positions();
-    let mut over_mem = OptCtup::new(CtupConfig::paper_default(), mem.clone(), &units);
-    let mut over_disk = OptCtup::new(CtupConfig::paper_default(), disk.clone(), &units);
+    let mut over_mem =
+        OptCtup::new(CtupConfig::paper_default(), mem.clone(), &units).expect("clean store");
+    let mut over_disk =
+        OptCtup::new(CtupConfig::paper_default(), disk.clone(), &units).expect("clean store");
     assert_eq!(over_mem.result(), over_disk.result());
     for update in workload.next_updates(300) {
         let location_update = LocationUpdate {
             unit: UnitId(update.object),
             new: update.to,
         };
-        over_mem.handle_update(location_update);
-        over_disk.handle_update(location_update);
+        over_mem
+            .handle_update(location_update)
+            .expect("clean store");
+        over_disk
+            .handle_update(location_update)
+            .expect("clean store");
         assert_eq!(over_mem.result(), over_disk.result());
     }
     // Identical logical behaviour implies identical cell access counts.
@@ -59,7 +70,7 @@ fn simulated_page_latency_is_observed_and_accounted() {
     let disk = PagedDiskStore::build(Grid::unit_square(4), places, 50_000);
     let start = std::time::Instant::now();
     for cell in Grid::unit_square(4).cells() {
-        disk.read_cell(cell);
+        disk.read_cell(cell).expect("clean store");
     }
     let elapsed = start.elapsed().as_nanos() as u64;
     let io = disk.stats().snapshot();
@@ -126,8 +137,8 @@ fn stores_agree_cell_by_cell_on_generated_data() {
     assert_eq!(mem.num_places(), disk.num_places());
     for cell in grid.cells() {
         assert_eq!(
-            mem.read_cell(cell).into_owned(),
-            disk.read_cell(cell).into_owned(),
+            mem.read_cell(cell).expect("clean store").into_owned(),
+            disk.read_cell(cell).expect("clean store").into_owned(),
             "cell {cell:?}"
         );
         assert_eq!(mem.cell_extent_margin(cell), disk.cell_extent_margin(cell));
