@@ -1,16 +1,40 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [--quick] [experiment ...]
+//! reproduce [--quick] [--out FILE] [experiment ...]
 //! ```
 //!
 //! With no experiment arguments, runs everything. Experiment names:
 //! `table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ablation_purge ablation_disk
 //! ext_decay`.
+//!
+//! `--out FILE` additionally runs every algorithm over the Table III
+//! default workload and writes one unified observability snapshot per
+//! algorithm — every counter plus the latency histograms with their
+//! p50/p90/p99/p999 quantiles — as a JSON document.
 
 use ctup_bench::experiments::{self, Effort, Table};
+use ctup_bench::harness::{snapshot_algorithms, SetupParams};
 
 type Runner = Box<dyn Fn(Effort) -> Table>;
+
+/// Renders the per-algorithm snapshots as one JSON document.
+fn render_snapshots(mode: &str, updates: usize, snapshots: &[ctup_core::Snapshot]) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str("{\"workload\":\"table3-default\",\"mode\":\"");
+    out.push_str(mode);
+    out.push_str("\",\"updates\":");
+    out.push_str(&updates.to_string());
+    out.push_str(",\"algorithms\":[");
+    for (i, snap) in snapshots.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&snap.render_json());
+    }
+    out.push_str("]}");
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,11 +44,22 @@ fn main() {
     } else {
         Effort::full()
     };
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| *a != "--quick")
-        .map(String::as_str)
-        .collect();
+    let mut out_file: Option<String> = None;
+    let mut selected: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {}
+            "--out" => match iter.next() {
+                Some(path) => out_file = Some(path.clone()),
+                None => {
+                    eprintln!("--out requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            name => selected.push(name),
+        }
+    }
 
     let all: Vec<(&str, Runner)> = vec![
         ("table3", Box::new(|_| experiments::table3())),
@@ -64,5 +99,17 @@ fn main() {
         let table = run(effort);
         println!("{}", table.render());
         println!("  [{name} took {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+
+    if let Some(path) = out_file {
+        let updates = effort.updates;
+        let snapshots = snapshot_algorithms(&SetupParams::default(), updates);
+        let mode = if quick { "quick" } else { "full" };
+        let json = render_snapshots(mode, updates, &snapshots);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("observability snapshots written to {path}");
     }
 }

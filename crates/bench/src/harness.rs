@@ -6,6 +6,7 @@ use ctup_core::naive::{NaiveIncremental, NaiveRecompute};
 use ctup_core::types::{LocationUpdate, UnitId};
 use ctup_core::{BasicCtup, OptCtup};
 use ctup_mogen::{PlaceGenConfig, PositionUpdate, Workload, WorkloadParams};
+use ctup_obs::LatencySnapshot;
 use ctup_spatial::{Grid, Point};
 use ctup_storage::{CellLocalStore, PlaceStore};
 use serde::{Deserialize, Serialize};
@@ -183,17 +184,39 @@ pub struct RunSummary {
 /// Panics on a storage fault: measurements only make sense over a store
 /// that served every read, so a fault invalidates the run.
 pub fn measure_updates(alg: &mut dyn CtupAlgorithm, updates: &[LocationUpdate]) -> RunSummary {
+    measure_updates_observed(alg, updates).0
+}
+
+/// Like [`measure_updates`], but also records every update's phase costs
+/// into latency histograms so callers can report full distributions
+/// (p50/p90/p99/p999) alongside the averages.
+///
+/// # Panics
+///
+/// Panics on a storage fault, for the same reason as [`measure_updates`].
+pub fn measure_updates_observed(
+    alg: &mut dyn CtupAlgorithm,
+    updates: &[LocationUpdate],
+) -> (RunSummary, LatencySnapshot) {
     let before = alg.metrics().clone();
+    let mut latency = LatencySnapshot::default();
     let start = Instant::now();
     for &update in updates {
-        if let Err(e) = alg.handle_update(update) {
-            panic!("benchmark store must be clean: {e}");
+        match alg.handle_update(update) {
+            Ok(stats) => {
+                latency.update_maintain_nanos.record(stats.maintain_nanos);
+                latency.update_access_nanos.record(stats.access_nanos);
+                latency
+                    .update_total_nanos
+                    .record(stats.maintain_nanos.saturating_add(stats.access_nanos));
+            }
+            Err(e) => panic!("benchmark store must be clean: {e}"),
         }
     }
     let wall = start.elapsed().as_nanos() as f64;
     let metrics = alg.metrics().since(&before);
     let n = updates.len().max(1) as f64;
-    RunSummary {
+    let summary = RunSummary {
         updates: updates.len() as u64,
         avg_update_nanos: wall / n,
         avg_maintain_nanos: metrics.maintain_nanos as f64 / n,
@@ -203,7 +226,41 @@ pub fn measure_updates(alg: &mut dyn CtupAlgorithm, updates: &[LocationUpdate]) 
         lb_decrements_per_update: metrics.lb_decrements as f64 / n,
         lb_suppressed_per_update: metrics.lb_decrements_suppressed as f64 / n,
         maintained_places: metrics.maintained_now,
-    }
+    };
+    (summary, latency)
+}
+
+/// Runs every algorithm over the same fresh workload and returns one
+/// unified observability snapshot per algorithm.
+///
+/// Each algorithm gets its own [`build_setup`] (same `params`, same seed)
+/// so the storage counters and disk-read histogram it reports are its own
+/// rather than an accumulation across competitors.
+pub fn snapshot_algorithms(params: &SetupParams, updates: usize) -> Vec<ctup_core::Snapshot> {
+    let kinds = [
+        AlgKind::Naive,
+        AlgKind::NaiveIncremental,
+        AlgKind::Basic,
+        AlgKind::Opt,
+    ];
+    kinds
+        .iter()
+        .map(|kind| {
+            let mut setup = build_setup(params.clone());
+            let stream = setup.next_updates(updates);
+            let mut alg = kind.build(&setup);
+            let (_, mut latency) = measure_updates_observed(alg.as_mut(), &stream);
+            latency
+                .disk_read_nanos
+                .merge(&setup.store.stats().read_latency());
+            ctup_core::Snapshot::new(
+                kind.label(),
+                alg.metrics().clone(),
+                setup.store.stats().snapshot(),
+                latency,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -229,6 +286,47 @@ mod tests {
         let summary = measure_updates(alg.as_mut(), &updates);
         assert_eq!(summary.updates, 50);
         assert!(summary.avg_update_nanos > 0.0);
+    }
+
+    #[test]
+    fn observed_run_fills_latency_histograms() {
+        let params = SetupParams {
+            num_units: 10,
+            num_places: 200,
+            granularity: 5,
+            config: CtupConfig::with_k(3),
+            tick_dt: 1.0,
+            seed: 7,
+        };
+        let mut setup = build_setup(params);
+        let updates = setup.next_updates(40);
+        let mut alg = AlgKind::Basic.build(&setup);
+        let (summary, latency) = measure_updates_observed(alg.as_mut(), &updates);
+        assert_eq!(summary.updates, 40);
+        assert_eq!(latency.update_total_nanos.count(), 40);
+        assert_eq!(latency.update_maintain_nanos.count(), 40);
+        assert_eq!(latency.update_access_nanos.count(), 40);
+    }
+
+    #[test]
+    fn snapshot_algorithms_covers_every_kind() {
+        let params = SetupParams {
+            num_units: 8,
+            num_places: 150,
+            granularity: 5,
+            config: CtupConfig::with_k(3),
+            tick_dt: 1.0,
+            seed: 3,
+        };
+        let snaps = snapshot_algorithms(&params, 30);
+        let names: Vec<&str> = snaps.iter().map(|s| s.algorithm.as_str()).collect();
+        assert_eq!(names, ["Naive", "NaiveInc", "BasicCTUP", "OptCTUP"]);
+        for snap in &snaps {
+            assert_eq!(snap.latency.update_total_nanos.count(), 30);
+            assert!(snap.metrics.updates_processed >= 30);
+            let json = snap.render_json();
+            assert!(json.contains("\"p99\""), "{json}");
+        }
     }
 
     #[test]

@@ -11,4 +11,7 @@
 pub mod experiments;
 pub mod harness;
 
-pub use harness::{build_setup, measure_updates, stream, AlgKind, RunSummary, Setup, SetupParams};
+pub use harness::{
+    build_setup, measure_updates, measure_updates_observed, snapshot_algorithms, stream, AlgKind,
+    RunSummary, Setup, SetupParams,
+};

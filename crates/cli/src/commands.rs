@@ -1,16 +1,19 @@
-//! The CLI subcommands: `generate`, `run`, `resume`, `chaos`.
+//! The CLI subcommands: `generate`, `run`, `resume`, `chaos`, `report`,
+//! `serve-metrics`.
 
 use crate::args::{ArgError, Flags};
-use ctup_core::algorithm::CtupAlgorithm;
+use ctup_core::algorithm::{CtupAlgorithm, UpdateStats};
 use ctup_core::checkpoint::Checkpoint;
 use ctup_core::config::{CtupConfig, QueryMode};
 use ctup_core::ingest::stamp_stream;
 use ctup_core::naive::{NaiveIncremental, NaiveRecompute};
+use ctup_core::report::Snapshot;
 use ctup_core::server::{MonitorEvent, Server};
 use ctup_core::supervisor::{ResilienceConfig, SupervisedPipeline};
 use ctup_core::types::{LocationUpdate, UnitId};
 use ctup_core::{BasicCtup, OptCtup};
 use ctup_mogen::{FaultPlan, PlaceGenConfig, PlaceGenerator, Workload, WorkloadParams};
+use ctup_obs::{summarize, LatencySnapshot, MetricsServer};
 use ctup_spatial::{Grid, Point};
 use ctup_storage::{
     snapshot, CellLocalStore, DiskFaultPlan, FaultDisk, PlaceStore, RetryPolicy, StorageError,
@@ -128,6 +131,50 @@ fn build_algorithm(
     })
 }
 
+/// Feeds one update's phase timings into the run-local latency histograms.
+fn record_latency(latency: &mut LatencySnapshot, stats: &UpdateStats) {
+    latency.update_maintain_nanos.record(stats.maintain_nanos);
+    latency.update_access_nanos.record(stats.access_nanos);
+    latency
+        .update_total_nanos
+        .record(stats.maintain_nanos.saturating_add(stats.access_nanos));
+}
+
+/// Builds the unified observability snapshot of a finished run: the
+/// algorithm's metrics, the store's counters, and the latency histograms
+/// with the store's disk-read distribution folded in.
+fn unified_snapshot(
+    alg: &dyn CtupAlgorithm,
+    store: &Arc<dyn PlaceStore>,
+    mut latency: LatencySnapshot,
+) -> Snapshot {
+    latency.disk_read_nanos.merge(&store.stats().read_latency());
+    Snapshot::new(
+        alg.name(),
+        alg.metrics().clone(),
+        store.stats().snapshot(),
+        latency,
+    )
+}
+
+/// Prints one `latency ...` line per non-empty histogram, with the tail
+/// quantiles (p50/p90/p99/p999) every report carries.
+fn report_latency(latency: &LatencySnapshot, out: &mut dyn Write) -> Result<(), CliError> {
+    for (name, hist) in [
+        ("update-total", &latency.update_total_nanos),
+        ("update-maintain", &latency.update_maintain_nanos),
+        ("update-access", &latency.update_access_nanos),
+        ("checkpoint-write", &latency.checkpoint_write_nanos),
+        ("disk-read", &latency.disk_read_nanos),
+    ] {
+        if hist.is_empty() {
+            continue;
+        }
+        writeln!(out, "latency {name:<17} {}", summarize(hist)).map_err(|e| io_err("stdout", e))?;
+    }
+    Ok(())
+}
+
 fn render_result(alg: &dyn CtupAlgorithm, out: &mut dyn Write) -> Result<(), CliError> {
     let mut text = String::new();
     for entry in alg.result() {
@@ -214,7 +261,12 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     ));
     let unit_positions = workload.unit_positions();
 
-    let mut alg = build_algorithm(&algorithm_name, params.config, store, &unit_positions)?;
+    let mut alg = build_algorithm(
+        &algorithm_name,
+        params.config,
+        Arc::clone(&store),
+        &unit_positions,
+    )?;
     writeln!(
         out,
         "monitoring {num_places} places with {} units using {} (init {:.1} ms)",
@@ -224,15 +276,17 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     )
     .map_err(|e| io_err("stdout", e))?;
 
+    let mut latency = LatencySnapshot::default();
     if flags.switch("events") {
         let mut server = Server::new(ServerAdapter(alg));
         for update in workload.next_updates(updates) {
-            let (events, _) = server
+            let (events, stats) = server
                 .ingest(LocationUpdate {
                     unit: UnitId(update.object),
                     new: update.to,
                 })
                 .map_err(update_err)?;
+            record_latency(&mut latency, &stats);
             for event in events {
                 let line = match event {
                     MonitorEvent::Entered { place, safety } => {
@@ -247,16 +301,18 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
             }
         }
         let alg = server.into_algorithm().0;
-        finish_run(alg.as_ref(), out)?;
+        finish_run(alg.as_ref(), &store, latency, out)?;
     } else {
         for update in workload.next_updates(updates) {
-            alg.handle_update(LocationUpdate {
-                unit: UnitId(update.object),
-                new: update.to,
-            })
-            .map_err(update_err)?;
+            let stats = alg
+                .handle_update(LocationUpdate {
+                    unit: UnitId(update.object),
+                    new: update.to,
+                })
+                .map_err(update_err)?;
+            record_latency(&mut latency, &stats);
         }
-        finish_run(alg.as_ref(), out)?;
+        finish_run(alg.as_ref(), &store, latency, out)?;
     }
     Ok(())
 }
@@ -297,10 +353,17 @@ impl CtupAlgorithm for ServerAdapter {
     }
 }
 
-fn finish_run(alg: &dyn CtupAlgorithm, out: &mut dyn Write) -> Result<(), CliError> {
+fn finish_run(
+    alg: &dyn CtupAlgorithm,
+    store: &Arc<dyn PlaceStore>,
+    latency: LatencySnapshot,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
     writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
     render_result(alg, out)?;
     report_costs(alg, out)?;
+    let snapshot = unified_snapshot(alg, store, latency);
+    report_latency(&snapshot.latency, out)?;
     Ok(())
 }
 
@@ -336,17 +399,19 @@ pub fn run_opt(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         workload.places_vec(),
     ));
     let unit_positions = workload.unit_positions();
-    let mut alg = OptCtup::new(params.config, store, &unit_positions).map_err(init_err)?;
+    let mut alg =
+        OptCtup::new(params.config, Arc::clone(&store), &unit_positions).map_err(init_err)?;
+    let mut latency = LatencySnapshot::default();
     for update in workload.next_updates(updates) {
-        alg.handle_update(LocationUpdate {
-            unit: UnitId(update.object),
-            new: update.to,
-        })
-        .map_err(update_err)?;
+        let stats = alg
+            .handle_update(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            })
+            .map_err(update_err)?;
+        record_latency(&mut latency, &stats);
     }
-    writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
-    render_result(&alg, out)?;
-    report_costs(&alg, out)?;
+    finish_run(&alg, &store, latency, out)?;
     if let Some(path) = flags.get_str("checkpoint-out") {
         let file = File::create(path).map_err(|e| io_err(&format!("creating {path}"), e))?;
         alg.checkpoint()
@@ -410,20 +475,21 @@ pub fn resume(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         Grid::unit_square(params.granularity),
         workload.places_vec(),
     ));
-    let mut alg = OptCtup::restore(checkpoint, store)
+    let mut alg = OptCtup::restore(checkpoint, Arc::clone(&store))
         .map_err(|e| CliError(format!("restoring {path}: {e}")))?;
     writeln!(out, "resumed from {path}; continuing monitoring").map_err(|e| io_err("stdout", e))?;
     let updates: usize = flags.get("updates", 1_000)?;
+    let mut latency = LatencySnapshot::default();
     for update in workload.next_updates(updates) {
-        alg.handle_update(LocationUpdate {
-            unit: UnitId(update.object),
-            new: update.to,
-        })
-        .map_err(update_err)?;
+        let stats = alg
+            .handle_update(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            })
+            .map_err(update_err)?;
+        record_latency(&mut latency, &stats);
     }
-    writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
-    render_result(&alg, out)?;
-    report_costs(&alg, out)?;
+    finish_run(&alg, &store, latency, out)?;
     Ok(())
 }
 
@@ -467,6 +533,7 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         "kill-at",
         "recover",
         "tear-slot",
+        "flight-recorder",
     ])?;
     let params = common_params(&flags)?;
     let updates: usize = flags.get("updates", 1_000)?;
@@ -572,6 +639,7 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         state_dir: state_dir.clone(),
         kill_at: (kill_at > 0).then_some(kill_at),
         tear_slot_on_kill: flags.switch("tear-slot"),
+        flight_recorder_capacity: flags.get("flight-recorder", 256)?,
     };
     let pipeline = if flags.switch("recover") {
         let dir =
@@ -643,6 +711,11 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     ] {
         writeln!(out, "  {name:<22} {value}").map_err(|e| io_err("stdout", e))?;
     }
+    report_latency(&report.latency, out)?;
+    if let Some(path) = &report.flight_recorder_path {
+        writeln!(out, "flight recorder dumped to {}", path.display())
+            .map_err(|e| io_err("stdout", e))?;
+    }
     writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
     let mut text = String::new();
     for entry in &report.final_result {
@@ -653,6 +726,118 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         );
     }
     write!(out, "{text}").map_err(|e| io_err("stdout", e))?;
+    Ok(())
+}
+
+/// Runs the deterministic workload selected by the shared flags and
+/// returns the unified observability snapshot of the finished run (the
+/// engine behind `report` and `serve-metrics`).
+fn run_workload_for_snapshot(flags: &Flags) -> Result<Snapshot, CliError> {
+    let params = common_params(flags)?;
+    let updates: usize = flags.get("updates", 1_000)?;
+    let algorithm_name = flags.get_str("algorithm").unwrap_or("opt").to_string();
+    let mut workload = Workload::generate(WorkloadParams {
+        num_units: params.units,
+        places: PlaceGenConfig {
+            count: params.places,
+            ..PlaceGenConfig::default()
+        },
+        seed: params.seed,
+        ..WorkloadParams::default()
+    });
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(params.granularity),
+        workload.places_vec(),
+    ));
+    let unit_positions = workload.unit_positions();
+    let mut alg = build_algorithm(
+        &algorithm_name,
+        params.config,
+        Arc::clone(&store),
+        &unit_positions,
+    )?;
+    let mut latency = LatencySnapshot::default();
+    for update in workload.next_updates(updates) {
+        let stats = alg
+            .handle_update(LocationUpdate {
+                unit: UnitId(update.object),
+                new: update.to,
+            })
+            .map_err(update_err)?;
+        record_latency(&mut latency, &stats);
+    }
+    Ok(unified_snapshot(alg.as_ref(), &store, latency))
+}
+
+const SNAPSHOT_FLAGS: &[&str] = &[
+    "algorithm",
+    "updates",
+    "units",
+    "places",
+    "granularity",
+    "seed",
+    "k",
+    "delta",
+    "radius",
+    "threshold",
+    "no-doo",
+];
+
+/// `ctup report` — run a workload and emit the unified metrics snapshot
+/// (every counter, gauge and latency histogram) as human-readable text,
+/// JSON, or Prometheus exposition text.
+pub fn report(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["no-doo"])?;
+    let mut known: Vec<&str> = SNAPSHOT_FLAGS.to_vec();
+    known.extend(["format", "out"]);
+    flags.reject_unknown(&known)?;
+    let snapshot = run_workload_for_snapshot(&flags)?;
+    let format = flags.get_str("format").unwrap_or("text");
+    let rendered = match format {
+        "text" => snapshot.render_text(),
+        "json" => {
+            let mut json = snapshot.render_json();
+            json.push('\n');
+            json
+        }
+        "prom" => snapshot.render_prom(),
+        other => {
+            return Err(CliError(format!(
+                "unknown --format {other:?} (expected text, json or prom)"
+            )))
+        }
+    };
+    match flags.get_str("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| io_err(&format!("writing {path}"), e))?;
+            writeln!(out, "report written to {path}").map_err(|e| io_err("stdout", e))?;
+        }
+        None => write!(out, "{rendered}").map_err(|e| io_err("stdout", e))?,
+    }
+    Ok(())
+}
+
+/// `ctup serve-metrics` — run a workload, then serve its snapshot as
+/// Prometheus exposition text on `/metrics` for `--serve-secs` seconds.
+pub fn serve_metrics(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["no-doo"])?;
+    let mut known: Vec<&str> = SNAPSHOT_FLAGS.to_vec();
+    known.extend(["addr", "serve-secs"]);
+    flags.reject_unknown(&known)?;
+    let snapshot = run_workload_for_snapshot(&flags)?;
+    let addr = flags.get_str("addr").unwrap_or("127.0.0.1:9184");
+    let serve_secs: u64 = flags.get("serve-secs", 300)?;
+    let server = MetricsServer::bind(addr).map_err(|e| io_err(&format!("binding {addr}"), e))?;
+    server.publisher().publish(snapshot.render_prom());
+    writeln!(
+        out,
+        "serving Prometheus metrics at http://{}/metrics for {serve_secs}s",
+        server.local_addr()
+    )
+    .map_err(|e| io_err("stdout", e))?;
+    out.flush().map_err(|e| io_err("stdout", e))?;
+    std::thread::sleep(std::time::Duration::from_secs(serve_secs));
+    server.shutdown();
     Ok(())
 }
 
@@ -672,6 +857,9 @@ USAGE:
                 [--panic-at N,N,...] [--lease-ttl T] [--checkpoint-every N] [--max-restarts N]
                 [--disk-faults P] [--torn-writes N] [--bit-flips N] [--disk-seed S]
                 [--state-dir DIR] [--kill-at N] [--tear-slot] [--recover]
+                [--flight-recorder N]
+  ctup report   [same workload flags] [--format text|json|prom] [--out FILE]
+  ctup serve-metrics [same workload flags] [--addr HOST:PORT] [--serve-secs N]
 
 The workload is deterministic per --seed: `run-opt --updates N --checkpoint-out cp`
 followed by `resume --checkpoint cp --skip N` continues the same stream.
@@ -685,7 +873,13 @@ makes checkpoints durable (A/B slots plus a report journal); `--kill-at N`
 dies abruptly before effective update N (`--tear-slot` also tears the newest
 slot, as a death mid-checkpoint-write), and rerunning the same command with
 `--recover` resumes from the surviving slot, replays the journal tail, and
-converges to the uninterrupted run's result."
+converges to the uninterrupted run's result. When a supervised worker dies
+(killed or restart budget exhausted) with a --state-dir, the flight recorder
+dumps its last --flight-recorder events as JSON Lines next to the slots.
+`report` emits the unified metrics snapshot (counters, gauges and latency
+histograms with p50/p90/p99/p999) as text, JSON, or Prometheus exposition
+text; `serve-metrics` serves the same snapshot on http://ADDR/metrics for
+Prometheus to scrape."
 }
 
 #[cfg(test)]
@@ -988,6 +1182,18 @@ mod tests {
         let killed = run_cmd(chaos, &kill_args).expect("killed chaos run");
         assert!(killed.contains("KILLED"), "{killed}");
         assert!(!killed.contains("final result:\n  place"), "{killed}");
+        // The death left a parseable flight-recorder dump next to the slots.
+        assert!(killed.contains("flight recorder dumped to"), "{killed}");
+        let dump_path = dir.join("flight-recorder.jsonl");
+        let dump = std::fs::read_to_string(&dump_path).expect("dump exists");
+        assert!(dump.lines().count() > 0);
+        assert!(
+            dump.lines()
+                .last()
+                .expect("lines")
+                .contains("\"outcome\":\"killed\""),
+            "{dump}"
+        );
 
         let mut recover_args: Vec<&str> = base.to_vec();
         recover_args.extend(["--state-dir", &dir_str, "--recover"]);
@@ -1024,5 +1230,131 @@ mod tests {
         assert!(run_cmd(run, &["--bogus", "1"]).is_err());
         assert!(run_cmd(resume, &[]).is_err());
         assert!(run_cmd(generate, &["--rp-min", "9", "--rp-max", "2"]).is_err());
+        assert!(run_cmd(report, &["--format", "xml"]).is_err());
+    }
+
+    #[test]
+    fn run_report_includes_latency_quantiles() {
+        let out = run_cmd(
+            run,
+            &[
+                "--places",
+                "200",
+                "--units",
+                "8",
+                "--updates",
+                "50",
+                "--k",
+                "3",
+            ],
+        )
+        .expect("run");
+        assert!(out.contains("latency update-total"), "{out}");
+        assert!(out.contains("p50="), "{out}");
+        assert!(out.contains("p99="), "{out}");
+    }
+
+    const REPORT_BASE: &[&str] = &[
+        "--places",
+        "200",
+        "--units",
+        "8",
+        "--updates",
+        "60",
+        "--k",
+        "3",
+        "--seed",
+        "13",
+    ];
+
+    #[test]
+    fn report_text_lists_every_series() {
+        let mut args = REPORT_BASE.to_vec();
+        args.extend(["--format", "text"]);
+        let out = run_cmd(report, &args).expect("report text");
+        assert!(out.contains("algorithm: opt\n"), "{out}");
+        assert!(out.contains("updates_processed: 60\n"), "{out}");
+        assert!(out.contains("storage_cell_reads:"), "{out}");
+        assert!(out.contains("resilience_worker_panics: 0\n"), "{out}");
+        assert!(out.contains("update_total_nanos: n=60 "), "{out}");
+    }
+
+    #[test]
+    fn report_json_round_trips_counters() {
+        let mut args = REPORT_BASE.to_vec();
+        args.extend(["--format", "json"]);
+        let out = run_cmd(report, &args).expect("report json");
+        assert!(
+            out.starts_with('{') && out.trim_end().ends_with('}'),
+            "{out}"
+        );
+        assert!(out.contains("\"algorithm\":\"opt\""), "{out}");
+        assert!(out.contains("\"updates_processed\":60"), "{out}");
+        assert!(out.contains("\"p99\":"), "{out}");
+    }
+
+    #[test]
+    fn report_prom_is_scrapeable_exposition() {
+        let mut args = REPORT_BASE.to_vec();
+        args.extend(["--format", "prom"]);
+        let out = run_cmd(report, &args).expect("report prom");
+        assert!(
+            out.contains("# TYPE ctup_updates_processed counter\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("ctup_updates_processed{algorithm=\"opt\"} 60\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("# TYPE ctup_update_total_nanos histogram\n"),
+            "{out}"
+        );
+        assert!(out.contains("le=\"+Inf\"}"), "{out}");
+        assert!(
+            out.contains("ctup_update_total_nanos_count{algorithm=\"opt\"} 60\n"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn report_writes_file_with_out_flag() {
+        let dir = std::env::temp_dir().join("ctup-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_report.json");
+        let path_str = path.to_str().unwrap();
+        let mut args = REPORT_BASE.to_vec();
+        args.extend(["--format", "json", "--out", path_str]);
+        let out = run_cmd(report, &args).expect("report --out");
+        assert!(out.contains("report written to"), "{out}");
+        let body = std::fs::read_to_string(&path).expect("file written");
+        assert!(body.contains("\"histograms\":{"), "{body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_metrics_binds_and_announces() {
+        let out = run_cmd(
+            serve_metrics,
+            &[
+                "--places",
+                "200",
+                "--units",
+                "8",
+                "--updates",
+                "20",
+                "--k",
+                "3",
+                "--addr",
+                "127.0.0.1:0",
+                "--serve-secs",
+                "0",
+            ],
+        )
+        .expect("serve-metrics");
+        assert!(
+            out.contains("serving Prometheus metrics at http://127.0.0.1:"),
+            "{out}"
+        );
     }
 }

@@ -20,6 +20,8 @@ fn main() -> ExitCode {
         "run-opt" => commands::run_opt(rest, &mut stdout),
         "resume" => commands::resume(rest, &mut stdout),
         "chaos" => commands::chaos(rest, &mut stdout),
+        "report" => commands::report(rest, &mut stdout),
+        "serve-metrics" => commands::serve_metrics(rest, &mut stdout),
         "help" | "--help" | "-h" => {
             println!("{}", commands::usage());
             return ExitCode::SUCCESS;

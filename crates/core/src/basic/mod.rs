@@ -16,6 +16,7 @@ use crate::maintained::MaintainedSet;
 use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId, LB_NONE};
 use crate::units::UnitTable;
+use ctup_obs::PhaseTimer;
 use ctup_spatial::{convert, CellId, Circle, Grid, Point};
 use ctup_storage::{PlaceStore, StorageError};
 use lb::basic_lb_delta;
@@ -196,7 +197,7 @@ impl CtupAlgorithm for BasicCtup {
 
     fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError> {
         let radius = self.config.protection_radius;
-        let maintain_start = Instant::now();
+        let mut timer = PhaseTimer::start();
         let old = self.units.apply(update);
         let old_region = Circle::new(old, radius);
         let new_region = Circle::new(update.new, radius);
@@ -226,10 +227,9 @@ impl CtupAlgorithm for BasicCtup {
                 }
             }
         }
-        let maintain_nanos = convert::nanos64(maintain_start.elapsed().as_nanos());
+        let maintain_nanos = timer.lap();
 
         // Step 3: illuminate every dark cell whose bound fell below SK.
-        let access_start = Instant::now();
         let cells_accessed = self.illumination_loop()?;
 
         // Step 4: darken illuminated cells that hold no result place.
@@ -247,7 +247,7 @@ impl CtupAlgorithm for BasicCtup {
                 self.darken(cell);
             }
         }
-        let access_nanos = convert::nanos64(access_start.elapsed().as_nanos());
+        let access_nanos = timer.lap();
 
         let changed = result != self.last_result;
         self.last_result = result;

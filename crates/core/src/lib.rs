@@ -68,6 +68,7 @@ pub mod naive;
 pub mod opt;
 pub mod oracle;
 pub mod pipeline;
+pub mod report;
 pub mod server;
 pub mod supervisor;
 pub mod topk;
@@ -85,6 +86,9 @@ pub use naive::{NaiveIncremental, NaiveRecompute};
 pub use opt::OptCtup;
 pub use oracle::Oracle;
 pub use pipeline::{EventBatch, Pipeline, PipelineReport, SendError};
+pub use report::Snapshot;
 pub use server::{MonitorEvent, Server};
-pub use supervisor::{ResilienceConfig, SupervisedPipeline, SupervisedReport};
+pub use supervisor::{
+    ResilienceConfig, SupervisedPipeline, SupervisedReport, FLIGHT_RECORDER_FILE,
+};
 pub use types::{LocationUpdate, Place, PlaceId, Safety, TopKEntry, Unit, UnitId};

@@ -53,22 +53,40 @@ impl ResilienceStats {
         self.rejected_non_finite + self.rejected_out_of_space + self.rejected_unknown_unit
     }
 
-    /// Component-wise difference since `earlier`.
+    /// Component-wise difference since `earlier`; saturates at zero, so a
+    /// snapshot taken after a recovery reset never underflows (plain `-`
+    /// would panic in debug builds).
     pub fn since(&self, earlier: &ResilienceStats) -> ResilienceStats {
         ResilienceStats {
-            rejected_non_finite: self.rejected_non_finite - earlier.rejected_non_finite,
-            rejected_out_of_space: self.rejected_out_of_space - earlier.rejected_out_of_space,
-            rejected_unknown_unit: self.rejected_unknown_unit - earlier.rejected_unknown_unit,
-            stale_dropped: self.stale_dropped - earlier.stale_dropped,
-            duplicates_dropped: self.duplicates_dropped - earlier.duplicates_dropped,
-            lease_expiries: self.lease_expiries - earlier.lease_expiries,
-            lease_reinstates: self.lease_reinstates - earlier.lease_reinstates,
-            worker_panics: self.worker_panics - earlier.worker_panics,
-            worker_restarts: self.worker_restarts - earlier.worker_restarts,
-            updates_replayed: self.updates_replayed - earlier.updates_replayed,
-            checkpoints_taken: self.checkpoints_taken - earlier.checkpoints_taken,
-            events_suppressed: self.events_suppressed - earlier.events_suppressed,
-            storage_errors: self.storage_errors - earlier.storage_errors,
+            rejected_non_finite: self
+                .rejected_non_finite
+                .saturating_sub(earlier.rejected_non_finite),
+            rejected_out_of_space: self
+                .rejected_out_of_space
+                .saturating_sub(earlier.rejected_out_of_space),
+            rejected_unknown_unit: self
+                .rejected_unknown_unit
+                .saturating_sub(earlier.rejected_unknown_unit),
+            stale_dropped: self.stale_dropped.saturating_sub(earlier.stale_dropped),
+            duplicates_dropped: self
+                .duplicates_dropped
+                .saturating_sub(earlier.duplicates_dropped),
+            lease_expiries: self.lease_expiries.saturating_sub(earlier.lease_expiries),
+            lease_reinstates: self
+                .lease_reinstates
+                .saturating_sub(earlier.lease_reinstates),
+            worker_panics: self.worker_panics.saturating_sub(earlier.worker_panics),
+            worker_restarts: self.worker_restarts.saturating_sub(earlier.worker_restarts),
+            updates_replayed: self
+                .updates_replayed
+                .saturating_sub(earlier.updates_replayed),
+            checkpoints_taken: self
+                .checkpoints_taken
+                .saturating_sub(earlier.checkpoints_taken),
+            events_suppressed: self
+                .events_suppressed
+                .saturating_sub(earlier.events_suppressed),
+            storage_errors: self.storage_errors.saturating_sub(earlier.storage_errors),
         }
     }
 }
@@ -121,23 +139,27 @@ impl Metrics {
 
     /// Component-wise difference since `earlier` for the cumulative fields;
     /// gauge fields (`maintained_now`, `dechash_len`) keep their current
-    /// values.
+    /// values. Saturates at zero so an `earlier` snapshot from after a
+    /// recovery reset never underflows.
     pub fn since(&self, earlier: &Metrics) -> Metrics {
         Metrics {
-            updates_processed: self.updates_processed - earlier.updates_processed,
-            cells_accessed: self.cells_accessed - earlier.cells_accessed,
-            places_loaded: self.places_loaded - earlier.places_loaded,
-            lb_increments: self.lb_increments - earlier.lb_increments,
-            lb_decrements: self.lb_decrements - earlier.lb_decrements,
-            lb_decrements_suppressed: self.lb_decrements_suppressed
-                - earlier.lb_decrements_suppressed,
-            cells_darkened: self.cells_darkened - earlier.cells_darkened,
+            updates_processed: self
+                .updates_processed
+                .saturating_sub(earlier.updates_processed),
+            cells_accessed: self.cells_accessed.saturating_sub(earlier.cells_accessed),
+            places_loaded: self.places_loaded.saturating_sub(earlier.places_loaded),
+            lb_increments: self.lb_increments.saturating_sub(earlier.lb_increments),
+            lb_decrements: self.lb_decrements.saturating_sub(earlier.lb_decrements),
+            lb_decrements_suppressed: self
+                .lb_decrements_suppressed
+                .saturating_sub(earlier.lb_decrements_suppressed),
+            cells_darkened: self.cells_darkened.saturating_sub(earlier.cells_darkened),
             maintained_now: self.maintained_now,
             maintained_peak: self.maintained_peak,
             dechash_len: self.dechash_len,
-            maintain_nanos: self.maintain_nanos - earlier.maintain_nanos,
-            access_nanos: self.access_nanos - earlier.access_nanos,
-            result_changes: self.result_changes - earlier.result_changes,
+            maintain_nanos: self.maintain_nanos.saturating_sub(earlier.maintain_nanos),
+            access_nanos: self.access_nanos.saturating_sub(earlier.access_nanos),
+            result_changes: self.result_changes.saturating_sub(earlier.result_changes),
             resilience: self.resilience.since(&earlier.resilience),
         }
     }
@@ -173,6 +195,42 @@ mod tests {
         assert_eq!(d.updates_processed, 15);
         assert_eq!(d.cells_accessed, 2);
         assert_eq!(d.maintained_now, 9);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        // Regression: after a recovery reset, the "earlier" snapshot can be
+        // ahead of the current counters; plain subtraction panicked in
+        // debug builds. The delta must saturate at zero instead.
+        let fresh = Metrics {
+            updates_processed: 3,
+            cells_accessed: 1,
+            ..Metrics::default()
+        };
+        let before_reset = Metrics {
+            updates_processed: 100,
+            cells_accessed: 50,
+            maintain_nanos: 1_000,
+            access_nanos: 2_000,
+            resilience: ResilienceStats {
+                stale_dropped: 9,
+                worker_panics: 2,
+                ..ResilienceStats::default()
+            },
+            ..Metrics::default()
+        };
+        let d = fresh.since(&before_reset);
+        assert_eq!(d.updates_processed, 0);
+        assert_eq!(d.cells_accessed, 0);
+        assert_eq!(d.maintain_nanos, 0);
+        assert_eq!(d.resilience.stale_dropped, 0);
+        assert_eq!(d.resilience.worker_panics, 0);
+
+        let r = ResilienceStats::default().since(&ResilienceStats {
+            lease_expiries: 7,
+            ..ResilienceStats::default()
+        });
+        assert_eq!(r.lease_expiries, 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::metrics::Metrics;
 use crate::topk::SafetyOrdered;
 use crate::types::{protects, LocationUpdate, Place, Safety, TopKEntry, UnitId};
 use crate::units::UnitTable;
+use ctup_obs::PhaseTimer;
 use ctup_spatial::{convert, Circle, Grid, Point};
 use ctup_storage::{PlaceStore, StorageError};
 use std::sync::Arc;
@@ -141,14 +142,14 @@ impl CtupAlgorithm for NaiveIncremental {
     }
 
     fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError> {
-        let start = Instant::now();
+        let mut timer = PhaseTimer::start();
         let old = self.units.apply(update);
         self.adjust_affected(old, update.new);
         let result = self.current_result();
         let changed = result != self.last_result;
         self.last_result = result;
 
-        let nanos = convert::nanos64(start.elapsed().as_nanos());
+        let nanos = timer.lap();
         self.metrics.updates_processed += 1;
         self.metrics.maintain_nanos += nanos;
         if changed {

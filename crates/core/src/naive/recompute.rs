@@ -5,6 +5,7 @@ use crate::config::{CtupConfig, QueryMode};
 use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Place, Safety, TopKEntry, UnitId};
 use crate::units::UnitTable;
+use ctup_obs::PhaseTimer;
 use ctup_spatial::{convert, Point};
 use ctup_storage::{PlaceStore, StorageError};
 use std::collections::BinaryHeap;
@@ -123,13 +124,13 @@ impl CtupAlgorithm for NaiveRecompute {
     }
 
     fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError> {
-        let start = Instant::now();
+        let mut timer = PhaseTimer::start();
         let before = std::mem::take(&mut self.result);
         self.units.apply(update);
         self.recompute();
         let changed = before != self.result;
 
-        let nanos = convert::nanos64(start.elapsed().as_nanos());
+        let nanos = timer.lap();
         self.metrics.updates_processed += 1;
         self.metrics.maintain_nanos += nanos;
         if changed {

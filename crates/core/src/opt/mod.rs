@@ -19,6 +19,7 @@ use crate::maintained::MaintainedSet;
 use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId, LB_NONE};
 use crate::units::UnitTable;
+use ctup_obs::PhaseTimer;
 use ctup_spatial::{convert, CellId, Circle, Grid, Point, Relation};
 use ctup_storage::{PlaceStore, StorageError};
 use dechash::DecHash;
@@ -413,7 +414,7 @@ impl CtupAlgorithm for OptCtup {
 
     fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError> {
         let radius = self.config.protection_radius;
-        let maintain_start = Instant::now();
+        let mut timer = PhaseTimer::start();
         let old = self.units.apply(update);
         let old_region = Circle::new(old, radius);
         let new_region = Circle::new(update.new, radius);
@@ -426,12 +427,11 @@ impl CtupAlgorithm for OptCtup {
 
         // Step 2: Table II lower-bound maintenance.
         self.maintain_lower_bounds(update.unit, &old_region, &new_region, &touched);
-        let maintain_nanos = convert::nanos64(maintain_start.elapsed().as_nanos());
+        let maintain_nanos = timer.lap();
 
         // Step 3: access every cell whose bound fell below SK.
-        let access_start = Instant::now();
         let cells_accessed = self.access_loop()?;
-        let access_nanos = convert::nanos64(access_start.elapsed().as_nanos());
+        let access_nanos = timer.lap();
 
         let result = self.maintained.result(self.config.mode);
         let changed = result != self.last_result;

@@ -11,6 +11,7 @@ use crate::metrics::Metrics;
 use crate::server::{MonitorEvent, Server};
 use crate::types::LocationUpdate;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ctup_obs::LatencySnapshot;
 use ctup_storage::StorageError;
 use std::thread::JoinHandle;
 
@@ -42,6 +43,10 @@ pub struct PipelineReport {
     /// retry or detected corruption ends the run (counters up to that
     /// point are preserved); the supervised pipeline restarts instead.
     pub storage_error: Option<StorageError>,
+    /// Per-update latency distributions of the run. The plain pipeline has
+    /// no store handle, so `disk_read_nanos` stays empty here; the
+    /// supervised pipeline fills it.
+    pub latency: LatencySnapshot,
 }
 
 /// A monitoring server running on its own worker thread.
@@ -101,9 +106,15 @@ impl Pipeline {
                 let mut server = Server::new(algorithm);
                 let mut seq = 0u64;
                 let mut storage_error = None;
+                let mut latency = LatencySnapshot::default();
                 for update in updates_rx.iter() {
                     match server.ingest(update) {
-                        Ok((events, _)) => {
+                        Ok((events, stats)) => {
+                            latency.update_maintain_nanos.record(stats.maintain_nanos);
+                            latency.update_access_nanos.record(stats.access_nanos);
+                            latency
+                                .update_total_nanos
+                                .record(stats.maintain_nanos.saturating_add(stats.access_nanos));
                             if !events.is_empty() {
                                 // If every consumer hung up, keep monitoring
                                 // anyway: the final report still carries the
@@ -124,6 +135,7 @@ impl Pipeline {
                     metrics: server.algorithm().metrics().clone(),
                     worker_panicked: false,
                     storage_error,
+                    latency,
                 }
             })
             // ctup-lint: allow(L001, thread spawn fails only on OS resource exhaustion at construction — there is no monitor to degrade to yet)
@@ -185,6 +197,7 @@ impl Pipeline {
                 metrics: Metrics::default(),
                 worker_panicked: true,
                 storage_error: None,
+                latency: LatencySnapshot::default(),
             },
         }
     }
@@ -278,6 +291,10 @@ mod tests {
         assert_eq!(report.updates_processed, 200);
         assert_eq!(piped_batches, direct_batches);
         assert_eq!(report.events_emitted, direct.events_emitted());
+        // Every processed update fed the latency histograms.
+        assert_eq!(report.latency.update_total_nanos.count(), 200);
+        assert_eq!(report.latency.update_maintain_nanos.count(), 200);
+        assert!(report.latency.disk_read_nanos.is_empty());
     }
 
     #[test]

@@ -47,6 +47,7 @@ use crate::pipeline::{EventBatch, SendError};
 use crate::server::Server;
 use crate::types::{LocationUpdate, TopKEntry};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ctup_obs::{LatencySnapshot, ObsHub, PhaseTimer, TraceEvent, TraceOutcome};
 use ctup_spatial::convert;
 use ctup_storage::PlaceStore;
 use std::collections::HashSet;
@@ -84,6 +85,10 @@ pub struct ResilienceConfig {
     /// simulating a death *mid-checkpoint-write*: recovery must fall back
     /// to the older slot and a longer journal tail.
     pub tear_slot_on_kill: bool,
+    /// How many recent per-update trace events the flight recorder keeps
+    /// in its ring; dumped as JSON Lines into `state_dir` (as
+    /// [`FLIGHT_RECORDER_FILE`]) when the worker is killed or gives up.
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for ResilienceConfig {
@@ -96,9 +101,14 @@ impl Default for ResilienceConfig {
             state_dir: None,
             kill_at: None,
             tear_slot_on_kill: false,
+            flight_recorder_capacity: 256,
         }
     }
 }
+
+/// File name of the flight-recorder dump inside
+/// [`ResilienceConfig::state_dir`], next to the durable checkpoint slots.
+pub const FLIGHT_RECORDER_FILE: &str = "flight-recorder.jsonl";
 
 /// Final accounting returned by [`SupervisedPipeline::shutdown`].
 #[derive(Debug, Clone)]
@@ -122,6 +132,13 @@ pub struct SupervisedReport {
     /// The monitor's cumulative metrics with
     /// [`Metrics::resilience`] filled in by the supervisor.
     pub metrics: Metrics,
+    /// Latency distributions observed by the worker (update phases,
+    /// checkpoint writes) joined with the storage layer's disk-read
+    /// histogram.
+    pub latency: LatencySnapshot,
+    /// Where the flight recorder was dumped, when the worker died with a
+    /// `state_dir` configured (killed or gave up).
+    pub flight_recorder_path: Option<PathBuf>,
 }
 
 /// A monitoring server on a supervised worker thread: validated ingest,
@@ -342,6 +359,8 @@ impl SupervisedPipeline {
                 killed: false,
                 final_result: Vec::new(),
                 metrics: Metrics::default(),
+                latency: LatencySnapshot::default(),
+                flight_recorder_path: None,
             },
         }
     }
@@ -385,6 +404,7 @@ where
     let mut restarts_left = config.max_restarts;
     let mut gave_up = false;
     let mut killed = false;
+    let mut obs = ObsHub::new(config.flight_recorder_capacity);
 
     // Durable persistence: open (or create) the state directory and write
     // the spawn-time base as the first slot, so there is always a valid
@@ -417,13 +437,29 @@ where
                 resilience: stats,
                 ..Metrics::default()
             },
+            latency: obs.snapshot(store.stats().read_latency()),
+            flight_recorder_path: None,
         };
     }
 
     'recv: for report in reports_rx.iter() {
         reports_received += 1;
-        let Ok(effective) = gate.admit(report, &mut stats) else {
-            continue; // counted under its RejectReason by the gate
+        let effective = match gate.admit(report, &mut stats) {
+            Ok(effective) => effective,
+            Err(reason) => {
+                // Counted under its RejectReason by the gate; traced so a
+                // post-mortem sees the rejected tail of a degraded feed.
+                obs.record_update(TraceEvent {
+                    seq: eff_seq,
+                    unit: report.update.unit.0,
+                    maintain_nanos: 0,
+                    access_nanos: 0,
+                    cells_accessed: 0,
+                    result_changed: false,
+                    outcome: TraceOutcome::Rejected(reason.label()),
+                });
+                continue;
+            }
         };
         if let Some(d) = durable.as_mut() {
             // Write-ahead: the accepted wire report hits the journal before
@@ -439,6 +475,15 @@ where
             // death mid-checkpoint-write would.
             if config.kill_at == Some(eff_seq) {
                 killed = true;
+                obs.record_update(TraceEvent {
+                    seq: eff_seq,
+                    unit: update.unit.0,
+                    maintain_nanos: 0,
+                    access_nanos: 0,
+                    cells_accessed: 0,
+                    result_changed: false,
+                    outcome: TraceOutcome::Killed,
+                });
                 if config.tear_slot_on_kill {
                     if let Some(d) = durable.as_ref() {
                         let _ = d.tear_newest_slot();
@@ -458,7 +503,16 @@ where
                     server.ingest(update)
                 }));
                 match outcome {
-                    Ok(Ok((events, _))) => {
+                    Ok(Ok((events, update_stats))) => {
+                        obs.record_update(TraceEvent {
+                            seq: eff_seq,
+                            unit: update.unit.0,
+                            maintain_nanos: update_stats.maintain_nanos,
+                            access_nanos: update_stats.access_nanos,
+                            cells_accessed: update_stats.cells_accessed,
+                            result_changed: update_stats.result_changed,
+                            outcome: TraceOutcome::Applied,
+                        });
                         if !events.is_empty() {
                             events_emitted += convert::count64(events.len());
                             // Consumers hanging up must not stop monitoring.
@@ -472,6 +526,7 @@ where
                         if config.checkpoint_every > 0
                             && convert::count64(tail.len()) >= config.checkpoint_every
                         {
+                            let mut timer = PhaseTimer::start();
                             let mut c = server.algorithm().checkpoint();
                             c.gate = Some(gate.state());
                             if let Some(d) = durable.as_mut() {
@@ -480,6 +535,7 @@ where
                                     break 'recv;
                                 }
                             }
+                            obs.record_checkpoint(eff_seq, timer.lap());
                             base = c;
                             tail.clear();
                             stats.checkpoints_taken += 1;
@@ -496,6 +552,19 @@ where
                         } else {
                             stats.storage_errors += 1;
                         }
+                        obs.record_update(TraceEvent {
+                            seq: eff_seq,
+                            unit: update.unit.0,
+                            maintain_nanos: 0,
+                            access_nanos: 0,
+                            cells_accessed: 0,
+                            result_changed: false,
+                            outcome: if crashed.is_err() {
+                                TraceOutcome::Panicked
+                            } else {
+                                TraceOutcome::StorageError
+                            },
+                        });
                         if restarts_left == 0 {
                             gave_up = true;
                             break 'recv;
@@ -526,6 +595,29 @@ where
         }
     }
 
+    if gave_up {
+        obs.record_update(TraceEvent {
+            seq: eff_seq,
+            unit: 0,
+            maintain_nanos: 0,
+            access_nanos: 0,
+            cells_accessed: 0,
+            result_changed: false,
+            outcome: TraceOutcome::GaveUp,
+        });
+    }
+    // Post-mortem dump: the worker is dying (killed or gave up), so write
+    // the ring next to the checkpoint slots. Best-effort — a dump failure
+    // must not mask the report of the death itself.
+    let flight_recorder_path = if gave_up || killed {
+        config.state_dir.as_deref().and_then(|dir| {
+            let path = dir.join(FLIGHT_RECORDER_FILE);
+            obs.recorder.dump_to(&path).ok().map(|()| path)
+        })
+    } else {
+        None
+    };
+
     let (final_result, metrics) = if gave_up || killed {
         // The monitor state is suspect after an unrecovered crash — and
         // gone entirely after a simulated process death: report the
@@ -550,6 +642,8 @@ where
         killed,
         final_result,
         metrics,
+        latency: obs.snapshot(store.stats().read_latency()),
+        flight_recorder_path,
     }
 }
 
@@ -667,6 +761,9 @@ mod tests {
         assert_eq!(piped, direct_batches);
         assert_eq!(report.final_result, direct.result());
         assert_eq!(report.metrics.resilience.worker_panics, 0);
+        // A healthy run fills the latency histograms but dumps nothing.
+        assert_eq!(report.latency.update_total_nanos.count(), 150);
+        assert!(report.flight_recorder_path.is_none());
     }
 
     /// The dedicated restart test: one injected panic mid-run forces
@@ -988,6 +1085,79 @@ mod tests {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         std::env::temp_dir().join(format!("ctup-supervisor-{}-{n}", std::process::id()))
+    }
+
+    /// A killed worker leaves a parseable flight-recorder dump next to the
+    /// checkpoint slots: JSON Lines, one object per recent event, closing
+    /// with the `killed` event at the kill sequence number.
+    #[test]
+    #[cfg_attr(miri, ignore)] // the dump lives on the real filesystem
+    fn kill_dumps_flight_recorder_jsonl() {
+        let dir = temp_state_dir();
+        let units = unit_points(4);
+        let config = ResilienceConfig {
+            checkpoint_every: 16,
+            state_dir: Some(dir.clone()),
+            kill_at: Some(50),
+            flight_recorder_capacity: 32,
+            ..ResilienceConfig::default()
+        };
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), config, 1024);
+        for report in stamp_stream(updates(80, 4)) {
+            if pipeline.send(report).is_err() {
+                break; // the worker died at the kill point
+            }
+        }
+        let report = pipeline.shutdown();
+        assert!(report.killed);
+        let path = report.flight_recorder_path.expect("dump written");
+        assert_eq!(path, dir.join(FLIGHT_RECORDER_FILE));
+        let dump = std::fs::read_to_string(&path).expect("read dump");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(!lines.is_empty() && lines.len() <= 32);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"seq\":"));
+            assert!(line.contains("\"outcome\":"));
+        }
+        let last = lines.last().expect("non-empty dump");
+        assert!(last.contains("\"outcome\":\"killed\""));
+        assert!(last.contains("\"seq\":50,"));
+        // Latency still describes the 50 updates applied before the kill.
+        assert_eq!(report.latency.update_total_nanos.count(), 50);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A worker that exhausts its restart budget also dumps, with the
+    /// trace recording the panics and the terminal `gave_up` event.
+    #[test]
+    #[cfg_attr(miri, ignore)] // the dump lives on the real filesystem
+    fn give_up_dumps_flight_recorder_jsonl() {
+        let dir = temp_state_dir();
+        let units = unit_points(2);
+        let config = ResilienceConfig {
+            max_restarts: 1,
+            panic_at: vec![0, 1],
+            state_dir: Some(dir.clone()),
+            ..ResilienceConfig::default()
+        };
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), config, 64);
+        for report in stamp_stream(updates(20, 2)) {
+            if pipeline.send(report).is_err() {
+                break;
+            }
+        }
+        let report = pipeline.shutdown();
+        assert!(report.gave_up);
+        let path = report.flight_recorder_path.expect("dump written");
+        let dump = std::fs::read_to_string(&path).expect("read dump");
+        assert!(dump.contains("\"outcome\":\"panicked\""));
+        assert!(dump
+            .lines()
+            .last()
+            .expect("lines")
+            .contains("\"outcome\":\"gave_up\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The full kill-and-restart drill: the worker dies abruptly mid-stream

@@ -1,0 +1,202 @@
+//! A deliberately tiny `/metrics` HTTP responder on a std `TcpListener`.
+//!
+//! Scope: serve the current Prometheus exposition text to scrapers during
+//! a run. One accept thread, blocking I/O with short timeouts, no TLS, no
+//! keep-alive — a scrape endpoint, not a web server. Zero dependencies.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shared handle for publishing the exposition body to the serving thread.
+#[derive(Debug, Clone)]
+pub struct MetricsPublisher {
+    body: Arc<Mutex<String>>,
+}
+
+impl MetricsPublisher {
+    /// Replaces the served `/metrics` body.
+    pub fn publish(&self, body: String) {
+        let mut guard = match self.body.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *guard = body;
+    }
+}
+
+/// A running metrics endpoint. Dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    body: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving. The initial
+    /// body is empty until the first [`MetricsPublisher::publish`].
+    pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let body = Arc::new(Mutex::new(String::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_body = Arc::clone(&body);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ctup-metrics".into())
+            .spawn(move || accept_loop(listener, thread_body, thread_stop))?;
+        Ok(MetricsServer {
+            addr,
+            body,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable handle for publishing new exposition bodies.
+    pub fn publisher(&self) -> MetricsPublisher {
+        MetricsPublisher {
+            body: Arc::clone(&self.body),
+        }
+    }
+
+    /// Stops the accept thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_thread();
+    }
+
+    fn stop_thread(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_thread();
+    }
+}
+
+fn accept_loop(listener: TcpListener, body: Arc<Mutex<String>>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let text = {
+            let guard = match body.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.clone()
+        };
+        // Serve each connection inline: scrapes are rare and tiny, and an
+        // inline response keeps the thread budget at exactly one.
+        let _ = serve_one(stream, &text);
+    }
+}
+
+fn serve_one(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request headers (clients may deliver the
+    // request in several segments); closing with unread data queued would
+    // RST the connection under the response.
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..len]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let response = if path == "/metrics" || path.starts_with("/metrics?") {
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let msg = "not found; scrape /metrics\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            msg.len(),
+            msg
+        )
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let request = format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n");
+        s.write_all(request.as_bytes()).expect("send");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_published_body_on_metrics_path() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        server
+            .publisher()
+            .publish("# TYPE x counter\nx 1\n".to_string());
+        let resp = get(server.local_addr(), "/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "got: {resp}");
+        assert!(resp.contains("version=0.0.4"));
+        assert!(resp.ends_with("x 1\n"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn other_paths_get_404() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let resp = get(server.local_addr(), "/");
+        assert!(resp.starts_with("HTTP/1.1 404"), "got: {resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn publish_updates_served_body() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let publisher = server.publisher();
+        publisher.publish("a 1\n".to_string());
+        assert!(get(server.local_addr(), "/metrics").ends_with("a 1\n"));
+        publisher.publish("a 2\n".to_string());
+        assert!(get(server.local_addr(), "/metrics").ends_with("a 2\n"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,32 @@
+//! # ctup-obs — observability for the CTUP pipeline
+//!
+//! Zero-heavy-dependency building blocks threaded through core, storage
+//! and the CLI:
+//!
+//! * [`hist`] — log-bucketed (HDR-style) latency histograms: mergeable,
+//!   serde-able, with an exact-round-trip text codec and a lock-free
+//!   atomic variant for shared-reference call sites.
+//! * [`trace`] — per-update [`trace::TraceEvent`]s and the fixed-capacity
+//!   [`trace::FlightRecorder`] ring the supervisor dumps as JSON Lines on
+//!   worker death.
+//! * [`latency`] — [`latency::PhaseTimer`] for maintain/access phase
+//!   timing, the [`latency::ObsHub`] owning a run's recorder + histograms,
+//!   and the [`latency::LatencySnapshot`] view reports are built from.
+//! * [`json`] — the minimal JSON writer the dump and report formats share
+//!   (the workspace carries no JSON dependency).
+//! * [`http`] — a tiny std-`TcpListener` responder serving the Prometheus
+//!   exposition text at `/metrics` during a run.
+//!
+//! The crate is panic-free library code (lint L001 applies) and depends
+//! only on `serde` for derives.
+
+pub mod hist;
+pub mod http;
+pub mod json;
+pub mod latency;
+pub mod trace;
+
+pub use hist::{AtomicHistogram, HistDecodeError, LogHistogram};
+pub use http::{MetricsPublisher, MetricsServer};
+pub use latency::{summarize, LatencySnapshot, ObsHub, PhaseTimer};
+pub use trace::{FlightRecorder, TraceEvent, TraceOutcome};

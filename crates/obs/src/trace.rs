@@ -1,0 +1,229 @@
+//! Structured per-update tracing and the fixed-capacity flight recorder.
+//!
+//! Every update the supervised worker handles emits one [`TraceEvent`];
+//! the [`FlightRecorder`] keeps the last `capacity` of them in a ring.
+//! When the pipeline dies (worker gave up, or a simulated kill), the
+//! supervisor dumps the ring as JSON Lines next to the checkpoint slots,
+//! so a post-mortem can see exactly what the worker was doing when it
+//! went down — without any runtime logging cost while healthy.
+
+use crate::json::ObjectWriter;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+
+/// What happened to the update an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// The update was applied by the algorithm.
+    Applied,
+    /// The ingest gate rejected it (label names the `RejectReason`).
+    Rejected(&'static str),
+    /// The worker panicked while applying it.
+    Panicked,
+    /// The storage layer gave up (exhausted retries / detected corruption).
+    StorageError,
+    /// A periodic checkpoint was written after this update.
+    Checkpoint,
+    /// The simulated process death fired at this update.
+    Killed,
+    /// The supervisor exhausted its restart budget at this update.
+    GaveUp,
+}
+
+impl TraceOutcome {
+    /// Stable lowercase label used in dumps and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceOutcome::Applied => "applied",
+            TraceOutcome::Rejected(_) => "rejected",
+            TraceOutcome::Panicked => "panicked",
+            TraceOutcome::StorageError => "storage_error",
+            TraceOutcome::Checkpoint => "checkpoint",
+            TraceOutcome::Killed => "killed",
+            TraceOutcome::GaveUp => "gave_up",
+        }
+    }
+
+    /// Extra detail for [`TraceOutcome::Rejected`], empty otherwise.
+    pub fn detail(&self) -> &'static str {
+        match self {
+            TraceOutcome::Rejected(why) => why,
+            _ => "",
+        }
+    }
+}
+
+/// One compact record of what a single update did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Effective update sequence number (monotone within a run).
+    pub seq: u64,
+    /// Unit the update belongs to (0 for non-update events).
+    pub unit: u32,
+    /// Nanoseconds spent in the maintain phase.
+    pub maintain_nanos: u64,
+    /// Nanoseconds spent in the access phase.
+    pub access_nanos: u64,
+    /// Cells read while applying the update.
+    pub cells_accessed: u64,
+    /// Whether the reported top-k changed.
+    pub result_changed: bool,
+    /// Terminal outcome of the update.
+    pub outcome: TraceOutcome,
+}
+
+impl TraceEvent {
+    /// One JSON object (no trailing newline) — the dump line format.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.field_u64("seq", self.seq)
+            .field_u64("unit", u64::from(self.unit))
+            .field_u64("maintain_nanos", self.maintain_nanos)
+            .field_u64("access_nanos", self.access_nanos)
+            .field_u64("cells_accessed", self.cells_accessed)
+            .field_bool("result_changed", self.result_changed)
+            .field_str("outcome", self.outcome.label());
+        if !self.outcome.detail().is_empty() {
+            w.field_str("detail", self.outcome.detail());
+        }
+        w.finish()
+    }
+}
+
+/// Fixed-capacity ring of the most recent [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted so far to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The whole ring as JSON Lines (one event per line, oldest first,
+    /// trailing newline when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.buf {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the ring to `path` as JSON Lines, creating or truncating the
+    /// file. Write-then-sync so the dump survives the process dying right
+    /// after (the dump is taken precisely because the process is dying).
+    pub fn dump_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())?;
+        f.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, outcome: TraceOutcome) -> TraceEvent {
+        TraceEvent {
+            seq,
+            unit: 3,
+            maintain_nanos: 10,
+            access_nanos: 20,
+            cells_accessed: 2,
+            result_changed: false,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_last_capacity_events() {
+        let mut r = FlightRecorder::new(4);
+        for s in 0..10 {
+            r.push(ev(s, TraceOutcome::Applied));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let mut r = FlightRecorder::new(8);
+        r.push(ev(1, TraceOutcome::Applied));
+        r.push(ev(2, TraceOutcome::Rejected("stale")));
+        let dump = r.to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":1,"));
+        assert!(lines[1].contains("\"outcome\":\"rejected\""));
+        assert!(lines[1].contains("\"detail\":\"stale\""));
+    }
+
+    #[test]
+    fn dump_to_writes_file() {
+        let dir = std::env::temp_dir().join("ctup-obs-trace-test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("fr.jsonl");
+        let mut r = FlightRecorder::new(2);
+        r.push(ev(7, TraceOutcome::Killed));
+        r.dump_to(&path).expect("dump");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.contains("\"outcome\":\"killed\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = FlightRecorder::new(0);
+        r.push(ev(1, TraceOutcome::Applied));
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -5,6 +5,7 @@
 //! often reads had to be retried, abandoned, or rejected as corrupt.
 //! Counters use atomics because reads go through `&self`.
 
+use ctup_obs::{AtomicHistogram, LogHistogram};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -18,6 +19,7 @@ pub struct StorageStats {
     read_retries: AtomicU64,
     read_giveups: AtomicU64,
     corrupt_pages: AtomicU64,
+    read_latency: AtomicHistogram,
 }
 
 impl StorageStats {
@@ -33,6 +35,15 @@ impl StorageStats {
         self.records_read.fetch_add(records, Ordering::Relaxed);
         self.pages_read.fetch_add(pages, Ordering::Relaxed);
         self.io_nanos.fetch_add(io_nanos, Ordering::Relaxed);
+        self.read_latency.record(io_nanos);
+    }
+
+    /// Distribution of per-cell-read (simulated) I/O time — the histogram
+    /// behind the `io_nanos` sum. Lives outside [`StorageStatsSnapshot`]
+    /// (which stays a flat `Copy` struct) and is reported through the
+    /// unified observability snapshot instead.
+    pub fn read_latency(&self) -> LogHistogram {
+        self.read_latency.snapshot()
     }
 
     /// Records one retried read attempt (the previous attempt failed and
@@ -73,6 +84,7 @@ impl StorageStats {
         self.read_retries.store(0, Ordering::Relaxed);
         self.read_giveups.store(0, Ordering::Relaxed);
         self.corrupt_pages.store(0, Ordering::Relaxed);
+        self.read_latency.reset();
     }
 }
 
@@ -133,6 +145,20 @@ mod tests {
         assert_eq!(snap.corrupt_pages, 1);
         s.reset();
         assert_eq!(s.snapshot(), StorageStatsSnapshot::default());
+    }
+
+    #[test]
+    fn read_latency_histogram_tracks_io_nanos() {
+        let s = StorageStats::new();
+        s.record_cell_read(10, 2, 100);
+        s.record_cell_read(5, 1, 900);
+        let h = s.read_latency();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.max(), 900);
+        assert_eq!(h.sum(), s.snapshot().io_nanos);
+        s.reset();
+        assert!(s.read_latency().is_empty());
     }
 
     #[test]

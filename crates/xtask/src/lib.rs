@@ -1,14 +1,16 @@
 //! `cargo xtask` — workspace automation for the CTUP monitor.
 //!
-//! The only subcommand today is `lint`: a dependency-free static-analysis
-//! pass enforcing the domain invariants generic tooling cannot (see
-//! [`rules`] for the registry, DESIGN.md §10 for the rationale). The
-//! engine is a library so the rules can be exercised against fixture trees
-//! in integration tests.
+//! Subcommands: `lint`, a dependency-free static-analysis pass enforcing
+//! the domain invariants generic tooling cannot (see [`rules`] for the
+//! registry, DESIGN.md §10 for the rationale); `promcheck` and
+//! `flightcheck`, CI validators for the Prometheus exposition and the
+//! flight-recorder dump (see [`obscheck`]). The engine is a library so
+//! the rules can be exercised against fixture trees in integration tests.
 
 pub mod fingerprint;
 pub mod json;
 pub mod lexer;
+pub mod obscheck;
 pub mod rules;
 pub mod source;
 
@@ -187,11 +189,15 @@ mod tests {
     #[test]
     fn default_config_points_at_real_files() {
         let cfg = LintConfig::default();
-        assert_eq!(cfg.metrics.len(), 2);
+        assert_eq!(cfg.metrics.len(), 3);
         assert!(cfg
             .metrics
             .iter()
             .any(|m| m.struct_file == "crates/storage/src/stats.rs"));
+        assert!(cfg
+            .metrics
+            .iter()
+            .any(|m| m.struct_file == "crates/obs/src/latency.rs"));
         let fp = cfg.fingerprints.unwrap();
         assert_eq!(fp.version_const, "FORMAT_VERSION");
         assert!(fp.tracked.len() >= 10);

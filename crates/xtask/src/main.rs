@@ -5,8 +5,11 @@
 //! cargo xtask lint --json                  # machine-readable report on stdout
 //! cargo xtask lint --update-fingerprints   # re-record lint/fingerprints.toml
 //! cargo xtask lint --root <dir>            # lint a different tree (tests, CI)
+//! cargo xtask promcheck [FILE]             # validate a Prometheus exposition (stdin default)
+//! cargo xtask flightcheck FILE             # validate a flight-recorder JSONL dump
 //! ```
 
+use std::io::Read;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,10 +18,72 @@ fn usage() -> &'static str {
 
 USAGE:
     cargo xtask lint [--json] [--update-fingerprints] [--root <dir>]
+    cargo xtask promcheck [FILE]
+    cargo xtask flightcheck FILE
 
 The lint subcommand runs the CTUP domain-invariant checker (rules
-L000–L005; see DESIGN.md §10). Exit codes: 0 clean, 1 violations,
-2 usage or I/O error."
+L000–L005; see DESIGN.md §10). promcheck validates a Prometheus text
+exposition (from `ctup report --format prom` or a `/metrics` scrape;
+reads stdin when FILE is omitted). flightcheck validates a
+flight-recorder JSONL dump and prints its event span. Exit codes:
+0 clean, 1 violations, 2 usage or I/O error."
+}
+
+/// `promcheck [FILE]` — stdin when no file is given.
+fn promcheck(file: Option<&String>) -> ExitCode {
+    let text = match file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("promcheck: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("promcheck: stdin: {e}");
+                return ExitCode::from(2);
+            }
+            buf
+        }
+    };
+    let problems = xtask::obscheck::check_prom(&text);
+    if problems.is_empty() {
+        println!("promcheck: well-formed exposition");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("promcheck: {p}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+/// `flightcheck FILE`.
+fn flightcheck(file: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("flightcheck: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::obscheck::check_flight(&text) {
+        Ok(summary) => {
+            println!(
+                "flightcheck: {} events, seq {}..{}, last outcome {:?}",
+                summary.events, summary.first_seq, summary.last_seq, summary.last_outcome
+            );
+            ExitCode::SUCCESS
+        }
+        Err(problems) => {
+            for p in &problems {
+                eprintln!("flightcheck: {p}");
+            }
+            ExitCode::from(1)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -28,9 +93,20 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
-    if cmd != "lint" {
-        eprintln!("unknown subcommand {cmd:?}\n\n{}", usage());
-        return ExitCode::from(2);
+    match cmd.as_str() {
+        "lint" => {}
+        "promcheck" => return promcheck(iter.next()),
+        "flightcheck" => match iter.next() {
+            Some(file) => return flightcheck(file),
+            None => {
+                eprintln!("flightcheck requires a file\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        },
+        other => {
+            eprintln!("unknown subcommand {other:?}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
     }
 
     let mut json = false;

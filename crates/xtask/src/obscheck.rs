@@ -1,0 +1,511 @@
+//! CI validators for the observability artifacts.
+//!
+//! `promcheck` validates a Prometheus text exposition (what
+//! `ctup report --format prom` and `ctup serve-metrics` emit):
+//! every sample line parses, every series has a `# TYPE` declaration,
+//! histogram buckets are cumulative and end in `+Inf` with a matching
+//! `_count`. `flightcheck` validates a flight-recorder JSONL dump:
+//! every line is a flat JSON object carrying `seq` and `outcome`, and
+//! sequence numbers are strictly increasing.
+//!
+//! Both are hand-rolled on purpose: the point of the check is that a
+//! scraper with no knowledge of our code could consume the output, so
+//! the validator must not share code with the producer.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// One problem found in an artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Problem {
+    /// 1-based line in the artifact.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Problem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits a sample line into `(name, labels, value)`. Labels keep their
+/// braces stripped; `None` labels means no label set.
+fn split_sample(line: &str) -> Option<(&str, Option<&str>, &str)> {
+    if let Some(open) = line.find('{') {
+        let close = line.rfind('}')?;
+        if close < open {
+            return None;
+        }
+        let name = &line[..open];
+        let labels = &line[open + 1..close];
+        let value = line[close + 1..].trim();
+        Some((name, Some(labels), value))
+    } else {
+        let mut parts = line.splitn(2, ' ');
+        let name = parts.next()?;
+        let value = parts.next()?.trim();
+        Some((name, None, value))
+    }
+}
+
+fn valid_value(value: &str) -> bool {
+    matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok()
+}
+
+/// Extracts the `le` label of a `_bucket` series, if present.
+fn le_of(labels: &str) -> Option<String> {
+    for part in labels.split(',') {
+        if let Some(rest) = part.trim().strip_prefix("le=") {
+            return Some(rest.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+/// The base metric a series contributes to: `x_bucket`/`x_sum`/`x_count`
+/// fold into `x` when `x` is a declared histogram.
+fn base_name<'a>(name: &'a str, types: &HashMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Validates a Prometheus text exposition. Returns every problem found.
+pub fn check_prom(text: &str) -> Vec<Problem> {
+    let mut problems = Vec::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    // (base, labels-without-le) -> ordered (le, cumulative count, line)
+    #[allow(clippy::type_complexity)]
+    let mut buckets: BTreeMap<(String, String), Vec<(String, f64, usize)>> = BTreeMap::new();
+    let mut counts: HashMap<(String, String), f64> = HashMap::new();
+    let mut samples = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                match (parts.next(), parts.next(), parts.next()) {
+                    (Some(name), Some(kind), None) => {
+                        if !valid_metric_name(name) {
+                            problems.push(Problem {
+                                line: lineno,
+                                message: format!("invalid metric name in TYPE line: {name:?}"),
+                            });
+                        }
+                        if !matches!(kind, "counter" | "gauge" | "histogram" | "summary") {
+                            problems.push(Problem {
+                                line: lineno,
+                                message: format!("unknown metric type {kind:?}"),
+                            });
+                        }
+                        types.insert(name.to_string(), kind.to_string());
+                    }
+                    _ => problems.push(Problem {
+                        line: lineno,
+                        message: "malformed TYPE line (want `# TYPE name kind`)".into(),
+                    }),
+                }
+            }
+            continue;
+        }
+
+        let Some((name, labels, value)) = split_sample(line) else {
+            problems.push(Problem {
+                line: lineno,
+                message: "unparseable sample line".into(),
+            });
+            continue;
+        };
+        samples += 1;
+        if !valid_metric_name(name) {
+            problems.push(Problem {
+                line: lineno,
+                message: format!("invalid metric name {name:?}"),
+            });
+        }
+        if !valid_value(value) {
+            problems.push(Problem {
+                line: lineno,
+                message: format!("invalid sample value {value:?}"),
+            });
+            continue;
+        }
+        let base = base_name(name, &types);
+        if !types.contains_key(base) {
+            problems.push(Problem {
+                line: lineno,
+                message: format!("series {name:?} has no preceding `# TYPE {base}` line"),
+            });
+        }
+        let labelset = labels.unwrap_or("");
+        if name.ends_with("_bucket") && base != name {
+            let Some(le) = le_of(labelset) else {
+                problems.push(Problem {
+                    line: lineno,
+                    message: format!("histogram bucket {name:?} lacks an `le` label"),
+                });
+                continue;
+            };
+            let others: Vec<&str> = labelset
+                .split(',')
+                .map(str::trim)
+                .filter(|p| !p.starts_with("le="))
+                .collect();
+            let key = (base.to_string(), others.join(","));
+            let count: f64 = value.parse().unwrap_or(f64::NAN);
+            buckets.entry(key).or_default().push((le, count, lineno));
+        } else if name.ends_with("_count") && base != name {
+            let key = (base.to_string(), labelset.to_string());
+            counts.insert(key, value.parse().unwrap_or(f64::NAN));
+        }
+    }
+
+    for ((base, labels), series) in &buckets {
+        let mut prev = f64::NEG_INFINITY;
+        for (le, count, lineno) in series {
+            if *count < prev {
+                problems.push(Problem {
+                    line: *lineno,
+                    message: format!(
+                        "histogram {base:?} bucket le={le:?} count {count} is below the \
+                         previous bucket ({prev}) — buckets must be cumulative"
+                    ),
+                });
+            }
+            prev = *count;
+        }
+        if let Some((le, count, lineno)) = series.last() {
+            if le != "+Inf" {
+                problems.push(Problem {
+                    line: *lineno,
+                    message: format!("histogram {base:?} does not end in an `le=\"+Inf\"` bucket"),
+                });
+            } else if let Some(total) = counts.get(&(base.clone(), labels.clone())) {
+                let diff = (count - total).abs();
+                if diff > f64::EPSILON {
+                    problems.push(Problem {
+                        line: *lineno,
+                        message: format!(
+                            "histogram {base:?} `+Inf` bucket ({count}) disagrees with \
+                             `_count` ({total})"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if samples == 0 {
+        problems.push(Problem {
+            line: 1,
+            message: "exposition contains no samples".into(),
+        });
+    }
+    problems
+}
+
+/// A parsed flight-recorder line: the fields the checker cares about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightLine {
+    /// Update sequence number.
+    pub seq: u64,
+    /// Terminal outcome string.
+    pub outcome: String,
+}
+
+/// Parses one flat JSON object emitted by the flight recorder, extracting
+/// `seq` and `outcome`. This is a structural validator, not a full JSON
+/// parser: it checks the brace framing, walks `"key":value` pairs left to
+/// right, and understands strings (with escapes), numbers and booleans —
+/// exactly the grammar the recorder emits.
+fn parse_flight_line(line: &str) -> Result<FlightLine, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not a JSON object (missing braces)".to_string())?;
+    let bytes = inner.as_bytes();
+    let mut i = 0usize;
+    let mut seq: Option<u64> = None;
+    let mut outcome: Option<String> = None;
+
+    fn parse_string(bytes: &[u8], mut i: usize) -> Result<(String, usize), String> {
+        if bytes.get(i) != Some(&b'"') {
+            return Err("expected string".into());
+        }
+        i += 1;
+        let mut out = String::new();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => return Ok((out, i + 1)),
+                b'\\' => {
+                    let esc = *bytes.get(i + 1).ok_or("dangling escape")?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            // \uXXXX — skip the hex digits, keep a placeholder.
+                            out.push('\u{FFFD}');
+                            i += 4;
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                    i += 2;
+                }
+                c => {
+                    out.push(c as char);
+                    i += 1;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    while i < bytes.len() {
+        let (key, next) = parse_string(bytes, i)?;
+        i = next;
+        if bytes.get(i) != Some(&b':') {
+            return Err(format!("missing `:` after key {key:?}"));
+        }
+        i += 1;
+        let value_start = i;
+        let value_end;
+        if bytes.get(i) == Some(&b'"') {
+            let (text, next) = parse_string(bytes, i)?;
+            value_end = next;
+            if key == "outcome" {
+                outcome = Some(text);
+            }
+        } else {
+            let mut j = i;
+            while j < bytes.len() && bytes[j] != b',' {
+                j += 1;
+            }
+            value_end = j;
+            let raw = inner[value_start..value_end].trim();
+            let is_number = raw.parse::<f64>().is_ok();
+            if !is_number && raw != "true" && raw != "false" && raw != "null" {
+                return Err(format!("key {key:?} has unparseable value {raw:?}"));
+            }
+            if key == "seq" {
+                seq = raw.parse::<u64>().ok();
+            }
+        }
+        i = value_end;
+        match bytes.get(i) {
+            Some(&b',') => i += 1,
+            None => break,
+            Some(other) => return Err(format!("expected `,` got `{}`", *other as char)),
+        }
+    }
+
+    match (seq, outcome) {
+        (Some(seq), Some(outcome)) => Ok(FlightLine { seq, outcome }),
+        (None, _) => Err("missing numeric `seq` field".into()),
+        (_, None) => Err("missing string `outcome` field".into()),
+    }
+}
+
+/// Result of a successful flight-recorder validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightSummary {
+    /// Number of events in the dump.
+    pub events: usize,
+    /// Sequence number of the first event.
+    pub first_seq: u64,
+    /// Sequence number of the last event.
+    pub last_seq: u64,
+    /// Outcome of the last event (e.g. `killed`, `gave_up`).
+    pub last_outcome: String,
+}
+
+/// Validates a flight-recorder JSONL dump. Every line must parse, carry
+/// `seq` and `outcome`, and sequence numbers must never decrease (a
+/// rejected update does not consume a sequence number, so consecutive
+/// events may share one).
+pub fn check_flight(text: &str) -> Result<FlightSummary, Vec<Problem>> {
+    let mut problems = Vec::new();
+    let mut lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        match parse_flight_line(raw) {
+            Ok(line) => lines.push((idx + 1, line)),
+            Err(message) => problems.push(Problem {
+                line: idx + 1,
+                message,
+            }),
+        }
+    }
+    for pair in lines.windows(2) {
+        let ((_, a), (lineno, b)) = (&pair[0], &pair[1]);
+        if b.seq < a.seq {
+            problems.push(Problem {
+                line: *lineno,
+                message: format!(
+                    "seq {} decreases from the previous event ({})",
+                    b.seq, a.seq
+                ),
+            });
+        }
+    }
+    if lines.is_empty() {
+        problems.push(Problem {
+            line: 1,
+            message: "dump contains no events".into(),
+        });
+    }
+    if !problems.is_empty() {
+        return Err(problems);
+    }
+    let (_, first) = &lines[0];
+    let (_, last) = &lines[lines.len() - 1];
+    Ok(FlightSummary {
+        events: lines.len(),
+        first_seq: first.seq,
+        last_seq: last.seq,
+        last_outcome: last.outcome.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_PROM: &str = "\
+# TYPE ctup_updates_processed counter
+ctup_updates_processed{algorithm=\"opt\"} 60
+# TYPE ctup_maintained_now gauge
+ctup_maintained_now{algorithm=\"opt\"} 12
+# TYPE ctup_update_total_nanos histogram
+ctup_update_total_nanos_bucket{algorithm=\"opt\",le=\"1023\"} 10
+ctup_update_total_nanos_bucket{algorithm=\"opt\",le=\"2047\"} 55
+ctup_update_total_nanos_bucket{algorithm=\"opt\",le=\"+Inf\"} 60
+ctup_update_total_nanos_sum{algorithm=\"opt\"} 81234
+ctup_update_total_nanos_count{algorithm=\"opt\"} 60
+";
+
+    #[test]
+    fn good_exposition_is_clean() {
+        assert_eq!(check_prom(GOOD_PROM), Vec::new());
+    }
+
+    #[test]
+    fn missing_type_line_is_flagged() {
+        let problems = check_prom("ctup_x{a=\"b\"} 1\n");
+        assert!(problems.iter().any(|p| p.message.contains("# TYPE")));
+    }
+
+    #[test]
+    fn non_cumulative_buckets_are_flagged() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"10\"} 5
+h_bucket{le=\"20\"} 3
+h_bucket{le=\"+Inf\"} 5
+h_sum 1
+h_count 5
+";
+        let problems = check_prom(text);
+        assert!(problems.iter().any(|p| p.message.contains("cumulative")));
+    }
+
+    #[test]
+    fn histogram_must_end_in_inf() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"10\"} 5\nh_sum 1\nh_count 5\n";
+        let problems = check_prom(text);
+        assert!(problems.iter().any(|p| p.message.contains("+Inf")));
+    }
+
+    #[test]
+    fn inf_bucket_must_match_count() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n";
+        let problems = check_prom(text);
+        assert!(problems.iter().any(|p| p.message.contains("disagrees")));
+    }
+
+    #[test]
+    fn garbage_lines_are_flagged() {
+        let problems = check_prom("# TYPE x counter\nx 1\nnot a line at all!!\n");
+        assert!(!problems.is_empty());
+    }
+
+    #[test]
+    fn empty_exposition_is_flagged() {
+        let problems = check_prom("# just a comment\n");
+        assert!(problems.iter().any(|p| p.message.contains("no samples")));
+    }
+
+    #[test]
+    fn good_flight_dump_parses() {
+        let text = "\
+{\"seq\":3,\"unit\":1,\"maintain_nanos\":10,\"access_nanos\":5,\"cells_accessed\":2,\"result_changed\":true,\"outcome\":\"applied\"}
+{\"seq\":4,\"unit\":2,\"maintain_nanos\":0,\"access_nanos\":0,\"cells_accessed\":0,\"result_changed\":false,\"outcome\":\"rejected\",\"detail\":\"stale\"}
+{\"seq\":9,\"unit\":0,\"maintain_nanos\":0,\"access_nanos\":0,\"cells_accessed\":0,\"result_changed\":false,\"outcome\":\"killed\"}
+";
+        let summary = check_flight(text).expect("clean dump");
+        assert_eq!(summary.events, 3);
+        assert_eq!(summary.first_seq, 3);
+        assert_eq!(summary.last_seq, 9);
+        assert_eq!(summary.last_outcome, "killed");
+    }
+
+    #[test]
+    fn decreasing_seq_is_flagged() {
+        let text = "{\"seq\":5,\"outcome\":\"applied\"}\n{\"seq\":4,\"outcome\":\"applied\"}\n";
+        let problems = check_flight(text).expect_err("must fail");
+        assert!(problems.iter().any(|p| p.message.contains("decreases")));
+    }
+
+    #[test]
+    fn repeated_seq_is_allowed() {
+        // A rejected update does not consume a sequence number.
+        let text = "{\"seq\":5,\"outcome\":\"rejected\",\"detail\":\"stale\"}\n\
+                    {\"seq\":5,\"outcome\":\"applied\"}\n";
+        let summary = check_flight(text).expect("clean dump");
+        assert_eq!(summary.events, 2);
+    }
+
+    #[test]
+    fn missing_fields_are_flagged() {
+        let problems = check_flight("{\"unit\":1}\n").expect_err("must fail");
+        assert!(problems.iter().any(|p| p.message.contains("seq")));
+    }
+
+    #[test]
+    fn escaped_strings_parse() {
+        let text = "{\"seq\":1,\"outcome\":\"rejected\",\"detail\":\"a \\\"quoted\\\" reason\"}\n";
+        assert!(check_flight(text).is_ok());
+    }
+
+    #[test]
+    fn empty_dump_is_flagged() {
+        let problems = check_flight("\n").expect_err("must fail");
+        assert!(problems.iter().any(|p| p.message.contains("no events")));
+    }
+}

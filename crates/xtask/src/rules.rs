@@ -3,10 +3,10 @@
 //! | Rule | Invariant |
 //! |------|-----------|
 //! | L000 | `ctup-lint` directives must be well-formed and must fire |
-//! | L001 | no panicking constructs in library code of `core`/`spatial`/`storage` |
+//! | L001 | no panicking constructs in library code of `core`/`spatial`/`storage`/`obs` |
 //! | L002 | no `==` / `!=` on floating-point expressions |
 //! | L003 | no bare truncating integer `as` casts in `core`/`spatial` |
-//! | L004 | every `Metrics`/`ResilienceStats` field appears in the report output |
+//! | L004 | every collected counter/histogram field appears in the report output |
 //! | L005 | checkpoint-serialized structs may not change without a `FORMAT_VERSION` bump |
 //!
 //! Generic clippy cannot express L004/L005 at all and enforces L001–L003
@@ -51,7 +51,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "L001",
         summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in non-test \
-                  library code of core, spatial and storage",
+                  library code of core, spatial, storage and obs",
     },
     RuleInfo {
         id: "L002",
@@ -65,8 +65,8 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "L004",
-        summary: "every field of Metrics and ResilienceStats must appear in the CLI \
-                  metrics report",
+        summary: "every field of Metrics, ResilienceStats, StorageStatsSnapshot and \
+                  LatencySnapshot must appear in the CLI metrics report",
     },
     RuleInfo {
         id: "L005",
@@ -119,6 +119,7 @@ const PANIC_FREE: &[&str] = &[
     "crates/core/src/",
     "crates/spatial/src/",
     "crates/storage/src/",
+    "crates/obs/src/",
 ];
 
 /// Crates whose library code may not use bare integer `as` casts (L003):
@@ -392,6 +393,11 @@ impl MetricsCoverage {
             MetricsCoverage {
                 struct_file: "crates/storage/src/stats.rs".into(),
                 structs: vec!["StorageStatsSnapshot".into()],
+                report_files: vec!["crates/cli/src/commands.rs".into()],
+            },
+            MetricsCoverage {
+                struct_file: "crates/obs/src/latency.rs".into(),
+                structs: vec!["LatencySnapshot".into()],
                 report_files: vec!["crates/cli/src/commands.rs".into()],
             },
         ]
