@@ -1,27 +1,41 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [--quick] [--out FILE] [experiment ...]
+//! reproduce [--quick] [--out FILE] [--sharded-out FILE] [experiment ...]
 //! ```
 //!
 //! With no experiment arguments, runs everything. Experiment names:
 //! `table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ablation_purge ablation_disk
-//! ext_decay`.
+//! shard_scaling ext_decay`.
 //!
 //! `--out FILE` additionally runs every algorithm over the Table III
 //! default workload and writes one unified observability snapshot per
 //! algorithm — every counter plus the latency histograms with their
 //! p50/p90/p99/p999 quantiles — as a JSON document.
+//!
+//! `--sharded-out FILE` does the same for the sharded engine's scaling
+//! matrix (1/2/4/8 shards × cell cache off/on over a 20us/page simulated
+//! disk) — the machine-readable form of the `shard_scaling` experiment
+//! (BENCH_PR5.json in this repo).
 
 use ctup_bench::experiments::{self, Effort, Table};
-use ctup_bench::harness::{snapshot_algorithms, SetupParams};
+use ctup_bench::harness::{
+    shard_scaling_matrix, snapshot_algorithms, snapshot_sharded, SetupParams,
+};
 
 type Runner = Box<dyn Fn(Effort) -> Table>;
 
 /// Renders the per-algorithm snapshots as one JSON document.
-fn render_snapshots(mode: &str, updates: usize, snapshots: &[ctup_core::Snapshot]) -> String {
+fn render_snapshots(
+    workload: &str,
+    mode: &str,
+    updates: usize,
+    snapshots: &[ctup_core::Snapshot],
+) -> String {
     let mut out = String::with_capacity(16 * 1024);
-    out.push_str("{\"workload\":\"table3-default\",\"mode\":\"");
+    out.push_str("{\"workload\":\"");
+    out.push_str(workload);
+    out.push_str("\",\"mode\":\"");
     out.push_str(mode);
     out.push_str("\",\"updates\":");
     out.push_str(&updates.to_string());
@@ -45,6 +59,7 @@ fn main() {
         Effort::full()
     };
     let mut out_file: Option<String> = None;
+    let mut sharded_out_file: Option<String> = None;
     let mut selected: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -54,6 +69,13 @@ fn main() {
                 Some(path) => out_file = Some(path.clone()),
                 None => {
                     eprintln!("--out requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--sharded-out" => match iter.next() {
+                Some(path) => sharded_out_file = Some(path.clone()),
+                None => {
+                    eprintln!("--sharded-out requires a file path");
                     std::process::exit(2);
                 }
             },
@@ -75,6 +97,7 @@ fn main() {
             Box::new(experiments::ablation_dechash_purge),
         ),
         ("ablation_disk", Box::new(experiments::ablation_disk)),
+        ("shard_scaling", Box::new(experiments::shard_scaling)),
         ("ext_decay", Box::new(experiments::ext_decay)),
     ];
 
@@ -101,15 +124,31 @@ fn main() {
         println!("  [{name} took {:.1}s]\n", start.elapsed().as_secs_f64());
     }
 
+    let mode = if quick { "quick" } else { "full" };
     if let Some(path) = out_file {
         let updates = effort.updates;
         let snapshots = snapshot_algorithms(&SetupParams::default(), updates);
-        let mode = if quick { "quick" } else { "full" };
-        let json = render_snapshots(mode, updates, &snapshots);
+        let json = render_snapshots("table3-default", mode, updates, &snapshots);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
         println!("observability snapshots written to {path}");
+    }
+    if let Some(path) = sharded_out_file {
+        let updates = effort.updates.min(3_000);
+        let snapshots = snapshot_sharded(
+            &SetupParams::default(),
+            updates,
+            20_000,
+            ctup_bench::SHARD_BATCH,
+            &shard_scaling_matrix(),
+        );
+        let json = render_snapshots("shard-scaling", mode, updates, &snapshots);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("sharded scaling snapshots written to {path}");
     }
 }

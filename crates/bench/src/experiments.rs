@@ -8,7 +8,7 @@ use ctup_core::ext::decay::{DecayConfig, DecayCtup, DecayKernel, DecayMode};
 use ctup_core::oracle::Oracle;
 use ctup_mogen::{PlaceGenConfig, Workload, WorkloadParams};
 use ctup_spatial::Grid;
-use ctup_storage::{CellLocalStore, PagedDiskStore, PlaceStore};
+use ctup_storage::{CachedStore, CellLocalStore, PagedDiskStore, PlaceStore};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -545,6 +545,69 @@ pub fn ablation_disk(effort: Effort) -> Table {
         notes: vec![
             "paper: on disk, cell-access time grows sharply but trends stay the same".into(),
             "larger Delta buys fewer accesses, which matters more as page latency grows".into(),
+        ],
+    }
+}
+
+/// Perf experiment — the sharded parallel engine: update cost at 1/2/4/8
+/// shards over a simulated paged disk, with the cell-read cache off and
+/// on. Updates are fed through batched ingest ([`crate::SHARD_BATCH`]
+/// per batch) so one barrier covers a batch whose cell accesses spread
+/// across all shards. The disk latency is busy-waited per page, so both
+/// effects are real wall time: shards absorb it in parallel, the cache
+/// skips it entirely on repeat reads of hot cells.
+pub fn shard_scaling(effort: Effort) -> Table {
+    let mut rows = Vec::new();
+    let n = effort.updates.min(3_000);
+    for cfg in crate::harness::shard_scaling_matrix() {
+        let wl_params = WorkloadParams {
+            num_units: 150,
+            places: PlaceGenConfig {
+                count: 15_000,
+                ..PlaceGenConfig::default()
+            },
+            seed: 0xC7,
+            ..WorkloadParams::default()
+        };
+        let mut workload = Workload::generate(wl_params);
+        let grid = Grid::unit_square(10);
+        let base: Arc<dyn PlaceStore> =
+            Arc::new(PagedDiskStore::build(grid, workload.places_vec(), 20_000));
+        let store: Arc<dyn PlaceStore> = if cfg.cache_pages == 0 {
+            base.clone()
+        } else {
+            Arc::new(CachedStore::new(base.clone(), cfg.cache_pages))
+        };
+        let units = workload.unit_positions();
+        let mut alg =
+            ctup_core::ShardedCtup::new(CtupConfig::paper_default(), store, &units, cfg.shards)
+                .unwrap_or_else(|e| panic!("benchmark store must be clean: {e}"));
+        let updates = crate::harness::stream(workload.next_updates(n));
+        let (summary, _) =
+            crate::harness::measure_batched_observed(&mut alg, &updates, crate::SHARD_BATCH);
+        let snap = base.stats().snapshot();
+        rows.push(vec![
+            cfg.label(),
+            us(summary.avg_update_nanos),
+            format!("{:.3}", summary.cells_accessed_per_update),
+            snap.pages_read.to_string(),
+            format!("{:.3}", snap.cache_hit_ratio()),
+        ]);
+    }
+    Table {
+        id: "shard_scaling",
+        title: "Sharded engine: shards × cell-read cache on a 20us/page disk".into(),
+        columns: vec![
+            "variant".into(),
+            "avg_us".into(),
+            "cells/upd".into(),
+            "pages_read".into(),
+            "hit_ratio".into(),
+        ],
+        rows,
+        notes: vec![
+            "one shard, no cache is the sequential OptCTUP cost model on this disk".into(),
+            "expected: avg_us shrinks with shards; pages_read shrinks with the cache".into(),
         ],
     }
 }

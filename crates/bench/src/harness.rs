@@ -4,11 +4,11 @@ use ctup_core::algorithm::CtupAlgorithm;
 use ctup_core::config::CtupConfig;
 use ctup_core::naive::{NaiveIncremental, NaiveRecompute};
 use ctup_core::types::{LocationUpdate, UnitId};
-use ctup_core::{BasicCtup, OptCtup};
+use ctup_core::{BasicCtup, OptCtup, ShardedCtup};
 use ctup_mogen::{PlaceGenConfig, PositionUpdate, Workload, WorkloadParams};
 use ctup_obs::LatencySnapshot;
 use ctup_spatial::{Grid, Point};
-use ctup_storage::{CellLocalStore, PlaceStore};
+use ctup_storage::{CachedStore, CellLocalStore, PagedDiskStore, PlaceStore};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -230,6 +230,67 @@ pub fn measure_updates_observed(
     (summary, latency)
 }
 
+/// Batch size the scaling experiments feed [`ShardedCtup`] with: large
+/// enough that a batch's cell accesses spread across all shards (the
+/// engine's design point — the barrier is paid once per batch, and the
+/// per-page disk latency is absorbed `N`-wide), small enough that the
+/// reported per-update latency is still a fine-grained figure.
+pub const SHARD_BATCH: usize = 32;
+
+/// Like [`measure_updates_observed`] but drives the sharded engine
+/// through its batched-ingest path in chunks of `batch_size`. Each
+/// batch's [`UpdateStats`](ctup_core::algorithm::UpdateStats) carry the
+/// critical path (the slowest shard), so the recorded per-update figures
+/// are the batch's critical path amortized over its updates — the number
+/// that shrinks as shards absorb disk latency in parallel. One sample
+/// per update is recorded, keeping histogram counts comparable with the
+/// sequential runs.
+///
+/// # Panics
+///
+/// Panics on a storage fault, for the same reason as [`measure_updates`].
+pub fn measure_batched_observed(
+    alg: &mut ShardedCtup,
+    updates: &[LocationUpdate],
+    batch_size: usize,
+) -> (RunSummary, LatencySnapshot) {
+    let before = alg.metrics().clone();
+    let mut latency = LatencySnapshot::default();
+    let start = Instant::now();
+    for chunk in updates.chunks(batch_size.max(1)) {
+        match alg.handle_batch(chunk.to_vec()) {
+            Ok(stats) => {
+                let per = chunk.len() as u64;
+                let maintain = stats.maintain_nanos / per;
+                let access = stats.access_nanos / per;
+                for _ in 0..per {
+                    latency.update_maintain_nanos.record(maintain);
+                    latency.update_access_nanos.record(access);
+                    latency
+                        .update_total_nanos
+                        .record(maintain.saturating_add(access));
+                }
+            }
+            Err(e) => panic!("benchmark store must be clean: {e}"),
+        }
+    }
+    let wall = start.elapsed().as_nanos() as f64;
+    let metrics = alg.metrics().since(&before);
+    let n = updates.len().max(1) as f64;
+    let summary = RunSummary {
+        updates: updates.len() as u64,
+        avg_update_nanos: wall / n,
+        avg_maintain_nanos: metrics.maintain_nanos as f64 / n,
+        avg_access_nanos: metrics.access_nanos as f64 / n,
+        cells_accessed_per_update: metrics.cells_accessed as f64 / n,
+        places_loaded_per_update: metrics.places_loaded as f64 / n,
+        lb_decrements_per_update: metrics.lb_decrements as f64 / n,
+        lb_suppressed_per_update: metrics.lb_decrements_suppressed as f64 / n,
+        maintained_places: metrics.maintained_now,
+    };
+    (summary, latency)
+}
+
 /// Runs every algorithm over the same fresh workload and returns one
 /// unified observability snapshot per algorithm.
 ///
@@ -257,6 +318,106 @@ pub fn snapshot_algorithms(params: &SetupParams, updates: usize) -> Vec<ctup_cor
                 kind.label(),
                 alg.metrics().clone(),
                 setup.store.stats().snapshot(),
+                latency,
+            )
+        })
+        .collect()
+}
+
+/// One sharded-engine configuration of the scaling experiment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Worker shards.
+    pub shards: u32,
+    /// Cell-read cache budget in pages (0 disables the cache).
+    pub cache_pages: u64,
+}
+
+impl ShardConfig {
+    /// Snapshot label, e.g. `Sharded-4x-cache512` / `Sharded-1x-nocache`.
+    pub fn label(&self) -> String {
+        if self.cache_pages == 0 {
+            format!("Sharded-{}x-nocache", self.shards)
+        } else {
+            format!("Sharded-{}x-cache{}", self.shards, self.cache_pages)
+        }
+    }
+}
+
+/// The shard-scaling matrix BENCH_PR5.json records: 1/2/4/8 shards, each
+/// with the cell-read cache off and on (512 pages holds the whole default
+/// 10×10 grid with room to spare).
+pub fn shard_scaling_matrix() -> Vec<ShardConfig> {
+    let mut configs = Vec::new();
+    for shards in [1u32, 2, 4, 8] {
+        for cache_pages in [0u64, 512] {
+            configs.push(ShardConfig {
+                shards,
+                cache_pages,
+            });
+        }
+    }
+    configs
+}
+
+/// Runs the sharded engine over the Table III workload on a simulated
+/// paged disk (`page_latency_nanos` busy-waited per page) for every config,
+/// returning one unified snapshot per config.
+///
+/// Each config gets a fresh workload and store (same seed) so its storage
+/// counters — including the cache hit/miss/eviction counters — are its
+/// own. Updates are fed through batched ingest in chunks of `batch_size`
+/// ([`measure_batched_observed`]), so latency is each batch's critical
+/// path (the slowest shard) amortized per update and the histograms
+/// shrink as shards absorb the disk latency in parallel; the disk-read
+/// histogram is merged in once from the store.
+///
+/// # Panics
+///
+/// Panics if the store reports a fault: the benchmark disk is clean, so a
+/// fault is a harness bug, not a measurable condition.
+pub fn snapshot_sharded(
+    params: &SetupParams,
+    updates: usize,
+    page_latency_nanos: u64,
+    batch_size: usize,
+    configs: &[ShardConfig],
+) -> Vec<ctup_core::Snapshot> {
+    configs
+        .iter()
+        .map(|cfg| {
+            let wl_params = WorkloadParams {
+                num_units: params.num_units,
+                places: PlaceGenConfig {
+                    count: params.num_places,
+                    ..PlaceGenConfig::default()
+                },
+                seed: params.seed,
+                tick_dt: params.tick_dt,
+                ..WorkloadParams::default()
+            };
+            let mut workload = Workload::generate(wl_params);
+            let grid = Grid::unit_square(params.granularity);
+            let base: Arc<dyn PlaceStore> = Arc::new(PagedDiskStore::build(
+                grid,
+                workload.places_vec(),
+                page_latency_nanos,
+            ));
+            let store: Arc<dyn PlaceStore> = if cfg.cache_pages == 0 {
+                base.clone()
+            } else {
+                Arc::new(CachedStore::new(base.clone(), cfg.cache_pages))
+            };
+            let units = workload.unit_positions();
+            let mut alg = ShardedCtup::new(params.config.clone(), store, &units, cfg.shards)
+                .unwrap_or_else(|e| panic!("benchmark store must be clean: {e}"));
+            let batch = stream(workload.next_updates(updates));
+            let (_, mut latency) = measure_batched_observed(&mut alg, &batch, batch_size);
+            latency.disk_read_nanos.merge(&base.stats().read_latency());
+            ctup_core::Snapshot::new(
+                cfg.label(),
+                alg.metrics().clone(),
+                base.stats().snapshot(),
                 latency,
             )
         })
@@ -327,6 +488,43 @@ mod tests {
             let json = snap.render_json();
             assert!(json.contains("\"p99\""), "{json}");
         }
+    }
+
+    #[test]
+    fn snapshot_sharded_covers_the_matrix() {
+        let params = SetupParams {
+            num_units: 8,
+            num_places: 150,
+            granularity: 5,
+            config: CtupConfig::with_k(3),
+            tick_dt: 1.0,
+            seed: 5,
+        };
+        let configs = [
+            ShardConfig {
+                shards: 1,
+                cache_pages: 0,
+            },
+            ShardConfig {
+                shards: 2,
+                cache_pages: 64,
+            },
+        ];
+        let snaps = snapshot_sharded(&params, 25, 0, 8, &configs);
+        let names: Vec<&str> = snaps.iter().map(|s| s.algorithm.as_str()).collect();
+        assert_eq!(names, ["Sharded-1x-nocache", "Sharded-2x-cache64"]);
+        for snap in &snaps {
+            assert_eq!(snap.latency.update_total_nanos.count(), 25);
+            assert!(snap.metrics.updates_processed >= 25);
+        }
+        // The uncached config never consults the cache; the cached one
+        // funnels every lower-level read through it.
+        assert_eq!(
+            snaps[0].storage.cache_hits + snaps[0].storage.cache_misses,
+            0
+        );
+        assert!(snaps[1].storage.cache_hits + snaps[1].storage.cache_misses > 0);
+        assert_eq!(snaps[1].storage.cell_reads, snaps[1].storage.cache_misses);
     }
 
     #[test]

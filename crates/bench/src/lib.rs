@@ -12,6 +12,7 @@ pub mod experiments;
 pub mod harness;
 
 pub use harness::{
-    build_setup, measure_updates, measure_updates_observed, snapshot_algorithms, stream, AlgKind,
-    RunSummary, Setup, SetupParams,
+    build_setup, measure_batched_observed, measure_updates, measure_updates_observed,
+    shard_scaling_matrix, snapshot_algorithms, snapshot_sharded, stream, AlgKind, RunSummary,
+    Setup, SetupParams, ShardConfig, SHARD_BATCH,
 };

@@ -11,12 +11,13 @@ use ctup_core::report::Snapshot;
 use ctup_core::server::{MonitorEvent, Server};
 use ctup_core::supervisor::{ResilienceConfig, SupervisedPipeline};
 use ctup_core::types::{LocationUpdate, UnitId};
-use ctup_core::{BasicCtup, OptCtup};
+use ctup_core::{BasicCtup, OptCtup, ShardedCtup};
 use ctup_mogen::{FaultPlan, PlaceGenConfig, PlaceGenerator, Workload, WorkloadParams};
 use ctup_obs::{summarize, LatencySnapshot, MetricsServer};
 use ctup_spatial::{Grid, Point};
 use ctup_storage::{
-    snapshot, CellLocalStore, DiskFaultPlan, FaultDisk, PlaceStore, RetryPolicy, StorageError,
+    snapshot, CachedStore, CellLocalStore, DiskFaultPlan, FaultDisk, PlaceStore, RetryPolicy,
+    StorageError,
 };
 use std::fmt::Write as _;
 use std::fs::File;
@@ -112,12 +113,54 @@ pub fn generate(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> 
     Ok(())
 }
 
+/// Parallel-execution flags shared by `run`, `report` and `serve-metrics`.
+struct EngineParams {
+    /// Worker shards of the parallel engine; 1 runs the plain sequential
+    /// algorithm.
+    shards: u32,
+    /// Page budget of the cell-read cache; 0 disables it.
+    cell_cache_pages: u64,
+}
+
+fn engine_params(flags: &Flags) -> Result<EngineParams, CliError> {
+    let shards: u32 = flags.get("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError("--shards must be at least 1".into()));
+    }
+    Ok(EngineParams {
+        shards,
+        cell_cache_pages: flags.get("cell-cache-pages", 0)?,
+    })
+}
+
+/// Wraps the store in the bounded LRU cell-read cache when a page budget
+/// was given; a zero budget leaves the store untouched.
+fn maybe_cache(store: Arc<dyn PlaceStore>, pages: u64) -> Arc<dyn PlaceStore> {
+    if pages == 0 {
+        store
+    } else {
+        Arc::new(CachedStore::new(store, pages))
+    }
+}
+
 fn build_algorithm(
     name: &str,
     config: CtupConfig,
     store: Arc<dyn PlaceStore>,
     units: &[ctup_spatial::Point],
+    shards: u32,
 ) -> Result<Box<dyn CtupAlgorithm>, CliError> {
+    if shards > 1 {
+        if name != "opt" {
+            return Err(CliError(format!(
+                "--shards {shards} requires the opt algorithm (got {name:?}): \
+                 the sharded engine partitions OptCTUP workers"
+            )));
+        }
+        return Ok(Box::new(
+            ShardedCtup::new(config, store, units, shards).map_err(init_err)?,
+        ));
+    }
     Ok(match name {
         "opt" => Box::new(OptCtup::new(config, store, units).map_err(init_err)?),
         "basic" => Box::new(BasicCtup::new(config, store, units).map_err(init_err)?),
@@ -148,6 +191,12 @@ fn unified_snapshot(
     store: &Arc<dyn PlaceStore>,
     mut latency: LatencySnapshot,
 ) -> Snapshot {
+    // Algorithms that record latency internally (the sharded engine's
+    // per-shard channels) contribute it here; for them the run loop left
+    // the external histograms empty.
+    if let Some(internal) = alg.internal_latency() {
+        latency.merge(&internal);
+    }
     latency.disk_read_nanos.merge(&store.stats().read_latency());
     Snapshot::new(
         alg.name(),
@@ -233,8 +282,11 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         "places-file",
         "events",
         "no-doo",
+        "shards",
+        "cell-cache-pages",
     ])?;
     let params = common_params(&flags)?;
+    let engine = engine_params(&flags)?;
     let updates: usize = flags.get("updates", 1_000)?;
     let algorithm_name = flags.get_str("algorithm").unwrap_or("opt").to_string();
 
@@ -255,10 +307,13 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         None => workload.places_vec(),
     };
     let num_places = places.len();
-    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
-        Grid::unit_square(params.granularity),
-        places,
-    ));
+    let store: Arc<dyn PlaceStore> = maybe_cache(
+        Arc::new(CellLocalStore::build(
+            Grid::unit_square(params.granularity),
+            places,
+        )),
+        engine.cell_cache_pages,
+    );
     let unit_positions = workload.unit_positions();
 
     let mut alg = build_algorithm(
@@ -266,6 +321,7 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         params.config,
         Arc::clone(&store),
         &unit_positions,
+        engine.shards,
     )?;
     writeln!(
         out,
@@ -277,6 +333,9 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     .map_err(|e| io_err("stdout", e))?;
 
     let mut latency = LatencySnapshot::default();
+    // The sharded engine records per-shard latency itself; recording the
+    // run loop's view as well would double-count every update.
+    let records_internally = alg.internal_latency().is_some();
     if flags.switch("events") {
         let mut server = Server::new(ServerAdapter(alg));
         for update in workload.next_updates(updates) {
@@ -286,7 +345,9 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
                     new: update.to,
                 })
                 .map_err(update_err)?;
-            record_latency(&mut latency, &stats);
+            if !records_internally {
+                record_latency(&mut latency, &stats);
+            }
             for event in events {
                 let line = match event {
                     MonitorEvent::Entered { place, safety } => {
@@ -310,7 +371,9 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
                     new: update.to,
                 })
                 .map_err(update_err)?;
-            record_latency(&mut latency, &stats);
+            if !records_internally {
+                record_latency(&mut latency, &stats);
+            }
         }
         finish_run(alg.as_ref(), &store, latency, out)?;
     }
@@ -350,6 +413,9 @@ impl CtupAlgorithm for ServerAdapter {
     }
     fn num_units(&self) -> usize {
         self.0.num_units()
+    }
+    fn internal_latency(&self) -> Option<LatencySnapshot> {
+        self.0.internal_latency()
     }
 }
 
@@ -708,9 +774,19 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         ("read retries", s.read_retries),
         ("read giveups", s.read_giveups),
         ("corrupt pages", s.corrupt_pages),
+        ("cache hits", s.cache_hits),
+        ("cache misses", s.cache_misses),
+        ("cache evictions", s.cache_evictions),
     ] {
         writeln!(out, "  {name:<22} {value}").map_err(|e| io_err("stdout", e))?;
     }
+    writeln!(
+        out,
+        "  {:<22} {:.6}",
+        "cache hit ratio",
+        s.cache_hit_ratio()
+    )
+    .map_err(|e| io_err("stdout", e))?;
     report_latency(&report.latency, out)?;
     if let Some(path) = &report.flight_recorder_path {
         writeln!(out, "flight recorder dumped to {}", path.display())
@@ -734,6 +810,7 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
 /// engine behind `report` and `serve-metrics`).
 fn run_workload_for_snapshot(flags: &Flags) -> Result<Snapshot, CliError> {
     let params = common_params(flags)?;
+    let engine = engine_params(flags)?;
     let updates: usize = flags.get("updates", 1_000)?;
     let algorithm_name = flags.get_str("algorithm").unwrap_or("opt").to_string();
     let mut workload = Workload::generate(WorkloadParams {
@@ -745,17 +822,22 @@ fn run_workload_for_snapshot(flags: &Flags) -> Result<Snapshot, CliError> {
         seed: params.seed,
         ..WorkloadParams::default()
     });
-    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
-        Grid::unit_square(params.granularity),
-        workload.places_vec(),
-    ));
+    let store: Arc<dyn PlaceStore> = maybe_cache(
+        Arc::new(CellLocalStore::build(
+            Grid::unit_square(params.granularity),
+            workload.places_vec(),
+        )),
+        engine.cell_cache_pages,
+    );
     let unit_positions = workload.unit_positions();
     let mut alg = build_algorithm(
         &algorithm_name,
         params.config,
         Arc::clone(&store),
         &unit_positions,
+        engine.shards,
     )?;
+    let records_internally = alg.internal_latency().is_some();
     let mut latency = LatencySnapshot::default();
     for update in workload.next_updates(updates) {
         let stats = alg
@@ -764,7 +846,9 @@ fn run_workload_for_snapshot(flags: &Flags) -> Result<Snapshot, CliError> {
                 new: update.to,
             })
             .map_err(update_err)?;
-        record_latency(&mut latency, &stats);
+        if !records_internally {
+            record_latency(&mut latency, &stats);
+        }
     }
     Ok(unified_snapshot(alg.as_ref(), &store, latency))
 }
@@ -781,6 +865,8 @@ const SNAPSHOT_FLAGS: &[&str] = &[
     "radius",
     "threshold",
     "no-doo",
+    "shards",
+    "cell-cache-pages",
 ];
 
 /// `ctup report` — run a workload and emit the unified metrics snapshot
@@ -850,6 +936,7 @@ USAGE:
   ctup run      [--algorithm opt|basic|naive|naive-inc] [--updates N] [--units N]
                 [--places N | --places-file FILE] [--granularity G] [--seed S]
                 [--k K | --threshold T] [--delta D] [--radius R] [--no-doo] [--events]
+                [--shards N] [--cell-cache-pages M]
   ctup run-opt  [same workload flags] [--checkpoint-out FILE]
   ctup resume   --checkpoint FILE [--skip N] [--updates N] [--places N] [--seed S]
   ctup chaos    [same workload flags] [--drop P] [--dup P] [--reorder P] [--reorder-window W]
@@ -863,6 +950,13 @@ USAGE:
 
 The workload is deterministic per --seed: `run-opt --updates N --checkpoint-out cp`
 followed by `resume --checkpoint cp --skip N` continues the same stream.
+`--shards N` (with the opt algorithm) runs the sharded parallel engine: grid
+cells are partitioned across N OptCTUP workers and the per-shard top-k results
+are merged into the exact global answer — same SK and safeties as the
+sequential run, differing at most in which equally-unsafe places tie at SK.
+`--cell-cache-pages M` puts a bounded LRU cell-read cache (M pages) in front of
+the store; hits, misses, evictions and the derived cache_hit_ratio appear in
+every report format. Both flags also apply to `report` and `serve-metrics`.
 `chaos` degrades the feed with a seeded fault plan, runs the supervised
 pipeline over it (ingest validation, liveness leases, checkpoint-restart on
 injected panics), and prints the resilience counters. `--disk-faults P` adds
@@ -951,6 +1045,81 @@ mod tests {
             .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
             assert!(out.contains("final result:"), "{algorithm}");
         }
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_result() {
+        let base = [
+            "--places",
+            "300",
+            "--units",
+            "10",
+            "--updates",
+            "80",
+            "--k",
+            "4",
+            "--seed",
+            "17",
+        ];
+        let sequential = run_cmd(run, &base).expect("sequential run");
+        let mut sharded_args = base.to_vec();
+        sharded_args.extend(["--shards", "4", "--cell-cache-pages", "64"]);
+        let sharded = run_cmd(run, &sharded_args).expect("sharded run");
+        assert!(sharded.contains("using sharded"), "{sharded}");
+        // Parse the `  place {id}  safety {s}` lines of the final result.
+        let entries = |s: &str| -> Vec<(u64, i64)> {
+            s.lines()
+                .skip_while(|l| !l.starts_with("final result:"))
+                .skip(1)
+                .take_while(|l| !l.starts_with("costs:"))
+                .map(|l| {
+                    let mut words = l.split_whitespace();
+                    assert_eq!(words.next(), Some("place"), "{l}");
+                    let place = words.next().expect("place id").parse().expect("place id");
+                    assert_eq!(words.next(), Some("safety"), "{l}");
+                    let safety = words.next().expect("safety").parse().expect("safety");
+                    (place, safety)
+                })
+                .collect()
+        };
+        let seq_entries = entries(&sequential);
+        let sharded_entries = entries(&sharded);
+        // The engines must agree on every safety and on every entry
+        // strictly below SK; the tie tail at SK is implementation-chosen
+        // (see DESIGN.md §13), so place ids there may differ.
+        let safeties = |r: &[(u64, i64)]| r.iter().map(|&(_, s)| s).collect::<Vec<_>>();
+        assert_eq!(
+            safeties(&seq_entries),
+            safeties(&sharded_entries),
+            "sequential:\n{sequential}\nsharded:\n{sharded}"
+        );
+        let sk = seq_entries.get(3).map(|&(_, s)| s);
+        let strictly_below = |r: &[(u64, i64)]| -> Vec<(u64, i64)> {
+            r.iter()
+                .filter(|&&(_, s)| sk.is_none_or(|sk| s < sk))
+                .copied()
+                .collect()
+        };
+        assert_eq!(
+            strictly_below(&seq_entries),
+            strictly_below(&sharded_entries),
+            "sequential:\n{sequential}\nsharded:\n{sharded}"
+        );
+        // The sharded engine's per-shard latency channels feed the report:
+        // 80 updates seen by 4 shards = 320 samples in the merged histogram.
+        let total_line = sharded
+            .lines()
+            .find(|l| l.starts_with("latency update-total"))
+            .expect("update-total latency line");
+        assert!(total_line.contains("n=320 "), "{total_line}");
+    }
+
+    #[test]
+    fn sharded_rejects_non_opt_and_zero_shards() {
+        let err = run_cmd(run, &["--algorithm", "basic", "--shards", "2"]).expect_err("must fail");
+        assert!(err.0.contains("requires the opt algorithm"), "{err}");
+        let err = run_cmd(run, &["--shards", "0"]).expect_err("must fail");
+        assert!(err.0.contains("--shards must be at least 1"), "{err}");
     }
 
     #[test]
@@ -1315,6 +1484,56 @@ mod tests {
             out.contains("ctup_update_total_nanos_count{algorithm=\"opt\"} 60\n"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn report_with_tiny_cache_counts_misses_and_evictions() {
+        // naive's bulk load reads each of the 10x10 grid's cells exactly
+        // once in grid order and never touches storage again, so a one-page
+        // budget makes every read a miss and evicts on all but the first
+        // insertion. The whole pipeline (cache -> stats -> report) is thus
+        // exactly predictable.
+        let out = run_cmd(
+            report,
+            &[
+                "--algorithm",
+                "naive",
+                "--places",
+                "200",
+                "--units",
+                "8",
+                "--updates",
+                "30",
+                "--k",
+                "3",
+                "--cell-cache-pages",
+                "1",
+            ],
+        )
+        .expect("report with cache");
+        let field = |name: &str| -> u64 {
+            out.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("missing {name:?} in:\n{out}"))
+        };
+        assert_eq!(field("storage_cache_hits:"), 0, "{out}");
+        assert_eq!(field("storage_cache_misses:"), 100, "{out}");
+        assert_eq!(field("storage_cache_evictions:"), 99, "{out}");
+        // Every lower-level read flowed through the cache as a miss.
+        assert_eq!(field("storage_cell_reads:"), 100, "{out}");
+        assert!(out.contains("cache_hit_ratio: 0.000000\n"), "{out}");
+    }
+
+    #[test]
+    fn report_without_cache_reports_zero_cache_traffic() {
+        let mut args = REPORT_BASE.to_vec();
+        args.extend(["--format", "text"]);
+        let out = run_cmd(report, &args).expect("report text");
+        assert!(out.contains("storage_cache_hits: 0\n"), "{out}");
+        assert!(out.contains("storage_cache_misses: 0\n"), "{out}");
+        assert!(out.contains("cache_hit_ratio: 0.000000\n"), "{out}");
     }
 
     #[test]

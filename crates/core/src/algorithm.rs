@@ -3,6 +3,7 @@
 use crate::config::CtupConfig;
 use crate::metrics::Metrics;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId};
+use ctup_obs::LatencySnapshot;
 use ctup_spatial::Point;
 use ctup_storage::{StorageError, StorageStatsSnapshot};
 use serde::{Deserialize, Serialize};
@@ -80,6 +81,17 @@ pub trait CtupAlgorithm {
 
     /// Number of units.
     fn num_units(&self) -> usize;
+
+    /// Latency histograms the algorithm records *internally* — e.g. the
+    /// sharded engine's per-shard channels, where the run loop cannot see
+    /// the per-shard phase timings. `None` (the default) means the run
+    /// loop is responsible for recording per-update latency itself;
+    /// `Some` means the caller should merge this into the unified
+    /// snapshot instead of recording externally (doing both would count
+    /// every update twice).
+    fn internal_latency(&self) -> Option<LatencySnapshot> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use ctup_obs::PhaseTimer;
 use ctup_spatial::{convert, CellId, Circle, Grid, Point};
 use ctup_storage::{PlaceStore, StorageError};
 use lb::basic_lb_delta;
+use std::borrow::Cow;
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -105,13 +106,25 @@ impl BasicCtup {
     }
 
     /// Loads every place of a dark cell into memory with exact safeties.
+    /// Borrowed reads (memory-resident stores) are consumed in place — one
+    /// clone per record into the maintained set, never a whole-cell copy.
     fn illuminate(&mut self, cell: CellId) -> Result<(), StorageError> {
-        let records = self.store.read_cell(cell)?.into_owned();
+        let records = self.store.read_cell(cell)?;
         self.metrics.cells_accessed += 1;
         self.metrics.places_loaded += convert::count64(records.len());
-        for record in records {
-            let safety = self.units.safety(&record);
-            self.maintained.insert(record, safety, cell);
+        match records {
+            Cow::Borrowed(slice) => {
+                for record in slice {
+                    let safety = self.units.safety(record);
+                    self.maintained.insert(record.clone(), safety, cell);
+                }
+            }
+            Cow::Owned(vec) => {
+                for record in vec {
+                    let safety = self.units.safety(&record);
+                    self.maintained.insert(record, safety, cell);
+                }
+            }
         }
         self.lb.detach(cell);
         Ok(())
@@ -458,6 +471,40 @@ mod tests {
         .expect("update");
         let moved = vec![Point::new(0.21, 0.79), Point::new(0.2, 0.8)];
         oracle.assert_result_matches(&alg.result(), &moved, 0.1, QueryMode::Threshold(-2));
+    }
+
+    #[test]
+    fn illumination_loads_each_record_from_storage_exactly_once() {
+        // Regression guard for the `into_owned()` copy bug: every record an
+        // illumination charges to `places_loaded` must correspond to exactly
+        // one record delivered by the lower level — a re-read (or a counted
+        // duplicate load) would make the storage delta outrun the metric.
+        let (mut alg, _, _) = setup(5);
+        let before = alg.store.stats().snapshot();
+        let mut state = 0xBEEF_CAFE_1234_5678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..100 {
+            let unit = (next() * 10.0) as usize % 10;
+            alg.handle_update(LocationUpdate {
+                unit: UnitId(unit as u32),
+                new: Point::new(next(), next()),
+            })
+            .expect("update");
+        }
+        let delta = alg.store.stats().snapshot().since(&before);
+        assert_eq!(
+            delta.records_read,
+            alg.metrics().places_loaded,
+            "storage delivered {} records but illumination accounted {}",
+            delta.records_read,
+            alg.metrics().places_loaded
+        );
+        assert_eq!(delta.cell_reads, alg.metrics().cells_accessed);
     }
 
     #[test]

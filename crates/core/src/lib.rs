@@ -67,6 +67,7 @@ pub mod metrics;
 pub mod naive;
 pub mod opt;
 pub mod oracle;
+pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod server;
@@ -85,6 +86,7 @@ pub use metrics::{Metrics, ResilienceStats};
 pub use naive::{NaiveIncremental, NaiveRecompute};
 pub use opt::OptCtup;
 pub use oracle::Oracle;
+pub use parallel::ShardedCtup;
 pub use pipeline::{EventBatch, Pipeline, PipelineReport, SendError};
 pub use report::Snapshot;
 pub use server::{MonitorEvent, Server};

@@ -43,6 +43,11 @@ pub struct OptCtup {
     last_result: Vec<TopKEntry>,
     metrics: Metrics,
     init_stats: InitStats,
+    /// Cell-ownership filter for sharded execution: the instance maintains
+    /// only cells with `index % num_shards == shard`. `(0, 1)` — the
+    /// default — owns every cell and is the plain sequential scheme.
+    shard: u32,
+    num_shards: u32,
 }
 
 impl std::fmt::Debug for OptCtup {
@@ -63,7 +68,32 @@ impl OptCtup {
         store: Arc<dyn PlaceStore>,
         initial_units: &[Point],
     ) -> Result<Self, StorageError> {
+        Self::new_sharded(config, store, initial_units, 0, 1)
+    }
+
+    /// Builds the scheme restricted to the cells owned by `shard` out of
+    /// `num_shards` (ownership: `cell.index() % num_shards == shard`).
+    /// Non-owned cells are never read: their bounds stay at [`LB_NONE`], so
+    /// the access loop and the invariant checker skip them, and the
+    /// instance behaves exactly like a sequential `OptCtup` over the
+    /// restricted place universe. Updates must still be fed for *all*
+    /// units — the unit table is global. `(0, 1)` is the unsharded scheme.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero or `shard >= num_shards` — a
+    /// construction-time configuration bug, like `config.validate()`.
+    pub fn new_sharded(
+        config: CtupConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+        shard: u32,
+        num_shards: u32,
+    ) -> Result<Self, StorageError> {
         config.validate();
+        assert!(
+            num_shards >= 1 && shard < num_shards,
+            "shard {shard} out of range for {num_shards} shards"
+        );
         let start = Instant::now();
         let io_before = store.stats().snapshot();
         let grid = store.grid().clone();
@@ -80,11 +110,17 @@ impl OptCtup {
             store,
             grid,
             units,
+            shard,
+            num_shards,
         };
 
-        // Step 1: exact lower bound per cell.
+        // Step 1: exact lower bound per owned cell; non-owned cells keep
+        // LB_NONE and are invisible from here on.
         let mut safeties_computed = 0u64;
         for cell in this.grid.cells() {
+            if !this.owns_cell(cell) {
+                continue;
+            }
             let records = this.store.read_cell(cell)?;
             let mut min = LB_NONE;
             for record in records.iter() {
@@ -111,6 +147,12 @@ impl OptCtup {
             safeties_computed,
         };
         Ok(this)
+    }
+
+    /// Whether this instance owns `cell` under its shard filter.
+    fn owns_cell(&self, cell: CellId) -> bool {
+        self.num_shards <= 1
+            || cell.index() % convert::index(self.num_shards) == convert::index(self.shard)
     }
 
     /// Loads a cell, refreshes the maintained subset of its places, purges
@@ -321,6 +363,8 @@ impl OptCtup {
             last_result,
             metrics,
             init_stats: InitStats::default(),
+            shard: 0,
+            num_shards: 1,
         })
     }
 
@@ -419,7 +463,12 @@ impl CtupAlgorithm for OptCtup {
         let old_region = Circle::new(old, radius);
         let new_region = Circle::new(update.new, radius);
 
-        let touched = touched_cells(&self.grid, &old_region, &new_region);
+        let mut touched = touched_cells(&self.grid, &old_region, &new_region);
+        if self.num_shards > 1 {
+            // Sharded: only owned cells carry state here; the other shards
+            // handle the rest of the touched set from the same update.
+            touched.retain(|&cell| self.owns_cell(cell));
+        }
 
         // Step 1: exact safeties of maintained places.
         self.maintained

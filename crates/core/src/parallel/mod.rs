@@ -1,0 +1,680 @@
+//! Sharded parallel CTUP execution engine.
+//!
+//! Grid cells are partitioned across `N` worker shards (cell `c` belongs
+//! to shard `c.index() % N`); each shard runs a full [`OptCtup`] restricted
+//! to its own cells via [`OptCtup::new_sharded`]. Location updates are
+//! ingested in batches and broadcast to every shard — the unit table is
+//! global and O(1) per update to maintain — but all per-cell work (bound
+//! maintenance, cell accesses, safety recomputation) is done only by the
+//! owning shard, so the expensive part of the update runs `N`-wide in
+//! parallel and simulated-disk latency is paid on `N` spindles at once.
+//!
+//! **Exactness.** A shard is a sequential `OptCtup` over the sub-universe
+//! of places in its cells, so its local result is the exact local top-k
+//! (or threshold set). Every global top-k entry has at most `k − 1`
+//! entries below it globally, hence at most `k − 1` below it in its own
+//! shard — so it appears in that shard's local top-k, and the global
+//! result is exactly the k smallest `(safety, place id)` pairs of the
+//! concatenated local results: the canonical answer, with the canonical
+//! `SK` as the k-th entry of the merged list. Against the sequential
+//! `OptCtup` that means identical `SK`, identical safety sequence, and
+//! identical entries strictly below `SK`; the tail tied *at* `SK` may be
+//! a different (equally true) selection, because the sequential scheme
+//! only maintains a place once its cell's bound falls strictly below
+//! `SK` and so picks among `SK`-tied places by access history. Threshold
+//! mode has no tie boundary and agrees exactly, as does any single-shard
+//! run (DESIGN.md §13 gives the argument in full). One barrier per batch
+//! keeps timestamps aligned: the engine reports only after every shard
+//! has finished the batch.
+//!
+//! Threading is `std::thread` + `std::sync::mpsc` only, in keeping with
+//! the workspace's zero-dependency discipline. Each shard owns an
+//! [`AtomicHistogram`] latency channel; [`ShardedCtup::latency_snapshot`]
+//! merges them into the unified [`ctup_obs::LatencySnapshot`].
+
+use crate::algorithm::{CtupAlgorithm, InitStats, UpdateStats};
+use crate::config::{CtupConfig, QueryMode};
+use crate::metrics::Metrics;
+use crate::opt::OptCtup;
+use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId};
+use ctup_obs::{AtomicHistogram, LatencySnapshot};
+use ctup_spatial::{convert, Point};
+use ctup_storage::{PlaceStore, StorageError};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Per-shard latency histograms, shared with the worker thread. Recorded
+/// per update, merged into the unified snapshot on demand.
+#[derive(Debug, Default)]
+struct ShardLatency {
+    update_total: AtomicHistogram,
+    update_maintain: AtomicHistogram,
+    update_access: AtomicHistogram,
+}
+
+/// Engine → shard messages.
+enum ToShard {
+    /// Process every update of the batch in order, then reply.
+    Batch(Arc<Vec<LocationUpdate>>),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Shard → engine reply, sent once after construction (with
+/// `safeties_computed` set) and once per processed batch.
+struct FromShard {
+    shard: u32,
+    /// First storage error hit, if any; the shard stops mid-batch on it.
+    error: Option<StorageError>,
+    /// The shard's local result (exact over its own cells).
+    result: Vec<TopKEntry>,
+    /// The shard's cumulative metrics.
+    metrics: Metrics,
+    /// Aggregated per-batch costs (zero in the init reply).
+    stats: UpdateStats,
+    /// Safeties computed during initialization (zero in batch replies).
+    safeties_computed: u64,
+}
+
+struct ShardHandle {
+    tx: Sender<ToShard>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The sharded parallel CTUP engine. Implements [`CtupAlgorithm`] (one
+/// update = a batch of one); [`ShardedCtup::handle_batch`] is the batched
+/// ingest path that amortizes the per-batch barrier.
+pub struct ShardedCtup {
+    config: CtupConfig,
+    store: Arc<dyn PlaceStore>,
+    workers: Vec<ShardHandle>,
+    reply_rx: Receiver<FromShard>,
+    latencies: Vec<Arc<ShardLatency>>,
+    /// Engine-side mirror of unit positions (each shard holds the same
+    /// global unit table; this avoids a round-trip for `unit_position`).
+    unit_positions: Vec<Point>,
+    shard_metrics: Vec<Metrics>,
+    last_result: Vec<TopKEntry>,
+    last_sk: Option<Safety>,
+    metrics: Metrics,
+    init_stats: InitStats,
+}
+
+impl std::fmt::Debug for ShardedCtup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCtup")
+            .field("config", &self.config)
+            .field("num_shards", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedCtup {
+    /// Builds the engine with `num_shards` workers over `store`. Each
+    /// worker constructs its shard-restricted [`OptCtup`] concurrently;
+    /// a storage fault during any shard's initialization fails the whole
+    /// construction (the other workers are shut down first).
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero, or if a worker thread cannot be
+    /// spawned (OS resource exhaustion at construction time).
+    pub fn new(
+        config: CtupConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+        num_shards: u32,
+    ) -> Result<Self, StorageError> {
+        config.validate();
+        assert!(num_shards >= 1, "at least one shard is required");
+        let start = Instant::now();
+        let io_before = store.stats().snapshot();
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel::<FromShard>();
+        let units: Arc<Vec<Point>> = Arc::new(initial_units.to_vec());
+
+        let mut workers = Vec::with_capacity(convert::index(num_shards));
+        let mut latencies = Vec::with_capacity(convert::index(num_shards));
+        for shard in 0..num_shards {
+            let (tx, rx) = std::sync::mpsc::channel::<ToShard>();
+            let latency = Arc::new(ShardLatency::default());
+            let worker_cfg = config.clone();
+            let worker_store = store.clone();
+            let worker_units = units.clone();
+            let worker_latency = latency.clone();
+            let worker_reply = reply_tx.clone();
+            #[allow(clippy::expect_used)]
+            let join = std::thread::Builder::new()
+                .name(format!("ctup-shard-{shard}"))
+                .spawn(move || {
+                    shard_worker(
+                        shard,
+                        num_shards,
+                        worker_cfg,
+                        worker_store,
+                        &worker_units,
+                        rx,
+                        worker_reply,
+                        &worker_latency,
+                    );
+                })
+                // ctup-lint: allow(L001, thread spawn fails only on OS resource exhaustion at construction — mirrors the supervisor's spawn)
+                .expect("spawn ctup-shard worker thread");
+            workers.push(ShardHandle {
+                tx,
+                join: Some(join),
+            });
+            latencies.push(latency);
+        }
+
+        let mut this = ShardedCtup {
+            unit_positions: initial_units.to_vec(),
+            shard_metrics: vec![Metrics::default(); convert::index(num_shards)],
+            last_result: Vec::new(),
+            last_sk: None,
+            metrics: Metrics::default(),
+            init_stats: InitStats::default(),
+            config,
+            store,
+            workers,
+            reply_rx,
+            latencies,
+        };
+
+        // Init barrier: one reply per shard, carrying its initial local
+        // result. A failed shard fails construction; Drop shuts the rest
+        // down.
+        let mut safeties_computed = 0u64;
+        let mut merged = Vec::new();
+        let mut first_err = None;
+        for _ in 0..this.workers.len() {
+            let reply = this.recv_reply();
+            safeties_computed += reply.safeties_computed;
+            if let Some(e) = reply.error {
+                first_err.get_or_insert(e);
+            }
+            this.shard_metrics[convert::index(reply.shard)] = reply.metrics;
+            merged.extend(reply.result);
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let (result, sk) = merge_results(merged, this.config.mode);
+        this.last_result = result;
+        this.last_sk = sk;
+        this.rebuild_merged_metrics();
+        this.init_stats = InitStats {
+            wall: start.elapsed(),
+            storage: this.store.stats().snapshot().since(&io_before),
+            safeties_computed,
+        };
+        Ok(this)
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The lower-level store the engine runs over.
+    pub fn store(&self) -> Arc<dyn PlaceStore> {
+        self.store.clone()
+    }
+
+    /// Processes a batch of updates: broadcast to every shard, one barrier,
+    /// then an exact global merge. The returned [`UpdateStats`] aggregates
+    /// the batch: `cells_accessed` sums over shards, the phase nanos are
+    /// the slowest shard's (the critical path — the batch is not done
+    /// before its slowest shard is), `result_changed` compares against the
+    /// result of the previous batch.
+    ///
+    /// On a storage error the engine, like the sequential schemes, is left
+    /// mid-batch and must be discarded.
+    pub fn handle_batch(
+        &mut self,
+        updates: Vec<LocationUpdate>,
+    ) -> Result<UpdateStats, StorageError> {
+        if updates.is_empty() {
+            return Ok(UpdateStats::default());
+        }
+        let count = convert::count64(updates.len());
+        for update in &updates {
+            let idx = update.unit.index();
+            if idx < self.unit_positions.len() {
+                self.unit_positions[idx] = update.new;
+            }
+        }
+        let batch = Arc::new(updates);
+        for worker in &self.workers {
+            if worker.tx.send(ToShard::Batch(batch.clone())).is_err() {
+                // ctup-lint: allow(L001, a shard death is a worker panic — propagating it trips the supervisor boundary exactly like a sequential worker panic)
+                panic!("ctup shard worker died before the batch was sent");
+            }
+        }
+
+        let mut merged = Vec::new();
+        let mut batch_stats = UpdateStats::default();
+        let mut first_err = None;
+        for _ in 0..self.workers.len() {
+            let reply = self.recv_reply();
+            if let Some(e) = reply.error {
+                first_err.get_or_insert(e);
+            }
+            batch_stats.cells_accessed += reply.stats.cells_accessed;
+            batch_stats.maintain_nanos = batch_stats.maintain_nanos.max(reply.stats.maintain_nanos);
+            batch_stats.access_nanos = batch_stats.access_nanos.max(reply.stats.access_nanos);
+            self.shard_metrics[convert::index(reply.shard)] = reply.metrics;
+            merged.extend(reply.result);
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        let (result, sk) = merge_results(merged, self.config.mode);
+        let changed = result != self.last_result;
+        self.last_result = result;
+        self.last_sk = sk;
+
+        self.metrics.updates_processed += count;
+        if changed {
+            self.metrics.result_changes += 1;
+        }
+        self.rebuild_merged_metrics();
+        batch_stats.result_changed = changed;
+        Ok(batch_stats)
+    }
+
+    /// The per-shard latency histograms merged into one view, with the
+    /// store's disk-read histogram joined in. Checkpoint timing stays
+    /// empty — the engine does not checkpoint.
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        let mut snap = self.shard_latency();
+        snap.disk_read_nanos = self.store.stats().read_latency();
+        snap
+    }
+
+    /// Just the merged per-shard update histograms (no disk-read series —
+    /// callers building a unified snapshot fold that in themselves, and
+    /// must not get it twice).
+    fn shard_latency(&self) -> LatencySnapshot {
+        let mut snap = LatencySnapshot::default();
+        for shard in &self.latencies {
+            snap.update_total_nanos
+                .merge(&shard.update_total.snapshot());
+            snap.update_maintain_nanos
+                .merge(&shard.update_maintain.snapshot());
+            snap.update_access_nanos
+                .merge(&shard.update_access.snapshot());
+        }
+        snap
+    }
+
+    /// Receives one shard reply; a closed channel means every worker died
+    /// without replying, which only a worker panic can cause.
+    fn recv_reply(&self) -> FromShard {
+        match self.reply_rx.recv() {
+            Ok(reply) => reply,
+            // ctup-lint: allow(L001, a closed reply channel is a shard panic — propagate it like any worker panic, to the supervisor boundary)
+            Err(_) => panic!("ctup shard worker died without replying"),
+        }
+    }
+
+    /// Recomputes the engine-level metrics view from the latest cumulative
+    /// per-shard metrics: logical counters and phase nanos sum across
+    /// shards (total work done), the gauges sum to the global state size,
+    /// and `maintained_peak` tracks the peak of the summed gauge.
+    /// `updates_processed`/`result_changes` are engine-owned (each update
+    /// is one update, no matter how many shards saw it).
+    fn rebuild_merged_metrics(&mut self) {
+        let sum = |f: fn(&Metrics) -> u64| -> u64 {
+            self.shard_metrics
+                .iter()
+                .map(f)
+                .fold(0, u64::saturating_add)
+        };
+        self.metrics.cells_accessed = sum(|m| m.cells_accessed);
+        self.metrics.places_loaded = sum(|m| m.places_loaded);
+        self.metrics.lb_increments = sum(|m| m.lb_increments);
+        self.metrics.lb_decrements = sum(|m| m.lb_decrements);
+        self.metrics.lb_decrements_suppressed = sum(|m| m.lb_decrements_suppressed);
+        self.metrics.cells_darkened = sum(|m| m.cells_darkened);
+        self.metrics.maintain_nanos = sum(|m| m.maintain_nanos);
+        self.metrics.access_nanos = sum(|m| m.access_nanos);
+        self.metrics.dechash_len = sum(|m| m.dechash_len);
+        self.metrics.set_maintained(sum(|m| m.maintained_now));
+    }
+}
+
+impl Drop for ShardedCtup {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.tx.send(ToShard::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(join) = worker.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl CtupAlgorithm for ShardedCtup {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn config(&self) -> &CtupConfig {
+        &self.config
+    }
+
+    fn handle_update(&mut self, update: LocationUpdate) -> Result<UpdateStats, StorageError> {
+        self.handle_batch(vec![update])
+    }
+
+    fn result(&self) -> Vec<TopKEntry> {
+        self.last_result.clone()
+    }
+
+    fn sk(&self) -> Option<Safety> {
+        self.last_sk
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn init_stats(&self) -> &InitStats {
+        &self.init_stats
+    }
+
+    fn unit_position(&self, unit: UnitId) -> Point {
+        self.unit_positions[unit.index()]
+    }
+
+    fn num_units(&self) -> usize {
+        self.unit_positions.len()
+    }
+
+    fn internal_latency(&self) -> Option<LatencySnapshot> {
+        Some(self.shard_latency())
+    }
+}
+
+/// Sorts the concatenated local results into the global `(safety, place)`
+/// order and cuts them down to the query mode's result; returns the result
+/// and the global `SK`.
+///
+/// Top-k: every global top-k entry appears in its shard's local top-k
+/// (at most `k − 1` entries precede it anywhere, so at most `k − 1` in its
+/// shard), hence the k smallest merged pairs are the canonical top-k —
+/// the sequential result up to the choice of entries tied at `SK` (see
+/// the module docs). The union holds at least `min(k, Σ nₛ)` entries, so
+/// fewer than `k` merged entries means fewer than `k` places exist and
+/// `SK` is `None`, also matching the sequential scheme. Threshold: local
+/// threshold sets are disjoint and exact, so their sorted union is the
+/// global set.
+fn merge_results(mut merged: Vec<TopKEntry>, mode: QueryMode) -> (Vec<TopKEntry>, Option<Safety>) {
+    merged.sort_unstable_by_key(|e| (e.safety, e.place));
+    match mode {
+        QueryMode::TopK(k) => {
+            let sk = if merged.len() >= k {
+                merged.get(k - 1).map(|e| e.safety)
+            } else {
+                None
+            };
+            merged.truncate(k);
+            (merged, sk)
+        }
+        QueryMode::Threshold(_) => (merged, None),
+    }
+}
+
+/// The worker loop: builds the shard-restricted `OptCtup`, replies with
+/// the initial local state, then serves batches until shutdown.
+#[allow(clippy::too_many_arguments)]
+fn shard_worker(
+    shard: u32,
+    num_shards: u32,
+    config: CtupConfig,
+    store: Arc<dyn PlaceStore>,
+    units: &[Point],
+    rx: Receiver<ToShard>,
+    tx: Sender<FromShard>,
+    latency: &ShardLatency,
+) {
+    let mut alg = match OptCtup::new_sharded(config, store, units, shard, num_shards) {
+        Ok(alg) => {
+            let init = FromShard {
+                shard,
+                error: None,
+                result: alg.result(),
+                metrics: alg.metrics().clone(),
+                stats: UpdateStats::default(),
+                safeties_computed: alg.init_stats().safeties_computed,
+            };
+            if tx.send(init).is_err() {
+                return; // engine dropped mid-construction
+            }
+            alg
+        }
+        Err(e) => {
+            let _ = tx.send(FromShard {
+                shard,
+                error: Some(e),
+                result: Vec::new(),
+                metrics: Metrics::default(),
+                stats: UpdateStats::default(),
+                safeties_computed: 0,
+            });
+            return;
+        }
+    };
+
+    loop {
+        match rx.recv() {
+            Ok(ToShard::Batch(updates)) => {
+                let mut stats = UpdateStats::default();
+                let mut error = None;
+                for &update in updates.iter() {
+                    match alg.handle_update(update) {
+                        Ok(s) => {
+                            latency.update_total.record(s.total_nanos());
+                            latency.update_maintain.record(s.maintain_nanos);
+                            latency.update_access.record(s.access_nanos);
+                            stats.maintain_nanos += s.maintain_nanos;
+                            stats.access_nanos += s.access_nanos;
+                            stats.cells_accessed += s.cells_accessed;
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let reply = FromShard {
+                    shard,
+                    error,
+                    result: alg.result(),
+                    metrics: alg.metrics().clone(),
+                    stats,
+                    safeties_computed: 0,
+                };
+                if tx.send(reply).is_err() {
+                    return; // engine dropped mid-batch
+                }
+            }
+            Ok(ToShard::Shutdown) | Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use crate::types::{Place, PlaceId};
+    use ctup_spatial::Grid;
+    use ctup_storage::CellLocalStore;
+
+    /// Miri executes threads faithfully but slowly; keep the workload tiny
+    /// there while CI and local runs get the full sweep.
+    const STEPS: usize = if cfg!(miri) { 12 } else { 200 };
+
+    fn grid_place_set() -> Vec<Place> {
+        let mut places = Vec::new();
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                let id = i * 8 + j;
+                places.push(Place::point(
+                    PlaceId(id),
+                    Point::new(i as f64 / 8.0 + 0.06, j as f64 / 8.0 + 0.06),
+                    1 + (id % 5),
+                ));
+            }
+        }
+        places
+    }
+
+    fn units() -> Vec<Point> {
+        (0..10)
+            .map(|i| Point::new(0.05 + 0.09 * i as f64, 0.95 - 0.085 * i as f64))
+            .collect()
+    }
+
+    fn fresh_store() -> Arc<dyn PlaceStore> {
+        Arc::new(CellLocalStore::build(
+            Grid::unit_square(8),
+            grid_place_set(),
+        ))
+    }
+
+    fn updates(steps: usize, seed: u64) -> Vec<LocationUpdate> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..steps)
+            .map(|_| LocationUpdate {
+                unit: UnitId((next() * 10.0) as u32 % 10),
+                new: Point::new(next(), next()),
+            })
+            .collect()
+    }
+
+    /// The module-doc contract: identical `SK`, identical safety
+    /// sequence, identical entries strictly below `SK`; single-shard runs
+    /// must be exactly equal. The tail tied at `SK` is checked against
+    /// the oracle by the callers that track positions.
+    fn assert_equivalent(seq: &OptCtup, sharded: &ShardedCtup, num_shards: u32, label: &str) {
+        let sk = seq.sk();
+        assert_eq!(sk, sharded.sk(), "{label}: SK");
+        let seq_result = seq.result();
+        let sharded_result = sharded.result();
+        if num_shards <= 1 {
+            assert_eq!(seq_result, sharded_result, "{label}: single shard");
+            return;
+        }
+        let safeties = |r: &[TopKEntry]| r.iter().map(|e| e.safety).collect::<Vec<_>>();
+        assert_eq!(
+            safeties(&seq_result),
+            safeties(&sharded_result),
+            "{label}: safety sequence"
+        );
+        let strictly_below = |r: &[TopKEntry]| -> Vec<TopKEntry> {
+            r.iter()
+                .filter(|e| sk.is_none_or(|sk| e.safety < sk))
+                .copied()
+                .collect()
+        };
+        assert_eq!(
+            strictly_below(&seq_result),
+            strictly_below(&sharded_result),
+            "{label}: entries strictly below SK"
+        );
+    }
+
+    #[test]
+    fn matches_sequential_opt_per_update() {
+        for num_shards in [1u32, 2, 3, 7] {
+            let config = CtupConfig::with_k(5);
+            let oracle = Oracle::new(grid_place_set());
+            let mut positions = units();
+            let mut seq = OptCtup::new(config.clone(), fresh_store(), &positions).expect("init");
+            let mut sharded =
+                ShardedCtup::new(config, fresh_store(), &positions, num_shards).expect("init");
+            assert_equivalent(&seq, &sharded, num_shards, "init");
+            for update in updates(STEPS, 0x51ED + u64::from(num_shards)) {
+                seq.handle_update(update).expect("seq update");
+                sharded.handle_update(update).expect("sharded update");
+                positions[update.unit.index()] = update.new;
+                let label = format!("{num_shards} shards");
+                assert_equivalent(&seq, &sharded, num_shards, &label);
+            }
+            oracle.assert_result_matches(&sharded.result(), &positions, 0.1, QueryMode::TopK(5));
+        }
+    }
+
+    #[test]
+    fn batched_ingest_matches_sequential_at_batch_boundaries() {
+        let config = CtupConfig::with_k(5);
+        let mut seq = OptCtup::new(config.clone(), fresh_store(), &units()).expect("init");
+        let mut sharded = ShardedCtup::new(config, fresh_store(), &units(), 3).expect("init");
+        for (batch_no, batch) in updates(STEPS, 0xBA7C).chunks(8).enumerate() {
+            for &u in batch {
+                seq.handle_update(u).expect("seq update");
+            }
+            sharded.handle_batch(batch.to_vec()).expect("batch");
+            assert_equivalent(&seq, &sharded, 3, &format!("batch {batch_no}"));
+        }
+        assert_eq!(
+            sharded.metrics().updates_processed,
+            seq.metrics().updates_processed
+        );
+    }
+
+    #[test]
+    fn tracks_oracle_and_counts_work_once() {
+        let oracle = Oracle::new(grid_place_set());
+        let mut positions = units();
+        let mut sharded =
+            ShardedCtup::new(CtupConfig::with_k(5), fresh_store(), &positions, 4).expect("init");
+        for update in updates(STEPS, 0x0AC1) {
+            sharded.handle_update(update).expect("update");
+            positions[update.unit.index()] = update.new;
+            oracle.assert_result_matches(&sharded.result(), &positions, 0.1, QueryMode::TopK(5));
+            assert_eq!(sharded.unit_position(update.unit), update.new);
+        }
+        assert_eq!(sharded.metrics().updates_processed, STEPS as u64);
+        let lat = sharded.latency_snapshot();
+        assert_eq!(lat.update_total_nanos.count(), STEPS as u64 * 4);
+    }
+
+    #[test]
+    fn threshold_mode_matches_sequential() {
+        let config = CtupConfig {
+            mode: QueryMode::Threshold(-2),
+            ..CtupConfig::paper_default()
+        };
+        let mut seq = OptCtup::new(config.clone(), fresh_store(), &units()).expect("init");
+        let mut sharded = ShardedCtup::new(config, fresh_store(), &units(), 2).expect("init");
+        for update in updates(STEPS, 0x7A0) {
+            seq.handle_update(update).expect("seq update");
+            sharded.handle_update(update).expect("sharded update");
+            assert_eq!(seq.result(), sharded.result());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut sharded =
+            ShardedCtup::new(CtupConfig::with_k(3), fresh_store(), &units(), 2).expect("init");
+        let before = sharded.result();
+        let stats = sharded.handle_batch(Vec::new()).expect("empty batch");
+        assert_eq!(stats, UpdateStats::default());
+        assert_eq!(sharded.result(), before);
+        assert_eq!(sharded.metrics().updates_processed, 0);
+    }
+}

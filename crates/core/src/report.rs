@@ -95,7 +95,17 @@ impl Snapshot {
             ("storage_read_retries", s.read_retries),
             ("storage_read_giveups", s.read_giveups),
             ("storage_corrupt_pages", s.corrupt_pages),
+            ("storage_cache_hits", s.cache_hits),
+            ("storage_cache_misses", s.cache_misses),
+            ("storage_cache_evictions", s.cache_evictions),
         ]
+    }
+
+    /// Fraction of cell reads served by the cell-read cache, in `[0, 1]`
+    /// (zero when no cache is configured). Derived from the cache counters,
+    /// so it is exposed as a float alongside them in every format.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        self.storage.cache_hit_ratio()
     }
 
     /// Every gauge (a value that can go down), as `(name, value)` pairs.
@@ -133,6 +143,9 @@ impl Snapshot {
             out.push_str(&value.to_string());
             out.push('\n');
         }
+        out.push_str("cache_hit_ratio: ");
+        out.push_str(&format_ratio(self.cache_hit_ratio()));
+        out.push('\n');
         for (name, hist) in self.histograms() {
             if hist.is_empty() {
                 continue;
@@ -162,6 +175,7 @@ impl Snapshot {
         for (name, value) in self.gauges() {
             gauges.field_u64(name, value);
         }
+        gauges.field_raw("cache_hit_ratio", &format_ratio(self.cache_hit_ratio()));
         root.field_raw("gauges", &gauges.finish());
 
         let mut hists = ObjectWriter::new();
@@ -196,11 +210,24 @@ impl Snapshot {
         for (name, value) in self.gauges() {
             render_prom_scalar(&mut out, name, "gauge", &label, value);
         }
+        out.push_str("# TYPE ctup_cache_hit_ratio gauge\n");
+        out.push_str("ctup_cache_hit_ratio");
+        out.push_str(&label);
+        out.push(' ');
+        out.push_str(&format_ratio(self.cache_hit_ratio()));
+        out.push('\n');
         for (name, hist) in self.histograms() {
             render_prom_histogram(&mut out, name, &escape_label(&self.algorithm), hist);
         }
         out
     }
+}
+
+/// Renders a `[0, 1]` ratio with fixed precision, so the derived
+/// `cache_hit_ratio` line is stable across platforms and a valid JSON
+/// number (never `NaN`/`inf` — the ratio is 0 when nothing was consulted).
+fn format_ratio(ratio: f64) -> String {
+    format!("{ratio:.6}")
 }
 
 /// Escapes a Prometheus label value (backslash, double quote, newline).
@@ -306,6 +333,8 @@ mod tests {
             },
             StorageStatsSnapshot {
                 cell_reads: 9,
+                cache_hits: 3,
+                cache_misses: 9,
                 ..StorageStatsSnapshot::default()
             },
             latency,
@@ -325,8 +354,8 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), total, "duplicate series name");
-        // 10 Metrics counters + 13 resilience + 7 storage + 3 gauges.
-        assert_eq!(total, 33);
+        // 10 Metrics counters + 13 resilience + 10 storage + 3 gauges.
+        assert_eq!(total, 36);
     }
 
     #[test]
@@ -335,6 +364,10 @@ mod tests {
         assert!(text.contains("algorithm: opt\n"));
         assert!(text.contains("updates_processed: 42\n"));
         assert!(text.contains("storage_cell_reads: 9\n"));
+        assert!(text.contains("storage_cache_hits: 3\n"));
+        assert!(text.contains("storage_cache_misses: 9\n"));
+        assert!(text.contains("storage_cache_evictions: 0\n"));
+        assert!(text.contains("cache_hit_ratio: 0.250000\n"));
         assert!(text.contains("update_total_nanos: n=4 "));
         assert!(text.contains(" p50="));
         assert!(text.contains(" p99="));
@@ -351,6 +384,8 @@ mod tests {
         assert!(json.contains("\"updates_processed\":42"));
         assert!(json.contains("\"gauges\":{"));
         assert!(json.contains("\"maintained_now\":7"));
+        assert!(json.contains("\"storage_cache_hits\":3"));
+        assert!(json.contains("\"cache_hit_ratio\":0.250000"));
         assert!(json.contains("\"histograms\":{"));
         assert!(json.contains("\"p99\":"));
         assert!(json.contains("\"encoded\":\"v1 "));
@@ -365,13 +400,16 @@ mod tests {
         assert!(prom.contains("# TYPE ctup_update_total_nanos histogram\n"));
         assert!(prom.contains("ctup_update_total_nanos_count{algorithm=\"opt\"} 4\n"));
         assert!(prom.contains("le=\"+Inf\"} 4\n"));
-        // Buckets are cumulative: the +Inf bucket equals the count and no
-        // bucket exceeds it.
+        assert!(prom.contains("# TYPE ctup_cache_hit_ratio gauge\n"));
+        assert!(prom.contains("ctup_cache_hit_ratio{algorithm=\"opt\"} 0.250000\n"));
+        // Every sample line must end in a number; the derived hit ratio is
+        // the one float series, so parse as f64 (integers parse too).
         for line in prom.lines() {
             assert!(!line.is_empty());
             if !line.starts_with('#') {
                 let (_, value) = line.rsplit_once(' ').expect("sample line");
-                value.parse::<u64>().expect("numeric sample");
+                let value: f64 = value.parse().expect("numeric sample");
+                assert!(value.is_finite());
             }
         }
     }

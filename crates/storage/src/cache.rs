@@ -1,0 +1,346 @@
+//! A bounded LRU cache over any [`PlaceStore`].
+//!
+//! The CTUP schemes re-read hot cells — the access loop keeps returning to
+//! the cells with the smallest lower bounds — and on the paged store each
+//! such read pays the full simulated-disk latency again. [`CachedStore`]
+//! keeps recently read cells resident, bounded by a page budget (weights
+//! come from [`PlaceStore::cell_pages`]), and serves repeats without
+//! touching the lower level. Hits, misses and evictions are counted in the
+//! wrapped store's [`StorageStats`]; hits do **not** count as
+//! `cell_reads`/`pages_read`/`io_nanos`, so a cached run visibly reads
+//! fewer bytes from the (simulated) disk.
+//!
+//! The cache is coherent by construction for the repo's read-only lower
+//! level; for stores whose records can change, [`CachedStore::invalidate_cell`]
+//! drops the stale copy (write-invalidation) and
+//! [`CachedStore::invalidate_all`] empties the cache (e.g. after restoring
+//! a checkpoint over rewritten pages).
+
+use crate::error::StorageError;
+use crate::place::PlaceRecord;
+use crate::stats::StorageStats;
+use crate::store::PlaceStore;
+use ctup_spatial::{CellId, Grid};
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One resident cell: its decoded records, page weight, and the recency
+/// tick under which it is indexed.
+struct Entry {
+    records: Vec<PlaceRecord>,
+    pages: u64,
+    tick: u64,
+}
+
+/// Mutable cache state behind one mutex: the resident entries keyed by
+/// cell index, a recency index (oldest tick first, popped for eviction),
+/// and the running page total.
+#[derive(Default)]
+struct State {
+    entries: HashMap<usize, Entry>,
+    recency: BTreeMap<u64, usize>,
+    used_pages: u64,
+    next_tick: u64,
+}
+
+impl State {
+    fn touch(&mut self, cell_idx: usize) -> Option<Vec<PlaceRecord>> {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let entry = self.entries.get_mut(&cell_idx)?;
+        self.recency.remove(&entry.tick);
+        entry.tick = tick;
+        self.recency.insert(tick, cell_idx);
+        Some(entry.records.clone())
+    }
+
+    fn remove(&mut self, cell_idx: usize) {
+        if let Some(entry) = self.entries.remove(&cell_idx) {
+            self.recency.remove(&entry.tick);
+            self.used_pages = self.used_pages.saturating_sub(entry.pages);
+        }
+    }
+
+    /// Evicts least-recently-used entries until `used_pages <= capacity`.
+    /// Returns how many entries were evicted.
+    fn evict_to(&mut self, capacity: u64) -> u64 {
+        let mut evicted = 0;
+        while self.used_pages > capacity {
+            let Some((&tick, &cell_idx)) = self.recency.iter().next() else {
+                break;
+            };
+            self.recency.remove(&tick);
+            if let Some(entry) = self.entries.remove(&cell_idx) {
+                self.used_pages = self.used_pages.saturating_sub(entry.pages);
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A bounded LRU cell-read cache wrapping another [`PlaceStore`].
+///
+/// Capacity is expressed in pages; a capacity of zero disables the cache
+/// entirely (every read passes straight through, and no cache counters
+/// move). The wrapper shares the inner store's [`StorageStats`], so
+/// existing reporting picks up cached runs without rewiring.
+pub struct CachedStore {
+    inner: Arc<dyn PlaceStore>,
+    capacity_pages: u64,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for CachedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedStore")
+            .field("capacity_pages", &self.capacity_pages)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CachedStore {
+    /// Wraps `inner` with a cache holding at most `capacity_pages` pages of
+    /// decoded cells. Zero disables caching.
+    pub fn new(inner: Arc<dyn PlaceStore>, capacity_pages: u64) -> Self {
+        CachedStore {
+            inner,
+            capacity_pages,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// The configured capacity in pages (zero means disabled).
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// Pages currently resident.
+    pub fn resident_pages(&self) -> u64 {
+        self.lock_state().used_pages
+    }
+
+    /// Drops the cached copy of `cell`, if any — the write-invalidation
+    /// hook: call after the lower-level records of `cell` change.
+    pub fn invalidate_cell(&self, cell: CellId) {
+        self.lock_state().remove(cell.index());
+    }
+
+    /// Empties the cache (e.g. after a bulk rewrite of the lower level).
+    pub fn invalidate_all(&self) {
+        let mut state = self.lock_state();
+        state.entries.clear();
+        state.recency.clear();
+        state.used_pages = 0;
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        // A poisoned cache mutex only means another thread panicked between
+        // pure map operations; the state is still structurally sound, so
+        // recover it rather than propagate the panic.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl PlaceStore for CachedStore {
+    fn grid(&self) -> &Grid {
+        self.inner.grid()
+    }
+
+    fn num_places(&self) -> usize {
+        self.inner.num_places()
+    }
+
+    fn read_cell(&self, cell: CellId) -> Result<Cow<'_, [PlaceRecord]>, StorageError> {
+        if self.capacity_pages == 0 {
+            return self.inner.read_cell(cell);
+        }
+        let stats = self.inner.stats();
+        if let Some(records) = self.lock_state().touch(cell.index()) {
+            stats.record_cache_hit();
+            return Ok(Cow::Owned(records));
+        }
+        // Miss: read outside the lock so concurrent readers of other cells
+        // are not serialized behind the (simulated) disk latency.
+        stats.record_cache_miss();
+        let records = self.inner.read_cell(cell)?.into_owned();
+        let pages = self.inner.cell_pages(cell);
+        if pages <= self.capacity_pages {
+            let mut state = self.lock_state();
+            state.remove(cell.index());
+            let tick = state.next_tick;
+            state.next_tick += 1;
+            state.recency.insert(tick, cell.index());
+            state.entries.insert(
+                cell.index(),
+                Entry {
+                    records: records.clone(),
+                    pages,
+                    tick,
+                },
+            );
+            state.used_pages += pages;
+            let evicted = state.evict_to(self.capacity_pages);
+            drop(state);
+            for _ in 0..evicted {
+                stats.record_cache_eviction();
+            }
+        }
+        Ok(Cow::Owned(records))
+    }
+
+    fn cell_extent_margin(&self, cell: CellId) -> f64 {
+        self.inner.cell_extent_margin(cell)
+    }
+
+    fn cell_pages(&self, cell: CellId) -> u64 {
+        self.inner.cell_pages(cell)
+    }
+
+    fn stats(&self) -> &StorageStats {
+        self.inner.stats()
+    }
+
+    fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord)) -> Result<(), StorageError> {
+        self.inner.for_each_place(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memstore::CellLocalStore;
+    use crate::place::PlaceId;
+    use ctup_spatial::Point;
+
+    fn store_with_grid(n: u32) -> Arc<dyn PlaceStore> {
+        let grid = Grid::unit_square(n);
+        let step = 1.0 / f64::from(n);
+        let mut places = Vec::new();
+        let mut id = 0;
+        for gx in 0..n {
+            for gy in 0..n {
+                let x = (f64::from(gx) + 0.5) * step;
+                let y = (f64::from(gy) + 0.5) * step;
+                places.push(PlaceRecord::point(PlaceId(id), Point::new(x, y), 1));
+                id += 1;
+            }
+        }
+        Arc::new(CellLocalStore::build(grid, places))
+    }
+
+    fn cell(store: &dyn PlaceStore, x: u32, y: u32) -> CellId {
+        store.grid().cell_at(x, y)
+    }
+
+    #[test]
+    fn repeat_reads_hit_and_skip_lower_level() {
+        let inner = store_with_grid(2);
+        let cached = CachedStore::new(inner, 4);
+        let c = cell(&cached, 0, 0);
+        let first = cached.read_cell(c).expect("read").into_owned();
+        let again = cached.read_cell(c).expect("read").into_owned();
+        assert_eq!(first, again);
+        let snap = cached.stats().snapshot();
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_hits, 1);
+        // Only the miss touched the lower level.
+        assert_eq!(snap.cell_reads, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let inner = store_with_grid(2);
+        let cached = CachedStore::new(inner, 0);
+        let c = cell(&cached, 1, 1);
+        cached.read_cell(c).expect("read");
+        cached.read_cell(c).expect("read");
+        let snap = cached.stats().snapshot();
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_misses, 0);
+        assert_eq!(snap.cell_reads, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let inner = store_with_grid(2);
+        // Every cell weighs one page; room for two.
+        let cached = CachedStore::new(inner, 2);
+        let a = cell(&cached, 0, 0);
+        let b = cell(&cached, 1, 0);
+        let c = cell(&cached, 0, 1);
+        cached.read_cell(a).expect("read"); // resident: a
+        cached.read_cell(b).expect("read"); // resident: a b
+        cached.read_cell(a).expect("read"); // hit, a now most recent
+        cached.read_cell(c).expect("read"); // evicts b (LRU); resident: a c
+        cached.read_cell(a).expect("read"); // still a hit
+        cached.read_cell(b).expect("read"); // miss again; evicts c (LRU)
+        let snap = cached.stats().snapshot();
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 4);
+        assert_eq!(snap.cache_evictions, 2);
+        assert_eq!(cached.resident_pages(), 2);
+    }
+
+    #[test]
+    fn invalidation_forces_reread() {
+        let inner = store_with_grid(2);
+        let cached = CachedStore::new(inner, 4);
+        let a = cell(&cached, 0, 0);
+        let b = cell(&cached, 1, 0);
+        cached.read_cell(a).expect("read");
+        cached.read_cell(b).expect("read");
+        cached.invalidate_cell(a);
+        assert_eq!(cached.resident_pages(), 1);
+        cached.read_cell(a).expect("read"); // miss after invalidation
+        cached.read_cell(b).expect("read"); // untouched entry still hits
+        cached.invalidate_all();
+        assert_eq!(cached.resident_pages(), 0);
+        cached.read_cell(b).expect("read"); // miss after full flush
+        let snap = cached.stats().snapshot();
+        assert_eq!(snap.cache_misses, 4);
+        assert_eq!(snap.cache_hits, 1);
+    }
+
+    #[test]
+    fn oversized_cells_pass_through_uncached() {
+        struct Fat(Arc<dyn PlaceStore>);
+        impl PlaceStore for Fat {
+            fn grid(&self) -> &Grid {
+                self.0.grid()
+            }
+            fn num_places(&self) -> usize {
+                self.0.num_places()
+            }
+            fn read_cell(&self, cell: CellId) -> Result<Cow<'_, [PlaceRecord]>, StorageError> {
+                self.0.read_cell(cell)
+            }
+            fn cell_extent_margin(&self, cell: CellId) -> f64 {
+                self.0.cell_extent_margin(cell)
+            }
+            fn cell_pages(&self, _cell: CellId) -> u64 {
+                10
+            }
+            fn stats(&self) -> &StorageStats {
+                self.0.stats()
+            }
+            fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord)) -> Result<(), StorageError> {
+                self.0.for_each_place(f)
+            }
+        }
+        let cached = CachedStore::new(Arc::new(Fat(store_with_grid(2))), 5);
+        let c = cached.grid().cell_at(0, 0);
+        cached.read_cell(c).expect("read");
+        cached.read_cell(c).expect("read");
+        let snap = cached.stats().snapshot();
+        // Both reads are misses: a 10-page cell never fits a 5-page budget.
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_evictions, 0);
+        assert_eq!(cached.resident_pages(), 0);
+    }
+}

@@ -273,6 +273,10 @@ impl PlaceStore for PagedDiskStore {
         self.margins[cell.index()]
     }
 
+    fn cell_pages(&self, cell: CellId) -> u64 {
+        u64::from(self.directory[cell.index()].num_pages).max(1)
+    }
+
     fn stats(&self) -> &StorageStats {
         &self.stats
     }

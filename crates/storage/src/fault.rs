@@ -305,6 +305,10 @@ impl PlaceStore for FaultDisk {
         self.inner.cell_extent_margin(cell)
     }
 
+    fn cell_pages(&self, cell: CellId) -> u64 {
+        self.inner.cell_pages(cell)
+    }
+
     fn stats(&self) -> &StorageStats {
         self.inner.stats()
     }

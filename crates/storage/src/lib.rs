@@ -13,6 +13,8 @@
 //! * [`FaultDisk`] — a seeded fault injector over the paged store
 //!   (transient read errors, torn writes, bit flips, latency spikes) with
 //!   a retry-with-backoff [`RetryPolicy`];
+//! * [`CachedStore`] — a bounded LRU cell-read cache over any store, with
+//!   hit/miss/eviction accounting and write-invalidation hooks;
 //! * [`snapshot`] — a tiny text format to persist generated data sets.
 //!
 //! Reads are fallible: page frames carry a CRC32, so torn writes and bit
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checksum;
 pub mod diskstore;
 pub mod error;
@@ -32,6 +35,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod store;
 
+pub use cache::CachedStore;
 pub use checksum::crc32;
 pub use diskstore::{decode_page, encode_pages, PagedDiskStore, FRAME_HEADER, PAGE_SIZE};
 pub use error::{CorruptKind, RecordError, StorageError};

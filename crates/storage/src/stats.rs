@@ -19,6 +19,9 @@ pub struct StorageStats {
     read_retries: AtomicU64,
     read_giveups: AtomicU64,
     corrupt_pages: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
     read_latency: AtomicHistogram,
 }
 
@@ -62,6 +65,23 @@ impl StorageStats {
         self.corrupt_pages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one cell read served from the cell-read cache (no lower-level
+    /// I/O performed, so `cell_reads` et al. are untouched).
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cell read that missed the cache and went to the lower
+    /// level.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cached cell evicted to stay within the page budget.
+    pub fn record_cache_eviction(&self) {
+        self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current values as a plain snapshot.
     pub fn snapshot(&self) -> StorageStatsSnapshot {
         StorageStatsSnapshot {
@@ -72,6 +92,9 @@ impl StorageStats {
             read_retries: self.read_retries.load(Ordering::Relaxed),
             read_giveups: self.read_giveups.load(Ordering::Relaxed),
             corrupt_pages: self.corrupt_pages.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -84,6 +107,9 @@ impl StorageStats {
         self.read_retries.store(0, Ordering::Relaxed);
         self.read_giveups.store(0, Ordering::Relaxed);
         self.corrupt_pages.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
         self.read_latency.reset();
     }
 }
@@ -105,6 +131,12 @@ pub struct StorageStatsSnapshot {
     pub read_giveups: u64,
     /// Pages rejected by checksum/frame validation.
     pub corrupt_pages: u64,
+    /// Cell reads served from the cell-read cache (no lower-level I/O).
+    pub cache_hits: u64,
+    /// Cell reads that missed the cache and paid the lower-level cost.
+    pub cache_misses: u64,
+    /// Cached cells evicted to stay within the cache's page budget.
+    pub cache_evictions: u64,
 }
 
 impl StorageStatsSnapshot {
@@ -118,7 +150,20 @@ impl StorageStatsSnapshot {
             read_retries: self.read_retries.saturating_sub(earlier.read_retries),
             read_giveups: self.read_giveups.saturating_sub(earlier.read_giveups),
             corrupt_pages: self.corrupt_pages.saturating_sub(earlier.corrupt_pages),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
         }
+    }
+
+    /// Fraction of cache-consulting reads that hit, or zero when the cache
+    /// was never consulted (disabled or no reads yet).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let consulted = self.cache_hits + self.cache_misses;
+        if consulted == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / consulted as f64
     }
 }
 
@@ -135,6 +180,10 @@ mod tests {
         s.record_retry();
         s.record_giveup();
         s.record_corrupt_page();
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_cache_miss();
+        s.record_cache_eviction();
         let snap = s.snapshot();
         assert_eq!(snap.cell_reads, 2);
         assert_eq!(snap.records_read, 15);
@@ -143,6 +192,9 @@ mod tests {
         assert_eq!(snap.read_retries, 2);
         assert_eq!(snap.read_giveups, 1);
         assert_eq!(snap.corrupt_pages, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.cache_evictions, 1);
         s.reset();
         assert_eq!(s.snapshot(), StorageStatsSnapshot::default());
     }
@@ -169,13 +221,28 @@ mod tests {
         let a = s.snapshot();
         s.record_cell_read(1, 1, 1);
         s.record_giveup();
+        s.record_cache_hit();
+        s.record_cache_eviction();
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.cell_reads, 1);
         assert_eq!(d.records_read, 1);
         assert_eq!(d.read_retries, 0);
         assert_eq!(d.read_giveups, 1);
+        assert_eq!(d.cache_hits, 1);
+        assert_eq!(d.cache_evictions, 1);
         // Saturation instead of wrap on inverted order.
         assert_eq!(a.since(&b).cell_reads, 0);
+    }
+
+    #[test]
+    fn cache_hit_ratio_handles_zero_and_mixed() {
+        assert!(StorageStatsSnapshot::default().cache_hit_ratio().abs() < 1e-12);
+        let snap = StorageStatsSnapshot {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..StorageStatsSnapshot::default()
+        };
+        assert!((snap.cache_hit_ratio() - 0.75).abs() < 1e-12);
     }
 }

@@ -35,6 +35,13 @@ pub trait PlaceStore: Send + Sync {
     /// (see [`PlaceRecord::extent_margin`]); zero for point data sets.
     fn cell_extent_margin(&self, cell: CellId) -> f64;
 
+    /// Lower-level footprint of `cell` in pages — the weight a cell-read
+    /// cache charges for keeping it resident. Unpaged stores count every
+    /// cell as one page.
+    fn cell_pages(&self, _cell: CellId) -> u64 {
+        1
+    }
+
     /// The access counters.
     fn stats(&self) -> &StorageStats;
 

@@ -189,11 +189,17 @@ mod tests {
     #[test]
     fn default_config_points_at_real_files() {
         let cfg = LintConfig::default();
-        assert_eq!(cfg.metrics.len(), 3);
+        assert_eq!(cfg.metrics.len(), 4);
         assert!(cfg
             .metrics
             .iter()
             .any(|m| m.struct_file == "crates/storage/src/stats.rs"));
+        // The storage snapshot is covered twice: the chaos printout and the
+        // unified report renderer must each mention every field.
+        assert!(cfg
+            .metrics
+            .iter()
+            .any(|m| m.report_files == vec!["crates/core/src/report.rs".to_string()]));
         assert!(cfg
             .metrics
             .iter()

@@ -395,6 +395,15 @@ impl MetricsCoverage {
                 structs: vec!["StorageStatsSnapshot".into()],
                 report_files: vec!["crates/cli/src/commands.rs".into()],
             },
+            // The unified snapshot renderer must also expose every storage
+            // counter (cache hits/misses/evictions included), so a field
+            // added to the snapshot cannot silently drop out of `ctup
+            // report` even while the chaos printout still mentions it.
+            MetricsCoverage {
+                struct_file: "crates/storage/src/stats.rs".into(),
+                structs: vec!["StorageStatsSnapshot".into()],
+                report_files: vec!["crates/core/src/report.rs".into()],
+            },
             MetricsCoverage {
                 struct_file: "crates/obs/src/latency.rs".into(),
                 structs: vec!["LatencySnapshot".into()],

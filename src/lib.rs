@@ -27,6 +27,7 @@ pub mod prelude {
         naive::{NaiveIncremental, NaiveRecompute},
         opt::OptCtup,
         oracle::Oracle,
+        parallel::ShardedCtup,
         server::{MonitorEvent, Server},
         types::{LocationUpdate, Place, PlaceId, Safety, TopKEntry, Unit, UnitId},
     };
@@ -34,5 +35,5 @@ pub mod prelude {
         network::RoadNetwork, objects::MovingObjectSim, places::PlaceGenerator, workload::Workload,
     };
     pub use ctup_spatial::{CellId, Circle, Grid, Point, Rect, Relation};
-    pub use ctup_storage::{CellLocalStore, PlaceStore, StorageStats};
+    pub use ctup_storage::{CachedStore, CellLocalStore, PlaceStore, StorageStats};
 }
