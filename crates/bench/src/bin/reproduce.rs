@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [--quick] [--out FILE] [--sharded-out FILE] [experiment ...]
+//! reproduce [--quick] [--out FILE] [--sharded-out FILE] [--overload-out FILE] [experiment ...]
 //! ```
 //!
 //! With no experiment arguments, runs everything. Experiment names:
@@ -17,6 +17,12 @@
 //! matrix (1/2/4/8 shards × cell cache off/on over a 20us/page simulated
 //! disk) — the machine-readable form of the `shard_scaling` experiment
 //! (BENCH_PR5.json in this repo).
+//!
+//! `--overload-out FILE` runs the networked overload sweep — a paced
+//! feed client offering 0.5×/1×/2×/4× the calibrated engine capacity
+//! through the real TCP front door — and writes accepted/shed
+//! throughput and admission-wait quantiles per load point as JSON
+//! (BENCH_PR6.json in this repo).
 
 use ctup_bench::experiments::{self, Effort, Table};
 use ctup_bench::harness::{
@@ -60,6 +66,7 @@ fn main() {
     };
     let mut out_file: Option<String> = None;
     let mut sharded_out_file: Option<String> = None;
+    let mut overload_out_file: Option<String> = None;
     let mut selected: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -76,6 +83,13 @@ fn main() {
                 Some(path) => sharded_out_file = Some(path.clone()),
                 None => {
                     eprintln!("--sharded-out requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--overload-out" => match iter.next() {
+                Some(path) => overload_out_file = Some(path.clone()),
+                None => {
+                    eprintln!("--overload-out requires a file path");
                     std::process::exit(2);
                 }
             },
@@ -150,5 +164,33 @@ fn main() {
             std::process::exit(1);
         }
         println!("sharded scaling snapshots written to {path}");
+    }
+    if let Some(path) = overload_out_file {
+        let mut config = ctup_core::net::overload::OverloadConfig::default();
+        if quick {
+            config.reports_per_point = 400;
+        }
+        let report = match ctup_core::net::overload::run_sweep(&config) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("overload sweep failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        for p in &report.points {
+            println!(
+                "  overload x{:.1}: offered {} accepted_hz {:.0} shed_hz {:.0} p99_wait {:.1}ms",
+                p.multiplier,
+                p.offered,
+                p.accepted_hz,
+                p.shed_hz,
+                p.p99_wait_nanos as f64 / 1e6
+            );
+        }
+        println!("overload sweep written to {path}");
     }
 }

@@ -1,5 +1,5 @@
 //! The CLI subcommands: `generate`, `run`, `resume`, `chaos`, `report`,
-//! `serve-metrics`.
+//! `serve-metrics`, `serve`, `feed`.
 
 use crate::args::{ArgError, Flags};
 use ctup_core::algorithm::{CtupAlgorithm, UpdateStats};
@@ -7,12 +7,18 @@ use ctup_core::checkpoint::Checkpoint;
 use ctup_core::config::{CtupConfig, QueryMode};
 use ctup_core::ingest::stamp_stream;
 use ctup_core::naive::{NaiveIncremental, NaiveRecompute};
+use ctup_core::net::{
+    ClientConfig, Conn, Dialer, EngineSink, FeedClient, IngestServer, NetServerConfig,
+    NetStatsSnapshot, PipelineSink, TcpDialer,
+};
 use ctup_core::report::Snapshot;
 use ctup_core::server::{MonitorEvent, Server};
 use ctup_core::supervisor::{ResilienceConfig, SupervisedPipeline};
 use ctup_core::types::{LocationUpdate, UnitId};
 use ctup_core::{BasicCtup, OptCtup, ShardedCtup};
-use ctup_mogen::{FaultPlan, PlaceGenConfig, PlaceGenerator, Workload, WorkloadParams};
+use ctup_mogen::{
+    ChaosStream, FaultPlan, NetFaultPlan, PlaceGenConfig, PlaceGenerator, Workload, WorkloadParams,
+};
 use ctup_obs::{summarize, LatencySnapshot, MetricsServer};
 use ctup_spatial::{Grid, Point};
 use ctup_storage::{
@@ -927,6 +933,377 @@ pub fn serve_metrics(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliEr
     Ok(())
 }
 
+/// Dials through a [`ChaosStream`] so `ctup feed` can rehearse faulty
+/// links: each attempt's behaviour comes off the seeded plan.
+struct ChaosDialer {
+    addr: std::net::SocketAddr,
+    plan: NetFaultPlan,
+    attempt: u64,
+}
+
+impl Dialer for ChaosDialer {
+    fn dial(&mut self) -> std::io::Result<Box<dyn Conn>> {
+        let script = self.plan.script(self.attempt);
+        self.attempt += 1;
+        let stream =
+            std::net::TcpStream::connect_timeout(&self.addr, std::time::Duration::from_secs(2))?;
+        stream.set_read_timeout(Some(std::time::Duration::from_millis(25)))?;
+        stream.set_write_timeout(Some(std::time::Duration::from_millis(25)))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Box::new(ChaosStream::new(stream, script)))
+    }
+}
+
+/// Prints the front door's full accounting: every [`NetStatsSnapshot`]
+/// counter and gauge, so nothing the door does is invisible from the CLI.
+fn report_net(n: &NetStatsSnapshot, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "net counters:").map_err(|e| io_err("stdout", e))?;
+    for (name, value) in [
+        ("connections accepted", n.connections_accepted),
+        ("connections rejected", n.connections_rejected),
+        ("sessions opened", n.sessions_opened),
+        ("sessions resumed", n.sessions_resumed),
+        ("sessions evicted", n.sessions_evicted),
+        ("frames received", n.frames_received),
+        ("frames malformed", n.frames_malformed),
+        ("partial disconnects", n.partial_disconnects),
+        ("reports accepted", n.reports_accepted),
+        ("replays suppressed", n.replays_suppressed),
+        ("shed: queue full", n.shed_queue_full),
+        ("shed: deadline", n.shed_deadline_exceeded),
+        ("shed: session quota", n.shed_session_quota),
+        ("shed: engine degraded", n.shed_engine_degraded),
+        ("shed total", n.shed_total()),
+        ("degraded entries", n.degraded_entries),
+        ("snapshots pushed", n.snapshots_pushed),
+        ("queue depth", n.queue_depth),
+        ("sessions active", n.sessions_active),
+        ("degraded", u64::from(n.degraded)),
+    ] {
+        writeln!(out, "  {name:<22} {value}").map_err(|e| io_err("stdout", e))?;
+    }
+    if !n.ingest_wait_nanos.is_empty() {
+        writeln!(
+            out,
+            "  {:<22} {}",
+            "ingest wait",
+            summarize(&n.ingest_wait_nanos)
+        )
+        .map_err(|e| io_err("stdout", e))?;
+    }
+    Ok(())
+}
+
+/// `ctup serve` — stand up the networked ingest front door: a sessioned
+/// wire-protocol server feeding a supervised OptCTUP pipeline, with the
+/// metrics endpoint (`/metrics` + `/healthz`) alongside. `--updates N`
+/// first drives N workload updates through a loopback feed client, so the
+/// served numbers (and the exactly-once accounting printed at shutdown)
+/// are non-trivial; `--serve-secs 0` exits right after.
+pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["no-doo"])?;
+    flags.reject_unknown(&[
+        "units",
+        "places",
+        "granularity",
+        "seed",
+        "k",
+        "threshold",
+        "delta",
+        "radius",
+        "no-doo",
+        "updates",
+        "addr",
+        "metrics-addr",
+        "serve-secs",
+        "queue-capacity",
+        "session-quota",
+        "ingest-deadline-ms",
+        "snapshot-push-ms",
+        "kill-at",
+    ])?;
+    let params = common_params(&flags)?;
+    let updates: usize = flags.get("updates", 0)?;
+    let addr = flags.get_str("addr").unwrap_or("127.0.0.1:9710");
+    let metrics_addr = flags.get_str("metrics-addr").unwrap_or("127.0.0.1:9184");
+    let serve_secs: u64 = flags.get("serve-secs", 300)?;
+    let kill_at: u64 = flags.get("kill-at", 0)?;
+
+    let mut net_config = NetServerConfig::default();
+    net_config.admission.queue_capacity = flags.get("queue-capacity", 4096)?;
+    net_config.admission = net_config.admission.normalized();
+    net_config.session.session_quota = flags.get("session-quota", 256)?;
+    net_config.admission.ingest_deadline =
+        std::time::Duration::from_millis(flags.get("ingest-deadline-ms", 2_000)?);
+    net_config.snapshot_push_interval =
+        std::time::Duration::from_millis(flags.get("snapshot-push-ms", 250)?);
+
+    let mut workload = Workload::generate(WorkloadParams {
+        num_units: params.units,
+        places: PlaceGenConfig {
+            count: params.places,
+            ..PlaceGenConfig::default()
+        },
+        seed: params.seed,
+        ..WorkloadParams::default()
+    });
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(params.granularity),
+        workload.places_vec(),
+    ));
+    let unit_positions = workload.unit_positions();
+    let monitor =
+        OptCtup::new(params.config, Arc::clone(&store), &unit_positions).map_err(init_err)?;
+    let initial = monitor.result();
+    let resilience = ResilienceConfig {
+        kill_at: (kill_at > 0).then_some(kill_at),
+        ..ResilienceConfig::default()
+    };
+    let pipeline = SupervisedPipeline::spawn(monitor, resilience, 4096);
+    let sink = Arc::new(PipelineSink::new(pipeline, initial));
+    let engine: Arc<dyn EngineSink> = Arc::clone(&sink) as Arc<dyn EngineSink>;
+    let server = IngestServer::spawn(addr, net_config, engine)
+        .map_err(|e| io_err(&format!("binding ingest address {addr}"), e))?;
+    let metrics = MetricsServer::bind(metrics_addr)
+        .map_err(|e| io_err(&format!("binding metrics address {metrics_addr}"), e))?;
+    writeln!(
+        out,
+        "ingest front door at {} | metrics at http://{}/metrics | health at /healthz",
+        server.local_addr(),
+        metrics.local_addr(),
+    )
+    .map_err(|e| io_err("stdout", e))?;
+    out.flush().map_err(|e| io_err("stdout", e))?;
+
+    if updates > 0 {
+        let clean: Vec<LocationUpdate> = workload
+            .next_updates(updates)
+            .into_iter()
+            .map(|u| LocationUpdate {
+                unit: UnitId(u.object),
+                new: u.to,
+            })
+            .collect();
+        let mut client = FeedClient::new(
+            Box::new(TcpDialer::new(server.local_addr())),
+            ClientConfig::default(),
+        );
+        for &report in &stamp_stream(clean) {
+            client.enqueue(report);
+        }
+        client
+            .drive(std::time::Duration::from_secs(120))
+            .map_err(|e| CliError(format!("loopback feed: {e}")))?;
+        let stats = client.finish();
+        writeln!(
+            out,
+            "loopback feed: {} offered, {} acked, {} shed, {} reconnects",
+            stats.enqueued,
+            stats.acked,
+            stats.shed_total(),
+            stats.reconnects,
+        )
+        .map_err(|e| io_err("stdout", e))?;
+    }
+
+    // Serve loop: refresh the exposition every second — the unified
+    // snapshot (storage + net sections live; algorithm metrics arrive at
+    // shutdown) plus the health body with the degraded flag.
+    let started = std::time::Instant::now();
+    loop {
+        let snapshot = Snapshot::new(
+            "opt-net",
+            ctup_core::metrics::Metrics::default(),
+            store.stats().snapshot(),
+            LatencySnapshot::default(),
+        )
+        .with_net(server.stats().snapshot());
+        metrics.publisher().publish(snapshot.render_prom());
+        metrics.publisher().publish_health(server.health_body());
+        if started.elapsed() >= std::time::Duration::from_secs(serve_secs) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(
+            1_000.min(serve_secs.saturating_mul(1_000)),
+        ));
+    }
+
+    let net = server.shutdown();
+    metrics.shutdown();
+    report_net(&net, out)?;
+    // The sink's only other holders were the server threads; shutdown()
+    // joined them, but a straggling handler may still be dropping its
+    // clone, so wait bounded rather than spinning forever.
+    let mut sink = sink;
+    let unwrap_deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let pipeline = loop {
+        match Arc::try_unwrap(sink) {
+            Ok(inner) => break inner.into_pipeline(),
+            Err(back) => {
+                if std::time::Instant::now() >= unwrap_deadline {
+                    return Err(CliError(
+                        "a connection handler failed to release the engine sink".into(),
+                    ));
+                }
+                sink = back;
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    };
+    let report = pipeline.shutdown();
+    let r = &report.metrics.resilience;
+    writeln!(
+        out,
+        "exactly-once: {} accepted at the door, {} applied by the engine, {} duplicates dropped at the gate",
+        net.reports_accepted, report.updates_processed, r.duplicates_dropped,
+    )
+    .map_err(|e| io_err("stdout", e))?;
+    if report.killed {
+        writeln!(
+            out,
+            "engine was killed (--kill-at); the door degraded gracefully"
+        )
+        .map_err(|e| io_err("stdout", e))?;
+    }
+    writeln!(out, "final result:").map_err(|e| io_err("stdout", e))?;
+    let mut text = String::new();
+    for entry in &report.final_result {
+        let _ = writeln!(
+            text,
+            "  place {:>6}  safety {:>4}",
+            entry.place.0, entry.safety
+        );
+    }
+    write!(out, "{text}").map_err(|e| io_err("stdout", e))?;
+    Ok(())
+}
+
+/// `ctup feed` — drive a deterministic workload into a running `ctup
+/// serve` instance over the wire protocol, optionally through scripted
+/// link faults (refused dials, mid-frame deaths, slowloris trickles) to
+/// rehearse reconnect-and-replay against a live server.
+pub fn feed(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    flags.reject_unknown(&[
+        "addr",
+        "updates",
+        "units",
+        "places",
+        "granularity",
+        "seed",
+        "rate-hz",
+        "max-in-flight",
+        "max-attempts",
+        "refuse-per-mille",
+        "die-per-mille",
+        "slow-per-mille",
+        "net-seed",
+        "deadline-secs",
+    ])?;
+    let addr_raw = flags.get_str("addr").unwrap_or("127.0.0.1:9710");
+    let addr: std::net::SocketAddr = addr_raw
+        .parse()
+        .map_err(|e| CliError(format!("bad --addr {addr_raw:?}: {e}")))?;
+    let updates: usize = flags.get("updates", 1_000)?;
+    let units: u32 = flags.get("units", 150)?;
+    let places: u32 = flags.get("places", 15_000)?;
+    let granularity: u32 = flags.get("granularity", 10)?;
+    let seed: u64 = flags.get("seed", 0xC7)?;
+    let rate_hz: f64 = flags.get("rate-hz", 0.0)?;
+    let deadline_secs: u64 = flags.get("deadline-secs", 120)?;
+
+    let mut client_config = ClientConfig::default();
+    client_config.max_in_flight = flags.get("max-in-flight", 128)?;
+    client_config.backoff.max_attempts = flags.get("max-attempts", 8)?;
+    let plan = NetFaultPlan {
+        seed: flags.get("net-seed", 0xc4a0_5badu64)?,
+        refuse_per_mille: flags.get("refuse-per-mille", 0)?,
+        die_per_mille: flags.get("die-per-mille", 0)?,
+        slow_per_mille: flags.get("slow-per-mille", 0)?,
+        ..NetFaultPlan::default()
+    };
+
+    // The same workload parameters as the server's: the gate validates
+    // unit ids and the space, so a mismatched feed is rejected, loudly.
+    let mut workload = Workload::generate(WorkloadParams {
+        num_units: units,
+        places: PlaceGenConfig {
+            count: places,
+            ..PlaceGenConfig::default()
+        },
+        seed,
+        ..WorkloadParams::default()
+    });
+    let _ = granularity; // the feeder never touches the store
+    let clean: Vec<LocationUpdate> = workload
+        .next_updates(updates)
+        .into_iter()
+        .map(|u| LocationUpdate {
+            unit: UnitId(u.object),
+            new: u.to,
+        })
+        .collect();
+    let stamped = stamp_stream(clean);
+
+    let mut client = FeedClient::new(
+        Box::new(ChaosDialer {
+            addr,
+            plan,
+            attempt: 0,
+        }),
+        client_config,
+    );
+    let overall = std::time::Duration::from_secs(deadline_secs);
+    if rate_hz > 0.0 {
+        // Paced submission: enqueue on schedule, interleaving protocol
+        // work, then drain whatever is still outstanding.
+        let gap = std::time::Duration::from_secs_f64(1.0 / rate_hz);
+        let started = std::time::Instant::now();
+        for (i, &report) in stamped.iter().enumerate() {
+            let due = started + gap.mul_f64(i as f64);
+            while std::time::Instant::now() < due {
+                client
+                    .step(std::time::Duration::from_millis(250))
+                    .map_err(|e| CliError(format!("feeding {addr}: {e}")))?;
+            }
+            client.enqueue(report);
+        }
+    } else {
+        for &report in &stamped {
+            client.enqueue(report);
+        }
+    }
+    client
+        .drive(overall)
+        .map_err(|e| CliError(format!("feeding {addr}: {e}")))?;
+    let stats = client.finish();
+
+    let mut by_reason = [0u64; 4];
+    for shed in &stats.sheds {
+        by_reason[usize::from(shed.reason.code())] += 1;
+    }
+    writeln!(
+        out,
+        "feed: {} offered, {} acked, {} shed, {} reconnects, {} frames sent, {} snapshots received",
+        stats.enqueued,
+        stats.acked,
+        stats.shed_total(),
+        stats.reconnects,
+        stats.frames_sent,
+        stats.snapshots_received,
+    )
+    .map_err(|e| io_err("stdout", e))?;
+    if stats.shed_total() > 0 {
+        writeln!(
+            out,
+            "sheds by reason: {} queue full, {} deadline, {} session quota, {} engine degraded",
+            by_reason[0], by_reason[1], by_reason[2], by_reason[3],
+        )
+        .map_err(|e| io_err("stdout", e))?;
+    }
+    Ok(())
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "ctup — Continuous Top-k Unsafe Places monitoring
@@ -947,6 +1324,13 @@ USAGE:
                 [--flight-recorder N]
   ctup report   [same workload flags] [--format text|json|prom] [--out FILE]
   ctup serve-metrics [same workload flags] [--addr HOST:PORT] [--serve-secs N]
+  ctup serve    [same workload flags] [--addr HOST:PORT] [--metrics-addr HOST:PORT]
+                [--serve-secs N] [--updates N] [--kill-at N] [--queue-capacity N]
+                [--session-quota N] [--ingest-deadline-ms N] [--snapshot-push-ms N]
+  ctup feed     [--addr HOST:PORT] [--updates N] [--units N] [--places N] [--seed S]
+                [--rate-hz F] [--max-in-flight N] [--max-attempts N] [--net-seed S]
+                [--refuse-per-mille N] [--die-per-mille N] [--slow-per-mille N]
+                [--deadline-secs N]
 
 The workload is deterministic per --seed: `run-opt --updates N --checkpoint-out cp`
 followed by `resume --checkpoint cp --skip N` continues the same stream.
@@ -973,7 +1357,17 @@ dumps its last --flight-recorder events as JSON Lines next to the slots.
 `report` emits the unified metrics snapshot (counters, gauges and latency
 histograms with p50/p90/p99/p999) as text, JSON, or Prometheus exposition
 text; `serve-metrics` serves the same snapshot on http://ADDR/metrics for
-Prometheus to scrape."
+Prometheus to scrape.
+`serve` opens the networked ingest front door: a sessioned wire-protocol
+server feeding a supervised OptCTUP pipeline, with bounded admission queues,
+typed load shedding, slow-client eviction and a watchdog that degrades to
+serving the last-good top-k if the engine dies. /metrics and /healthz are
+served on --metrics-addr; `--updates N` first self-feeds N workload updates
+over loopback so the counters are non-trivial. `feed` drives the same
+deterministic workload into a running server from another process, optionally
+through scripted link faults (--refuse/--die/--slow-per-mille, seeded by
+--net-seed) to rehearse reconnect-and-replay; use the same --units/--places/
+--seed as the server so the ingest gate accepts the stream."
 }
 
 #[cfg(test)]
@@ -1575,5 +1969,78 @@ mod tests {
             out.contains("serving Prometheus metrics at http://127.0.0.1:"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn serve_loopback_feed_accounts_exactly_once() {
+        let out = run_cmd(
+            serve,
+            &[
+                "--units",
+                "25",
+                "--places",
+                "1500",
+                "--updates",
+                "200",
+                "--serve-secs",
+                "0",
+                "--addr",
+                "127.0.0.1:0",
+                "--metrics-addr",
+                "127.0.0.1:0",
+            ],
+        )
+        .expect("serve");
+        assert!(out.contains("ingest front door at 127.0.0.1:"), "{out}");
+        assert!(out.contains("health at /healthz"), "{out}");
+        assert!(
+            out.contains("loopback feed: 200 offered, 200 acked, 0 shed"),
+            "{out}"
+        );
+        assert_eq!(counter(&out, "reports accepted"), 200, "{out}");
+        assert_eq!(counter(&out, "shed total"), 0, "{out}");
+        assert_eq!(counter(&out, "sessions opened"), 1, "{out}");
+        assert!(
+            out.contains("exactly-once: 200 accepted at the door, 200 applied by the engine"),
+            "{out}"
+        );
+        assert!(out.contains("final result:"), "{out}");
+    }
+
+    #[test]
+    fn feed_drives_a_live_server_and_reports_accounting() {
+        let sink = Arc::new(ctup_core::net::CountingSink::default());
+        let engine: Arc<dyn EngineSink> = Arc::clone(&sink) as Arc<dyn EngineSink>;
+        let server = IngestServer::spawn("127.0.0.1:0", NetServerConfig::default(), engine)
+            .expect("spawn server");
+        let addr = server.local_addr().to_string();
+        let out = run_cmd(
+            feed,
+            &[
+                "--addr",
+                &addr,
+                "--updates",
+                "150",
+                "--units",
+                "25",
+                "--places",
+                "1500",
+            ],
+        )
+        .expect("feed");
+        assert!(
+            out.contains("feed: 150 offered, 150 acked, 0 shed, 0 reconnects"),
+            "{out}"
+        );
+        assert_eq!(sink.accepted(), 150);
+        let net = server.shutdown();
+        assert_eq!(net.reports_accepted, 150);
+        assert_eq!(net.shed_total(), 0);
+    }
+
+    #[test]
+    fn feed_rejects_bad_addr() {
+        let err = run_cmd(feed, &["--addr", "not-an-addr"]).expect_err("bad addr");
+        assert!(err.0.contains("bad --addr"), "{err}");
     }
 }

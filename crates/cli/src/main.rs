@@ -22,6 +22,8 @@ fn main() -> ExitCode {
         "chaos" => commands::chaos(rest, &mut stdout),
         "report" => commands::report(rest, &mut stdout),
         "serve-metrics" => commands::serve_metrics(rest, &mut stdout),
+        "serve" => commands::serve(rest, &mut stdout),
+        "feed" => commands::feed(rest, &mut stdout),
         "help" | "--help" | "-h" => {
             println!("{}", commands::usage());
             return ExitCode::SUCCESS;

@@ -65,6 +65,7 @@ pub mod lbdir;
 pub mod maintained;
 pub mod metrics;
 pub mod naive;
+pub mod net;
 pub mod opt;
 pub mod oracle;
 pub mod parallel;
@@ -84,6 +85,10 @@ pub use durable::DurableState;
 pub use ingest::{IngestConfig, IngestGate, RejectReason, StampedUpdate};
 pub use metrics::{Metrics, ResilienceStats};
 pub use naive::{NaiveIncremental, NaiveRecompute};
+pub use net::{
+    EngineSink, FeedClient, IngestServer, NetServerConfig, NetStatsSnapshot, PipelineSink,
+    ShedReason,
+};
 pub use opt::OptCtup;
 pub use oracle::Oracle;
 pub use parallel::ShardedCtup;

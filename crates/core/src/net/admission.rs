@@ -1,0 +1,276 @@
+//! The bounded admission queue between the network and the engine.
+//!
+//! Connection handlers enqueue validated, deduplicated reports; a single
+//! drain pump pops them and feeds the supervised pipeline. The queue is
+//! the only elastic buffer in the front door, and it is deliberately
+//! *small and honest*: when the engine cannot keep up, reports are shed
+//! with a typed reason instead of queueing without bound.
+//!
+//! Shedding is hysteretic. Crossing the **high watermark** trips the
+//! queue into shed state; it stays shedding until depth falls back to the
+//! **low watermark**. Without the hysteresis band an overloaded server
+//! would oscillate at the boundary, alternately accepting and refusing
+//! neighbouring reports from the same batch — the band converts that
+//! flapping into one clean shed interval per overload episode.
+//!
+//! Every queued report carries its arrival instant; the pump sheds
+//! reports older than the ingest deadline (`DeadlineExceeded`) rather
+//! than feeding the engine positions so stale the next genuine report
+//! would immediately overwrite them.
+
+use super::stats::{NetStats, ShedReason};
+use crate::ingest::StampedUpdate;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Sizing and policy of the admission queue.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Hard bound on queued reports; enqueue beyond it always sheds.
+    pub queue_capacity: usize,
+    /// Depth at which the queue trips into shed state.
+    pub high_watermark: usize,
+    /// Depth at which a shedding queue resumes accepting.
+    pub low_watermark: usize,
+    /// Maximum time a report may wait before the pump sheds it.
+    pub ingest_deadline: Duration,
+    /// How long the watchdog tolerates a backlogged queue making no drain
+    /// progress before tripping degraded mode.
+    pub stall_grace: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: 4096,
+            high_watermark: 3072,
+            low_watermark: 1024,
+            ingest_deadline: Duration::from_secs(2),
+            stall_grace: Duration::from_secs(1),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Clamps the watermarks into a consistent order:
+    /// `low <= high <= capacity`, capacity at least 1.
+    pub fn normalized(mut self) -> Self {
+        self.queue_capacity = self.queue_capacity.max(1);
+        self.high_watermark = self.high_watermark.clamp(1, self.queue_capacity);
+        self.low_watermark = self
+            .low_watermark
+            .min(self.high_watermark.saturating_sub(1));
+        self
+    }
+}
+
+/// One report waiting for the engine, stamped with its session identity
+/// and arrival time.
+#[derive(Debug, Clone)]
+pub struct QueuedReport {
+    /// Owning session.
+    pub session: u64,
+    /// Wire sequence number within the session.
+    pub seq: u64,
+    /// The validated report to feed the ingest gate.
+    pub report: StampedUpdate,
+    /// When the report entered the queue.
+    pub enqueued_at: Instant,
+}
+
+/// The bounded, watermarked admission queue.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    config: AdmissionConfig,
+    items: Mutex<VecDeque<QueuedReport>>,
+    available: Condvar,
+    shedding: AtomicBool,
+    stats: Arc<NetStats>,
+}
+
+impl AdmissionQueue {
+    /// An empty queue with `config` (normalized).
+    pub fn new(config: AdmissionConfig, stats: Arc<NetStats>) -> Self {
+        AdmissionQueue {
+            config: config.normalized(),
+            items: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shedding: AtomicBool::new(false),
+            stats,
+        }
+    }
+
+    /// The queue's (normalized) configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<QueuedReport>> {
+        match self.items.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn publish_depth(&self, depth: usize) {
+        self.stats
+            .queue_depth
+            .store(ctup_spatial::convert::count64(depth), Ordering::Relaxed);
+    }
+
+    /// Admits a report or sheds it with [`ShedReason::QueueFull`],
+    /// applying the watermark hysteresis.
+    pub fn try_enqueue(&self, item: QueuedReport) -> Result<(), ShedReason> {
+        let mut items = self.lock();
+        let depth = items.len();
+        if depth >= self.config.queue_capacity {
+            self.shedding.store(true, Ordering::Relaxed);
+            return Err(ShedReason::QueueFull);
+        }
+        if self.shedding.load(Ordering::Relaxed) {
+            if depth > self.config.low_watermark {
+                return Err(ShedReason::QueueFull);
+            }
+            self.shedding.store(false, Ordering::Relaxed);
+        } else if depth >= self.config.high_watermark {
+            self.shedding.store(true, Ordering::Relaxed);
+            return Err(ShedReason::QueueFull);
+        }
+        items.push_back(item);
+        self.publish_depth(items.len());
+        drop(items);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Pops the oldest report, waiting up to `timeout` for one to arrive.
+    pub fn pop(&self, timeout: Duration) -> Option<QueuedReport> {
+        let mut items = self.lock();
+        if items.is_empty() {
+            let (guard, _) = match self.available.wait_timeout(items, timeout) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            items = guard;
+        }
+        let item = items.pop_front();
+        self.publish_depth(items.len());
+        item
+    }
+
+    /// Reports currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the hysteresis is currently in the shed state.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{LocationUpdate, UnitId};
+    use ctup_spatial::Point;
+
+    fn item(seq: u64) -> QueuedReport {
+        QueuedReport {
+            session: 1,
+            seq,
+            report: StampedUpdate {
+                seq,
+                ts: 0,
+                update: LocationUpdate {
+                    unit: UnitId(0),
+                    new: Point::new(0.5, 0.5),
+                },
+            },
+            enqueued_at: Instant::now(),
+        }
+    }
+
+    fn queue(capacity: usize, high: usize, low: usize) -> AdmissionQueue {
+        AdmissionQueue::new(
+            AdmissionConfig {
+                queue_capacity: capacity,
+                high_watermark: high,
+                low_watermark: low,
+                ..AdmissionConfig::default()
+            },
+            Arc::new(NetStats::default()),
+        )
+    }
+
+    #[test]
+    fn normalization_orders_the_watermarks() {
+        let cfg = AdmissionConfig {
+            queue_capacity: 10,
+            high_watermark: 50,
+            low_watermark: 50,
+            ..AdmissionConfig::default()
+        }
+        .normalized();
+        assert_eq!(cfg.high_watermark, 10);
+        assert_eq!(cfg.low_watermark, 9);
+    }
+
+    #[test]
+    fn sheds_at_high_watermark_until_drained_to_low() {
+        let q = queue(100, 4, 1);
+        for seq in 0..4 {
+            q.try_enqueue(item(seq)).expect("below high watermark");
+        }
+        // Depth 4 == high: trips shedding.
+        assert_eq!(q.try_enqueue(item(4)), Err(ShedReason::QueueFull));
+        assert!(q.is_shedding());
+        // Draining to 2 (> low) still sheds; at low (1) it reopens.
+        q.pop(Duration::from_millis(1)).expect("pop");
+        q.pop(Duration::from_millis(1)).expect("pop");
+        assert_eq!(q.try_enqueue(item(5)), Err(ShedReason::QueueFull));
+        q.pop(Duration::from_millis(1)).expect("pop");
+        assert_eq!(q.depth(), 1);
+        q.try_enqueue(item(6)).expect("reopened at low watermark");
+        assert!(!q.is_shedding());
+    }
+
+    #[test]
+    fn hard_capacity_always_sheds() {
+        let q = queue(2, 2, 0);
+        q.try_enqueue(item(0)).expect("first");
+        q.try_enqueue(item(1)).expect("second");
+        assert_eq!(q.try_enqueue(item(2)), Err(ShedReason::QueueFull));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn pop_wakes_on_enqueue_and_preserves_fifo() {
+        let q = Arc::new(queue(16, 15, 2));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut seqs = Vec::new();
+            while seqs.len() < 3 {
+                if let Some(got) = q2.pop(Duration::from_millis(200)) {
+                    seqs.push(got.seq);
+                }
+            }
+            seqs
+        });
+        for seq in [10, 11, 12] {
+            q.try_enqueue(item(seq)).expect("enqueue");
+        }
+        let seqs = consumer.join().expect("consumer");
+        assert_eq!(seqs, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn pop_times_out_empty() {
+        let q = queue(4, 3, 1);
+        let start = Instant::now();
+        assert!(q.pop(Duration::from_millis(20)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+}

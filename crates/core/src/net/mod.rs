@@ -1,0 +1,35 @@
+//! The networked ingest front door (PR6).
+//!
+//! Remote units feed location reports over a sessioned, length-prefixed
+//! binary protocol ([`wire`]); the server admits them through a bounded,
+//! watermarked queue ([`admission`]), suppresses reconnect replays
+//! per-session ([`session`]), drains them into the supervised pipeline
+//! exactly once ([`server`]), and degrades gracefully under overload —
+//! shedding with typed [`ShedReason`]s while the last-good top-k keeps
+//! being served. The matching client lives in [`client`]; the calibrated
+//! overload sweep behind BENCH_PR6.json in [`overload`].
+//!
+//! The invariant every piece preserves, and the chaos suite checks:
+//! every accepted report is applied exactly once, and every report that
+//! is not applied is accounted for as a replay or a typed shed.
+
+pub mod admission;
+pub mod client;
+pub mod overload;
+pub mod server;
+pub mod session;
+pub mod stats;
+pub mod wire;
+
+pub use admission::{AdmissionConfig, AdmissionQueue, QueuedReport};
+pub use client::{
+    BackoffConfig, ClientConfig, ClientError, ClientStats, Conn, Dialer, FeedClient, ShedRecord,
+    TcpDialer,
+};
+pub use overload::{
+    run_sweep, CalibratedSink, CountingSink, LoadPoint, OverloadConfig, SweepReport,
+};
+pub use server::{EngineSink, IngestServer, NetServerConfig, PipelineSink, SinkError};
+pub use session::{SessionConfig, SessionRegistry};
+pub use stats::{NetStats, NetStatsSnapshot, ShedReason};
+pub use wire::{ByeReason, FrameDecoder, FrameWriter, Message, WireError, MAX_FRAME_LEN};

@@ -1,0 +1,839 @@
+//! The networked ingest front door: accept loop, connection handlers,
+//! drain pump and degraded-mode watchdog.
+//!
+//! Thread shape (all owned by [`IngestServer`]):
+//!
+//! * **accept** — takes TCP connections, enforces the connection cap, and
+//!   hands each to its own handler thread so one slow peer can never wedge
+//!   the door (the defect the old inline metrics loop had).
+//! * **handler** (one per connection) — speaks the wire protocol with
+//!   short read/write timeouts: handshake (`Hello`/`Ack`), per-report
+//!   classification through the [`SessionRegistry`], admission through the
+//!   [`AdmissionQueue`], acks, shed notifications, snapshot pushes, and
+//!   slow-client eviction (a frame that trickles past the frame deadline,
+//!   or a write backlog that stops draining, ends the connection).
+//! * **pump** — the only thread that feeds the engine: pops queued
+//!   reports, sheds the ones that outlived the ingest deadline, and
+//!   forwards the rest to the [`EngineSink`] exactly once. Engine
+//!   backpressure is absorbed here (bounded retry against the deadline);
+//!   engine death flips the server into sticky degraded mode.
+//! * **watchdog** — refreshes the last-good top-k from the engine, trips
+//!   degraded mode when the queue is backlogged and the pump makes no
+//!   progress (or the engine died), clears it when the backlog drains,
+//!   garbage-collects idle sessions, and schedules snapshot pushes.
+//!
+//! Degraded mode is the graceful half of the overload story: ingest sheds
+//! with [`ShedReason::EngineDegraded`] while the last-good snapshot keeps
+//! being served to subscribers and `/healthz` reports `degraded: true`.
+
+use super::admission::{AdmissionConfig, AdmissionQueue, QueuedReport};
+use super::session::{OpenError, OutboundNote, ReportClass, SessionConfig, SessionRegistry};
+use super::stats::{NetStats, ShedReason};
+use super::wire::{ByeReason, DecodeError, FrameDecoder, FrameWriter, Message};
+use crate::ingest::StampedUpdate;
+use crate::pipeline::SendError;
+use crate::server::MonitorEvent;
+use crate::supervisor::SupervisedPipeline;
+use crate::types::{LocationUpdate, PlaceId, Safety, TopKEntry, UnitId};
+use ctup_obs::json::ObjectWriter;
+use ctup_spatial::{convert, Point};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why the engine refused a report right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkError {
+    /// The engine's inbound queue is full; retrying shortly may succeed.
+    Backpressure,
+    /// The engine is gone (worker dead, restarts exhausted); no report
+    /// will ever be accepted again on this sink.
+    Dead,
+}
+
+/// The engine as the front door sees it: a place to put validated reports
+/// and a current top-k to serve.
+pub trait EngineSink: Send + Sync {
+    /// Offers one report; must not block longer than a bounded push.
+    fn try_ingest(&self, report: StampedUpdate) -> Result<(), SinkError>;
+    /// The engine's current result, freshest first by unsafety.
+    fn topk(&self) -> Vec<TopKEntry>;
+}
+
+/// [`EngineSink`] over the supervised pipeline: reports ride the existing
+/// validated ingest gate and liveness leases inside the supervisor, and
+/// the top-k is maintained incrementally from the pipeline's
+/// [`MonitorEvent`] stream (seeded with the result at spawn time).
+pub struct PipelineSink {
+    pipeline: SupervisedPipeline,
+    current: Mutex<HashMap<PlaceId, Safety>>,
+}
+
+impl std::fmt::Debug for PipelineSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineSink").finish_non_exhaustive()
+    }
+}
+
+impl PipelineSink {
+    /// Wraps a running pipeline. `initial` is the algorithm's result at
+    /// spawn time (events only carry changes, not the starting state).
+    pub fn new(pipeline: SupervisedPipeline, initial: Vec<TopKEntry>) -> Self {
+        PipelineSink {
+            pipeline,
+            current: Mutex::new(initial.iter().map(|e| (e.place, e.safety)).collect()),
+        }
+    }
+
+    /// Unwraps the pipeline (for shutdown and final accounting).
+    pub fn into_pipeline(self) -> SupervisedPipeline {
+        self.pipeline
+    }
+
+    fn apply_events(&self) {
+        let mut current = match self.current.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for batch in self.pipeline.events().try_iter() {
+            for event in batch.events {
+                match event {
+                    MonitorEvent::Entered { place, safety } => {
+                        current.insert(place, safety);
+                    }
+                    MonitorEvent::Left { place } => {
+                        current.remove(&place);
+                    }
+                    MonitorEvent::SafetyChanged { place, new, .. } => {
+                        current.insert(place, new);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl EngineSink for PipelineSink {
+    fn try_ingest(&self, report: StampedUpdate) -> Result<(), SinkError> {
+        match self.pipeline.try_send(report) {
+            Ok(()) => Ok(()),
+            Err(SendError::Full) => Err(SinkError::Backpressure),
+            Err(SendError::WorkerDied) => Err(SinkError::Dead),
+        }
+    }
+
+    fn topk(&self) -> Vec<TopKEntry> {
+        self.apply_events();
+        let current = match self.current.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut entries: Vec<TopKEntry> = current
+            .iter()
+            .map(|(&place, &safety)| TopKEntry { place, safety })
+            .collect();
+        entries.sort_by_key(|e| (e.safety, e.place));
+        entries
+    }
+}
+
+/// Full configuration of the front door.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Admission queue sizing and deadlines.
+    pub admission: AdmissionConfig,
+    /// Session registry sizing and retention.
+    pub session: SessionConfig,
+    /// Cap on concurrent connections; beyond it new ones get
+    /// `Bye(ServerFull)` and are counted as rejected.
+    pub max_connections: usize,
+    /// Granularity of blocking socket reads/writes (and of stop checks).
+    pub io_tick: Duration,
+    /// A connection must complete its `Hello` within this.
+    pub handshake_deadline: Duration,
+    /// A started frame must complete within this (slowloris eviction).
+    pub frame_deadline: Duration,
+    /// A write backlog must drain within this (slow-reader eviction).
+    pub write_deadline: Duration,
+    /// Hard cap in bytes on a connection's outbound backlog.
+    pub max_write_backlog: usize,
+    /// Cadence of server-pushed snapshots; zero disables pushing.
+    pub snapshot_push_interval: Duration,
+    /// Watchdog cadence (degraded-mode checks, session GC).
+    pub watchdog_tick: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            admission: AdmissionConfig::default(),
+            session: SessionConfig::default(),
+            max_connections: 256,
+            io_tick: Duration::from_millis(25),
+            handshake_deadline: Duration::from_secs(2),
+            frame_deadline: Duration::from_secs(2),
+            write_deadline: Duration::from_secs(2),
+            max_write_backlog: 256 * 1024,
+            snapshot_push_interval: Duration::from_millis(250),
+            watchdog_tick: Duration::from_millis(25),
+        }
+    }
+}
+
+/// State shared by every server thread.
+struct Shared {
+    config: NetServerConfig,
+    stats: Arc<NetStats>,
+    registry: SessionRegistry,
+    queue: AdmissionQueue,
+    sink: Arc<dyn EngineSink>,
+    stop: AtomicBool,
+    degraded: AtomicBool,
+    engine_dead: AtomicBool,
+    /// Monotone count of pump completions (drains + pump sheds); the
+    /// watchdog watches it to distinguish "busy" from "stalled".
+    progress: AtomicU64,
+    last_good: Mutex<Vec<TopKEntry>>,
+    conn_count: AtomicUsize,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("degraded", &self.degraded.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Shared {
+    fn set_degraded(&self, on: bool) {
+        let was = self.degraded.swap(on, Ordering::Relaxed);
+        self.stats.degraded.store(on, Ordering::Relaxed);
+        if on && !was {
+            self.stats.degraded_entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A running ingest front door. Dropping it (or calling
+/// [`IngestServer::shutdown`]) stops and joins every server thread.
+#[derive(Debug)]
+pub struct IngestServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl IngestServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving `sink`.
+    pub fn spawn(
+        addr: &str,
+        config: NetServerConfig,
+        sink: Arc<dyn EngineSink>,
+    ) -> std::io::Result<IngestServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(NetStats::default());
+        let initial_topk = sink.topk();
+        let shared = Arc::new(Shared {
+            registry: SessionRegistry::new(config.session.clone(), Arc::clone(&stats)),
+            queue: AdmissionQueue::new(config.admission.clone(), Arc::clone(&stats)),
+            config,
+            stats,
+            sink,
+            stop: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            engine_dead: AtomicBool::new(false),
+            progress: AtomicU64::new(0),
+            last_good: Mutex::new(initial_topk),
+            conn_count: AtomicUsize::new(0),
+        });
+        let accept = spawn_thread("ctup-net-accept", {
+            let shared = Arc::clone(&shared);
+            move || accept_loop(&listener, &shared)
+        })?;
+        let pump = spawn_thread("ctup-net-pump", {
+            let shared = Arc::clone(&shared);
+            move || pump_loop(&shared)
+        })?;
+        let watchdog = spawn_thread("ctup-net-watchdog", {
+            let shared = Arc::clone(&shared);
+            move || watchdog_loop(&shared)
+        })?;
+        Ok(IngestServer {
+            addr,
+            shared,
+            accept: Some(accept),
+            pump: Some(pump),
+            watchdog: Some(watchdog),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live counters, shared with every server thread.
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Whether the watchdog currently has the server degraded.
+    pub fn degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The last-good top-k (served even while degraded).
+    pub fn last_good_topk(&self) -> Vec<TopKEntry> {
+        match self.shared.last_good.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// The `/healthz` body: liveness plus the degraded flag and the two
+    /// load gauges, as one flat JSON object.
+    pub fn health_body(&self) -> String {
+        let degraded = self.degraded();
+        let mut obj = ObjectWriter::new();
+        obj.field_str("status", if degraded { "degraded" } else { "ok" });
+        obj.field_bool("degraded", degraded);
+        obj.field_u64("sessions", convert::count64(self.shared.registry.active()));
+        obj.field_u64("queue_depth", convert::count64(self.shared.queue.depth()));
+        obj.finish()
+    }
+
+    /// Stops accepting, drains the admission queue through the pump, joins
+    /// every thread and returns the final counters.
+    pub fn shutdown(mut self) -> super::stats::NetStatsSnapshot {
+        self.stop_threads();
+        self.shared.stats.snapshot()
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Handlers poll the stop flag at io_tick granularity; wait for
+        // them (bounded) so their final acks and Byes get written.
+        let deadline =
+            Instant::now() + self.shared.config.io_tick * 40 + Duration::from_millis(200);
+        while self.shared.conn_count.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(handle) = self.pump.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.watchdog.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for IngestServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn spawn_thread<F>(name: &str, f: F) -> std::io::Result<JoinHandle<()>>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new().name(name.into()).spawn(f)
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let active = shared.conn_count.load(Ordering::SeqCst);
+        if active >= shared.config.max_connections {
+            shared
+                .stats
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            refuse(stream, ByeReason::ServerFull);
+            continue;
+        }
+        shared.conn_count.fetch_add(1, Ordering::SeqCst);
+        shared
+            .stats
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let for_handler = Arc::clone(shared);
+        let spawned = spawn_thread("ctup-net-conn", move || {
+            handle_connection(stream, &for_handler);
+            for_handler.conn_count.fetch_sub(1, Ordering::SeqCst);
+        });
+        if spawned.is_err() {
+            // Could not spawn a handler; undo the slot reservation.
+            shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Best-effort `Bye` on a connection we will not serve.
+fn refuse(mut stream: TcpStream, reason: ByeReason) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut bytes = Vec::new();
+    Message::Bye { reason }.encode(&mut bytes);
+    let _ = stream.write_all(&bytes);
+}
+
+/// Per-connection protocol state.
+struct ConnState {
+    session: u64,
+    epoch: u64,
+    last_acked: u64,
+    frame_started: Option<Instant>,
+    write_stuck_since: Option<Instant>,
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let tick = shared.config.io_tick;
+    if stream.set_read_timeout(Some(tick)).is_err() || stream.set_write_timeout(Some(tick)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut decoder = FrameDecoder::new();
+    let mut writer = FrameWriter::new();
+
+    // Handshake: the first frame must be a Hello, within the deadline.
+    let handshake_deadline = Instant::now() + shared.config.handshake_deadline;
+    let open = loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            send_bye(&mut stream, &mut writer, ByeReason::Shutdown);
+            return;
+        }
+        if Instant::now() > handshake_deadline {
+            shared
+                .stats
+                .sessions_evicted
+                .fetch_add(1, Ordering::Relaxed);
+            send_bye(&mut stream, &mut writer, ByeReason::Evicted);
+            return;
+        }
+        match decoder.read_from(&mut stream) {
+            Ok(Message::Hello { resume_session }) => {
+                shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                match shared.registry.open(resume_session, Instant::now()) {
+                    Ok(open) => break open,
+                    Err(OpenError::ServerFull) => {
+                        shared
+                            .stats
+                            .connections_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        send_bye(&mut stream, &mut writer, ByeReason::ServerFull);
+                        return;
+                    }
+                }
+            }
+            Ok(_) => {
+                shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .sessions_evicted
+                    .fetch_add(1, Ordering::Relaxed);
+                send_bye(&mut stream, &mut writer, ByeReason::ProtocolError);
+                return;
+            }
+            Err(e) if e.is_timeout() => continue,
+            Err(DecodeError::Wire(_)) => {
+                shared
+                    .stats
+                    .frames_malformed
+                    .fetch_add(1, Ordering::Relaxed);
+                send_bye(&mut stream, &mut writer, ByeReason::ProtocolError);
+                return;
+            }
+            Err(DecodeError::Closed { mid_frame }) => {
+                if mid_frame {
+                    shared
+                        .stats
+                        .partial_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            Err(DecodeError::Io(_)) => return,
+        }
+    };
+
+    let mut conn = ConnState {
+        session: open.session,
+        epoch: open.epoch,
+        last_acked: open.handled_up_to,
+        frame_started: None,
+        write_stuck_since: None,
+    };
+    writer.push(&Message::Ack {
+        session: open.session,
+        handled_up_to: open.handled_up_to,
+    });
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            send_bye(&mut stream, &mut writer, ByeReason::Shutdown);
+            shared.registry.disconnected(conn.session, conn.epoch);
+            return;
+        }
+        if !shared.registry.epoch_current(conn.session, conn.epoch) {
+            // A reconnect took the session over; retire quietly.
+            return;
+        }
+
+        // Read at most one frame per iteration (the decoder returns as
+        // soon as one completes, so a busy peer is served per-frame).
+        match decoder.read_from(&mut stream) {
+            Ok(msg) => {
+                shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                conn.frame_started = None;
+                match msg {
+                    Message::Report {
+                        seq,
+                        unit_seq,
+                        ts,
+                        unit,
+                        x,
+                        y,
+                    } => handle_report(
+                        shared,
+                        &mut conn,
+                        &mut writer,
+                        seq,
+                        unit_seq,
+                        ts,
+                        unit,
+                        x,
+                        y,
+                    ),
+                    Message::Bye { .. } => {
+                        shared.registry.disconnected(conn.session, conn.epoch);
+                        let _ = writer.flush_into(&mut stream);
+                        return;
+                    }
+                    // Hello mid-stream or a server-only frame from a
+                    // client: protocol violation.
+                    Message::Hello { .. }
+                    | Message::Ack { .. }
+                    | Message::Shed { .. }
+                    | Message::SnapshotPush { .. } => {
+                        shared
+                            .stats
+                            .sessions_evicted
+                            .fetch_add(1, Ordering::Relaxed);
+                        send_bye(&mut stream, &mut writer, ByeReason::ProtocolError);
+                        shared.registry.disconnected(conn.session, conn.epoch);
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.is_timeout() => {
+                // Slowloris: a frame that started but will not finish.
+                if decoder.mid_frame() {
+                    let started = *conn.frame_started.get_or_insert_with(Instant::now);
+                    if started.elapsed() > shared.config.frame_deadline {
+                        shared
+                            .stats
+                            .sessions_evicted
+                            .fetch_add(1, Ordering::Relaxed);
+                        send_bye(&mut stream, &mut writer, ByeReason::Evicted);
+                        shared.registry.disconnected(conn.session, conn.epoch);
+                        return;
+                    }
+                } else {
+                    conn.frame_started = None;
+                }
+            }
+            Err(DecodeError::Wire(_)) => {
+                shared
+                    .stats
+                    .frames_malformed
+                    .fetch_add(1, Ordering::Relaxed);
+                send_bye(&mut stream, &mut writer, ByeReason::ProtocolError);
+                shared.registry.disconnected(conn.session, conn.epoch);
+                return;
+            }
+            Err(DecodeError::Closed { mid_frame }) => {
+                if mid_frame {
+                    shared
+                        .stats
+                        .partial_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                shared.registry.disconnected(conn.session, conn.epoch);
+                return;
+            }
+            Err(DecodeError::Io(_)) => {
+                shared.registry.disconnected(conn.session, conn.epoch);
+                return;
+            }
+        }
+
+        // Outbound: pump sheds and snapshot pushes queued for this session.
+        for note in shared.registry.take_outbox(conn.session) {
+            match note {
+                OutboundNote::Shed { seq, reason } => writer.push(&Message::Shed { seq, reason }),
+                OutboundNote::Snapshot { degraded, entries } => {
+                    shared
+                        .stats
+                        .snapshots_pushed
+                        .fetch_add(1, Ordering::Relaxed);
+                    writer.push(&Message::SnapshotPush { degraded, entries });
+                }
+            }
+        }
+        // Ack when the session's terminal line advanced.
+        let handled = shared.registry.handled_up_to(conn.session);
+        if handled > conn.last_acked {
+            conn.last_acked = handled;
+            writer.push(&Message::Ack {
+                session: conn.session,
+                handled_up_to: handled,
+            });
+        }
+        // Flush; evict a peer whose backlog will not drain.
+        if writer.pending() > 0 {
+            match writer.flush_into(&mut stream) {
+                Ok(true) => conn.write_stuck_since = None,
+                Ok(false) => {
+                    let stuck = *conn.write_stuck_since.get_or_insert_with(Instant::now);
+                    if stuck.elapsed() > shared.config.write_deadline
+                        || writer.pending() > shared.config.max_write_backlog
+                    {
+                        shared
+                            .stats
+                            .sessions_evicted
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.registry.disconnected(conn.session, conn.epoch);
+                        return;
+                    }
+                }
+                Err(_) => {
+                    shared.registry.disconnected(conn.session, conn.epoch);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Classifies and admits (or sheds) one report.
+#[allow(clippy::too_many_arguments)]
+fn handle_report(
+    shared: &Arc<Shared>,
+    conn: &mut ConnState,
+    writer: &mut FrameWriter,
+    seq: u64,
+    unit_seq: u64,
+    ts: u64,
+    unit: u32,
+    x: f64,
+    y: f64,
+) {
+    match shared.registry.classify(conn.session, seq) {
+        ReportClass::Replay => {
+            shared
+                .stats
+                .replays_suppressed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        ReportClass::QuotaExceeded => {
+            shed_at_door(shared, conn, writer, seq, ShedReason::SessionQuota);
+        }
+        ReportClass::Fresh => {
+            if shared.degraded.load(Ordering::Relaxed) {
+                shed_at_door(shared, conn, writer, seq, ShedReason::EngineDegraded);
+                return;
+            }
+            let report = StampedUpdate {
+                seq: unit_seq,
+                ts,
+                update: LocationUpdate {
+                    unit: UnitId(unit),
+                    new: Point::new(x, y),
+                },
+            };
+            let queued = QueuedReport {
+                session: conn.session,
+                seq,
+                report,
+                enqueued_at: Instant::now(),
+            };
+            // The seq must be in the session's pending run BEFORE the
+            // queue can hand the item to the pump: a fast engine drains
+            // the instant it lands, and `drained()` finding nothing to
+            // remove would leave a ghost entry pinning the ack line.
+            shared.registry.note_enqueued(conn.session, seq);
+            match shared.queue.try_enqueue(queued) {
+                Ok(()) => {}
+                Err(reason) => {
+                    shared.registry.retract_pending(conn.session, seq);
+                    shed_at_door(shared, conn, writer, seq, reason);
+                }
+            }
+        }
+    }
+}
+
+fn shed_at_door(
+    shared: &Arc<Shared>,
+    conn: &ConnState,
+    writer: &mut FrameWriter,
+    seq: u64,
+    reason: ShedReason,
+) {
+    shared.registry.note_shed_at_door(conn.session, seq);
+    shared.stats.record_shed(reason);
+    writer.push(&Message::Shed { seq, reason });
+}
+
+fn send_bye(stream: &mut TcpStream, writer: &mut FrameWriter, reason: ByeReason) {
+    writer.push(&Message::Bye { reason });
+    let _ = writer.flush_into(stream);
+}
+
+/// The single engine feeder: drains the admission queue in arrival order.
+fn pump_loop(shared: &Arc<Shared>) {
+    let tick = shared.config.io_tick;
+    let deadline = shared.config.admission.ingest_deadline;
+    loop {
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        let Some(item) = shared.queue.pop(tick) else {
+            if stopping {
+                return;
+            }
+            continue;
+        };
+        let wait = item.enqueued_at.elapsed();
+        if wait > deadline {
+            pump_shed(shared, &item, ShedReason::DeadlineExceeded);
+            continue;
+        }
+        if shared.engine_dead.load(Ordering::Relaxed) {
+            pump_shed(shared, &item, ShedReason::EngineDegraded);
+            continue;
+        }
+        // Bounded retry against engine backpressure: the admission queue
+        // is the elastic buffer, so all we do here is wait out short
+        // bursts — the ingest deadline still bounds the total wait.
+        loop {
+            match shared.sink.try_ingest(item.report) {
+                Ok(()) => {
+                    shared
+                        .stats
+                        .reports_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .ingest_wait_nanos
+                        .record(convert::nanos64(item.enqueued_at.elapsed().as_nanos()));
+                    shared.registry.drained(item.session, item.seq);
+                    shared.progress.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(SinkError::Backpressure) => {
+                    if item.enqueued_at.elapsed() > deadline {
+                        pump_shed(shared, &item, ShedReason::DeadlineExceeded);
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(SinkError::Dead) => {
+                    shared.engine_dead.store(true, Ordering::Relaxed);
+                    shared.set_degraded(true);
+                    pump_shed(shared, &item, ShedReason::EngineDegraded);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn pump_shed(shared: &Arc<Shared>, item: &QueuedReport, reason: ShedReason) {
+    shared.stats.record_shed(reason);
+    shared
+        .registry
+        .shed_at_drain(item.session, item.seq, reason);
+    shared.progress.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Degraded-mode control loop plus housekeeping.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let tick = shared.config.watchdog_tick.max(Duration::from_millis(1));
+    let push_every = shared.config.snapshot_push_interval;
+    let mut last_progress = shared.progress.load(Ordering::Relaxed);
+    let mut progress_moved_at = Instant::now();
+    let mut last_push = Instant::now();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(tick);
+
+        // Track pump progress.
+        let progress = shared.progress.load(Ordering::Relaxed);
+        if progress != last_progress {
+            last_progress = progress;
+            progress_moved_at = Instant::now();
+        }
+
+        let engine_dead = shared.engine_dead.load(Ordering::Relaxed);
+        let depth = shared.queue.depth();
+        let degraded = shared.degraded.load(Ordering::Relaxed);
+        if engine_dead {
+            shared.set_degraded(true);
+        } else if !degraded {
+            let backlogged = depth >= shared.config.admission.high_watermark.max(1);
+            let stalled =
+                progress_moved_at.elapsed() > shared.config.admission.stall_grace && depth > 0;
+            if backlogged && stalled {
+                shared.set_degraded(true);
+            }
+        } else if depth <= shared.config.admission.low_watermark
+            && progress_moved_at.elapsed() <= shared.config.admission.stall_grace
+        {
+            // Backlog drained and the pump is moving again: recover.
+            shared.set_degraded(false);
+        }
+
+        // Refresh the last-good top-k while the engine is alive.
+        if !engine_dead {
+            let fresh = shared.sink.topk();
+            let mut guard = match shared.last_good.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *guard = fresh;
+        }
+
+        // Session GC and snapshot pushes.
+        shared.registry.gc(Instant::now());
+        if !push_every.is_zero() && last_push.elapsed() >= push_every {
+            last_push = Instant::now();
+            let entries: Vec<(u32, i64)> = {
+                let guard = match shared.last_good.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard.iter().map(|e| (e.place.0, e.safety)).collect()
+            };
+            let now_degraded = shared.degraded.load(Ordering::Relaxed);
+            shared.registry.push_snapshot_all(now_degraded, &entries);
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! Session registry: per-client sequence spaces and replay suppression.
+//!
+//! A *session* is a client's durable identity across TCP connections. Each
+//! session owns a gapless wire-sequence space chosen by the client; the
+//! registry tracks two lines through it:
+//!
+//! * `enqueued_up_to` — the **dedup line**: every wire seq at or below it
+//!   is either waiting in the admission queue or already terminal. A
+//!   report at or below this line is a replay (a reconnect retransmit) and
+//!   is suppressed without touching the engine — this is what makes
+//!   reconnect-and-replay duplicate-free *before* the ingest gate even
+//!   sees it.
+//! * `handled_up_to` — the **ack line**: every wire seq at or below it is
+//!   terminal (drained into the engine or shed). This is what `Ack`
+//!   frames carry; the client trims its resend buffer with it.
+//!
+//! Between the two lines sit the session's reports still waiting in the
+//! admission queue (`pending`). Because the global queue is FIFO, each
+//! session's pending set is an ascending run and the ack line is simply
+//! `pending.front() - 1`.
+//!
+//! Reconnects *take over*: a `Hello` resuming a session bumps its epoch,
+//! and the previous connection's handler notices the stale epoch and
+//! retires quietly. Disconnected sessions with nothing in flight are
+//! garbage-collected after an idle TTL so reconnect storms cannot pin
+//! registry slots forever.
+
+use super::stats::{NetStats, ShedReason};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Registry sizing and retention policy.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Hard cap on simultaneously known sessions; `Hello` beyond it is
+    /// refused with `Bye(ServerFull)`.
+    pub max_sessions: usize,
+    /// Per-session cap on reports waiting in the admission queue; beyond
+    /// it the report is shed with [`ShedReason::SessionQuota`].
+    pub session_quota: usize,
+    /// How long a disconnected session with nothing in flight stays
+    /// resumable before the registry forgets it.
+    pub idle_ttl: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_sessions: 1024,
+            session_quota: 256,
+            idle_ttl: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Why a `Hello` was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenError {
+    /// The registry is at `max_sessions` and nothing was collectable.
+    ServerFull,
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::ServerFull => f.write_str("session registry is full"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// Result of a successful `Hello`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionOpen {
+    /// The session id (fresh, or the resumed one).
+    pub session: u64,
+    /// The session's current ack line, echoed in the handshake `Ack`.
+    pub handled_up_to: u64,
+    /// Connection epoch; a handler whose epoch goes stale was taken over.
+    pub epoch: u64,
+    /// Whether an existing session was resumed (vs. freshly opened).
+    pub resumed: bool,
+}
+
+/// How a submitted report relates to the session's sequence space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportClass {
+    /// Already at or below the dedup line: suppress, do not re-ingest.
+    Replay,
+    /// The session's pending run is at quota: shed.
+    QuotaExceeded,
+    /// Genuinely new: admit or shed on global-queue state.
+    Fresh,
+}
+
+/// A frame the pump or watchdog wants a session's connection to send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutboundNote {
+    /// A queued report was shed after admission (deadline, engine death).
+    Shed {
+        /// Wire seq of the shed report.
+        seq: u64,
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+    /// A server-pushed top-k snapshot.
+    Snapshot {
+        /// Whether the server was degraded when the snapshot was taken.
+        degraded: bool,
+        /// `(place_id, safety)` entries in result order.
+        entries: Vec<(u32, i64)>,
+    },
+}
+
+#[derive(Debug)]
+struct SessionState {
+    enqueued_up_to: u64,
+    pending: VecDeque<u64>,
+    epoch: u64,
+    connected: bool,
+    last_seen: Instant,
+    outbox: Vec<OutboundNote>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    next_id: u64,
+    sessions: HashMap<u64, SessionState>,
+}
+
+/// The shared session table. All methods are `&self`; one mutex guards the
+/// table (sessions are touched a handful of times per report, and the
+/// admission queue, not this map, is the contended structure).
+#[derive(Debug)]
+pub struct SessionRegistry {
+    config: SessionConfig,
+    inner: Mutex<Inner>,
+    stats: Arc<NetStats>,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new(config: SessionConfig, stats: Arc<NetStats>) -> Self {
+        SessionRegistry {
+            config,
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                sessions: HashMap::new(),
+            }),
+            stats,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn publish_active(&self, inner: &Inner) {
+        self.stats.sessions_active.store(
+            ctup_spatial::convert::count64(inner.sessions.len()),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Handles a `Hello`: resumes `resume` if it names a live session
+    /// (bumping its epoch — the previous connection, if any, is taken
+    /// over), otherwise opens a fresh session.
+    pub fn open(&self, resume: u64, now: Instant) -> Result<SessionOpen, OpenError> {
+        let mut inner = self.lock();
+        if resume != 0 {
+            if let Some(state) = inner.sessions.get_mut(&resume) {
+                state.epoch += 1;
+                state.connected = true;
+                state.last_seen = now;
+                let open = SessionOpen {
+                    session: resume,
+                    handled_up_to: handled_line(state),
+                    epoch: state.epoch,
+                    resumed: true,
+                };
+                self.stats.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+                return Ok(open);
+            }
+        }
+        if inner.sessions.len() >= self.config.max_sessions {
+            self.collect_idle(&mut inner, now);
+            if inner.sessions.len() >= self.config.max_sessions {
+                return Err(OpenError::ServerFull);
+            }
+        }
+        let session = inner.next_id;
+        inner.next_id += 1;
+        inner.sessions.insert(
+            session,
+            SessionState {
+                enqueued_up_to: 0,
+                pending: VecDeque::new(),
+                epoch: 1,
+                connected: true,
+                last_seen: now,
+                outbox: Vec::new(),
+            },
+        );
+        self.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        self.publish_active(&inner);
+        Ok(SessionOpen {
+            session,
+            handled_up_to: 0,
+            epoch: 1,
+            resumed: false,
+        })
+    }
+
+    /// Classifies a submitted wire seq against the session's lines.
+    pub fn classify(&self, session: u64, seq: u64) -> ReportClass {
+        let mut inner = self.lock();
+        let Some(state) = inner.sessions.get_mut(&session) else {
+            // Unknown session (GC'd under a live handler): treat as replay
+            // so nothing new enters the engine through a dead session.
+            return ReportClass::Replay;
+        };
+        state.last_seen = Instant::now();
+        if seq <= state.enqueued_up_to {
+            ReportClass::Replay
+        } else if state.pending.len() >= self.config.session_quota {
+            ReportClass::QuotaExceeded
+        } else {
+            ReportClass::Fresh
+        }
+    }
+
+    /// Records that `seq` entered the admission queue (advances the dedup
+    /// line, appends to the pending run).
+    pub fn note_enqueued(&self, session: u64, seq: u64) {
+        let mut inner = self.lock();
+        if let Some(state) = inner.sessions.get_mut(&session) {
+            state.enqueued_up_to = state.enqueued_up_to.max(seq);
+            state.pending.push_back(seq);
+        }
+    }
+
+    /// Rolls back a [`note_enqueued`](Self::note_enqueued) whose admission
+    /// was then refused: removes `seq` from the pending run. The dedup
+    /// line stays advanced — the shed that follows is terminal, so a
+    /// retransmit of the seq must still be suppressed.
+    pub fn retract_pending(&self, session: u64, seq: u64) {
+        let mut inner = self.lock();
+        if let Some(state) = inner.sessions.get_mut(&session) {
+            remove_pending(state, seq);
+        }
+    }
+
+    /// Records that `seq` was shed at the door (terminal without ever
+    /// being queued): the dedup line advances so a retransmit of the same
+    /// seq is suppressed rather than re-judged.
+    pub fn note_shed_at_door(&self, session: u64, seq: u64) {
+        let mut inner = self.lock();
+        if let Some(state) = inner.sessions.get_mut(&session) {
+            state.enqueued_up_to = state.enqueued_up_to.max(seq);
+        }
+    }
+
+    /// Records that a queued report reached the engine (pump side).
+    pub fn drained(&self, session: u64, seq: u64) {
+        let mut inner = self.lock();
+        if let Some(state) = inner.sessions.get_mut(&session) {
+            remove_pending(state, seq);
+            state.last_seen = Instant::now();
+        }
+    }
+
+    /// Records that a queued report was shed by the pump (deadline, engine
+    /// death) and queues the typed `Shed` frame for the session's
+    /// connection to deliver.
+    pub fn shed_at_drain(&self, session: u64, seq: u64, reason: ShedReason) {
+        let mut inner = self.lock();
+        if let Some(state) = inner.sessions.get_mut(&session) {
+            remove_pending(state, seq);
+            state.outbox.push(OutboundNote::Shed { seq, reason });
+            state.last_seen = Instant::now();
+        }
+    }
+
+    /// The session's current ack line.
+    pub fn handled_up_to(&self, session: u64) -> u64 {
+        let inner = self.lock();
+        inner.sessions.get(&session).map_or(0, handled_line)
+    }
+
+    /// Whether `epoch` is still the session's live connection epoch.
+    pub fn epoch_current(&self, session: u64, epoch: u64) -> bool {
+        let inner = self.lock();
+        inner
+            .sessions
+            .get(&session)
+            .is_some_and(|s| s.epoch == epoch)
+    }
+
+    /// Marks the connection closed (only if `epoch` is still current; a
+    /// taken-over handler must not mark the successor disconnected).
+    pub fn disconnected(&self, session: u64, epoch: u64) {
+        let mut inner = self.lock();
+        if let Some(state) = inner.sessions.get_mut(&session) {
+            if state.epoch == epoch {
+                state.connected = false;
+                state.last_seen = Instant::now();
+            }
+        }
+    }
+
+    /// Takes the session's queued outbound frames.
+    pub fn take_outbox(&self, session: u64) -> Vec<OutboundNote> {
+        let mut inner = self.lock();
+        inner
+            .sessions
+            .get_mut(&session)
+            .map_or(Vec::new(), |s| std::mem::take(&mut s.outbox))
+    }
+
+    /// Queues a snapshot push to every connected session; returns how many
+    /// sessions it was queued for.
+    pub fn push_snapshot_all(&self, degraded: bool, entries: &[(u32, i64)]) -> usize {
+        let mut inner = self.lock();
+        let mut queued = 0usize;
+        for state in inner.sessions.values_mut() {
+            if !state.connected {
+                continue;
+            }
+            // Replace any not-yet-delivered snapshot: only the freshest
+            // matters, and this bounds outbox growth for a slow reader.
+            state
+                .outbox
+                .retain(|n| !matches!(n, OutboundNote::Snapshot { .. }));
+            state.outbox.push(OutboundNote::Snapshot {
+                degraded,
+                entries: entries.to_vec(),
+            });
+            queued += 1;
+        }
+        queued
+    }
+
+    /// Forgets disconnected sessions with nothing in flight that have been
+    /// idle longer than the TTL. Returns how many were collected.
+    pub fn gc(&self, now: Instant) -> usize {
+        let mut inner = self.lock();
+        let collected = self.collect_idle(&mut inner, now);
+        self.publish_active(&inner);
+        collected
+    }
+
+    fn collect_idle(&self, inner: &mut Inner, now: Instant) -> usize {
+        let ttl = self.config.idle_ttl;
+        let before = inner.sessions.len();
+        inner.sessions.retain(|_, s| {
+            s.connected || !s.pending.is_empty() || now.saturating_duration_since(s.last_seen) < ttl
+        });
+        before - inner.sessions.len()
+    }
+
+    /// Sessions currently known to the registry.
+    pub fn active(&self) -> usize {
+        self.lock().sessions.len()
+    }
+}
+
+/// `pending.front() - 1` when reports are in flight, else the dedup line.
+fn handled_line(state: &SessionState) -> u64 {
+    state
+        .pending
+        .front()
+        .map_or(state.enqueued_up_to, |&first| first.saturating_sub(1))
+}
+
+/// Pops `seq` from the pending run (front in the common FIFO case; a
+/// linear remove keeps the registry consistent even if drain order ever
+/// deviates).
+fn remove_pending(state: &mut SessionState, seq: u64) {
+    if state.pending.front() == Some(&seq) {
+        state.pending.pop_front();
+    } else if let Some(idx) = state.pending.iter().position(|&s| s == seq) {
+        state.pending.remove(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(quota: usize) -> SessionRegistry {
+        SessionRegistry::new(
+            SessionConfig {
+                max_sessions: 4,
+                session_quota: quota,
+                idle_ttl: Duration::from_millis(10),
+            },
+            Arc::new(NetStats::default()),
+        )
+    }
+
+    #[test]
+    fn open_resume_and_takeover_epochs() {
+        let reg = registry(8);
+        let now = Instant::now();
+        let a = reg.open(0, now).expect("open");
+        assert!(!a.resumed);
+        assert_eq!(a.epoch, 1);
+        // Resume bumps the epoch; the old epoch goes stale.
+        let b = reg.open(a.session, now).expect("resume");
+        assert!(b.resumed);
+        assert_eq!(b.session, a.session);
+        assert_eq!(b.epoch, 2);
+        assert!(!reg.epoch_current(a.session, a.epoch));
+        assert!(reg.epoch_current(a.session, b.epoch));
+        // A stale handler's disconnect must not mark the successor closed.
+        reg.disconnected(a.session, a.epoch);
+        let c = reg.open(a.session, now).expect("resume again");
+        assert_eq!(c.epoch, 3);
+    }
+
+    #[test]
+    fn unknown_resume_opens_fresh() {
+        let reg = registry(8);
+        let open = reg.open(999, Instant::now()).expect("open");
+        assert!(!open.resumed);
+        assert_ne!(open.session, 999);
+    }
+
+    #[test]
+    fn dedup_and_ack_lines_track_the_queue() {
+        let reg = registry(8);
+        let s = reg.open(0, Instant::now()).expect("open").session;
+        assert_eq!(reg.classify(s, 1), ReportClass::Fresh);
+        reg.note_enqueued(s, 1);
+        reg.note_enqueued(s, 2);
+        reg.note_enqueued(s, 3);
+        // All three pending: replays suppressed, ack line still zero.
+        assert_eq!(reg.classify(s, 2), ReportClass::Replay);
+        assert_eq!(reg.handled_up_to(s), 0);
+        reg.drained(s, 1);
+        assert_eq!(reg.handled_up_to(s), 1);
+        reg.drained(s, 2);
+        reg.drained(s, 3);
+        assert_eq!(reg.handled_up_to(s), 3);
+        // A door-shed seq is terminal immediately.
+        reg.note_shed_at_door(s, 4);
+        assert_eq!(reg.classify(s, 4), ReportClass::Replay);
+        assert_eq!(reg.handled_up_to(s), 4);
+    }
+
+    #[test]
+    fn retract_pending_unpins_the_ack_line() {
+        let reg = registry(8);
+        let s = reg.open(0, Instant::now()).expect("open").session;
+        reg.note_enqueued(s, 1);
+        reg.note_enqueued(s, 2);
+        // Admission refused seq 2 after the registry already saw it.
+        reg.retract_pending(s, 2);
+        reg.drained(s, 1);
+        // The run is empty, so the line covers the (terminal) shed too.
+        assert_eq!(reg.handled_up_to(s), 2);
+        assert_eq!(reg.classify(s, 2), ReportClass::Replay);
+    }
+
+    #[test]
+    fn pump_shed_removes_pending_and_queues_the_frame() {
+        let reg = registry(8);
+        let s = reg.open(0, Instant::now()).expect("open").session;
+        reg.note_enqueued(s, 1);
+        reg.note_enqueued(s, 2);
+        reg.shed_at_drain(s, 1, ShedReason::DeadlineExceeded);
+        assert_eq!(reg.handled_up_to(s), 1);
+        let notes = reg.take_outbox(s);
+        assert_eq!(
+            notes,
+            vec![OutboundNote::Shed {
+                seq: 1,
+                reason: ShedReason::DeadlineExceeded
+            }]
+        );
+        assert!(reg.take_outbox(s).is_empty());
+    }
+
+    #[test]
+    fn quota_caps_the_pending_run() {
+        let reg = registry(2);
+        let s = reg.open(0, Instant::now()).expect("open").session;
+        reg.note_enqueued(s, 1);
+        reg.note_enqueued(s, 2);
+        assert_eq!(reg.classify(s, 3), ReportClass::QuotaExceeded);
+        reg.drained(s, 1);
+        assert_eq!(reg.classify(s, 3), ReportClass::Fresh);
+    }
+
+    #[test]
+    fn gc_forgets_only_idle_disconnected_empty_sessions() {
+        let reg = registry(8);
+        let now = Instant::now();
+        let open = reg.open(0, now).expect("open");
+        let busy = reg.open(0, now).expect("open busy");
+        reg.note_enqueued(busy.session, 1);
+        reg.disconnected(open.session, open.epoch);
+        reg.disconnected(busy.session, busy.epoch);
+        std::thread::sleep(Duration::from_millis(15));
+        let collected = reg.gc(Instant::now());
+        assert_eq!(collected, 1, "only the empty idle session is collectable");
+        assert!(reg.epoch_current(busy.session, busy.epoch));
+        assert!(!reg.epoch_current(open.session, open.epoch));
+    }
+
+    #[test]
+    fn registry_cap_refuses_then_recovers_via_gc() {
+        let reg = registry(8);
+        let now = Instant::now();
+        let opens: Vec<SessionOpen> = (0..4).map(|_| reg.open(0, now).expect("open")).collect();
+        assert_eq!(reg.open(0, now), Err(OpenError::ServerFull));
+        for o in &opens {
+            reg.disconnected(o.session, o.epoch);
+        }
+        std::thread::sleep(Duration::from_millis(15));
+        // The cap path collects idle sessions before refusing.
+        assert!(reg.open(0, Instant::now()).is_ok());
+    }
+
+    #[test]
+    fn snapshot_pushes_replace_stale_ones() {
+        let reg = registry(8);
+        let s = reg.open(0, Instant::now()).expect("open").session;
+        assert_eq!(reg.push_snapshot_all(false, &[(1, 5)]), 1);
+        assert_eq!(reg.push_snapshot_all(true, &[(2, -1)]), 1);
+        let notes = reg.take_outbox(s);
+        assert_eq!(notes.len(), 1, "older snapshot replaced");
+        assert_eq!(
+            notes[0],
+            OutboundNote::Snapshot {
+                degraded: true,
+                entries: vec![(2, -1)]
+            }
+        );
+    }
+}

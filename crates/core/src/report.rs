@@ -20,6 +20,7 @@
 //! silently vanishing from the exposition.
 
 use crate::metrics::Metrics;
+use crate::net::stats::NetStatsSnapshot;
 use ctup_obs::json::ObjectWriter;
 use ctup_obs::{summarize, LatencySnapshot, LogHistogram};
 use ctup_storage::StorageStatsSnapshot;
@@ -39,6 +40,9 @@ pub struct Snapshot {
     pub storage: StorageStatsSnapshot,
     /// Latency histograms (update phases, checkpoint writes, disk reads).
     pub latency: LatencySnapshot,
+    /// Networked-ingest front door counters (all zero for local runs that
+    /// never opened the door).
+    pub net: NetStatsSnapshot,
 }
 
 impl Snapshot {
@@ -54,7 +58,15 @@ impl Snapshot {
             metrics,
             storage,
             latency,
+            net: NetStatsSnapshot::default(),
         }
+    }
+
+    /// Attaches the networked-ingest counters of a served run.
+    #[must_use]
+    pub fn with_net(mut self, net: NetStatsSnapshot) -> Self {
+        self.net = net;
+        self
     }
 
     /// Every monotonically increasing counter, as `(name, value)` pairs.
@@ -64,6 +76,7 @@ impl Snapshot {
         let m = &self.metrics;
         let r = &m.resilience;
         let s = &self.storage;
+        let n = &self.net;
         vec![
             ("updates_processed", m.updates_processed),
             ("cells_accessed", m.cells_accessed),
@@ -98,6 +111,23 @@ impl Snapshot {
             ("storage_cache_hits", s.cache_hits),
             ("storage_cache_misses", s.cache_misses),
             ("storage_cache_evictions", s.cache_evictions),
+            ("net_connections_accepted", n.connections_accepted),
+            ("net_connections_rejected", n.connections_rejected),
+            ("net_sessions_opened", n.sessions_opened),
+            ("net_sessions_resumed", n.sessions_resumed),
+            ("net_sessions_evicted", n.sessions_evicted),
+            ("net_frames_received", n.frames_received),
+            ("net_frames_malformed", n.frames_malformed),
+            ("net_partial_disconnects", n.partial_disconnects),
+            ("net_reports_accepted", n.reports_accepted),
+            ("net_replays_suppressed", n.replays_suppressed),
+            ("net_shed_queue_full", n.shed_queue_full),
+            ("net_shed_deadline_exceeded", n.shed_deadline_exceeded),
+            ("net_shed_session_quota", n.shed_session_quota),
+            ("net_shed_engine_degraded", n.shed_engine_degraded),
+            ("net_shed_total", n.shed_total()),
+            ("net_degraded_entries", n.degraded_entries),
+            ("net_snapshots_pushed", n.snapshots_pushed),
         ]
     }
 
@@ -111,16 +141,23 @@ impl Snapshot {
     /// Every gauge (a value that can go down), as `(name, value)` pairs.
     pub fn gauges(&self) -> Vec<(&'static str, u64)> {
         let m = &self.metrics;
+        let n = &self.net;
         vec![
             ("maintained_now", m.maintained_now),
             ("maintained_peak", m.maintained_peak),
             ("dechash_len", m.dechash_len),
+            ("net_queue_depth", n.queue_depth),
+            ("net_sessions_active", n.sessions_active),
+            ("net_degraded", u64::from(n.degraded)),
         ]
     }
 
-    /// The latency histograms, as `(name, histogram)` pairs.
-    pub fn histograms(&self) -> [(&'static str, &LogHistogram); 5] {
-        self.latency.named()
+    /// The latency histograms plus the front door's ingest-wait
+    /// distribution, as `(name, histogram)` pairs.
+    pub fn histograms(&self) -> Vec<(&'static str, &LogHistogram)> {
+        let mut named: Vec<(&'static str, &LogHistogram)> = self.latency.named().to_vec();
+        named.push(("net_ingest_wait_nanos", &self.net.ingest_wait_nanos));
+        named
     }
 
     /// Human-readable multi-line report: one `name: value` line per
@@ -354,8 +391,36 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), total, "duplicate series name");
-        // 10 Metrics counters + 13 resilience + 10 storage + 3 gauges.
-        assert_eq!(total, 36);
+        // 10 Metrics counters + 13 resilience + 10 storage + 17 net
+        // + 3 algorithm gauges + 3 net gauges.
+        assert_eq!(total, 56);
+    }
+
+    #[test]
+    fn net_counters_reach_every_format() {
+        let mut snap = sample();
+        snap.net.reports_accepted = 11;
+        snap.net.shed_queue_full = 2;
+        snap.net.shed_engine_degraded = 1;
+        snap.net.degraded = true;
+        snap.net.ingest_wait_nanos.record(12_345);
+        let text = snap.render_text();
+        assert!(text.contains("net_reports_accepted: 11\n"));
+        assert!(text.contains("net_shed_queue_full: 2\n"));
+        assert!(text.contains("net_shed_total: 3\n"));
+        assert!(text.contains("net_degraded: 1\n"));
+        assert!(text.contains("net_ingest_wait_nanos: n=1 "));
+        let json = snap.render_json();
+        assert!(json.contains("\"net_reports_accepted\":11"));
+        assert!(json.contains("\"net_shed_deadline_exceeded\":0"));
+        assert!(json.contains("\"net_shed_session_quota\":0"));
+        assert!(json.contains("\"net_degraded\":1"));
+        assert!(json.contains("\"net_ingest_wait_nanos\":{"));
+        let prom = snap.render_prom();
+        assert!(prom.contains("# TYPE ctup_net_shed_queue_full counter\n"));
+        assert!(prom.contains("ctup_net_shed_queue_full{algorithm=\"opt\"} 2\n"));
+        assert!(prom.contains("# TYPE ctup_net_degraded gauge\n"));
+        assert!(prom.contains("ctup_net_ingest_wait_nanos_count{algorithm=\"opt\"} 1\n"));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod netfaults;
 pub mod network;
 pub mod objects;
 pub mod places;
@@ -30,6 +31,7 @@ pub mod uniform;
 pub mod workload;
 
 pub use faults::{FaultLog, FaultPlan};
+pub use netfaults::{ChaosStream, LinkScript, NetFaultPlan};
 pub use network::{CityParams, Edge, NodeId, RoadNetwork};
 pub use objects::{MovingObjectSim, PositionUpdate};
 pub use places::{PlaceGenConfig, PlaceGenerator, Spread};

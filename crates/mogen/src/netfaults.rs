@@ -1,0 +1,290 @@
+//! Seeded network fault injection for the ingest front door.
+//!
+//! A [`NetFaultPlan`] deterministically scripts how each connection
+//! *attempt* misbehaves: dropped before the handshake, killed after a
+//! byte budget (tearing a frame mid-write), throttled into a slowloris
+//! trickle, or left clean. [`ChaosStream`] wraps any `Read + Write`
+//! transport (a `TcpStream` in the chaos tests) and enforces the script
+//! at the byte level, so the server sees genuine partial frames and slow
+//! clients rather than simulated ones.
+//!
+//! Everything here is `std`-only and driven by a xorshift generator: the
+//! same seed always yields the same fault schedule, which is what lets
+//! `tests/netchaos.rs` assert *exact* accounting under faults.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// How one connection attempt is scripted to behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkScript {
+    /// Refuse the attempt outright (dial succeeds, but the first write
+    /// fails) — models a connection dropped before the handshake.
+    pub refuse: bool,
+    /// Kill the link after this many written bytes (`None` = never);
+    /// landing inside a frame produces a genuine partial-frame disconnect.
+    pub die_after_bytes: Option<u64>,
+    /// Largest chunk a single write may push; 0 means unlimited. Small
+    /// chunks with a delay model a slowloris sender.
+    pub write_chunk: usize,
+    /// Sleep inserted before each chunked write.
+    pub write_delay: Duration,
+}
+
+impl LinkScript {
+    /// A well-behaved link.
+    pub fn clean() -> Self {
+        LinkScript {
+            refuse: false,
+            die_after_bytes: None,
+            write_chunk: 0,
+            write_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Deterministic per-attempt fault schedule.
+#[derive(Debug, Clone)]
+pub struct NetFaultPlan {
+    /// Seed for the schedule; same seed, same faults.
+    pub seed: u64,
+    /// Probability (per mille) that an attempt is refused outright.
+    pub refuse_per_mille: u16,
+    /// Probability (per mille) that the link dies mid-stream.
+    pub die_per_mille: u16,
+    /// Byte budget range for mid-stream deaths: the link dies after
+    /// `die_min_bytes + r % die_spread_bytes` written bytes.
+    pub die_min_bytes: u64,
+    /// Spread added to [`NetFaultPlan::die_min_bytes`] (0 = exact).
+    pub die_spread_bytes: u64,
+    /// Probability (per mille) that the attempt is a slowloris trickle.
+    pub slow_per_mille: u16,
+    /// Chunk size of a slowloris attempt.
+    pub slow_chunk: usize,
+    /// Delay before each slowloris chunk.
+    pub slow_delay: Duration,
+}
+
+impl Default for NetFaultPlan {
+    fn default() -> Self {
+        NetFaultPlan {
+            seed: 0xc4a0_5bad,
+            refuse_per_mille: 0,
+            die_per_mille: 0,
+            die_min_bytes: 16,
+            die_spread_bytes: 64,
+            slow_per_mille: 0,
+            slow_chunk: 1,
+            slow_delay: Duration::from_millis(5),
+        }
+    }
+}
+
+fn mix(seed: u64, attempt: u64) -> u64 {
+    // splitmix64 over (seed, attempt): decorrelates consecutive attempts.
+    let mut z = seed
+        .wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl NetFaultPlan {
+    /// The script for connection attempt `attempt` (0-based). Faults are
+    /// mutually exclusive per attempt, checked in order refuse → die →
+    /// slow; an attempt matching none is clean.
+    pub fn script(&self, attempt: u64) -> LinkScript {
+        let r = mix(self.seed, attempt);
+        let roll = u16::try_from(r % 1000).unwrap_or(999);
+        let mut script = LinkScript::clean();
+        if roll < self.refuse_per_mille {
+            script.refuse = true;
+        } else if roll < self.refuse_per_mille.saturating_add(self.die_per_mille) {
+            let spread = self.die_spread_bytes.max(1);
+            script.die_after_bytes = Some(self.die_min_bytes + (r >> 10) % spread);
+        } else if roll
+            < self
+                .refuse_per_mille
+                .saturating_add(self.die_per_mille)
+                .saturating_add(self.slow_per_mille)
+        {
+            script.write_chunk = self.slow_chunk.max(1);
+            script.write_delay = self.slow_delay;
+        }
+        script
+    }
+}
+
+/// A `Read + Write` transport that enforces a [`LinkScript`].
+#[derive(Debug)]
+pub struct ChaosStream<S> {
+    inner: S,
+    script: LinkScript,
+    written: u64,
+    dead: bool,
+}
+
+impl<S> ChaosStream<S> {
+    /// Wraps `inner` under `script`.
+    pub fn new(inner: S, script: LinkScript) -> Self {
+        ChaosStream {
+            inner,
+            script,
+            written: 0,
+            dead: false,
+        }
+    }
+
+    /// Bytes successfully written before the link died (or so far).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Whether the scripted death has happened.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn broken() -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::BrokenPipe, "chaos: link dead")
+    }
+}
+
+impl<S: Read> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(Self::broken());
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dead || self.script.refuse {
+            self.dead = true;
+            return Err(Self::broken());
+        }
+        let mut allowed = buf.len();
+        // Budgeted death: allow exactly the remaining budget through, so
+        // the peer observes a genuinely torn frame, then fail.
+        if let Some(budget) = self.script.die_after_bytes {
+            let remaining = budget.saturating_sub(self.written);
+            if remaining == 0 {
+                self.dead = true;
+                return Err(Self::broken());
+            }
+            allowed = allowed.min(usize::try_from(remaining).unwrap_or(usize::MAX));
+        }
+        if self.script.write_chunk > 0 {
+            allowed = allowed.min(self.script.write_chunk);
+            if !self.script.write_delay.is_zero() {
+                std::thread::sleep(self.script.write_delay);
+            }
+        }
+        let n = self.inner.write(&buf[..allowed])?;
+        self.written += u64::try_from(n).unwrap_or(0);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = NetFaultPlan {
+            refuse_per_mille: 100,
+            die_per_mille: 300,
+            slow_per_mille: 200,
+            ..NetFaultPlan::default()
+        };
+        for attempt in 0..64 {
+            assert_eq!(plan.script(attempt), plan.script(attempt));
+        }
+        let other = NetFaultPlan {
+            seed: plan.seed + 1,
+            ..plan.clone()
+        };
+        // A different seed must produce a different schedule somewhere.
+        assert!((0..64).any(|a| plan.script(a) != other.script(a)));
+    }
+
+    #[test]
+    fn fault_rates_roughly_match_per_mille() {
+        let plan = NetFaultPlan {
+            refuse_per_mille: 250,
+            die_per_mille: 250,
+            slow_per_mille: 250,
+            ..NetFaultPlan::default()
+        };
+        let mut refused = 0;
+        let mut died = 0;
+        let mut slowed = 0;
+        let total = 4000u64;
+        for attempt in 0..total {
+            let s = plan.script(attempt);
+            if s.refuse {
+                refused += 1;
+            } else if s.die_after_bytes.is_some() {
+                died += 1;
+            } else if s.write_chunk > 0 {
+                slowed += 1;
+            }
+        }
+        for (name, count) in [("refused", refused), ("died", died), ("slowed", slowed)] {
+            let share = f64::from(count) / total as f64;
+            assert!(
+                (0.15..0.35).contains(&share),
+                "{name} share {share} far from 0.25"
+            );
+        }
+    }
+
+    #[test]
+    fn die_after_bytes_tears_mid_write() {
+        let script = LinkScript {
+            refuse: false,
+            die_after_bytes: Some(10),
+            write_chunk: 0,
+            write_delay: Duration::ZERO,
+        };
+        let mut chaos = ChaosStream::new(std::io::Cursor::new(Vec::new()), script);
+        assert_eq!(chaos.write(b"0123456").expect("within budget"), 7);
+        // 3 bytes of budget left: the write is truncated, then fails.
+        assert_eq!(chaos.write(b"789abcdef").expect("torn write"), 3);
+        assert!(chaos.write(b"x").is_err());
+        assert!(chaos.is_dead());
+        assert_eq!(chaos.written(), 10);
+        assert!(chaos.read(&mut [0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn refuse_fails_the_first_write() {
+        let script = LinkScript {
+            refuse: true,
+            ..LinkScript::clean()
+        };
+        let mut chaos = ChaosStream::new(Vec::new(), script);
+        assert!(chaos.write(b"hello").is_err());
+    }
+
+    #[test]
+    fn slow_chunk_limits_write_size() {
+        let script = LinkScript {
+            refuse: false,
+            die_after_bytes: None,
+            write_chunk: 2,
+            write_delay: Duration::ZERO,
+        };
+        let mut chaos = ChaosStream::new(Vec::new(), script);
+        assert_eq!(chaos.write(b"abcdef").expect("chunked"), 2);
+        assert_eq!(chaos.write(b"cdef").expect("chunked"), 2);
+    }
+}

@@ -1,30 +1,73 @@
-//! A deliberately tiny `/metrics` HTTP responder on a std `TcpListener`.
+//! A deliberately tiny `/metrics` + `/healthz` HTTP responder on a std
+//! `TcpListener`.
 //!
-//! Scope: serve the current Prometheus exposition text to scrapers during
-//! a run. One accept thread, blocking I/O with short timeouts, no TLS, no
-//! keep-alive — a scrape endpoint, not a web server. Zero dependencies.
+//! Scope: serve the current Prometheus exposition text and a liveness
+//! document to scrapers during a run. Blocking I/O with short timeouts, no
+//! TLS, no keep-alive — a scrape endpoint, not a web server. Zero
+//! dependencies.
+//!
+//! Each accepted connection is served on its own short-lived thread with a
+//! hard overall deadline, so a stalled or trickling client can never wedge
+//! the accept loop and block other scrapers (the failure mode the old
+//! serve-inline design had: one peer that connected and sent nothing
+//! renewed its 500 ms read timeout forever while `/metrics` went dark).
+//! Concurrent handler threads are capped; connections beyond the cap get
+//! an immediate best-effort `503` instead of queueing behind a slow peer.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Shared handle for publishing the exposition body to the serving thread.
+/// Cap on concurrently served connections.
+const MAX_INFLIGHT: usize = 32;
+/// A whole request (headers) must arrive within this.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(1);
+/// Granularity of the read loop under the deadline.
+const READ_TICK: Duration = Duration::from_millis(100);
+/// Bound on writing the response to a slow reader.
+const WRITE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The two independently published documents.
+#[derive(Debug)]
+struct Bodies {
+    metrics: Mutex<String>,
+    health: Mutex<String>,
+}
+
+fn read_locked(m: &Mutex<String>) -> String {
+    match m.lock() {
+        Ok(guard) => guard.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    }
+}
+
+fn write_locked(m: &Mutex<String>, value: String) {
+    let mut guard = match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard = value;
+}
+
+/// Shared handle for publishing the served documents to the responder.
 #[derive(Debug, Clone)]
 pub struct MetricsPublisher {
-    body: Arc<Mutex<String>>,
+    bodies: Arc<Bodies>,
 }
 
 impl MetricsPublisher {
     /// Replaces the served `/metrics` body.
     pub fn publish(&self, body: String) {
-        let mut guard = match self.body.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        *guard = body;
+        write_locked(&self.bodies.metrics, body);
+    }
+
+    /// Replaces the served `/healthz` body (a small JSON document carrying
+    /// liveness and the degraded flag).
+    pub fn publish_health(&self, body: String) {
+        write_locked(&self.bodies.health, body);
     }
 }
 
@@ -33,27 +76,32 @@ impl MetricsPublisher {
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
-    body: Arc<Mutex<String>>,
+    bodies: Arc<Bodies>,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl MetricsServer {
     /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving. The initial
-    /// body is empty until the first [`MetricsPublisher::publish`].
+    /// `/metrics` body is empty until the first
+    /// [`MetricsPublisher::publish`]; `/healthz` starts as a healthy
+    /// non-degraded document.
     pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let body = Arc::new(Mutex::new(String::new()));
+        let bodies = Arc::new(Bodies {
+            metrics: Mutex::new(String::new()),
+            health: Mutex::new("{\"status\":\"ok\",\"degraded\":false}".to_string()),
+        });
         let stop = Arc::new(AtomicBool::new(false));
-        let thread_body = Arc::clone(&body);
+        let thread_bodies = Arc::clone(&bodies);
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("ctup-metrics".into())
-            .spawn(move || accept_loop(listener, thread_body, thread_stop))?;
+            .spawn(move || accept_loop(&listener, &thread_bodies, &thread_stop))?;
         Ok(MetricsServer {
             addr,
-            body,
+            bodies,
             stop,
             handle: Some(handle),
         })
@@ -67,11 +115,12 @@ impl MetricsServer {
     /// A cloneable handle for publishing new exposition bodies.
     pub fn publisher(&self) -> MetricsPublisher {
         MetricsPublisher {
-            body: Arc::clone(&self.body),
+            bodies: Arc::clone(&self.bodies),
         }
     }
 
-    /// Stops the accept thread and joins it.
+    /// Stops the accept thread and joins it. In-flight connection handlers
+    /// finish on their own (each is bounded by the request deadline).
     pub fn shutdown(mut self) {
         self.stop_thread();
     }
@@ -92,42 +141,76 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, body: Arc<Mutex<String>>, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: &TcpListener, bodies: &Arc<Bodies>, stop: &Arc<AtomicBool>) {
+    let inflight = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let text = {
-            let guard = match body.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            guard.clone()
-        };
-        // Serve each connection inline: scrapes are rare and tiny, and an
-        // inline response keeps the thread budget at exactly one.
-        let _ = serve_one(stream, &text);
+        if inflight.load(Ordering::SeqCst) >= MAX_INFLIGHT {
+            // Over the cap: refuse fast rather than queueing behind the
+            // slow peers that filled the slots.
+            let _ = respond(
+                &stream,
+                "503 Service Unavailable",
+                "text/plain; charset=utf-8",
+                "busy; retry\n",
+            );
+            continue;
+        }
+        inflight.fetch_add(1, Ordering::SeqCst);
+        let bodies = Arc::clone(bodies);
+        let for_handler = Arc::clone(&inflight);
+        let spawned = std::thread::Builder::new()
+            .name("ctup-metrics-conn".into())
+            .spawn(move || {
+                let _ = serve_one(&stream, &bodies);
+                for_handler.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            inflight.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
-fn serve_one(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
-    // Read until the end of the request headers (clients may deliver the
-    // request in several segments); closing with unread data queued would
-    // RST the connection under the response.
+/// Reads one request under the overall deadline and answers it. A peer
+/// that stalls or trickles past the deadline gets dropped; only this
+/// handler thread waits on it, never the accept loop.
+fn serve_one(mut stream: &TcpStream, bodies: &Bodies) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let deadline = Instant::now() + REQUEST_DEADLINE;
     let mut buf = [0u8; 2048];
     let mut len = 0usize;
-    while len < buf.len() {
-        let n = stream.read(&mut buf[len..])?;
-        if n == 0 {
-            break;
+    let complete = loop {
+        if Instant::now() > deadline || len >= buf.len() {
+            break false;
         }
-        len += n;
-        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break false,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break true;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
         }
+    };
+    if !complete {
+        return respond(
+            stream,
+            "408 Request Timeout",
+            "text/plain; charset=utf-8",
+            "request did not complete in time\n",
+        );
     }
     let request = String::from_utf8_lossy(&buf[..len]);
     let path = request
@@ -135,22 +218,39 @@ fn serve_one(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
         .next()
         .and_then(|line| line.split_whitespace().nth(1))
         .unwrap_or("/");
-    let response = if path == "/metrics" || path.starts_with("/metrics?") {
-        format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
-            body.len(),
-            body
+    if path == "/metrics" || path.starts_with("/metrics?") {
+        let body = read_locked(&bodies.metrics);
+        respond(
+            stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &body,
         )
+    } else if path == "/healthz" || path.starts_with("/healthz?") {
+        let body = read_locked(&bodies.health);
+        respond(stream, "200 OK", "application/json; charset=utf-8", &body)
     } else {
-        let msg = "not found; scrape /metrics\n";
-        format!(
-            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
-            msg.len(),
-            msg
+        respond(
+            stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; scrape /metrics or /healthz\n",
         )
-    };
+    }
+}
+
+fn respond(
+    mut stream: &TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    );
     stream.write_all(response.as_bytes())?;
     stream.flush()
 }
@@ -197,6 +297,61 @@ mod tests {
         assert!(get(server.local_addr(), "/metrics").ends_with("a 1\n"));
         publisher.publish("a 2\n".to_string());
         assert!(get(server.local_addr(), "/metrics").ends_with("a 2\n"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_serves_liveness_and_updates() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let resp = get(server.local_addr(), "/healthz");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "got: {resp}");
+        assert!(resp.contains("application/json"));
+        assert!(resp.ends_with("{\"status\":\"ok\",\"degraded\":false}"));
+        server
+            .publisher()
+            .publish_health("{\"status\":\"degraded\",\"degraded\":true}".to_string());
+        let resp = get(server.local_addr(), "/healthz");
+        assert!(resp.ends_with("{\"status\":\"degraded\",\"degraded\":true}"));
+        server.shutdown();
+    }
+
+    /// The regression the per-connection redesign exists for: a client
+    /// that connects and then sends nothing must not block other scrapes.
+    #[test]
+    fn stalled_client_does_not_block_scrapes() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        server.publisher().publish("x 1\n".to_string());
+        // Open a connection and stall it (no bytes sent).
+        let stalled = TcpStream::connect(server.local_addr()).expect("connect");
+        // Open a second and trickle one byte; it stays incomplete.
+        let mut trickle = TcpStream::connect(server.local_addr()).expect("connect");
+        trickle.write_all(b"G").expect("trickle byte");
+        // A concurrent well-behaved scrape must be answered promptly.
+        let started = Instant::now();
+        let resp = get(server.local_addr(), "/metrics");
+        assert!(resp.ends_with("x 1\n"), "got: {resp}");
+        assert!(
+            started.elapsed() < REQUEST_DEADLINE,
+            "scrape was blocked behind a stalled client: {:?}",
+            started.elapsed()
+        );
+        // The stalled clients are eventually answered with a 408 (or the
+        // connection is closed), not left hanging forever.
+        drop(stalled);
+        drop(trickle);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_gets_request_timeout() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let mut stalled = TcpStream::connect(server.local_addr()).expect("connect");
+        stalled
+            .set_read_timeout(Some(REQUEST_DEADLINE * 3))
+            .expect("timeout");
+        let mut out = String::new();
+        stalled.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.1 408"), "got: {out}");
         server.shutdown();
     }
 }

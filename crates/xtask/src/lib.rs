@@ -189,7 +189,16 @@ mod tests {
     #[test]
     fn default_config_points_at_real_files() {
         let cfg = LintConfig::default();
-        assert_eq!(cfg.metrics.len(), 4);
+        assert_eq!(cfg.metrics.len(), 6);
+        // The net counters are covered twice: the Prometheus renderer and
+        // the `ctup serve` shutdown report must each mention every field.
+        assert_eq!(
+            cfg.metrics
+                .iter()
+                .filter(|m| m.struct_file == "crates/core/src/net/stats.rs")
+                .count(),
+            2
+        );
         assert!(cfg
             .metrics
             .iter()

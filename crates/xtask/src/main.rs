@@ -7,6 +7,7 @@
 //! cargo xtask lint --root <dir>            # lint a different tree (tests, CI)
 //! cargo xtask promcheck [FILE]             # validate a Prometheus exposition (stdin default)
 //! cargo xtask flightcheck FILE             # validate a flight-recorder JSONL dump
+//! cargo xtask healthcheck [FILE]           # validate a /healthz body (stdin default)
 //! ```
 
 use std::io::Read;
@@ -20,13 +21,16 @@ USAGE:
     cargo xtask lint [--json] [--update-fingerprints] [--root <dir>]
     cargo xtask promcheck [FILE]
     cargo xtask flightcheck FILE
+    cargo xtask healthcheck [FILE]
 
 The lint subcommand runs the CTUP domain-invariant checker (rules
 L000–L005; see DESIGN.md §10). promcheck validates a Prometheus text
 exposition (from `ctup report --format prom` or a `/metrics` scrape;
 reads stdin when FILE is omitted). flightcheck validates a
-flight-recorder JSONL dump and prints its event span. Exit codes:
-0 clean, 1 violations, 2 usage or I/O error."
+flight-recorder JSONL dump and prints its event span. healthcheck
+validates a `/healthz` body from `ctup serve` (stdin when FILE is
+omitted): status/degraded must agree and the load gauges must be
+integers. Exit codes: 0 clean, 1 violations, 2 usage or I/O error."
 }
 
 /// `promcheck [FILE]` — stdin when no file is given.
@@ -57,6 +61,42 @@ fn promcheck(file: Option<&String>) -> ExitCode {
             eprintln!("promcheck: {p}");
         }
         ExitCode::from(1)
+    }
+}
+
+/// `healthcheck [FILE]` — stdin when no file is given.
+fn healthcheck(file: Option<&String>) -> ExitCode {
+    let text = match file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("healthcheck: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("healthcheck: stdin: {e}");
+                return ExitCode::from(2);
+            }
+            buf
+        }
+    };
+    match xtask::obscheck::check_health(&text) {
+        Ok(summary) => {
+            println!(
+                "healthcheck: status {:?}, degraded {}, {} session(s), queue depth {}",
+                summary.status, summary.degraded, summary.sessions, summary.queue_depth
+            );
+            ExitCode::SUCCESS
+        }
+        Err(problems) => {
+            for p in &problems {
+                eprintln!("healthcheck: {p}");
+            }
+            ExitCode::from(1)
+        }
     }
 }
 
@@ -96,6 +136,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "lint" => {}
         "promcheck" => return promcheck(iter.next()),
+        "healthcheck" => return healthcheck(iter.next()),
         "flightcheck" => match iter.next() {
             Some(file) => return flightcheck(file),
             None => {

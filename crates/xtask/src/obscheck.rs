@@ -6,7 +6,9 @@
 //! histogram buckets are cumulative and end in `+Inf` with a matching
 //! `_count`. `flightcheck` validates a flight-recorder JSONL dump:
 //! every line is a flat JSON object carrying `seq` and `outcome`, and
-//! sequence numbers are strictly increasing.
+//! sequence numbers are strictly increasing. `healthcheck` validates a
+//! `/healthz` body from `ctup serve`: a flat JSON object whose `status`
+//! string and `degraded` boolean agree, with numeric load gauges.
 //!
 //! Both are hand-rolled on purpose: the point of the check is that a
 //! scraper with no knowledge of our code could consume the output, so
@@ -234,12 +236,23 @@ pub struct FlightLine {
     pub outcome: String,
 }
 
-/// Parses one flat JSON object emitted by the flight recorder, extracting
-/// `seq` and `outcome`. This is a structural validator, not a full JSON
-/// parser: it checks the brace framing, walks `"key":value` pairs left to
-/// right, and understands strings (with escapes), numbers and booleans —
-/// exactly the grammar the recorder emits.
-fn parse_flight_line(line: &str) -> Result<FlightLine, String> {
+/// A scalar value in a flat JSON object: a decoded string, or the raw
+/// text of a number / boolean / null token (kept raw so callers can
+/// re-parse at whatever width they need).
+#[derive(Debug, Clone, PartialEq)]
+enum FlatValue {
+    /// A decoded JSON string.
+    Str(String),
+    /// The raw token of a number, `true`, `false` or `null`.
+    Raw(String),
+}
+
+/// Walks one flat JSON object into `(key, value)` pairs. This is a
+/// structural validator, not a full JSON parser: it checks the brace
+/// framing, walks `"key":value` pairs left to right, and understands
+/// strings (with escapes), numbers, booleans and null — exactly the
+/// grammar the flight recorder and the `/healthz` endpoint emit.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, FlatValue)>, String> {
     let inner = line
         .trim()
         .strip_prefix('{')
@@ -247,8 +260,7 @@ fn parse_flight_line(line: &str) -> Result<FlightLine, String> {
         .ok_or_else(|| "not a JSON object (missing braces)".to_string())?;
     let bytes = inner.as_bytes();
     let mut i = 0usize;
-    let mut seq: Option<u64> = None;
-    let mut outcome: Option<String> = None;
+    let mut pairs = Vec::new();
 
     fn parse_string(bytes: &[u8], mut i: usize) -> Result<(String, usize), String> {
         if bytes.get(i) != Some(&b'"') {
@@ -297,9 +309,7 @@ fn parse_flight_line(line: &str) -> Result<FlightLine, String> {
         if bytes.get(i) == Some(&b'"') {
             let (text, next) = parse_string(bytes, i)?;
             value_end = next;
-            if key == "outcome" {
-                outcome = Some(text);
-            }
+            pairs.push((key, FlatValue::Str(text)));
         } else {
             let mut j = i;
             while j < bytes.len() && bytes[j] != b',' {
@@ -311,9 +321,7 @@ fn parse_flight_line(line: &str) -> Result<FlightLine, String> {
             if !is_number && raw != "true" && raw != "false" && raw != "null" {
                 return Err(format!("key {key:?} has unparseable value {raw:?}"));
             }
-            if key == "seq" {
-                seq = raw.parse::<u64>().ok();
-            }
+            pairs.push((key, FlatValue::Raw(raw.to_string())));
         }
         i = value_end;
         match bytes.get(i) {
@@ -322,12 +330,127 @@ fn parse_flight_line(line: &str) -> Result<FlightLine, String> {
             Some(other) => return Err(format!("expected `,` got `{}`", *other as char)),
         }
     }
+    Ok(pairs)
+}
 
+/// Parses one flight-recorder line, extracting `seq` and `outcome`.
+fn parse_flight_line(line: &str) -> Result<FlightLine, String> {
+    let mut seq: Option<u64> = None;
+    let mut outcome: Option<String> = None;
+    for (key, value) in parse_flat_object(line)? {
+        match (key.as_str(), value) {
+            ("seq", FlatValue::Raw(raw)) => seq = raw.parse::<u64>().ok(),
+            ("outcome", FlatValue::Str(text)) => outcome = Some(text),
+            _ => {}
+        }
+    }
     match (seq, outcome) {
         (Some(seq), Some(outcome)) => Ok(FlightLine { seq, outcome }),
         (None, _) => Err("missing numeric `seq` field".into()),
         (_, None) => Err("missing string `outcome` field".into()),
     }
+}
+
+/// Result of a successful `/healthz` validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSummary {
+    /// The `status` string (`ok` or `degraded`).
+    pub status: String,
+    /// The `degraded` flag.
+    pub degraded: bool,
+    /// Active ingest sessions.
+    pub sessions: u64,
+    /// Admission-queue depth at publish time.
+    pub queue_depth: u64,
+}
+
+/// Validates a `/healthz` body from `ctup serve`: one flat JSON object
+/// whose `status` string and `degraded` boolean must agree (`ok` ⇔
+/// `false`, `degraded` ⇔ `true`), with non-negative integer `sessions`
+/// and `queue_depth` gauges. Unknown extra keys are allowed so the
+/// document can grow without breaking deployed probes.
+pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
+    let mut problems = Vec::new();
+    let pairs = match parse_flat_object(text) {
+        Ok(pairs) => pairs,
+        Err(message) => return Err(vec![Problem { line: 1, message }]),
+    };
+    let mut status: Option<String> = None;
+    let mut degraded: Option<bool> = None;
+    let mut sessions: Option<u64> = None;
+    let mut queue_depth: Option<u64> = None;
+    for (key, value) in pairs {
+        match (key.as_str(), value) {
+            ("status", FlatValue::Str(text)) => {
+                if text != "ok" && text != "degraded" {
+                    problems.push(Problem {
+                        line: 1,
+                        message: format!("`status` must be \"ok\" or \"degraded\", got {text:?}"),
+                    });
+                }
+                status = Some(text);
+            }
+            ("degraded", FlatValue::Raw(raw)) if raw == "true" || raw == "false" => {
+                degraded = Some(raw == "true");
+            }
+            ("degraded", other) => problems.push(Problem {
+                line: 1,
+                message: format!("`degraded` must be a boolean, got {other:?}"),
+            }),
+            (gauge @ ("sessions" | "queue_depth"), value) => {
+                let parsed = match &value {
+                    FlatValue::Raw(raw) => raw.parse::<u64>().ok(),
+                    FlatValue::Str(_) => None,
+                };
+                match parsed {
+                    Some(n) if gauge == "sessions" => sessions = Some(n),
+                    Some(n) => queue_depth = Some(n),
+                    None => problems.push(Problem {
+                        line: 1,
+                        message: format!(
+                            "`{gauge}` must be a non-negative integer, got {value:?}"
+                        ),
+                    }),
+                }
+            }
+            _ => {}
+        }
+    }
+    for (name, missing) in [
+        ("status", status.is_none()),
+        ("degraded", degraded.is_none()),
+        ("sessions", sessions.is_none()),
+        ("queue_depth", queue_depth.is_none()),
+    ] {
+        if missing {
+            problems.push(Problem {
+                line: 1,
+                message: format!("missing `{name}` field"),
+            });
+        }
+    }
+    if let (Some(status), Some(degraded)) = (&status, degraded) {
+        let consistent = (status == "degraded") == degraded;
+        if !consistent && (status == "ok" || status == "degraded") {
+            problems.push(Problem {
+                line: 1,
+                message: format!(
+                    "`status` {status:?} disagrees with `degraded` = {degraded}"
+                ),
+            });
+        }
+    }
+    if !problems.is_empty() {
+        return Err(problems);
+    }
+    // The field loop above guarantees all four are present here; unwrap_or
+    // keeps the path panic-free anyway.
+    Ok(HealthSummary {
+        status: status.unwrap_or_default(),
+        degraded: degraded.unwrap_or_default(),
+        sessions: sessions.unwrap_or_default(),
+        queue_depth: queue_depth.unwrap_or_default(),
+    })
 }
 
 /// Result of a successful flight-recorder validation.
@@ -507,5 +630,67 @@ h_count 5
     fn empty_dump_is_flagged() {
         let problems = check_flight("\n").expect_err("must fail");
         assert!(problems.iter().any(|p| p.message.contains("no events")));
+    }
+
+    #[test]
+    fn healthy_body_parses() {
+        let body = "{\"status\":\"ok\",\"degraded\":false,\"sessions\":3,\"queue_depth\":17}\n";
+        let summary = check_health(body).expect("clean body");
+        assert_eq!(summary.status, "ok");
+        assert!(!summary.degraded);
+        assert_eq!(summary.sessions, 3);
+        assert_eq!(summary.queue_depth, 17);
+    }
+
+    #[test]
+    fn degraded_body_parses() {
+        let body = "{\"status\":\"degraded\",\"degraded\":true,\"sessions\":0,\"queue_depth\":0}";
+        let summary = check_health(body).expect("clean body");
+        assert!(summary.degraded);
+    }
+
+    #[test]
+    fn health_status_flag_disagreement_is_flagged() {
+        let body = "{\"status\":\"ok\",\"degraded\":true,\"sessions\":1,\"queue_depth\":0}";
+        let problems = check_health(body).expect_err("must fail");
+        assert!(problems.iter().any(|p| p.message.contains("disagrees")));
+    }
+
+    #[test]
+    fn health_missing_gauge_is_flagged() {
+        let body = "{\"status\":\"ok\",\"degraded\":false,\"sessions\":1}";
+        let problems = check_health(body).expect_err("must fail");
+        assert!(problems
+            .iter()
+            .any(|p| p.message.contains("missing `queue_depth`")));
+    }
+
+    #[test]
+    fn health_non_integer_gauge_is_flagged() {
+        let body = "{\"status\":\"ok\",\"degraded\":false,\"sessions\":-1,\"queue_depth\":0}";
+        let problems = check_health(body).expect_err("must fail");
+        assert!(problems
+            .iter()
+            .any(|p| p.message.contains("non-negative integer")));
+    }
+
+    #[test]
+    fn health_unknown_status_is_flagged() {
+        let body = "{\"status\":\"meh\",\"degraded\":false,\"sessions\":0,\"queue_depth\":0}";
+        let problems = check_health(body).expect_err("must fail");
+        assert!(problems.iter().any(|p| p.message.contains("status")));
+    }
+
+    #[test]
+    fn health_extra_keys_are_allowed() {
+        let body = "{\"status\":\"ok\",\"degraded\":false,\"sessions\":0,\"queue_depth\":0,\
+                    \"build\":\"abc\"}";
+        assert!(check_health(body).is_ok());
+    }
+
+    #[test]
+    fn health_non_object_is_flagged() {
+        let problems = check_health("status: ok").expect_err("must fail");
+        assert!(problems.iter().any(|p| p.message.contains("braces")));
     }
 }

@@ -65,8 +65,9 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "L004",
-        summary: "every field of Metrics, ResilienceStats, StorageStatsSnapshot and \
-                  LatencySnapshot must appear in the CLI metrics report",
+        summary: "every field of Metrics, ResilienceStats, StorageStatsSnapshot, \
+                  LatencySnapshot and NetStatsSnapshot must appear in the CLI \
+                  metrics report",
     },
     RuleInfo {
         id: "L005",
@@ -407,6 +408,20 @@ impl MetricsCoverage {
             MetricsCoverage {
                 struct_file: "crates/obs/src/latency.rs".into(),
                 structs: vec!["LatencySnapshot".into()],
+                report_files: vec!["crates/cli/src/commands.rs".into()],
+            },
+            // The networked front door's counters must survive both exits:
+            // the Prometheus rendering (`Snapshot::with_net`) and the
+            // human-readable `ctup serve` shutdown report. Two entries so a
+            // field dropped from either surface is caught independently.
+            MetricsCoverage {
+                struct_file: "crates/core/src/net/stats.rs".into(),
+                structs: vec!["NetStatsSnapshot".into()],
+                report_files: vec!["crates/core/src/report.rs".into()],
+            },
+            MetricsCoverage {
+                struct_file: "crates/core/src/net/stats.rs".into(),
+                structs: vec!["NetStatsSnapshot".into()],
                 report_files: vec!["crates/cli/src/commands.rs".into()],
             },
         ]

@@ -1,0 +1,644 @@
+//! Network chaos suite: the ingest front door under faulty links and an
+//! overloaded or dying engine.
+//!
+//! A seeded [`NetFaultPlan`] scripts connection attempts — refused dials,
+//! links that die after a byte budget (tearing frames mid-write), and
+//! slowloris trickles — while the real supervised pipeline rides behind
+//! the [`PipelineSink`]. The invariants are exact, not statistical: every
+//! accepted report is applied exactly once (the final top-k matches the
+//! brute-force oracle), every refused report carries a typed shed reason,
+//! and `accepted + shed` accounts for every sequence number offered.
+//!
+//! Test code: the workspace-wide expect/unwrap denies target library
+//! code; panicking on an unexpected fault is exactly what a test should
+//! do (clippy's test exemption does not reach integration-test helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use ctup::core::algorithm::CtupAlgorithm;
+use ctup::core::config::{CtupConfig, QueryMode};
+use ctup::core::ingest::{stamp_stream, StampedUpdate};
+use ctup::core::net::client::{ClientConfig, Conn, Dialer};
+use ctup::core::net::overload::CountingSink;
+use ctup::core::net::wire::{ByeReason, FrameDecoder, Message};
+use ctup::core::net::{
+    EngineSink, FeedClient, IngestServer, NetServerConfig, PipelineSink, SinkError, TcpDialer,
+};
+use ctup::core::supervisor::{ResilienceConfig, SupervisedPipeline};
+use ctup::core::types::{LocationUpdate, TopKEntry, UnitId};
+use ctup::core::{OptCtup, Oracle};
+use ctup::mogen::{ChaosStream, NetFaultPlan, PlaceGenConfig, Workload, WorkloadParams};
+use ctup::spatial::Grid;
+use ctup::storage::{CellLocalStore, PlaceStore};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const NUM_UNITS: u32 = 25;
+const RADIUS: f64 = 0.1;
+
+fn setup(seed: u64) -> (Workload, Arc<dyn PlaceStore>) {
+    let workload = Workload::generate(WorkloadParams {
+        num_units: NUM_UNITS,
+        places: PlaceGenConfig {
+            count: 1_500,
+            ..PlaceGenConfig::default()
+        },
+        seed,
+        ..WorkloadParams::default()
+    });
+    let store: Arc<dyn PlaceStore> = Arc::new(CellLocalStore::build(
+        Grid::unit_square(8),
+        workload.places_vec(),
+    ));
+    (workload, store)
+}
+
+fn clean_stream(workload: &mut Workload, n: usize) -> Vec<LocationUpdate> {
+    workload
+        .next_updates(n)
+        .into_iter()
+        .map(|u| LocationUpdate {
+            unit: UnitId(u.object),
+            new: u.to,
+        })
+        .collect()
+}
+
+/// Builds the pipeline-backed sink pair: the `Arc<PipelineSink>` the test
+/// keeps (to recover the pipeline at the end) and the trait-object clone
+/// the server consumes.
+fn pipeline_sink(
+    store: &Arc<dyn PlaceStore>,
+    units: &[ctup::spatial::Point],
+    resilience: ResilienceConfig,
+    capacity: usize,
+) -> (Arc<PipelineSink>, Arc<dyn EngineSink>) {
+    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), units).expect("clean store");
+    let initial = monitor.result();
+    let pipeline = SupervisedPipeline::spawn(monitor, resilience, capacity);
+    let sink = Arc::new(PipelineSink::new(pipeline, initial));
+    let dyn_sink: Arc<dyn EngineSink> = sink.clone();
+    (sink, dyn_sink)
+}
+
+/// Takes the sink back out of the `Arc` once the server's handler threads
+/// have finished dropping their clones (they exit just after the server's
+/// shutdown joins, so this can race for a few milliseconds).
+fn unwrap_sink(mut sink: Arc<PipelineSink>) -> PipelineSink {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match Arc::try_unwrap(sink) {
+            Ok(inner) => return inner,
+            Err(back) => {
+                assert!(Instant::now() < deadline, "server threads kept the sink");
+                sink = back;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Dials through a [`ChaosStream`], scripting each attempt off the plan.
+struct ChaosDialer {
+    addr: SocketAddr,
+    plan: NetFaultPlan,
+    attempt: u64,
+}
+
+impl Dialer for ChaosDialer {
+    fn dial(&mut self) -> std::io::Result<Box<dyn Conn>> {
+        let script = self.plan.script(self.attempt);
+        self.attempt += 1;
+        let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(2))?;
+        stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+        stream.set_write_timeout(Some(Duration::from_millis(25)))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Box::new(ChaosStream::new(stream, script)))
+    }
+}
+
+/// Clean links, real pipeline: every report arrives over TCP, is applied
+/// exactly once, and the final top-k is oracle-exact.
+#[test]
+fn clean_networked_feed_is_oracle_exact() {
+    let (mut workload, store) = setup(21);
+    let units = workload.unit_positions();
+    let clean = clean_stream(&mut workload, 600);
+    let stamped = stamp_stream(clean.clone());
+
+    let (sink, dyn_sink) = pipeline_sink(&store, &units, ResilienceConfig::default(), 4096);
+    let server = IngestServer::spawn("127.0.0.1:0", NetServerConfig::default(), dyn_sink).unwrap();
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(server.local_addr())),
+        ClientConfig::default(),
+    );
+    for &report in &stamped {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(30)).expect("clean links");
+    let stats = client.finish();
+    assert_eq!(stats.acked, 600);
+    assert!(stats.sheds.is_empty());
+
+    let net = server.shutdown();
+    assert_eq!(net.reports_accepted, 600);
+    assert_eq!(net.shed_total(), 0);
+    assert_eq!(net.frames_malformed, 0);
+
+    let report = unwrap_sink(sink).into_pipeline().shutdown();
+    assert!(!report.gave_up && !report.killed);
+    assert_eq!(report.updates_processed, 600);
+
+    let mut positions = units.clone();
+    for update in &clean {
+        positions[update.unit.index()] = update.new;
+    }
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
+    oracle.assert_result_matches(
+        &report.final_result,
+        &positions,
+        RADIUS,
+        QueryMode::TopK(10),
+    );
+}
+
+/// Links that die mid-frame force reconnects; the client replays its
+/// unacked tail and the session registry suppresses what the engine
+/// already has. The monitor must still converge to the oracle — the proof
+/// that reconnect-and-replay never double-applies.
+#[test]
+fn reconnect_replay_is_duplicate_suppressed_and_oracle_exact() {
+    let (mut workload, store) = setup(22);
+    let units = workload.unit_positions();
+    let clean = clean_stream(&mut workload, 600);
+    let stamped = stamp_stream(clean.clone());
+
+    let (sink, dyn_sink) = pipeline_sink(&store, &units, ResilienceConfig::default(), 4096);
+    let server = IngestServer::spawn("127.0.0.1:0", NetServerConfig::default(), dyn_sink).unwrap();
+    // Attempts 0 and 1 die after 264 / 57 written bytes (mid-frame);
+    // attempt 2 is clean. The schedule is a pure function of the seed.
+    let plan = NetFaultPlan {
+        die_per_mille: 500,
+        die_min_bytes: 40,
+        die_spread_bytes: 400,
+        refuse_per_mille: 100,
+        ..NetFaultPlan::default()
+    };
+    let mut client = FeedClient::new(
+        Box::new(ChaosDialer {
+            addr: server.local_addr(),
+            plan,
+            attempt: 0,
+        }),
+        ClientConfig::default(),
+    );
+    for &report in &stamped {
+        client.enqueue(report);
+    }
+    client
+        .drive(Duration::from_secs(60))
+        .expect("bounded retry");
+    let stats = client.finish();
+    assert!(stats.reconnects > 0, "the plan must force reconnects");
+    assert!(
+        stats.frames_sent > 600,
+        "reconnects must replay the unacked tail"
+    );
+    assert_eq!(stats.acked, 600);
+    assert!(stats.sheds.is_empty());
+
+    let net = server.shutdown();
+    assert_eq!(net.reports_accepted, 600);
+    assert_eq!(net.shed_total(), 0);
+    assert!(
+        net.sessions_resumed > 0,
+        "reconnects must resume the session: {net:?}"
+    );
+
+    let report = unwrap_sink(sink).into_pipeline().shutdown();
+    // Exactly once: had any replay slipped past the registry, the count
+    // would exceed the clean stream (the gate would also reject it, and
+    // duplicates_dropped would light up).
+    assert_eq!(report.updates_processed, 600);
+    assert_eq!(report.metrics.resilience.duplicates_dropped, 0);
+
+    let mut positions = units.clone();
+    for update in &clean {
+        positions[update.unit.index()] = update.new;
+    }
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
+    oracle.assert_result_matches(
+        &report.final_result,
+        &positions,
+        RADIUS,
+        QueryMode::TopK(10),
+    );
+}
+
+/// A sink that records what the engine saw, with a configurable service
+/// time so a small admission queue genuinely overflows.
+struct SlowRecordingSink {
+    delay: Duration,
+    got: Mutex<Vec<u64>>,
+}
+
+impl EngineSink for SlowRecordingSink {
+    fn try_ingest(&self, report: StampedUpdate) -> Result<(), SinkError> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.got.lock().unwrap().push(report.seq);
+        Ok(())
+    }
+
+    fn topk(&self) -> Vec<TopKEntry> {
+        Vec::new()
+    }
+}
+
+/// Overload: a burst into a small queue in front of a slow engine. Sheds
+/// are typed, the client sees them, and `accepted + shed` accounts for
+/// every offered report — with the engine-side record agreeing exactly.
+#[test]
+fn overload_sheds_typed_and_accounting_is_exact() {
+    let mut cfg = NetServerConfig::default();
+    cfg.admission.queue_capacity = 8;
+    cfg.admission.high_watermark = 6;
+    cfg.admission.low_watermark = 2;
+    cfg.admission.ingest_deadline = Duration::from_secs(30);
+    cfg.snapshot_push_interval = Duration::ZERO;
+    let sink = Arc::new(SlowRecordingSink {
+        delay: Duration::from_millis(2),
+        got: Mutex::new(Vec::new()),
+    });
+    let dyn_sink: Arc<dyn EngineSink> = sink.clone();
+    let server = IngestServer::spawn("127.0.0.1:0", cfg, dyn_sink).unwrap();
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(server.local_addr())),
+        ClientConfig::default(),
+    );
+    let total = 300u64;
+    for seq in 1..=total {
+        client.enqueue(StampedUpdate {
+            seq,
+            ts: seq,
+            update: LocationUpdate {
+                unit: UnitId(7),
+                new: ctup::spatial::Point::new(0.25, 0.75),
+            },
+        });
+    }
+    client.drive(Duration::from_secs(30)).unwrap();
+    let stats = client.finish();
+    let engine_saw = sink.got.lock().unwrap().clone();
+    let net = server.shutdown();
+
+    // Engine-side truth: exactly the accepted reports, each exactly once.
+    let mut unique = engine_saw.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), engine_saw.len(), "engine saw a duplicate");
+    assert_eq!(engine_saw.len() as u64, net.reports_accepted);
+    // Exact accounting, server- and client-side.
+    assert_eq!(net.reports_accepted + net.shed_total(), total, "{net:?}");
+    assert!(net.shed_queue_full > 0, "the burst must shed: {net:?}");
+    assert_eq!(stats.acked, net.reports_accepted);
+    assert_eq!(stats.acked + stats.shed_total(), total);
+    // Every client-visible shed carries a typed reason the server counted.
+    for shed in &stats.sheds {
+        assert!(
+            shed_reason_counted(&net, shed.reason),
+            "shed {shed:?} not reflected in {net:?}"
+        );
+    }
+}
+
+/// Whether a typed shed reason has a nonzero server-side counter.
+fn shed_reason_counted(net: &ctup::core::NetStatsSnapshot, reason: ctup::core::ShedReason) -> bool {
+    use ctup::core::ShedReason as R;
+    match reason {
+        R::QueueFull => net.shed_queue_full > 0,
+        R::DeadlineExceeded => net.shed_deadline_exceeded > 0,
+        R::SessionQuota => net.shed_session_quota > 0,
+        R::EngineDegraded => net.shed_engine_degraded > 0,
+    }
+}
+
+/// A slowloris sender trickling one byte per 10ms is evicted on the frame
+/// deadline, while a healthy client on the same server is untouched.
+#[test]
+fn slowloris_is_evicted_while_healthy_client_proceeds() {
+    let mut cfg = NetServerConfig::default();
+    cfg.frame_deadline = Duration::from_millis(100);
+    let server =
+        IngestServer::spawn("127.0.0.1:0", cfg, Arc::new(CountingSink::default())).unwrap();
+    let addr = server.local_addr();
+    let slow = std::thread::spawn(move || {
+        let plan = NetFaultPlan {
+            slow_per_mille: 1000,
+            slow_chunk: 1,
+            slow_delay: Duration::from_millis(10),
+            ..NetFaultPlan::default()
+        };
+        let mut cfg = ClientConfig::default();
+        cfg.backoff.max_attempts = 2;
+        let mut client = FeedClient::new(
+            Box::new(ChaosDialer {
+                addr,
+                plan,
+                attempt: 0,
+            }),
+            cfg,
+        );
+        for seq in 1..=5u64 {
+            client.enqueue(StampedUpdate {
+                seq,
+                ts: seq,
+                update: LocationUpdate {
+                    unit: UnitId(1),
+                    new: ctup::spatial::Point::new(0.5, 0.5),
+                },
+            });
+        }
+        // Every frame trickles past the deadline: the server keeps
+        // evicting, the bounded retry budget eventually gives up.
+        let _ = client.drive(Duration::from_secs(10));
+    });
+    let mut healthy = FeedClient::new(Box::new(TcpDialer::new(addr)), ClientConfig::default());
+    for seq in 1..=100u64 {
+        healthy.enqueue(StampedUpdate {
+            seq,
+            ts: seq,
+            update: LocationUpdate {
+                unit: UnitId(2),
+                new: ctup::spatial::Point::new(0.75, 0.25),
+            },
+        });
+    }
+    healthy.drive(Duration::from_secs(10)).unwrap();
+    let stats = healthy.finish();
+    assert_eq!(stats.acked, 100, "healthy client must be unaffected");
+    slow.join().unwrap();
+    let net = server.shutdown();
+    assert!(
+        net.sessions_evicted >= 1,
+        "slowloris never evicted: {net:?}"
+    );
+}
+
+/// A connection that dies mid-frame is counted as a partial disconnect,
+/// distinct from a clean goodbye.
+#[test]
+fn partial_frame_disconnect_is_counted() {
+    let server = IngestServer::spawn(
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+        Arc::new(CountingSink::default()),
+    )
+    .unwrap();
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut hello = Vec::new();
+    Message::Hello { resume_session: 0 }.encode(&mut hello);
+    raw.write_all(&hello).unwrap();
+    let mut ack = [0u8; 32];
+    assert!(raw.read(&mut ack).unwrap() > 0, "handshake ack expected");
+    let mut frame = Vec::new();
+    Message::Report {
+        seq: 1,
+        unit_seq: 1,
+        ts: 1,
+        unit: 7,
+        x: 0.5,
+        y: 0.5,
+    }
+    .encode(&mut frame);
+    raw.write_all(&frame[..frame.len() / 2]).unwrap();
+    drop(raw);
+    let stats = server.stats();
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while stats.snapshot().partial_disconnects == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "partial disconnect never counted"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+/// A reconnect storm beyond the session cap: the first `max_sessions`
+/// handshakes succeed, the next is refused with a typed `ServerFull` bye
+/// and counted as rejected.
+#[test]
+fn session_cap_refuses_with_server_full() {
+    let mut cfg = NetServerConfig::default();
+    cfg.session.max_sessions = 2;
+    let server =
+        IngestServer::spawn("127.0.0.1:0", cfg, Arc::new(CountingSink::default())).unwrap();
+    let mut hello = Vec::new();
+    Message::Hello { resume_session: 0 }.encode(&mut hello);
+    let mut held = Vec::new();
+    for i in 0..3 {
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        raw.write_all(&hello).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let msg = loop {
+            match decoder.read_from(&mut raw) {
+                Ok(m) => break m,
+                Err(e) if e.is_timeout() => continue,
+                Err(e) => panic!("conn {i}: {e:?}"),
+            }
+        };
+        match (i, msg) {
+            (0 | 1, Message::Ack { .. }) => held.push(raw),
+            (2, Message::Bye { reason }) => assert_eq!(reason, ByeReason::ServerFull),
+            (i, m) => panic!("conn {i}: unexpected {m:?}"),
+        }
+    }
+    drop(held);
+    let net = server.shutdown();
+    assert_eq!(net.sessions_opened, 2);
+    assert!(net.connections_rejected >= 1);
+}
+
+/// Engine death mid-run: the front door flips to degraded, sheds with a
+/// typed reason, keeps serving the last-good top-k (to `/healthz` readers
+/// and snapshot subscribers), and the client's accounting still closes.
+#[test]
+fn engine_death_degrades_and_serves_last_good() {
+    let (mut workload, store) = setup(31);
+    let units = workload.unit_positions();
+    let stamped = stamp_stream(clean_stream(&mut workload, 300));
+
+    // Small pipeline capacity so engine death surfaces as backpressure,
+    // not a silently absorbed buffer; the worker is killed at update 150.
+    let resilience = ResilienceConfig {
+        kill_at: Some(150),
+        ..ResilienceConfig::default()
+    };
+    let (sink, dyn_sink) = pipeline_sink(&store, &units, resilience, 8);
+    let mut cfg = NetServerConfig::default();
+    cfg.snapshot_push_interval = Duration::from_millis(50);
+    cfg.admission.ingest_deadline = Duration::from_secs(5);
+    let server = IngestServer::spawn("127.0.0.1:0", cfg, dyn_sink).unwrap();
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(server.local_addr())),
+        ClientConfig::default(),
+    );
+
+    // Phase 1: feed 100 with the engine alive, let the watchdog cache a
+    // last-good result.
+    for &report in &stamped[..100] {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(10)).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    assert!(!server.degraded());
+    let last_good = server.last_good_topk();
+    assert!(!last_good.is_empty(), "watchdog must cache a live top-k");
+    assert!(server.health_body().contains("\"degraded\":false"));
+
+    // Phase 2: the kill fires mid-feed; the tail is shed, typed.
+    for &report in &stamped[100..] {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(30)).unwrap();
+    assert!(server.degraded(), "engine death must trip degraded mode");
+    assert!(server.health_body().contains("\"degraded\":true"));
+    // The engine is dead, so the cached result is now frozen — still
+    // served, never silently stale-refreshed.
+    let frozen = server.last_good_topk();
+    assert!(
+        !frozen.is_empty(),
+        "degraded mode keeps the last-good top-k"
+    );
+
+    // A subscriber still gets snapshots, flagged degraded and carrying
+    // the frozen result.
+    client.listen(Duration::from_millis(300)).unwrap();
+    let (degraded, entries) = client.last_snapshot().expect("snapshot push").clone();
+    assert!(degraded);
+    assert_eq!(
+        entries,
+        frozen
+            .iter()
+            .map(|e| (e.place.0, e.safety))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(server.last_good_topk(), frozen, "frozen result is stable");
+
+    let stats = client.finish();
+    assert_eq!(stats.acked + stats.shed_total(), 300);
+    let net = server.shutdown();
+    assert!(net.degraded);
+    assert!(net.shed_engine_degraded > 0, "{net:?}");
+    assert!(net.degraded_entries >= 1);
+    assert_eq!(net.reports_accepted + net.shed_total(), 300);
+
+    let report = unwrap_sink(sink).into_pipeline().shutdown();
+    assert!(report.killed);
+}
+
+/// Durable end-to-end: the engine is killed mid-stream behind the front
+/// door, a fresh pipeline recovers from the surviving checkpoint slot,
+/// and a reconnecting feeder re-delivers the whole stream. The registry
+/// is gone (new server), so dedup falls to the ingest gate — and the
+/// final top-k must still be oracle-exact.
+#[test]
+#[cfg_attr(miri, ignore = "touches real files, sockets and threads")]
+fn kill_and_recover_over_the_wire_is_oracle_exact() {
+    let (mut workload, store) = setup(7);
+    let units = workload.unit_positions();
+    let clean = clean_stream(&mut workload, 600);
+    let stamped = stamp_stream(clean.clone());
+    let dir = std::env::temp_dir().join(format!("ctup-netchaos-durable-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Phase A: feed through the door until the worker is killed at 300.
+    let resilience = ResilienceConfig {
+        checkpoint_every: 48,
+        state_dir: Some(dir.clone()),
+        kill_at: Some(300),
+        tear_slot_on_kill: true,
+        ..ResilienceConfig::default()
+    };
+    let (sink, dyn_sink) = pipeline_sink(&store, &units, resilience, 8);
+    let mut cfg = NetServerConfig::default();
+    cfg.admission.ingest_deadline = Duration::from_secs(5);
+    let server = IngestServer::spawn("127.0.0.1:0", cfg, dyn_sink).unwrap();
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(server.local_addr())),
+        ClientConfig::default(),
+    );
+    for &report in &stamped {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(60)).unwrap();
+    let stats = client.finish();
+    assert!(
+        stats.shed_total() > 0,
+        "the killed engine must shed the tail"
+    );
+    let net = server.shutdown();
+    assert!(net.degraded, "engine death must degrade the door");
+    assert_eq!(net.reports_accepted + net.shed_total(), 600);
+    let report = unwrap_sink(sink).into_pipeline().shutdown();
+    assert!(report.killed);
+
+    // Phase B: "new process" — recover from the surviving slot, stand up
+    // a fresh front door, re-deliver everything.
+    let pipeline = SupervisedPipeline::recover_from_dir::<OptCtup>(
+        &dir,
+        store.clone(),
+        ResilienceConfig {
+            checkpoint_every: 48,
+            state_dir: Some(dir.clone()),
+            ..ResilienceConfig::default()
+        },
+        4096,
+    )
+    .expect("recover from the surviving slot");
+    let sink = Arc::new(PipelineSink::new(pipeline, Vec::new()));
+    let dyn_sink: Arc<dyn EngineSink> = sink.clone();
+    let server = IngestServer::spawn("127.0.0.1:0", NetServerConfig::default(), dyn_sink).unwrap();
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(server.local_addr())),
+        ClientConfig::default(),
+    );
+    for &report in &stamped {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(60)).unwrap();
+    let stats = client.finish();
+    assert_eq!(stats.acked, 600, "recovered engine accepts the full feed");
+    let net = server.shutdown();
+    assert_eq!(net.reports_accepted, 600);
+    assert_eq!(net.shed_total(), 0);
+
+    let report = unwrap_sink(sink).into_pipeline().shutdown();
+    assert!(!report.gave_up && !report.killed);
+    let r = &report.metrics.resilience;
+    assert!(r.updates_replayed > 0, "the journal tail must be replayed");
+    assert!(
+        r.duplicates_dropped + r.stale_dropped > 0,
+        "the re-delivered prefix must be deduplicated by the gate"
+    );
+
+    let mut positions = units.clone();
+    for update in &clean {
+        positions[update.unit.index()] = update.new;
+    }
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
+    oracle.assert_result_matches(
+        &report.final_result,
+        &positions,
+        RADIUS,
+        QueryMode::TopK(10),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
