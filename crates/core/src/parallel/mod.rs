@@ -130,12 +130,14 @@ impl ShardedCtup {
         assert!(num_shards >= 1, "at least one shard is required");
         let start = Instant::now();
         let io_before = store.stats().snapshot();
+        // ctup-lint: allow(L010, replies are barrier-paced: at most one FromShard per shard is in flight per batch)
         let (reply_tx, reply_rx) = std::sync::mpsc::channel::<FromShard>();
         let units: Arc<Vec<Point>> = Arc::new(initial_units.to_vec());
 
         let mut workers = Vec::with_capacity(convert::index(num_shards));
         let mut latencies = Vec::with_capacity(convert::index(num_shards));
         for shard in 0..num_shards {
+            // ctup-lint: allow(L010, the coordinator sends one ToShard then blocks on the reply barrier, so depth <= 1)
             let (tx, rx) = std::sync::mpsc::channel::<ToShard>();
             let latency = Arc::new(ShardLatency::default());
             let worker_cfg = config.clone();

@@ -44,15 +44,17 @@ fn place() -> impl Strategy<Value = Place> {
         0u32..5_000,
         point01(),
         0u32..6,
-        proptest::option::of((point01(), 0.0f64..0.2, 0.0f64..0.2)),
+        proptest::option::of((0.0f64..0.2, 0.0f64..0.2, 0.0f64..0.2, 0.0f64..0.2)),
     )
         .prop_map(|(id, pos, rp, extent)| match extent {
             None => Place::point(PlaceId(id), pos, rp),
-            Some((lo, w, h)) => Place::extended(
+            // The extent is grown outward from `pos` so it always contains
+            // it — `Place::extended` debug-asserts exactly that.
+            Some((l, r, d, u)) => Place::extended(
                 PlaceId(id),
                 pos,
                 rp,
-                Rect::from_coords(lo.x, lo.y, lo.x + w, lo.y + h),
+                Rect::from_coords(pos.x - l, pos.y - d, pos.x + r, pos.y + u),
             ),
         })
 }

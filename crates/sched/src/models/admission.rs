@@ -1,0 +1,188 @@
+//! Model of the admission watermark hysteresis (`core::net::admission`).
+//!
+//! `try_enqueue` under the queue mutex: at capacity, latch shedding; in
+//! the shed state, reject until depth drains to the low watermark, then
+//! clear the latch and admit; out of it, latch at the high watermark.
+//! The point of the hysteresis is that the shed/admit boundary must not
+//! flap (clear only at low, not just below high) and must not latch up
+//! (a drained queue must re-admit). The model runs a producer burst, a
+//! concurrent drain, and a final probe arrival after the queue empties —
+//! the probe is what detects latch-up.
+
+use crate::{Model, Step};
+
+/// The queue state plus the bookkeeping the properties speak about.
+#[derive(Debug, Default)]
+pub struct AdmissionWorld {
+    pub depth: usize,
+    pub shedding: bool,
+    pub admitted: usize,
+    pub shed: usize,
+    /// shed→admit transitions (hysteresis clears).
+    pub clears: usize,
+    /// Set when a clear happened at a depth above the low watermark.
+    pub cleared_above_low: bool,
+    pub producer_done: bool,
+}
+
+/// Seeded bugs in the hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionMutation {
+    /// The shipped hysteresis.
+    Correct,
+    /// Clears the shed latch as soon as depth dips below high — the
+    /// classic flapping bug hysteresis exists to prevent.
+    ClearBelowHigh,
+    /// Never clears the latch: sheds forever after the first burst.
+    NeverClear,
+}
+
+const CAPACITY: usize = 4;
+const HIGH: usize = 3;
+const LOW: usize = 1;
+const ARRIVALS: usize = 6;
+
+fn try_enqueue(w: &mut AdmissionWorld, m: AdmissionMutation) {
+    if w.depth >= CAPACITY {
+        w.shedding = true;
+        w.shed += 1;
+        return;
+    }
+    if w.shedding {
+        let clear_at = match m {
+            AdmissionMutation::ClearBelowHigh => HIGH - 1,
+            _ => LOW,
+        };
+        if w.depth > clear_at {
+            w.shed += 1;
+            return;
+        }
+        if m != AdmissionMutation::NeverClear {
+            w.shedding = false;
+            w.clears += 1;
+            if w.depth > LOW {
+                w.cleared_above_low = true;
+            }
+        }
+    } else if w.depth >= HIGH {
+        w.shedding = true;
+        w.shed += 1;
+        return;
+    }
+    w.admitted += 1;
+    w.depth += 1;
+}
+
+/// Builds the admission model under `m`.
+pub fn model(m: AdmissionMutation) -> Model<AdmissionWorld> {
+    // Producer: ARRIVALS calls to try_enqueue (each one atomic section),
+    // then wait for the queue to fully drain, then one probe arrival.
+    let mut sent = 0usize;
+    let mut probed = false;
+    let producer = move |w: &mut AdmissionWorld| -> Step {
+        if sent < ARRIVALS {
+            try_enqueue(w, m);
+            sent += 1;
+            return Step::Ran;
+        }
+        if !probed {
+            if w.depth > 0 {
+                return Step::Blocked;
+            }
+            try_enqueue(w, m);
+            probed = true;
+            return Step::Ran;
+        }
+        w.producer_done = true;
+        Step::Done
+    };
+
+    // Consumer: pop one report per step.
+    let consumer = move |w: &mut AdmissionWorld| -> Step {
+        if w.depth > 0 {
+            w.depth -= 1;
+            Step::Ran
+        } else if w.producer_done {
+            Step::Done
+        } else {
+            Step::Blocked
+        }
+    };
+
+    Model::new(AdmissionWorld::default())
+        .thread("producer", producer)
+        .thread("consumer", consumer)
+        .invariant("depth-bounded", |w: &AdmissionWorld| {
+            if w.depth <= CAPACITY {
+                Ok(())
+            } else {
+                Err(format!("depth {} exceeds capacity {CAPACITY}", w.depth))
+            }
+        })
+        .invariant("clears-only-at-low", |w: &AdmissionWorld| {
+            if w.cleared_above_low {
+                Err(format!(
+                    "shed latch cleared above the low watermark {LOW} (flapping)"
+                ))
+            } else {
+                Ok(())
+            }
+        })
+        .invariant("no-flapping", |w: &AdmissionWorld| {
+            // Each genuine clear needs (HIGH - LOW) drains since the last
+            // latch, so clears are bounded by arrivals / (HIGH - LOW),
+            // plus the final probe.
+            let bound = (ARRIVALS + 1) / (HIGH - LOW) + 1;
+            if w.clears <= bound {
+                Ok(())
+            } else {
+                Err(format!("{} hysteresis clears > bound {bound}", w.clears))
+            }
+        })
+        .final_check("no-shed-latch-up", |w: &AdmissionWorld| {
+            if w.shedding {
+                Err("queue fully drained but the shed latch is still set".into())
+            } else {
+                Ok(())
+            }
+        })
+        .final_check("probe-admitted-after-drain", |w: &AdmissionWorld| {
+            if w.admitted + w.shed == ARRIVALS + 1 && w.admitted >= 1 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "accounting off: admitted {} + shed {} != {}",
+                    w.admitted,
+                    w.shed,
+                    ARRIVALS + 1
+                ))
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore_exhaustive;
+
+    #[test]
+    fn correct_hysteresis_survives_exhaustive_exploration() {
+        let report = explore_exhaustive(|| model(AdmissionMutation::Correct), 500_000)
+            .expect("correct hysteresis must be schedule-clean");
+        assert!(report.complete, "schedule space not exhausted: {report:?}");
+    }
+
+    #[test]
+    fn clearing_below_high_flaps_and_is_caught() {
+        let cex = explore_exhaustive(|| model(AdmissionMutation::ClearBelowHigh), 500_000)
+            .expect_err("flapping must be caught");
+        assert!(cex.failure.contains("clears-only-at-low"), "{cex}");
+    }
+
+    #[test]
+    fn never_clearing_latches_up_and_is_caught() {
+        let cex = explore_exhaustive(|| model(AdmissionMutation::NeverClear), 500_000)
+            .expect_err("latch-up must be caught");
+        assert!(cex.failure.contains("no-shed-latch-up"), "{cex}");
+    }
+}

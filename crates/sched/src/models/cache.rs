@@ -1,0 +1,154 @@
+//! Model of the cell-cache miss path racing write-invalidation
+//! (`storage::cache::CachedStore`).
+//!
+//! The real miss path deliberately reads the lower level *outside* the
+//! cache lock (so concurrent misses are not serialized behind the
+//! simulated disk), which opens a window: a write plus
+//! `invalidate_cell` can land between the unlocked read and the insert,
+//! and inserting the pre-write records would serve stale data forever
+//! after. The shipped fix captures an invalidation generation at the
+//! miss and refuses the insert if it changed. This model is that
+//! protocol with the lock sections as atomic steps; the
+//! `SkipGenCheck` mutant is the pre-fix code.
+
+use crate::{Model, Step};
+
+/// One cell's truth and its cached copy.
+#[derive(Debug, Default)]
+pub struct CacheWorld {
+    /// Version of the cell in the lower-level store.
+    pub inner_version: u64,
+    /// Cached copy, if resident: the version that was read.
+    pub cached: Option<u64>,
+    /// Invalidation generation (bumped by every invalidation).
+    pub generation: u64,
+    /// Reads served (hit or miss), for liveness accounting.
+    pub reads: usize,
+}
+
+/// Seeded bugs in the miss path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMutation {
+    /// The shipped protocol: insert only if the generation is unchanged.
+    Correct,
+    /// Insert unconditionally — the pre-fix stale-insert race.
+    SkipGenCheck,
+}
+
+const READS: usize = 2;
+const WRITES: u64 = 2;
+
+/// Builds the cache model under `m`.
+pub fn model(m: CacheMutation) -> Model<CacheWorld> {
+    // Reader: performs READS lookups. Each miss is three atomic
+    // sections, exactly as in `CachedStore::read_cell`:
+    //   1. locked: check residency, capture the generation;
+    //   2. unlocked: read the lower level (the disk window);
+    //   3. locked: insert — guarded by the generation check.
+    let mut reads_left = READS;
+    let mut phase = 0u8;
+    let mut gen_at_miss = 0u64;
+    let mut read_version = 0u64;
+    let reader = move |w: &mut CacheWorld| -> Step {
+        if reads_left == 0 {
+            return Step::Done;
+        }
+        match phase {
+            0 => {
+                if w.cached.is_some() {
+                    // Hit: served from cache, lookup complete.
+                    w.reads += 1;
+                    reads_left -= 1;
+                    if reads_left == 0 {
+                        return Step::Done;
+                    }
+                } else {
+                    gen_at_miss = w.generation;
+                    phase = 1;
+                }
+                Step::Ran
+            }
+            1 => {
+                read_version = w.inner_version;
+                phase = 2;
+                Step::Ran
+            }
+            _ => {
+                if m == CacheMutation::SkipGenCheck || w.generation == gen_at_miss {
+                    w.cached = Some(read_version);
+                }
+                w.reads += 1;
+                reads_left -= 1;
+                phase = 0;
+                if reads_left == 0 {
+                    Step::Done
+                } else {
+                    Step::Ran
+                }
+            }
+        }
+    };
+
+    // Writer: each write updates the lower level and runs the
+    // write-invalidation hook (one atomic section per write — the real
+    // invalidate_cell holds the cache lock throughout).
+    let mut writes_left = WRITES;
+    let writer = move |w: &mut CacheWorld| -> Step {
+        if writes_left == 0 {
+            return Step::Done;
+        }
+        w.inner_version += 1;
+        w.cached = None;
+        w.generation += 1;
+        writes_left -= 1;
+        if writes_left == 0 {
+            Step::Done
+        } else {
+            Step::Ran
+        }
+    };
+
+    Model::new(CacheWorld::default())
+        .thread("reader", reader)
+        .thread("writer", writer)
+        .invariant("no-stale-cache-after-write", |w: &CacheWorld| {
+            match w.cached {
+                Some(v) if v != w.inner_version => Err(format!(
+                    "cache holds version {v} but the store is at {}: a read after \
+                     the write would return stale records",
+                    w.inner_version
+                )),
+                _ => Ok(()),
+            }
+        })
+        .final_check("all-reads-served", |w: &CacheWorld| {
+            if w.reads == READS {
+                Ok(())
+            } else {
+                Err(format!("{} of {READS} reads served", w.reads))
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore_exhaustive;
+
+    #[test]
+    fn generation_checked_miss_path_survives_exhaustive_exploration() {
+        let report = explore_exhaustive(|| model(CacheMutation::Correct), 200_000)
+            .expect("generation-checked miss path must be schedule-clean");
+        assert!(report.complete, "schedule space not exhausted: {report:?}");
+    }
+
+    #[test]
+    fn unconditional_insert_caches_stale_data_in_some_schedule() {
+        let cex = explore_exhaustive(|| model(CacheMutation::SkipGenCheck), 200_000)
+            .expect_err("the stale-insert race must be caught");
+        assert!(cex.failure.contains("no-stale-cache-after-write"), "{cex}");
+        // The race needs the writer inside the reader's disk window.
+        let w_pos = cex.schedule.iter().position(|n| n == "writer");
+        assert!(w_pos.is_some(), "writer never ran in {cex}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Model of the session pending/ack protocol (`core::net::session`).
+//!
+//! The real protocol: a connection handler *registers* each report's
+//! sequence number as pending, then *admits* it to the bounded queue; if
+//! admission sheds, `retract_pending` rolls the registration back. The
+//! engine pump drains the queue, applies the report to the engine, and
+//! only then marks it drained — which is what advances the cumulative
+//! ack line (`min(pending) - 1`, or everything issued when no report is
+//! pending). PR 6's fast-pump ghost-pending race lived exactly in the
+//! register/admit/drain interleavings this model explores.
+
+use crate::{Model, Step};
+
+/// Shared state: the session registry, the admission queue, and the
+/// engine, reduced to the fields the safety properties speak about.
+#[derive(Debug, Default)]
+pub struct SessionWorld {
+    /// Registered-but-unresolved sequence numbers.
+    pub pending: Vec<u64>,
+    /// The bounded admission queue.
+    pub queue: Vec<u64>,
+    /// Sequence numbers applied to the engine, in apply order.
+    pub applied: Vec<u64>,
+    /// Sequence numbers shed at the admission door.
+    pub shed: Vec<u64>,
+    /// Cumulative ack line: every seq `<= ack_line` is claimed resolved.
+    pub ack_line: i64,
+    /// Highest seq the handler has offered to admission.
+    pub issued_max: i64,
+    /// Set if the ack line ever moved backwards.
+    pub ack_regressed: bool,
+    /// Handler finished all reports.
+    pub handler_done: bool,
+}
+
+impl SessionWorld {
+    fn recompute_ack(&mut self) {
+        let new = match self.pending.iter().min() {
+            Some(&s) => s as i64 - 1,
+            None => self.issued_max,
+        };
+        if new < self.ack_line {
+            self.ack_regressed = true;
+        }
+        self.ack_line = new;
+    }
+}
+
+/// Seeded bugs. `Correct` is the shipped protocol; each other variant is
+/// one specific regression the invariants must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionMutation {
+    /// The protocol as implemented.
+    Correct,
+    /// Shed path forgets `retract_pending` — the pre-PR-6 ghost-pending bug.
+    ForgetRetract,
+    /// Pump advances the ack line before the engine apply.
+    AckBeforeApply,
+    /// Handler admits to the queue before registering pending.
+    EnqueueBeforeRegister,
+}
+
+const REPORTS: u64 = 3;
+const QUEUE_CAP: usize = 1;
+
+fn register(w: &mut SessionWorld, seq: u64) {
+    w.pending.push(seq);
+    w.recompute_ack();
+}
+
+fn admit(w: &mut SessionWorld, seq: u64, m: SessionMutation) {
+    w.issued_max = w.issued_max.max(seq as i64);
+    if w.queue.len() < QUEUE_CAP {
+        w.queue.push(seq);
+    } else {
+        w.shed.push(seq);
+        if m != SessionMutation::ForgetRetract {
+            w.pending.retain(|&p| p != seq);
+        }
+        w.recompute_ack();
+    }
+}
+
+/// Builds the session model under `m`. Explore with
+/// [`crate::explore_exhaustive`]; the schedule space is small (one
+/// handler, one pump, three reports).
+pub fn model(m: SessionMutation) -> Model<SessionWorld> {
+    // Handler: for each report, one step to register, one to admit
+    // (swapped under `EnqueueBeforeRegister`) — two atomic sections, as
+    // in the real code where the session lock and the queue lock are
+    // taken separately.
+    let mut seq = 0u64;
+    let mut second_half = false;
+    let handler = move |w: &mut SessionWorld| -> Step {
+        if seq >= REPORTS {
+            return Step::Done;
+        }
+        let register_first = m != SessionMutation::EnqueueBeforeRegister;
+        if !second_half {
+            if register_first {
+                register(w, seq);
+            } else {
+                admit(w, seq, m);
+            }
+            second_half = true;
+        } else {
+            if register_first {
+                admit(w, seq, m);
+            } else {
+                register(w, seq);
+            }
+            second_half = false;
+            seq += 1;
+            if seq >= REPORTS {
+                w.handler_done = true;
+                return Step::Done;
+            }
+        }
+        Step::Ran
+    };
+
+    // Pump: pop, apply, drained — three atomic sections. Under
+    // `AckBeforeApply` the drained (ack-advancing) section runs first.
+    let mut in_flight: Option<u64> = None;
+    let mut phase = 0u8;
+    let pump = move |w: &mut SessionWorld| -> Step {
+        match (phase, in_flight) {
+            (0, _) => {
+                if w.queue.is_empty() {
+                    if w.handler_done {
+                        Step::Done
+                    } else {
+                        Step::Blocked
+                    }
+                } else {
+                    in_flight = Some(w.queue.remove(0));
+                    phase = 1;
+                    Step::Ran
+                }
+            }
+            (1, Some(s)) => {
+                if m == SessionMutation::AckBeforeApply {
+                    w.pending.retain(|&p| p != s);
+                    w.recompute_ack();
+                } else {
+                    w.applied.push(s);
+                }
+                phase = 2;
+                Step::Ran
+            }
+            (_, Some(s)) => {
+                if m == SessionMutation::AckBeforeApply {
+                    w.applied.push(s);
+                } else {
+                    w.pending.retain(|&p| p != s);
+                    w.recompute_ack();
+                }
+                in_flight = None;
+                phase = 0;
+                Step::Ran
+            }
+            // Unreachable by construction (phase > 0 implies in-flight),
+            // but the model must not panic: treat it as completion.
+            (_, None) => Step::Done,
+        }
+    };
+
+    Model::new(SessionWorld {
+        ack_line: -1,
+        issued_max: -1,
+        ..SessionWorld::default()
+    })
+    .thread("handler", handler)
+    .thread("pump", pump)
+    .invariant("ack-never-precedes-apply", |w: &SessionWorld| {
+        for s in 0..=w.ack_line.max(-1) {
+            let s_u = s as u64;
+            if s >= 0 && !w.applied.contains(&s_u) && !w.shed.contains(&s_u) {
+                return Err(format!(
+                    "ack line {} covers seq {s} which is neither applied nor shed",
+                    w.ack_line
+                ));
+            }
+        }
+        Ok(())
+    })
+    .invariant("ack-line-monotone", |w: &SessionWorld| {
+        if w.ack_regressed {
+            Err("cumulative ack line moved backwards".into())
+        } else {
+            Ok(())
+        }
+    })
+    .final_check("no-ghost-pending", |w: &SessionWorld| {
+        if w.pending.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("pending entries left behind: {:?}", w.pending))
+        }
+    })
+    .final_check("every-report-resolved-exactly-once", |w: &SessionWorld| {
+        let mut resolved: Vec<u64> = w.applied.iter().chain(w.shed.iter()).copied().collect();
+        resolved.sort_unstable();
+        let expect: Vec<u64> = (0..REPORTS).collect();
+        if resolved == expect {
+            Ok(())
+        } else {
+            Err(format!(
+                "applied {:?} + shed {:?} != 0..{REPORTS}",
+                w.applied, w.shed
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore_exhaustive;
+
+    #[test]
+    fn correct_protocol_survives_exhaustive_exploration() {
+        let report = explore_exhaustive(|| model(SessionMutation::Correct), 200_000)
+            .expect("correct session protocol must be schedule-clean");
+        assert!(report.complete, "schedule space not exhausted: {report:?}");
+        assert!(report.schedules > 10, "suspiciously few schedules explored");
+    }
+
+    #[test]
+    fn forget_retract_leaves_a_ghost() {
+        let cex = explore_exhaustive(|| model(SessionMutation::ForgetRetract), 200_000)
+            .expect_err("ghost pending must be caught");
+        assert!(cex.failure.contains("no-ghost-pending"), "{cex}");
+    }
+
+    #[test]
+    fn ack_before_apply_is_caught() {
+        let cex = explore_exhaustive(|| model(SessionMutation::AckBeforeApply), 200_000)
+            .expect_err("premature ack must be caught");
+        assert!(cex.failure.contains("ack-never-precedes-apply"), "{cex}");
+    }
+
+    #[test]
+    fn enqueue_before_register_is_caught_by_interleaving() {
+        let cex = explore_exhaustive(|| model(SessionMutation::EnqueueBeforeRegister), 200_000)
+            .expect_err("admit-before-register race must be caught");
+        // The failure needs the pump to sneak between the handler's two
+        // steps, so the counterexample schedule must interleave them.
+        assert!(
+            cex.failure.contains("no-ghost-pending") || cex.failure.contains("monotone"),
+            "{cex}"
+        );
+    }
+}

@@ -42,6 +42,13 @@ struct State {
     recency: BTreeMap<u64, usize>,
     used_pages: u64,
     next_tick: u64,
+    /// Bumped by every invalidation. The miss path reads the lower level
+    /// *outside* the lock (so concurrent misses are not serialized behind
+    /// the simulated disk); it captures this generation first and refuses
+    /// to insert if an invalidation ran in between — otherwise a write
+    /// racing the miss would leave the pre-write records resident, and a
+    /// later read would see stale data after the write was acknowledged.
+    invalidation_gen: u64,
 }
 
 impl State {
@@ -124,12 +131,15 @@ impl CachedStore {
     /// Drops the cached copy of `cell`, if any — the write-invalidation
     /// hook: call after the lower-level records of `cell` change.
     pub fn invalidate_cell(&self, cell: CellId) {
-        self.lock_state().remove(cell.index());
+        let mut state = self.lock_state();
+        state.invalidation_gen += 1;
+        state.remove(cell.index());
     }
 
     /// Empties the cache (e.g. after a bulk rewrite of the lower level).
     pub fn invalidate_all(&self) {
         let mut state = self.lock_state();
+        state.invalidation_gen += 1;
         state.entries.clear();
         state.recency.clear();
         state.used_pages = 0;
@@ -160,9 +170,14 @@ impl PlaceStore for CachedStore {
             return self.inner.read_cell(cell);
         }
         let stats = self.inner.stats();
-        if let Some(records) = self.lock_state().touch(cell.index()) {
-            stats.record_cache_hit();
-            return Ok(Cow::Owned(records));
+        let gen_at_miss;
+        {
+            let mut state = self.lock_state();
+            if let Some(records) = state.touch(cell.index()) {
+                stats.record_cache_hit();
+                return Ok(Cow::Owned(records));
+            }
+            gen_at_miss = state.invalidation_gen;
         }
         // Miss: read outside the lock so concurrent readers of other cells
         // are not serialized behind the (simulated) disk latency.
@@ -171,6 +186,12 @@ impl PlaceStore for CachedStore {
         let pages = self.inner.cell_pages(cell);
         if pages <= self.capacity_pages {
             let mut state = self.lock_state();
+            if state.invalidation_gen != gen_at_miss {
+                // An invalidation raced this unlocked read: the records may
+                // predate the write that triggered it, so serve them to this
+                // caller (it started before the write) but do not cache them.
+                return Ok(Cow::Owned(records));
+            }
             state.remove(cell.index());
             let tick = state.next_tick;
             state.next_tick += 1;
@@ -304,6 +325,63 @@ mod tests {
         let snap = cached.stats().snapshot();
         assert_eq!(snap.cache_misses, 4);
         assert_eq!(snap.cache_hits, 1);
+    }
+
+    #[test]
+    fn invalidation_racing_a_miss_is_not_overwritten_by_the_stale_read() {
+        use std::sync::Weak;
+        // An inner store that fires a hook in the middle of `read_cell` —
+        // exactly the window where the cache has released its lock — and
+        // uses it to run write-invalidation against the wrapping cache.
+        struct HookStore {
+            inner: Arc<dyn PlaceStore>,
+            target: Mutex<Option<Weak<CachedStore>>>,
+        }
+        impl PlaceStore for HookStore {
+            fn grid(&self) -> &Grid {
+                self.inner.grid()
+            }
+            fn num_places(&self) -> usize {
+                self.inner.num_places()
+            }
+            fn read_cell(&self, cell: CellId) -> Result<Cow<'_, [PlaceRecord]>, StorageError> {
+                let target = self.target.lock().expect("hook lock");
+                if let Some(cached) = target.as_ref().and_then(Weak::upgrade) {
+                    // The lower level changed while this read was in flight.
+                    cached.invalidate_cell(cell);
+                }
+                self.inner.read_cell(cell)
+            }
+            fn cell_extent_margin(&self, cell: CellId) -> f64 {
+                self.inner.cell_extent_margin(cell)
+            }
+            fn cell_pages(&self, cell: CellId) -> u64 {
+                self.inner.cell_pages(cell)
+            }
+            fn stats(&self) -> &StorageStats {
+                self.inner.stats()
+            }
+            fn for_each_place(&self, f: &mut dyn FnMut(&PlaceRecord)) -> Result<(), StorageError> {
+                self.inner.for_each_place(f)
+            }
+        }
+
+        let hook = Arc::new(HookStore {
+            inner: store_with_grid(2),
+            target: Mutex::new(None),
+        });
+        let cached = Arc::new(CachedStore::new(hook.clone(), 4));
+        *hook.target.lock().expect("hook lock") = Some(Arc::downgrade(&cached));
+
+        let c = cell(cached.as_ref(), 0, 0);
+        cached.read_cell(c).expect("read");
+        // The records read before the invalidation must not be resident:
+        // caching them would serve pre-write data after the write.
+        assert_eq!(cached.resident_pages(), 0);
+        cached.read_cell(c).expect("read");
+        let snap = cached.stats().snapshot();
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.cache_hits, 0);
     }
 
     #[test]

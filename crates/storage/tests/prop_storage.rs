@@ -114,7 +114,7 @@ proptest! {
         }
         // XOR is self-inverse: two hits on the same byte with the same mask
         // cancel out, so recheck against the original bytes.
-        if bytes == &frame[..] {
+        if bytes == frame[..] {
             changed = false;
         }
         match decode_page(&bytes, 0) {

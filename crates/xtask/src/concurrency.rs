@@ -1,0 +1,1348 @@
+//! L006–L010: the concurrency lints.
+//!
+//! The sharded engine (`core::parallel`), the networked front door
+//! (`core::net`), the supervisor and the cell cache (`storage::cache`)
+//! share mutable state across threads. These rules encode the project's
+//! concurrency discipline statically, on the same hand-rolled lexer as
+//! the rest of the linter:
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | L006 | the global lock-acquisition order is acyclic (no AB/BA deadlock) |
+//! | L007 | no blocking call (channel recv/send, I/O, sleep, join) under a live guard |
+//! | L008 | `Ordering::Relaxed` only in counters modules, `stats` chains, or justified |
+//! | L009 | a file that spawns threads must join them somewhere, or justify detaching |
+//! | L010 | channels must be bounded, or carry a capacity rationale |
+//!
+//! The analysis is intentionally token-level and conservative-but-honest:
+//!
+//! * **Lock identity** is `Struct::field` for every field whose declared
+//!   type mentions `Mutex` / `RwLock`. Locks bound to locals or passed as
+//!   parameters are not tracked (the tree keeps its locks in fields).
+//! * **Acquisition** is a `.lock()` / `.read()` / `.write()` call whose
+//!   receiver ends in a known lock field, or a call to a method whose
+//!   signature returns a `MutexGuard`/`RwLock*Guard` (the poison-recovery
+//!   helpers); such helpers count as acquiring whatever they lock.
+//! * **Guard lifetime** follows the binding form: `let`-bound guards live
+//!   to the end of their block (or an explicit `drop(name)`), guards in an
+//!   `if`/`while`/`match` scrutinee live to the end of the construct's
+//!   first block (matching Rust 2021 temporary-scope rules), and other
+//!   temporaries die at the statement's `;`.
+//! * **Call summaries** propagate to a fixpoint, so a method that locks
+//!   internally creates an acquired-while-held edge at every call site
+//!   that already holds a guard, one level or many levels deep.
+//! * `Condvar::wait` / `wait_timeout` are exempt from L007 by design:
+//!   they atomically release the guard they are handed.
+
+use crate::lexer::TokenKind;
+use crate::rules::{RuleSink, Violation};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Crates whose library code the concurrency rules govern: everything
+/// that actually spawns threads or shares state across them.
+const SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/storage/src/",
+    "crates/obs/src/",
+    "crates/sched/src/",
+];
+
+/// Modules allowed to use `Ordering::Relaxed` freely (L008): monotone
+/// counters and snapshot gauges whose only consumers are advisory
+/// (metrics exposition, shutdown reports). Each module documents why
+/// Relaxed is safe for its fields.
+const COUNTER_MODULES: &[&str] = &[
+    "crates/obs/src/hist.rs",
+    "crates/storage/src/stats.rs",
+    "crates/core/src/net/stats.rs",
+];
+
+/// Method names that block the calling thread (L007). `wait` and
+/// `wait_timeout` are deliberately absent: a condvar wait releases the
+/// guard it consumes, which is the sanctioned way to sleep on state.
+const BLOCKING_CALLS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "send",
+    "join",
+    "sleep",
+    "park",
+    "park_timeout",
+    "accept",
+    "connect",
+    "connect_timeout",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+];
+
+fn in_scope(file: &SourceFile) -> bool {
+    SCOPE.iter().any(|p| file.rel_path.starts_with(p))
+}
+
+/// A lock field discovered in a struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LockField {
+    owner: String,
+    field: String,
+    /// `true` for `RwLock`, `false` for `Mutex`.
+    rw: bool,
+}
+
+/// Scans `file` for struct definitions whose fields mention `Mutex` or
+/// `RwLock` anywhere in their type (so `Arc<Mutex<T>>` counts).
+fn collect_lock_fields(file: &SourceFile, out: &mut Vec<LockField>) {
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].kind != TokenKind::Ident || toks[i].text != "struct" {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Find the body `{`; `;` or `(` means unit/tuple struct.
+        let mut j = i + 2;
+        let mut body = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => {
+                    body = Some(j);
+                    break;
+                }
+                ";" | "(" => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = body else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 0isize;
+        let mut k = open;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if depth == 1
+                        && toks[k].kind == TokenKind::Ident
+                        && toks.get(k + 1).map(|n| n.text.as_str()) == Some(":")
+                    {
+                        // Field `name : type …` — scan the type until the
+                        // `,` (or closing `}`) at field depth.
+                        let field = toks[k].text.clone();
+                        let mut t = k + 2;
+                        let mut tdepth = 0isize;
+                        let mut kind = None;
+                        while t < toks.len() {
+                            match toks[t].text.as_str() {
+                                "(" | "[" | "{" => tdepth += 1,
+                                ")" | "]" => tdepth -= 1,
+                                "}" if tdepth == 0 => break,
+                                "}" => tdepth -= 1,
+                                "," if tdepth == 0 => break,
+                                "Mutex" => kind = kind.or(Some(false)),
+                                "RwLock" => kind = kind.or(Some(true)),
+                                _ => {}
+                            }
+                            t += 1;
+                        }
+                        if let Some(rw) = kind {
+                            out.push(LockField {
+                                owner: name.text.clone(),
+                                field,
+                                rw,
+                            });
+                        }
+                        k = t.saturating_sub(1);
+                    }
+                }
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+}
+
+/// One `impl` block: the self type and its token span.
+#[derive(Debug)]
+struct ImplBlock {
+    owner: String,
+    span: (usize, usize),
+}
+
+fn collect_impl_blocks(file: &SourceFile) -> Vec<ImplBlock> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind != TokenKind::Ident || toks[i].text != "impl" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut angle = 0isize;
+        let mut owner: Option<String> = None;
+        let mut saw_for = false;
+        while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+            match toks[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "for" if angle == 0 => {
+                    saw_for = true;
+                    owner = None;
+                }
+                "where" if angle == 0 => break,
+                _ => {
+                    if angle == 0 && toks[j].kind == TokenKind::Ident && owner.is_none() {
+                        owner = Some(toks[j].text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        let _ = saw_for;
+        while j < toks.len() && toks[j].text != "{" {
+            j += 1;
+        }
+        if j >= toks.len() {
+            break;
+        }
+        let close = match_brace(file, j);
+        if let Some(owner) = owner {
+            out.push(ImplBlock {
+                owner,
+                span: (j, close),
+            });
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn match_brace(file: &SourceFile, open: usize) -> usize {
+    let toks = &file.tokens;
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// One function body in one file.
+#[derive(Debug)]
+struct Func {
+    file: usize,
+    owner: Option<String>,
+    name: String,
+    /// Token indexes of the body's `{` and `}`.
+    body: (usize, usize),
+    /// The signature's return type mentions a guard type, so calling this
+    /// function counts as acquiring whatever it locks.
+    returns_guard: bool,
+}
+
+fn collect_funcs(file_idx: usize, file: &SourceFile, impls: &[ImplBlock], out: &mut Vec<Func>) {
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].kind != TokenKind::Ident || toks[i].text != "fn" {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Find the body `{` at zero paren/bracket depth; `;` means a
+        // trait-method declaration with no body.
+        let mut j = i + 2;
+        let mut depth = 0isize;
+        let mut open = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let close = match_brace(file, open);
+        let returns_guard = toks[i + 2..open].iter().any(|t| {
+            t.kind == TokenKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard"
+                )
+        });
+        let owner = impls
+            .iter()
+            .filter(|b| b.span.0 < i && i < b.span.1)
+            .map(|b| b.owner.clone())
+            .next_back();
+        out.push(Func {
+            file: file_idx,
+            owner,
+            name: name.text.clone(),
+            body: (open, close),
+            returns_guard,
+        });
+        i = open + 1;
+    }
+}
+
+/// What calling a function does, propagated to a fixpoint over the call
+/// graph: the set of locks it (transitively) acquires, and whether it can
+/// block the calling thread.
+#[derive(Debug, Default, Clone, PartialEq)]
+struct Summary {
+    acquires: BTreeSet<String>,
+    blocks: bool,
+}
+
+/// Resolves the lock id of `field`: `Owner::field` when exactly one
+/// struct declares it, the bare field name when ambiguous.
+fn lock_id(field: &str, fields: &[LockField]) -> Option<String> {
+    let owners: Vec<&LockField> = fields.iter().filter(|f| f.field == field).collect();
+    match owners.len() {
+        0 => None,
+        1 => Some(format!("{}::{}", owners[0].owner, owners[0].field)),
+        _ => Some(field.to_string()),
+    }
+}
+
+/// Whether the ident at `idx` is a direct lock acquisition
+/// (`receiver.lock()`, `rw.read()`, `rw.write()`), returning the lock id.
+fn direct_acquisition(file: &SourceFile, idx: usize, fields: &[LockField]) -> Option<String> {
+    let toks = &file.tokens;
+    let t = &toks[idx];
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    let is_lock = t.text == "lock";
+    let is_rw = t.text == "read" || t.text == "write";
+    if !is_lock && !is_rw {
+        return None;
+    }
+    if toks.get(idx + 1).map(|n| n.text.as_str()) != Some("(") {
+        return None;
+    }
+    if idx < 2 || toks[idx - 1].text != "." {
+        return None;
+    }
+    let recv = &toks[idx - 2];
+    if recv.kind != TokenKind::Ident {
+        return None;
+    }
+    let field = fields.iter().find(|f| f.field == recv.text)?;
+    // `.lock()` only acquires a Mutex field; `.read()`/`.write()` only an
+    // RwLock field (so `file.read()` on an ordinary field is not a lock).
+    if (is_lock && !field.rw) || (is_rw && field.rw) {
+        lock_id(&recv.text, fields)
+    } else {
+        None
+    }
+}
+
+/// Resolves a call at ident `idx` (`recv.name(…)` or `Type::name(…)`) to
+/// a function summary key, preferring the enclosing impl's own methods
+/// for `self` receivers, then a unique global name.
+fn resolve_call(
+    file: &SourceFile,
+    idx: usize,
+    caller_owner: Option<&str>,
+    funcs: &[Func],
+) -> Option<usize> {
+    let toks = &file.tokens;
+    let t = &toks[idx];
+    if t.kind != TokenKind::Ident || toks.get(idx + 1).map(|n| n.text.as_str()) != Some("(") {
+        return None;
+    }
+    let prev = idx.checked_sub(1).map(|p| toks[p].text.as_str());
+    let prev2 = idx.checked_sub(2).map(|p| &toks[p]);
+    match prev {
+        Some(".") => {
+            if let (Some(r), Some(owner)) = (prev2, caller_owner) {
+                if r.text == "self" {
+                    if let Some(f) = funcs
+                        .iter()
+                        .position(|f| f.owner.as_deref() == Some(owner) && f.name == t.text)
+                    {
+                        return Some(f);
+                    }
+                }
+            }
+            unique_by_name(&t.text, funcs)
+        }
+        Some("::") => {
+            if let Some(ty) = prev2.filter(|r| r.kind == TokenKind::Ident) {
+                if let Some(f) = funcs
+                    .iter()
+                    .position(|f| f.owner.as_deref() == Some(ty.text.as_str()) && f.name == t.text)
+                {
+                    return Some(f);
+                }
+            }
+            unique_by_name(&t.text, funcs)
+        }
+        _ => None,
+    }
+}
+
+/// Method names too common to resolve by name alone: they collide with
+/// std inherent methods (`AtomicBool::load`, `Vec::push`, …), so an
+/// untyped `recv.name(…)` call must not be attributed to an unrelated
+/// workspace function that happens to share the name. Typed paths
+/// (`self.name()` in the owner's impl, `Type::name(…)`) still resolve.
+const AMBIENT_METHOD_NAMES: &[&str] = &[
+    "load", "store", "swap", "new", "clone", "len", "is_empty", "push", "pop", "get", "insert",
+    "remove", "clear", "iter", "next", "drop", "take", "send", "recv", "write", "read", "lock",
+    "flush", "join", "spawn", "wait", "unwrap", "expect", "default", "fmt", "from", "into",
+];
+
+fn unique_by_name(name: &str, funcs: &[Func]) -> Option<usize> {
+    if AMBIENT_METHOD_NAMES.contains(&name) {
+        return None;
+    }
+    let mut found = None;
+    for (i, f) in funcs.iter().enumerate() {
+        if f.name == name {
+            if found.is_some() {
+                return None; // ambiguous
+            }
+            found = Some(i);
+        }
+    }
+    found
+}
+
+/// A live guard during the body walk.
+#[derive(Debug)]
+struct Live {
+    lock: String,
+    binder: Option<String>,
+    die: Die,
+}
+
+#[derive(Debug)]
+enum Die {
+    /// `let`-bound: dies when its block closes (depth drops below).
+    Block(usize),
+    /// Plain temporary: dies at the next `;` at its depth.
+    Stmt(usize),
+    /// `if let` / `while let` / `match` scrutinee temporary: dies when
+    /// the construct's first block closes. Armed once the block opens.
+    Construct { depth: usize, armed: bool },
+}
+
+#[derive(Debug, Default, Clone)]
+struct StmtState {
+    kind: Option<StmtKind>,
+    binder: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StmtKind {
+    Let,
+    Construct,
+    Expr,
+}
+
+/// An acquired-while-held edge with its witness location.
+#[derive(Debug, Clone)]
+struct Edge {
+    held: String,
+    acquired: String,
+    file: String,
+    line: usize,
+}
+
+/// Walks one function body, producing lock-order edges and L007
+/// violations. `summaries` must already be at fixpoint.
+#[allow(clippy::too_many_arguments)]
+fn walk_function(
+    file: &SourceFile,
+    func: &Func,
+    funcs: &[Func],
+    summaries: &[Summary],
+    fields: &[LockField],
+    edges: &mut Vec<Edge>,
+    sink: &mut RuleSink,
+) {
+    let toks = &file.tokens;
+    let (open, close) = func.body;
+    let mut depth = 1usize;
+    let mut live: Vec<Live> = Vec::new();
+    let mut stmt: Vec<StmtState> = vec![StmtState::default(); 2];
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        let text = t.text.as_str();
+        match text {
+            "{" => {
+                depth += 1;
+                for l in &mut live {
+                    if let Die::Construct { depth: d, armed } = &mut l.die {
+                        if *d == depth - 1 {
+                            *armed = true;
+                        }
+                    }
+                }
+                stmt.resize(depth + 1, StmtState::default());
+                stmt[depth] = StmtState::default();
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                live.retain(|l| match l.die {
+                    Die::Block(d) => d <= depth,
+                    Die::Construct { depth: d, armed } => !(armed && d >= depth),
+                    Die::Stmt(d) => d <= depth,
+                });
+                stmt.truncate(depth + 1);
+                if stmt.len() <= depth {
+                    stmt.resize(depth + 1, StmtState::default());
+                }
+                stmt[depth] = StmtState::default();
+            }
+            ";" => {
+                live.retain(|l| match l.die {
+                    Die::Stmt(d) => d != depth,
+                    Die::Construct { depth: d, armed } => armed || d != depth,
+                    _ => true,
+                });
+                stmt[depth] = StmtState::default();
+            }
+            _ => {
+                if t.kind == TokenKind::Ident && stmt[depth].kind.is_none() {
+                    stmt[depth].kind = Some(match text {
+                        "let" => StmtKind::Let,
+                        "if" | "while" | "match" => StmtKind::Construct,
+                        _ => StmtKind::Expr,
+                    });
+                } else if t.kind == TokenKind::Ident
+                    && stmt[depth].kind == Some(StmtKind::Let)
+                    && stmt[depth].binder.is_none()
+                    && text != "mut"
+                {
+                    stmt[depth].binder = Some(t.text.clone());
+                }
+
+                if file.in_test(i) {
+                    i += 1;
+                    continue;
+                }
+
+                // `drop(name)` releases a named guard early.
+                if text == "drop"
+                    && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+                    && toks.get(i + 2).map(|n| n.kind) == Some(TokenKind::Ident)
+                {
+                    let name = toks[i + 2].text.as_str();
+                    live.retain(|l| l.binder.as_deref() != Some(name));
+                }
+
+                // Direct acquisition or a guard-returning helper call.
+                let mut acquired: Option<String> = None;
+                let mut transitive: Option<&Summary> = None;
+                let mut callee_name = "";
+                if let Some(lock) = direct_acquisition(file, i, fields) {
+                    acquired = Some(lock);
+                } else if let Some(f) = resolve_call(file, i, func.owner.as_deref(), funcs) {
+                    // Don't recurse into ourselves.
+                    if !std::ptr::eq(&funcs[f], func) {
+                        let s = &summaries[f];
+                        callee_name = &funcs[f].name;
+                        if funcs[f].returns_guard {
+                            acquired = s.acquires.iter().next().cloned();
+                        } else if !s.acquires.is_empty() || s.blocks {
+                            transitive = Some(s);
+                        }
+                    }
+                }
+
+                if let Some(lock) = acquired {
+                    for l in &live {
+                        if l.lock != lock {
+                            edges.push(Edge {
+                                held: l.lock.clone(),
+                                acquired: lock.clone(),
+                                file: file.rel_path.clone(),
+                                line: t.line,
+                            });
+                        }
+                    }
+                    let die = match stmt[depth].kind {
+                        Some(StmtKind::Let) => Die::Block(depth),
+                        Some(StmtKind::Construct) => Die::Construct {
+                            depth,
+                            armed: false,
+                        },
+                        _ => Die::Stmt(depth),
+                    };
+                    live.push(Live {
+                        lock,
+                        binder: if stmt[depth].kind == Some(StmtKind::Let) {
+                            stmt[depth].binder.clone()
+                        } else {
+                            None
+                        },
+                        die,
+                    });
+                } else if let Some(s) = transitive {
+                    if !live.is_empty() {
+                        for l in &live {
+                            for a in &s.acquires {
+                                if &l.lock != a {
+                                    edges.push(Edge {
+                                        held: l.lock.clone(),
+                                        acquired: a.clone(),
+                                        file: file.rel_path.clone(),
+                                        line: t.line,
+                                    });
+                                }
+                            }
+                        }
+                        if s.blocks {
+                            let held = held_list(&live);
+                            sink.push(
+                                file,
+                                Violation {
+                                    rule: "L007",
+                                    file: file.rel_path.clone(),
+                                    line: t.line,
+                                    message: format!(
+                                        "`{callee_name}()` can block while lock {held} is held: \
+                                         release the guard first, or justify with \
+                                         `// ctup-lint: allow(L007, why)`"
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                } else if !live.is_empty()
+                    && t.kind == TokenKind::Ident
+                    && BLOCKING_CALLS.contains(&text)
+                    && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+                    && i > 0
+                    && matches!(toks[i - 1].text.as_str(), "." | "::")
+                {
+                    // `.write()` on an RwLock field was already handled as
+                    // an acquisition above; reaching here it is I/O.
+                    let held = held_list(&live);
+                    sink.push(
+                        file,
+                        Violation {
+                            rule: "L007",
+                            file: file.rel_path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "blocking call `.{text}()` while lock {held} is held: \
+                                 release the guard first, or justify with \
+                                 `// ctup-lint: allow(L007, why)`"
+                            ),
+                        },
+                    );
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn held_list(live: &[Live]) -> String {
+    let names: BTreeSet<&str> = live.iter().map(|l| l.lock.as_str()).collect();
+    names.into_iter().collect::<Vec<_>>().join(", ")
+}
+
+/// Computes per-function summaries (direct pass + call-graph fixpoint).
+fn compute_summaries(
+    files: &[Rc<SourceFile>],
+    funcs: &[Func],
+    fields: &[LockField],
+) -> Vec<Summary> {
+    let mut summaries: Vec<Summary> = vec![Summary::default(); funcs.len()];
+    // Direct pass.
+    for (fi, func) in funcs.iter().enumerate() {
+        let file = &files[func.file];
+        let toks = &file.tokens;
+        for i in func.body.0 + 1..func.body.1 {
+            if file.in_test(i) {
+                continue;
+            }
+            if let Some(lock) = direct_acquisition(file, i, fields) {
+                summaries[fi].acquires.insert(lock);
+            }
+            let t = &toks[i];
+            if t.kind == TokenKind::Ident
+                && BLOCKING_CALLS.contains(&t.text.as_str())
+                && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+                && i > 0
+                && matches!(toks[i - 1].text.as_str(), "." | "::")
+            {
+                summaries[fi].blocks = true;
+            }
+        }
+    }
+    // Fixpoint over calls.
+    loop {
+        let mut changed = false;
+        for (fi, func) in funcs.iter().enumerate() {
+            let file = &files[func.file];
+            for i in func.body.0 + 1..func.body.1 {
+                if file.in_test(i) {
+                    continue;
+                }
+                if let Some(cf) = resolve_call(file, i, func.owner.as_deref(), funcs) {
+                    if cf == fi {
+                        continue;
+                    }
+                    let (acq, blocks) = {
+                        let s = &summaries[cf];
+                        (s.acquires.clone(), s.blocks)
+                    };
+                    let me = &mut summaries[fi];
+                    let before = me.acquires.len();
+                    me.acquires.extend(acq);
+                    if me.acquires.len() != before || (blocks && !me.blocks) {
+                        changed = true;
+                    }
+                    me.blocks |= blocks;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    summaries
+}
+
+/// L006: builds the global acquired-while-held graph and reports every
+/// cycle with a witness path.
+fn check_lock_order(
+    files: &[Rc<SourceFile>],
+    by_path: &BTreeMap<&str, &SourceFile>,
+    sink: &mut RuleSink,
+) {
+    let mut fields = Vec::new();
+    for f in files {
+        collect_lock_fields(f, &mut fields);
+    }
+    let mut funcs = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        let impls = collect_impl_blocks(f);
+        collect_funcs(i, f, &impls, &mut funcs);
+    }
+    let summaries = compute_summaries(files, &funcs, &fields);
+
+    let mut edges: Vec<Edge> = Vec::new();
+    for func in &funcs {
+        walk_function(
+            &files[func.file],
+            func,
+            &funcs,
+            &summaries,
+            &fields,
+            &mut edges,
+            sink,
+        );
+    }
+
+    // First witness per (held, acquired) pair.
+    let mut graph: BTreeMap<String, BTreeMap<String, (String, usize)>> = BTreeMap::new();
+    for e in &edges {
+        graph
+            .entry(e.held.clone())
+            .or_default()
+            .entry(e.acquired.clone())
+            .or_insert((e.file.clone(), e.line));
+    }
+
+    // DFS cycle detection with path reconstruction; each cycle is
+    // reported once, keyed by its sorted node set.
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<String> = graph.keys().cloned().collect();
+    for start in &nodes {
+        let mut stack: Vec<String> = vec![start.clone()];
+        let mut on_path: BTreeSet<String> = stack.iter().cloned().collect();
+        dfs_cycles(
+            start,
+            &graph,
+            &mut stack,
+            &mut on_path,
+            &mut reported,
+            by_path,
+            sink,
+        );
+    }
+}
+
+fn dfs_cycles(
+    node: &str,
+    graph: &BTreeMap<String, BTreeMap<String, (String, usize)>>,
+    stack: &mut Vec<String>,
+    on_path: &mut BTreeSet<String>,
+    reported: &mut BTreeSet<Vec<String>>,
+    by_path: &BTreeMap<&str, &SourceFile>,
+    sink: &mut RuleSink,
+) {
+    let Some(next) = graph.get(node) else {
+        return;
+    };
+    for (succ, witness) in next {
+        if let Some(pos) = stack.iter().position(|n| n == succ) {
+            // Found a cycle: stack[pos..] + succ.
+            let cycle: Vec<String> = stack[pos..].to_vec();
+            let mut key = cycle.clone();
+            key.sort();
+            if !reported.insert(key) {
+                continue;
+            }
+            let mut path = String::new();
+            for win in cycle.windows(2) {
+                if let Some((f, l)) = graph.get(&win[0]).and_then(|m| m.get(&win[1])) {
+                    path.push_str(&format!("{} -> {} ({f}:{l}); ", win[0], win[1]));
+                }
+            }
+            path.push_str(&format!(
+                "{} -> {} ({}:{})",
+                cycle.last().map(String::as_str).unwrap_or(""),
+                succ,
+                witness.0,
+                witness.1
+            ));
+            let v = Violation {
+                rule: "L006",
+                file: witness.0.clone(),
+                line: witness.1,
+                message: format!(
+                    "lock-acquisition-order cycle: {path} — impose one global order \
+                     (see DESIGN.md §15) or break the nesting"
+                ),
+            };
+            match by_path.get(witness.0.as_str()) {
+                Some(file) => sink.push(file, v),
+                None => sink.violations.push(v),
+            }
+        } else if !on_path.contains(succ) {
+            stack.push(succ.clone());
+            on_path.insert(succ.clone());
+            dfs_cycles(succ, graph, stack, on_path, reported, by_path, sink);
+            stack.pop();
+            on_path.remove(succ);
+        }
+    }
+}
+
+/// After `ident`, skips an optional turbofish (`::<…>`) and reports
+/// whether the next token is `(` — i.e. this ident is called.
+fn called_with_optional_turbofish(file: &SourceFile, idx: usize) -> bool {
+    let toks = &file.tokens;
+    let mut j = idx + 1;
+    if toks.get(j).map(|t| t.text.as_str()) == Some("::")
+        && toks.get(j + 1).map(|t| t.text.as_str()) == Some("<")
+    {
+        let mut angle = 0isize;
+        j += 1;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                ">>" => {
+                    angle -= 2;
+                    if angle <= 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    toks.get(j).map(|t| t.text.as_str()) == Some("(")
+}
+
+/// Back-scan from `idx` to the statement boundary, looking for `what`.
+fn statement_mentions(file: &SourceFile, idx: usize, what: &[&str]) -> bool {
+    let toks = &file.tokens;
+    let mut i = idx;
+    let mut seen = 0;
+    while i > 0 && seen < 96 {
+        i -= 1;
+        seen += 1;
+        let t = &toks[i];
+        if matches!(t.text.as_str(), ";" | "{" | "}") {
+            return false;
+        }
+        if t.kind == TokenKind::Ident && what.contains(&t.text.as_str()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// L008: `Ordering::Relaxed` needs to be in a counters module, behind a
+/// `stats` handle, or justified.
+fn check_relaxed(file: &SourceFile, sink: &mut RuleSink) {
+    if COUNTER_MODULES.contains(&file.rel_path.as_str()) {
+        return;
+    }
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "Relaxed" || file.in_test(i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let prev2 = i.checked_sub(2).map(|p| toks[p].text.as_str());
+        if prev != Some("::") || prev2 != Some("Ordering") {
+            continue;
+        }
+        // Counter bumps routed through a stats handle (`self.stats.x`,
+        // `shared.stats.x`) are monotone by convention; the designated
+        // counters modules document why Relaxed is sufficient for them.
+        if statement_mentions(file, i, &["stats"]) {
+            continue;
+        }
+        sink.push(
+            file,
+            Violation {
+                rule: "L008",
+                file: file.rel_path.clone(),
+                line: t.line,
+                message: "`Ordering::Relaxed` outside a counters module: use a stronger \
+                          ordering, move the counter behind a stats handle, or justify with \
+                          `// ctup-lint: allow(L008, why Relaxed is safe here)`"
+                    .into(),
+            },
+        );
+    }
+}
+
+/// L009: a file that spawns OS threads must also join them in non-test
+/// code, or each spawn must carry a detach rationale.
+fn check_spawn_join(file: &SourceFile, sink: &mut RuleSink) {
+    let toks = &file.tokens;
+    let mut spawns: Vec<usize> = Vec::new();
+    let mut has_join = false;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.in_test(i) {
+            continue;
+        }
+        match t.text.as_str() {
+            "spawn" if called_with_optional_turbofish(file, i) => {
+                let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+                let prev2 = i.checked_sub(2).map(|p| toks[p].text.as_str());
+                // Only OS-thread spawns: `thread::spawn`, or a `.spawn(…)`
+                // on a `thread::Builder` chain. Methods that happen to be
+                // called `spawn` (IngestServer::spawn, …) are not threads.
+                let os_thread = (prev == Some("::") && prev2 == Some("thread"))
+                    || (prev == Some(".") && statement_mentions(file, i, &["Builder", "thread"]));
+                if os_thread {
+                    spawns.push(i);
+                }
+            }
+            "join"
+                if toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+                    && i > 0
+                    && matches!(toks[i - 1].text.as_str(), "." | "::") =>
+            {
+                has_join = true;
+            }
+            _ => {}
+        }
+    }
+    if has_join {
+        return;
+    }
+    for i in spawns {
+        sink.push(
+            file,
+            Violation {
+                rule: "L009",
+                file: file.rel_path.clone(),
+                line: toks[i].line,
+                message: "thread spawned but this file never joins a handle: join it on \
+                          shutdown, or justify detaching with \
+                          `// ctup-lint: allow(L009, why detaching is safe)`"
+                    .into(),
+            },
+        );
+    }
+}
+
+/// L010: unbounded channels (`mpsc::channel`, crossbeam `unbounded`)
+/// need a capacity rationale; `sync_channel`/`bounded` are fine.
+fn check_bounded_channels(file: &SourceFile, sink: &mut RuleSink) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.in_test(i) {
+            continue;
+        }
+        let unbounded = match t.text.as_str() {
+            "channel" => {
+                // `mpsc::channel()` / `channel::<T>()`; `channel::bounded`
+                // and friends have a path segment, not a call, after them.
+                i > 0
+                    && matches!(toks[i - 1].text.as_str(), "::" | ".")
+                    && called_with_optional_turbofish(file, i)
+            }
+            "unbounded" => called_with_optional_turbofish(file, i),
+            _ => false,
+        };
+        if unbounded {
+            sink.push(
+                file,
+                Violation {
+                    rule: "L010",
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: "unbounded channel: use a bounded channel (backpressure is \
+                              policy, not an accident), or justify the capacity with \
+                              `// ctup-lint: allow(L010, why depth is bounded by protocol)`"
+                        .into(),
+                },
+            );
+        }
+    }
+}
+
+/// Entry point: runs L006–L010 over every in-scope file.
+pub fn check_all(files: &BTreeMap<String, Rc<SourceFile>>, sink: &mut RuleSink) {
+    let scoped: Vec<Rc<SourceFile>> = files
+        .values()
+        .filter(|f| in_scope(f) && !f.all_test)
+        .cloned()
+        .collect();
+    let by_path: BTreeMap<&str, &SourceFile> = scoped
+        .iter()
+        .map(|f| (f.rel_path.as_str(), f.as_ref()))
+        .collect();
+    check_lock_order(&scoped, &by_path, sink);
+    for f in &scoped {
+        check_relaxed(f, sink);
+        check_spawn_join(f, sink);
+        check_bounded_channels(f, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src_files: &[(&str, &str)]) -> RuleSink {
+        let mut files = BTreeMap::new();
+        for (path, src) in src_files {
+            files.insert(path.to_string(), Rc::new(SourceFile::parse(path, src)));
+        }
+        let mut sink = RuleSink::default();
+        check_all(&files, &mut sink);
+        sink
+    }
+
+    fn rules(sink: &RuleSink) -> Vec<(&str, usize)> {
+        sink.violations.iter().map(|v| (v.rule, v.line)).collect()
+    }
+
+    #[test]
+    fn lock_fields_and_impl_owners_are_discovered() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "pub struct A { items: Mutex<Vec<u32>>, r: RwLock<u8>, n: u32 }\n\
+             impl A { fn f(&self) {} }\n",
+        );
+        let mut fields = Vec::new();
+        collect_lock_fields(&f, &mut fields);
+        assert_eq!(
+            fields,
+            vec![
+                LockField {
+                    owner: "A".into(),
+                    field: "items".into(),
+                    rw: false
+                },
+                LockField {
+                    owner: "A".into(),
+                    field: "r".into(),
+                    rw: true
+                },
+            ]
+        );
+        let impls = collect_impl_blocks(&f);
+        assert_eq!(impls.len(), 1);
+        assert_eq!(impls[0].owner, "A");
+    }
+
+    #[test]
+    fn l006_flags_an_ab_ba_cycle_with_witness() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+                 fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n\
+             }\n",
+        )]);
+        let l006: Vec<_> = sink
+            .violations
+            .iter()
+            .filter(|v| v.rule == "L006")
+            .collect();
+        assert_eq!(l006.len(), 1, "{:?}", sink.violations);
+        assert!(l006[0].message.contains("S::a"), "{}", l006[0].message);
+        assert!(l006[0].message.contains("S::b"));
+        assert!(l006[0].message.contains("crates/core/src/x.rs:"));
+    }
+
+    #[test]
+    fn l006_consistent_order_is_clean() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+                 fn ab2(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+             }\n",
+        )]);
+        assert!(rules(&sink).is_empty(), "{:?}", sink.violations);
+    }
+
+    #[test]
+    fn l006_sees_through_guard_returning_helpers() {
+        // `lock()` helpers (poison recovery) acquire their mutex at the
+        // caller; helper-vs-direct in opposite orders is still a cycle.
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn lock_a(&self) -> MutexGuard<'_, u32> { self.a.lock().unwrap() }\n\
+                 fn ab(&self) { let g = self.lock_a(); let h = self.b.lock(); }\n\
+                 fn ba(&self) { let g = self.b.lock(); let h = self.lock_a(); }\n\
+             }\n",
+        )]);
+        assert_eq!(
+            sink.violations.iter().filter(|v| v.rule == "L006").count(),
+            1,
+            "{:?}",
+            sink.violations
+        );
+    }
+
+    #[test]
+    fn l006_sees_transitive_acquisition_through_methods() {
+        // hold a, call a method that locks b internally; and vice versa.
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn touch_b(&self) { let g = self.b.lock(); }\n\
+                 fn touch_a(&self) { let g = self.a.lock(); }\n\
+                 fn one(&self) { let g = self.a.lock(); self.touch_b(); }\n\
+                 fn two(&self) { let g = self.b.lock(); self.touch_a(); }\n\
+             }\n",
+        )]);
+        assert_eq!(
+            sink.violations.iter().filter(|v| v.rule == "L006").count(),
+            1,
+            "{:?}",
+            sink.violations
+        );
+    }
+
+    #[test]
+    fn l006_scoped_block_releases_before_next_acquisition() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn one(&self) { { let g = self.a.lock(); } let h = self.b.lock(); }\n\
+                 fn two(&self) { { let g = self.b.lock(); } let h = self.a.lock(); }\n\
+             }\n",
+        )]);
+        assert!(rules(&sink).is_empty(), "{:?}", sink.violations);
+    }
+
+    #[test]
+    fn l006_drop_releases_early() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn one(&self) { let g = self.a.lock(); drop(g); let h = self.b.lock(); }\n\
+                 fn two(&self) { let g = self.b.lock(); drop(g); let h = self.a.lock(); }\n\
+             }\n",
+        )]);
+        assert!(rules(&sink).is_empty(), "{:?}", sink.violations);
+    }
+
+    #[test]
+    fn l007_flags_blocking_recv_under_guard() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "pub struct S { a: Mutex<u32> }\n\
+             impl S {\n\
+                 fn f(&self, rx: &Receiver<u32>) { let g = self.a.lock(); let v = rx.recv(); }\n\
+             }\n",
+        )]);
+        assert_eq!(rules(&sink), vec![("L007", 3)], "{:?}", sink.violations);
+    }
+
+    #[test]
+    fn l007_condvar_wait_is_exempt_and_recv_after_scope_is_clean() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "pub struct S { a: Mutex<u32> }\n\
+             impl S {\n\
+                 fn f(&self, cv: &Condvar) { let g = self.a.lock(); let p = cv.wait_timeout(g, t); }\n\
+                 fn g(&self, rx: &Receiver<u32>) { { let g = self.a.lock(); } let v = rx.recv(); }\n\
+             }\n",
+        )]);
+        assert!(rules(&sink).is_empty(), "{:?}", sink.violations);
+    }
+
+    #[test]
+    fn l007_match_scrutinee_guard_lives_through_the_arms() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "pub struct S { a: Mutex<u32> }\n\
+             impl S {\n\
+                 fn f(&self, rx: &Receiver<u32>) {\n\
+                     match self.a.lock() {\n\
+                         Ok(g) => { let v = rx.recv(); }\n\
+                         Err(_) => {}\n\
+                     }\n\
+                 }\n\
+             }\n",
+        )]);
+        assert_eq!(rules(&sink), vec![("L007", 5)], "{:?}", sink.violations);
+    }
+
+    #[test]
+    fn l008_flags_relaxed_outside_counters_and_stats_chains() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "fn f(a: &AtomicBool, stats: &S) {\n\
+                 a.store(true, Ordering::Relaxed);\n\
+                 stats.hits.fetch_add(1, Ordering::Relaxed);\n\
+                 a.store(true, Ordering::SeqCst);\n\
+             }\n",
+        )]);
+        assert_eq!(rules(&sink), vec![("L008", 2)], "{:?}", sink.violations);
+    }
+
+    #[test]
+    fn l008_counters_module_is_allowlisted() {
+        let sink = run(&[(
+            "crates/core/src/net/stats.rs",
+            "fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }\n",
+        )]);
+        assert!(rules(&sink).is_empty(), "{:?}", sink.violations);
+    }
+
+    #[test]
+    fn l009_spawn_without_join_fires_and_join_or_allow_silences() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n",
+        )]);
+        assert_eq!(rules(&sink), vec![("L009", 1)], "{:?}", sink.violations);
+
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "fn f() { let h = std::thread::spawn(|| {}); let _ = h.join(); }\n",
+        )]);
+        assert!(rules(&sink).is_empty(), "{:?}", sink.violations);
+
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "fn f() {\n    // ctup-lint: allow(L009, fire-and-forget probe, exits with process)\n    std::thread::spawn(|| {});\n}\n",
+        )]);
+        assert!(rules(&sink).is_empty(), "{:?}", sink.violations);
+        assert_eq!(sink.fired.len(), 1);
+    }
+
+    #[test]
+    fn l009_builder_chain_counts_and_non_thread_spawn_methods_do_not() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "fn f() { let h = std::thread::Builder::new().name(n).spawn(w); }\n\
+             fn g() { let s = IngestServer::spawn(addr, cfg, sink); }\n",
+        )]);
+        assert_eq!(rules(&sink), vec![("L009", 1)], "{:?}", sink.violations);
+    }
+
+    #[test]
+    fn l010_unbounded_channels_fire_bounded_do_not() {
+        let sink = run(&[(
+            "crates/core/src/x.rs",
+            "fn f() {\n\
+                 let (a, b) = std::sync::mpsc::channel::<u32>();\n\
+                 let (c, d) = crossbeam::channel::unbounded::<u32>();\n\
+                 let (e, g) = crossbeam::channel::bounded::<u32>(64);\n\
+                 let (h, i) = std::sync::mpsc::sync_channel::<u32>(8);\n\
+             }\n",
+        )]);
+        assert_eq!(
+            rules(&sink),
+            vec![("L010", 2), ("L010", 3)],
+            "{:?}",
+            sink.violations
+        );
+    }
+
+    #[test]
+    fn out_of_scope_files_and_tests_are_exempt() {
+        let sink = run(&[
+            (
+                "crates/cli/src/x.rs",
+                "fn f() { let (a, b) = std::sync::mpsc::channel::<u32>(); }\n",
+            ),
+            (
+                "crates/core/src/y.rs",
+                "#[cfg(test)]\nmod tests {\n    fn f() { let (a, b) = std::sync::mpsc::channel::<u32>(); std::thread::spawn(|| {}); }\n}\n",
+            ),
+        ]);
+        assert!(rules(&sink).is_empty(), "{:?}", sink.violations);
+    }
+}

@@ -7,7 +7,9 @@
 //! flight-recorder dump (see [`obscheck`]). The engine is a library so
 //! the rules can be exercised against fixture trees in integration tests.
 
+pub mod concurrency;
 pub mod fingerprint;
+pub mod flatjson;
 pub mod json;
 pub mod lexer;
 pub mod obscheck;
@@ -136,6 +138,9 @@ pub fn run_lint(
         rules::check_float_eq(file, &mut sink);
         rules::check_casts(file, &mut sink);
     }
+    // L006–L010 are whole-program (the lock-order graph spans crates), so
+    // they run over the full tree at once rather than per file.
+    concurrency::check_all(&files, &mut sink);
     for cfg in &config.metrics {
         rules::check_metrics_coverage(cfg, &lookup, &mut sink);
     }

@@ -24,7 +24,8 @@ USAGE:
     cargo xtask healthcheck [FILE]
 
 The lint subcommand runs the CTUP domain-invariant checker (rules
-L000–L005; see DESIGN.md §10). promcheck validates a Prometheus text
+L000–L005, see DESIGN.md §10; concurrency rules L006–L010, see
+DESIGN.md §15). promcheck validates a Prometheus text
 exposition (from `ctup report --format prom` or a `/metrics` scrape;
 reads stdin when FILE is omitted). flightcheck validates a
 flight-recorder JSONL dump and prints its event span. healthcheck

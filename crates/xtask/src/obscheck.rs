@@ -12,8 +12,11 @@
 //!
 //! Both are hand-rolled on purpose: the point of the check is that a
 //! scraper with no knowledge of our code could consume the output, so
-//! the validator must not share code with the producer.
+//! the validator must not share code with the producer. The flat-JSON
+//! walk both flightcheck and healthcheck rely on lives once, in
+//! [`crate::flatjson`].
 
+use crate::flatjson::{parse_flat_object, FlatValue};
 use std::collections::{BTreeMap, HashMap};
 
 /// One problem found in an artifact.
@@ -236,103 +239,6 @@ pub struct FlightLine {
     pub outcome: String,
 }
 
-/// A scalar value in a flat JSON object: a decoded string, or the raw
-/// text of a number / boolean / null token (kept raw so callers can
-/// re-parse at whatever width they need).
-#[derive(Debug, Clone, PartialEq)]
-enum FlatValue {
-    /// A decoded JSON string.
-    Str(String),
-    /// The raw token of a number, `true`, `false` or `null`.
-    Raw(String),
-}
-
-/// Walks one flat JSON object into `(key, value)` pairs. This is a
-/// structural validator, not a full JSON parser: it checks the brace
-/// framing, walks `"key":value` pairs left to right, and understands
-/// strings (with escapes), numbers, booleans and null — exactly the
-/// grammar the flight recorder and the `/healthz` endpoint emit.
-fn parse_flat_object(line: &str) -> Result<Vec<(String, FlatValue)>, String> {
-    let inner = line
-        .trim()
-        .strip_prefix('{')
-        .and_then(|s| s.strip_suffix('}'))
-        .ok_or_else(|| "not a JSON object (missing braces)".to_string())?;
-    let bytes = inner.as_bytes();
-    let mut i = 0usize;
-    let mut pairs = Vec::new();
-
-    fn parse_string(bytes: &[u8], mut i: usize) -> Result<(String, usize), String> {
-        if bytes.get(i) != Some(&b'"') {
-            return Err("expected string".into());
-        }
-        i += 1;
-        let mut out = String::new();
-        while i < bytes.len() {
-            match bytes[i] {
-                b'"' => return Ok((out, i + 1)),
-                b'\\' => {
-                    let esc = *bytes.get(i + 1).ok_or("dangling escape")?;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'u' => {
-                            // \uXXXX — skip the hex digits, keep a placeholder.
-                            out.push('\u{FFFD}');
-                            i += 4;
-                        }
-                        other => return Err(format!("unknown escape \\{}", other as char)),
-                    }
-                    i += 2;
-                }
-                c => {
-                    out.push(c as char);
-                    i += 1;
-                }
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    while i < bytes.len() {
-        let (key, next) = parse_string(bytes, i)?;
-        i = next;
-        if bytes.get(i) != Some(&b':') {
-            return Err(format!("missing `:` after key {key:?}"));
-        }
-        i += 1;
-        let value_start = i;
-        let value_end;
-        if bytes.get(i) == Some(&b'"') {
-            let (text, next) = parse_string(bytes, i)?;
-            value_end = next;
-            pairs.push((key, FlatValue::Str(text)));
-        } else {
-            let mut j = i;
-            while j < bytes.len() && bytes[j] != b',' {
-                j += 1;
-            }
-            value_end = j;
-            let raw = inner[value_start..value_end].trim();
-            let is_number = raw.parse::<f64>().is_ok();
-            if !is_number && raw != "true" && raw != "false" && raw != "null" {
-                return Err(format!("key {key:?} has unparseable value {raw:?}"));
-            }
-            pairs.push((key, FlatValue::Raw(raw.to_string())));
-        }
-        i = value_end;
-        match bytes.get(i) {
-            Some(&b',') => i += 1,
-            None => break,
-            Some(other) => return Err(format!("expected `,` got `{}`", *other as char)),
-        }
-    }
-    Ok(pairs)
-}
-
 /// Parses one flight-recorder line, extracting `seq` and `outcome`.
 fn parse_flight_line(line: &str) -> Result<FlightLine, String> {
     let mut seq: Option<u64> = None;
@@ -407,9 +313,7 @@ pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
                     Some(n) => queue_depth = Some(n),
                     None => problems.push(Problem {
                         line: 1,
-                        message: format!(
-                            "`{gauge}` must be a non-negative integer, got {value:?}"
-                        ),
+                        message: format!("`{gauge}` must be a non-negative integer, got {value:?}"),
                     }),
                 }
             }
@@ -434,9 +338,7 @@ pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
         if !consistent && (status == "ok" || status == "degraded") {
             problems.push(Problem {
                 line: 1,
-                message: format!(
-                    "`status` {status:?} disagrees with `degraded` = {degraded}"
-                ),
+                message: format!("`status` {status:?} disagrees with `degraded` = {degraded}"),
             });
         }
     }

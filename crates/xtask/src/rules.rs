@@ -74,6 +74,31 @@ pub const RULES: &[RuleInfo] = &[
         summary: "checkpoint-serialized item signatures must match lint/fingerprints.toml \
                   unless FORMAT_VERSION is bumped",
     },
+    RuleInfo {
+        id: "L006",
+        summary: "the global lock-acquisition order over Mutex/RwLock fields must be \
+                  acyclic; cycles are reported with a witness path",
+    },
+    RuleInfo {
+        id: "L007",
+        summary: "no blocking call (channel send/recv, join, sleep, I/O) while a lock \
+                  guard is live; condvar waits are exempt",
+    },
+    RuleInfo {
+        id: "L008",
+        summary: "Ordering::Relaxed only in the designated counters modules or behind a \
+                  stats handle; anywhere else needs a reasoned suppression",
+    },
+    RuleInfo {
+        id: "L009",
+        summary: "a file that spawns OS threads must join a handle somewhere, or each \
+                  spawn carries an explicit detach rationale",
+    },
+    RuleInfo {
+        id: "L010",
+        summary: "channels must be bounded (sync_channel/bounded); unbounded channels \
+                  need a capacity rationale",
+    },
 ];
 
 /// Whether `id` names a rule (used when validating suppressions).
@@ -102,7 +127,7 @@ pub struct RuleSink {
 impl RuleSink {
     /// Records `v` unless a suppression covers it; a covering suppression is
     /// marked as fired.
-    fn push(&mut self, file: &SourceFile, v: Violation) {
+    pub(crate) fn push(&mut self, file: &SourceFile, v: Violation) {
         if let Some(sup) = file.suppressed(v.rule, v.line) {
             self.fired.push(FiredSuppression {
                 file: file.rel_path.clone(),

@@ -329,8 +329,10 @@ fn shed_reason_counted(net: &ctup::core::NetStatsSnapshot, reason: ctup::core::S
 /// deadline, while a healthy client on the same server is untouched.
 #[test]
 fn slowloris_is_evicted_while_healthy_client_proceeds() {
-    let mut cfg = NetServerConfig::default();
-    cfg.frame_deadline = Duration::from_millis(100);
+    let cfg = NetServerConfig {
+        frame_deadline: Duration::from_millis(100),
+        ..NetServerConfig::default()
+    };
     let server =
         IngestServer::spawn("127.0.0.1:0", cfg, Arc::new(CountingSink::default())).unwrap();
     let addr = server.local_addr();
@@ -482,8 +484,10 @@ fn engine_death_degrades_and_serves_last_good() {
         ..ResilienceConfig::default()
     };
     let (sink, dyn_sink) = pipeline_sink(&store, &units, resilience, 8);
-    let mut cfg = NetServerConfig::default();
-    cfg.snapshot_push_interval = Duration::from_millis(50);
+    let mut cfg = NetServerConfig {
+        snapshot_push_interval: Duration::from_millis(50),
+        ..NetServerConfig::default()
+    };
     cfg.admission.ingest_deadline = Duration::from_secs(5);
     let server = IngestServer::spawn("127.0.0.1:0", cfg, dyn_sink).unwrap();
     let mut client = FeedClient::new(
