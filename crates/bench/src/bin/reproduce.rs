@@ -23,6 +23,12 @@
 //! through the real TCP front door — and writes accepted/shed
 //! throughput and admission-wait quantiles per load point as JSON
 //! (BENCH_PR6.json in this repo).
+//!
+//! `--failover-out FILE` runs the failover MTTR bench — engine kills
+//! healed in-process from the durable slot + WAL tail, and primary
+//! kills absorbed by warm-standby promotion — and writes per-trial
+//! outage durations for both recovery levels as JSON (BENCH_PR8.json
+//! in this repo).
 
 use ctup_bench::experiments::{self, Effort, Table};
 use ctup_bench::harness::{
@@ -67,6 +73,7 @@ fn main() {
     let mut out_file: Option<String> = None;
     let mut sharded_out_file: Option<String> = None;
     let mut overload_out_file: Option<String> = None;
+    let mut failover_out_file: Option<String> = None;
     let mut selected: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -90,6 +97,13 @@ fn main() {
                 Some(path) => overload_out_file = Some(path.clone()),
                 None => {
                     eprintln!("--overload-out requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--failover-out" => match iter.next() {
+                Some(path) => failover_out_file = Some(path.clone()),
+                None => {
+                    eprintln!("--failover-out requires a file path");
                     std::process::exit(2);
                 }
             },
@@ -192,5 +206,30 @@ fn main() {
             );
         }
         println!("overload sweep written to {path}");
+    }
+    if let Some(path) = failover_out_file {
+        let mut config = ctup_core::net::mttr::MttrConfig::default();
+        if quick {
+            config.trials = 2;
+            config.reports = 300;
+            config.kill_at = 150;
+        }
+        let report = match ctup_core::net::mttr::run_mttr_bench(&config) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("failover MTTR bench failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        let heal = report.self_heal_ms();
+        let promote = report.promotion_ms();
+        for (i, (h, p)) in heal.iter().zip(&promote).enumerate() {
+            println!("  trial {i}: self-heal {h:.1}ms, promotion {p:.1}ms");
+        }
+        println!("failover MTTR bench written to {path}");
     }
 }

@@ -5,11 +5,12 @@ use crate::args::{ArgError, Flags};
 use ctup_core::algorithm::{CtupAlgorithm, UpdateStats};
 use ctup_core::checkpoint::Checkpoint;
 use ctup_core::config::{CtupConfig, QueryMode};
-use ctup_core::ingest::stamp_stream;
+use ctup_core::ingest::{stamp_stream, StampedUpdate};
 use ctup_core::naive::{NaiveIncremental, NaiveRecompute};
 use ctup_core::net::{
-    ClientConfig, Conn, Dialer, EngineSink, FeedClient, IngestServer, NetServerConfig,
-    NetStatsSnapshot, PipelineSink, TcpDialer,
+    ClientConfig, Conn, Dialer, EngineReviver, EngineSink, FailoverDialer, FeedClient,
+    IngestServer, NetServerConfig, NetStatsSnapshot, PipelineSink, RecoveryConfig, RecoveryPlan,
+    StandbyConfig, StandbyPhase, StandbyServer, TcpDialer,
 };
 use ctup_core::report::Snapshot;
 use ctup_core::server::{MonitorEvent, Server};
@@ -573,7 +574,10 @@ pub fn resume(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
 /// `--kill-at` simulates a process death and `--recover` resumes from the
 /// surviving slot and journal.
 pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["no-doo", "recover", "tear-slot"])?;
+    let flags = Flags::parse(
+        args,
+        &["no-doo", "recover", "tear-slot", "self-heal", "kill-repeat"],
+    )?;
     flags.reject_unknown(&[
         "updates",
         "units",
@@ -606,6 +610,10 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         "recover",
         "tear-slot",
         "flight-recorder",
+        "flight-recorder-keep",
+        "self-heal",
+        "kill-repeat",
+        "max-revives",
     ])?;
     let params = common_params(&flags)?;
     let updates: usize = flags.get("updates", 1_000)?;
@@ -712,7 +720,19 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         kill_at: (kill_at > 0).then_some(kill_at),
         tear_slot_on_kill: flags.switch("tear-slot"),
         flight_recorder_capacity: flags.get("flight-recorder", 256)?,
+        flight_recorder_keep: flags.get("flight-recorder-keep", 4)?,
     };
+    if flags.switch("self-heal") {
+        return chaos_self_heal(
+            &flags,
+            params.config,
+            resilience,
+            store,
+            unit_positions,
+            degraded,
+            out,
+        );
+    }
     let pipeline = if flags.switch("recover") {
         let dir =
             state_dir.ok_or_else(|| CliError("--recover requires --state-dir <dir>".into()))?;
@@ -808,6 +828,96 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         );
     }
     write!(out, "{text}").map_err(|e| io_err("stdout", e))?;
+    Ok(())
+}
+
+/// The level-1 self-heal variant of `chaos`: the degraded feed is driven
+/// through a loopback front door whose pump revives the killed engine
+/// from the durable slots instead of parking in degraded mode. With
+/// `--kill-repeat` every revived engine is re-armed to die again, so the
+/// crash storm must trip the circuit breaker into sticky degraded mode.
+fn chaos_self_heal(
+    flags: &Flags,
+    config: CtupConfig,
+    resilience: ResilienceConfig,
+    store: Arc<dyn PlaceStore>,
+    unit_positions: Vec<Point>,
+    degraded: Vec<StampedUpdate>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let dir = resilience
+        .state_dir
+        .clone()
+        .ok_or_else(|| CliError("--self-heal requires --state-dir <dir>".into()))?;
+    let kill_at = resilience
+        .kill_at
+        .ok_or_else(|| CliError("--self-heal requires --kill-at <n>".into()))?;
+    let capacity = degraded.len().max(1);
+    let monitor = OptCtup::new(config, Arc::clone(&store), &unit_positions).map_err(init_err)?;
+    let initial = monitor.result();
+    let pipeline = SupervisedPipeline::spawn(monitor, resilience.clone(), capacity);
+    let sink = Arc::new(PipelineSink::new(pipeline, initial));
+    let rearm_kill_every = flags.switch("kill-repeat").then_some(kill_at.max(1));
+    let plan = RecoveryPlan {
+        reviver: Arc::new(DirReviver {
+            dir,
+            store: Arc::clone(&store),
+            resilience: ResilienceConfig {
+                kill_at: None,
+                ..resilience.clone()
+            },
+            capacity,
+            rearm_kill_every,
+            next_kill: std::sync::atomic::AtomicU64::new(
+                kill_at.saturating_add(rearm_kill_every.unwrap_or(0)),
+            ),
+        }),
+        config: RecoveryConfig {
+            max_restarts: flags.get("max-revives", 3)?,
+            backoff_base: std::time::Duration::from_millis(10),
+            backoff_max: std::time::Duration::from_millis(100),
+            ..RecoveryConfig::default()
+        },
+    };
+    let server = IngestServer::spawn_with_recovery(
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+        sink,
+        Some(plan),
+    )
+    .map_err(|e| io_err("binding the loopback front door", e))?;
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(server.local_addr())),
+        ClientConfig::default(),
+    );
+    for &report in &degraded {
+        client.enqueue(report);
+    }
+    client
+        .drive(std::time::Duration::from_secs(120))
+        .map_err(|e| CliError(format!("loopback feed: {e}")))?;
+    let feed = client.finish();
+    // Let an in-flight revival finish (or the storm trip the breaker)
+    // before the final accounting is read.
+    let settle = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while std::time::Instant::now() < settle {
+        if !server.degraded() || server.breaker_tripped() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let tripped = server.breaker_tripped();
+    let still_degraded = server.degraded();
+    let n = server.shutdown();
+    writeln!(
+        out,
+        "self-heal: {} offered, {} acked, {} shed; {} engine restarts, breaker tripped: {tripped}, degraded at exit: {still_degraded}",
+        feed.enqueued,
+        feed.acked,
+        feed.shed_total(),
+        n.engine_restarts,
+    )
+    .map_err(|e| io_err("stdout", e))?;
     Ok(())
 }
 
@@ -933,6 +1043,53 @@ pub fn serve_metrics(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliEr
     Ok(())
 }
 
+/// The level-1 self-heal reviver: rebuilds the engine sink from the
+/// durable A/B slot and journal tail in `dir`. Used by the front door's
+/// pump (behind `ctup serve --state-dir` and `ctup chaos --self-heal`)
+/// when the engine dies.
+struct DirReviver {
+    dir: PathBuf,
+    store: Arc<dyn PlaceStore>,
+    resilience: ResilienceConfig,
+    capacity: usize,
+    /// When set, every revived engine is re-armed to die again this many
+    /// effective updates past the previous kill point — a seeded crash
+    /// storm that must trip the circuit breaker.
+    rearm_kill_every: Option<u64>,
+    /// The next kill point of the storm (effective sequence numbers are
+    /// monotone across recoveries, so each revival must aim further out).
+    next_kill: std::sync::atomic::AtomicU64,
+}
+
+impl EngineReviver for DirReviver {
+    fn revive(&self) -> Result<Arc<dyn EngineSink>, String> {
+        let mut resilience = self.resilience.clone();
+        if let Some(step) = self.rearm_kill_every {
+            let at = self
+                .next_kill
+                .fetch_add(step, std::sync::atomic::Ordering::SeqCst);
+            resilience.kill_at = Some(at);
+        }
+        // Restore once just for the starting top-k: pipeline events only
+        // carry changes, so the sink must be seeded with the state the
+        // replayed engine resumes from.
+        let (checkpoint, _journal) = ctup_core::DurableState::load(&self.dir)
+            .map_err(|e| format!("loading {}: {e}", self.dir.display()))?;
+        let preview = OptCtup::restore(checkpoint, Arc::clone(&self.store))
+            .map_err(|e| format!("restoring {}: {e}", self.dir.display()))?;
+        let initial = preview.result();
+        drop(preview);
+        let pipeline = SupervisedPipeline::recover_from_dir::<OptCtup>(
+            &self.dir,
+            Arc::clone(&self.store),
+            resilience,
+            self.capacity,
+        )
+        .map_err(|e| format!("recovering from {}: {e}", self.dir.display()))?;
+        Ok(Arc::new(PipelineSink::new(pipeline, initial)))
+    }
+}
+
 /// Dials through a [`ChaosStream`] so `ctup feed` can rehearse faulty
 /// links: each attempt's behaviour comes off the seeded plan.
 struct ChaosDialer {
@@ -976,9 +1133,13 @@ fn report_net(n: &NetStatsSnapshot, out: &mut dyn Write) -> Result<(), CliError>
         ("shed total", n.shed_total()),
         ("degraded entries", n.degraded_entries),
         ("snapshots pushed", n.snapshots_pushed),
+        ("engine restarts", n.engine_restarts),
+        ("failovers", n.failovers),
         ("queue depth", n.queue_depth),
         ("sessions active", n.sessions_active),
         ("degraded", u64::from(n.degraded)),
+        ("degraded since ms", n.degraded_since_ms),
+        ("epoch", n.epoch),
     ] {
         writeln!(out, "  {name:<22} {value}").map_err(|e| io_err("stdout", e))?;
     }
@@ -1021,6 +1182,10 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         "ingest-deadline-ms",
         "snapshot-push-ms",
         "kill-at",
+        "state-dir",
+        "checkpoint-every",
+        "epoch",
+        "standby",
     ])?;
     let params = common_params(&flags)?;
     let updates: usize = flags.get("updates", 0)?;
@@ -1028,6 +1193,8 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     let metrics_addr = flags.get_str("metrics-addr").unwrap_or("127.0.0.1:9184");
     let serve_secs: u64 = flags.get("serve-secs", 300)?;
     let kill_at: u64 = flags.get("kill-at", 0)?;
+    let state_dir = flags.get_str("state-dir").map(PathBuf::from);
+    let epoch: u64 = flags.get("epoch", 1)?;
 
     let mut net_config = NetServerConfig::default();
     net_config.admission.queue_capacity = flags.get("queue-capacity", 4096)?;
@@ -1037,6 +1204,8 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         std::time::Duration::from_millis(flags.get("ingest-deadline-ms", 2_000)?);
     net_config.snapshot_push_interval =
         std::time::Duration::from_millis(flags.get("snapshot-push-ms", 250)?);
+    net_config.epoch = epoch;
+    net_config.state_dir = state_dir.clone();
 
     let mut workload = Workload::generate(WorkloadParams {
         num_units: params.units,
@@ -1052,17 +1221,43 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         workload.places_vec(),
     ));
     let unit_positions = workload.unit_positions();
+
+    // `--standby <primary>`: no local engine of our own yet — bootstrap
+    // from the primary's shipped checkpoint, tail its WAL, and take over
+    // (behind the epoch fence) if it goes dark.
+    if flags.get_str("standby").is_some() {
+        return serve_standby(&flags, net_config, state_dir, store, out);
+    }
+
     let monitor =
         OptCtup::new(params.config, Arc::clone(&store), &unit_positions).map_err(init_err)?;
     let initial = monitor.result();
     let resilience = ResilienceConfig {
         kill_at: (kill_at > 0).then_some(kill_at),
+        state_dir: state_dir.clone(),
+        checkpoint_every: flags.get("checkpoint-every", 256)?,
         ..ResilienceConfig::default()
     };
-    let pipeline = SupervisedPipeline::spawn(monitor, resilience, 4096);
+    let pipeline = SupervisedPipeline::spawn(monitor, resilience.clone(), 4096);
     let sink = Arc::new(PipelineSink::new(pipeline, initial));
     let engine: Arc<dyn EngineSink> = Arc::clone(&sink) as Arc<dyn EngineSink>;
-    let server = IngestServer::spawn(addr, net_config, engine)
+    // With durable state the door revives a dead engine in-process
+    // (level-1 self-heal) instead of parking in degraded mode.
+    let recovery = state_dir.as_ref().map(|dir| RecoveryPlan {
+        reviver: Arc::new(DirReviver {
+            dir: dir.clone(),
+            store: Arc::clone(&store),
+            resilience: ResilienceConfig {
+                kill_at: None,
+                ..resilience.clone()
+            },
+            capacity: 4096,
+            rearm_kill_every: None,
+            next_kill: std::sync::atomic::AtomicU64::new(0),
+        }),
+        config: RecoveryConfig::default(),
+    });
+    let server = IngestServer::spawn_with_recovery(addr, net_config, engine, recovery)
         .map_err(|e| io_err(&format!("binding ingest address {addr}"), e))?;
     let metrics = MetricsServer::bind(metrics_addr)
         .map_err(|e| io_err(&format!("binding metrics address {metrics_addr}"), e))?;
@@ -1131,6 +1326,18 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     let net = server.shutdown();
     metrics.shutdown();
     report_net(&net, out)?;
+    if net.engine_restarts > 0 {
+        writeln!(
+            out,
+            "engine self-healed {} time(s) from {}; the accounting below covers the first engine only",
+            net.engine_restarts,
+            state_dir
+                .as_ref()
+                .map(|d| d.display().to_string())
+                .unwrap_or_default(),
+        )
+        .map_err(|e| io_err("stdout", e))?;
+    }
     // The sink's only other holders were the server threads; shutdown()
     // joined them, but a straggling handler may still be dropping its
     // clone, so wait bounded rather than spinning forever.
@@ -1178,6 +1385,109 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The `--standby` arm of `serve`: follow the primary over the
+/// replication stream, publish the follower's health (and, once promoted,
+/// the promoted front door's health and metrics), and exit after
+/// `--serve-secs`.
+fn serve_standby(
+    flags: &Flags,
+    net_config: NetServerConfig,
+    state_dir: Option<PathBuf>,
+    store: Arc<dyn PlaceStore>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let primary = flags.get_str("standby").unwrap_or_default();
+    let primary_addr: std::net::SocketAddr = primary
+        .parse()
+        .map_err(|e| CliError(format!("bad --standby {primary:?}: {e}")))?;
+    let addr = flags.get_str("addr").unwrap_or("127.0.0.1:0");
+    let metrics_addr = flags.get_str("metrics-addr").unwrap_or("127.0.0.1:9184");
+    let serve_secs: u64 = flags.get("serve-secs", 300)?;
+    let standby_config = StandbyConfig {
+        primary_ingest: primary_addr,
+        serve_addr: addr.to_string(),
+        net: net_config,
+        resilience: ResilienceConfig {
+            state_dir,
+            ..ResilienceConfig::default()
+        },
+        ..StandbyConfig::default()
+    };
+    let standby = StandbyServer::spawn::<OptCtup>(standby_config, Arc::clone(&store));
+    let metrics = MetricsServer::bind(metrics_addr)
+        .map_err(|e| io_err(&format!("binding metrics address {metrics_addr}"), e))?;
+    writeln!(
+        out,
+        "warm standby following {primary_addr} | health at http://{}/healthz",
+        metrics.local_addr(),
+    )
+    .map_err(|e| io_err("stdout", e))?;
+    out.flush().map_err(|e| io_err("stdout", e))?;
+
+    let started = std::time::Instant::now();
+    let mut announced = false;
+    loop {
+        let status = standby.status();
+        if let StandbyPhase::Failed(why) = &status.phase {
+            return Err(CliError(format!("standby failed: {why}")));
+        }
+        match standby.promoted_health() {
+            Some(body) => {
+                metrics.publisher().publish_health(body);
+                if let Some(net) = standby.promoted_net_snapshot() {
+                    let snapshot = Snapshot::new(
+                        "opt-net",
+                        ctup_core::metrics::Metrics::default(),
+                        store.stats().snapshot(),
+                        LatencySnapshot::default(),
+                    )
+                    .with_net(net);
+                    metrics.publisher().publish(snapshot.render_prom());
+                }
+                if !announced {
+                    if let Some(promoted) = standby.promoted_addr() {
+                        writeln!(
+                            out,
+                            "promoted: ingest front door at {promoted} (epoch {})",
+                            status.epoch
+                        )
+                        .map_err(|e| io_err("stdout", e))?;
+                        out.flush().map_err(|e| io_err("stdout", e))?;
+                        announced = true;
+                    }
+                }
+            }
+            None => {
+                let phase = match &status.phase {
+                    StandbyPhase::Syncing => "syncing",
+                    StandbyPhase::Following => "following",
+                    StandbyPhase::Promoting => "promoting",
+                    StandbyPhase::Promoted => "promoted",
+                    StandbyPhase::Failed(_) => "failed",
+                };
+                metrics.publisher().publish_health(format!(
+                    "{{\"status\":\"standby\",\"phase\":\"{phase}\",\"epoch\":{},\"wal_applied\":{},\"stale_rejected\":{}}}",
+                    status.epoch, status.wal_applied, status.stale_rejected
+                ));
+            }
+        }
+        if started.elapsed() >= std::time::Duration::from_secs(serve_secs) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+    let status = standby.status();
+    writeln!(
+        out,
+        "standby exiting: epoch {}, {} wal appends applied, {} stale frames rejected",
+        status.epoch, status.wal_applied, status.stale_rejected
+    )
+    .map_err(|e| io_err("stdout", e))?;
+    standby.shutdown();
+    metrics.shutdown();
+    Ok(())
+}
+
 /// `ctup feed` — drive a deterministic workload into a running `ctup
 /// serve` instance over the wire protocol, optionally through scripted
 /// link faults (refused dials, mid-frame deaths, slowloris trickles) to
@@ -1199,6 +1509,7 @@ pub fn feed(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         "slow-per-mille",
         "net-seed",
         "deadline-secs",
+        "failover",
     ])?;
     let addr_raw = flags.get_str("addr").unwrap_or("127.0.0.1:9710");
     let addr: std::net::SocketAddr = addr_raw
@@ -1247,14 +1558,32 @@ pub fn feed(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         .collect();
     let stamped = stamp_stream(clean);
 
-    let mut client = FeedClient::new(
-        Box::new(ChaosDialer {
+    // `--failover` walks a primary-then-standbys address list on every
+    // reconnect; the link-fault flags script per-attempt behaviour on one
+    // address, so the two are mutually exclusive.
+    let dialer: Box<dyn Dialer> = match flags.get_str("failover") {
+        Some(list) => {
+            if plan.refuse_per_mille > 0 || plan.die_per_mille > 0 || plan.slow_per_mille > 0 {
+                return Err(CliError(
+                    "--failover cannot be combined with the link-fault flags".into(),
+                ));
+            }
+            let mut addrs = vec![addr];
+            for part in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                addrs.push(
+                    part.parse()
+                        .map_err(|e| CliError(format!("bad --failover entry {part:?}: {e}")))?,
+                );
+            }
+            Box::new(FailoverDialer::new(addrs))
+        }
+        None => Box::new(ChaosDialer {
             addr,
             plan,
             attempt: 0,
         }),
-        client_config,
-    );
+    };
+    let mut client = FeedClient::new(dialer, client_config);
     let overall = std::time::Duration::from_secs(deadline_secs);
     if rate_hz > 0.0 {
         // Paced submission: enqueue on schedule, interleaving protocol
@@ -1323,16 +1652,19 @@ USAGE:
                 [--panic-at N,N,...] [--lease-ttl T] [--checkpoint-every N] [--max-restarts N]
                 [--disk-faults P] [--torn-writes N] [--bit-flips N] [--disk-seed S]
                 [--state-dir DIR] [--kill-at N] [--tear-slot] [--recover]
-                [--flight-recorder N]
+                [--flight-recorder N] [--flight-recorder-keep N]
+                [--self-heal] [--kill-repeat] [--max-revives N]
   ctup report   [same workload flags] [--format text|json|prom] [--out FILE]
   ctup serve-metrics [same workload flags] [--addr HOST:PORT] [--serve-secs N]
   ctup serve    [same workload flags] [--addr HOST:PORT] [--metrics-addr HOST:PORT]
                 [--serve-secs N] [--updates N] [--kill-at N] [--queue-capacity N]
                 [--session-quota N] [--ingest-deadline-ms N] [--snapshot-push-ms N]
+                [--state-dir DIR] [--checkpoint-every N] [--epoch N]
+                [--standby HOST:PORT]
   ctup feed     [--addr HOST:PORT] [--updates N] [--units N] [--places N] [--seed S]
                 [--rate-hz F] [--max-in-flight N] [--max-attempts N] [--net-seed S]
                 [--refuse-per-mille N] [--die-per-mille N] [--slow-per-mille N]
-                [--deadline-secs N]
+                [--deadline-secs N] [--failover HOST:PORT,HOST:PORT,...]
 
 The workload is deterministic per --seed: `run-opt --updates N --checkpoint-out cp`
 followed by `resume --checkpoint cp --skip N` continues the same stream.
@@ -1355,7 +1687,15 @@ slot, as a death mid-checkpoint-write), and rerunning the same command with
 `--recover` resumes from the surviving slot, replays the journal tail, and
 converges to the uninterrupted run's result. When a supervised worker dies
 (killed or restart budget exhausted) with a --state-dir, the flight recorder
-dumps its last --flight-recorder events as JSON Lines next to the slots.
+dumps its last --flight-recorder events as JSON Lines next to the slots,
+rotating older dumps to numbered files (--flight-recorder-keep bounds how
+many survive). `chaos --self-heal` (with --state-dir and --kill-at) drives
+the degraded feed through a loopback front door whose pump revives the
+killed engine from the durable slots — level-1 self-heal — and prints
+whether degraded mode was exited without operator intervention;
+`--kill-repeat` re-arms the kill after every revival, a crash storm that
+must trip the circuit breaker (budget --max-revives) into sticky degraded
+mode.
 `report` emits the unified metrics snapshot (counters, gauges and latency
 histograms with p50/p90/p99/p999) as text, JSON, or Prometheus exposition
 text; `serve-metrics` serves the same snapshot on http://ADDR/metrics for
@@ -1369,7 +1709,18 @@ over loopback so the counters are non-trivial. `feed` drives the same
 deterministic workload into a running server from another process, optionally
 through scripted link faults (--refuse/--die/--slow-per-mille, seeded by
 --net-seed) to rehearse reconnect-and-replay; use the same --units/--places/
---seed as the server so the ingest gate accepts the stream."
+--seed as the server so the ingest gate accepts the stream.
+`serve --state-dir DIR` makes the engine's checkpoints durable and arms
+level-1 self-heal: a dead engine is revived in-process from the A/B slot and
+journal tail instead of parking in degraded mode. `serve --standby
+PRIMARY:PORT` starts a warm standby instead of a primary: it bootstraps from
+a checkpoint shipped over the wire protocol's replication frames, tails the
+primary's WAL stream to stay hot, and — when liveness probes go dark —
+promotes itself behind a fenced epoch (stale frames from a partitioned old
+primary are rejected; sessions are re-based so old ids cannot be captured).
+`feed --failover ADDR,ADDR` gives the client the standby address list: every
+reconnect walks the list with the usual seeded-jitter backoff, so a feed
+survives a primary kill by walking over to the promoted standby."
 }
 
 #[cfg(test)]
@@ -1790,6 +2141,97 @@ mod tests {
     }
 
     #[test]
+    fn chaos_self_heal_exits_degraded_without_operator() {
+        let dir = std::env::temp_dir().join("ctup-cli-test-self-heal");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let out = run_cmd(
+            chaos,
+            &[
+                "--places",
+                "300",
+                "--units",
+                "10",
+                "--updates",
+                "200",
+                "--k",
+                "4",
+                "--seed",
+                "21",
+                "--checkpoint-every",
+                "16",
+                "--state-dir",
+                &dir_str,
+                "--kill-at",
+                "60",
+                "--self-heal",
+            ],
+        )
+        .expect("chaos --self-heal");
+        assert!(out.contains("self-heal:"), "{out}");
+        assert!(out.contains("breaker tripped: false"), "{out}");
+        assert!(out.contains("degraded at exit: false"), "{out}");
+        let restarts: u64 = out
+            .lines()
+            .find(|l| l.starts_with("self-heal:"))
+            .and_then(|l| l.split(';').nth(1)?.split_whitespace().next()?.parse().ok())
+            .expect("engine restarts count");
+        assert_eq!(restarts, 1, "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_self_heal_crash_storm_trips_breaker() {
+        let dir = std::env::temp_dir().join("ctup-cli-test-crash-storm");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let out = run_cmd(
+            chaos,
+            &[
+                "--places",
+                "300",
+                "--units",
+                "10",
+                "--updates",
+                "400",
+                "--k",
+                "4",
+                "--seed",
+                "21",
+                "--checkpoint-every",
+                "8",
+                "--state-dir",
+                &dir_str,
+                "--kill-at",
+                "20",
+                "--self-heal",
+                "--kill-repeat",
+                "--max-revives",
+                "2",
+            ],
+        )
+        .expect("chaos --self-heal --kill-repeat");
+        assert!(out.contains("breaker tripped: true"), "{out}");
+        assert!(out.contains("degraded at exit: true"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_self_heal_requires_state_dir_and_kill_at() {
+        let err = run_cmd(chaos, &["--updates", "10", "--self-heal"]).expect_err("must fail");
+        assert!(err.0.contains("--self-heal requires --state-dir"), "{err}");
+        let dir = std::env::temp_dir().join("ctup-cli-test-self-heal-args");
+        let dir_str = dir.to_str().unwrap().to_string();
+        let err = run_cmd(
+            chaos,
+            &["--updates", "10", "--self-heal", "--state-dir", &dir_str],
+        )
+        .expect_err("must fail");
+        assert!(err.0.contains("--self-heal requires --kill-at"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn errors_are_user_facing() {
         assert!(run_cmd(run, &["--algorithm", "magic"]).is_err());
         assert!(run_cmd(run, &["--bogus", "1"]).is_err());
@@ -2044,5 +2486,85 @@ mod tests {
     fn feed_rejects_bad_addr() {
         let err = run_cmd(feed, &["--addr", "not-an-addr"]).expect_err("bad addr");
         assert!(err.0.contains("bad --addr"), "{err}");
+    }
+
+    #[test]
+    fn feed_failover_rejects_bad_entry_and_fault_combo() {
+        let err = run_cmd(
+            feed,
+            &["--addr", "127.0.0.1:9710", "--failover", "not-an-addr"],
+        )
+        .expect_err("bad failover entry");
+        assert!(err.0.contains("bad --failover entry"), "{err}");
+        let err = run_cmd(
+            feed,
+            &[
+                "--addr",
+                "127.0.0.1:9710",
+                "--failover",
+                "127.0.0.1:9711",
+                "--die-per-mille",
+                "5",
+            ],
+        )
+        .expect_err("fault combo");
+        assert!(err.0.contains("--failover cannot be combined"), "{err}");
+    }
+
+    #[test]
+    fn feed_walks_over_to_a_failover_address() {
+        // Primary address points at nothing; the failover list's second
+        // entry is a live server — the dialer must walk over to it.
+        let sink = Arc::new(ctup_core::net::CountingSink::default());
+        let engine: Arc<dyn EngineSink> = Arc::clone(&sink) as Arc<dyn EngineSink>;
+        let server = IngestServer::spawn("127.0.0.1:0", NetServerConfig::default(), engine)
+            .expect("spawn server");
+        let live = server.local_addr().to_string();
+        // A bound-then-dropped listener yields an address that refuses.
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        };
+        let out = run_cmd(
+            feed,
+            &[
+                "--addr",
+                &dead,
+                "--failover",
+                &live,
+                "--updates",
+                "50",
+                "--units",
+                "25",
+                "--places",
+                "1500",
+                "--max-attempts",
+                "8",
+            ],
+        )
+        .expect("feed with failover");
+        assert!(out.contains("feed: 50 offered, 50 acked, 0 shed"), "{out}");
+        assert_eq!(sink.accepted(), 50);
+        let net = server.shutdown();
+        assert_eq!(net.reports_accepted, 50);
+    }
+
+    #[test]
+    fn serve_standby_rejects_bad_primary() {
+        let err = run_cmd(
+            serve,
+            &[
+                "--standby",
+                "nowhere",
+                "--serve-secs",
+                "0",
+                "--units",
+                "10",
+                "--places",
+                "200",
+            ],
+        )
+        .expect_err("bad standby addr");
+        assert!(err.0.contains("bad --standby"), "{err}");
     }
 }

@@ -12,24 +12,40 @@
 //! The invariant every piece preserves, and the chaos suite checks:
 //! every accepted report is applied exactly once, and every report that
 //! is not applied is accounted for as a replay or a typed shed.
+//!
+//! PR8 adds the two-level recovery subsystem: [`recovery`] (circuit-broken
+//! in-process engine revival behind the pump) and [`standby`] (a warm
+//! standby that bootstraps from a shipped checkpoint over [`wire`]'s
+//! replication frames, tails the WAL stream, and promotes itself behind an
+//! epoch fence when the primary goes dark). The MTTR bench behind
+//! BENCH_PR8.json — outage duration for both recovery levels — lives in
+//! [`mttr`].
 
 pub mod admission;
 pub mod client;
+pub mod mttr;
 pub mod overload;
+pub mod recovery;
 pub mod server;
 pub mod session;
+pub mod standby;
 pub mod stats;
 pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmissionQueue, QueuedReport};
 pub use client::{
-    BackoffConfig, ClientConfig, ClientError, ClientStats, Conn, Dialer, FeedClient, ShedRecord,
-    TcpDialer,
+    BackoffConfig, ClientConfig, ClientError, ClientStats, Conn, Dialer, FailoverDialer,
+    FeedClient, ShedRecord, TcpDialer,
 };
+pub use mttr::{run_mttr_bench, MttrConfig, MttrReport, PromotionTrial, SelfHealTrial};
 pub use overload::{
     run_sweep, CalibratedSink, CountingSink, LoadPoint, OverloadConfig, SweepReport,
 };
+pub use recovery::{CircuitBreaker, EngineReviver, RecoveryConfig, RecoveryPlan};
 pub use server::{EngineSink, IngestServer, NetServerConfig, PipelineSink, SinkError};
 pub use session::{SessionConfig, SessionRegistry};
+pub use standby::{StandbyConfig, StandbyPhase, StandbyServer, StandbyStatus};
 pub use stats::{NetStats, NetStatsSnapshot, ShedReason};
-pub use wire::{ByeReason, FrameDecoder, FrameWriter, Message, WireError, MAX_FRAME_LEN};
+pub use wire::{
+    ByeReason, FrameDecoder, FrameWriter, Message, WireError, MAX_CHUNK_DATA, MAX_FRAME_LEN,
+};

@@ -1,0 +1,265 @@
+//! Level-1 recovery: circuit-broken in-process engine revival.
+//!
+//! When the drain pump observes [`SinkError::Dead`](super::server::SinkError),
+//! it no longer has to park the server in sticky degraded mode: a
+//! [`RecoveryPlan`] gives it a way to rebuild the engine in process — the
+//! [`EngineReviver`] runs the durable restart path
+//! ([`SupervisedPipeline::recover_from_dir`](crate::supervisor::SupervisedPipeline::recover_from_dir)
+//! behind a fresh [`PipelineSink`](super::server::PipelineSink)) and the pump
+//! swaps the new sink in, re-feeds its unacked in-flight tail (the ingest
+//! gate's replayed dedup state keeps that exactly-once), and exits degraded
+//! mode on its own.
+//!
+//! Revival is bounded by a [`CircuitBreaker`]: at most
+//! [`RecoveryConfig::max_restarts`] attempts per sliding
+//! [`RecoveryConfig::window`], each preceded by an exponentially growing,
+//! deterministically jittered backoff. A crash storm that exhausts the
+//! budget trips the breaker permanently and the server degrades exactly the
+//! way it did before this module existed — shedding with
+//! `EngineDegraded` while the last-good top-k keeps being served — so the
+//! worst case of self-healing is the old behavior, never a restart loop
+//! that burns the host.
+
+use super::server::EngineSink;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bounds and pacing of in-process engine revival.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Revival attempts allowed per sliding [`window`](Self::window);
+    /// exceeding it trips the breaker permanently (sticky degraded mode).
+    pub max_restarts: u32,
+    /// Width of the sliding attempt window.
+    pub window: Duration,
+    /// Backoff before the first attempt of an episode; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Ceiling on the (pre-jitter) backoff.
+    pub backoff_max: Duration,
+    /// Seed of the jitter generator; a fixed seed fixes the schedule, so
+    /// chaos tests replay the exact same revival timeline every run.
+    pub seed: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            max_restarts: 3,
+            window: Duration::from_secs(60),
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            seed: 0xc1c1_b0b0,
+        }
+    }
+}
+
+/// Rebuilds a dead engine. The pump calls this from its own thread, so a
+/// revival may take as long as a durable recovery takes — the front door
+/// keeps shedding honestly (degraded mode is already set) while it runs.
+pub trait EngineReviver: Send + Sync {
+    /// Produces a fresh, live sink, typically by
+    /// [`recover_from_dir`](crate::supervisor::SupervisedPipeline::recover_from_dir)
+    /// from the durable slot + journal the dead engine left behind.
+    /// The error string is diagnostic only; the breaker decides retries.
+    fn revive(&self) -> Result<Arc<dyn EngineSink>, String>;
+}
+
+impl std::fmt::Debug for dyn EngineReviver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EngineReviver")
+    }
+}
+
+/// Everything the pump needs to self-heal: the reviver plus its bounds.
+#[derive(Clone)]
+pub struct RecoveryPlan {
+    /// Rebuilds the engine after a death.
+    pub reviver: Arc<dyn EngineReviver>,
+    /// Attempt budget and backoff pacing.
+    pub config: RecoveryConfig,
+}
+
+impl std::fmt::Debug for RecoveryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryPlan")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Sliding-window circuit breaker with jittered exponential backoff.
+///
+/// Usage per revival attempt: [`before_attempt`](Self::before_attempt)
+/// returns the backoff to sleep (or `None` once tripped), then
+/// [`record_attempt`](Self::record_attempt) charges the attempt to the
+/// window. The breaker never un-trips: a storm that exhausts the budget is
+/// an operator problem, and flapping in and out of revival would only hide
+/// it.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: RecoveryConfig,
+    attempts: VecDeque<Instant>,
+    tripped: bool,
+    rng: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the full budget available.
+    pub fn new(config: RecoveryConfig) -> Self {
+        let rng = config.seed | 1;
+        CircuitBreaker {
+            config,
+            attempts: VecDeque::new(),
+            tripped: false,
+            rng,
+        }
+    }
+
+    /// Whether the breaker has tripped (revival is over for good).
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Revival attempts currently charged to the sliding window.
+    pub fn attempts_in_window(&self, now: Instant) -> usize {
+        let window = self.config.window;
+        self.attempts
+            .iter()
+            .filter(|&&at| now.saturating_duration_since(at) < window)
+            .count()
+    }
+
+    /// Gate for the next attempt: `Some(backoff)` to proceed after that
+    /// sleep, `None` if the budget is exhausted (trips the breaker).
+    pub fn before_attempt(&mut self, now: Instant) -> Option<Duration> {
+        if self.tripped {
+            return None;
+        }
+        let window = self.config.window;
+        while self
+            .attempts
+            .front()
+            .is_some_and(|&at| now.saturating_duration_since(at) >= window)
+        {
+            self.attempts.pop_front();
+        }
+        let used = u32::try_from(self.attempts.len()).unwrap_or(u32::MAX);
+        if used >= self.config.max_restarts {
+            self.tripped = true;
+            return None;
+        }
+        Some(self.backoff(used))
+    }
+
+    /// Charges one attempt to the window (call when the attempt starts).
+    pub fn record_attempt(&mut self, now: Instant) {
+        self.attempts.push_back(now);
+    }
+
+    fn xorshift(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// `base * 2^used` capped at `backoff_max`, then jittered into
+    /// `[delay/2, delay]` — the same seeded half-jitter the feed client
+    /// uses, so two revivers with different seeds never thundering-herd a
+    /// shared disk.
+    fn backoff(&mut self, used: u32) -> Duration {
+        let base_ms = u64::try_from(self.config.backoff_base.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let max_ms = u64::try_from(self.config.backoff_max.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let raw = base_ms.saturating_mul(1_u64 << used.min(16)).min(max_ms);
+        let half = raw / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            self.xorshift() % (half + 1)
+        };
+        Duration::from_millis(half + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(max_restarts: u32, window_ms: u64) -> RecoveryConfig {
+        RecoveryConfig {
+            max_restarts,
+            window: Duration::from_millis(window_ms),
+            backoff_base: Duration::from_millis(8),
+            backoff_max: Duration::from_millis(64),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_budget_and_stays_tripped() {
+        let mut b = CircuitBreaker::new(config(3, 60_000));
+        let now = Instant::now();
+        for _ in 0..3 {
+            assert!(b.before_attempt(now).is_some());
+            b.record_attempt(now);
+        }
+        assert!(b.before_attempt(now).is_none());
+        assert!(b.tripped());
+        // Even a would-be-fresh window cannot un-trip it.
+        assert!(b.before_attempt(now + Duration::from_secs(120)).is_none());
+    }
+
+    #[test]
+    fn window_expiry_refunds_attempts_before_tripping() {
+        let mut b = CircuitBreaker::new(config(2, 50));
+        let t0 = Instant::now();
+        b.record_attempt(t0);
+        b.record_attempt(t0);
+        // Budget spent right now…
+        assert_eq!(b.attempts_in_window(t0), 2);
+        // …but once the window slides past them the budget is back.
+        let later = t0 + Duration::from_millis(60);
+        assert!(b.before_attempt(later).is_some());
+        assert!(!b.tripped());
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_the_cap() {
+        let mut b = CircuitBreaker::new(config(8, 60_000));
+        let now = Instant::now();
+        let mut delays = Vec::new();
+        for _ in 0..6 {
+            let d = b.before_attempt(now).map(|d| d.as_millis()).unwrap_or(0);
+            delays.push(d);
+            b.record_attempt(now);
+        }
+        // Jitter keeps each delay in [raw/2, raw]; raw doubles 8,16,32,
+        // then caps at 64.
+        assert!(delays[0] >= 4 && delays[0] <= 8, "got {delays:?}");
+        assert!(delays[2] >= 16 && delays[2] <= 32, "got {delays:?}");
+        assert!(delays[4] >= 32 && delays[4] <= 64, "got {delays:?}");
+        assert!(delays[5] >= 32 && delays[5] <= 64, "got {delays:?}");
+    }
+
+    #[test]
+    fn fixed_seed_fixes_the_jitter_schedule() {
+        let run = || {
+            let mut b = CircuitBreaker::new(config(5, 60_000));
+            let now = Instant::now();
+            let mut out = Vec::new();
+            for _ in 0..5 {
+                out.push(b.before_attempt(now));
+                b.record_attempt(now);
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -11,25 +11,50 @@
 //!   classification through the [`SessionRegistry`], admission through the
 //!   [`AdmissionQueue`], acks, shed notifications, snapshot pushes, and
 //!   slow-client eviction (a frame that trickles past the frame deadline,
-//!   or a write backlog that stops draining, ends the connection).
+//!   or a write backlog that stops draining, ends the connection). A
+//!   connection whose *first* frame is a replication subscribe
+//!   (`CheckpointOffer`) or a fencing probe (`PromoteQuery`) is handed to
+//!   the replication path instead of opening a session.
 //! * **pump** — the only thread that feeds the engine: pops queued
 //!   reports, sheds the ones that outlived the ingest deadline, and
-//!   forwards the rest to the [`EngineSink`] exactly once. Engine
-//!   backpressure is absorbed here (bounded retry against the deadline);
-//!   engine death flips the server into sticky degraded mode.
+//!   forwards the rest to the [`EngineSink`] exactly once. A forwarded
+//!   report is *not* acked at hand-off: it stays in the pump's in-flight
+//!   tail until the sink's [durable mark](EngineSink::durable_mark)
+//!   covers it, so an ack can never run ahead of the engine's journal —
+//!   the invariant level-1 recovery and standby promotion both lean on.
+//!   Engine backpressure is absorbed here (bounded retry against the
+//!   deadline); engine death triggers circuit-broken in-process revival
+//!   through the [`RecoveryPlan`] when one was installed, and only a
+//!   tripped breaker (or no plan) parks the server in sticky degraded
+//!   mode.
 //! * **watchdog** — refreshes the last-good top-k from the engine, trips
 //!   degraded mode when the queue is backlogged and the pump makes no
 //!   progress (or the engine died), clears it when the backlog drains,
-//!   garbage-collects idle sessions, and schedules snapshot pushes.
+//!   garbage-collects idle sessions, schedules snapshot pushes, and
+//!   refreshes the `degraded_since_ms` gauge.
 //!
 //! Degraded mode is the graceful half of the overload story: ingest sheds
 //! with [`ShedReason::EngineDegraded`] while the last-good snapshot keeps
 //! being served to subscribers and `/healthz` reports `degraded: true`.
+//!
+//! **Replication.** A standby subscribes by sending an all-zero
+//! `CheckpointOffer` as its first frame. The server registers the
+//! subscription *before* reading the durable state (so no append can fall
+//! between the journal it ships and the live tail it streams — overlap is
+//! deduplicated by the standby's gate, a gap would be data loss), then
+//! ships its newest checkpoint in [`MAX_CHUNK_DATA`]-sized chunks, the
+//! journal tail, and finally every report the pump hands the engine, each
+//! stamped with this server's fencing **epoch**. A `PromoteQuery` first
+//! frame is answered with the current epoch and the connection closed —
+//! the liveness probe a promoting standby uses to guarantee it never
+//! crowns itself while the primary is still answering.
 
 use super::admission::{AdmissionConfig, AdmissionQueue, QueuedReport};
+use super::recovery::{CircuitBreaker, RecoveryPlan};
 use super::session::{OpenError, OutboundNote, ReportClass, SessionConfig, SessionRegistry};
 use super::stats::{NetStats, ShedReason};
-use super::wire::{ByeReason, DecodeError, FrameDecoder, FrameWriter, Message};
+use super::wire::{ByeReason, DecodeError, FrameDecoder, FrameWriter, Message, MAX_CHUNK_DATA};
+use crate::durable::DurableState;
 use crate::ingest::StampedUpdate;
 use crate::pipeline::SendError;
 use crate::server::MonitorEvent;
@@ -37,9 +62,10 @@ use crate::supervisor::SupervisedPipeline;
 use crate::types::{LocationUpdate, PlaceId, Safety, TopKEntry, UnitId};
 use ctup_obs::json::ObjectWriter;
 use ctup_spatial::{convert, Point};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -62,6 +88,23 @@ pub trait EngineSink: Send + Sync {
     fn try_ingest(&self, report: StampedUpdate) -> Result<(), SinkError>;
     /// The engine's current result, freshest first by unsafety.
     fn topk(&self) -> Vec<TopKEntry>;
+    /// How many reports (counted in hand-off order from this sink's
+    /// creation) the engine has taken durable ownership of — journaled or
+    /// terminally rejected. The pump acks a report only once this mark
+    /// covers its hand-off index. Sinks with no durability story (test
+    /// counters, the calibrated overload sink) keep the default, which
+    /// acks at hand-off exactly as the pre-recovery front door did.
+    fn durable_mark(&self) -> u64 {
+        u64::MAX
+    }
+    /// Whether the engine behind this sink has died. A pure probe for the
+    /// pump's idle passes: an engine that dies *after* the admission queue
+    /// drained would otherwise be discovered only by the next report's
+    /// failing `try_ingest` — which may never come, leaving the unacked
+    /// in-flight tail hanging. Sinks that cannot die keep the default.
+    fn dead(&self) -> bool {
+        false
+    }
 }
 
 /// [`EngineSink`] over the supervised pipeline: reports ride the existing
@@ -139,6 +182,14 @@ impl EngineSink for PipelineSink {
         entries.sort_by_key(|e| (e.safety, e.place));
         entries
     }
+
+    fn durable_mark(&self) -> u64 {
+        self.pipeline.durable_mark()
+    }
+
+    fn dead(&self) -> bool {
+        self.pipeline.worker_dead()
+    }
 }
 
 /// Full configuration of the front door.
@@ -165,6 +216,15 @@ pub struct NetServerConfig {
     pub snapshot_push_interval: Duration,
     /// Watchdog cadence (degraded-mode checks, session GC).
     pub watchdog_tick: Duration,
+    /// The fencing epoch this server serves at. Every replication frame
+    /// carries it; a promoted standby serves at its old primary's epoch
+    /// plus one, which is what lets everyone reject the stale side of a
+    /// partition. Fresh primaries start at 1.
+    pub epoch: u64,
+    /// Durable state directory (A/B slots + journal) this server ships
+    /// checkpoints from; `None` refuses replication subscribes. Must be
+    /// the directory the engine's supervisor checkpoints into.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for NetServerConfig {
@@ -180,6 +240,71 @@ impl Default for NetServerConfig {
             max_write_backlog: 256 * 1024,
             snapshot_push_interval: Duration::from_millis(250),
             watchdog_tick: Duration::from_millis(25),
+            epoch: 1,
+            state_dir: None,
+        }
+    }
+}
+
+/// Cap on WAL frames queued for one replication subscriber; a standby
+/// that falls further behind than this is cut off (`Bye(Evicted)`) and
+/// must re-sync from a fresh checkpoint by reconnecting.
+const REPLICATION_OUTBOX_CAP: usize = 8192;
+
+/// One replication subscriber's bounded outbox.
+#[derive(Debug)]
+struct SubOutbox {
+    queue: Mutex<VecDeque<Message>>,
+    overflowed: AtomicBool,
+}
+
+/// Fan-out of live WAL appends to subscribed standbys. The pump ships
+/// every report it hands the engine; the handler thread serving each
+/// replication connection drains its subscriber's outbox onto the wire.
+#[derive(Debug, Default)]
+struct ReplicationHub {
+    subs: Mutex<Vec<Arc<SubOutbox>>>,
+}
+
+impl ReplicationHub {
+    fn lock_subs(&self) -> std::sync::MutexGuard<'_, Vec<Arc<SubOutbox>>> {
+        match self.subs.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn subscribe(&self) -> Arc<SubOutbox> {
+        let sub = Arc::new(SubOutbox {
+            queue: Mutex::new(VecDeque::new()),
+            overflowed: AtomicBool::new(false),
+        });
+        self.lock_subs().push(Arc::clone(&sub));
+        sub
+    }
+
+    fn unsubscribe(&self, sub: &Arc<SubOutbox>) {
+        self.lock_subs().retain(|s| !Arc::ptr_eq(s, sub));
+    }
+
+    fn ship(&self, msg: &Message) {
+        let subs = self.lock_subs();
+        for sub in subs.iter() {
+            // ctup-lint: allow(L008, one-way overflow latch; the serving thread re-reads it every tick)
+            if sub.overflowed.load(Ordering::Relaxed) {
+                continue;
+            }
+            let mut queue = match sub.queue.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if queue.len() >= REPLICATION_OUTBOX_CAP {
+                // ctup-lint: allow(L008, one-way overflow latch; ordering against the clear is irrelevant, the sub is cut off either way)
+                sub.overflowed.store(true, Ordering::Relaxed);
+                queue.clear();
+            } else {
+                queue.push_back(msg.clone());
+            }
         }
     }
 }
@@ -190,14 +315,27 @@ struct Shared {
     stats: Arc<NetStats>,
     registry: SessionRegistry,
     queue: AdmissionQueue,
-    sink: Arc<dyn EngineSink>,
+    /// The current engine; level-1 recovery swaps a revived sink in, so
+    /// every use clones the `Arc` out rather than borrowing through the
+    /// lock.
+    sink: Mutex<Arc<dyn EngineSink>>,
+    /// In-process revival plan; `None` keeps the pre-recovery behavior
+    /// (engine death is sticky degraded mode).
+    recovery: Option<RecoveryPlan>,
+    /// Revival budget; meaningful only when `recovery` is `Some`.
+    breaker: Mutex<CircuitBreaker>,
+    replication: ReplicationHub,
+    /// The fencing epoch, fixed for this server's lifetime.
+    epoch: u64,
     stop: AtomicBool,
     degraded: AtomicBool,
     engine_dead: AtomicBool,
-    /// Monotone count of pump completions (drains + pump sheds); the
+    /// Monotone count of pump completions (acks + pump sheds); the
     /// watchdog watches it to distinguish "busy" from "stalled".
     progress: AtomicU64,
     last_good: Mutex<Vec<TopKEntry>>,
+    /// When the current degraded episode began (`None` while healthy).
+    degraded_entered: Mutex<Option<Instant>>,
     conn_count: AtomicUsize,
 }
 
@@ -211,13 +349,44 @@ impl std::fmt::Debug for Shared {
 }
 
 impl Shared {
+    /// Clones the current sink out from under the swap lock.
+    fn sink(&self) -> Arc<dyn EngineSink> {
+        match self.sink.lock() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
     fn set_degraded(&self, on: bool) {
         // ctup-lint: allow(L008, degraded gates best-effort shedding only; no data is published through it)
         let was = self.degraded.swap(on, Ordering::Relaxed);
         self.stats.degraded.store(on, Ordering::Relaxed);
         if on && !was {
             self.stats.degraded_entries.fetch_add(1, Ordering::Relaxed);
+            let mut entered = match self.degraded_entered.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *entered = Some(Instant::now());
+        } else if !on && was {
+            let mut entered = match self.degraded_entered.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *entered = None;
+            self.stats.degraded_since_ms.store(0, Ordering::Relaxed);
         }
+    }
+
+    /// Milliseconds into the current degraded episode, 0 while healthy.
+    fn degraded_for_ms(&self) -> u64 {
+        let entered = match self.degraded_entered.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        entered.map_or(0, |t| {
+            u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX)
+        })
     }
 }
 
@@ -233,27 +402,52 @@ pub struct IngestServer {
 }
 
 impl IngestServer {
-    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving `sink`.
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving `sink`, with
+    /// no in-process revival (engine death is sticky degraded mode).
     pub fn spawn(
         addr: &str,
         config: NetServerConfig,
         sink: Arc<dyn EngineSink>,
     ) -> std::io::Result<IngestServer> {
+        Self::spawn_with_recovery(addr, config, sink, None)
+    }
+
+    /// Binds `addr` and starts serving `sink`; when `recovery` is given,
+    /// engine death triggers circuit-broken in-process revival instead of
+    /// sticky degraded mode.
+    pub fn spawn_with_recovery(
+        addr: &str,
+        config: NetServerConfig,
+        sink: Arc<dyn EngineSink>,
+        recovery: Option<RecoveryPlan>,
+    ) -> std::io::Result<IngestServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(NetStats::default());
+        stats.epoch.store(config.epoch, Ordering::Relaxed);
         let initial_topk = sink.topk();
+        let breaker = CircuitBreaker::new(
+            recovery
+                .as_ref()
+                .map(|plan| plan.config.clone())
+                .unwrap_or_default(),
+        );
         let shared = Arc::new(Shared {
             registry: SessionRegistry::new(config.session.clone(), Arc::clone(&stats)),
             queue: AdmissionQueue::new(config.admission.clone(), Arc::clone(&stats)),
+            epoch: config.epoch,
             config,
             stats,
-            sink,
+            sink: Mutex::new(sink),
+            recovery,
+            breaker: Mutex::new(breaker),
+            replication: ReplicationHub::default(),
             stop: AtomicBool::new(false),
             degraded: AtomicBool::new(false),
             engine_dead: AtomicBool::new(false),
             progress: AtomicU64::new(0),
             last_good: Mutex::new(initial_topk),
+            degraded_entered: Mutex::new(None),
             conn_count: AtomicUsize::new(0),
         });
         let accept = spawn_thread("ctup-net-accept", {
@@ -293,6 +487,21 @@ impl IngestServer {
         self.shared.degraded.load(Ordering::Relaxed)
     }
 
+    /// The fencing epoch this server serves at.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch
+    }
+
+    /// Whether the crash-storm circuit breaker has tripped: the revival
+    /// budget is spent and degraded mode is sticky until an operator
+    /// intervenes.
+    pub fn breaker_tripped(&self) -> bool {
+        match self.shared.breaker.lock() {
+            Ok(guard) => guard.tripped(),
+            Err(poisoned) => poisoned.into_inner().tripped(),
+        }
+    }
+
     /// The last-good top-k (served even while degraded).
     pub fn last_good_topk(&self) -> Vec<TopKEntry> {
         match self.shared.last_good.lock() {
@@ -301,15 +510,23 @@ impl IngestServer {
         }
     }
 
-    /// The `/healthz` body: liveness plus the degraded flag and the two
-    /// load gauges, as one flat JSON object.
+    /// The `/healthz` body: liveness plus the degraded flag, the load
+    /// gauges and the recovery counters, as one flat JSON object.
     pub fn health_body(&self) -> String {
         let degraded = self.degraded();
+        let stats = &self.shared.stats;
         let mut obj = ObjectWriter::new();
         obj.field_str("status", if degraded { "degraded" } else { "ok" });
         obj.field_bool("degraded", degraded);
         obj.field_u64("sessions", convert::count64(self.shared.registry.active()));
         obj.field_u64("queue_depth", convert::count64(self.shared.queue.depth()));
+        obj.field_u64(
+            "engine_restarts",
+            stats.engine_restarts.load(Ordering::Relaxed),
+        );
+        obj.field_u64("failovers", stats.failovers.load(Ordering::Relaxed));
+        obj.field_u64("degraded_since_ms", self.shared.degraded_for_ms());
+        obj.field_u64("epoch", self.shared.epoch);
         obj.finish()
     }
 
@@ -415,7 +632,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let mut decoder = FrameDecoder::new();
     let mut writer = FrameWriter::new();
 
-    // Handshake: the first frame must be a Hello, within the deadline.
+    // Handshake: the first frame picks the connection's role — a Hello
+    // opens a feed session, an all-zero CheckpointOffer subscribes a
+    // standby, a PromoteQuery probes the fencing epoch. Anything else
+    // within the deadline is a violation.
     let handshake_deadline = Instant::now() + shared.config.handshake_deadline;
     let open = loop {
         if shared.stop.load(Ordering::SeqCst) {
@@ -444,6 +664,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                         return;
                     }
                 }
+            }
+            Ok(Message::CheckpointOffer { .. }) => {
+                shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                serve_replication(stream, decoder, writer, shared);
+                return;
+            }
+            Ok(Message::PromoteQuery { .. }) => {
+                shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                // Fencing probe: answer with our epoch and hang up. A
+                // promoting standby that hears this knows the primary is
+                // alive and aborts the promotion.
+                writer.push(&Message::PromoteQuery {
+                    epoch: shared.epoch,
+                });
+                let _ = writer.flush_into(&mut stream);
+                return;
             }
             Ok(_) => {
                 shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
@@ -529,12 +765,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                         let _ = writer.flush_into(&mut stream);
                         return;
                     }
-                    // Hello mid-stream or a server-only frame from a
-                    // client: protocol violation.
+                    // Hello mid-stream, a server-only frame from a
+                    // client, or a replication frame on a feed session:
+                    // protocol violation.
                     Message::Hello { .. }
                     | Message::Ack { .. }
                     | Message::Shed { .. }
-                    | Message::SnapshotPush { .. } => {
+                    | Message::SnapshotPush { .. }
+                    | Message::CheckpointOffer { .. }
+                    | Message::CheckpointChunk { .. }
+                    | Message::WalAppend { .. }
+                    | Message::PromoteQuery { .. } => {
                         shared
                             .stats
                             .sessions_evicted
@@ -635,6 +876,124 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Serves one replication subscriber: ships the newest durable checkpoint
+/// in chunks, then the journal tail, then streams live WAL appends from
+/// the pump until the peer leaves, falls too far behind, or we shut down.
+fn serve_replication(
+    mut stream: TcpStream,
+    mut decoder: FrameDecoder,
+    mut writer: FrameWriter,
+    shared: &Arc<Shared>,
+) {
+    let Some(dir) = shared.config.state_dir.clone() else {
+        // No durable state to ship; refuse the subscribe.
+        send_bye(&mut stream, &mut writer, ByeReason::ProtocolError);
+        return;
+    };
+    // Subscribe BEFORE reading the durable state: an append that lands in
+    // between is delivered twice (journal read + live tail) and the
+    // standby's gate deduplicates it; the reverse order would drop it.
+    let sub = shared.replication.subscribe();
+    let epoch = shared.epoch;
+    let Ok((checkpoint, journal)) = DurableState::load(&dir) else {
+        shared.replication.unsubscribe(&sub);
+        send_bye(&mut stream, &mut writer, ByeReason::Shutdown);
+        return;
+    };
+    let mut body = Vec::new();
+    if checkpoint.write(&mut body).is_err() {
+        shared.replication.unsubscribe(&sub);
+        send_bye(&mut stream, &mut writer, ByeReason::Shutdown);
+        return;
+    }
+    writer.push(&Message::CheckpointOffer {
+        epoch,
+        slot_seq: 0,
+        total_len: convert::count64(body.len()),
+    });
+    let mut offset = 0usize;
+    while offset < body.len() {
+        let end = (offset + MAX_CHUNK_DATA).min(body.len());
+        writer.push(&Message::CheckpointChunk {
+            epoch,
+            offset: convert::count64(offset),
+            data: body[offset..end].to_vec(),
+        });
+        offset = end;
+    }
+    for report in journal {
+        writer.push(&Message::WalAppend {
+            epoch,
+            unit_seq: report.seq,
+            ts: report.ts,
+            unit: report.update.unit.0,
+            x: report.update.new.x,
+            y: report.update.new.y,
+        });
+    }
+    let mut write_stuck: Option<Instant> = None;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            send_bye(&mut stream, &mut writer, ByeReason::Shutdown);
+            break;
+        }
+        // ctup-lint: allow(L008, one-way overflow latch; a stale false costs one extra drain pass)
+        if sub.overflowed.load(Ordering::Relaxed) {
+            shared
+                .stats
+                .sessions_evicted
+                .fetch_add(1, Ordering::Relaxed);
+            send_bye(&mut stream, &mut writer, ByeReason::Evicted);
+            break;
+        }
+        // Drain the outbox into a local batch first: no socket write
+        // happens while the outbox lock is held.
+        let batch: Vec<Message> = {
+            let mut queue = match sub.queue.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            queue.drain(..).collect()
+        };
+        for msg in &batch {
+            writer.push(msg);
+        }
+        if writer.pending() > 0 {
+            match writer.flush_into(&mut stream) {
+                Ok(true) => write_stuck = None,
+                Ok(false) => {
+                    let stuck = *write_stuck.get_or_insert_with(Instant::now);
+                    if stuck.elapsed() > shared.config.write_deadline
+                        || writer.pending() > shared.config.max_write_backlog
+                    {
+                        shared
+                            .stats
+                            .sessions_evicted
+                            .fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        match decoder.read_from(&mut stream) {
+            Ok(Message::Bye { .. }) => break,
+            Ok(_) => {
+                // A subscriber has nothing else to say on this wire.
+                shared
+                    .stats
+                    .frames_malformed
+                    .fetch_add(1, Ordering::Relaxed);
+                send_bye(&mut stream, &mut writer, ByeReason::ProtocolError);
+                break;
+            }
+            Err(e) if e.is_timeout() => {}
+            Err(_) => break,
+        }
+    }
+    shared.replication.unsubscribe(&sub);
+}
+
 /// Classifies and admits (or sheds) one report.
 #[allow(clippy::too_many_arguments)]
 fn handle_report(
@@ -712,14 +1071,38 @@ fn send_bye(stream: &mut TcpStream, writer: &mut FrameWriter, reason: ByeReason)
 }
 
 /// The single engine feeder: drains the admission queue in arrival order.
+///
+/// Ack discipline: a report handed to the sink joins the in-flight tail
+/// and is acked (drained in the registry, counted accepted) only once the
+/// sink's durable mark covers its hand-off index. On engine death the
+/// tail is exactly the set of reports that may not have reached the
+/// journal — [`try_recover`] re-feeds it to the revived engine, whose
+/// replayed gate state drops whatever the journal already covered, so
+/// every report is applied exactly once and no ack is ever retracted.
 fn pump_loop(shared: &Arc<Shared>) {
     let tick = shared.config.io_tick;
     let deadline = shared.config.admission.ingest_deadline;
+    // Reports handed to the *current* sink, in order; index 1 is the
+    // first hand-off after the sink was installed.
+    let mut handed: u64 = 0;
+    let mut inflight: VecDeque<(u64, QueuedReport)> = VecDeque::new();
     loop {
+        drain_acks(shared, &mut inflight);
         let stopping = shared.stop.load(Ordering::SeqCst);
         let Some(item) = shared.queue.pop(tick) else {
             if stopping {
+                finish_inflight(shared, &mut inflight);
                 return;
+            }
+            // Idle liveness probe: with the queue drained, a dead engine
+            // would never be discovered through a failing hand-off, so the
+            // unacked tail would hang forever. Probe and recover in place.
+            // ctup-lint: allow(L008, one-way latch; a stale false costs one extra probe pass)
+            if !shared.engine_dead.load(Ordering::Relaxed)
+                && !inflight.is_empty()
+                && shared.sink().dead()
+            {
+                let _ = try_recover(shared, &mut handed, &mut inflight);
             }
             continue;
         };
@@ -737,19 +1120,22 @@ fn pump_loop(shared: &Arc<Shared>) {
         // is the elastic buffer, so all we do here is wait out short
         // bursts — the ingest deadline still bounds the total wait.
         loop {
-            match shared.sink.try_ingest(item.report) {
+            let sink = shared.sink();
+            match sink.try_ingest(item.report) {
                 Ok(()) => {
-                    shared
-                        .stats
-                        .reports_accepted
-                        .fetch_add(1, Ordering::Relaxed);
-                    shared
-                        .stats
-                        .ingest_wait_nanos
-                        .record(convert::nanos64(item.enqueued_at.elapsed().as_nanos()));
-                    shared.registry.drained(item.session, item.seq);
-                    // ctup-lint: allow(L008, monotone liveness counter; the watchdog only compares snapshots)
-                    shared.progress.fetch_add(1, Ordering::Relaxed);
+                    handed += 1;
+                    // Ship to standbys at hand-off: the ack waits on the
+                    // durable mark, so no acked report can be missing
+                    // from the stream, and a shed report never ships.
+                    shared.replication.ship(&Message::WalAppend {
+                        epoch: shared.epoch,
+                        unit_seq: item.report.seq,
+                        ts: item.report.ts,
+                        unit: item.report.update.unit.0,
+                        x: item.report.update.new.x,
+                        y: item.report.update.new.y,
+                    });
+                    inflight.push_back((handed, item));
                     break;
                 }
                 Err(SinkError::Backpressure) => {
@@ -757,18 +1143,175 @@ fn pump_loop(shared: &Arc<Shared>) {
                         pump_shed(shared, &item, ShedReason::DeadlineExceeded);
                         break;
                     }
+                    drain_acks(shared, &mut inflight);
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 Err(SinkError::Dead) => {
-                    // ctup-lint: allow(L008, one-way latch; readers act on it eventually, nothing is gated on order)
-                    shared.engine_dead.store(true, Ordering::Relaxed);
-                    shared.set_degraded(true);
+                    if try_recover(shared, &mut handed, &mut inflight) {
+                        // Revived: retry this item on the fresh sink.
+                        continue;
+                    }
                     pump_shed(shared, &item, ShedReason::EngineDegraded);
                     break;
                 }
             }
         }
     }
+}
+
+/// Acks every in-flight report the sink's durable mark now covers.
+fn drain_acks(shared: &Arc<Shared>, inflight: &mut VecDeque<(u64, QueuedReport)>) {
+    if inflight.is_empty() {
+        return;
+    }
+    let mark = shared.sink().durable_mark();
+    while inflight.front().is_some_and(|&(idx, _)| idx <= mark) {
+        if let Some((_, item)) = inflight.pop_front() {
+            shared
+                .stats
+                .reports_accepted
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .ingest_wait_nanos
+                .record(convert::nanos64(item.enqueued_at.elapsed().as_nanos()));
+            shared.registry.drained(item.session, item.seq);
+            // ctup-lint: allow(L008, monotone liveness counter; the watchdog only compares snapshots)
+            shared.progress.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Level-1 self-healing. Called with the engine dead: rebuilds it via the
+/// recovery plan (bounded by the circuit breaker), re-feeds the unacked
+/// in-flight tail to the revived sink, swaps it in, and exits degraded
+/// mode. Returns `false` once the breaker trips, revival is impossible
+/// (no plan), or we are shutting down — the sticky-degraded legacy path.
+fn try_recover(
+    shared: &Arc<Shared>,
+    handed: &mut u64,
+    inflight: &mut VecDeque<(u64, QueuedReport)>,
+) -> bool {
+    // ctup-lint: allow(L008, one-way latch; readers act on it eventually, nothing is gated on order)
+    shared.engine_dead.store(true, Ordering::Relaxed);
+    shared.set_degraded(true);
+    let Some(plan) = shared.recovery.as_ref() else {
+        let dropped: Vec<QueuedReport> = inflight.drain(..).map(|(_, item)| item).collect();
+        shed_items(shared, dropped);
+        return false;
+    };
+    // The unacked tail: reports handed to the dead sink whose journal
+    // coverage is unknown. Safe to re-feed — the revived gate's replayed
+    // dedup state drops whatever the journal already covered. (They were
+    // already shipped to standbys at first hand-off, so no re-ship here.)
+    let pending: Vec<QueuedReport> = inflight.drain(..).map(|(_, item)| item).collect();
+    *handed = 0;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            shed_items(shared, pending);
+            return false;
+        }
+        let delay = {
+            let mut breaker = match shared.breaker.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            breaker.before_attempt(Instant::now())
+        };
+        let Some(delay) = delay else {
+            // Budget exhausted: the breaker is now tripped for good.
+            shed_items(shared, pending);
+            return false;
+        };
+        // The breaker guard is dropped before this sleep.
+        std::thread::sleep(delay);
+        {
+            let mut breaker = match shared.breaker.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            breaker.record_attempt(Instant::now());
+        }
+        let Ok(new_sink) = plan.reviver.revive() else {
+            continue;
+        };
+        if reingest(&new_sink, &pending, handed, inflight) {
+            {
+                let mut sink = match shared.sink.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                *sink = new_sink;
+            }
+            shared.stats.engine_restarts.fetch_add(1, Ordering::Relaxed);
+            // ctup-lint: allow(L008, one-way latch cleared by its only writer; the watchdog re-reads every tick)
+            shared.engine_dead.store(false, Ordering::Relaxed);
+            shared.set_degraded(false);
+            return true;
+        }
+        // The fresh sink died during the re-feed; the next budgeted
+        // attempt replays from its journal, so nothing was lost.
+        inflight.clear();
+        *handed = 0;
+    }
+}
+
+/// Feeds the unacked tail into a freshly revived sink, rebuilding the
+/// in-flight numbering. `false` if the sink died underneath us.
+fn reingest(
+    sink: &Arc<dyn EngineSink>,
+    pending: &[QueuedReport],
+    handed: &mut u64,
+    inflight: &mut VecDeque<(u64, QueuedReport)>,
+) -> bool {
+    *handed = 0;
+    inflight.clear();
+    let give_up = Instant::now() + Duration::from_secs(5);
+    for item in pending {
+        loop {
+            match sink.try_ingest(item.report) {
+                Ok(()) => {
+                    *handed += 1;
+                    inflight.push_back((*handed, item.clone()));
+                    break;
+                }
+                Err(SinkError::Backpressure) => {
+                    if Instant::now() > give_up {
+                        return false;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(SinkError::Dead) => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Sheds a batch of queued reports with `EngineDegraded`.
+fn shed_items(shared: &Arc<Shared>, items: Vec<QueuedReport>) {
+    for item in &items {
+        pump_shed(shared, item, ShedReason::EngineDegraded);
+    }
+}
+
+/// Waits (bounded) for the engine to take durable ownership of the
+/// in-flight tail at shutdown, then sheds whatever is left.
+fn finish_inflight(shared: &Arc<Shared>, inflight: &mut VecDeque<(u64, QueuedReport)>) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    // ctup-lint: allow(L008, one-way latch; a stale read costs one extra wait tick)
+    while !shared.engine_dead.load(Ordering::Relaxed)
+        && !inflight.is_empty()
+        && Instant::now() < deadline
+    {
+        drain_acks(shared, inflight);
+        if inflight.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let rest: Vec<QueuedReport> = inflight.drain(..).map(|(_, item)| item).collect();
+    shed_items(shared, rest);
 }
 
 fn pump_shed(shared: &Arc<Shared>, item: &QueuedReport, reason: ShedReason) {
@@ -805,7 +1348,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
         // ctup-lint: allow(L008, one-way latch; the watchdog re-reads it every tick)
         let engine_dead = shared.engine_dead.load(Ordering::Relaxed);
         let depth = shared.queue.depth();
-        // ctup-lint: allow(L008, the watchdog is the only writer of degraded, so its own read is exact)
+        // ctup-lint: allow(L008, degraded transitions are decided between the watchdog and the recovering pump, both of which re-read every pass)
         let degraded = shared.degraded.load(Ordering::Relaxed);
         if engine_dead {
             shared.set_degraded(true);
@@ -823,9 +1366,15 @@ fn watchdog_loop(shared: &Arc<Shared>) {
             shared.set_degraded(false);
         }
 
+        // Keep the degraded-duration gauge fresh for scrapes.
+        shared
+            .stats
+            .degraded_since_ms
+            .store(shared.degraded_for_ms(), Ordering::Relaxed);
+
         // Refresh the last-good top-k while the engine is alive.
         if !engine_dead {
-            let fresh = shared.sink.topk();
+            let fresh = shared.sink().topk();
             let mut guard = match shared.last_good.lock() {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
@@ -844,7 +1393,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
                 };
                 guard.iter().map(|e| (e.place.0, e.safety)).collect()
             };
-            // ctup-lint: allow(L008, the watchdog is the only writer of degraded, so its own read is exact)
+            // ctup-lint: allow(L008, the degraded label on a snapshot is advisory)
             let now_degraded = shared.degraded.load(Ordering::Relaxed);
             shared.registry.push_snapshot_all(now_degraded, &entries);
         }

@@ -128,6 +128,8 @@ impl Snapshot {
             ("net_shed_total", n.shed_total()),
             ("net_degraded_entries", n.degraded_entries),
             ("net_snapshots_pushed", n.snapshots_pushed),
+            ("net_engine_restarts", n.engine_restarts),
+            ("net_failovers", n.failovers),
         ]
     }
 
@@ -149,6 +151,8 @@ impl Snapshot {
             ("net_queue_depth", n.queue_depth),
             ("net_sessions_active", n.sessions_active),
             ("net_degraded", u64::from(n.degraded)),
+            ("net_degraded_since_ms", n.degraded_since_ms),
+            ("net_epoch", n.epoch),
         ]
     }
 
@@ -391,9 +395,9 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), total, "duplicate series name");
-        // 10 Metrics counters + 13 resilience + 10 storage + 17 net
-        // + 3 algorithm gauges + 3 net gauges.
-        assert_eq!(total, 56);
+        // 10 Metrics counters + 13 resilience + 10 storage + 19 net
+        // + 3 algorithm gauges + 5 net gauges.
+        assert_eq!(total, 60);
     }
 
     #[test]
@@ -403,23 +407,38 @@ mod tests {
         snap.net.shed_queue_full = 2;
         snap.net.shed_engine_degraded = 1;
         snap.net.degraded = true;
+        snap.net.engine_restarts = 4;
+        snap.net.failovers = 1;
+        snap.net.degraded_since_ms = 250;
+        snap.net.epoch = 3;
         snap.net.ingest_wait_nanos.record(12_345);
         let text = snap.render_text();
         assert!(text.contains("net_reports_accepted: 11\n"));
         assert!(text.contains("net_shed_queue_full: 2\n"));
         assert!(text.contains("net_shed_total: 3\n"));
         assert!(text.contains("net_degraded: 1\n"));
+        assert!(text.contains("net_engine_restarts: 4\n"));
+        assert!(text.contains("net_failovers: 1\n"));
+        assert!(text.contains("net_degraded_since_ms: 250\n"));
+        assert!(text.contains("net_epoch: 3\n"));
         assert!(text.contains("net_ingest_wait_nanos: n=1 "));
         let json = snap.render_json();
         assert!(json.contains("\"net_reports_accepted\":11"));
         assert!(json.contains("\"net_shed_deadline_exceeded\":0"));
         assert!(json.contains("\"net_shed_session_quota\":0"));
         assert!(json.contains("\"net_degraded\":1"));
+        assert!(json.contains("\"net_engine_restarts\":4"));
+        assert!(json.contains("\"net_failovers\":1"));
+        assert!(json.contains("\"net_degraded_since_ms\":250"));
+        assert!(json.contains("\"net_epoch\":3"));
         assert!(json.contains("\"net_ingest_wait_nanos\":{"));
         let prom = snap.render_prom();
         assert!(prom.contains("# TYPE ctup_net_shed_queue_full counter\n"));
         assert!(prom.contains("ctup_net_shed_queue_full{algorithm=\"opt\"} 2\n"));
         assert!(prom.contains("# TYPE ctup_net_degraded gauge\n"));
+        assert!(prom.contains("# TYPE ctup_net_engine_restarts counter\n"));
+        assert!(prom.contains("# TYPE ctup_net_failovers counter\n"));
+        assert!(prom.contains("ctup_net_epoch{algorithm=\"opt\"} 3\n"));
         assert!(prom.contains("ctup_net_ingest_wait_nanos_count{algorithm=\"opt\"} 1\n"));
     }
 

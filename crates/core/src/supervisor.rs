@@ -53,6 +53,7 @@ use ctup_storage::PlaceStore;
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -89,6 +90,14 @@ pub struct ResilienceConfig {
     /// in its ring; dumped as JSON Lines into `state_dir` (as
     /// [`FLIGHT_RECORDER_FILE`]) when the worker is killed or gives up.
     pub flight_recorder_capacity: usize,
+    /// How many *rotated* flight-recorder dumps to keep next to the
+    /// canonical [`FLIGHT_RECORDER_FILE`]. Before a new dump is written,
+    /// an existing canonical file is renamed to `flight-recorder-<n>.jsonl`
+    /// and the numbered set is pruned to this many files, always retaining
+    /// the lowest index — so the *first* crash of a storm is never lost to
+    /// later dumps overwriting it. `0` disables rotation (the canonical
+    /// file is overwritten in place).
+    pub flight_recorder_keep: usize,
 }
 
 impl Default for ResilienceConfig {
@@ -102,13 +111,19 @@ impl Default for ResilienceConfig {
             kill_at: None,
             tear_slot_on_kill: false,
             flight_recorder_capacity: 256,
+            flight_recorder_keep: 4,
         }
     }
 }
 
-/// File name of the flight-recorder dump inside
+/// File name of the newest flight-recorder dump inside
 /// [`ResilienceConfig::state_dir`], next to the durable checkpoint slots.
+/// Earlier dumps of a crash storm survive as `flight-recorder-<n>.jsonl`,
+/// bounded by [`ResilienceConfig::flight_recorder_keep`].
 pub const FLIGHT_RECORDER_FILE: &str = "flight-recorder.jsonl";
+
+/// File-name prefix of rotated flight-recorder dumps (`<prefix><n>.jsonl`).
+pub const FLIGHT_RECORDER_ROTATED_PREFIX: &str = "flight-recorder-";
 
 /// Final accounting returned by [`SupervisedPipeline::shutdown`].
 #[derive(Debug, Clone)]
@@ -147,6 +162,7 @@ pub struct SupervisedPipeline {
     reports_tx: Option<Sender<StampedUpdate>>,
     events_rx: Receiver<EventBatch>,
     worker: Option<JoinHandle<SupervisedReport>>,
+    durable_mark: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for SupervisedPipeline {
@@ -289,6 +305,8 @@ impl SupervisedPipeline {
         assert!(capacity > 0, "capacity must be positive");
         let (reports_tx, reports_rx) = bounded::<StampedUpdate>(capacity);
         let (events_tx, events_rx) = bounded::<EventBatch>(capacity);
+        let durable_mark = Arc::new(AtomicU64::new(0));
+        let worker_mark = Arc::clone(&durable_mark);
         #[allow(clippy::expect_used)]
         let worker = std::thread::Builder::new()
             .name("ctup-supervisor".into())
@@ -300,6 +318,7 @@ impl SupervisedPipeline {
                     initial_stats,
                     reports_rx,
                     events_tx,
+                    worker_mark,
                 )
             })
             // ctup-lint: allow(L001, thread spawn fails only on OS resource exhaustion at construction — there is no monitor to degrade to yet)
@@ -308,6 +327,7 @@ impl SupervisedPipeline {
             reports_tx: Some(reports_tx),
             events_rx,
             worker: Some(worker),
+            durable_mark,
         }
     }
 
@@ -334,10 +354,31 @@ impl SupervisedPipeline {
         }
     }
 
+    /// Whether the worker thread has stopped (killed, gave up, or was shut
+    /// down). Unlike [`SupervisedPipeline::try_send`] this is a pure probe:
+    /// callers with nothing to send can still detect a silent death — an
+    /// engine that died after the last report was handed off would
+    /// otherwise be noticed only when the next report arrives.
+    pub fn worker_dead(&self) -> bool {
+        self.worker.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
     /// The event stream. Batch `seq` numbers are *effective* update
     /// sequence numbers; across a restart no batch is duplicated.
     pub fn events(&self) -> &Receiver<EventBatch> {
         &self.events_rx
+    }
+
+    /// How many reports (in channel order, counted from this pipeline's
+    /// spawn) the worker has taken *durable ownership* of: journaled to the
+    /// write-ahead log when a `state_dir` is configured, or terminally
+    /// rejected by the gate. A report covered by this mark survives a
+    /// process death — [`recover_from_dir`](Self::recover_from_dir) replays
+    /// it — so the front door acks a report only once the mark covers it:
+    /// acks never run ahead of the journal. Without a `state_dir` the mark
+    /// advances on receipt (there is no durability contract to wait for).
+    pub fn durable_mark(&self) -> u64 {
+        self.durable_mark.load(Ordering::Acquire)
     }
 
     /// Closes the report channel, drains the worker and returns its report.
@@ -384,6 +425,7 @@ fn supervise<A>(
     initial_stats: ResilienceStats,
     reports_rx: Receiver<StampedUpdate>,
     events_tx: Sender<EventBatch>,
+    durable_mark: Arc<AtomicU64>,
 ) -> SupervisedReport
 where
     A: Checkpointable,
@@ -458,6 +500,9 @@ where
                     result_changed: false,
                     outcome: TraceOutcome::Rejected(reason.label()),
                 });
+                // A gate rejection is terminal: the report needs no
+                // durability, so the ack watermark advances past it.
+                durable_mark.fetch_add(1, Ordering::Release);
                 continue;
             }
         };
@@ -469,6 +514,10 @@ where
                 break 'recv;
             }
         }
+        // The report is now recoverable (journaled, or in-memory-only by
+        // configuration): the front door may ack it. This happens *before*
+        // the apply below, so a kill mid-apply loses nothing acked.
+        durable_mark.fetch_add(1, Ordering::Release);
         for update in effective {
             // Simulated process death: stop mid-stream with no final
             // checkpoint, optionally tearing the newest slot the way a
@@ -608,9 +657,11 @@ where
     }
     // Post-mortem dump: the worker is dying (killed or gave up), so write
     // the ring next to the checkpoint slots. Best-effort — a dump failure
-    // must not mask the report of the death itself.
+    // must not mask the report of the death itself. An existing dump from
+    // an earlier crash is rotated aside first, never clobbered.
     let flight_recorder_path = if gave_up || killed {
         config.state_dir.as_deref().and_then(|dir| {
+            rotate_flight_dumps(dir, config.flight_recorder_keep);
             let path = dir.join(FLIGHT_RECORDER_FILE);
             obs.recorder.dump_to(&path).ok().map(|()| path)
         })
@@ -644,6 +695,49 @@ where
         metrics,
         latency: obs.snapshot(store.stats().read_latency()),
         flight_recorder_path,
+    }
+}
+
+/// Rotates an existing canonical flight-recorder dump aside before a new
+/// one is written: the previous [`FLIGHT_RECORDER_FILE`] becomes
+/// `flight-recorder-<n>.jsonl` with `n` one past the highest existing
+/// index, and the numbered set is pruned to `keep` files. The lowest index
+/// — the first crash of a storm — is always among the survivors; beyond
+/// that the most recent rotations win. Best-effort: any filesystem error
+/// degrades to the pre-rotation overwrite behavior.
+fn rotate_flight_dumps(dir: &Path, keep: usize) {
+    let canonical = dir.join(FLIGHT_RECORDER_FILE);
+    if keep == 0 || !canonical.exists() {
+        return;
+    }
+    let mut indices: Vec<u64> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = name
+                .strip_prefix(FLIGHT_RECORDER_ROTATED_PREFIX)
+                .and_then(|rest| rest.strip_suffix(".jsonl"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                indices.push(n);
+            }
+        }
+    }
+    indices.sort_unstable();
+    let next = indices.last().map_or(1, |n| n.saturating_add(1));
+    let rotated = dir.join(format!("{FLIGHT_RECORDER_ROTATED_PREFIX}{next}.jsonl"));
+    if std::fs::rename(&canonical, rotated).is_err() {
+        return;
+    }
+    indices.push(next);
+    while indices.len() > keep {
+        // Position 0 holds the oldest dump — the storm's first crash —
+        // which is sacred; evict the oldest of the remainder.
+        let victim = indices.remove(1);
+        let _ = std::fs::remove_file(
+            dir.join(format!("{FLIGHT_RECORDER_ROTATED_PREFIX}{victim}.jsonl")),
+        );
     }
 }
 
@@ -1157,6 +1251,144 @@ mod tests {
             .last()
             .expect("lines")
             .contains("\"outcome\":\"gave_up\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A crash storm must not clobber its own evidence: each dump rotates
+    /// the previous one aside, the numbered set stays bounded, and the
+    /// *first* crash's dump survives the whole storm.
+    #[test]
+    #[cfg_attr(miri, ignore)] // the dumps live on the real filesystem
+    fn crash_storm_rotates_dumps_and_keeps_the_first() {
+        let dir = temp_state_dir();
+        let units = unit_points(4);
+        let keep = 3usize;
+        for round in 0..6u64 {
+            let config = ResilienceConfig {
+                checkpoint_every: 16,
+                state_dir: Some(dir.clone()),
+                // Kill at a round-dependent point so each dump's last line
+                // is distinguishable.
+                kill_at: Some(10 + round),
+                flight_recorder_capacity: 32,
+                flight_recorder_keep: keep,
+                ..ResilienceConfig::default()
+            };
+            let pipeline = SupervisedPipeline::spawn(monitor(&units), config, 1024);
+            for report in stamp_stream(updates(40, 4)) {
+                if pipeline.send(report).is_err() {
+                    break;
+                }
+            }
+            let report = pipeline.shutdown();
+            assert!(report.killed, "round {round} must die at its kill point");
+            assert_eq!(
+                report.flight_recorder_path,
+                Some(dir.join(FLIGHT_RECORDER_FILE)),
+                "the newest dump always lands at the canonical path"
+            );
+        }
+        // The canonical file holds the newest crash (kill at seq 15).
+        let newest = std::fs::read_to_string(dir.join(FLIGHT_RECORDER_FILE)).expect("newest");
+        assert!(newest
+            .lines()
+            .last()
+            .expect("lines")
+            .contains("\"seq\":15,"));
+        // Exactly `keep` rotated dumps survive, and index 1 — the first
+        // crash of the storm, kill at seq 10 — is among them.
+        let mut rotated: Vec<u64> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .flatten()
+            .filter_map(|e| {
+                e.file_name()
+                    .to_str()?
+                    .strip_prefix(FLIGHT_RECORDER_ROTATED_PREFIX)?
+                    .strip_suffix(".jsonl")?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .collect();
+        rotated.sort_unstable();
+        assert_eq!(rotated.len(), keep, "numbered dumps are bounded");
+        assert_eq!(rotated[0], 1, "the first crash's dump is never lost");
+        let first =
+            std::fs::read_to_string(dir.join(format!("{FLIGHT_RECORDER_ROTATED_PREFIX}1.jsonl")))
+                .expect("first dump");
+        assert!(first.lines().last().expect("lines").contains("\"seq\":10,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The durable mark is the ack watermark: it covers a report once the
+    /// worker has journaled (or terminally rejected) it, and at quiescence
+    /// it equals the number of reports received.
+    #[test]
+    fn durable_mark_tracks_terminal_ownership() {
+        let units = unit_points(2);
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), ResilienceConfig::default(), 64);
+        assert_eq!(pipeline.durable_mark(), 0);
+        let good = StampedUpdate {
+            seq: 1,
+            ts: 1,
+            update: LocationUpdate {
+                unit: UnitId(0),
+                new: Point::new(0.3, 0.3),
+            },
+        };
+        pipeline.send(good).expect("worker alive");
+        pipeline.send(good).expect("worker alive"); // duplicate: rejected, still terminal
+                                                    // The worker drains asynchronously; poll briefly for quiescence.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pipeline.durable_mark() < 2 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pipeline.durable_mark(), 2);
+        let report = pipeline.shutdown();
+        assert_eq!(report.reports_received, 2);
+    }
+
+    /// With a state dir, the mark must not run ahead of the journal: after
+    /// a kill, every report the mark covered is recoverable from disk.
+    #[test]
+    #[cfg_attr(miri, ignore)] // durable state lives on the real filesystem
+    fn durable_mark_never_outruns_the_journal() {
+        let dir = temp_state_dir();
+        let units = unit_points(4);
+        // No periodic checkpoints: the journal then holds *every* appended
+        // report since spawn, so the write-ahead claim is exactly
+        // checkable: mark <= journal length at all times.
+        let config = ResilienceConfig {
+            checkpoint_every: 0,
+            state_dir: Some(dir.clone()),
+            kill_at: Some(30),
+            ..ResilienceConfig::default()
+        };
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), config, 1024);
+        for report in stamp_stream(updates(60, 4)) {
+            if pipeline.send(report).is_err() {
+                break;
+            }
+        }
+        // The worker drains asynchronously; wait for it to have journaled
+        // at least one report before sampling the mark. Sampling the mark
+        // BEFORE reading the journal keeps the check sound: the journal
+        // only grows, so `mark <= journal` read in this order never
+        // passes spuriously.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut marked = pipeline.durable_mark();
+        while marked == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+            marked = pipeline.durable_mark();
+        }
+        let report = pipeline.shutdown();
+        assert!(report.killed);
+        assert!(marked > 0, "the worker journaled something before dying");
+        let (_, journal) = DurableState::load(&dir).expect("load");
+        let journaled = convert::count64(journal.len());
+        assert!(
+            marked <= journaled,
+            "mark {marked} covered more than the {journaled} journaled reports"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -87,8 +87,15 @@ fn healthcheck(file: Option<&String>) -> ExitCode {
     match xtask::obscheck::check_health(&text) {
         Ok(summary) => {
             println!(
-                "healthcheck: status {:?}, degraded {}, {} session(s), queue depth {}",
-                summary.status, summary.degraded, summary.sessions, summary.queue_depth
+                "healthcheck: status {:?}, degraded {}, {} session(s), queue depth {}, \
+                 {} restart(s), {} failover(s), epoch {}",
+                summary.status,
+                summary.degraded,
+                summary.sessions,
+                summary.queue_depth,
+                summary.engine_restarts,
+                summary.failovers,
+                summary.epoch
             );
             ExitCode::SUCCESS
         }

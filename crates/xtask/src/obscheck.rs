@@ -268,13 +268,33 @@ pub struct HealthSummary {
     pub sessions: u64,
     /// Admission-queue depth at publish time.
     pub queue_depth: u64,
+    /// Level-1 self-heal revivals since spawn.
+    pub engine_restarts: u64,
+    /// Level-2 promotions this process has performed.
+    pub failovers: u64,
+    /// How long the front door has been degraded (0 when healthy).
+    pub degraded_since_ms: u64,
+    /// The fencing epoch the server serves at (≥ 1).
+    pub epoch: u64,
 }
+
+/// The required non-negative integer gauges, in `HealthSummary` order.
+const HEALTH_GAUGES: [&str; 6] = [
+    "sessions",
+    "queue_depth",
+    "engine_restarts",
+    "failovers",
+    "degraded_since_ms",
+    "epoch",
+];
 
 /// Validates a `/healthz` body from `ctup serve`: one flat JSON object
 /// whose `status` string and `degraded` boolean must agree (`ok` ⇔
-/// `false`, `degraded` ⇔ `true`), with non-negative integer `sessions`
-/// and `queue_depth` gauges. Unknown extra keys are allowed so the
-/// document can grow without breaking deployed probes.
+/// `false`, `degraded` ⇔ `true`), with the non-negative integer gauges
+/// in [`HEALTH_GAUGES`]. A healthy body must carry `degraded_since_ms`
+/// of zero, and `epoch` must be at least 1 (epochs start there; 0 marks
+/// an unfenced build). Unknown extra keys are allowed so the document
+/// can grow without breaking deployed probes.
 pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
     let mut problems = Vec::new();
     let pairs = match parse_flat_object(text) {
@@ -283,8 +303,7 @@ pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
     };
     let mut status: Option<String> = None;
     let mut degraded: Option<bool> = None;
-    let mut sessions: Option<u64> = None;
-    let mut queue_depth: Option<u64> = None;
+    let mut gauges: [Option<u64>; HEALTH_GAUGES.len()] = [None; HEALTH_GAUGES.len()];
     for (key, value) in pairs {
         match (key.as_str(), value) {
             ("status", FlatValue::Str(text)) => {
@@ -303,14 +322,21 @@ pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
                 line: 1,
                 message: format!("`degraded` must be a boolean, got {other:?}"),
             }),
-            (gauge @ ("sessions" | "queue_depth"), value) => {
+            (gauge, value) if HEALTH_GAUGES.contains(&gauge) => {
                 let parsed = match &value {
                     FlatValue::Raw(raw) => raw.parse::<u64>().ok(),
                     FlatValue::Str(_) => None,
                 };
                 match parsed {
-                    Some(n) if gauge == "sessions" => sessions = Some(n),
-                    Some(n) => queue_depth = Some(n),
+                    Some(n) => {
+                        if let Some(slot) = HEALTH_GAUGES
+                            .iter()
+                            .position(|&g| g == gauge)
+                            .and_then(|i| gauges.get_mut(i))
+                        {
+                            *slot = Some(n);
+                        }
+                    }
                     None => problems.push(Problem {
                         line: 1,
                         message: format!("`{gauge}` must be a non-negative integer, got {value:?}"),
@@ -323,9 +349,14 @@ pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
     for (name, missing) in [
         ("status", status.is_none()),
         ("degraded", degraded.is_none()),
-        ("sessions", sessions.is_none()),
-        ("queue_depth", queue_depth.is_none()),
-    ] {
+    ]
+    .into_iter()
+    .chain(
+        HEALTH_GAUGES
+            .iter()
+            .zip(&gauges)
+            .map(|(&name, slot)| (name, slot.is_none())),
+    ) {
         if missing {
             problems.push(Problem {
                 line: 1,
@@ -342,16 +373,36 @@ pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
             });
         }
     }
+    if degraded == Some(false) {
+        if let [_, _, _, _, Some(since_ms @ 1..), _] = gauges {
+            problems.push(Problem {
+                line: 1,
+                message: format!("`degraded_since_ms` is {since_ms} but `degraded` = false"),
+            });
+        }
+    }
+    if let [_, _, _, _, _, Some(0)] = gauges {
+        problems.push(Problem {
+            line: 1,
+            message: "`epoch` must be at least 1".into(),
+        });
+    }
     if !problems.is_empty() {
         return Err(problems);
     }
-    // The field loop above guarantees all four are present here; unwrap_or
-    // keeps the path panic-free anyway.
+    // The field loop above guarantees every slot is present here;
+    // unwrap_or keeps the path panic-free anyway.
+    let [sessions, queue_depth, engine_restarts, failovers, degraded_since_ms, epoch] =
+        gauges.map(Option::unwrap_or_default);
     Ok(HealthSummary {
         status: status.unwrap_or_default(),
         degraded: degraded.unwrap_or_default(),
-        sessions: sessions.unwrap_or_default(),
-        queue_depth: queue_depth.unwrap_or_default(),
+        sessions,
+        queue_depth,
+        engine_restarts,
+        failovers,
+        degraded_since_ms,
+        epoch,
     })
 }
 
@@ -534,27 +585,44 @@ h_count 5
         assert!(problems.iter().any(|p| p.message.contains("no events")));
     }
 
+    /// A well-formed body with the given leading fields appended with
+    /// healthy defaults for the recovery gauges.
+    fn health_body(status: &str, degraded: bool, sessions: i64, queue_depth: i64) -> String {
+        format!(
+            "{{\"status\":\"{status}\",\"degraded\":{degraded},\"sessions\":{sessions},\
+             \"queue_depth\":{queue_depth},\"engine_restarts\":0,\"failovers\":0,\
+             \"degraded_since_ms\":0,\"epoch\":1}}"
+        )
+    }
+
     #[test]
     fn healthy_body_parses() {
-        let body = "{\"status\":\"ok\",\"degraded\":false,\"sessions\":3,\"queue_depth\":17}\n";
-        let summary = check_health(body).expect("clean body");
+        let summary = check_health(&health_body("ok", false, 3, 17)).expect("clean body");
         assert_eq!(summary.status, "ok");
         assert!(!summary.degraded);
         assert_eq!(summary.sessions, 3);
         assert_eq!(summary.queue_depth, 17);
+        assert_eq!(summary.engine_restarts, 0);
+        assert_eq!(summary.failovers, 0);
+        assert_eq!(summary.degraded_since_ms, 0);
+        assert_eq!(summary.epoch, 1);
     }
 
     #[test]
     fn degraded_body_parses() {
-        let body = "{\"status\":\"degraded\",\"degraded\":true,\"sessions\":0,\"queue_depth\":0}";
+        let body = "{\"status\":\"degraded\",\"degraded\":true,\"sessions\":0,\"queue_depth\":0,\
+                    \"engine_restarts\":2,\"failovers\":1,\"degraded_since_ms\":450,\"epoch\":3}";
         let summary = check_health(body).expect("clean body");
         assert!(summary.degraded);
+        assert_eq!(summary.engine_restarts, 2);
+        assert_eq!(summary.failovers, 1);
+        assert_eq!(summary.degraded_since_ms, 450);
+        assert_eq!(summary.epoch, 3);
     }
 
     #[test]
     fn health_status_flag_disagreement_is_flagged() {
-        let body = "{\"status\":\"ok\",\"degraded\":true,\"sessions\":1,\"queue_depth\":0}";
-        let problems = check_health(body).expect_err("must fail");
+        let problems = check_health(&health_body("ok", true, 1, 0)).expect_err("must fail");
         assert!(problems.iter().any(|p| p.message.contains("disagrees")));
     }
 
@@ -562,15 +630,19 @@ h_count 5
     fn health_missing_gauge_is_flagged() {
         let body = "{\"status\":\"ok\",\"degraded\":false,\"sessions\":1}";
         let problems = check_health(body).expect_err("must fail");
-        assert!(problems
-            .iter()
-            .any(|p| p.message.contains("missing `queue_depth`")));
+        for gauge in ["queue_depth", "engine_restarts", "failovers", "epoch"] {
+            assert!(
+                problems
+                    .iter()
+                    .any(|p| p.message.contains(&format!("missing `{gauge}`"))),
+                "no missing-field problem for {gauge}: {problems:?}"
+            );
+        }
     }
 
     #[test]
     fn health_non_integer_gauge_is_flagged() {
-        let body = "{\"status\":\"ok\",\"degraded\":false,\"sessions\":-1,\"queue_depth\":0}";
-        let problems = check_health(body).expect_err("must fail");
+        let problems = check_health(&health_body("ok", false, -1, 0)).expect_err("must fail");
         assert!(problems
             .iter()
             .any(|p| p.message.contains("non-negative integer")));
@@ -578,16 +650,36 @@ h_count 5
 
     #[test]
     fn health_unknown_status_is_flagged() {
-        let body = "{\"status\":\"meh\",\"degraded\":false,\"sessions\":0,\"queue_depth\":0}";
-        let problems = check_health(body).expect_err("must fail");
+        let problems = check_health(&health_body("meh", false, 0, 0)).expect_err("must fail");
         assert!(problems.iter().any(|p| p.message.contains("status")));
     }
 
     #[test]
     fn health_extra_keys_are_allowed() {
+        let mut body = health_body("ok", false, 0, 0);
+        body.truncate(body.len() - 1);
+        body.push_str(",\"build\":\"abc\"}");
+        assert!(check_health(&body).is_ok());
+    }
+
+    #[test]
+    fn health_degraded_since_on_healthy_body_is_flagged() {
         let body = "{\"status\":\"ok\",\"degraded\":false,\"sessions\":0,\"queue_depth\":0,\
-                    \"build\":\"abc\"}";
-        assert!(check_health(body).is_ok());
+                    \"engine_restarts\":0,\"failovers\":0,\"degraded_since_ms\":900,\"epoch\":1}";
+        let problems = check_health(body).expect_err("must fail");
+        assert!(problems
+            .iter()
+            .any(|p| p.message.contains("`degraded_since_ms` is 900")));
+    }
+
+    #[test]
+    fn health_zero_epoch_is_flagged() {
+        let body = "{\"status\":\"ok\",\"degraded\":false,\"sessions\":0,\"queue_depth\":0,\
+                    \"engine_restarts\":0,\"failovers\":0,\"degraded_since_ms\":0,\"epoch\":0}";
+        let problems = check_health(body).expect_err("must fail");
+        assert!(problems
+            .iter()
+            .any(|p| p.message.contains("`epoch` must be at least 1")));
     }
 
     #[test]

@@ -1,6 +1,14 @@
-//! Failover: a standby server restored from a checkpoint must behave
-//! exactly like the primary from that point on — identical results and
-//! identical logical costs, with no re-initialization scan.
+//! Failover: a standby restored from a checkpoint must behave exactly
+//! like the primary from that point on — identical results and identical
+//! logical costs, with no re-initialization scan — and the two-level
+//! recovery subsystem must survive a kill matrix:
+//!
+//! * **Level 1** — the front door revives its own engine from the
+//!   durable slot + journal tail and exits degraded mode on its own.
+//! * **Level 2** — a warm standby follows the replication stream,
+//!   promotes behind a fencing probe when the primary goes dark, fences
+//!   stale-epoch frames, and serves the oracle-exact top-k. A primary
+//!   that comes back during the dark window aborts the promotion.
 //!
 //! Test code: the workspace-wide expect/unwrap denies target library
 //! code; panicking on an unexpected fault is exactly what a test should
@@ -10,12 +18,24 @@
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::checkpoint::Checkpoint;
 use ctup::core::config::CtupConfig;
-use ctup::core::types::{LocationUpdate, UnitId};
-use ctup::core::OptCtup;
+use ctup::core::ingest::{stamp_stream, StampedUpdate};
+use ctup::core::net::wire::{FrameDecoder, FrameWriter, Message, MAX_CHUNK_DATA};
+use ctup::core::net::{
+    ClientConfig, EngineReviver, EngineSink, FailoverDialer, FeedClient, IngestServer,
+    NetServerConfig, PipelineSink, RecoveryConfig, RecoveryPlan, SinkError, StandbyConfig,
+    StandbyPhase, StandbyServer, TcpDialer,
+};
+use ctup::core::supervisor::{ResilienceConfig, SupervisedPipeline};
+use ctup::core::types::{LocationUpdate, TopKEntry, UnitId};
+use ctup::core::{DurableState, OptCtup, Oracle, QueryMode};
 use ctup::mogen::{PlaceGenConfig, Workload, WorkloadParams};
 use ctup::spatial::Grid;
 use ctup::storage::{CellLocalStore, PlaceStore};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn setup(seed: u64) -> (Workload, Arc<dyn PlaceStore>) {
     let params = WorkloadParams {
@@ -150,4 +170,678 @@ fn checkpoint_roundtrips_with_extents_and_threshold_mode() {
         standby.handle_update(location_update).expect("clean store");
         assert_eq!(standby.result(), primary.result());
     }
+}
+
+// ---------------------------------------------------------------------
+// Two-level recovery kill matrix.
+// ---------------------------------------------------------------------
+
+const RADIUS: f64 = 0.1;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ctup-failover-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn clean_stream(workload: &mut Workload, n: usize) -> Vec<LocationUpdate> {
+    workload
+        .next_updates(n)
+        .into_iter()
+        .map(|u| LocationUpdate {
+            unit: UnitId(u.object),
+            new: u.to,
+        })
+        .collect()
+}
+
+/// A durable pipeline sink pair for the primary front door.
+fn durable_sink(
+    store: &Arc<dyn PlaceStore>,
+    units: &[ctup::spatial::Point],
+    resilience: ResilienceConfig,
+) -> Arc<dyn EngineSink> {
+    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), units).expect("clean store");
+    let initial = monitor.result();
+    let pipeline = SupervisedPipeline::spawn(monitor, resilience, 4096);
+    Arc::new(PipelineSink::new(pipeline, initial))
+}
+
+/// Level-1 reviver: rebuilds the engine from the durable directory and
+/// seeds the fresh sink with the restore-time top-k (pipeline events only
+/// carry changes).
+struct DirReviver {
+    dir: PathBuf,
+    store: Arc<dyn PlaceStore>,
+    resilience: ResilienceConfig,
+}
+
+impl EngineReviver for DirReviver {
+    fn revive(&self) -> Result<Arc<dyn EngineSink>, String> {
+        let (checkpoint, _journal) =
+            DurableState::load(&self.dir).map_err(|e| format!("load: {e:?}"))?;
+        let preview = OptCtup::restore(checkpoint, Arc::clone(&self.store))
+            .map_err(|e| format!("restore: {e:?}"))?;
+        let initial = preview.result();
+        drop(preview);
+        let pipeline = SupervisedPipeline::recover_from_dir::<OptCtup>(
+            &self.dir,
+            Arc::clone(&self.store),
+            self.resilience.clone(),
+            4096,
+        )
+        .map_err(|e| format!("recover: {e:?}"))?;
+        Ok(Arc::new(PipelineSink::new(pipeline, initial)))
+    }
+}
+
+/// Reserves a loopback address by binding and immediately dropping a
+/// listener; the port is then free for the promoted server to claim.
+fn reserve_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    listener.local_addr().expect("reserved addr")
+}
+
+/// Waits for the standby's `wal_applied` counter to stop moving (no feed
+/// is active, so in-flight replication frames drain within milliseconds)
+/// and returns its settled value.
+fn settled_wal_applied(standby: &StandbyServer) -> u64 {
+    let mut last = standby.status().wal_applied;
+    let mut stable_since = Instant::now();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        std::thread::sleep(Duration::from_millis(20));
+        let now = standby.status().wal_applied;
+        if now != last {
+            last = now;
+            stable_since = Instant::now();
+        } else if stable_since.elapsed() >= Duration::from_millis(250) {
+            return last;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "wal_applied never settled (last {last})"
+        );
+    }
+}
+
+/// Acks are durable-gated: a report is acked once journaled, which can be
+/// *before* the engine applied it and before the watchdog's periodic
+/// last-good refresh observed the result. Polls a top-k reader until its
+/// value holds still, returning the settled result.
+fn settled_topk(read: impl Fn() -> Vec<TopKEntry>) -> Vec<TopKEntry> {
+    let mut last = read();
+    let mut stable_since = Instant::now();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        std::thread::sleep(Duration::from_millis(20));
+        let now = read();
+        if now != last {
+            last = now;
+            stable_since = Instant::now();
+        } else if stable_since.elapsed() >= Duration::from_millis(300) {
+            return last;
+        }
+        assert!(Instant::now() < deadline, "top-k never settled");
+    }
+}
+
+/// Polls `probe` until it returns true or the deadline passes.
+fn wait_for(what: &str, deadline: Duration, mut probe: impl FnMut() -> bool) {
+    let end = Instant::now() + deadline;
+    while !probe() {
+        assert!(Instant::now() < end, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Level 1: the engine is killed mid-stream and the front door revives it
+/// from the durable slot + journal tail on its own — every offered report
+/// is acked, degraded mode clears without an operator, and the final
+/// top-k is oracle-exact.
+#[test]
+fn level_one_self_heal_revives_the_engine_and_stays_oracle_exact() {
+    let (mut workload, store) = setup(81);
+    let units = workload.unit_positions();
+    let clean = clean_stream(&mut workload, 600);
+    let stamped = stamp_stream(clean.clone());
+    let dir = temp_dir("selfheal");
+
+    let resilience = ResilienceConfig {
+        checkpoint_every: 48,
+        state_dir: Some(dir.clone()),
+        kill_at: Some(300),
+        tear_slot_on_kill: true,
+        ..ResilienceConfig::default()
+    };
+    let sink = durable_sink(&store, &units, resilience.clone());
+    let recovery = RecoveryPlan {
+        reviver: Arc::new(DirReviver {
+            dir: dir.clone(),
+            store: store.clone(),
+            resilience: ResilienceConfig {
+                kill_at: None,
+                tear_slot_on_kill: false,
+                ..resilience
+            },
+        }),
+        config: RecoveryConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(100),
+            ..RecoveryConfig::default()
+        },
+    };
+    let mut cfg = NetServerConfig::default();
+    cfg.admission.ingest_deadline = Duration::from_secs(10);
+    let server =
+        IngestServer::spawn_with_recovery("127.0.0.1:0", cfg, sink, Some(recovery)).unwrap();
+
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(server.local_addr())),
+        ClientConfig::default(),
+    );
+    for &report in &stamped {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(60)).expect("clean links");
+    let stats = client.finish();
+    // Reports that arrive while the reviver is rebuilding the engine are
+    // shed at the door with `EngineDegraded` — that is degraded mode
+    // working as designed, and the client is told. What self-heal must
+    // guarantee: every other report is acked, nothing hangs, and nothing
+    // acked is lost.
+    assert_eq!(
+        stats.acked + stats.shed_total(),
+        600,
+        "every report must become terminal: {stats:?}"
+    );
+    assert!(
+        stats
+            .sheds
+            .iter()
+            .all(|s| s.reason == ctup::core::net::ShedReason::EngineDegraded),
+        "only revival-window sheds are acceptable: {stats:?}"
+    );
+
+    wait_for("degraded mode to clear", Duration::from_secs(15), || {
+        !server.degraded()
+    });
+    assert!(
+        !server.breaker_tripped(),
+        "one kill must not trip the breaker"
+    );
+    let topk = settled_topk(|| server.last_good_topk());
+    let net = server.shutdown();
+    assert_eq!(net.engine_restarts, 1, "exactly one revival: {net:?}");
+    assert_eq!(net.reports_accepted, stats.acked);
+    assert!(!net.degraded, "degraded mode must have cleared");
+
+    // Oracle truth over exactly the applied (acked) updates: the client's
+    // wire seq is assigned at enqueue, so seq i maps to `clean[i - 1]`.
+    let shed_seqs: std::collections::HashSet<u64> = stats.sheds.iter().map(|s| s.seq).collect();
+    let mut positions = units.clone();
+    for (i, update) in clean.iter().enumerate() {
+        if !shed_seqs.contains(&(u64::try_from(i).expect("fits") + 1)) {
+            positions[update.unit.index()] = update.new;
+        }
+    }
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
+    oracle.assert_result_matches(&topk, &positions, RADIUS, QueryMode::TopK(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The engine can die *after* the admission queue has drained — with no
+/// further hand-off to fail, only the pump's idle liveness probe can
+/// notice. The unacked in-flight tail must be re-fed to the revived
+/// engine and acked, not hang until the client gives up.
+#[test]
+fn silent_engine_death_after_queue_drain_is_probed_and_healed() {
+    /// Accepts every hand-off but only takes durable ownership of the
+    /// first 100; once everything was handed it reports itself dead —
+    /// so death is only observable through the probe, never through a
+    /// failing `try_ingest`.
+    struct SilentlyDyingSink {
+        handed: AtomicU64,
+    }
+    impl EngineSink for SilentlyDyingSink {
+        fn try_ingest(&self, _report: StampedUpdate) -> Result<(), SinkError> {
+            self.handed.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+        fn topk(&self) -> Vec<TopKEntry> {
+            Vec::new()
+        }
+        fn durable_mark(&self) -> u64 {
+            self.handed.load(Ordering::SeqCst).min(100)
+        }
+        fn dead(&self) -> bool {
+            self.handed.load(Ordering::SeqCst) >= 200
+        }
+    }
+    /// The revived engine: durable immediately, never dies.
+    struct HealthySink {
+        handed: AtomicU64,
+    }
+    impl EngineSink for HealthySink {
+        fn try_ingest(&self, _report: StampedUpdate) -> Result<(), SinkError> {
+            self.handed.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+        fn topk(&self) -> Vec<TopKEntry> {
+            Vec::new()
+        }
+        fn durable_mark(&self) -> u64 {
+            self.handed.load(Ordering::SeqCst)
+        }
+    }
+    struct FreshReviver;
+    impl EngineReviver for FreshReviver {
+        fn revive(&self) -> Result<Arc<dyn EngineSink>, String> {
+            Ok(Arc::new(HealthySink {
+                handed: AtomicU64::new(0),
+            }))
+        }
+    }
+
+    let plan = RecoveryPlan {
+        reviver: Arc::new(FreshReviver),
+        config: RecoveryConfig {
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(50),
+            ..RecoveryConfig::default()
+        },
+    };
+    let sink: Arc<dyn EngineSink> = Arc::new(SilentlyDyingSink {
+        handed: AtomicU64::new(0),
+    });
+    let mut cfg = NetServerConfig::default();
+    cfg.admission.ingest_deadline = Duration::from_secs(10);
+    let server = IngestServer::spawn_with_recovery("127.0.0.1:0", cfg, sink, Some(plan)).unwrap();
+
+    let (mut workload, _store) = setup(80);
+    let stamped = stamp_stream(clean_stream(&mut workload, 200));
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(server.local_addr())),
+        ClientConfig::default(),
+    );
+    for &report in &stamped {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(30)).expect("clean links");
+    let stats = client.finish();
+    assert_eq!(
+        stats.acked, 200,
+        "the probed recovery must ack the hanging tail: {stats:?}"
+    );
+    assert!(stats.sheds.is_empty(), "no report may be shed: {stats:?}");
+    wait_for("degraded mode to clear", Duration::from_secs(10), || {
+        !server.degraded()
+    });
+    let net = server.shutdown();
+    assert_eq!(
+        net.engine_restarts, 1,
+        "exactly one probed revival: {net:?}"
+    );
+    assert_eq!(net.shed_total(), 0);
+}
+
+/// Level 2, mid-batch kill: the primary dies with the client's feed still
+/// in flight. The standby promotes at epoch + 1 behind the fencing probe,
+/// the client walks over via its failover address list, and the promoted
+/// server finishes the feed — zero acked-report loss, oracle-exact.
+#[test]
+fn standby_promotes_after_primary_death_and_serves_the_oracle_topk() {
+    let (mut workload, store) = setup(82);
+    let units = workload.unit_positions();
+    let clean = clean_stream(&mut workload, 600);
+    let stamped = stamp_stream(clean.clone());
+    let dir_primary = temp_dir("promote-primary");
+    let dir_standby = temp_dir("promote-standby");
+
+    let resilience = ResilienceConfig {
+        checkpoint_every: 32,
+        state_dir: Some(dir_primary.clone()),
+        ..ResilienceConfig::default()
+    };
+    let sink = durable_sink(&store, &units, resilience);
+    let cfg = NetServerConfig {
+        state_dir: Some(dir_primary.clone()),
+        epoch: 1,
+        ..NetServerConfig::default()
+    };
+    let primary = IngestServer::spawn("127.0.0.1:0", cfg, sink).unwrap();
+    let primary_addr = primary.local_addr();
+
+    let standby_addr = reserve_addr();
+    let standby = StandbyServer::spawn::<OptCtup>(
+        StandbyConfig {
+            primary_ingest: primary_addr,
+            serve_addr: standby_addr.to_string(),
+            resilience: ResilienceConfig {
+                state_dir: Some(dir_standby.clone()),
+                ..ResilienceConfig::default()
+            },
+            probe_interval: Duration::from_millis(50),
+            probe_failures: 2,
+            ..StandbyConfig::default()
+        },
+        store.clone(),
+    );
+
+    // Phase 1a: a priming batch makes the primary's durable state real so
+    // the standby's checkpoint sync can complete. Every report is acked
+    // (= durable) before the standby bootstraps, so the checkpoint plus
+    // journal covers the batch exactly.
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(primary_addr)),
+        ClientConfig::default(),
+    );
+    for &report in &stamped[..64] {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(30)).expect("clean links");
+    assert_eq!(client.finish().acked, 64);
+    wait_for("checkpoint sync", Duration::from_secs(10), || {
+        standby.status().phase == StandbyPhase::Following
+    });
+    assert_eq!(standby.status().epoch, 1);
+    // The sync may have landed mid-priming, in which case part of the
+    // priming batch arrives as journal or live frames and counts toward
+    // `wal_applied`. Let the counter settle before taking the baseline.
+    let base = settled_wal_applied(&standby);
+
+    // Phase 1b: the rest of the pre-kill feed arrives over the live WAL
+    // tail; each frame is fresh (not in the shipped checkpoint), so
+    // `wal_applied` counts it on top of the baseline.
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(primary_addr)),
+        ClientConfig::default(),
+    );
+    for &report in &stamped[64..300] {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(30)).expect("clean links");
+    assert_eq!(client.finish().acked, 236);
+    wait_for("live WAL tail", Duration::from_secs(10), || {
+        standby.status().wal_applied >= base + 236
+    });
+
+    // Kill the primary. The standby's probes go dark and it promotes.
+    let net = primary.shutdown();
+    assert_eq!(net.reports_accepted, 300);
+    wait_for("promotion", Duration::from_secs(10), || {
+        standby.status().phase == StandbyPhase::Promoted
+    });
+    let status = standby.status();
+    assert_eq!(status.epoch, 2, "promotion must bump the fencing epoch");
+    let promoted = standby.promoted_addr().expect("promoted front door");
+    assert_eq!(promoted, standby_addr);
+    let health = standby.promoted_health().expect("promoted health");
+    assert!(
+        health.contains("\"failovers\":1") && health.contains("\"epoch\":2"),
+        "promoted health must report the failover: {health}"
+    );
+
+    // Phase 2: the rest of the feed walks over to the promoted server.
+    let mut client = FeedClient::new(
+        Box::new(FailoverDialer::new(vec![primary_addr, standby_addr])),
+        ClientConfig::default(),
+    );
+    for &report in &stamped[300..] {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(30)).expect("walk-over");
+    let stats = client.finish();
+    assert_eq!(
+        stats.acked, 300,
+        "the promoted server must accept the tail: {stats:?}"
+    );
+
+    let topk = settled_topk(|| standby.promoted_topk().expect("promoted top-k"));
+    let mut positions = units.clone();
+    for update in &clean {
+        positions[update.unit.index()] = update.new;
+    }
+    let oracle = Oracle::from_store(store.as_ref()).expect("clean store");
+    oracle.assert_result_matches(&topk, &positions, RADIUS, QueryMode::TopK(10));
+
+    standby.shutdown();
+    std::fs::remove_dir_all(&dir_primary).ok();
+    std::fs::remove_dir_all(&dir_standby).ok();
+}
+
+/// Kill before/during checkpoint ship: a standby that never completed a
+/// sync has nothing correct to serve, so it must keep retrying — never
+/// promote, never fail into serving garbage.
+#[test]
+fn standby_never_promotes_without_a_synced_checkpoint() {
+    let (_workload, store) = setup(83);
+    let dead = reserve_addr();
+    let standby = StandbyServer::spawn::<OptCtup>(
+        StandbyConfig {
+            primary_ingest: dead,
+            serve_addr: "127.0.0.1:0".to_string(),
+            probe_interval: Duration::from_millis(25),
+            probe_failures: 1,
+            resync_delay: Duration::from_millis(20),
+            connect_timeout: Duration::from_millis(100),
+            ..StandbyConfig::default()
+        },
+        store,
+    );
+    std::thread::sleep(Duration::from_millis(600));
+    let status = standby.status();
+    assert_eq!(
+        status.phase,
+        StandbyPhase::Syncing,
+        "an unsynced standby must keep retrying"
+    );
+    assert!(standby.promoted_addr().is_none());
+    standby.shutdown();
+}
+
+/// Kill mid-promotion window: the primary drops its connections but comes
+/// back before the standby's probe budget runs out. The fencing probe
+/// answers, so the standby aborts the promotion and resyncs — no dual
+/// primary.
+#[test]
+fn revived_primary_aborts_promotion_via_the_fencing_probe() {
+    let (mut workload, store) = setup(84);
+    let units = workload.unit_positions();
+    let clean = clean_stream(&mut workload, 200);
+    let stamped = stamp_stream(clean);
+    let dir = temp_dir("fence");
+
+    let resilience = ResilienceConfig {
+        checkpoint_every: 32,
+        state_dir: Some(dir.clone()),
+        ..ResilienceConfig::default()
+    };
+    let sink = durable_sink(&store, &units, resilience.clone());
+    let cfg = NetServerConfig {
+        state_dir: Some(dir.clone()),
+        ..NetServerConfig::default()
+    };
+    let primary = IngestServer::spawn("127.0.0.1:0", cfg.clone(), sink).unwrap();
+    let primary_addr = primary.local_addr();
+
+    // The whole feed is durable before the standby bootstraps, so its
+    // first checkpoint sync carries everything and it settles into
+    // Following with nothing left to tail.
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(primary_addr)),
+        ClientConfig::default(),
+    );
+    for &report in &stamped {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(30)).expect("clean links");
+    assert_eq!(client.finish().acked, 200);
+
+    let standby = StandbyServer::spawn::<OptCtup>(
+        StandbyConfig {
+            primary_ingest: primary_addr,
+            serve_addr: "127.0.0.1:0".to_string(),
+            probe_interval: Duration::from_millis(300),
+            probe_failures: 3,
+            ..StandbyConfig::default()
+        },
+        store.clone(),
+    );
+    wait_for("checkpoint sync", Duration::from_secs(10), || {
+        standby.status().phase == StandbyPhase::Following
+    });
+
+    // Bounce the primary: down just long enough to lose the replication
+    // connection, back up before three 300 ms probes all go dark.
+    primary.shutdown();
+    let replacement = {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let sink = SupervisedPipeline::recover_from_dir::<OptCtup>(
+                &dir,
+                store.clone(),
+                ResilienceConfig {
+                    state_dir: Some(dir.clone()),
+                    ..ResilienceConfig::default()
+                },
+                4096,
+            )
+            .map(|pipeline| {
+                Arc::new(PipelineSink::new(pipeline, Vec::new())) as Arc<dyn EngineSink>
+            })
+            .expect("recover replacement");
+            match IngestServer::spawn(&primary_addr.to_string(), cfg.clone(), sink) {
+                Ok(server) => break server,
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "rebind failed for 5s: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    };
+
+    // Give the standby a full probe cycle plus slack: it must observe the
+    // loss, probe, find the primary alive, and go back to following.
+    std::thread::sleep(Duration::from_millis(1_500));
+    let status = standby.status();
+    assert_ne!(
+        status.phase,
+        StandbyPhase::Promoted,
+        "a live primary must fence the promotion: {status:?}"
+    );
+    assert_eq!(status.epoch, 1, "no epoch bump without promotion");
+    assert!(standby.promoted_addr().is_none());
+
+    standby.shutdown();
+    replacement.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Epoch fencing on the replication stream itself: frames stamped with a
+/// stale epoch are rejected and counted; only current-epoch frames are
+/// applied. Driven by a hand-rolled fake primary speaking the wire
+/// protocol.
+#[test]
+fn stale_epoch_wal_frames_are_rejected_by_the_standby() {
+    let (workload, store) = setup(85);
+    let units = workload.unit_positions();
+    let monitor = OptCtup::new(CtupConfig::with_k(10), store.clone(), &units).expect("clean store");
+    let mut body = Vec::new();
+    monitor.checkpoint().write(&mut body).expect("checkpoint");
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("fake primary");
+    let addr = listener.local_addr().expect("addr");
+    const EPOCH: u64 = 5;
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("standby dials");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .expect("timeout");
+        let mut decoder = FrameDecoder::new();
+        // The subscribe frame.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match decoder.read_from(&mut stream) {
+                Ok(Message::CheckpointOffer { .. }) => break,
+                Ok(other) => panic!("expected subscribe, got {other:?}"),
+                Err(e) if e.is_timeout() => {
+                    assert!(Instant::now() < deadline, "no subscribe frame");
+                }
+                Err(e) => panic!("read error: {e:?}"),
+            }
+        }
+        let mut writer = FrameWriter::new();
+        writer.push(&Message::CheckpointOffer {
+            epoch: EPOCH,
+            slot_seq: 0,
+            total_len: u64::try_from(body.len()).expect("length fits"),
+        });
+        let mut offset = 0usize;
+        while offset < body.len() {
+            let end = (offset + MAX_CHUNK_DATA).min(body.len());
+            writer.push(&Message::CheckpointChunk {
+                epoch: EPOCH,
+                offset: u64::try_from(offset).expect("offset fits"),
+                data: body[offset..end].to_vec(),
+            });
+            offset = end;
+        }
+        // Three stale frames from "the previous epoch", two current ones.
+        for (epoch, unit, unit_seq) in [
+            (EPOCH - 1, 0u32, 7u64),
+            (EPOCH - 1, 1, 7),
+            (EPOCH - 1, 2, 7),
+            (EPOCH, 0, 1),
+            (EPOCH, 1, 1),
+        ] {
+            writer.push(&Message::WalAppend {
+                epoch,
+                unit_seq,
+                ts: unit_seq,
+                unit,
+                x: 0.5,
+                y: 0.5,
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            assert!(Instant::now() < deadline, "standby never hung up");
+            match writer.flush_into(&mut stream) {
+                Ok(true) => {}
+                Ok(false) => continue,
+                Err(_) => return, // standby closed — done
+            }
+            // Hold the connection open until the standby says goodbye.
+            match decoder.read_from(&mut stream) {
+                Ok(Message::Bye { .. }) => return,
+                Ok(_) => {}
+                Err(e) if e.is_timeout() => {}
+                Err(_) => return,
+            }
+        }
+    });
+
+    let standby = StandbyServer::spawn::<OptCtup>(
+        StandbyConfig {
+            primary_ingest: addr,
+            serve_addr: "127.0.0.1:0".to_string(),
+            // No probes during the scripted exchange.
+            probe_interval: Duration::from_secs(30),
+            probe_failures: 100,
+            ..StandbyConfig::default()
+        },
+        store,
+    );
+    wait_for("the scripted frames", Duration::from_secs(10), || {
+        let status = standby.status();
+        status.wal_applied >= 2 && status.stale_rejected >= 3
+    });
+    let status = standby.status();
+    assert_eq!(status.phase, StandbyPhase::Following);
+    assert_eq!(status.epoch, EPOCH);
+    assert_eq!(status.wal_applied, 2, "both current-epoch frames apply");
+    assert_eq!(status.stale_rejected, 3, "all stale frames bounce");
+    standby.shutdown();
+    fake.join().expect("fake primary exits cleanly");
 }
