@@ -20,7 +20,7 @@ use ctup_core::{BasicCtup, OptCtup, ShardedCtup};
 use ctup_mogen::{
     ChaosStream, FaultPlan, NetFaultPlan, PlaceGenConfig, PlaceGenerator, Workload, WorkloadParams,
 };
-use ctup_obs::{summarize, LatencySnapshot, MetricsServer};
+use ctup_obs::{summarize, LatencySnapshot, MetricsServer, Span, SpanSink, Stage};
 use ctup_spatial::{Grid, Point};
 use ctup_storage::{
     snapshot, CachedStore, CellLocalStore, DiskFaultPlan, FaultDisk, PlaceStore, RetryPolicy,
@@ -721,6 +721,7 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         tear_slot_on_kill: flags.switch("tear-slot"),
         flight_recorder_capacity: flags.get("flight-recorder", 256)?,
         flight_recorder_keep: flags.get("flight-recorder-keep", 4)?,
+        spans: None,
     };
     if flags.switch("self-heal") {
         return chaos_self_heal(
@@ -1140,6 +1141,9 @@ fn report_net(n: &NetStatsSnapshot, out: &mut dyn Write) -> Result<(), CliError>
         ("degraded", u64::from(n.degraded)),
         ("degraded since ms", n.degraded_since_ms),
         ("epoch", n.epoch),
+        ("spans dropped", n.spans_dropped),
+        ("traces sampled", n.traces_sampled),
+        ("exemplars", n.exemplars),
     ] {
         writeln!(out, "  {name:<22} {value}").map_err(|e| io_err("stdout", e))?;
     }
@@ -1149,6 +1153,14 @@ fn report_net(n: &NetStatsSnapshot, out: &mut dyn Write) -> Result<(), CliError>
             "  {:<22} {}",
             "ingest wait",
             summarize(&n.ingest_wait_nanos)
+        )
+        .map_err(|e| io_err("stdout", e))?;
+    }
+    for e in &n.ingest_wait_exemplars {
+        writeln!(
+            out,
+            "  exemplar: bucket {:>2}  wait {:>10}ns  trace {:#018x}",
+            e.bucket, e.wait_nanos, e.trace
         )
         .map_err(|e| io_err("stdout", e))?;
     }
@@ -1186,6 +1198,8 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         "checkpoint-every",
         "epoch",
         "standby",
+        "span-dump",
+        "trace-every",
     ])?;
     let params = common_params(&flags)?;
     let updates: usize = flags.get("updates", 0)?;
@@ -1207,6 +1221,16 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     net_config.epoch = epoch;
     net_config.state_dir = state_dir.clone();
 
+    // `--span-dump FILE` arms end-to-end causal tracing: one shared sink
+    // for the door, the engine worker and the loopback feed, so a report's
+    // client-send → … → snapshot-publish chain lands in one JSONL dump.
+    let span_dump = flags.get_str("span-dump").map(PathBuf::from);
+    let trace_every: u64 = flags.get("trace-every", 1)?;
+    let spans: Option<Arc<SpanSink>> = span_dump.as_ref().map(|_| Arc::new(SpanSink::new(65_536)));
+    net_config.spans = spans.clone();
+    net_config.trace_sample_every = trace_every;
+    net_config.trace_seed = params.seed;
+
     let mut workload = Workload::generate(WorkloadParams {
         num_units: params.units,
         places: PlaceGenConfig {
@@ -1226,7 +1250,7 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     // from the primary's shipped checkpoint, tail its WAL, and take over
     // (behind the epoch fence) if it goes dark.
     if flags.get_str("standby").is_some() {
-        return serve_standby(&flags, net_config, state_dir, store, out);
+        return serve_standby(&flags, net_config, state_dir, store, spans, span_dump, out);
     }
 
     let monitor =
@@ -1236,6 +1260,7 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         kill_at: (kill_at > 0).then_some(kill_at),
         state_dir: state_dir.clone(),
         checkpoint_every: flags.get("checkpoint-every", 256)?,
+        spans: spans.clone(),
         ..ResilienceConfig::default()
     };
     let pipeline = SupervisedPipeline::spawn(monitor, resilience.clone(), 4096);
@@ -1279,10 +1304,18 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
                 new: u.to,
             })
             .collect();
-        let mut client = FeedClient::new(
-            Box::new(TcpDialer::new(server.local_addr())),
-            ClientConfig::default(),
-        );
+        // The loopback feed shares the server's sink, so client-send spans
+        // land in the same dump (and on the same clock anchor) as the rest
+        // of the pipeline — this is what makes single-process end-to-end
+        // analysis possible.
+        let client_config = ClientConfig {
+            spans: spans.clone(),
+            trace_sample_every: trace_every,
+            trace_seed: params.seed,
+            ..ClientConfig::default()
+        };
+        let mut client =
+            FeedClient::new(Box::new(TcpDialer::new(server.local_addr())), client_config);
         for &report in &stamp_stream(clean) {
             client.enqueue(report);
         }
@@ -1382,6 +1415,35 @@ pub fn serve(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         );
     }
     write!(out, "{text}").map_err(|e| io_err("stdout", e))?;
+    // Dump spans last: the engine worker keeps recording until
+    // `pipeline.shutdown()` above, so an earlier dump would truncate the
+    // apply/publish tails of the final traces.
+    dump_spans(span_dump.as_deref(), spans.as_deref(), out)?;
+    Ok(())
+}
+
+/// Writes the sink's spans to `path` as JSONL (the `--span-dump` file
+/// `cargo xtask spancheck` and `ctup trace` consume). No-op without both.
+fn dump_spans(
+    path: Option<&Path>,
+    spans: Option<&SpanSink>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (Some(path), Some(sink)) = (path, spans) else {
+        return Ok(());
+    };
+    let dump = sink.dump_jsonl();
+    let count = dump.lines().count();
+    std::fs::write(path, dump)
+        .map_err(|e| io_err(&format!("writing span dump {}", path.display()), e))?;
+    writeln!(
+        out,
+        "span dump: {count} span(s) ({} sampled trace(s), {} dropped) written to {}",
+        sink.sampled(),
+        sink.dropped(),
+        path.display()
+    )
+    .map_err(|e| io_err("stdout", e))?;
     Ok(())
 }
 
@@ -1394,6 +1456,8 @@ fn serve_standby(
     net_config: NetServerConfig,
     state_dir: Option<PathBuf>,
     store: Arc<dyn PlaceStore>,
+    spans: Option<Arc<SpanSink>>,
+    span_dump: Option<PathBuf>,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let primary = flags.get_str("standby").unwrap_or_default();
@@ -1409,6 +1473,9 @@ fn serve_standby(
         net: net_config,
         resilience: ResilienceConfig {
             state_dir,
+            // The standby's halves of replicated traces (standby-apply,
+            // and the full pipeline once promoted) share the same sink.
+            spans: spans.clone(),
             ..ResilienceConfig::default()
         },
         ..StandbyConfig::default()
@@ -1485,6 +1552,7 @@ fn serve_standby(
     .map_err(|e| io_err("stdout", e))?;
     standby.shutdown();
     metrics.shutdown();
+    dump_spans(span_dump.as_deref(), spans.as_deref(), out)?;
     Ok(())
 }
 
@@ -1510,6 +1578,8 @@ pub fn feed(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         "net-seed",
         "deadline-secs",
         "failover",
+        "span-dump",
+        "trace-every",
     ])?;
     let addr_raw = flags.get_str("addr").unwrap_or("127.0.0.1:9710");
     let addr: std::net::SocketAddr = addr_raw
@@ -1523,8 +1593,17 @@ pub fn feed(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     let rate_hz: f64 = flags.get("rate-hz", 0.0)?;
     let deadline_secs: u64 = flags.get("deadline-secs", 120)?;
 
+    // `--span-dump` records this feeder's client-send spans (its halves of
+    // the traces; the server records the rest in its own dump). The trace
+    // ids stamped here use the workload seed, so the server-side spans of
+    // a `serve --updates 0` + `feed` pair correlate by id.
+    let span_dump = flags.get_str("span-dump").map(PathBuf::from);
+    let spans: Option<Arc<SpanSink>> = span_dump.as_ref().map(|_| Arc::new(SpanSink::new(65_536)));
     let mut client_config = ClientConfig {
         max_in_flight: flags.get("max-in-flight", 128)?,
+        spans: spans.clone(),
+        trace_sample_every: flags.get("trace-every", 1)?,
+        trace_seed: seed,
         ..ClientConfig::default()
     };
     client_config.backoff.max_attempts = flags.get("max-attempts", 8)?;
@@ -1632,6 +1711,269 @@ pub fn feed(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         )
         .map_err(|e| io_err("stdout", e))?;
     }
+    dump_spans(span_dump.as_deref(), spans.as_deref(), out)?;
+    Ok(())
+}
+
+/// One trace reconstructed from a span dump: its canonical-chain spans in
+/// pipeline order (longest shard picked for the fan-out stage), the
+/// measured end-to-end window, and the stages it never reached.
+struct TraceSummary {
+    trace: u64,
+    /// End-to-end latency: first chain-span start to last chain-span end.
+    e2e: u64,
+    /// Canonical-chain spans present, in chain order.
+    chain: Vec<Span>,
+    /// Canonical-chain stages with no span in the dump.
+    missing: Vec<Stage>,
+    /// Off-chain spans of this trace (wal-append, checkpoint, shed, …).
+    extra: Vec<Span>,
+}
+
+impl TraceSummary {
+    fn complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+}
+
+/// Reconstructs one trace from its spans. For the fan-out stage
+/// (`shard-phase`) the *slowest* shard is put on the critical path —
+/// the merge barrier waits for exactly that one.
+fn summarize_trace(trace: u64, tspans: &[Span]) -> TraceSummary {
+    let mut chain = Vec::new();
+    let mut missing = Vec::new();
+    for stage in Stage::CANONICAL_CHAIN {
+        let pick = tspans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .max_by_key(|s| s.duration());
+        match pick {
+            Some(s) => chain.push(*s),
+            None => missing.push(stage),
+        }
+    }
+    let window: Vec<&Span> = if chain.is_empty() {
+        tspans.iter().collect()
+    } else {
+        chain.iter().collect()
+    };
+    let start = window.iter().map(|s| s.start).min().unwrap_or(0);
+    let end = window.iter().map(|s| s.end).max().unwrap_or(0);
+    let extra = tspans
+        .iter()
+        .filter(|s| !Stage::CANONICAL_CHAIN.contains(&s.stage))
+        .copied()
+        .collect();
+    TraceSummary {
+        trace,
+        e2e: end.saturating_sub(start),
+        chain,
+        missing,
+        extra,
+    }
+}
+
+/// `ctup trace` — offline analysis of a causal span dump (`--span-dump`
+/// JSONL from `serve` or `feed`): per-stage latency breakdown across all
+/// traces, the critical path of the slowest N traces (with the stage-sum
+/// vs end-to-end accounting), and orphan/inversion diagnostics.
+pub fn trace(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    flags.reject_unknown(&["input", "slowest"])?;
+    let input = flags
+        .get_str("input")
+        .ok_or_else(|| CliError("trace requires --input FILE (a --span-dump JSONL)".into()))?;
+    let slowest: usize = flags.get("slowest", 10)?;
+    let text =
+        std::fs::read_to_string(input).map_err(|e| io_err(&format!("reading {input}"), e))?;
+    render_trace_report(&text, input, slowest, out)
+}
+
+/// The body of `ctup trace`, on an in-memory dump (testable without I/O).
+fn render_trace_report(
+    text: &str,
+    input: &str,
+    slowest: usize,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    // Deterministic span ids make replay idempotent: a retransmitted
+    // report re-records the *same* span id, so folding by id (last line
+    // wins) collapses replays instead of double-counting them.
+    let mut by_id: std::collections::BTreeMap<u64, Span> = std::collections::BTreeMap::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let s = Span::parse_jsonl(line).map_err(|e| CliError(format!("{input}:{}: {e}", i + 1)))?;
+        lines += 1;
+        by_id.insert(s.span, s);
+    }
+    if by_id.is_empty() {
+        return Err(CliError(format!("{input}: no spans to analyze")));
+    }
+    let spans: Vec<Span> = by_id.values().copied().collect();
+    let mut traces: std::collections::BTreeMap<u64, Vec<Span>> = std::collections::BTreeMap::new();
+    for s in &spans {
+        traces.entry(s.trace).or_default().push(*s);
+    }
+    writeln!(
+        out,
+        "{} span(s) ({} line(s)) across {} trace(s)",
+        spans.len(),
+        lines,
+        traces.len()
+    )
+    .map_err(|e| io_err("stdout", e))?;
+
+    writeln!(out, "stage latency breakdown:").map_err(|e| io_err("stdout", e))?;
+    for stage in Stage::ALL {
+        let mut d: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(Span::duration)
+            .collect();
+        if d.is_empty() {
+            continue;
+        }
+        d.sort_unstable();
+        writeln!(
+            out,
+            "  {:<16} count {:>6}  p50 {:>12}ns  max {:>12}ns",
+            stage.label(),
+            d.len(),
+            d[d.len() / 2],
+            d[d.len() - 1],
+        )
+        .map_err(|e| io_err("stdout", e))?;
+    }
+
+    let mut summaries: Vec<TraceSummary> = traces
+        .iter()
+        .map(|(t, ts)| summarize_trace(*t, ts))
+        .collect();
+    summaries.sort_by(|a, b| b.e2e.cmp(&a.e2e).then(a.trace.cmp(&b.trace)));
+    writeln!(
+        out,
+        "slowest {} trace(s) by end-to-end latency:",
+        slowest.min(summaries.len())
+    )
+    .map_err(|e| io_err("stdout", e))?;
+    for t in summaries.iter().take(slowest) {
+        writeln!(
+            out,
+            "trace {:#018x}: end-to-end {}ns{}",
+            t.trace,
+            t.e2e,
+            if t.complete() {
+                " — complete causal chain"
+            } else {
+                ""
+            }
+        )
+        .map_err(|e| io_err("stdout", e))?;
+        let mut prev_end: Option<u64> = None;
+        let mut sum = 0u64;
+        let mut gaps = 0u64;
+        for s in &t.chain {
+            sum = sum.saturating_add(s.duration());
+            // The wait between one stage closing and the next opening:
+            // scheduling/transit time the chain attributes to no stage,
+            // printed inline so the chain still tiles the whole window.
+            let gap = prev_end.map_or(0, |p| s.start.saturating_sub(p));
+            gaps = gaps.saturating_add(gap);
+            let label = if s.stage == Stage::ShardPhase && s.aux != 0 {
+                format!("{}[{}]", s.stage.label(), s.aux)
+            } else {
+                s.stage.label().to_string()
+            };
+            if gap > 0 {
+                writeln!(out, "  {label:<16} {:>12}ns  (+{gap}ns gap)", s.duration())
+            } else {
+                writeln!(out, "  {label:<16} {:>12}ns", s.duration())
+            }
+            .map_err(|e| io_err("stdout", e))?;
+            prev_end = Some(prev_end.map_or(s.end, |p| p.max(s.end)));
+        }
+        for s in &t.extra {
+            writeln!(
+                out,
+                "  {:<16} {:>12}ns  (off critical path)",
+                s.stage.label(),
+                s.duration()
+            )
+            .map_err(|e| io_err("stdout", e))?;
+        }
+        if t.complete() && t.e2e > 0 {
+            // Integer per-mille keeps the arithmetic exact. Stages plus
+            // the attributed gaps tile the window, so the total sits at
+            // (or within rounding of) 100% — anything materially off
+            // means overlapping or missing spans.
+            let per_mille = sum.saturating_mul(1000) / t.e2e;
+            let tiled = sum.saturating_add(gaps).saturating_mul(1000) / t.e2e;
+            writeln!(
+                out,
+                "  stage sum {sum}ns = {}.{}% of end-to-end \
+                 (+{gaps}ns attributed gaps = {}.{}%)",
+                per_mille / 10,
+                per_mille % 10,
+                tiled / 10,
+                tiled % 10
+            )
+            .map_err(|e| io_err("stdout", e))?;
+        } else if !t.missing.is_empty() {
+            let names: Vec<&str> = t.missing.iter().map(|s| s.label()).collect();
+            writeln!(out, "  chain broken — missing: {}", names.join(", "))
+                .map_err(|e| io_err("stdout", e))?;
+        }
+    }
+
+    // Diagnostics: a parent id that never appears in the dump is a hole
+    // in the causal tree (unless the trace is a lone cross-process half);
+    // a parent starting after its child is a clock inversion.
+    let mut orphans = 0usize;
+    let mut inversions = 0usize;
+    for s in &spans {
+        if s.parent == 0 {
+            continue;
+        }
+        match by_id.get(&s.parent) {
+            None => {
+                if traces.get(&s.trace).is_some_and(|ts| ts.len() > 1) {
+                    orphans += 1;
+                    writeln!(
+                        out,
+                        "orphan: {} span {:#x} of trace {:#018x} (parent {:#x} not in dump)",
+                        s.stage.label(),
+                        s.span,
+                        s.trace,
+                        s.parent
+                    )
+                    .map_err(|e| io_err("stdout", e))?;
+                }
+            }
+            Some(p) => {
+                if p.start > s.start {
+                    inversions += 1;
+                    writeln!(
+                        out,
+                        "inversion: {} starts {}ns before its parent {} (trace {:#018x})",
+                        s.stage.label(),
+                        p.start - s.start,
+                        p.stage.label(),
+                        s.trace
+                    )
+                    .map_err(|e| io_err("stdout", e))?;
+                }
+            }
+        }
+    }
+    writeln!(
+        out,
+        "diagnostics: {orphans} orphan(s), {inversions} inversion(s)"
+    )
+    .map_err(|e| io_err("stdout", e))?;
     Ok(())
 }
 
@@ -1660,11 +2002,13 @@ USAGE:
                 [--serve-secs N] [--updates N] [--kill-at N] [--queue-capacity N]
                 [--session-quota N] [--ingest-deadline-ms N] [--snapshot-push-ms N]
                 [--state-dir DIR] [--checkpoint-every N] [--epoch N]
-                [--standby HOST:PORT]
+                [--standby HOST:PORT] [--span-dump FILE] [--trace-every N]
   ctup feed     [--addr HOST:PORT] [--updates N] [--units N] [--places N] [--seed S]
                 [--rate-hz F] [--max-in-flight N] [--max-attempts N] [--net-seed S]
                 [--refuse-per-mille N] [--die-per-mille N] [--slow-per-mille N]
                 [--deadline-secs N] [--failover HOST:PORT,HOST:PORT,...]
+                [--span-dump FILE] [--trace-every N]
+  ctup trace    --input FILE [--slowest N]
 
 The workload is deterministic per --seed: `run-opt --updates N --checkpoint-out cp`
 followed by `resume --checkpoint cp --skip N` continues the same stream.
@@ -1720,7 +2064,19 @@ promotes itself behind a fenced epoch (stale frames from a partitioned old
 primary are rejected; sessions are re-based so old ids cannot be captured).
 `feed --failover ADDR,ADDR` gives the client the standby address list: every
 reconnect walks the list with the usual seeded-jitter backoff, so a feed
-survives a primary kill by walking over to the promoted standby."
+survives a primary kill by walking over to the promoted standby.
+`serve --span-dump FILE` arms end-to-end causal tracing (DESIGN.md §17): a
+1-in-N head sample of reports (--trace-every, default 1 = every report)
+carries a 64-bit trace id from the client socket through admission, the
+engine apply, the shard/merge phases and the top-k publish, and the spans
+are dumped as JSON Lines at shutdown. Sheds, failovers and degraded-mode
+entries are always traced regardless of the sampling rate. `feed
+--span-dump` records the feeder's client-send halves the same way. `ctup
+trace --input FILE` analyzes a dump offline: per-stage latency breakdown,
+the critical path of the --slowest N traces (stage durations, inter-stage
+gaps, and the stage-sum vs end-to-end accounting), plus orphaned-span and
+clock-inversion diagnostics; `cargo xtask spancheck FILE` validates the
+same dump structurally in CI."
 }
 
 #[cfg(test)]
@@ -2449,6 +2805,119 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("final result:"), "{out}");
+    }
+
+    #[test]
+    fn serve_span_dump_yields_a_complete_traced_chain() {
+        let dir = std::env::temp_dir().join(format!("ctup-span-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("spans.jsonl");
+        let dump_str = dump.to_str().unwrap().to_string();
+        let out = run_cmd(
+            serve,
+            &[
+                "--units",
+                "25",
+                "--places",
+                "1500",
+                "--updates",
+                "40",
+                "--serve-secs",
+                "0",
+                "--addr",
+                "127.0.0.1:0",
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--span-dump",
+                &dump_str,
+                "--trace-every",
+                "1",
+            ],
+        )
+        .expect("serve with span dump");
+        assert!(out.contains("span dump:"), "{out}");
+        assert!(counter(&out, "traces sampled") >= 40, "{out}");
+        let text = std::fs::read_to_string(&dump).expect("span dump file");
+        // Every canonical pipeline stage must appear in the dump.
+        for stage in Stage::CANONICAL_CHAIN {
+            assert!(
+                text.contains(stage.label()),
+                "stage {} missing from dump:\n{text}",
+                stage.label()
+            );
+        }
+        // The analyzer must reconstruct at least one contiguous chain and
+        // account its stage durations against the end-to-end latency.
+        let traced =
+            run_cmd(trace, &["--input", &dump_str, "--slowest", "3"]).expect("trace analysis");
+        assert!(traced.contains("complete causal chain"), "{traced}");
+        assert!(traced.contains("% of end-to-end"), "{traced}");
+        assert!(traced.contains("client-send"), "{traced}");
+        assert!(traced.contains("snapshot-publish"), "{traced}");
+        assert!(traced.contains("diagnostics: 0 orphan(s)"), "{traced}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_analyzes_a_synthetic_dump() {
+        use ctup_obs::mint_trace;
+        let sink = SpanSink::new(1024);
+        // A fast trace and a slow one; the slow one must lead the report.
+        for (seq, scale) in [(1u64, 1u64), (2, 100)] {
+            let t = mint_trace(7, seq);
+            let stages = Stage::CANONICAL_CHAIN;
+            for (i, stage) in stages.iter().enumerate() {
+                let i = u64::try_from(i).unwrap();
+                sink.record_stage(t, *stage, 0, i * 10 * scale, (i * 10 + 10) * scale, true);
+            }
+        }
+        let mut out = Vec::new();
+        render_trace_report(&sink.dump_jsonl(), "synthetic", 1, &mut out).expect("analyze");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(
+            text.contains("14 span(s) (14 line(s)) across 2 trace(s)"),
+            "{text}"
+        );
+        assert!(text.contains("complete causal chain"), "{text}");
+        // The slow trace: stages [0,1000),[1000,2000)..[6000,7000) tile
+        // exactly, so the stage sum is 100.0% of the end-to-end window.
+        assert!(text.contains("100.0% of end-to-end"), "{text}");
+        assert!(
+            text.contains("diagnostics: 0 orphan(s), 0 inversion(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn trace_flags_broken_chains_and_orphans() {
+        use ctup_obs::mint_trace;
+        let t = mint_trace(3, 3);
+        // Session-admit and engine-apply without their intermediate
+        // stages: engine-apply's parent (queue-wait) is a hole.
+        let lines = [
+            Span::stage_span(t, Stage::SessionAdmit, 0, 10, 20, true).to_jsonl(),
+            Span::stage_span(t, Stage::EngineApply, 0, 30, 40, true).to_jsonl(),
+        ]
+        .join("\n");
+        let mut out = Vec::new();
+        render_trace_report(&lines, "synthetic", 5, &mut out).expect("analyze");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("chain broken — missing:"), "{text}");
+        assert!(text.contains("queue-wait"), "{text}");
+        assert!(text.contains("2 orphan(s)"), "{text}");
+    }
+
+    #[test]
+    fn trace_requires_input_and_rejects_garbage() {
+        let err = run_cmd(trace, &[]).expect_err("missing input");
+        assert!(err.0.contains("--input"), "{err}");
+        let dir = std::env::temp_dir().join(format!("ctup-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.jsonl");
+        std::fs::write(&path, "not a span\n").unwrap();
+        let err = run_cmd(trace, &["--input", path.to_str().unwrap()]).expect_err("garbage input");
+        assert!(err.0.contains("garbage.jsonl:1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

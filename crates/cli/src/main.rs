@@ -24,6 +24,7 @@ fn main() -> ExitCode {
         "serve-metrics" => commands::serve_metrics(rest, &mut stdout),
         "serve" => commands::serve(rest, &mut stdout),
         "feed" => commands::feed(rest, &mut stdout),
+        "trace" => commands::trace(rest, &mut stdout),
         "help" | "--help" | "-h" => {
             println!("{}", commands::usage());
             return ExitCode::SUCCESS;

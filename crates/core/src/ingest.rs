@@ -49,6 +49,32 @@ pub struct StampedUpdate {
     pub update: LocationUpdate,
 }
 
+/// A [`StampedUpdate`] with its causal-trace context, the unit handed to
+/// the engine sink. Never persisted (checkpoints and the WAL store bare
+/// [`StampedUpdate`]s): the trace id travels on the wire, the hand-off
+/// stamp is process-local.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracedReport {
+    /// The stamped report itself.
+    pub report: StampedUpdate,
+    /// Causal trace id (0 = untraced; see `ctup_obs::span`).
+    pub trace: u64,
+    /// `ctup_obs::span::now_nanos` stamp of the pump hand-off, the start
+    /// of the `engine-apply` span (0 when untraced).
+    pub handed_nanos: u64,
+}
+
+impl TracedReport {
+    /// Wraps a report with no trace context.
+    pub fn untraced(report: StampedUpdate) -> Self {
+        TracedReport {
+            report,
+            trace: 0,
+            handed_nanos: 0,
+        }
+    }
+}
+
 /// Why the gate refused a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {

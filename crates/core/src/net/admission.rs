@@ -78,6 +78,13 @@ pub struct QueuedReport {
     pub report: StampedUpdate,
     /// When the report entered the queue.
     pub enqueued_at: Instant,
+    /// Causal trace id riding the report (0 = untraced). Carried so the
+    /// pump can stamp the queue-wait span and hand the id to the engine.
+    pub trace: u64,
+    /// Span-clock stamp ([`ctup_obs::now_nanos`]) of queue entry; pairs
+    /// with the pump's hand-off stamp to bound the queue-wait span. Zero
+    /// when the report is untraced.
+    pub enqueued_nanos: u64,
 }
 
 /// The bounded, watermarked admission queue.
@@ -195,6 +202,8 @@ mod tests {
                 },
             },
             enqueued_at: Instant::now(),
+            trace: 0,
+            enqueued_nanos: 0,
         }
     }
 

@@ -25,9 +25,11 @@
 use super::stats::ShedReason;
 use super::wire::{ByeReason, FrameDecoder, FrameWriter, Message};
 use crate::ingest::StampedUpdate;
+use ctup_obs::{now_nanos, sample_trace, SpanSink, Stage};
 use std::collections::{HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A bidirectional byte stream the client can speak the wire protocol
@@ -164,6 +166,17 @@ pub struct ClientConfig {
     /// or a reconnect burst can replay faster than the pump drains and
     /// shed its own tail with `SessionQuota`.
     pub max_in_flight: usize,
+    /// Where client-send spans land; `None` disables client-side tracing
+    /// entirely (reports go out untraced and the server may still sample
+    /// them at admission).
+    pub spans: Option<Arc<SpanSink>>,
+    /// Head-based sampling rate: mint a trace id for one in every N
+    /// enqueued reports (0 = never, 1 = every report). Only consulted
+    /// when `spans` is set.
+    pub trace_sample_every: u64,
+    /// Seed mixed into minted trace ids; fix it to make a feed run's
+    /// trace ids reproducible.
+    pub trace_seed: u64,
 }
 
 impl Default for ClientConfig {
@@ -172,6 +185,9 @@ impl Default for ClientConfig {
             backoff: BackoffConfig::default(),
             handshake_deadline: Duration::from_secs(2),
             max_in_flight: 128,
+            spans: None,
+            trace_sample_every: 0,
+            trace_seed: 0,
         }
     }
 }
@@ -242,8 +258,8 @@ pub struct FeedClient {
     session: u64,
     next_seq: u64,
     handled_up_to: u64,
-    unsent: VecDeque<(u64, StampedUpdate)>,
-    unacked: VecDeque<(u64, StampedUpdate)>,
+    unsent: VecDeque<(u64, StampedUpdate, u64)>,
+    unacked: VecDeque<(u64, StampedUpdate, u64)>,
     shed_seqs: HashSet<u64>,
     stats: ClientStats,
     conn: Option<Connection>,
@@ -307,11 +323,28 @@ impl FeedClient {
     }
 
     /// Queues one report for submission; assigns the next wire sequence
-    /// number (starting at 1).
+    /// number (starting at 1) and, when tracing is enabled, mints the
+    /// report's causal trace id at the sampling rate. The id sticks to
+    /// the report through reconnect replay, so every retransmit of the
+    /// same sequence number carries the same trace.
     pub fn enqueue(&mut self, report: StampedUpdate) {
         self.next_seq += 1;
         self.stats.enqueued += 1;
-        self.unsent.push_back((self.next_seq, report));
+        let trace = match &self.config.spans {
+            Some(sink) => {
+                let trace = sample_trace(
+                    self.config.trace_seed,
+                    self.next_seq,
+                    self.config.trace_sample_every,
+                );
+                if trace != 0 {
+                    sink.note_trace_sampled();
+                }
+                trace
+            }
+            None => 0,
+        };
+        self.unsent.push_back((self.next_seq, report, trace));
     }
 
     fn xorshift(&mut self) -> u64 {
@@ -430,15 +463,15 @@ impl FeedClient {
     /// both queues, crediting `acked` for those never reported shed.
     fn trim_terminal(&mut self) {
         let line = self.handled_up_to;
-        while self.unacked.front().is_some_and(|&(seq, _)| seq <= line) {
-            if let Some((seq, _)) = self.unacked.pop_front() {
+        while self.unacked.front().is_some_and(|&(seq, ..)| seq <= line) {
+            if let Some((seq, ..)) = self.unacked.pop_front() {
                 if !self.shed_seqs.contains(&seq) {
                     self.stats.acked += 1;
                 }
             }
         }
-        while self.unsent.front().is_some_and(|&(seq, _)| seq <= line) {
-            if let Some((seq, _)) = self.unsent.pop_front() {
+        while self.unsent.front().is_some_and(|&(seq, ..)| seq <= line) {
+            if let Some((seq, ..)) = self.unsent.pop_front() {
                 if !self.shed_seqs.contains(&seq) {
                     self.stats.acked += 1;
                 }
@@ -453,10 +486,18 @@ impl FeedClient {
             return false;
         };
         // Write as many fresh reports as the in-flight window allows.
+        // Traced reports remember when they were pushed so the client-send
+        // span can close once the flush actually puts the bytes on the
+        // wire. A replay re-records the same deterministic span id its
+        // first transmission produced — the tree never forks.
+        let mut traced_pushes: Vec<(u64, u64)> = Vec::new();
         while self.unacked.len() < self.config.max_in_flight {
-            let Some((seq, report)) = self.unsent.pop_front() else {
+            let Some((seq, report, trace)) = self.unsent.pop_front() else {
                 break;
             };
+            if trace != 0 {
+                traced_pushes.push((trace, now_nanos()));
+            }
             connection.writer.push(&Message::Report {
                 seq,
                 unit_seq: report.seq,
@@ -464,13 +505,25 @@ impl FeedClient {
                 unit: report.update.unit.0,
                 x: report.update.new.x,
                 y: report.update.new.y,
+                trace,
             });
             self.stats.frames_sent += 1;
-            self.unacked.push_back((seq, report));
+            self.unacked.push_back((seq, report, trace));
         }
-        if connection.writer.pending() > 0
-            && connection.writer.flush_into(&mut connection.conn).is_err()
-        {
+        let flush_ok = connection.writer.pending() == 0
+            || connection.writer.flush_into(&mut connection.conn).is_ok();
+        // Record the spans even when the flush dies mid-frame: the frame
+        // may still have reached the server (the resume handshake would
+        // then ack it without a re-push, and the span would be lost for
+        // good). If the report IS replayed, the deterministic span id
+        // makes the re-record collapse into this one.
+        if let Some(sink) = &self.config.spans {
+            let flushed = now_nanos();
+            for (trace, pushed) in traced_pushes {
+                sink.record_stage(trace, Stage::ClientSend, 0, pushed, flushed, true);
+            }
+        }
+        if !flush_ok {
             return false;
         }
         // Read whatever the server has for us (one frame per call keeps

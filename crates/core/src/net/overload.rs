@@ -15,7 +15,7 @@
 use super::client::{ClientConfig, FeedClient, TcpDialer};
 use super::server::{EngineSink, IngestServer, NetServerConfig, SinkError};
 use super::stats::NetStatsSnapshot;
-use crate::ingest::StampedUpdate;
+use crate::ingest::{StampedUpdate, TracedReport};
 use crate::types::{PlaceId, TopKEntry};
 use ctup_obs::json::ObjectWriter;
 use ctup_spatial::Point;
@@ -38,7 +38,7 @@ impl CountingSink {
 }
 
 impl EngineSink for CountingSink {
-    fn try_ingest(&self, _report: StampedUpdate) -> Result<(), SinkError> {
+    fn try_ingest(&self, _report: TracedReport) -> Result<(), SinkError> {
         // ctup-lint: allow(L008, monotone test-support counter; no other state is published through it)
         self.accepted.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -73,7 +73,7 @@ impl<S> CalibratedSink<S> {
 }
 
 impl<S: EngineSink> EngineSink for CalibratedSink<S> {
-    fn try_ingest(&self, report: StampedUpdate) -> Result<(), SinkError> {
+    fn try_ingest(&self, report: TracedReport) -> Result<(), SinkError> {
         // The pump is the single caller, so sleeping here serializes
         // service time exactly like a busy engine would.
         std::thread::sleep(self.delay);

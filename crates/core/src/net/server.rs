@@ -55,12 +55,14 @@ use super::session::{OpenError, OutboundNote, ReportClass, SessionConfig, Sessio
 use super::stats::{NetStats, ShedReason};
 use super::wire::{ByeReason, DecodeError, FrameDecoder, FrameWriter, Message, MAX_CHUNK_DATA};
 use crate::durable::DurableState;
-use crate::ingest::StampedUpdate;
+use crate::ingest::{StampedUpdate, TracedReport};
 use crate::pipeline::SendError;
+use crate::report::build_info;
 use crate::server::MonitorEvent;
 use crate::supervisor::SupervisedPipeline;
 use crate::types::{LocationUpdate, PlaceId, Safety, TopKEntry, UnitId};
 use ctup_obs::json::ObjectWriter;
+use ctup_obs::{mint_trace, now_nanos, sample_trace, SpanSink, Stage};
 use ctup_spatial::{convert, Point};
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
@@ -84,8 +86,9 @@ pub enum SinkError {
 /// The engine as the front door sees it: a place to put validated reports
 /// and a current top-k to serve.
 pub trait EngineSink: Send + Sync {
-    /// Offers one report; must not block longer than a bounded push.
-    fn try_ingest(&self, report: StampedUpdate) -> Result<(), SinkError>;
+    /// Offers one report (with its causal trace context, trace 0 meaning
+    /// untraced); must not block longer than a bounded push.
+    fn try_ingest(&self, report: TracedReport) -> Result<(), SinkError>;
     /// The engine's current result, freshest first by unsafety.
     fn topk(&self) -> Vec<TopKEntry>;
     /// How many reports (counted in hand-off order from this sink's
@@ -161,8 +164,8 @@ impl PipelineSink {
 }
 
 impl EngineSink for PipelineSink {
-    fn try_ingest(&self, report: StampedUpdate) -> Result<(), SinkError> {
-        match self.pipeline.try_send(report) {
+    fn try_ingest(&self, report: TracedReport) -> Result<(), SinkError> {
+        match self.pipeline.try_send_traced(report) {
             Ok(()) => Ok(()),
             Err(SendError::Full) => Err(SinkError::Backpressure),
             Err(SendError::WorkerDied) => Err(SinkError::Dead),
@@ -225,6 +228,19 @@ pub struct NetServerConfig {
     /// checkpoints from; `None` refuses replication subscribes. Must be
     /// the directory the engine's supervisor checkpoints into.
     pub state_dir: Option<PathBuf>,
+    /// Causal span sink the front door records into (session-admit,
+    /// queue-wait and shed spans, plus server-side trace minting). Share
+    /// the same sink with the engine supervisor
+    /// ([`crate::supervisor::ResilienceConfig::spans`]) so one trace's
+    /// spans land in one dump. `None` disables all span recording here.
+    pub spans: Option<Arc<SpanSink>>,
+    /// Head-based 1-in-N sampling rate for reports that arrive *untraced*
+    /// (v1 clients): 0 never mints, 1 traces every report. Reports that
+    /// already carry a client-minted trace id are always recorded, and
+    /// sheds are always traced regardless of this rate.
+    pub trace_sample_every: u64,
+    /// Seed mixed (with the session id) into server-minted trace ids.
+    pub trace_seed: u64,
 }
 
 impl Default for NetServerConfig {
@@ -242,6 +258,9 @@ impl Default for NetServerConfig {
             watchdog_tick: Duration::from_millis(25),
             epoch: 1,
             state_dir: None,
+            spans: None,
+            trace_sample_every: 0,
+            trace_seed: 0,
         }
     }
 }
@@ -527,6 +546,7 @@ impl IngestServer {
         obj.field_u64("failovers", stats.failovers.load(Ordering::Relaxed));
         obj.field_u64("degraded_since_ms", self.shared.degraded_for_ms());
         obj.field_u64("epoch", self.shared.epoch);
+        obj.field_str("build", &build_info());
         obj.finish()
     }
 
@@ -534,6 +554,19 @@ impl IngestServer {
     /// every thread and returns the final counters.
     pub fn shutdown(mut self) -> super::stats::NetStatsSnapshot {
         self.stop_threads();
+        // Final mirror of the span-sink counters: the watchdog may not
+        // have ticked since the last traced report, and the shutdown
+        // snapshot must account for every sampled trace.
+        if let Some(sink) = self.shared.config.spans.as_deref() {
+            self.shared
+                .stats
+                .spans_dropped
+                .store(sink.dropped(), Ordering::Relaxed);
+            self.shared
+                .stats
+                .traces_sampled
+                .store(sink.sampled(), Ordering::Relaxed);
+        }
         self.shared.stats.snapshot()
     }
 
@@ -749,6 +782,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                         unit,
                         x,
                         y,
+                        trace,
                     } => handle_report(
                         shared,
                         &mut conn,
@@ -759,6 +793,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                         unit,
                         x,
                         y,
+                        trace,
                     ),
                     Message::Bye { .. } => {
                         shared.registry.disconnected(conn.session, conn.epoch);
@@ -929,6 +964,9 @@ fn serve_replication(
             unit: report.update.unit.0,
             x: report.update.new.x,
             y: report.update.new.y,
+            // The durable journal does not persist trace ids; only the
+            // live tail shipped by the pump carries them.
+            trace: 0,
         });
     }
     let mut write_stuck: Option<Instant> = None;
@@ -994,7 +1032,10 @@ fn serve_replication(
     shared.replication.unsubscribe(&sub);
 }
 
-/// Classifies and admits (or sheds) one report.
+/// Classifies and admits (or sheds) one report. `wire_trace` is the
+/// trace id the client stamped on the frame (0 for v1 clients and
+/// unsampled reports); an untraced fresh report may still be head-sampled
+/// here at the server's own rate.
 #[allow(clippy::too_many_arguments)]
 fn handle_report(
     shared: &Arc<Shared>,
@@ -1006,22 +1047,61 @@ fn handle_report(
     unit: u32,
     x: f64,
     y: f64,
+    wire_trace: u64,
 ) {
+    let spans = shared.config.spans.as_deref();
+    let admit_start = now_nanos();
     match shared.registry.classify(conn.session, seq) {
         ReportClass::Replay => {
+            // Replays never re-enter the pipeline, so they record no
+            // spans either: a retransmit maps onto the spans its first
+            // delivery already produced (span ids are deterministic).
             shared
                 .stats
                 .replays_suppressed
                 .fetch_add(1, Ordering::Relaxed);
         }
         ReportClass::QuotaExceeded => {
-            shed_at_door(shared, conn, writer, seq, ShedReason::SessionQuota);
+            shed_at_door(
+                shared,
+                conn,
+                writer,
+                seq,
+                ShedReason::SessionQuota,
+                wire_trace,
+                admit_start,
+            );
         }
         ReportClass::Fresh => {
             // ctup-lint: allow(L008, best-effort shed gate; a stale read admits or sheds one extra report)
             if shared.degraded.load(Ordering::Relaxed) {
-                shed_at_door(shared, conn, writer, seq, ShedReason::EngineDegraded);
+                shed_at_door(
+                    shared,
+                    conn,
+                    writer,
+                    seq,
+                    ShedReason::EngineDegraded,
+                    wire_trace,
+                    admit_start,
+                );
                 return;
+            }
+            // Server-side head sampling for untraced reports. The
+            // decision and the minted id are pure functions of the seq,
+            // so a reconnect retransmit that raced the dedup line would
+            // land on the same trace rather than forking a new one.
+            let mut trace = wire_trace;
+            if trace == 0 {
+                if let Some(sink) = spans {
+                    trace = sample_trace(
+                        shared.config.trace_seed ^ conn.session,
+                        seq,
+                        shared.config.trace_sample_every,
+                    );
+                    if trace != 0 {
+                        sink.note_trace_sampled();
+                    }
+                }
             }
             let report = StampedUpdate {
                 seq: unit_seq,
@@ -1031,11 +1111,14 @@ fn handle_report(
                     new: Point::new(x, y),
                 },
             };
+            let enqueued_nanos = if trace != 0 { now_nanos() } else { 0 };
             let queued = QueuedReport {
                 session: conn.session,
                 seq,
                 report,
                 enqueued_at: Instant::now(),
+                trace,
+                enqueued_nanos,
             };
             // The seq must be in the session's pending run BEFORE the
             // queue can hand the item to the pump: a fast engine drains
@@ -1043,10 +1126,25 @@ fn handle_report(
             // remove would leave a ghost entry pinning the ack line.
             shared.registry.note_enqueued(conn.session, seq);
             match shared.queue.try_enqueue(queued) {
-                Ok(()) => {}
+                Ok(()) => {
+                    if trace != 0 {
+                        if let Some(sink) = spans {
+                            // Ends at the enqueue stamp so the queue-wait
+                            // span starts exactly where this one stops.
+                            sink.record_stage(
+                                trace,
+                                Stage::SessionAdmit,
+                                0,
+                                admit_start,
+                                enqueued_nanos,
+                                wire_trace != 0,
+                            );
+                        }
+                    }
+                }
                 Err(reason) => {
                     shared.registry.retract_pending(conn.session, seq);
-                    shed_at_door(shared, conn, writer, seq, reason);
+                    shed_at_door(shared, conn, writer, seq, reason, wire_trace, admit_start);
                 }
             }
         }
@@ -1059,9 +1157,33 @@ fn shed_at_door(
     writer: &mut FrameWriter,
     seq: u64,
     reason: ShedReason,
+    wire_trace: u64,
+    admit_start: u64,
 ) {
     shared.registry.note_shed_at_door(conn.session, seq);
     shared.stats.record_shed(reason);
+    // Door sheds are always traced — overload episodes are exactly when
+    // an operator needs exemplar traces — so an untraced report gets a
+    // trace minted here (deterministically, same id a sampled admit of
+    // this seq would have gotten).
+    if let Some(sink) = shared.config.spans.as_deref() {
+        let trace = if wire_trace != 0 {
+            wire_trace
+        } else {
+            sink.note_trace_sampled();
+            mint_trace(shared.config.trace_seed ^ conn.session, seq)
+        };
+        let now = now_nanos();
+        sink.record_stage(
+            trace,
+            Stage::SessionAdmit,
+            0,
+            admit_start,
+            now,
+            wire_trace != 0,
+        );
+        sink.record_stage(trace, Stage::Shed, u32::from(reason.code()), now, now, true);
+    }
     writer.push(&Message::Shed { seq, reason });
 }
 
@@ -1121,9 +1243,34 @@ fn pump_loop(shared: &Arc<Shared>) {
         // bursts — the ingest deadline still bounds the total wait.
         loop {
             let sink = shared.sink();
-            match sink.try_ingest(item.report) {
+            let handed_nanos = if item.trace != 0 { now_nanos() } else { 0 };
+            match sink.try_ingest(TracedReport {
+                report: item.report,
+                trace: item.trace,
+                handed_nanos,
+            }) {
                 Ok(()) => {
                     handed += 1;
+                    if item.trace != 0 {
+                        if let Some(spans) = shared.config.spans.as_deref() {
+                            // Queue wait: admission-queue entry to this
+                            // successful hand-off (the engine-apply span
+                            // picks up at `handed_nanos`).
+                            let q0 = if item.enqueued_nanos != 0 {
+                                item.enqueued_nanos
+                            } else {
+                                handed_nanos
+                            };
+                            spans.record_stage(
+                                item.trace,
+                                Stage::QueueWait,
+                                0,
+                                q0,
+                                handed_nanos,
+                                true,
+                            );
+                        }
+                    }
                     // Ship to standbys at hand-off: the ack waits on the
                     // durable mark, so no acked report can be missing
                     // from the stream, and a shed report never ships.
@@ -1134,6 +1281,7 @@ fn pump_loop(shared: &Arc<Shared>) {
                         unit: item.report.update.unit.0,
                         x: item.report.update.new.x,
                         y: item.report.update.new.y,
+                        trace: item.trace,
                     });
                     inflight.push_back((handed, item));
                     break;
@@ -1171,10 +1319,9 @@ fn drain_acks(shared: &Arc<Shared>, inflight: &mut VecDeque<(u64, QueuedReport)>
                 .stats
                 .reports_accepted
                 .fetch_add(1, Ordering::Relaxed);
-            shared
-                .stats
-                .ingest_wait_nanos
-                .record(convert::nanos64(item.enqueued_at.elapsed().as_nanos()));
+            let wait = convert::nanos64(item.enqueued_at.elapsed().as_nanos());
+            shared.stats.ingest_wait_nanos.record(wait);
+            shared.stats.record_exemplar(wait, item.trace);
             shared.registry.drained(item.session, item.seq);
             // ctup-lint: allow(L008, monotone liveness counter; the watchdog only compares snapshots)
             shared.progress.fetch_add(1, Ordering::Relaxed);
@@ -1269,7 +1416,14 @@ fn reingest(
     let give_up = Instant::now() + Duration::from_secs(5);
     for item in pending {
         loop {
-            match sink.try_ingest(item.report) {
+            // The trace rides along so the revived engine's apply spans
+            // land on the same tree; `handed_nanos` 0 lets the supervisor
+            // stamp the re-apply at receive time.
+            match sink.try_ingest(TracedReport {
+                report: item.report,
+                trace: item.trace,
+                handed_nanos: 0,
+            }) {
                 Ok(()) => {
                     *handed += 1;
                     inflight.push_back((*handed, item.clone()));
@@ -1319,6 +1473,39 @@ fn pump_shed(shared: &Arc<Shared>, item: &QueuedReport, reason: ShedReason) {
     shared
         .registry
         .shed_at_drain(item.session, item.seq, reason);
+    // Drain sheds are always traced, like door sheds: an already-traced
+    // item gets a shed leaf under its session-admit span (spanning its
+    // fruitless queue wait); an untraced one gets a fresh root so the
+    // shed is still visible in the dump.
+    if let Some(sink) = shared.config.spans.as_deref() {
+        let now = now_nanos();
+        if item.trace != 0 {
+            let start = if item.enqueued_nanos != 0 {
+                item.enqueued_nanos
+            } else {
+                now
+            };
+            sink.record_stage(
+                item.trace,
+                Stage::Shed,
+                u32::from(reason.code()),
+                start,
+                now,
+                true,
+            );
+        } else {
+            sink.note_trace_sampled();
+            let trace = mint_trace(shared.config.trace_seed ^ item.session, item.seq);
+            sink.record_stage(
+                trace,
+                Stage::Shed,
+                u32::from(reason.code()),
+                now,
+                now,
+                false,
+            );
+        }
+    }
     // ctup-lint: allow(L008, monotone liveness counter; the watchdog only compares snapshots)
     shared.progress.fetch_add(1, Ordering::Relaxed);
 }
@@ -1371,6 +1558,18 @@ fn watchdog_loop(shared: &Arc<Shared>) {
             .stats
             .degraded_since_ms
             .store(shared.degraded_for_ms(), Ordering::Relaxed);
+
+        // Mirror the span sink's counters into the scrapeable stats.
+        if let Some(sink) = shared.config.spans.as_deref() {
+            shared
+                .stats
+                .spans_dropped
+                .store(sink.dropped(), Ordering::Relaxed);
+            shared
+                .stats
+                .traces_sampled
+                .store(sink.sampled(), Ordering::Relaxed);
+        }
 
         // Refresh the last-good top-k while the engine is alive.
         if !engine_dead {

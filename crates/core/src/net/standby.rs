@@ -30,6 +30,7 @@ use crate::ingest::{IngestConfig, IngestGate, StampedUpdate};
 use crate::metrics::ResilienceStats;
 use crate::supervisor::{ResilienceConfig, SupervisedPipeline};
 use crate::types::{LocationUpdate, TopKEntry, UnitId};
+use ctup_obs::{now_nanos, SpanSink, Stage};
 use ctup_spatial::Point;
 use ctup_storage::PlaceStore;
 use std::net::{SocketAddr, TcpStream};
@@ -411,6 +412,7 @@ where
                     &mut alg,
                     &mut rstats,
                     shared,
+                    config.resilience.spans.as_deref(),
                 ) {
                     return FollowEnd::Failed(why);
                 }
@@ -485,6 +487,7 @@ fn apply_wal<A>(
     alg: &mut A,
     rstats: &mut ResilienceStats,
     shared: &StandbyShared,
+    spans: Option<&SpanSink>,
 ) -> Result<(), String>
 where
     A: Checkpointable,
@@ -496,6 +499,7 @@ where
         unit,
         x,
         y,
+        trace,
     } = msg
     else {
         return Ok(());
@@ -513,6 +517,7 @@ where
             new: Point::new(*x, *y),
         },
     };
+    let apply_start = if *trace != 0 { now_nanos() } else { 0 };
     match gate.admit(stamped, rstats) {
         Ok(effective) => {
             for update in effective {
@@ -522,6 +527,21 @@ where
             }
             let mut status = shared.lock_status();
             status.wal_applied += 1;
+            drop(status);
+            // The standby-apply span parents onto the wal-append span the
+            // primary recorded for this report — in a single dump that
+            // stitches the replication hop into the causal chain; across
+            // two processes each dump holds its half of the trace.
+            if let Some(sink) = spans {
+                sink.record_stage(
+                    *trace,
+                    Stage::StandbyApply,
+                    0,
+                    apply_start,
+                    now_nanos(),
+                    true,
+                );
+            }
         }
         Err(_) => {
             // Duplicate/stale per the gate: the journal-tail overlap or a
@@ -572,6 +592,12 @@ where
     // so a client resuming an old session can never capture a new one.
     net.session.first_session_id = (new_epoch << 32) | 1;
     net.state_dir = config.resilience.state_dir.clone();
+    // A failover is exactly when operators need traces: if tracing is
+    // wired at all, the promoted front door samples every report until a
+    // human dials it back.
+    if net.spans.is_some() {
+        net.trace_sample_every = 1;
+    }
     let server = match IngestServer::spawn(&config.serve_addr, net, sink) {
         Ok(s) => s,
         Err(e) => return FollowEnd::Failed(format!("promoted bind failed: {e}")),

@@ -28,6 +28,68 @@
 
 use ctup_obs::{AtomicHistogram, LogHistogram};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// One exemplar: the trace id of a report whose ingest wait landed in a
+/// given `net_ingest_wait_nanos` histogram bucket. The JSON report
+/// attaches these to the histogram so an operator can jump from a slow
+/// bucket straight to `ctup trace <trace>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitExemplar {
+    /// Histogram bucket index ([`ctup_obs::hist::bucket_index`]) the
+    /// wait fell into.
+    pub bucket: u32,
+    /// The recorded wait, in nanoseconds.
+    pub wait_nanos: u64,
+    /// Trace id of the report that recorded it (never 0).
+    pub trace: u64,
+}
+
+/// Bounded store of ingest-wait exemplars: at most one per histogram
+/// bucket (the slowest wait seen wins), so the worst buckets always keep
+/// a representative trace id and the store cannot grow past the bucket
+/// count of the histogram.
+#[derive(Debug, Default)]
+pub struct ExemplarStore {
+    inner: Mutex<Vec<WaitExemplar>>,
+}
+
+impl ExemplarStore {
+    fn lock(&self) -> MutexGuard<'_, Vec<WaitExemplar>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Records a traced wait; keeps the slowest exemplar per bucket.
+    /// Returns the number of exemplars currently stored.
+    pub fn record(&self, wait_nanos: u64, trace: u64) -> u64 {
+        let bucket = u32::try_from(ctup_obs::hist::bucket_index(wait_nanos)).unwrap_or(u32::MAX);
+        let mut inner = self.lock();
+        match inner.iter_mut().find(|e| e.bucket == bucket) {
+            Some(existing) => {
+                if wait_nanos >= existing.wait_nanos {
+                    existing.wait_nanos = wait_nanos;
+                    existing.trace = trace;
+                }
+            }
+            None => inner.push(WaitExemplar {
+                bucket,
+                wait_nanos,
+                trace,
+            }),
+        }
+        ctup_spatial::convert::count64(inner.len())
+    }
+
+    /// The stored exemplars, slowest bucket first.
+    pub fn snapshot(&self) -> Vec<WaitExemplar> {
+        let mut out = self.lock().clone();
+        out.sort_by(|a, b| b.bucket.cmp(&a.bucket));
+        out
+    }
+}
 
 /// Why the front door refused to forward a report to the engine.
 ///
@@ -154,8 +216,20 @@ pub struct NetStats {
     pub epoch: AtomicU64,
     /// Gauge: whether the server is currently in degraded mode.
     pub degraded: AtomicBool,
+    /// Spans overwritten in the causal span sink before a snapshot could
+    /// read them (synced from the sink by the watchdog; 0 with tracing
+    /// off).
+    pub spans_dropped: AtomicU64,
+    /// Trace ids minted in this process — head-sampled admits plus the
+    /// always-sampled sheds (synced from the sink by the watchdog).
+    pub traces_sampled: AtomicU64,
+    /// Gauge: exemplar trace ids currently attached to ingest-wait
+    /// histogram buckets.
+    pub exemplars: AtomicU64,
     /// Wait from admission-queue entry to successful engine hand-off.
     pub ingest_wait_nanos: AtomicHistogram,
+    /// Per-bucket exemplar trace ids for `ingest_wait_nanos`.
+    pub ingest_wait_exemplars: ExemplarStore,
 }
 
 impl NetStats {
@@ -198,8 +272,22 @@ impl NetStats {
             degraded_since_ms: load(&self.degraded_since_ms),
             epoch: load(&self.epoch),
             degraded: self.degraded.load(Ordering::Relaxed),
+            spans_dropped: load(&self.spans_dropped),
+            traces_sampled: load(&self.traces_sampled),
+            exemplars: load(&self.exemplars),
             ingest_wait_nanos: self.ingest_wait_nanos.snapshot(),
+            ingest_wait_exemplars: self.ingest_wait_exemplars.snapshot(),
         }
+    }
+
+    /// Records a traced ingest wait as an exemplar and refreshes the
+    /// `exemplars` gauge. No-op for untraced reports (`trace == 0`).
+    pub fn record_exemplar(&self, wait_nanos: u64, trace: u64) {
+        if trace == 0 {
+            return;
+        }
+        let count = self.ingest_wait_exemplars.record(wait_nanos, trace);
+        self.exemplars.store(count, Ordering::Relaxed);
     }
 }
 
@@ -254,8 +342,17 @@ pub struct NetStatsSnapshot {
     pub epoch: u64,
     /// Gauge: whether degraded mode was active at snapshot time.
     pub degraded: bool,
+    /// Spans overwritten in the causal span sink before being read.
+    pub spans_dropped: u64,
+    /// Trace ids minted in this process (sampled admits + forced sheds).
+    pub traces_sampled: u64,
+    /// Gauge: exemplar trace ids attached to ingest-wait buckets.
+    pub exemplars: u64,
     /// Wait from admission-queue entry to successful engine hand-off.
     pub ingest_wait_nanos: LogHistogram,
+    /// Per-bucket exemplar trace ids for `ingest_wait_nanos`, slowest
+    /// bucket first.
+    pub ingest_wait_exemplars: Vec<WaitExemplar>,
 }
 
 impl NetStatsSnapshot {
@@ -301,6 +398,25 @@ mod tests {
         assert_eq!(snap.shed_deadline_exceeded, 0);
         assert_eq!(snap.shed_session_quota, 0);
         assert_eq!(snap.shed_total(), 3);
+    }
+
+    #[test]
+    fn exemplars_keep_the_slowest_per_bucket() {
+        let stats = NetStats::default();
+        // Untraced waits never become exemplars.
+        stats.record_exemplar(1_000, 0);
+        assert_eq!(stats.snapshot().exemplars, 0);
+        // 1_000 and 1_010 share a bucket: the slower wait wins it.
+        stats.record_exemplar(1_010, 0xB);
+        stats.record_exemplar(1_000, 0xA);
+        stats.record_exemplar(1_000_000, 0xC);
+        let snap = stats.snapshot();
+        assert_eq!(snap.exemplars, 2);
+        assert_eq!(snap.ingest_wait_exemplars.len(), 2);
+        // Slowest bucket first, and the shared bucket kept trace 0xB.
+        assert_eq!(snap.ingest_wait_exemplars[0].trace, 0xC);
+        assert_eq!(snap.ingest_wait_exemplars[1].trace, 0xB);
+        assert_eq!(snap.ingest_wait_exemplars[1].wait_nanos, 1_010);
     }
 
     #[test]

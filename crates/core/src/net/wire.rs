@@ -44,8 +44,13 @@
 use super::stats::ShedReason;
 use std::io::{Read, Write};
 
-/// Protocol version carried in every frame header.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in every frame header. Version 2 added a
+/// trailing 64-bit causal trace id to [`Message::Report`] and
+/// [`Message::WalAppend`]; version-1 frames are still decoded (their
+/// trace id is 0, "untraced").
+pub const PROTOCOL_VERSION: u8 = 2;
+/// Oldest protocol version this build still decodes.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
 /// Size of the fixed frame header: payload length, version, message type.
 pub const HEADER_LEN: usize = 6;
 /// Hard cap on a frame's payload length; larger headers are a protocol
@@ -153,6 +158,9 @@ pub enum Message {
         x: f64,
         /// New y coordinate.
         y: f64,
+        /// Causal trace id threaded through the pipeline (0 = untraced).
+        /// Absent on the wire before protocol version 2.
+        trace: u64,
     },
     /// Cumulative progress: every wire seq `<= handled_up_to` is terminal
     /// (accepted or shed) and must not be retransmitted. The handshake
@@ -221,6 +229,9 @@ pub enum Message {
         x: f64,
         /// New y coordinate.
         y: f64,
+        /// Causal trace id of the originating report (0 = untraced).
+        /// Absent on the wire before protocol version 2.
+        trace: u64,
     },
     /// Fencing probe: "which epoch is serving here?". Sent by a standby
     /// before promoting; a live primary echoes back its own epoch, which
@@ -270,7 +281,8 @@ impl std::fmt::Display for WireError {
             WireError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (speak {PROTOCOL_VERSION})"
+                    "unsupported protocol version {v} \
+                     (speak {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
                 )
             }
             WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
@@ -385,6 +397,7 @@ impl Message {
                 unit,
                 x,
                 y,
+                trace,
             } => {
                 put_u64(&mut payload, *seq);
                 put_u64(&mut payload, *unit_seq);
@@ -392,6 +405,7 @@ impl Message {
                 put_u32(&mut payload, *unit);
                 put_u64(&mut payload, x.to_bits());
                 put_u64(&mut payload, y.to_bits());
+                put_u64(&mut payload, *trace);
             }
             Message::Ack {
                 session,
@@ -441,6 +455,7 @@ impl Message {
                 unit,
                 x,
                 y,
+                trace,
             } => {
                 put_u64(&mut payload, *epoch);
                 put_u64(&mut payload, *unit_seq);
@@ -448,6 +463,7 @@ impl Message {
                 put_u32(&mut payload, *unit);
                 put_u64(&mut payload, x.to_bits());
                 put_u64(&mut payload, y.to_bits());
+                put_u64(&mut payload, *trace);
             }
             Message::PromoteQuery { epoch } => put_u64(&mut payload, *epoch),
         }
@@ -460,9 +476,12 @@ impl Message {
         out.extend_from_slice(&payload);
     }
 
-    /// Decodes a payload given its validated header fields.
+    /// Decodes a payload given its validated header fields. Accepts any
+    /// version in `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION`: version-1
+    /// `Report`/`WalAppend` payloads lack the trailing trace id and
+    /// decode with `trace = 0` (untraced).
     pub fn decode(version: u8, msg_type: u8, payload: &[u8]) -> Result<Message, WireError> {
-        if version != PROTOCOL_VERSION {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
             return Err(WireError::UnsupportedVersion(version));
         }
         let mut cur = Cursor::new(payload);
@@ -477,6 +496,7 @@ impl Message {
                 unit: cur.u32()?,
                 x: cur.f64()?,
                 y: cur.f64()?,
+                trace: if version >= 2 { cur.u64()? } else { 0 },
             },
             tag::ACK => Message::Ack {
                 session: cur.u64()?,
@@ -543,6 +563,7 @@ impl Message {
                 unit: cur.u32()?,
                 x: cur.f64()?,
                 y: cur.f64()?,
+                trace: if version >= 2 { cur.u64()? } else { 0 },
             },
             tag::PROMOTE_QUERY => Message::PromoteQuery { epoch: cur.u64()? },
             other => return Err(WireError::UnknownType(other)),
@@ -776,6 +797,7 @@ mod tests {
                 unit: 3,
                 x: 0.25,
                 y: -1.5,
+                trace: 0,
             },
             Message::Report {
                 seq: u64::MAX,
@@ -784,6 +806,7 @@ mod tests {
                 unit: u32::MAX,
                 x: f64::NAN,
                 y: f64::INFINITY,
+                trace: u64::MAX,
             },
             Message::Ack {
                 session: 9,
@@ -838,6 +861,7 @@ mod tests {
                 unit: u32::MAX,
                 x: -0.125,
                 y: 1e300,
+                trace: 0xDEAD_BEEF_CAFE_F00D,
             },
             Message::PromoteQuery { epoch: 0 },
             Message::PromoteQuery { epoch: u64::MAX },
@@ -867,6 +891,7 @@ mod tests {
             unit: 0,
             x: f64::NAN,
             y: f64::NEG_INFINITY,
+            trace: 7,
         };
         let mut bytes = Vec::new();
         msg.encode(&mut bytes);
@@ -965,6 +990,84 @@ mod tests {
         assert!(matches!(
             decoder.read_from(&mut std::io::Cursor::new(bytes)),
             Err(DecodeError::Wire(WireError::UnknownType(200)))
+        ));
+    }
+
+    #[test]
+    fn v1_report_and_wal_append_decode_untraced() {
+        // Hand-build version-1 frames (no trailing trace id): they must
+        // still decode, with trace = 0.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 3); // seq
+        put_u64(&mut payload, 44); // unit_seq
+        put_u64(&mut payload, 9); // ts
+        put_u32(&mut payload, 6); // unit
+        put_u64(&mut payload, 0.25f64.to_bits());
+        put_u64(&mut payload, (-1.5f64).to_bits());
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, ctup_spatial::convert::id32(payload.len()));
+        bytes.push(MIN_PROTOCOL_VERSION);
+        bytes.push(tag::REPORT);
+        bytes.extend_from_slice(&payload);
+        let mut decoder = FrameDecoder::new();
+        let got = decoder
+            .read_from(&mut std::io::Cursor::new(bytes))
+            .expect("v1 report decodes");
+        assert_eq!(
+            got,
+            Message::Report {
+                seq: 3,
+                unit_seq: 44,
+                ts: 9,
+                unit: 6,
+                x: 0.25,
+                y: -1.5,
+                trace: 0,
+            }
+        );
+
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 2); // epoch
+        put_u64(&mut payload, 44); // unit_seq
+        put_u64(&mut payload, 9); // ts
+        put_u32(&mut payload, 6); // unit
+        put_u64(&mut payload, 0.25f64.to_bits());
+        put_u64(&mut payload, (-1.5f64).to_bits());
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, ctup_spatial::convert::id32(payload.len()));
+        bytes.push(MIN_PROTOCOL_VERSION);
+        bytes.push(tag::WAL_APPEND);
+        bytes.extend_from_slice(&payload);
+        let mut decoder = FrameDecoder::new();
+        match decoder
+            .read_from(&mut std::io::Cursor::new(bytes))
+            .expect("v1 wal append decodes")
+        {
+            Message::WalAppend { epoch, trace, .. } => {
+                assert_eq!(epoch, 2);
+                assert_eq!(trace, 0);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+
+        // A v1 frame that *does* carry the trace id is over-long for v1.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 3);
+        put_u64(&mut payload, 44);
+        put_u64(&mut payload, 9);
+        put_u32(&mut payload, 6);
+        put_u64(&mut payload, 0.25f64.to_bits());
+        put_u64(&mut payload, (-1.5f64).to_bits());
+        put_u64(&mut payload, 77); // trace, illegal in v1
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, ctup_spatial::convert::id32(payload.len()));
+        bytes.push(MIN_PROTOCOL_VERSION);
+        bytes.push(tag::REPORT);
+        bytes.extend_from_slice(&payload);
+        let mut decoder = FrameDecoder::new();
+        assert!(matches!(
+            decoder.read_from(&mut std::io::Cursor::new(bytes)),
+            Err(DecodeError::Wire(WireError::TrailingBytes))
         ));
     }
 
@@ -1121,6 +1224,7 @@ mod tests {
                 unit: 1,
                 x: 0.5,
                 y: -0.5,
+                trace: 9,
             },
             Message::PromoteQuery { epoch: 2 },
         ];
@@ -1195,6 +1299,7 @@ mod tests {
                     unit: 11,
                     x: 0.25,
                     y: 0.75,
+                    trace: next(),
                 },
                 Message::PromoteQuery { epoch },
             ];
@@ -1255,6 +1360,7 @@ mod tests {
                 unit: 5,
                 x: 0.5,
                 y: 0.5,
+                trace: next(),
             }
             .encode(&mut bytes);
             let idx = usize::try_from(next()).unwrap_or(0) % bytes.len();

@@ -37,7 +37,7 @@ use crate::config::{CtupConfig, QueryMode};
 use crate::metrics::Metrics;
 use crate::opt::OptCtup;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId};
-use ctup_obs::{AtomicHistogram, LatencySnapshot};
+use ctup_obs::{now_nanos, AtomicHistogram, LatencySnapshot, SpanSink, Stage};
 use ctup_spatial::{convert, Point};
 use ctup_storage::{PlaceStore, StorageError};
 use std::sync::mpsc::{Receiver, Sender};
@@ -100,6 +100,12 @@ pub struct ShardedCtup {
     last_sk: Option<Safety>,
     metrics: Metrics,
     init_stats: InitStats,
+    /// Causal span sink for per-shard illumination/merge spans; attached
+    /// via [`CtupAlgorithm::attach_span_recorder`].
+    spans: Option<Arc<SpanSink>>,
+    /// One-shot trace context armed by [`CtupAlgorithm::set_trace_context`]
+    /// and consumed by the next batch.
+    trace: u64,
 }
 
 impl std::fmt::Debug for ShardedCtup {
@@ -176,6 +182,8 @@ impl ShardedCtup {
             last_sk: None,
             metrics: Metrics::default(),
             init_stats: InitStats::default(),
+            spans: None,
+            trace: 0,
             config,
             store,
             workers,
@@ -239,6 +247,11 @@ impl ShardedCtup {
         if updates.is_empty() {
             return Ok(UpdateStats::default());
         }
+        // The trace context is one-shot: consumed by this batch so a stale
+        // id never leaks onto later untraced batches.
+        let trace = std::mem::take(&mut self.trace);
+        let sink = if trace != 0 { self.spans.clone() } else { None };
+        let fanout_start = sink.as_ref().map(|_| now_nanos());
         let count = convert::count64(updates.len());
         for update in &updates {
             let idx = update.unit.index();
@@ -265,6 +278,25 @@ impl ShardedCtup {
             batch_stats.cells_accessed += reply.stats.cells_accessed;
             batch_stats.maintain_nanos = batch_stats.maintain_nanos.max(reply.stats.maintain_nanos);
             batch_stats.access_nanos = batch_stats.access_nanos.max(reply.stats.access_nanos);
+            if let (Some(s), Some(t0)) = (sink.as_deref(), fanout_start) {
+                // Per-shard illumination span: the shard's measured
+                // maintain+access window, reconstructed on the coordinator
+                // from the reply (the worker threads stay span-free). The
+                // shard index keys the span id, so the N spans of one
+                // trace stay distinct.
+                let phase = reply
+                    .stats
+                    .maintain_nanos
+                    .saturating_add(reply.stats.access_nanos);
+                s.record_stage(
+                    trace,
+                    Stage::ShardPhase,
+                    reply.shard,
+                    t0,
+                    t0.saturating_add(phase),
+                    true,
+                );
+            }
             self.shard_metrics[convert::index(reply.shard)] = reply.metrics;
             merged.extend(reply.result);
         }
@@ -272,6 +304,7 @@ impl ShardedCtup {
             return Err(e);
         }
 
+        let merge_start = sink.as_ref().map(|_| now_nanos());
         let (result, sk) = merge_results(merged, self.config.mode);
         let changed = result != self.last_result;
         self.last_result = result;
@@ -283,6 +316,9 @@ impl ShardedCtup {
         }
         self.rebuild_merged_metrics();
         batch_stats.result_changed = changed;
+        if let (Some(s), Some(m0)) = (sink.as_deref(), merge_start) {
+            s.record_stage(trace, Stage::Merge, 0, m0, now_nanos(), true);
+        }
         Ok(batch_stats)
     }
 
@@ -399,6 +435,18 @@ impl CtupAlgorithm for ShardedCtup {
 
     fn internal_latency(&self) -> Option<LatencySnapshot> {
         Some(self.shard_latency())
+    }
+
+    fn attach_span_recorder(&mut self, spans: Arc<SpanSink>) {
+        self.spans = Some(spans);
+    }
+
+    fn set_trace_context(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+
+    fn records_spans(&self) -> bool {
+        self.spans.is_some()
     }
 }
 
@@ -667,6 +715,45 @@ mod tests {
             sharded.handle_update(update).expect("sharded update");
             assert_eq!(seq.result(), sharded.result());
         }
+    }
+
+    /// With a recorder attached and a trace armed, one batch records one
+    /// illumination span per shard (keyed by shard index) plus one merge
+    /// span — and the trace context is one-shot, so the next batch records
+    /// nothing.
+    #[test]
+    fn traced_batch_records_per_shard_and_merge_spans() {
+        let sink = Arc::new(SpanSink::new(256));
+        let mut sharded =
+            ShardedCtup::new(CtupConfig::with_k(5), fresh_store(), &units(), 3).expect("init");
+        sharded.attach_span_recorder(Arc::clone(&sink));
+        assert!(sharded.records_spans());
+        let trace = 0xABCD;
+        sharded.set_trace_context(trace);
+        sharded.handle_batch(updates(4, 0x5EED)).expect("batch");
+        sharded
+            .handle_batch(updates(4, 0x0DD))
+            .expect("untraced batch");
+
+        let snap = sink.snapshot();
+        let shard_spans: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.stage == Stage::ShardPhase)
+            .collect();
+        assert_eq!(shard_spans.len(), 3, "one illumination span per shard");
+        let mut ks: Vec<u32> = shard_spans.iter().map(|s| s.aux).collect();
+        ks.sort_unstable();
+        assert_eq!(ks, vec![0, 1, 2]);
+        assert_eq!(
+            snap.spans
+                .iter()
+                .filter(|s| s.stage == Stage::Merge)
+                .count(),
+            1,
+            "exactly one merge span: the second batch ran untraced"
+        );
+        assert!(snap.spans.iter().all(|s| s.trace == trace));
     }
 
     #[test]

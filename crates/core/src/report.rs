@@ -25,6 +25,22 @@ use ctup_obs::json::ObjectWriter;
 use ctup_obs::{summarize, LatencySnapshot, LogHistogram};
 use ctup_storage::StorageStatsSnapshot;
 
+/// Crate version baked into the binary at compile time.
+pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Git commit the binary was built from. CI stamps it by exporting
+/// `CTUP_GIT_SHA` at build time; local builds report `unknown`.
+pub const BUILD_GIT_SHA: &str = match option_env!("CTUP_GIT_SHA") {
+    Some(sha) => sha,
+    None => "unknown",
+};
+
+/// `version+git_sha` build identifier, exposed as the `build` field of
+/// `/healthz` and the `ctup_build_info` Prometheus gauge.
+pub fn build_info() -> String {
+    format!("{BUILD_VERSION}+{BUILD_GIT_SHA}")
+}
+
 /// One coherent view of everything measured during a run: identity,
 /// counters, gauges and latency distributions.
 #[derive(Debug, Clone, Default)]
@@ -130,6 +146,8 @@ impl Snapshot {
             ("net_snapshots_pushed", n.snapshots_pushed),
             ("net_engine_restarts", n.engine_restarts),
             ("net_failovers", n.failovers),
+            ("net_spans_dropped", n.spans_dropped),
+            ("net_traces_sampled", n.traces_sampled),
         ]
     }
 
@@ -153,6 +171,7 @@ impl Snapshot {
             ("net_degraded", u64::from(n.degraded)),
             ("net_degraded_since_ms", n.degraded_since_ms),
             ("net_epoch", n.epoch),
+            ("net_exemplars", n.exemplars),
         ]
     }
 
@@ -232,6 +251,23 @@ impl Snapshot {
             h.field_u64("p99", hist.quantile(0.99));
             h.field_u64("p999", hist.quantile(0.999));
             h.field_str("encoded", &hist.encode());
+            // Exemplar trace ids for the front door's wait histogram:
+            // jump from a slow bucket straight to `ctup trace <id>`.
+            if name == "net_ingest_wait_nanos" && !self.net.ingest_wait_exemplars.is_empty() {
+                let mut items = String::from("[");
+                for (i, e) in self.net.ingest_wait_exemplars.iter().enumerate() {
+                    if i > 0 {
+                        items.push(',');
+                    }
+                    let mut ex = ObjectWriter::new();
+                    ex.field_u64("bucket", u64::from(e.bucket))
+                        .field_u64("wait_nanos", e.wait_nanos)
+                        .field_u64("trace", e.trace);
+                    items.push_str(&ex.finish());
+                }
+                items.push(']');
+                h.field_raw("exemplars", &items);
+            }
             hists.field_raw(name, &h.finish());
         }
         root.field_raw("histograms", &hists.finish());
@@ -257,6 +293,14 @@ impl Snapshot {
         out.push(' ');
         out.push_str(&format_ratio(self.cache_hit_ratio()));
         out.push('\n');
+        // Build identity: constant 1 with the version/sha as labels, the
+        // conventional Prometheus shape for build metadata.
+        out.push_str("# TYPE ctup_build_info gauge\n");
+        out.push_str("ctup_build_info{version=\"");
+        out.push_str(&escape_label(BUILD_VERSION));
+        out.push_str("\",git_sha=\"");
+        out.push_str(&escape_label(BUILD_GIT_SHA));
+        out.push_str("\"} 1\n");
         for (name, hist) in self.histograms() {
             render_prom_histogram(&mut out, name, &escape_label(&self.algorithm), hist);
         }
@@ -395,9 +439,9 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), total, "duplicate series name");
-        // 10 Metrics counters + 13 resilience + 10 storage + 19 net
-        // + 3 algorithm gauges + 5 net gauges.
-        assert_eq!(total, 60);
+        // 10 Metrics counters + 13 resilience + 10 storage + 21 net
+        // + 3 algorithm gauges + 6 net gauges.
+        assert_eq!(total, 63);
     }
 
     #[test]
@@ -412,6 +456,14 @@ mod tests {
         snap.net.degraded_since_ms = 250;
         snap.net.epoch = 3;
         snap.net.ingest_wait_nanos.record(12_345);
+        snap.net.spans_dropped = 5;
+        snap.net.traces_sampled = 9;
+        snap.net.exemplars = 1;
+        snap.net.ingest_wait_exemplars = vec![crate::net::stats::WaitExemplar {
+            bucket: 123,
+            wait_nanos: 12_345,
+            trace: 0xDEAD,
+        }];
         let text = snap.render_text();
         assert!(text.contains("net_reports_accepted: 11\n"));
         assert!(text.contains("net_shed_queue_full: 2\n"));
@@ -421,6 +473,9 @@ mod tests {
         assert!(text.contains("net_failovers: 1\n"));
         assert!(text.contains("net_degraded_since_ms: 250\n"));
         assert!(text.contains("net_epoch: 3\n"));
+        assert!(text.contains("net_spans_dropped: 5\n"));
+        assert!(text.contains("net_traces_sampled: 9\n"));
+        assert!(text.contains("net_exemplars: 1\n"));
         assert!(text.contains("net_ingest_wait_nanos: n=1 "));
         let json = snap.render_json();
         assert!(json.contains("\"net_reports_accepted\":11"));
@@ -431,7 +486,14 @@ mod tests {
         assert!(json.contains("\"net_failovers\":1"));
         assert!(json.contains("\"net_degraded_since_ms\":250"));
         assert!(json.contains("\"net_epoch\":3"));
+        assert!(json.contains("\"net_spans_dropped\":5"));
+        assert!(json.contains("\"net_traces_sampled\":9"));
+        assert!(json.contains("\"net_exemplars\":1"));
         assert!(json.contains("\"net_ingest_wait_nanos\":{"));
+        // The wait histogram carries its exemplar trace ids in JSON.
+        assert!(
+            json.contains("\"exemplars\":[{\"bucket\":123,\"wait_nanos\":12345,\"trace\":57005}]")
+        );
         let prom = snap.render_prom();
         assert!(prom.contains("# TYPE ctup_net_shed_queue_full counter\n"));
         assert!(prom.contains("ctup_net_shed_queue_full{algorithm=\"opt\"} 2\n"));
@@ -439,6 +501,9 @@ mod tests {
         assert!(prom.contains("# TYPE ctup_net_engine_restarts counter\n"));
         assert!(prom.contains("# TYPE ctup_net_failovers counter\n"));
         assert!(prom.contains("ctup_net_epoch{algorithm=\"opt\"} 3\n"));
+        assert!(prom.contains("# TYPE ctup_net_spans_dropped counter\n"));
+        assert!(prom.contains("ctup_net_traces_sampled{algorithm=\"opt\"} 9\n"));
+        assert!(prom.contains("ctup_net_exemplars{algorithm=\"opt\"} 1\n"));
         assert!(prom.contains("ctup_net_ingest_wait_nanos_count{algorithm=\"opt\"} 1\n"));
     }
 
@@ -486,6 +551,10 @@ mod tests {
         assert!(prom.contains("le=\"+Inf\"} 4\n"));
         assert!(prom.contains("# TYPE ctup_cache_hit_ratio gauge\n"));
         assert!(prom.contains("ctup_cache_hit_ratio{algorithm=\"opt\"} 0.250000\n"));
+        assert!(prom.contains("# TYPE ctup_build_info gauge\n"));
+        assert!(prom.contains(&format!(
+            "ctup_build_info{{version=\"{BUILD_VERSION}\",git_sha=\"{BUILD_GIT_SHA}\"}} 1\n"
+        )));
         // Every sample line must end in a number; the derived hit ratio is
         // the one float series, so parse as f64 (integers parse too).
         for line in prom.lines() {

@@ -41,13 +41,15 @@
 
 use crate::checkpoint::{Checkpoint, Checkpointable};
 use crate::durable::DurableState;
-use crate::ingest::{IngestConfig, IngestGate, StampedUpdate};
+use crate::ingest::{IngestConfig, IngestGate, StampedUpdate, TracedReport};
 use crate::metrics::{Metrics, ResilienceStats};
 use crate::pipeline::{EventBatch, SendError};
 use crate::server::Server;
 use crate::types::{LocationUpdate, TopKEntry};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use ctup_obs::{LatencySnapshot, ObsHub, PhaseTimer, TraceEvent, TraceOutcome};
+use ctup_obs::{
+    now_nanos, LatencySnapshot, ObsHub, PhaseTimer, SpanSink, Stage, TraceEvent, TraceOutcome,
+};
 use ctup_spatial::convert;
 use ctup_storage::PlaceStore;
 use std::collections::HashSet;
@@ -58,7 +60,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Tuning of the resilience layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ResilienceConfig {
     /// Liveness lease TTL in feed ticks; `None` disables leases (units
     /// never expire). See [`IngestConfig::lease_ttl`].
@@ -98,6 +100,12 @@ pub struct ResilienceConfig {
     /// later dumps overwriting it. `0` disables rotation (the canonical
     /// file is overwritten in place).
     pub flight_recorder_keep: usize,
+    /// Causal span sink the worker records per-report pipeline spans into
+    /// (engine-apply, shard-phase, merge, snapshot-publish, wal-append,
+    /// checkpoint — see [`ctup_obs::span`]). Only reports handed over with
+    /// a non-zero trace id via [`SupervisedPipeline::send_traced`] record
+    /// spans; `None` disables recording entirely.
+    pub spans: Option<Arc<SpanSink>>,
 }
 
 impl Default for ResilienceConfig {
@@ -112,6 +120,7 @@ impl Default for ResilienceConfig {
             tear_slot_on_kill: false,
             flight_recorder_capacity: 256,
             flight_recorder_keep: 4,
+            spans: None,
         }
     }
 }
@@ -159,7 +168,7 @@ pub struct SupervisedReport {
 /// A monitoring server on a supervised worker thread: validated ingest,
 /// liveness leases, panic containment and checkpoint-restart.
 pub struct SupervisedPipeline {
-    reports_tx: Option<Sender<StampedUpdate>>,
+    reports_tx: Option<Sender<TracedReport>>,
     events_rx: Receiver<EventBatch>,
     worker: Option<JoinHandle<SupervisedReport>>,
     durable_mark: Arc<AtomicU64>,
@@ -303,7 +312,7 @@ impl SupervisedPipeline {
         A: Checkpointable + Send + 'static,
     {
         assert!(capacity > 0, "capacity must be positive");
-        let (reports_tx, reports_rx) = bounded::<StampedUpdate>(capacity);
+        let (reports_tx, reports_rx) = bounded::<TracedReport>(capacity);
         let (events_tx, events_rx) = bounded::<EventBatch>(capacity);
         let durable_mark = Arc::new(AtomicU64::new(0));
         let worker_mark = Arc::clone(&durable_mark);
@@ -335,6 +344,13 @@ impl SupervisedPipeline {
     /// [`SendError::WorkerDied`] once the worker has stopped (gave up, or a
     /// defect outside the contained region killed it).
     pub fn send(&self, report: StampedUpdate) -> Result<(), SendError> {
+        self.send_traced(TracedReport::untraced(report))
+    }
+
+    /// Sends one report with its causal trace context, blocking while the
+    /// queue is full. The worker records per-stage spans for it when
+    /// [`ResilienceConfig::spans`] is set and the trace id is non-zero.
+    pub fn send_traced(&self, report: TracedReport) -> Result<(), SendError> {
         let Some(tx) = self.reports_tx.as_ref() else {
             return Err(SendError::WorkerDied); // only after shutdown() took the sender
         };
@@ -344,6 +360,11 @@ impl SupervisedPipeline {
     /// Sends one stamped report without blocking; [`SendError::Full`] under
     /// backpressure, [`SendError::WorkerDied`] once the worker stopped.
     pub fn try_send(&self, report: StampedUpdate) -> Result<(), SendError> {
+        self.try_send_traced(TracedReport::untraced(report))
+    }
+
+    /// Non-blocking variant of [`SupervisedPipeline::send_traced`].
+    pub fn try_send_traced(&self, report: TracedReport) -> Result<(), SendError> {
         let Some(tx) = self.reports_tx.as_ref() else {
             return Err(SendError::WorkerDied); // only after shutdown() took the sender
         };
@@ -419,17 +440,23 @@ impl Drop for SupervisedPipeline {
 /// The worker loop. Runs on the supervisor thread until the report channel
 /// closes or recovery is exhausted.
 fn supervise<A>(
-    algorithm: A,
+    mut algorithm: A,
     mut gate: IngestGate,
     config: ResilienceConfig,
     initial_stats: ResilienceStats,
-    reports_rx: Receiver<StampedUpdate>,
+    reports_rx: Receiver<TracedReport>,
     events_tx: Sender<EventBatch>,
     durable_mark: Arc<AtomicU64>,
 ) -> SupervisedReport
 where
     A: Checkpointable,
 {
+    if let Some(sink) = config.spans.as_ref() {
+        // Engines with internal phase structure (the sharded engine)
+        // record their own per-shard illumination/merge spans; the
+        // supervisor then skips its aggregate shard-phase/merge spans.
+        algorithm.attach_span_recorder(Arc::clone(sink));
+    }
     let store = algorithm.store();
     let mut base = {
         let mut c = algorithm.checkpoint();
@@ -484,7 +511,28 @@ where
         };
     }
 
-    'recv: for report in reports_rx.iter() {
+    'recv: for traced in reports_rx.iter() {
+        let TracedReport {
+            report,
+            trace,
+            handed_nanos,
+        } = traced;
+        // Span recording is armed per report: a sink must be configured
+        // and the report must carry a trace id. Gate-rejected replays fall
+        // through untraced below — a deduplicated redelivery must not
+        // re-record the engine-apply span its first delivery produced.
+        let sink = if trace != 0 {
+            config.spans.as_deref()
+        } else {
+            None
+        };
+        let apply_start = sink.map(|_| {
+            if handed_nanos != 0 {
+                handed_nanos
+            } else {
+                now_nanos()
+            }
+        });
         reports_received += 1;
         let effective = match gate.admit(report, &mut stats) {
             Ok(effective) => effective,
@@ -509,7 +557,12 @@ where
         if let Some(d) = durable.as_mut() {
             // Write-ahead: the accepted wire report hits the journal before
             // it touches the monitor, so a crash between the two replays it.
-            if d.append(report).is_err() {
+            let wal_start = sink.map(|_| now_nanos());
+            let appended = d.append(report);
+            if let (Some(s), Some(w0)) = (sink, wal_start) {
+                s.record_stage(trace, Stage::WalAppend, 0, w0, now_nanos(), true);
+            }
+            if appended.is_err() {
                 gave_up = true;
                 break 'recv;
             }
@@ -518,7 +571,13 @@ where
         // configuration): the front door may ack it. This happens *before*
         // the apply below, so a kill mid-apply loses nothing acked.
         durable_mark.fetch_add(1, Ordering::Release);
-        for update in effective {
+        // One accepted report can expand to several effective updates
+        // (lease parks precede the accepted position). Spans attach to the
+        // *last* — the accepted report itself — so one trace records one
+        // engine-apply chain and deterministic span ids never collide.
+        let last_idx = effective.len().saturating_sub(1);
+        for (idx, update) in effective.into_iter().enumerate() {
+            let sink = sink.filter(|_| idx == last_idx);
             // Simulated process death: stop mid-stream with no final
             // checkpoint, optionally tearing the newest slot the way a
             // death mid-checkpoint-write would.
@@ -544,6 +603,10 @@ where
                 // One-shot injected fault: consumed even if recovery later
                 // fails, so a retry of the same seq proceeds normally.
                 let inject = panic_at.remove(&eff_seq);
+                if sink.is_some() {
+                    server.algorithm_mut().set_trace_context(trace);
+                }
+                let t0 = sink.map(|_| now_nanos());
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     if inject {
                         // ctup-lint: allow(L001, deliberate fault injection — this panic exists to exercise the catch_unwind/recovery path around it)
@@ -562,6 +625,32 @@ where
                             result_changed: update_stats.result_changed,
                             outcome: TraceOutcome::Applied,
                         });
+                        let publish_start = match (sink, t0, apply_start) {
+                            (Some(s), Some(t0), Some(a0)) => {
+                                let t1 = now_nanos();
+                                // Engine-apply covers hand-off (channel
+                                // wait, gate, journal) up to the successful
+                                // apply attempt; retries after a contained
+                                // crash fold into it.
+                                s.record_stage(trace, Stage::EngineApply, 0, a0, t0, true);
+                                if !server.algorithm().records_spans() {
+                                    // Aggregate phase split for engines
+                                    // without internal span recording: the
+                                    // measured maintain+access window is
+                                    // the illumination phase, the rest of
+                                    // the ingest (result diff, event
+                                    // derivation) the merge.
+                                    let phase = update_stats
+                                        .maintain_nanos
+                                        .saturating_add(update_stats.access_nanos);
+                                    let mid = t0.saturating_add(phase).min(t1);
+                                    s.record_stage(trace, Stage::ShardPhase, 0, t0, mid, true);
+                                    s.record_stage(trace, Stage::Merge, 0, mid, t1, true);
+                                }
+                                Some(t1)
+                            }
+                            _ => None,
+                        };
                         if !events.is_empty() {
                             events_emitted += convert::count64(events.len());
                             // Consumers hanging up must not stop monitoring.
@@ -570,11 +659,18 @@ where
                                 events,
                             });
                         }
+                        if let (Some(s), Some(p0)) = (sink, publish_start) {
+                            // Recorded even for an empty batch: the publish
+                            // span closes the causal chain whether or not
+                            // this update changed the top-k.
+                            s.record_stage(trace, Stage::SnapshotPublish, 0, p0, now_nanos(), true);
+                        }
                         eff_seq += 1;
                         tail.push(update);
                         if config.checkpoint_every > 0
                             && convert::count64(tail.len()) >= config.checkpoint_every
                         {
+                            let ckpt_start = sink.map(|_| now_nanos());
                             let mut timer = PhaseTimer::start();
                             let mut c = server.algorithm().checkpoint();
                             c.gate = Some(gate.state());
@@ -585,6 +681,11 @@ where
                                 }
                             }
                             obs.record_checkpoint(eff_seq, timer.lap());
+                            if let (Some(s), Some(c0)) = (sink, ckpt_start) {
+                                // The update that tripped the periodic
+                                // checkpoint carries its cost as a span.
+                                s.record_stage(trace, Stage::Checkpoint, 0, c0, now_nanos(), true);
+                            }
                             base = c;
                             tail.clear();
                             stats.checkpoints_taken += 1;
@@ -629,6 +730,13 @@ where
                         match recover::<A>(base.clone(), store.clone(), &tail) {
                             Ok((recovered, suppressed)) => {
                                 server = recovered;
+                                if let Some(sink) = config.spans.as_ref() {
+                                    // The restored engine starts without a
+                                    // recorder; re-arm it.
+                                    server
+                                        .algorithm_mut()
+                                        .attach_span_recorder(Arc::clone(sink));
+                                }
                                 stats.updates_replayed += convert::count64(tail.len());
                                 stats.events_suppressed += suppressed;
                                 // ...then retry the crashing update.
@@ -725,9 +833,13 @@ fn rotate_flight_dumps(dir: &Path, keep: usize) {
         }
     }
     indices.sort_unstable();
-    let next = indices.last().map_or(1, |n| n.saturating_add(1));
-    let rotated = dir.join(format!("{FLIGHT_RECORDER_ROTATED_PREFIX}{next}.jsonl"));
-    if std::fs::rename(&canonical, rotated).is_err() {
+    let start = indices.last().map_or(1, |n| n.saturating_add(1));
+    let Some((next, rotated)) = reserve_rotation_slot(dir, start) else {
+        return;
+    };
+    if std::fs::rename(&canonical, &rotated).is_err() {
+        // The dump never moved; release the claimed (empty) slot.
+        let _ = std::fs::remove_file(&rotated);
         return;
     }
     indices.push(next);
@@ -738,6 +850,33 @@ fn rotate_flight_dumps(dir: &Path, keep: usize) {
         let _ = std::fs::remove_file(
             dir.join(format!("{FLIGHT_RECORDER_ROTATED_PREFIX}{victim}.jsonl")),
         );
+    }
+}
+
+/// Claims the first free rotation index at or above `start` by creating
+/// `flight-recorder-<n>.jsonl` exclusively, returning the claimed index
+/// and path. Two rotations racing in the same directory — a self-heal
+/// respawn dumping while its dying sibling still is, within the same
+/// second — both scan the same highest index; the directory scan alone
+/// would send both to the same path and the later `rename` would clobber
+/// the earlier dump. `create_new` is atomic, so the loser observes
+/// `AlreadyExists` and advances to the next index: the sequence suffix is
+/// monotonic per directory even under concurrent rotations.
+fn reserve_rotation_slot(dir: &Path, start: u64) -> Option<(u64, PathBuf)> {
+    let mut next = start.max(1);
+    loop {
+        let candidate = dir.join(format!("{FLIGHT_RECORDER_ROTATED_PREFIX}{next}.jsonl"));
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&candidate)
+        {
+            Ok(_) => return Some((next, candidate)),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                next = next.checked_add(1)?;
+            }
+            Err(_) => return None,
+        }
     }
 }
 
@@ -1316,6 +1455,113 @@ mod tests {
             std::fs::read_to_string(dir.join(format!("{FLIGHT_RECORDER_ROTATED_PREFIX}1.jsonl")))
                 .expect("first dump");
         assert!(first.lines().last().expect("lines").contains("\"seq\":10,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two rotations that scanned the directory at the same instant (a
+    /// self-heal respawn dumping while its dying sibling still is, within
+    /// the same second) must claim distinct sequence suffixes — before the
+    /// atomic reservation both computed the same index and the later
+    /// rename clobbered the earlier dump.
+    #[test]
+    #[cfg_attr(miri, ignore)] // the reservation files live on the real filesystem
+    fn same_second_rotations_claim_distinct_paths() {
+        let dir = temp_state_dir();
+        std::fs::create_dir_all(&dir).expect("create dir");
+        // Both racers scanned an empty directory and start at index 1.
+        let (a, path_a) = reserve_rotation_slot(&dir, 1).expect("first slot");
+        let (b, path_b) = reserve_rotation_slot(&dir, 1).expect("second slot");
+        assert_eq!((a, b), (1, 2), "the loser advances past the claimed index");
+        assert_ne!(path_a, path_b);
+        // Each racer's rename lands on its own slot: both dumps survive.
+        std::fs::write(&path_a, "first\n").expect("write a");
+        std::fs::write(&path_b, "second\n").expect("write b");
+        assert_eq!(std::fs::read_to_string(&path_a).expect("a"), "first\n");
+        assert_eq!(std::fs::read_to_string(&path_b).expect("b"), "second\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The reservation is race-free under real concurrency: N threads all
+    /// starting from the same stale scan claim N distinct indices.
+    #[test]
+    #[cfg_attr(miri, ignore)] // the reservation files live on the real filesystem
+    fn rotation_reservation_is_race_free_across_threads() {
+        let dir = temp_state_dir();
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let dir = dir.clone();
+                std::thread::spawn(move || reserve_rotation_slot(&dir, 1).expect("slot").0)
+            })
+            .collect();
+        let mut got: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (1..=8).collect::<Vec<u64>>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A traced report records the full supervisor-side causal chain —
+    /// wal-append, engine-apply, shard-phase, merge, snapshot-publish —
+    /// under its trace id, with parent links intact; untraced reports
+    /// record nothing.
+    #[test]
+    #[cfg_attr(miri, ignore)] // durable state lives on the real filesystem
+    fn traced_report_records_causal_chain() {
+        use ctup_obs::{span_id, SpanSink};
+
+        let dir = temp_state_dir();
+        let sink = Arc::new(SpanSink::new(1024));
+        let units = unit_points(2);
+        let config = ResilienceConfig {
+            state_dir: Some(dir.clone()),
+            spans: Some(Arc::clone(&sink)),
+            ..ResilienceConfig::default()
+        };
+        let pipeline = SupervisedPipeline::spawn(monitor(&units), config, 64);
+        let stamped = stamp_stream(updates(2, 2));
+        let trace = 0xFACE_FEEDu64;
+        pipeline
+            .send_traced(TracedReport {
+                report: stamped[0],
+                trace,
+                handed_nanos: ctup_obs::now_nanos(),
+            })
+            .expect("worker alive");
+        pipeline.send(stamped[1]).expect("worker alive"); // untraced
+        pipeline.shutdown();
+
+        let snap = sink.snapshot();
+        let stages: Vec<Stage> = snap.spans.iter().map(|s| s.stage).collect();
+        for stage in [
+            Stage::WalAppend,
+            Stage::EngineApply,
+            Stage::ShardPhase,
+            Stage::Merge,
+            Stage::SnapshotPublish,
+        ] {
+            assert!(stages.contains(&stage), "missing {stage:?}");
+        }
+        for span in &snap.spans {
+            assert_eq!(span.trace, trace, "untraced report must record nothing");
+            assert!(span.end >= span.start);
+        }
+        // Parent links follow the canonical chain: merge hangs off
+        // engine-apply, the publish off the merge.
+        let merge = snap
+            .spans
+            .iter()
+            .find(|s| s.stage == Stage::Merge)
+            .expect("merge span");
+        assert_eq!(merge.parent, span_id(trace, Stage::EngineApply, 0));
+        let publish = snap
+            .spans
+            .iter()
+            .find(|s| s.stage == Stage::SnapshotPublish)
+            .expect("publish span");
+        assert_eq!(publish.parent, span_id(trace, Stage::Merge, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -12,7 +12,7 @@
 
 use ctup_core::net::wire::{
     ByeReason, DecodeError, FrameDecoder, Message, WireError, MAX_CHUNK_DATA, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use ctup_core::net::ShedReason;
 use proptest::prelude::*;
@@ -57,15 +57,17 @@ fn message() -> impl Strategy<Value = Message> {
             any::<u64>(),
             any::<u32>(),
             coord(),
-            coord()
+            coord(),
+            any::<u64>()
         )
-            .prop_map(|(seq, unit_seq, ts, unit, x, y)| Message::Report {
+            .prop_map(|(seq, unit_seq, ts, unit, x, y, trace)| Message::Report {
                 seq,
                 unit_seq,
                 ts,
                 unit,
                 x,
                 y,
+                trace,
             }),
         (any::<u64>(), any::<u64>()).prop_map(|(session, handled_up_to)| Message::Ack {
             session,
@@ -101,16 +103,20 @@ fn message() -> impl Strategy<Value = Message> {
             any::<u64>(),
             any::<u32>(),
             coord(),
-            coord()
+            coord(),
+            any::<u64>()
         )
-            .prop_map(|(epoch, unit_seq, ts, unit, x, y)| Message::WalAppend {
-                epoch,
-                unit_seq,
-                ts,
-                unit,
-                x,
-                y,
-            }),
+            .prop_map(
+                |(epoch, unit_seq, ts, unit, x, y, trace)| Message::WalAppend {
+                    epoch,
+                    unit_seq,
+                    ts,
+                    unit,
+                    x,
+                    y,
+                    trace,
+                }
+            ),
         any::<u64>().prop_map(|epoch| Message::PromoteQuery { epoch }),
     ]
 }
@@ -215,7 +221,10 @@ proptest! {
     /// the offending version, whatever the message was.
     #[test]
     fn foreign_versions_are_rejected(msg in message(), version in any::<u8>()) {
-        prop_assume!(version != PROTOCOL_VERSION);
+        // Anything inside MIN..=current is a *supported* wire version
+        // (v1 frames decode with trace = 0); only versions outside the
+        // band are foreign.
+        prop_assume!(!(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version));
         let mut bytes = Vec::new();
         msg.encode(&mut bytes);
         bytes[4] = version; // header layout: [len:4][version:1][type:1]

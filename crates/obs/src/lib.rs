@@ -9,6 +9,9 @@
 //! * [`trace`] — per-update [`trace::TraceEvent`]s and the fixed-capacity
 //!   [`trace::FlightRecorder`] ring the supervisor dumps as JSON Lines on
 //!   worker death.
+//! * [`span`] — the causal span layer: 64-bit trace ids threaded from the
+//!   client socket to the top-k publish, deterministic per-stage span ids,
+//!   and the lock-free bounded [`span::SpanSink`] rings merged on snapshot.
 //! * [`latency`] — [`latency::PhaseTimer`] for maintain/access phase
 //!   timing, the [`latency::ObsHub`] owning a run's recorder + histograms,
 //!   and the [`latency::LatencySnapshot`] view reports are built from.
@@ -24,9 +27,14 @@ pub mod hist;
 pub mod http;
 pub mod json;
 pub mod latency;
+pub mod span;
 pub mod trace;
 
 pub use hist::{AtomicHistogram, HistDecodeError, LogHistogram};
 pub use http::{MetricsPublisher, MetricsServer};
 pub use latency::{summarize, LatencySnapshot, ObsHub, PhaseTimer};
+pub use span::{
+    mint_trace, now_nanos, parent_span_id, sample_trace, span_id, Span, SpanCounters, SpanSink,
+    SpanSnapshot, Stage,
+};
 pub use trace::{FlightRecorder, TraceEvent, TraceOutcome};

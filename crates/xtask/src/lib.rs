@@ -15,6 +15,7 @@ pub mod lexer;
 pub mod obscheck;
 pub mod rules;
 pub mod source;
+pub mod spancheck;
 
 use fingerprint::FingerprintConfig;
 use rules::{MetricsCoverage, RuleSink, Violation};
@@ -194,7 +195,16 @@ mod tests {
     #[test]
     fn default_config_points_at_real_files() {
         let cfg = LintConfig::default();
-        assert_eq!(cfg.metrics.len(), 6);
+        assert_eq!(cfg.metrics.len(), 8);
+        // The span-layer health counters are covered twice, like the net
+        // counters: unified report renderer and CLI printouts.
+        assert_eq!(
+            cfg.metrics
+                .iter()
+                .filter(|m| m.struct_file == "crates/obs/src/span.rs")
+                .count(),
+            2
+        );
         // The net counters are covered twice: the Prometheus renderer and
         // the `ctup serve` shutdown report must each mention every field.
         assert_eq!(

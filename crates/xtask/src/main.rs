@@ -8,6 +8,7 @@
 //! cargo xtask promcheck [FILE]             # validate a Prometheus exposition (stdin default)
 //! cargo xtask flightcheck FILE             # validate a flight-recorder JSONL dump
 //! cargo xtask healthcheck [FILE]           # validate a /healthz body (stdin default)
+//! cargo xtask spancheck FILE               # validate a causal span JSONL dump
 //! ```
 
 use std::io::Read;
@@ -22,6 +23,7 @@ USAGE:
     cargo xtask promcheck [FILE]
     cargo xtask flightcheck FILE
     cargo xtask healthcheck [FILE]
+    cargo xtask spancheck FILE
 
 The lint subcommand runs the CTUP domain-invariant checker (rules
 L000–L005, see DESIGN.md §10; concurrency rules L006–L010, see
@@ -30,8 +32,12 @@ exposition (from `ctup report --format prom` or a `/metrics` scrape;
 reads stdin when FILE is omitted). flightcheck validates a
 flight-recorder JSONL dump and prints its event span. healthcheck
 validates a `/healthz` body from `ctup serve` (stdin when FILE is
-omitted): status/degraded must agree and the load gauges must be
-integers. Exit codes: 0 clean, 1 violations, 2 usage or I/O error."
+omitted): status/degraded must agree, the load gauges must be
+integers, and a `build` stamp must be present. spancheck validates a
+causal span JSONL dump from `ctup serve --span-dump` (DESIGN.md §17):
+parents before children, no orphaned spans, the canonical pipeline
+stages all covered. Exit codes: 0 clean, 1 violations, 2 usage or
+I/O error."
 }
 
 /// `promcheck [FILE]` — stdin when no file is given.
@@ -88,20 +94,47 @@ fn healthcheck(file: Option<&String>) -> ExitCode {
         Ok(summary) => {
             println!(
                 "healthcheck: status {:?}, degraded {}, {} session(s), queue depth {}, \
-                 {} restart(s), {} failover(s), epoch {}",
+                 {} restart(s), {} failover(s), epoch {}, build {}",
                 summary.status,
                 summary.degraded,
                 summary.sessions,
                 summary.queue_depth,
                 summary.engine_restarts,
                 summary.failovers,
-                summary.epoch
+                summary.epoch,
+                summary.build
             );
             ExitCode::SUCCESS
         }
         Err(problems) => {
             for p in &problems {
                 eprintln!("healthcheck: {p}");
+            }
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `spancheck FILE`.
+fn spancheck(file: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("spancheck: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::spancheck::check_spans(&text) {
+        Ok(summary) => {
+            println!(
+                "spancheck: {} span(s) across {} trace(s), {} complete chain(s)",
+                summary.spans, summary.traces, summary.complete_chains
+            );
+            ExitCode::SUCCESS
+        }
+        Err(problems) => {
+            for p in &problems {
+                eprintln!("spancheck: {p}");
             }
             ExitCode::from(1)
         }
@@ -149,6 +182,13 @@ fn main() -> ExitCode {
             Some(file) => return flightcheck(file),
             None => {
                 eprintln!("flightcheck requires a file\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        },
+        "spancheck" => match iter.next() {
+            Some(file) => return spancheck(file),
+            None => {
+                eprintln!("spancheck requires a file\n\n{}", usage());
                 return ExitCode::from(2);
             }
         },

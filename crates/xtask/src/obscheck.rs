@@ -276,6 +276,8 @@ pub struct HealthSummary {
     pub degraded_since_ms: u64,
     /// The fencing epoch the server serves at (≥ 1).
     pub epoch: u64,
+    /// The `version+git_sha` build stamp of the serving binary.
+    pub build: String,
 }
 
 /// The required non-negative integer gauges, in `HealthSummary` order.
@@ -292,9 +294,11 @@ const HEALTH_GAUGES: [&str; 6] = [
 /// whose `status` string and `degraded` boolean must agree (`ok` ⇔
 /// `false`, `degraded` ⇔ `true`), with the non-negative integer gauges
 /// in [`HEALTH_GAUGES`]. A healthy body must carry `degraded_since_ms`
-/// of zero, and `epoch` must be at least 1 (epochs start there; 0 marks
-/// an unfenced build). Unknown extra keys are allowed so the document
-/// can grow without breaking deployed probes.
+/// of zero, `epoch` must be at least 1 (epochs start there; 0 marks
+/// an unfenced build), and `build` must be a non-empty string — the
+/// probe is how operators confirm which binary actually took a deploy.
+/// Unknown extra keys are allowed so the document can grow without
+/// breaking deployed probes.
 pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
     let mut problems = Vec::new();
     let pairs = match parse_flat_object(text) {
@@ -303,9 +307,23 @@ pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
     };
     let mut status: Option<String> = None;
     let mut degraded: Option<bool> = None;
+    let mut build: Option<String> = None;
     let mut gauges: [Option<u64>; HEALTH_GAUGES.len()] = [None; HEALTH_GAUGES.len()];
     for (key, value) in pairs {
         match (key.as_str(), value) {
+            ("build", FlatValue::Str(text)) => {
+                if text.is_empty() {
+                    problems.push(Problem {
+                        line: 1,
+                        message: "`build` must be a non-empty string".into(),
+                    });
+                }
+                build = Some(text);
+            }
+            ("build", other) => problems.push(Problem {
+                line: 1,
+                message: format!("`build` must be a string, got {other:?}"),
+            }),
             ("status", FlatValue::Str(text)) => {
                 if text != "ok" && text != "degraded" {
                     problems.push(Problem {
@@ -349,6 +367,7 @@ pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
     for (name, missing) in [
         ("status", status.is_none()),
         ("degraded", degraded.is_none()),
+        ("build", build.is_none()),
     ]
     .into_iter()
     .chain(
@@ -403,6 +422,7 @@ pub fn check_health(text: &str) -> Result<HealthSummary, Vec<Problem>> {
         failovers,
         degraded_since_ms,
         epoch,
+        build: build.unwrap_or_default(),
     })
 }
 
@@ -591,7 +611,7 @@ h_count 5
         format!(
             "{{\"status\":\"{status}\",\"degraded\":{degraded},\"sessions\":{sessions},\
              \"queue_depth\":{queue_depth},\"engine_restarts\":0,\"failovers\":0,\
-             \"degraded_since_ms\":0,\"epoch\":1}}"
+             \"degraded_since_ms\":0,\"epoch\":1,\"build\":\"0.1.0+abcdef0\"}}"
         )
     }
 
@@ -611,7 +631,8 @@ h_count 5
     #[test]
     fn degraded_body_parses() {
         let body = "{\"status\":\"degraded\",\"degraded\":true,\"sessions\":0,\"queue_depth\":0,\
-                    \"engine_restarts\":2,\"failovers\":1,\"degraded_since_ms\":450,\"epoch\":3}";
+                    \"engine_restarts\":2,\"failovers\":1,\"degraded_since_ms\":450,\"epoch\":3,\
+                    \"build\":\"0.1.0+unknown\"}";
         let summary = check_health(body).expect("clean body");
         assert!(summary.degraded);
         assert_eq!(summary.engine_restarts, 2);
@@ -658,8 +679,31 @@ h_count 5
     fn health_extra_keys_are_allowed() {
         let mut body = health_body("ok", false, 0, 0);
         body.truncate(body.len() - 1);
-        body.push_str(",\"build\":\"abc\"}");
+        body.push_str(",\"future_gauge\":7}");
         assert!(check_health(&body).is_ok());
+    }
+
+    #[test]
+    fn health_build_stamp_is_surfaced() {
+        let summary = check_health(&health_body("ok", false, 0, 0)).expect("clean body");
+        assert_eq!(summary.build, "0.1.0+abcdef0");
+    }
+
+    #[test]
+    fn health_missing_build_is_flagged() {
+        let body = "{\"status\":\"ok\",\"degraded\":false,\"sessions\":0,\"queue_depth\":0,\
+                    \"engine_restarts\":0,\"failovers\":0,\"degraded_since_ms\":0,\"epoch\":1}";
+        let problems = check_health(body).expect_err("must fail");
+        assert!(problems
+            .iter()
+            .any(|p| p.message.contains("missing `build`")));
+    }
+
+    #[test]
+    fn health_empty_build_is_flagged() {
+        let body = health_body("ok", false, 0, 0).replace("0.1.0+abcdef0", "");
+        let problems = check_health(&body).expect_err("must fail");
+        assert!(problems.iter().any(|p| p.message.contains("non-empty")));
     }
 
     #[test]

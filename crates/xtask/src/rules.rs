@@ -449,6 +449,20 @@ impl MetricsCoverage {
                 structs: vec!["NetStatsSnapshot".into()],
                 report_files: vec!["crates/cli/src/commands.rs".into()],
             },
+            // The span layer's own health counters (dropped spans, sampled
+            // traces, exemplars) must reach both renderers the same way —
+            // a tracing layer that can lose data invisibly is worse than
+            // none.
+            MetricsCoverage {
+                struct_file: "crates/obs/src/span.rs".into(),
+                structs: vec!["SpanCounters".into()],
+                report_files: vec!["crates/core/src/report.rs".into()],
+            },
+            MetricsCoverage {
+                struct_file: "crates/obs/src/span.rs".into(),
+                structs: vec!["SpanCounters".into()],
+                report_files: vec!["crates/cli/src/commands.rs".into()],
+            },
         ]
     }
 }

@@ -69,12 +69,23 @@ fn promcheck_clean_and_findings() {
 #[test]
 fn healthcheck_clean_and_findings() {
     let clean = "{\"status\":\"ok\",\"degraded\":false,\"queue_depth\":0,\"sessions\":0,\
-                 \"engine_restarts\":0,\"failovers\":0,\"degraded_since_ms\":0,\"epoch\":1}";
+                 \"engine_restarts\":0,\"failovers\":0,\"degraded_since_ms\":0,\"epoch\":1,\
+                 \"build\":\"0.1.0+abcdef0\"}";
     assert_eq!(run(&["healthcheck"], clean), 0);
     assert_eq!(
         run(&["healthcheck"], "{\"status\":\"ok\",\"degraded\":true}"),
         1
     );
+}
+
+#[test]
+fn spancheck_requires_a_file_and_rejects_garbage() {
+    assert_eq!(run(&["spancheck"], ""), 2);
+    let path = std::env::temp_dir().join(format!("xtask-span-{}.jsonl", std::process::id()));
+    std::fs::write(&path, "not json\n").expect("write fixture");
+    let code = run(&["spancheck", path.to_str().expect("utf-8 path")], "");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 1);
 }
 
 #[test]

@@ -6,7 +6,9 @@
 //! * [`storage`] — the paper's two-level (memory/disk) place store;
 //! * [`mogen`] — Brinkhoff-style network-based moving-object workloads;
 //! * [`core`] — the CTUP algorithms (Naive, BasicCTUP, OptCTUP) and the
-//!   monitoring server, plus the paper's future-work extensions.
+//!   monitoring server, plus the paper's future-work extensions;
+//! * [`obs`] — zero-dependency observability: metrics, latency
+//!   histograms, and the causal span layer (DESIGN.md §17).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -14,6 +16,7 @@
 
 pub use ctup_core as core;
 pub use ctup_mogen as mogen;
+pub use ctup_obs as obs;
 pub use ctup_spatial as spatial;
 pub use ctup_storage as storage;
 

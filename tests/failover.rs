@@ -18,7 +18,7 @@
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::checkpoint::Checkpoint;
 use ctup::core::config::CtupConfig;
-use ctup::core::ingest::{stamp_stream, StampedUpdate};
+use ctup::core::ingest::{stamp_stream, TracedReport};
 use ctup::core::net::wire::{FrameDecoder, FrameWriter, Message, MAX_CHUNK_DATA};
 use ctup::core::net::{
     ClientConfig, EngineReviver, EngineSink, FailoverDialer, FeedClient, IngestServer,
@@ -404,7 +404,7 @@ fn silent_engine_death_after_queue_drain_is_probed_and_healed() {
         handed: AtomicU64,
     }
     impl EngineSink for SilentlyDyingSink {
-        fn try_ingest(&self, _report: StampedUpdate) -> Result<(), SinkError> {
+        fn try_ingest(&self, _report: TracedReport) -> Result<(), SinkError> {
             self.handed.fetch_add(1, Ordering::SeqCst);
             Ok(())
         }
@@ -423,7 +423,7 @@ fn silent_engine_death_after_queue_drain_is_probed_and_healed() {
         handed: AtomicU64,
     }
     impl EngineSink for HealthySink {
-        fn try_ingest(&self, _report: StampedUpdate) -> Result<(), SinkError> {
+        fn try_ingest(&self, _report: TracedReport) -> Result<(), SinkError> {
             self.handed.fetch_add(1, Ordering::SeqCst);
             Ok(())
         }
@@ -802,6 +802,7 @@ fn stale_epoch_wal_frames_are_rejected_by_the_standby() {
                 unit,
                 x: 0.5,
                 y: 0.5,
+                trace: 0,
             });
         }
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -844,4 +845,159 @@ fn stale_epoch_wal_frames_are_rejected_by_the_standby() {
     assert_eq!(status.stale_rejected, 3, "all stale frames bounce");
     standby.shutdown();
     fake.join().expect("fake primary exits cleanly");
+}
+
+/// Trace ids survive standby replication and the promotion epoch bump:
+/// every live WAL frame carries its report's trace id, the standby's
+/// standby-apply spans adopt those ids unchanged, and a promoted server
+/// forces 1-in-1 head sampling so the failover window is fully traced
+/// even for clients that never stamped an id.
+#[test]
+fn trace_ids_survive_standby_promotion_across_the_epoch_bump() {
+    use ctup::obs::{sample_trace, SpanSink, Stage};
+    use std::collections::BTreeSet;
+
+    let (mut workload, store) = setup(86);
+    let units = workload.unit_positions();
+    let clean = clean_stream(&mut workload, 300);
+    let stamped = stamp_stream(clean);
+    let dir_primary = temp_dir("trace-primary");
+    let dir_standby = temp_dir("trace-standby");
+
+    let resilience = ResilienceConfig {
+        checkpoint_every: 32,
+        state_dir: Some(dir_primary.clone()),
+        ..ResilienceConfig::default()
+    };
+    let sink = durable_sink(&store, &units, resilience);
+    let cfg = NetServerConfig {
+        state_dir: Some(dir_primary.clone()),
+        epoch: 1,
+        ..NetServerConfig::default()
+    };
+    let primary = IngestServer::spawn("127.0.0.1:0", cfg, sink).unwrap();
+    let primary_addr = primary.local_addr();
+
+    // The standby's halves of the traces — standby-apply while following,
+    // the full pipeline once promoted — land in this one sink.
+    let standby_spans = Arc::new(SpanSink::new(65_536));
+    let standby_addr = reserve_addr();
+    let standby = StandbyServer::spawn::<OptCtup>(
+        StandbyConfig {
+            primary_ingest: primary_addr,
+            serve_addr: standby_addr.to_string(),
+            net: NetServerConfig {
+                spans: Some(standby_spans.clone()),
+                // Deliberately 0: promotion must force always-sample.
+                trace_sample_every: 0,
+                ..NetServerConfig::default()
+            },
+            resilience: ResilienceConfig {
+                state_dir: Some(dir_standby.clone()),
+                spans: Some(standby_spans.clone()),
+                ..ResilienceConfig::default()
+            },
+            probe_interval: Duration::from_millis(50),
+            probe_failures: 2,
+            ..StandbyConfig::default()
+        },
+        store.clone(),
+    );
+
+    // Priming batch, deliberately untraced: it only makes the primary's
+    // durable state real so the standby's checkpoint sync completes.
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(primary_addr)),
+        ClientConfig::default(),
+    );
+    for &report in &stamped[..64] {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(30)).expect("clean links");
+    assert_eq!(client.finish().acked, 64);
+    wait_for("checkpoint sync", Duration::from_secs(10), || {
+        standby.status().phase == StandbyPhase::Following
+    });
+    let base = settled_wal_applied(&standby);
+
+    // Traced live tail: these ship to the standby as WalAppend frames
+    // carrying the client-minted trace ids.
+    let trace_seed = 0xBB;
+    let client_spans = Arc::new(SpanSink::new(4_096));
+    let mut client = FeedClient::new(
+        Box::new(TcpDialer::new(primary_addr)),
+        ClientConfig {
+            spans: Some(client_spans.clone()),
+            trace_sample_every: 1,
+            trace_seed,
+            ..ClientConfig::default()
+        },
+    );
+    for &report in &stamped[64..164] {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(30)).expect("clean links");
+    assert_eq!(client.finish().acked, 100);
+    wait_for("live WAL tail", Duration::from_secs(10), || {
+        standby.status().wal_applied >= base + 100
+    });
+
+    // While still on epoch 1, the standby recorded one standby-apply span
+    // per traced frame — under the client's ids, not re-minted ones.
+    let applied: BTreeSet<u64> = standby_spans
+        .snapshot()
+        .spans
+        .iter()
+        .filter(|s| s.stage == Stage::StandbyApply)
+        .map(|s| s.trace)
+        .collect();
+    for seq in 1..=100u64 {
+        let trace = sample_trace(trace_seed, seq, 1);
+        assert!(
+            applied.contains(&trace),
+            "standby-apply span missing for live-tail seq {seq}"
+        );
+    }
+
+    // Kill the primary: the promotion bumps the fencing epoch but the
+    // sink — and every pre-promotion span in it — survives untouched.
+    let net = primary.shutdown();
+    assert_eq!(net.reports_accepted, 164);
+    wait_for("promotion", Duration::from_secs(10), || {
+        standby.status().phase == StandbyPhase::Promoted
+    });
+    assert_eq!(standby.status().epoch, 2, "promotion must bump the epoch");
+    let snap = standby_spans.snapshot();
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.stage == Stage::StandbyApply && applied.contains(&s.trace)),
+        "pre-promotion spans must survive the epoch bump"
+    );
+    assert!(
+        !snap.spans.iter().any(|s| s.stage == Stage::SessionAdmit),
+        "no front-door spans can exist before the door opens"
+    );
+
+    // An *untraced* client feeding the promoted server still gets traced
+    // end to end: promotion forces 1-in-1 head sampling, because a
+    // failover window is exactly when operators need exemplar traces.
+    let mut client = FeedClient::new(
+        Box::new(FailoverDialer::new(vec![primary_addr, standby_addr])),
+        ClientConfig::default(),
+    );
+    for &report in &stamped[164..300] {
+        client.enqueue(report);
+    }
+    client.drive(Duration::from_secs(30)).expect("walk-over");
+    assert_eq!(client.finish().acked, 136);
+    let snap = standby_spans.snapshot();
+    assert!(
+        snap.spans.iter().any(|s| s.stage == Stage::SessionAdmit),
+        "promotion must force head sampling of untraced reports"
+    );
+
+    standby.shutdown();
+    std::fs::remove_dir_all(&dir_primary).ok();
+    std::fs::remove_dir_all(&dir_standby).ok();
 }

@@ -16,7 +16,7 @@
 
 use ctup::core::algorithm::CtupAlgorithm;
 use ctup::core::config::{CtupConfig, QueryMode};
-use ctup::core::ingest::{stamp_stream, StampedUpdate};
+use ctup::core::ingest::{stamp_stream, StampedUpdate, TracedReport};
 use ctup::core::net::client::{ClientConfig, Conn, Dialer};
 use ctup::core::net::overload::CountingSink;
 use ctup::core::net::wire::{ByeReason, FrameDecoder, Message};
@@ -244,11 +244,11 @@ struct SlowRecordingSink {
 }
 
 impl EngineSink for SlowRecordingSink {
-    fn try_ingest(&self, report: StampedUpdate) -> Result<(), SinkError> {
+    fn try_ingest(&self, report: TracedReport) -> Result<(), SinkError> {
         if !self.delay.is_zero() {
             std::thread::sleep(self.delay);
         }
-        self.got.lock().unwrap().push(report.seq);
+        self.got.lock().unwrap().push(report.report.seq);
         Ok(())
     }
 
@@ -415,6 +415,7 @@ fn partial_frame_disconnect_is_counted() {
         unit: 7,
         x: 0.5,
         y: 0.5,
+        trace: 0,
     }
     .encode(&mut frame);
     raw.write_all(&frame[..frame.len() / 2]).unwrap();
@@ -645,4 +646,105 @@ fn kill_and_recover_over_the_wire_is_oracle_exact() {
         QueryMode::TopK(10),
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Trace-id survival across reconnect-and-replay: span ids are pure
+/// functions of `(trace, stage)`, so a retransmitted report re-records
+/// the *same* client-send span instead of forking the trace tree, and
+/// every sampled trace still carries exactly one causal chain after the
+/// link chaos settles.
+#[test]
+fn trace_ids_survive_reconnect_replay_without_forking() {
+    use ctup::obs::{sample_trace, SpanSink, Stage};
+    use std::collections::BTreeMap;
+
+    let (mut workload, store) = setup(29);
+    let units = workload.unit_positions();
+    let clean = clean_stream(&mut workload, 300);
+    let stamped = stamp_stream(clean);
+
+    // One sink shared by client, door and engine: the whole chain lands
+    // in one dump, exactly like `ctup serve --span-dump` over loopback.
+    let spans = Arc::new(SpanSink::new(65_536));
+    let (sink, dyn_sink) = pipeline_sink(
+        &store,
+        &units,
+        ResilienceConfig {
+            spans: Some(spans.clone()),
+            ..ResilienceConfig::default()
+        },
+        4096,
+    );
+    let mut cfg = NetServerConfig::default();
+    cfg.spans = Some(spans.clone());
+    let server = IngestServer::spawn("127.0.0.1:0", cfg, dyn_sink).unwrap();
+    // The same fault plan as the replay suite: dials that die mid-frame
+    // force reconnects and unacked-tail retransmissions.
+    let plan = NetFaultPlan {
+        die_per_mille: 500,
+        die_min_bytes: 40,
+        die_spread_bytes: 400,
+        refuse_per_mille: 100,
+        ..NetFaultPlan::default()
+    };
+    let trace_seed = 0xA1;
+    let mut client = FeedClient::new(
+        Box::new(ChaosDialer {
+            addr: server.local_addr(),
+            plan,
+            attempt: 0,
+        }),
+        ClientConfig {
+            spans: Some(spans.clone()),
+            trace_sample_every: 1,
+            trace_seed,
+            ..ClientConfig::default()
+        },
+    );
+    for &report in &stamped {
+        client.enqueue(report);
+    }
+    client
+        .drive(Duration::from_secs(60))
+        .expect("bounded retry");
+    let stats = client.finish();
+    assert!(stats.reconnects > 0, "the plan must force reconnects");
+    assert!(
+        stats.frames_sent > 300,
+        "reconnects must replay the unacked tail"
+    );
+    assert_eq!(stats.acked, 300);
+
+    let net = server.shutdown();
+    assert_eq!(net.reports_accepted, 300);
+    // Every id was minted client-side; the server must adopt them rather
+    // than re-mint (a fork would double this counter).
+    assert_eq!(net.traces_sampled, 300, "{net:?}");
+    let report = unwrap_sink(sink).into_pipeline().shutdown();
+    assert_eq!(report.updates_processed, 300);
+
+    let snap = spans.snapshot();
+    assert_eq!(snap.spans_dropped, 0, "sized for the full run");
+    let mut by_trace: BTreeMap<u64, Vec<&'static str>> = BTreeMap::new();
+    for s in &snap.spans {
+        by_trace.entry(s.trace).or_default().push(s.stage.label());
+    }
+    // Exactly the 300 client-minted ids appear — replays created no new
+    // traces — and every one carries the full canonical chain despite
+    // the retransmissions (the session registry suppressed the replays
+    // before they could reach the server-side stages a second time).
+    assert_eq!(by_trace.len(), 300, "replays must not fork new traces");
+    for seq in 1..=300u64 {
+        let trace = sample_trace(trace_seed, seq, 1);
+        let stages = by_trace.get(&trace).unwrap_or_else(|| {
+            panic!("trace for seq {seq} missing from the dump");
+        });
+        for stage in Stage::CANONICAL_CHAIN {
+            assert!(
+                stages.contains(&stage.label()),
+                "seq {seq}: stage {} missing from {stages:?}",
+                stage.label()
+            );
+        }
+    }
 }
