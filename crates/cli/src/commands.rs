@@ -21,7 +21,7 @@ use ctup_mogen::{
     ChaosStream, FaultPlan, NetFaultPlan, PlaceGenConfig, PlaceGenerator, Workload, WorkloadParams,
 };
 use ctup_obs::{summarize, LatencySnapshot, MetricsServer, Span, SpanSink, Stage};
-use ctup_spatial::{Grid, Point};
+use ctup_spatial::{CellLayout, Grid, Point};
 use ctup_storage::{
     snapshot, CachedStore, CellLocalStore, DiskFaultPlan, FaultDisk, PlaceStore, RetryPolicy,
     StorageError,
@@ -127,6 +127,9 @@ struct EngineParams {
     shards: u32,
     /// Page budget of the cell-read cache; 0 disables it.
     cell_cache_pages: u64,
+    /// Cell layout: how cells map to shard ranges (and, for paged stores,
+    /// how pages are packed on disk). Row-major is the legacy oracle.
+    layout: CellLayout,
 }
 
 fn engine_params(flags: &Flags) -> Result<EngineParams, CliError> {
@@ -134,9 +137,16 @@ fn engine_params(flags: &Flags) -> Result<EngineParams, CliError> {
     if shards == 0 {
         return Err(CliError("--shards must be at least 1".into()));
     }
+    let layout = match flags.get_str("layout") {
+        None => CellLayout::RowMajor,
+        Some(name) => name
+            .parse()
+            .map_err(|e: String| CliError(format!("--layout: {e}")))?,
+    };
     Ok(EngineParams {
         shards,
         cell_cache_pages: flags.get("cell-cache-pages", 0)?,
+        layout,
     })
 }
 
@@ -156,6 +166,7 @@ fn build_algorithm(
     store: Arc<dyn PlaceStore>,
     units: &[ctup_spatial::Point],
     shards: u32,
+    layout: CellLayout,
 ) -> Result<Box<dyn CtupAlgorithm>, CliError> {
     if shards > 1 {
         if name != "opt" {
@@ -165,7 +176,7 @@ fn build_algorithm(
             )));
         }
         return Ok(Box::new(
-            ShardedCtup::new(config, store, units, shards).map_err(init_err)?,
+            ShardedCtup::new_with_layout(config, store, units, shards, layout).map_err(init_err)?,
         ));
     }
     Ok(match name {
@@ -291,6 +302,7 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         "no-doo",
         "shards",
         "cell-cache-pages",
+        "layout",
     ])?;
     let params = common_params(&flags)?;
     let engine = engine_params(&flags)?;
@@ -329,6 +341,7 @@ pub fn run(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         Arc::clone(&store),
         &unit_positions,
         engine.shards,
+        engine.layout,
     )?;
     writeln!(
         out,
@@ -614,8 +627,10 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         "self-heal",
         "kill-repeat",
         "max-revives",
+        "layout",
     ])?;
     let params = common_params(&flags)?;
+    let engine = engine_params(&flags)?;
     let updates: usize = flags.get("updates", 1_000)?;
     let panic_at: Vec<u64> = match flags.get_str("panic-at") {
         None => Vec::new(),
@@ -661,16 +676,18 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
     // A faulty disk only when asked for: the plain chaos path keeps the
     // in-memory store so the link faults are isolated from the disk faults.
     let store: Arc<dyn PlaceStore> = if plan.disk.is_active() {
-        let disk = FaultDisk::build(
+        let disk = FaultDisk::build_with_layout(
             grid,
             workload.places_vec(),
             0,
             plan.disk.clone(),
             RetryPolicy::default(),
+            engine.layout,
         );
         writeln!(
             out,
-            "faulty disk: {} pages corrupted at build ({} cells unreadable), transient read error prob {}",
+            "faulty disk ({} layout): {} pages corrupted at build ({} cells unreadable), transient read error prob {}",
+            engine.layout,
             disk.corrupted_pages().len(),
             disk.corrupted_cells().len(),
             plan.disk.read_error_prob,
@@ -804,6 +821,7 @@ pub fn chaos(args: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
         ("cache hits", s.cache_hits),
         ("cache misses", s.cache_misses),
         ("cache evictions", s.cache_evictions),
+        ("cache prefetch hits", s.cache_prefetch_hits),
     ] {
         writeln!(out, "  {name:<22} {value}").map_err(|e| io_err("stdout", e))?;
     }
@@ -953,6 +971,7 @@ fn run_workload_for_snapshot(flags: &Flags) -> Result<Snapshot, CliError> {
         Arc::clone(&store),
         &unit_positions,
         engine.shards,
+        engine.layout,
     )?;
     let records_internally = alg.internal_latency().is_some();
     let mut latency = LatencySnapshot::default();
@@ -984,6 +1003,7 @@ const SNAPSHOT_FLAGS: &[&str] = &[
     "no-doo",
     "shards",
     "cell-cache-pages",
+    "layout",
 ];
 
 /// `ctup report` — run a workload and emit the unified metrics snapshot
@@ -1986,7 +2006,7 @@ USAGE:
   ctup run      [--algorithm opt|basic|naive|naive-inc] [--updates N] [--units N]
                 [--places N | --places-file FILE] [--granularity G] [--seed S]
                 [--k K | --threshold T] [--delta D] [--radius R] [--no-doo] [--events]
-                [--shards N] [--cell-cache-pages M]
+                [--shards N] [--cell-cache-pages M] [--layout rowmajor|zorder]
   ctup run-opt  [same workload flags] [--checkpoint-out FILE]
   ctup resume   --checkpoint FILE [--skip N] [--updates N] [--places N] [--seed S]
   ctup chaos    [same workload flags] [--drop P] [--dup P] [--reorder P] [--reorder-window W]
@@ -1996,6 +2016,7 @@ USAGE:
                 [--state-dir DIR] [--kill-at N] [--tear-slot] [--recover]
                 [--flight-recorder N] [--flight-recorder-keep N]
                 [--self-heal] [--kill-repeat] [--max-revives N]
+                [--layout rowmajor|zorder]
   ctup report   [same workload flags] [--format text|json|prom] [--out FILE]
   ctup serve-metrics [same workload flags] [--addr HOST:PORT] [--serve-secs N]
   ctup serve    [same workload flags] [--addr HOST:PORT] [--metrics-addr HOST:PORT]
@@ -2017,8 +2038,16 @@ cells are partitioned across N OptCTUP workers and the per-shard top-k results
 are merged into the exact global answer — same SK and safeties as the
 sequential run, differing at most in which equally-unsafe places tie at SK.
 `--cell-cache-pages M` puts a bounded LRU cell-read cache (M pages) in front of
-the store; hits, misses, evictions and the derived cache_hit_ratio appear in
-every report format. Both flags also apply to `report` and `serve-metrics`.
+the store; hits, misses, evictions, prefetch hits and the derived
+cache_hit_ratio appear in every report format. `--layout zorder` switches the
+physical cell layout to Morton (Z-order): shard ranges follow the Z-curve
+(contiguous rank ranges balanced by cell load instead of modulo striping), the
+sharded coordinator hands each batch's touched cells to the cache as one
+working-set hint before the workers run — pinning resident cells and re-warming
+just-evicted ones — and faulty-disk pages (`chaos --disk-faults`) are
+packed in Morton order. The default `rowmajor` keeps the legacy striped layout
+as the differential oracle — both layouts produce the exact same top-k. These
+flags also apply to `report` and `serve-metrics`.
 `chaos` degrades the feed with a seeded fault plan, runs the supervised
 pipeline over it (ingest validation, liveness leases, checkpoint-restart on
 injected panics), and prints the resilience counters. `--disk-faults P` adds
@@ -2226,6 +2255,61 @@ mod tests {
     }
 
     #[test]
+    fn zorder_run_matches_rowmajor_run() {
+        let base = [
+            "--places",
+            "300",
+            "--units",
+            "10",
+            "--updates",
+            "60",
+            "--k",
+            "4",
+            "--seed",
+            "29",
+        ];
+        let sequential = run_cmd(run, &base).expect("sequential run");
+        let mut zorder_args = base.to_vec();
+        zorder_args.extend([
+            "--shards",
+            "3",
+            "--layout",
+            "zorder",
+            "--cell-cache-pages",
+            "64",
+        ]);
+        let zorder = run_cmd(run, &zorder_args).expect("zorder run");
+        assert!(zorder.contains("using sharded"), "{zorder}");
+        // Same extraction as sharded_run_matches_sequential_result: safeties
+        // must agree exactly; the tie tail at SK is implementation-chosen.
+        let safeties = |s: &str| -> Vec<i64> {
+            s.lines()
+                .skip_while(|l| !l.starts_with("final result:"))
+                .skip(1)
+                .take_while(|l| !l.starts_with("costs:"))
+                .map(|l| {
+                    l.split_whitespace()
+                        .nth(3)
+                        .expect("safety value")
+                        .parse()
+                        .expect("safety value")
+                })
+                .collect()
+        };
+        assert_eq!(
+            safeties(&sequential),
+            safeties(&zorder),
+            "sequential:\n{sequential}\nzorder:\n{zorder}"
+        );
+    }
+
+    #[test]
+    fn unknown_layout_is_rejected() {
+        let err = run_cmd(run, &["--layout", "hilbert"]).expect_err("must fail");
+        assert!(err.0.contains("unknown cell layout"), "{err}");
+    }
+
+    #[test]
     fn run_with_events_and_threshold() {
         let out = run_cmd(
             run,
@@ -2417,13 +2501,121 @@ mod tests {
             ],
         )
         .expect("chaos --disk-faults");
-        assert!(out.contains("faulty disk:"));
+        assert!(out.contains("faulty disk (rowmajor layout):"), "{out}");
         assert!(out.contains("storage counters:"));
+        assert!(out.contains("cache prefetch hits"), "{out}");
         assert!(!out.contains("GAVE UP"), "{out}");
         // At a 5% per-page transient fault rate some reads must have
         // retried; with the default 3-retry budget none silently succeed.
         assert!(counter(&out, "read retries") > 0, "{out}");
         assert!(counter(&out, "cell reads") > 0, "{out}");
+    }
+
+    #[test]
+    fn chaos_zorder_disk_matches_rowmajor_under_faulty_feed_and_disk() {
+        // The same seeded fault plan (degraded feed + transient page
+        // errors) over both physical layouts: the engine reads the same
+        // cell sequence either way, so the retried reads line up and the
+        // final top-k must be identical — Morton packing moves bytes, not
+        // answers.
+        let base = [
+            "--places",
+            "300",
+            "--units",
+            "10",
+            "--updates",
+            "200",
+            "--k",
+            "4",
+            "--seed",
+            "23",
+            "--disk-faults",
+            "0.05",
+        ];
+        let mut rowmajor_args: Vec<&str> = base.to_vec();
+        rowmajor_args.extend(["--layout", "rowmajor"]);
+        let rowmajor = run_cmd(chaos, &rowmajor_args).expect("rowmajor chaos");
+        let mut zorder_args: Vec<&str> = base.to_vec();
+        zorder_args.extend(["--layout", "zorder"]);
+        let zorder = run_cmd(chaos, &zorder_args).expect("zorder chaos");
+        assert!(zorder.contains("faulty disk (zorder layout):"), "{zorder}");
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("final result:"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        let final_rowmajor = tail(&rowmajor);
+        assert!(!final_rowmajor.is_empty(), "{rowmajor}");
+        assert_eq!(final_rowmajor, tail(&zorder), "{rowmajor}\n---\n{zorder}");
+    }
+
+    #[test]
+    fn chaos_zorder_kill_then_recover_through_layout_tagged_checkpoint() {
+        let dir = std::env::temp_dir().join("ctup-cli-test-zorder-state");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        // A Z-order faulty disk under the full degraded feed, checkpointing
+        // as it goes. The checkpoint carries the layout tag, so recovery
+        // over a rebuilt Z-order disk re-binds cleanly — and a restore over
+        // the wrong layout is refused instead of silently misreading pages.
+        let base = [
+            "--places",
+            "300",
+            "--units",
+            "10",
+            "--updates",
+            "200",
+            "--k",
+            "4",
+            "--seed",
+            "23",
+            "--disk-faults",
+            "0.05",
+            "--layout",
+            "zorder",
+            "--checkpoint-every",
+            "16",
+        ];
+        let uninterrupted = run_cmd(chaos, &base).expect("uninterrupted zorder chaos");
+        assert!(!uninterrupted.contains("KILLED"));
+
+        let mut kill_args: Vec<&str> = base.to_vec();
+        kill_args.extend(["--state-dir", &dir_str, "--kill-at", "60"]);
+        let killed = run_cmd(chaos, &kill_args).expect("killed zorder chaos");
+        assert!(killed.contains("KILLED"), "{killed}");
+
+        let mut wrong_layout_args: Vec<&str> = kill_args.clone();
+        let layout_pos = wrong_layout_args
+            .iter()
+            .position(|a| *a == "zorder")
+            .expect("layout flag");
+        wrong_layout_args[layout_pos] = "rowmajor";
+        wrong_layout_args.retain(|a| *a != "--kill-at" && *a != "60");
+        wrong_layout_args.push("--recover");
+        let err = run_cmd(chaos, &wrong_layout_args).expect_err("layout mismatch must fail");
+        assert!(
+            err.0.contains("taken over a zorder store") && err.0.contains("is rowmajor"),
+            "{err}"
+        );
+
+        let mut recover_args: Vec<&str> = base.to_vec();
+        recover_args.extend(["--state-dir", &dir_str, "--recover"]);
+        let recovered = run_cmd(chaos, &recover_args).expect("recovered zorder chaos");
+        assert!(recovered.contains("recovering from"), "{recovered}");
+        assert!(counter(&recovered, "updates replayed") > 0, "{recovered}");
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("final result:"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            tail(&uninterrupted),
+            tail(&recovered),
+            "uninterrupted:\n{uninterrupted}\nrecovered:\n{recovered}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -2728,6 +2920,31 @@ mod tests {
         assert!(out.contains("storage_cache_hits: 0\n"), "{out}");
         assert!(out.contains("storage_cache_misses: 0\n"), "{out}");
         assert!(out.contains("cache_hit_ratio: 0.000000\n"), "{out}");
+    }
+
+    #[test]
+    fn report_sharded_zorder_counts_prefetch_hits() {
+        let mut args = REPORT_BASE.to_vec();
+        args.extend([
+            "--format",
+            "text",
+            "--shards",
+            "4",
+            "--layout",
+            "zorder",
+            "--cell-cache-pages",
+            "64",
+        ]);
+        let out = run_cmd(report, &args).expect("report with prefetch");
+        let hits: u64 = out
+            .lines()
+            .find(|l| l.starts_with("storage_cache_prefetch_hits:"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing storage_cache_prefetch_hits in:\n{out}"));
+        // The coordinator hints every batch's touched cells before the
+        // shards run, so demand hits must land on hinted entries.
+        assert!(hits > 0, "{out}");
     }
 
     #[test]

@@ -310,6 +310,7 @@ mod tests {
     fn sample_checkpoint(tag: u64) -> Checkpoint {
         Checkpoint {
             config: CtupConfig::with_k(3),
+            layout: ctup_spatial::CellLayout::RowMajor,
             unit_positions: vec![Point::new(0.25, 0.5)],
             lower_bounds: vec![0, crate::types::LB_NONE],
             maintained: Vec::new(),

@@ -91,7 +91,7 @@ pub use net::{
 };
 pub use opt::OptCtup;
 pub use oracle::Oracle;
-pub use parallel::ShardedCtup;
+pub use parallel::{ShardMap, ShardedCtup};
 pub use pipeline::{EventBatch, Pipeline, PipelineReport, SendError};
 pub use report::Snapshot;
 pub use server::{MonitorEvent, Server};

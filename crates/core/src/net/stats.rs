@@ -86,7 +86,7 @@ impl ExemplarStore {
     /// The stored exemplars, slowest bucket first.
     pub fn snapshot(&self) -> Vec<WaitExemplar> {
         let mut out = self.lock().clone();
-        out.sort_by(|a, b| b.bucket.cmp(&a.bucket));
+        out.sort_by_key(|e| std::cmp::Reverse(e.bucket));
         out
     }
 }

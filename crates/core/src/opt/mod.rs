@@ -17,6 +17,7 @@ use crate::config::CtupConfig;
 use crate::lbdir::LbDirectory;
 use crate::maintained::MaintainedSet;
 use crate::metrics::Metrics;
+use crate::parallel::ShardMap;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId, LB_NONE};
 use crate::units::UnitTable;
 use ctup_obs::PhaseTimer;
@@ -44,10 +45,11 @@ pub struct OptCtup {
     metrics: Metrics,
     init_stats: InitStats,
     /// Cell-ownership filter for sharded execution: the instance maintains
-    /// only cells with `index % num_shards == shard`. `(0, 1)` — the
-    /// default — owns every cell and is the plain sequential scheme.
+    /// only the cells [`ShardMap::owns`] assigns to `shard`. The default —
+    /// shard 0 of a one-shard map — owns every cell and is the plain
+    /// sequential scheme.
     shard: u32,
-    num_shards: u32,
+    shards: Arc<ShardMap>,
 }
 
 impl std::fmt::Debug for OptCtup {
@@ -72,12 +74,9 @@ impl OptCtup {
     }
 
     /// Builds the scheme restricted to the cells owned by `shard` out of
-    /// `num_shards` (ownership: `cell.index() % num_shards == shard`).
-    /// Non-owned cells are never read: their bounds stay at [`LB_NONE`], so
-    /// the access loop and the invariant checker skip them, and the
-    /// instance behaves exactly like a sequential `OptCtup` over the
-    /// restricted place universe. Updates must still be fed for *all*
-    /// units — the unit table is global. `(0, 1)` is the unsharded scheme.
+    /// `num_shards` under the legacy striping (`cell.index() % num_shards
+    /// == shard`); see [`OptCtup::new_with_shard_map`] for arbitrary
+    /// assignments. `(0, 1)` is the unsharded scheme.
     ///
     /// # Panics
     /// Panics if `num_shards` is zero or `shard >= num_shards` — a
@@ -89,10 +88,40 @@ impl OptCtup {
         shard: u32,
         num_shards: u32,
     ) -> Result<Self, StorageError> {
-        config.validate();
         assert!(
             num_shards >= 1 && shard < num_shards,
             "shard {shard} out of range for {num_shards} shards"
+        );
+        Self::new_with_shard_map(
+            config,
+            store,
+            initial_units,
+            shard,
+            Arc::new(ShardMap::modulo(num_shards)),
+        )
+    }
+
+    /// Builds the scheme restricted to the cells `shards` assigns to
+    /// `shard`. Non-owned cells are never read: their bounds stay at
+    /// [`LB_NONE`], so the access loop and the invariant checker skip
+    /// them, and the instance behaves exactly like a sequential `OptCtup`
+    /// over the restricted place universe. Updates must still be fed for
+    /// *all* units — the unit table is global.
+    ///
+    /// # Panics
+    /// Panics if `shard >= shards.num_shards()`.
+    pub fn new_with_shard_map(
+        config: CtupConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+        shard: u32,
+        shards: Arc<ShardMap>,
+    ) -> Result<Self, StorageError> {
+        config.validate();
+        assert!(
+            shard < shards.num_shards(),
+            "shard {shard} out of range for {} shards",
+            shards.num_shards()
         );
         let start = Instant::now();
         let io_before = store.stats().snapshot();
@@ -111,7 +140,7 @@ impl OptCtup {
             grid,
             units,
             shard,
-            num_shards,
+            shards,
         };
 
         // Step 1: exact lower bound per owned cell; non-owned cells keep
@@ -151,8 +180,7 @@ impl OptCtup {
 
     /// Whether this instance owns `cell` under its shard filter.
     fn owns_cell(&self, cell: CellId) -> bool {
-        self.num_shards <= 1
-            || cell.index() % convert::index(self.num_shards) == convert::index(self.shard)
+        self.shards.num_shards() <= 1 || self.shards.owns(self.shard, cell)
     }
 
     /// Loads a cell, refreshes the maintained subset of its places, purges
@@ -306,6 +334,7 @@ impl OptCtup {
     pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
         crate::checkpoint::Checkpoint {
             config: self.config.clone(),
+            layout: self.store.layout(),
             unit_positions: self.units.iter().map(|u| u.pos).collect(),
             lower_bounds: self.grid.cells().map(|c| self.lb.get(c)).collect(),
             maintained: self
@@ -331,6 +360,13 @@ impl OptCtup {
     ) -> Result<Self, crate::checkpoint::CheckpointError> {
         let grid = store.grid().clone();
         checkpoint.validate(grid.num_cells())?;
+        if checkpoint.layout != store.layout() {
+            return Err(crate::checkpoint::CheckpointError::Invalid(format!(
+                "checkpoint was taken over a {} store but the standby's store is {}",
+                checkpoint.layout,
+                store.layout()
+            )));
+        }
         let units = UnitTable::new(
             grid.clone(),
             &checkpoint.unit_positions,
@@ -364,7 +400,7 @@ impl OptCtup {
             metrics,
             init_stats: InitStats::default(),
             shard: 0,
-            num_shards: 1,
+            shards: Arc::new(ShardMap::modulo(1)),
         })
     }
 
@@ -464,7 +500,7 @@ impl CtupAlgorithm for OptCtup {
         let new_region = Circle::new(update.new, radius);
 
         let mut touched = touched_cells(&self.grid, &old_region, &new_region);
-        if self.num_shards > 1 {
+        if self.shards.num_shards() > 1 {
             // Sharded: only owned cells carry state here; the other shards
             // handle the rest of the touched set from the same update.
             touched.retain(|&cell| self.owns_cell(cell));

@@ -1,13 +1,22 @@
 //! Sharded parallel CTUP execution engine.
 //!
-//! Grid cells are partitioned across `N` worker shards (cell `c` belongs
-//! to shard `c.index() % N`); each shard runs a full [`OptCtup`] restricted
-//! to its own cells via [`OptCtup::new_sharded`]. Location updates are
-//! ingested in batches and broadcast to every shard — the unit table is
-//! global and O(1) per update to maintain — but all per-cell work (bound
-//! maintenance, cell accesses, safety recomputation) is done only by the
-//! owning shard, so the expensive part of the update runs `N`-wide in
-//! parallel and simulated-disk latency is paid on `N` spindles at once.
+//! Grid cells are partitioned across `N` worker shards by a [`ShardMap`]
+//! — either the legacy striping (`cell.index() % N`) or contiguous
+//! [`CellLayout`] rank ranges balanced by cell load, which under Z-order
+//! keeps each update's touched cells on few shards
+//! ([`ShardedCtup::new_with_layout`]). Each shard runs a full [`OptCtup`]
+//! restricted to its own cells via [`OptCtup::new_with_shard_map`].
+//! Location updates are ingested in batches and broadcast to every shard
+//! — the unit table is global and O(1) per update to maintain — but all
+//! per-cell work (bound maintenance, cell accesses, safety recomputation)
+//! is done only by the owning shard, so the expensive part of the update
+//! runs `N`-wide in parallel and simulated-disk latency is paid on `N`
+//! spindles at once. On the Z-order engine, when the store has a warmable
+//! cache, the coordinator additionally computes the batch's touched-cell
+//! union up front and hands it to the store as one coalesced working-set
+//! hint before the shards start ([`ctup_storage::PlaceStore::prefetch`]);
+//! the row-major engine skips the pass and stays bit-for-bit the legacy
+//! engine, serving as the differential oracle.
 //!
 //! **Exactness.** A shard is a sequential `OptCtup` over the sub-universe
 //! of places in its cells, so its local result is the exact local top-k
@@ -32,13 +41,18 @@
 //! [`AtomicHistogram`] latency channel; [`ShardedCtup::latency_snapshot`]
 //! merges them into the unified [`ctup_obs::LatencySnapshot`].
 
+mod shardmap;
+
+pub use shardmap::ShardMap;
+
 use crate::algorithm::{CtupAlgorithm, InitStats, UpdateStats};
+use crate::cells::touched_cells;
 use crate::config::{CtupConfig, QueryMode};
 use crate::metrics::Metrics;
 use crate::opt::OptCtup;
 use crate::types::{LocationUpdate, Safety, TopKEntry, UnitId};
 use ctup_obs::{now_nanos, AtomicHistogram, LatencySnapshot, SpanSink, Stage};
-use ctup_spatial::{convert, Point};
+use ctup_spatial::{convert, CellId, CellLayout, Circle, Point};
 use ctup_storage::{PlaceStore, StorageError};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -68,8 +82,11 @@ struct FromShard {
     shard: u32,
     /// First storage error hit, if any; the shard stops mid-batch on it.
     error: Option<StorageError>,
-    /// The shard's local result (exact over its own cells).
-    result: Vec<TopKEntry>,
+    /// The shard's local result (exact over its own cells), or `None` when
+    /// it is unchanged since this shard's previous reply — the coordinator
+    /// keeps the last copy, so an unchanged shard skips the clone and, when
+    /// *no* shard changed, the whole merge is skipped.
+    result: Option<Vec<TopKEntry>>,
     /// The shard's cumulative metrics.
     metrics: Metrics,
     /// Aggregated per-batch costs (zero in the init reply).
@@ -89,13 +106,25 @@ struct ShardHandle {
 pub struct ShardedCtup {
     config: CtupConfig,
     store: Arc<dyn PlaceStore>,
+    /// The cell → shard assignment every worker filters by.
+    shards: Arc<ShardMap>,
     workers: Vec<ShardHandle>,
     reply_rx: Receiver<FromShard>,
     latencies: Vec<Arc<ShardLatency>>,
     /// Engine-side mirror of unit positions (each shard holds the same
     /// global unit table; this avoids a round-trip for `unit_position`).
     unit_positions: Vec<Point>,
+    /// Whether this engine runs the per-batch touched-cell computation
+    /// feeding [`PlaceStore::prefetch`] — true only for the Z-order
+    /// engine over a store with a warmable cache.
+    prefetch: bool,
     shard_metrics: Vec<Metrics>,
+    /// Latest local result of every shard; replies carry `None` when a
+    /// shard's result is unchanged, so the merge always reads from here.
+    shard_results: Vec<Vec<TopKEntry>>,
+    /// Batches whose merge was skipped because no shard's local result
+    /// changed (the merged result is a pure function of the local ones).
+    merge_skips: u64,
     last_result: Vec<TopKEntry>,
     last_sk: Option<Safety>,
     metrics: Metrics,
@@ -118,7 +147,8 @@ impl std::fmt::Debug for ShardedCtup {
 }
 
 impl ShardedCtup {
-    /// Builds the engine with `num_shards` workers over `store`. Each
+    /// Builds the engine with `num_shards` workers over `store` under the
+    /// legacy modulo striping (cell `c` on shard `c.index() % N`). Each
     /// worker constructs its shard-restricted [`OptCtup`] concurrently;
     /// a storage fault during any shard's initialization fails the whole
     /// construction (the other workers are shut down first).
@@ -132,8 +162,60 @@ impl ShardedCtup {
         initial_units: &[Point],
         num_shards: u32,
     ) -> Result<Self, StorageError> {
+        Self::with_shard_map(
+            config,
+            store,
+            initial_units,
+            ShardMap::modulo(num_shards),
+            false,
+        )
+    }
+
+    /// Builds the engine partitioned by contiguous `layout` rank ranges,
+    /// balanced by per-cell page load at build time
+    /// ([`ShardMap::layout_ranges`]). [`CellLayout::RowMajor`] instead
+    /// keeps the legacy modulo striping — it is the differential oracle,
+    /// and contiguous row-major ranges would be strictly worse than both
+    /// (whole grid rows per shard: every vertically-moving unit still
+    /// fans out everywhere).
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero, or if a worker thread cannot be
+    /// spawned.
+    pub fn new_with_layout(
+        config: CtupConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+        num_shards: u32,
+        layout: CellLayout,
+    ) -> Result<Self, StorageError> {
+        let map = match layout {
+            CellLayout::RowMajor => ShardMap::modulo(num_shards),
+            CellLayout::ZOrder => {
+                ShardMap::layout_ranges(store.grid(), layout, num_shards, |c| store.cell_pages(c))
+            }
+        };
+        // The coalesced batch prefetch is part of the Z-order fast path;
+        // the row-major engine stays bit-for-bit the legacy (pre-layout)
+        // engine so differential runs compare layouts, not feature sets.
+        let prefetch = layout == CellLayout::ZOrder && store.wants_prefetch();
+        Self::with_shard_map(config, store, initial_units, map, prefetch)
+    }
+
+    /// Builds the engine over an explicit cell → shard assignment.
+    /// `prefetch` opts the coordinator into the batch working-set hint
+    /// pass ([`PlaceStore::prefetch`]) — meaningful only when the store
+    /// wants it.
+    fn with_shard_map(
+        config: CtupConfig,
+        store: Arc<dyn PlaceStore>,
+        initial_units: &[Point],
+        map: ShardMap,
+        prefetch: bool,
+    ) -> Result<Self, StorageError> {
         config.validate();
-        assert!(num_shards >= 1, "at least one shard is required");
+        let shards = Arc::new(map);
+        let num_shards = shards.num_shards();
         let start = Instant::now();
         let io_before = store.stats().snapshot();
         // ctup-lint: allow(L010, replies are barrier-paced: at most one FromShard per shard is in flight per batch)
@@ -151,13 +233,14 @@ impl ShardedCtup {
             let worker_units = units.clone();
             let worker_latency = latency.clone();
             let worker_reply = reply_tx.clone();
+            let worker_shards = shards.clone();
             #[allow(clippy::expect_used)]
             let join = std::thread::Builder::new()
                 .name(format!("ctup-shard-{shard}"))
                 .spawn(move || {
                     shard_worker(
                         shard,
-                        num_shards,
+                        worker_shards,
                         worker_cfg,
                         worker_store,
                         &worker_units,
@@ -177,7 +260,10 @@ impl ShardedCtup {
 
         let mut this = ShardedCtup {
             unit_positions: initial_units.to_vec(),
+            prefetch,
             shard_metrics: vec![Metrics::default(); convert::index(num_shards)],
+            shard_results: vec![Vec::new(); convert::index(num_shards)],
+            merge_skips: 0,
             last_result: Vec::new(),
             last_sk: None,
             metrics: Metrics::default(),
@@ -186,6 +272,7 @@ impl ShardedCtup {
             trace: 0,
             config,
             store,
+            shards,
             workers,
             reply_rx,
             latencies,
@@ -195,7 +282,6 @@ impl ShardedCtup {
         // result. A failed shard fails construction; Drop shuts the rest
         // down.
         let mut safeties_computed = 0u64;
-        let mut merged = Vec::new();
         let mut first_err = None;
         for _ in 0..this.workers.len() {
             let reply = this.recv_reply();
@@ -204,11 +290,14 @@ impl ShardedCtup {
                 first_err.get_or_insert(e);
             }
             this.shard_metrics[convert::index(reply.shard)] = reply.metrics;
-            merged.extend(reply.result);
+            if let Some(result) = reply.result {
+                this.shard_results[convert::index(reply.shard)] = result;
+            }
         }
         if let Some(e) = first_err {
             return Err(e);
         }
+        let merged: Vec<TopKEntry> = this.shard_results.iter().flatten().copied().collect();
         let (result, sk) = merge_results(merged, this.config.mode);
         this.last_result = result;
         this.last_sk = sk;
@@ -224,6 +313,19 @@ impl ShardedCtup {
     /// Number of worker shards.
     pub fn num_shards(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The cell → shard assignment the engine runs under (for fan-out
+    /// accounting in benchmarks and tests).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shards
+    }
+
+    /// Batches whose global merge was skipped because no shard's local
+    /// result changed — the merged top-k is a pure function of the local
+    /// results, so the previous one was reused verbatim.
+    pub fn merge_skips(&self) -> u64 {
+        self.merge_skips
     }
 
     /// The lower-level store the engine runs over.
@@ -253,11 +355,30 @@ impl ShardedCtup {
         let sink = if trace != 0 { self.spans.clone() } else { None };
         let fanout_start = sink.as_ref().map(|_| now_nanos());
         let count = convert::count64(updates.len());
+        // Mirror maintenance doubles as the prefetch scan: walking the
+        // batch against the *pre-update* mirror yields exactly the cells
+        // the shards are about to touch, so one coalesced prefetch warms
+        // the store's cache before any worker pays a demand read.
+        let radius = self.config.protection_radius;
+        let mut prefetch_cells: Vec<CellId> = Vec::new();
         for update in &updates {
             let idx = update.unit.index();
             if idx < self.unit_positions.len() {
+                if self.prefetch {
+                    let old = self.unit_positions[idx];
+                    prefetch_cells.extend(touched_cells(
+                        self.store.grid(),
+                        &Circle::new(old, radius),
+                        &Circle::new(update.new, radius),
+                    ));
+                }
                 self.unit_positions[idx] = update.new;
             }
+        }
+        if !prefetch_cells.is_empty() {
+            prefetch_cells.sort_unstable();
+            prefetch_cells.dedup();
+            self.store.prefetch(&prefetch_cells);
         }
         let batch = Arc::new(updates);
         for worker in &self.workers {
@@ -267,7 +388,7 @@ impl ShardedCtup {
             }
         }
 
-        let mut merged = Vec::new();
+        let mut any_changed = false;
         let mut batch_stats = UpdateStats::default();
         let mut first_err = None;
         for _ in 0..self.workers.len() {
@@ -298,17 +419,31 @@ impl ShardedCtup {
                 );
             }
             self.shard_metrics[convert::index(reply.shard)] = reply.metrics;
-            merged.extend(reply.result);
+            if let Some(result) = reply.result {
+                any_changed = true;
+                self.shard_results[convert::index(reply.shard)] = result;
+            }
         }
         if let Some(e) = first_err {
             return Err(e);
         }
 
+        // Merge skip: the merged result is a deterministic function of the
+        // local results, so when every shard reported "unchanged" (no local
+        // safety change at or below its SK view) the previous merged top-k
+        // and SK are still exact — no sort, no truncate, no comparison.
         let merge_start = sink.as_ref().map(|_| now_nanos());
-        let (result, sk) = merge_results(merged, self.config.mode);
-        let changed = result != self.last_result;
-        self.last_result = result;
-        self.last_sk = sk;
+        let changed = if any_changed {
+            let merged: Vec<TopKEntry> = self.shard_results.iter().flatten().copied().collect();
+            let (result, sk) = merge_results(merged, self.config.mode);
+            let changed = result != self.last_result;
+            self.last_result = result;
+            self.last_sk = sk;
+            changed
+        } else {
+            self.merge_skips += 1;
+            false
+        };
 
         self.metrics.updates_processed += count;
         if changed {
@@ -484,7 +619,7 @@ fn merge_results(mut merged: Vec<TopKEntry>, mode: QueryMode) -> (Vec<TopKEntry>
 #[allow(clippy::too_many_arguments)]
 fn shard_worker(
     shard: u32,
-    num_shards: u32,
+    shards: Arc<ShardMap>,
     config: CtupConfig,
     store: Arc<dyn PlaceStore>,
     units: &[Point],
@@ -492,12 +627,12 @@ fn shard_worker(
     tx: Sender<FromShard>,
     latency: &ShardLatency,
 ) {
-    let mut alg = match OptCtup::new_sharded(config, store, units, shard, num_shards) {
+    let mut alg = match OptCtup::new_with_shard_map(config, store, units, shard, shards) {
         Ok(alg) => {
             let init = FromShard {
                 shard,
                 error: None,
-                result: alg.result(),
+                result: Some(alg.result()),
                 metrics: alg.metrics().clone(),
                 stats: UpdateStats::default(),
                 safeties_computed: alg.init_stats().safeties_computed,
@@ -511,7 +646,7 @@ fn shard_worker(
             let _ = tx.send(FromShard {
                 shard,
                 error: Some(e),
-                result: Vec::new(),
+                result: None,
                 metrics: Metrics::default(),
                 stats: UpdateStats::default(),
                 safeties_computed: 0,
@@ -525,6 +660,7 @@ fn shard_worker(
             Ok(ToShard::Batch(updates)) => {
                 let mut stats = UpdateStats::default();
                 let mut error = None;
+                let mut changed = false;
                 for &update in updates.iter() {
                     match alg.handle_update(update) {
                         Ok(s) => {
@@ -534,6 +670,7 @@ fn shard_worker(
                             stats.maintain_nanos += s.maintain_nanos;
                             stats.access_nanos += s.access_nanos;
                             stats.cells_accessed += s.cells_accessed;
+                            changed |= s.result_changed;
                         }
                         Err(e) => {
                             error = Some(e);
@@ -544,7 +681,10 @@ fn shard_worker(
                 let reply = FromShard {
                     shard,
                     error,
-                    result: alg.result(),
+                    // Unchanged local result ⇒ the coordinator's cached
+                    // copy is still exact: skip the clone and signal that
+                    // the merge may be skippable.
+                    result: if changed { Some(alg.result()) } else { None },
                     metrics: alg.metrics().clone(),
                     stats,
                     safeties_computed: 0,
@@ -665,6 +805,83 @@ mod tests {
             }
             oracle.assert_result_matches(&sharded.result(), &positions, 0.1, QueryMode::TopK(5));
         }
+    }
+
+    /// The tentpole differential: contiguous Z-order range sharding must
+    /// stay oracle-exact against the sequential `OptCtup` after every
+    /// update, at every shard count the modulo suite runs at.
+    #[test]
+    fn zorder_range_sharding_matches_sequential_per_update() {
+        for num_shards in [1u32, 2, 3, 7] {
+            let config = CtupConfig::with_k(5);
+            let oracle = Oracle::new(grid_place_set());
+            let mut positions = units();
+            let mut seq = OptCtup::new(config.clone(), fresh_store(), &positions).expect("init");
+            let mut sharded = ShardedCtup::new_with_layout(
+                config,
+                fresh_store(),
+                &positions,
+                num_shards,
+                CellLayout::ZOrder,
+            )
+            .expect("init");
+            assert_equivalent(&seq, &sharded, num_shards, "zorder init");
+            for update in updates(STEPS, 0x20DE + u64::from(num_shards)) {
+                seq.handle_update(update).expect("seq update");
+                sharded.handle_update(update).expect("sharded update");
+                positions[update.unit.index()] = update.new;
+                let label = format!("zorder {num_shards} shards");
+                assert_equivalent(&seq, &sharded, num_shards, &label);
+            }
+            oracle.assert_result_matches(&sharded.result(), &positions, 0.1, QueryMode::TopK(5));
+        }
+    }
+
+    /// Merge-skip satellite: a batch in which no shard's local result
+    /// changes reuses the previous merged top-k (and SK) without
+    /// re-merging — and the reused result is still oracle-exact.
+    #[test]
+    fn unchanged_batches_reuse_the_merged_result() {
+        let config = CtupConfig::with_k(5);
+        let mut positions = units();
+        let mut seq = OptCtup::new(config.clone(), fresh_store(), &positions).expect("init");
+        let mut sharded = ShardedCtup::new(config, fresh_store(), &positions, 3).expect("init");
+        for update in updates(STEPS.min(40), 0x5C1B) {
+            seq.handle_update(update).expect("seq update");
+            sharded.handle_update(update).expect("sharded update");
+            positions[update.unit.index()] = update.new;
+        }
+        // Re-announcing every unit's current position moves nothing, so no
+        // safety changes; by the second round the DecHash has absorbed the
+        // decrease-once ops too and every shard reports "unchanged".
+        let noop: Vec<LocationUpdate> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| LocationUpdate {
+                unit: UnitId(convert::id32(i)),
+                new: p,
+            })
+            .collect();
+        for &u in &noop {
+            seq.handle_update(u).expect("seq noop");
+        }
+        sharded.handle_batch(noop.clone()).expect("noop batch");
+        let before = sharded.result();
+        let sk_before = sharded.sk();
+        let skips_before = sharded.merge_skips();
+        for &u in &noop {
+            seq.handle_update(u).expect("seq noop");
+        }
+        sharded.handle_batch(noop).expect("noop batch");
+        assert!(
+            sharded.merge_skips() > skips_before,
+            "second no-op batch should skip the merge"
+        );
+        assert_eq!(sharded.result(), before, "reused result drifted");
+        assert_eq!(sharded.sk(), sk_before, "reused SK drifted");
+        assert_equivalent(&seq, &sharded, 3, "after skipped merges");
+        let oracle = Oracle::new(grid_place_set());
+        oracle.assert_result_matches(&sharded.result(), &positions, 0.1, QueryMode::TopK(5));
     }
 
     #[test]

@@ -127,6 +127,7 @@ impl Snapshot {
             ("storage_cache_hits", s.cache_hits),
             ("storage_cache_misses", s.cache_misses),
             ("storage_cache_evictions", s.cache_evictions),
+            ("storage_cache_prefetch_hits", s.cache_prefetch_hits),
             ("net_connections_accepted", n.connections_accepted),
             ("net_connections_rejected", n.connections_rejected),
             ("net_sessions_opened", n.sessions_opened),
@@ -439,9 +440,9 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), total, "duplicate series name");
-        // 10 Metrics counters + 13 resilience + 10 storage + 21 net
+        // 10 Metrics counters + 13 resilience + 11 storage + 21 net
         // + 3 algorithm gauges + 6 net gauges.
-        assert_eq!(total, 63);
+        assert_eq!(total, 64);
     }
 
     #[test]

@@ -69,6 +69,8 @@ pub fn mint_trace(seed: u64, seq: u64) -> u64 {
 /// report `seq` is sampled, 0 otherwise. `every == 0` disables
 /// sampling; `every == 1` traces everything. The decision is a pure
 /// function of `seq`, so a replayed report makes the same choice.
+// `u64::is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.75.
+#[allow(clippy::manual_is_multiple_of)]
 pub fn sample_trace(seed: u64, seq: u64, every: u64) -> u64 {
     if every == 0 {
         return 0;

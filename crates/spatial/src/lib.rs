@@ -11,6 +11,8 @@
 pub mod circle;
 pub mod convert;
 pub mod grid;
+pub mod layout;
+pub mod morton;
 pub mod point;
 pub mod rect;
 pub mod relation;
@@ -19,6 +21,8 @@ pub mod unit_index;
 
 pub use circle::Circle;
 pub use grid::{CellId, Grid};
+pub use layout::CellLayout;
+pub use morton::{Lbvh, MortonCode};
 pub use point::Point;
 pub use rect::Rect;
 pub use relation::Relation;

@@ -8,7 +8,7 @@
 //! do (clippy's test exemption does not reach integration-test helpers).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
-use ctup_spatial::{Circle, Grid, Point, RTree, Rect, Relation};
+use ctup_spatial::{morton, CellLayout, Circle, Grid, Lbvh, Point, RTree, Rect, Relation};
 use proptest::prelude::*;
 
 fn point() -> impl Strategy<Value = Point> {
@@ -159,5 +159,99 @@ proptest! {
                 Relation::Partial => {}
             }
         }
+    }
+
+    #[test]
+    fn morton_encode_decode_roundtrip(col in 0u32..=u16::MAX as u32, row in 0u32..=u16::MAX as u32) {
+        let code = morton::encode(col, row);
+        prop_assert_eq!(morton::decode(code), (col, row));
+        prop_assert_eq!(morton::compact(morton::spread(col)), col);
+    }
+
+    #[test]
+    fn morton_codes_are_monotone_along_each_axis(
+        a in 0u32..=u16::MAX as u32,
+        b in 0u32..=u16::MAX as u32,
+        fixed in 0u32..=u16::MAX as u32,
+    ) {
+        // With one coordinate fixed, the interleaved code compares exactly
+        // like the free coordinate: the Z-curve never reverses an axis.
+        prop_assume!(a != b);
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(morton::encode(lo, fixed) < morton::encode(hi, fixed));
+        prop_assert!(morton::encode(fixed, lo) < morton::encode(fixed, hi));
+    }
+
+    #[test]
+    fn layout_order_is_a_rank_sorted_permutation(g in 1u32..32) {
+        let grid = Grid::unit_square(g);
+        for layout in CellLayout::ALL {
+            let order = layout.order(&grid);
+            prop_assert_eq!(order.len(), grid.num_cells());
+            let mut seen: Vec<bool> = vec![false; grid.num_cells()];
+            let mut prev_rank = None;
+            for cell in order {
+                prop_assert!(!seen[cell.index()], "{layout}: duplicate {cell:?}");
+                seen[cell.index()] = true;
+                let rank = layout.rank(&grid, cell);
+                if let Some(prev) = prev_rank {
+                    prop_assert!(prev < rank, "{layout}: rank not strictly increasing");
+                }
+                prev_rank = Some(rank);
+            }
+        }
+    }
+
+    #[test]
+    fn zorder_neighbor_ranks_are_closer_than_rowmajor_worst_case(
+        g in 2u32..32,
+        col in 0u32..31,
+        row in 0u32..31,
+    ) {
+        // The whole point of the Z-order layout: the four-cell square at
+        // an even-aligned corner occupies four *consecutive* Morton ranks,
+        // while row-major spreads it across two rows (rank gap = g).
+        let col = (col % (g / 2)) * 2;
+        let row = (row % (g / 2)) * 2;
+        let grid = Grid::unit_square(g);
+        let z = CellLayout::ZOrder;
+        let base = z.rank(&grid, grid.cell_at(col, row));
+        prop_assert_eq!(z.rank(&grid, grid.cell_at(col + 1, row)), base + 1);
+        prop_assert_eq!(z.rank(&grid, grid.cell_at(col, row + 1)), base + 2);
+        prop_assert_eq!(z.rank(&grid, grid.cell_at(col + 1, row + 1)), base + 3);
+    }
+
+    #[test]
+    fn lbvh_rect_query_matches_brute_force(
+        pts in prop::collection::vec(point(), 0..300),
+        q in rect(),
+    ) {
+        let items: Vec<(Rect, usize)> =
+            pts.iter().enumerate().map(|(i, &p)| (Rect::point(p), i)).collect();
+        let bvh = Lbvh::bulk_load(items);
+        bvh.check_invariants();
+        let mut got: Vec<usize> = bvh.query_rect(&q).into_iter().copied().collect();
+        got.sort_unstable();
+        let expect: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains_point(**p))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn lbvh_circle_count_matches_brute_force(
+        pts in prop::collection::vec(point(), 0..300),
+        center in point(),
+        radius in 0.001f64..0.6,
+    ) {
+        let items: Vec<(Rect, usize)> =
+            pts.iter().enumerate().map(|(i, &p)| (Rect::point(p), i)).collect();
+        let bvh = Lbvh::bulk_load(items);
+        let circle = Circle::new(center, radius);
+        let expect = pts.iter().filter(|&&p| circle.contains_point(p)).count();
+        prop_assert_eq!(bvh.count_in_circle(&circle), expect);
     }
 }

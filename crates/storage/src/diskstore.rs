@@ -23,7 +23,7 @@ use crate::place::{PlaceId, PlaceRecord};
 use crate::stats::StorageStats;
 use crate::store::{partition_by_cell, PlaceStore};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use ctup_spatial::{CellId, Grid, Point, Rect};
+use ctup_spatial::{CellId, CellLayout, Grid, Point, Rect};
 use std::borrow::Cow;
 use std::time::Instant;
 
@@ -163,6 +163,7 @@ pub(crate) struct CellLocation {
 #[derive(Debug)]
 pub struct PagedDiskStore {
     grid: Grid,
+    layout: CellLayout,
     pages: Vec<Bytes>,
     directory: Vec<CellLocation>,
     margins: Vec<f64>,
@@ -172,27 +173,50 @@ pub struct PagedDiskStore {
 }
 
 impl PagedDiskStore {
-    /// Builds the store, packing each cell's records into whole checksummed
-    /// page frames. `page_latency_nanos` is busy-waited per page on every
-    /// read (0 disables the simulated latency).
+    /// Builds the store with the historical row-major page order; see
+    /// [`PagedDiskStore::build_with_layout`].
     pub fn build(grid: Grid, places: Vec<PlaceRecord>, page_latency_nanos: u64) -> Self {
+        Self::build_with_layout(grid, places, page_latency_nanos, CellLayout::RowMajor)
+    }
+
+    /// Builds the store, packing each cell's records into whole checksummed
+    /// page frames. Cells are laid out on the simulated disk in `layout`
+    /// order, so under [`CellLayout::ZOrder`] spatially adjacent cells land
+    /// on adjacent pages and one protecting circle's reads cluster.
+    /// `page_latency_nanos` is busy-waited per page on every read (0
+    /// disables the simulated latency).
+    pub fn build_with_layout(
+        grid: Grid,
+        places: Vec<PlaceRecord>,
+        page_latency_nanos: u64,
+        layout: CellLayout,
+    ) -> Self {
         let num_places = places.len();
         let (cells, margins) = partition_by_cell(&grid, places);
         let mut pages = Vec::new();
-        let mut directory = Vec::with_capacity(cells.len());
-        for records in &cells {
+        let mut directory = vec![
+            CellLocation {
+                first_page: 0,
+                num_pages: 0,
+                num_records: 0,
+            };
+            cells.len()
+        ];
+        for cell in layout.order(&grid) {
+            let records = &cells[cell.index()];
             let first_page = pages.len() as u32;
             // Records never span pages: a new page starts when the next
             // record (worst case 57 bytes) may not fit in the frame.
             pages.extend(encode_pages(records));
-            directory.push(CellLocation {
+            directory[cell.index()] = CellLocation {
                 first_page,
                 num_pages: pages.len() as u32 - first_page,
                 num_records: records.len() as u32,
-            });
+            };
         }
         PagedDiskStore {
             grid,
+            layout,
             pages,
             directory,
             margins,
@@ -251,6 +275,10 @@ impl PlaceStore for PagedDiskStore {
 
     fn num_places(&self) -> usize {
         self.num_places
+    }
+
+    fn layout(&self) -> CellLayout {
+        self.layout
     }
 
     fn read_cell(&self, cell: CellId) -> Result<Cow<'_, [PlaceRecord]>, StorageError> {
@@ -442,6 +470,49 @@ mod tests {
         let snap = disk.stats().snapshot();
         assert!(snap.io_nanos >= 1_000);
         assert!(elapsed >= snap.io_nanos);
+    }
+
+    #[test]
+    fn zorder_layout_serves_identical_records() {
+        let grid = Grid::unit_square(6);
+        let places = sample_places(500);
+        let row = PagedDiskStore::build(grid.clone(), places.clone(), 0);
+        let z = PagedDiskStore::build_with_layout(grid.clone(), places, 0, CellLayout::ZOrder);
+        assert_eq!(row.layout(), CellLayout::RowMajor);
+        assert_eq!(z.layout(), CellLayout::ZOrder);
+        assert_eq!(row.num_pages(), z.num_pages());
+        for cell in grid.cells() {
+            assert_eq!(
+                row.read_cell(cell).expect("row read").into_owned(),
+                z.read_cell(cell).expect("z read").into_owned(),
+                "cell {cell:?}"
+            );
+            assert_eq!(
+                row.cell_extent_margin(cell),
+                z.cell_extent_margin(cell),
+                "margin of {cell:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zorder_layout_packs_pages_in_morton_order() {
+        let grid = Grid::unit_square(6);
+        let z = PagedDiskStore::build_with_layout(
+            grid.clone(),
+            sample_places(500),
+            0,
+            CellLayout::ZOrder,
+        );
+        // Walking cells in Z-order must walk the disk front to back: each
+        // cell's range starts exactly where the previous one ended.
+        let mut next_page = 0u32;
+        for cell in CellLayout::ZOrder.order(&grid) {
+            let loc = z.location(cell);
+            assert_eq!(loc.first_page, next_page, "cell {cell:?}");
+            next_page += loc.num_pages;
+        }
+        assert_eq!(next_page as usize, z.num_pages());
     }
 
     #[test]

@@ -157,8 +157,8 @@ pub struct FaultDisk {
 }
 
 impl FaultDisk {
-    /// Builds the underlying paged store and applies the plan's build-time
-    /// damage (torn writes first, then bit flips; a page may suffer both).
+    /// Builds the underlying paged store with the row-major layout; see
+    /// [`FaultDisk::build_with_layout`].
     pub fn build(
         grid: Grid,
         places: Vec<PlaceRecord>,
@@ -166,7 +166,30 @@ impl FaultDisk {
         plan: DiskFaultPlan,
         retry: RetryPolicy,
     ) -> Self {
-        let mut inner = PagedDiskStore::build(grid, places, page_latency_nanos);
+        Self::build_with_layout(
+            grid,
+            places,
+            page_latency_nanos,
+            plan,
+            retry,
+            ctup_spatial::CellLayout::RowMajor,
+        )
+    }
+
+    /// Builds the underlying paged store in `layout` page order and applies
+    /// the plan's build-time damage (torn writes first, then bit flips; a
+    /// page may suffer both). The damage is rolled over *physical* page
+    /// indices, so the same plan corrupts different cells under different
+    /// layouts — chaos suites pin both when comparing runs.
+    pub fn build_with_layout(
+        grid: Grid,
+        places: Vec<PlaceRecord>,
+        page_latency_nanos: u64,
+        plan: DiskFaultPlan,
+        retry: RetryPolicy,
+        layout: ctup_spatial::CellLayout,
+    ) -> Self {
+        let mut inner = PagedDiskStore::build_with_layout(grid, places, page_latency_nanos, layout);
         let mut rng = SplitMix64::new(plan.seed);
         let mut corrupted_pages = Vec::new();
         let num_pages = inner.num_pages() as u64;
@@ -264,6 +287,10 @@ impl PlaceStore for FaultDisk {
 
     fn num_places(&self) -> usize {
         self.inner.num_places()
+    }
+
+    fn layout(&self) -> ctup_spatial::CellLayout {
+        self.inner.layout()
     }
 
     fn read_cell(&self, cell: CellId) -> Result<Cow<'_, [PlaceRecord]>, StorageError> {

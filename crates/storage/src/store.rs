@@ -9,7 +9,7 @@
 use crate::error::StorageError;
 use crate::place::PlaceRecord;
 use crate::stats::StorageStats;
-use ctup_spatial::{CellId, Grid};
+use ctup_spatial::{CellId, CellLayout, Grid};
 use std::borrow::Cow;
 
 /// Read-only, cell-partitioned access to the full place set.
@@ -40,6 +40,29 @@ pub trait PlaceStore: Send + Sync {
     /// cell as one page.
     fn cell_pages(&self, _cell: CellId) -> u64 {
         1
+    }
+
+    /// The physical cell layout of the lower level — the order adjacent
+    /// cells are packed on disk. Memory-resident stores are layout-agnostic
+    /// and report the row-major default; checkpoints carry this tag so
+    /// recovery re-binds to the same physical layout.
+    fn layout(&self) -> CellLayout {
+        CellLayout::RowMajor
+    }
+
+    /// Hands the store a batch-scoped working-set hint — the cells the
+    /// next batch of demand reads may touch — so it can steer whatever
+    /// read acceleration it has (e.g. pin them in a cell-read cache and
+    /// re-warm just-evicted ones). Best effort: failures are swallowed
+    /// here and surface on the demand read. The default is a no-op;
+    /// callers should gate the (possibly expensive) cell-set computation
+    /// on [`PlaceStore::wants_prefetch`].
+    fn prefetch(&self, _cells: &[CellId]) {}
+
+    /// Whether [`PlaceStore::prefetch`] does anything useful for this
+    /// store. `false` for stores without a warmable cache.
+    fn wants_prefetch(&self) -> bool {
+        false
     }
 
     /// The access counters.

@@ -675,8 +675,10 @@ fn trace_ids_survive_reconnect_replay_without_forking() {
         },
         4096,
     );
-    let mut cfg = NetServerConfig::default();
-    cfg.spans = Some(spans.clone());
+    let cfg = NetServerConfig {
+        spans: Some(spans.clone()),
+        ..NetServerConfig::default()
+    };
     let server = IngestServer::spawn("127.0.0.1:0", cfg, dyn_sink).unwrap();
     // The same fault plan as the replay suite: dials that die mid-frame
     // force reconnects and unacked-tail retransmissions.
